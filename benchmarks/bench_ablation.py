@@ -1,0 +1,51 @@
+"""Ablations from Sections 2.3-2.4: pickOne heuristic, path explosion."""
+
+from repro.baselines.randompath import compare_pickone, path_explosion
+from repro.pins import PinsConfig
+from repro.suite import get_benchmark
+
+
+def test_ablation_pickone_vs_random(benchmark):
+    """Paper: random selection yields ~20% longer runtimes."""
+    task = get_benchmark("sumi").task
+
+    def run():
+        return compare_pickone(task, seeds=[1, 2, 3],
+                               config=PinsConfig(m=10, max_iterations=25))
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\npickOne ablation: infeasible={comparison.infeasible_times} "
+          f"random={comparison.random_times} slowdown=x{comparison.slowdown:.2f}")
+    # Both strategies must converge; the heuristic should not be (much)
+    # slower than random.
+    assert comparison.slowdown > 0.5
+
+
+def test_ablation_path_explosion(benchmark):
+    """Section 2.4: ~7k syntactic run-length paths at three unrollings,
+    versus the handful PINS explores."""
+    task = get_benchmark("inplace_rl").task
+    explosion = benchmark.pedantic(lambda: path_explosion(task, 3),
+                                   rounds=1, iterations=1)
+    print(f"\n{explosion.benchmark}: {explosion.paths} paths at unroll<=3")
+    assert explosion.paths > 1000
+
+
+def test_ablation_m_width(benchmark):
+    """Solution-enumeration width m: smaller m converges too but may
+    return before winnowing; m=10 is the paper's setting."""
+    from repro.pins import run_pins
+
+    task = get_benchmark("vector_shift").task
+
+    def run():
+        out = {}
+        for m in (1, 4, 10):
+            result = run_pins(task, PinsConfig(m=m, max_iterations=20, seed=1))
+            out[m] = (result.status, len(result.solutions),
+                      result.stats.paths_explored)
+        return out
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nm-sweep: {outcomes}")
+    assert outcomes[10][1] >= 1

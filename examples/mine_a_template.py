@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Semi-automated template mining (Section 3).
+
+Starting from only the program text, mine candidate expression/predicate
+sets with the inversion projections, build an inverse-template skeleton
+with the same control flow, and show the sets a user would then prune
+before running PINS.
+"""
+
+from repro.lang import pretty
+from repro.mining import SkeletonOptions, build_skeleton, mine
+from repro.suite import get_benchmark
+
+
+def main() -> None:
+    program = get_benchmark("inplace_rl").task.program
+    print("=== program to invert ===")
+    print(pretty(program))
+
+    mined = mine(program)
+    print(f"\n=== mined candidates ({mined.size} total) ===")
+    print("expressions:")
+    for e in mined.exprs:
+        print("   ", e)
+    print("predicates:")
+    for p in mined.preds:
+        print("   ", p)
+
+    print("\n=== inverse skeleton (same control flow, holes everywhere) ===")
+    skeleton = build_skeleton(program, SkeletonOptions(
+        drop_assignments_to={"A", "N", "i"},  # the paper's manual removal
+    ))
+    print(pretty(skeleton))
+
+    print("\nNext steps (the human part of the loop): pick a subset of the "
+          "mined sets, run PINS, and use the explored paths to refine — "
+          "see examples/invert_runlength.py for the curated result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: synthesize the inverse of an iterative summation.
+
+The forward program computes s = 1 + 2 + ... + n.  We give PINS a
+template for the inverse (a loop with unknown guard and unknown update
+expressions) plus candidate sets, and it discovers the program that
+recovers n from s by *iteratively subtracting* — without being told that
+trick.
+"""
+
+from repro.lang import parse_expr, parse_pred, parse_program, pretty
+from repro.pins import PinsConfig, SynthesisTask, run_pins
+from repro.validate import validate_inverse
+
+PROGRAM = parse_program("""
+program sumi [int n; int s; int i] {
+  in(n);
+  assume(n >= 0);
+  s, i := 0, 0;
+  while (i < n) {
+    i := i + 1;
+    s := s + i;
+  }
+  out(s);
+}
+""")
+
+# The template: same control-flow shape, holes for the guard and updates.
+TEMPLATE = parse_program("""
+program sumi_inv [int s; int ip; int sp] {
+  ip, sp := [e1], [e2];
+  while ([p1]) {
+    ip := [e3];
+    sp := [e4];
+  }
+  out(ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(t) for t in
+              ["0", "1", "s", "ip + 1", "ip - 1", "sp - ip", "sp + ip", "sp - 1"])
+PHI_P = tuple(parse_pred(t) for t in ["sp > 0", "ip > 0", "sp < 0"])
+
+
+def main() -> None:
+    task = SynthesisTask(
+        name="quickstart",
+        program=PROGRAM,
+        inverse=TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        input_gen=lambda rng: {"n": rng.randint(0, 6)},
+        initial_inputs=tuple({"n": k} for k in range(6)),
+        pred_overrides={"inv!loop1": (parse_pred("ip >= 0"),)},
+    )
+    print(f"Search space: 2^{0:.0f}..." if False else "Running PINS...")
+    result = run_pins(task, PinsConfig(m=10, max_iterations=25, seed=1))
+    print(f"status: {result.status} after {result.stats.iterations} iterations, "
+          f"{result.stats.paths_explored} paths explored")
+    print(f"search space ~ 2^{result.stats.search_space_log2:.0f} template "
+          f"instantiations; {len(result.solutions)} candidate(s) survive\n")
+
+    spec = task.derived_spec({**PROGRAM.decls, **TEMPLATE.decls})
+    pool = [{"n": k} for k in range(10)]
+    for idx, inverse in enumerate(result.inverse_programs()):
+        report = validate_inverse(PROGRAM, inverse, spec, pool)
+        verdict = "CORRECT" if report.ok else "refuted by round-trip testing"
+        print(f"--- candidate {idx} ({verdict}) ---")
+        print(pretty(inverse))
+        print()
+
+
+if __name__ == "__main__":
+    main()

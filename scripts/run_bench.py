@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Run PINS on suite benchmarks and validate the results (dev harness)."""
+
+import argparse
+import sys
+import time
+
+from repro.pins import PinsConfig, run_pins
+from repro.suite import get_benchmark
+from repro.validate import BmcBounds, bounded_check, random_pool, validate_inverse
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("names", nargs="+")
+    ap.add_argument("--m", type=int, default=10)
+    ap.add_argument("--iters", type=int, default=30)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--bmc", action="store_true")
+    args = ap.parse_args()
+
+    for name in args.names:
+        bench = get_benchmark(name)
+        task = bench.task
+        t0 = time.time()
+        result = run_pins(task, PinsConfig(m=args.m, max_iterations=args.iters,
+                                           seed=args.seed))
+        elapsed = time.time() - t0
+        print(f"=== {name}: {result.status}, {len(result.solutions)} sols, "
+              f"{result.stats.iterations} iters, {result.stats.paths_explored} paths, "
+              f"{elapsed:.1f}s", flush=True)
+        spec = task.derived_spec(
+            {**task.program.decls, **task.inverse.decls})
+        pool = list(task.initial_inputs)
+        if task.input_gen is not None:
+            pool += random_pool(task.input_gen, 30, seed=7)
+        n_correct = 0
+        for idx, inv in enumerate(result.inverse_programs()):
+            report = validate_inverse(task.program, inv, spec, pool, task.externs,
+                                      precondition=task.precondition)
+            ok = "CORRECT" if report.ok else f"WRONG ({len(report.failures)} fails)"
+            if report.ok:
+                n_correct += 1
+            print(f"  candidate {idx}: {ok}", flush=True)
+        print(f"  => {n_correct}/{len(result.solutions)} candidates correct", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

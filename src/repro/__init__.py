@@ -1,0 +1,35 @@
+"""PINS — Path-based Inductive Synthesis for Program Inversion.
+
+A from-scratch Python reproduction of Srivastava, Gulwani, Chaudhuri &
+Foster, *Path-based Inductive Synthesis for Program Inversion* (PLDI 2011).
+
+Public entry points:
+
+* :mod:`repro.lang` — the template language (AST, parser, pretty-printer).
+* :mod:`repro.smt` — the ground SMT solver substrate (CDCL SAT, EUF, LIA,
+  arrays, axiom instantiation).
+* :mod:`repro.symexec` — symbolic execution of templates with unknowns.
+* :mod:`repro.pins` — the PINS synthesis algorithm (Algorithm 1).
+* :mod:`repro.mining` — semi-automated template mining (Section 3).
+* :mod:`repro.concrete` — concrete interpreter + test-case generation.
+* :mod:`repro.validate` — bounded checking / round-trip validation.
+* :mod:`repro.baselines` — Sketch-like finitized CEGIS, random-path ablation.
+* :mod:`repro.suite` — the 14 paper benchmarks.
+* :mod:`repro.experiments` — regenerates every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "lang",
+    "smt",
+    "symexec",
+    "pins",
+    "mining",
+    "axioms",
+    "concrete",
+    "validate",
+    "baselines",
+    "suite",
+    "experiments",
+]

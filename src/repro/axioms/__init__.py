@@ -1,0 +1,8 @@
+"""External function models and axiom libraries (Section 2.3)."""
+
+from .arith import DIV, MUL, arith_registry, mul_div_axioms
+from .registry import EMPTY_REGISTRY, Extern, ExternRegistry
+from .strings import STRING_EXTERNS, string_axioms
+from .trig import COS, SIN, trig_axioms, trig_registry
+
+__all__ = [name for name in dir() if not name.startswith("_")]

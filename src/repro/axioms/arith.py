@@ -1,0 +1,59 @@
+"""Abstract multiplication/division (Section 2.3's ``mul``/``div``).
+
+The paper models nonlinear arithmetic through uninterpreted functions
+plus axioms such as ``forall x != 0. mul(x, div(1, x)) = 1`` — "this
+particular axiom essentially adds a capability to the solver".  The
+concrete models use exact rational arithmetic so round-trips are lossless
+(standing in for the reals of the paper's vector benchmarks).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..lang.ast import Sort
+from ..smt import INT, Axiom, mk_add, mk_app, mk_eq, mk_int, mk_mul, mk_or, mk_var
+from .registry import Extern, ExternRegistry
+
+
+def _mul(a, b):
+    return a * b
+
+
+def _div(a, b):
+    if b == 0:
+        raise ZeroDivisionError("abstract div by zero")
+    return Fraction(a) / Fraction(b)
+
+
+MUL = Extern("mul", (Sort.INT, Sort.INT), Sort.INT, _mul)
+DIV = Extern("div", (Sort.INT, Sort.INT), Sort.INT, _div)
+
+
+def mul_div_axioms():
+    """``div(mul(a, b), b) = a  (unless b = 0)`` and the paper's
+    ``mul(x, div(1, x)) = 1  (unless x = 0)``."""
+    a = mk_var("?a", INT)
+    b = mk_var("?b", INT)
+    mul_ab = mk_app("mul", [a, b], INT)
+    cancel = Axiom(
+        name="div_mul_cancel",
+        variables=(a, b),
+        body=mk_or(mk_eq(b, mk_int(0)),
+                   mk_eq(mk_app("div", [mul_ab, b], INT), a)),
+        patterns=(mul_ab,),
+    )
+    x = mk_var("?x", INT)
+    inv_x = mk_app("div", [mk_int(1), x], INT)
+    reciprocal = Axiom(
+        name="mul_reciprocal",
+        variables=(x,),
+        body=mk_or(mk_eq(x, mk_int(0)),
+                   mk_eq(mk_app("mul", [x, inv_x], INT), mk_int(1))),
+        patterns=(inv_x,),
+    )
+    return (cancel, reciprocal)
+
+
+def arith_registry() -> ExternRegistry:
+    return ExternRegistry((MUL, DIV))

@@ -1,0 +1,72 @@
+"""Registry of external (library) functions.
+
+The template language models library calls as uninterpreted functions
+(``FunApp``).  Each such function is declared here with:
+
+* its signature (argument sorts and result sort) — needed to translate
+  ``FunApp`` nodes into SMT terms;
+* an optional *concrete implementation* — used by the concrete
+  interpreter, the test-case screener, and the bounded checker, playing
+  the role of the real library the paper's C programs linked against.
+
+Axioms over these functions live next to the declarations that use them
+(:mod:`repro.axioms.strings`, :mod:`repro.axioms.trig`, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..lang.ast import Sort
+
+
+@dataclass(frozen=True)
+class Extern:
+    """An external function declaration."""
+
+    name: str
+    arg_sorts: Tuple[Sort, ...]
+    result_sort: Sort
+    impl: Optional[Callable] = None
+
+    def __call__(self, *args):
+        if self.impl is None:
+            raise RuntimeError(f"external function {self.name!r} has no concrete model")
+        return self.impl(*args)
+
+
+class ExternRegistry:
+    """A table of external functions, usually one per benchmark."""
+
+    def __init__(self, externs: Tuple[Extern, ...] = ()):
+        self._table: Dict[str, Extern] = {}
+        for e in externs:
+            self.register(e)
+
+    def register(self, extern: Extern) -> Extern:
+        if extern.name in self._table:
+            raise ValueError(f"external function {extern.name!r} already registered")
+        self._table[extern.name] = extern
+        return extern
+
+    def get(self, name: str) -> Extern:
+        try:
+            return self._table[name]
+        except KeyError:
+            raise KeyError(f"unknown external function {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def names(self):
+        return sorted(self._table)
+
+    def merged_with(self, other: "ExternRegistry") -> "ExternRegistry":
+        merged = ExternRegistry()
+        merged._table.update(self._table)
+        merged._table.update(other._table)
+        return merged
+
+
+EMPTY_REGISTRY = ExternRegistry()

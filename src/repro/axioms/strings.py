@@ -1,0 +1,106 @@
+"""Abstract strings (Section 2.3's string ADT).
+
+Strings are an uninterpreted sort with ``empty``/``single``/``append``
+constructors and ``strlen``/``first``/``char_at``/``findidx`` observers,
+constrained by the axioms the paper lists (``strlen(append(s, c)) =
+strlen(s) + 1`` and friends).  Concretely a string is a tuple of ints.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import Sort
+from ..smt import INT, SARR, STR, Axiom, mk_add, mk_app, mk_eq, mk_int, mk_le, mk_lt, mk_not, mk_or, mk_select, mk_var
+from .registry import Extern, ExternRegistry
+
+
+def _empty():
+    return ()
+
+
+def _single(c):
+    return (int(c),)
+
+
+def _append(s, c):
+    return tuple(s) + (int(c),)
+
+
+def _conc(s, t):
+    return tuple(s) + tuple(t)
+
+
+def _strlen(s):
+    return len(s)
+
+
+def _first(s):
+    if not s:
+        raise ValueError("first() of empty string")
+    return s[0]
+
+
+def _char_at(s, j):
+    if not (0 <= j < len(s)):
+        raise ValueError(f"char_at out of range: {j} in {s!r}")
+    return s[j]
+
+
+def _findidx(d, p, s):
+    """Index of string ``s`` among dictionary entries ``d[0..p)`` or -1."""
+    target = tuple(s)
+    for i in range(p):
+        if tuple(d.get(i)) == target:
+            return i
+    return -1
+
+
+STRING_EXTERNS = ExternRegistry((
+    Extern("empty", (), Sort.STR, _empty),
+    Extern("single", (Sort.INT,), Sort.STR, _single),
+    Extern("append", (Sort.STR, Sort.INT), Sort.STR, _append),
+    Extern("conc", (Sort.STR, Sort.STR), Sort.STR, _conc),
+    Extern("strlen", (Sort.STR,), Sort.INT, _strlen),
+    Extern("first", (Sort.STR,), Sort.INT, _first),
+    Extern("char_at", (Sort.STR, Sort.INT), Sort.INT, _char_at),
+    Extern("findidx", (Sort.STRARRAY, Sort.INT, Sort.STR), Sort.INT, _findidx),
+))
+
+
+def string_axioms():
+    """The string ADT axioms (the paper's Section 2.3 examples + lookup)."""
+    s = mk_var("?s", STR)
+    c = mk_var("?c", INT)
+    j = mk_var("?j", INT)
+    d = mk_var("?d", SARR)
+    p = mk_var("?p", INT)
+    single_c = mk_app("single", [c], STR)
+    append_sc = mk_app("append", [s, c], STR)
+    char_sj = mk_app("char_at", [s, j], INT)
+    strlen_s = mk_app("strlen", [s], INT)
+    axioms = (
+        Axiom("strlen_empty", (),
+              mk_eq(mk_app("strlen", [mk_app("empty", [], STR)], INT), mk_int(0)),
+              (mk_app("empty", [], STR),)),
+        Axiom("strlen_single", (c,),
+              mk_eq(mk_app("strlen", [single_c], INT), mk_int(1)), (single_c,)),
+        Axiom("first_single", (c,),
+              mk_eq(mk_app("first", [single_c], INT), c), (single_c,)),
+        Axiom("char_at_single", (c,),
+              mk_eq(mk_app("char_at", [single_c, mk_int(0)], INT), c), (single_c,)),
+        Axiom("strlen_append", (s, c),
+              mk_eq(mk_app("strlen", [append_sc], INT),
+                    mk_add(strlen_s, mk_int(1))), (append_sc,)),
+        Axiom("char_at_append_end", (s, c),
+              mk_eq(mk_app("char_at", [append_sc, strlen_s], INT), c),
+              (append_sc,)),
+        Axiom("char_at_append_prefix", (s, c, j),
+              mk_or(mk_not(mk_le(mk_int(0), j)),
+                    mk_not(mk_lt(j, strlen_s)),
+                    mk_eq(mk_app("char_at", [append_sc, j], INT), char_sj)),
+              ((append_sc, char_sj),)),
+        Axiom("findidx_sound", (d, p, s),
+              mk_or(mk_lt(mk_app("findidx", [d, p, s], INT), mk_int(0)),
+                    mk_eq(mk_select(d, mk_app("findidx", [d, p, s], INT)), s)),
+              (mk_app("findidx", [d, p, s], INT),)),
+    )
+    return axioms

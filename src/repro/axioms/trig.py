@@ -1,0 +1,53 @@
+"""Abstract trigonometry for the vector-rotation benchmark.
+
+Angles are opaque; ``cos``/``sin`` are uninterpreted functions related by
+the Pythagorean axiom ``cos(t)^2 + sin(t)^2 = 1`` (the single axiom the
+paper reports for Vector rotate).  The concrete model picks an exact
+rational point on the unit circle per angle (Pythagorean triples), so a
+rotation followed by the synthesized un-rotation is lossless.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..lang.ast import Sort
+from ..smt import INT, Axiom, mk_add, mk_app, mk_eq, mk_int, mk_mul, mk_var
+from .registry import Extern, ExternRegistry
+
+_TRIPLES = ((3, 4, 5), (5, 12, 13), (8, 15, 17), (20, 21, 29))
+
+
+def _point(t: int):
+    a, b, c = _TRIPLES[t % len(_TRIPLES)]
+    return Fraction(a, c), Fraction(b, c)
+
+
+def _cos(t):
+    return _point(int(t))[0]
+
+
+def _sin(t):
+    return _point(int(t))[1]
+
+
+COS = Extern("cos", (Sort.INT,), Sort.INT, _cos)
+SIN = Extern("sin", (Sort.INT,), Sort.INT, _sin)
+
+
+def trig_axioms():
+    """``forall t. cos(t)*cos(t) + sin(t)*sin(t) = 1``."""
+    t = mk_var("?t", INT)
+    cos_t = mk_app("cos", [t], INT)
+    sin_t = mk_app("sin", [t], INT)
+    pythagoras = Axiom(
+        name="pythagoras",
+        variables=(t,),
+        body=mk_eq(mk_add(mk_mul(cos_t, cos_t), mk_mul(sin_t, sin_t)), mk_int(1)),
+        patterns=(cos_t,),
+    )
+    return (pythagoras,)
+
+
+def trig_registry() -> ExternRegistry:
+    return ExternRegistry((COS, SIN))

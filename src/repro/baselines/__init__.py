@@ -1,0 +1,12 @@
+"""Baselines: the Sketch-style finitized CEGIS and path-selection ablations."""
+
+from .randompath import (
+    HeuristicComparison,
+    PathExplosion,
+    compare_pickone,
+    path_explosion,
+    pins_with_random_pickone,
+)
+from .sketchlite import SketchLiteResult, run_sketchlite
+
+__all__ = [name for name in dir() if not name.startswith("_")]

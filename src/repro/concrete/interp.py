@@ -1,0 +1,250 @@
+"""A concrete interpreter for the template language.
+
+Two entry points:
+
+* :class:`Interpreter` runs *guarded* (hole-free) programs — originals and
+  synthesized inverses — the way the paper's authors ran their C code.
+* :func:`run_path` replays a ground *path condition* on concrete inputs:
+  definitions execute in order, guards are tested, and the final versioned
+  environment is returned (or ``None`` if some guard fails, i.e. the input
+  does not follow the path).  This is the fast screening primitive used by
+  ``pins.solve`` to reject candidate solutions with counterexample inputs
+  before any SMT work.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from numbers import Rational
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
+from ..lang import ast
+from ..lang.ast import (
+    ArithOp,
+    Assign,
+    Assume,
+    CmpOp,
+    Exit,
+    GIf,
+    GWhile,
+    If,
+    In,
+    Out,
+    Program,
+    Seq,
+    Skip,
+    Sort,
+    Stmt,
+    While,
+)
+from ..lang.transform import unversioned_name
+from ..symexec.paths import Def, Guard
+from .values import ConcreteArray, coerce_input, default_value
+
+
+class InterpError(Exception):
+    """Base class for runtime failures."""
+
+
+class AssumeFailed(InterpError):
+    """An ``assume`` evaluated to false."""
+
+
+class OutOfFuel(InterpError):
+    """The step budget was exhausted (likely divergence)."""
+
+
+class _ExitSignal(Exception):
+    pass
+
+
+class Interpreter:
+    """Executes guarded, hole-free programs over concrete values."""
+
+    def __init__(self, externs: ExternRegistry = EMPTY_REGISTRY, fuel: int = 200_000):
+        self.externs = externs
+        self.fuel = fuel
+
+    # -- expressions ----------------------------------------------------------
+
+    def eval_expr(self, e: ast.Expr, env: Dict[str, Any],
+                  sorts: Mapping[str, Sort]) -> Any:
+        if isinstance(e, ast.Var):
+            if e.name not in env:
+                base = unversioned_name(e.name)
+                env[e.name] = default_value(sorts[base]) if base in sorts else 0
+            return env[e.name]
+        if isinstance(e, ast.IntLit):
+            return e.value
+        if isinstance(e, ast.BinOp):
+            left = self.eval_expr(e.left, env, sorts)
+            right = self.eval_expr(e.right, env, sorts)
+            if not isinstance(left, Rational) or not isinstance(right, Rational):
+                raise InterpError(f"arithmetic over non-numbers in {e}")
+            if e.op is ArithOp.ADD:
+                return left + right
+            if e.op is ArithOp.SUB:
+                return left - right
+            if e.op is ArithOp.MUL:
+                return left * right
+            if e.op is ArithOp.DIV:
+                if right == 0:
+                    raise InterpError("division by zero")
+                return math.floor(left / right)
+            if e.op is ArithOp.MOD:
+                if right == 0:
+                    raise InterpError("modulo by zero")
+                return left - right * math.floor(left / right)
+            raise InterpError(f"unsupported operator {e.op}")
+        if isinstance(e, ast.Select):
+            arr = self.eval_expr(e.array, env, sorts)
+            idx = self.eval_expr(e.index, env, sorts)
+            if not isinstance(arr, ConcreteArray):
+                raise InterpError(f"select from non-array value {arr!r}")
+            if not isinstance(idx, int):
+                raise InterpError(f"non-integer index {idx!r} in {e}")
+            return arr.get(idx)
+        if isinstance(e, ast.Update):
+            arr = self.eval_expr(e.array, env, sorts)
+            idx = self.eval_expr(e.index, env, sorts)
+            val = self.eval_expr(e.value, env, sorts)
+            if not isinstance(arr, ConcreteArray):
+                raise InterpError(f"update of non-array value {arr!r}")
+            if not isinstance(idx, int):
+                raise InterpError(f"non-integer index {idx!r} in {e}")
+            return arr.set(idx, val)
+        if isinstance(e, ast.FunApp):
+            fn = self.externs.get(e.name)
+            args = [self.eval_expr(a, env, sorts) for a in e.args]
+            try:
+                return fn(*args)
+            except InterpError:
+                raise
+            except Exception as exc:
+                raise InterpError(f"external {e.name} failed: {exc}") from None
+        if isinstance(e, (ast.Unknown, ast.HoleExpr)):
+            raise InterpError(f"cannot concretely evaluate hole {e!r}")
+        raise InterpError(f"unexpected expression {e!r}")
+
+    def eval_pred(self, p: ast.Pred, env: Dict[str, Any],
+                  sorts: Mapping[str, Sort]) -> bool:
+        if isinstance(p, ast.BoolLit):
+            return p.value
+        if isinstance(p, ast.Cmp):
+            left = self.eval_expr(p.left, env, sorts)
+            right = self.eval_expr(p.right, env, sorts)
+            if p.op is CmpOp.EQ:
+                return left == right
+            if p.op is CmpOp.NE:
+                return left != right
+            try:
+                if p.op is CmpOp.LT:
+                    return left < right
+                if p.op is CmpOp.LE:
+                    return left <= right
+                if p.op is CmpOp.GT:
+                    return left > right
+                if p.op is CmpOp.GE:
+                    return left >= right
+            except TypeError as exc:
+                raise InterpError(f"unorderable comparison {p}: {exc}") from None
+        if isinstance(p, ast.And):
+            return all(self.eval_pred(q, env, sorts) for q in p.parts)
+        if isinstance(p, ast.Or):
+            return any(self.eval_pred(q, env, sorts) for q in p.parts)
+        if isinstance(p, ast.Not):
+            return not self.eval_pred(p.pred, env, sorts)
+        if isinstance(p, (ast.UnknownPred, ast.HolePred)):
+            raise InterpError(f"cannot concretely evaluate hole {p!r}")
+        raise InterpError(f"unexpected predicate {p!r}")
+
+    # -- statements -------------------------------------------------------------
+
+    def run(self, program: Program, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        """Run a program on inputs; returns the final environment."""
+        env: Dict[str, Any] = {}
+        for var, sort in program.decls.items():
+            env[var] = default_value(sort)
+        for var, value in inputs.items():
+            sort = program.decls.get(var, Sort.INT)
+            env[var] = coerce_input(value, sort)
+        self._fuel_left = self.fuel
+        try:
+            self._exec(program.body, env, program.decls)
+        except _ExitSignal:
+            pass
+        return env
+
+    def _tick(self) -> None:
+        self._fuel_left -= 1
+        if self._fuel_left <= 0:
+            raise OutOfFuel("interpreter fuel exhausted")
+
+    def _exec(self, stmt: Stmt, env: Dict[str, Any], sorts: Mapping[str, Sort]) -> None:
+        self._tick()
+        if isinstance(stmt, Seq):
+            for s in stmt.stmts:
+                self._exec(s, env, sorts)
+        elif isinstance(stmt, Assign):
+            values = [self.eval_expr(e, env, sorts) for e in stmt.exprs]
+            for target, value in zip(stmt.targets, values):
+                env[target] = value
+        elif isinstance(stmt, Assume):
+            if not self.eval_pred(stmt.pred, env, sorts):
+                raise AssumeFailed(f"assume({stmt.pred}) failed")
+        elif isinstance(stmt, GIf):
+            if self.eval_pred(stmt.cond, env, sorts):
+                self._exec(stmt.then, env, sorts)
+            else:
+                self._exec(stmt.els, env, sorts)
+        elif isinstance(stmt, GWhile):
+            while self.eval_pred(stmt.cond, env, sorts):
+                self._tick()
+                self._exec(stmt.body, env, sorts)
+        elif isinstance(stmt, Exit):
+            raise _ExitSignal()
+        elif isinstance(stmt, (In, Out, Skip)):
+            pass
+        elif isinstance(stmt, (If, While)):
+            raise InterpError(
+                "nondeterministic statement in concrete run; use guarded forms"
+            )
+        else:
+            raise InterpError(f"unexpected statement {stmt!r}")
+
+
+def run_path(items: Sequence[object], inputs: Mapping[str, Any],
+             sorts: Mapping[str, Sort],
+             externs: ExternRegistry = EMPTY_REGISTRY,
+             expr_solution: Optional[Mapping[str, ast.Expr]] = None,
+             pred_solution: Optional[Mapping[str, Sequence[ast.Pred]]] = None,
+             ) -> Optional[Dict[str, Any]]:
+    """Replay a path (:class:`Def`/:class:`Guard` items) on concrete inputs.
+
+    ``inputs`` maps *base* variable names to values; they seed version 0.
+    If the path contains holes, ``expr_solution``/``pred_solution`` resolve
+    them first.  Returns the final versioned environment, or None if a
+    guard fails (the input does not follow this path, so any path-relative
+    property holds vacuously).
+    """
+    from ..lang.transform import substitute_expr, substitute_pred
+
+    expr_solution = expr_solution or {}
+    pred_solution = pred_solution or {}
+    interp = Interpreter(externs)
+    env: Dict[str, Any] = {}
+    for var, value in inputs.items():
+        env[f"{var}#0"] = coerce_input(value, sorts.get(var, Sort.INT))
+    for item in items:
+        if isinstance(item, Def):
+            expr = substitute_expr(item.expr, expr_solution)
+            env[item.versioned_var] = interp.eval_expr(expr, env, sorts)
+        elif isinstance(item, Guard):
+            pred = substitute_pred(item.pred, expr_solution, pred_solution)
+            if not interp.eval_pred(pred, env, sorts):
+                return None
+        else:
+            raise InterpError(f"unexpected path item {item!r}")
+    return env

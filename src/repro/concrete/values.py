@@ -1,0 +1,82 @@
+"""Concrete runtime values for the interpreter.
+
+Arrays are modelled as sparse int-indexed maps with a sort-appropriate
+default — matching the SMT solver's total-array semantics, so concrete
+runs and symbolic reasoning agree on out-of-bounds reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from ..lang.ast import Sort
+
+
+class ConcreteArray:
+    """An immutable sparse array (``upd`` returns a fresh array)."""
+
+    __slots__ = ("contents", "default")
+
+    def __init__(self, contents: Optional[Mapping[int, Any]] = None, default: Any = 0):
+        self.contents: Dict[int, Any] = dict(contents or {})
+        self.default = default
+
+    @classmethod
+    def from_list(cls, values: Iterable[Any], default: Any = 0) -> "ConcreteArray":
+        return cls({i: v for i, v in enumerate(values)}, default)
+
+    def get(self, index: int) -> Any:
+        return self.contents.get(index, self.default)
+
+    def set(self, index: int, value: Any) -> "ConcreteArray":
+        new = ConcreteArray(self.contents, self.default)
+        new.contents[index] = value
+        return new
+
+    def prefix(self, length: int) -> list:
+        return [self.get(i) for i in range(length)]
+
+    def equal_prefix(self, other: "ConcreteArray", length: int) -> bool:
+        return all(self.get(i) == other.get(i) for i in range(length))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConcreteArray):
+            return NotImplemented
+        keys = set(self.contents) | set(other.contents)
+        return all(self.get(k) == other.get(k) for k in keys) and self.default == other.default
+
+    def __hash__(self):
+        raise TypeError("ConcreteArray is not hashable")
+
+    def __repr__(self) -> str:
+        if not self.contents:
+            return "ConcreteArray({})"
+        hi = max(self.contents) + 1
+        lo = min(min(self.contents), 0)
+        if hi - lo <= 32:
+            return f"ConcreteArray({[self.get(i) for i in range(lo, hi)]!r})"
+        return f"ConcreteArray(<{len(self.contents)} entries>)"
+
+
+def default_value(sort: Sort) -> Any:
+    """The default runtime value for an uninitialized variable."""
+    if sort is Sort.INT:
+        return 0
+    if sort is Sort.BOOL:
+        return False
+    if sort is Sort.ARRAY:
+        return ConcreteArray(default=0)
+    if sort is Sort.STR:
+        return ""
+    if sort is Sort.STRARRAY:
+        return ConcreteArray(default="")
+    if sort is Sort.OBJ:
+        return None
+    raise ValueError(f"no default for sort {sort}")
+
+
+def coerce_input(value: Any, sort: Sort) -> Any:
+    """Coerce user-friendly inputs (lists, tuples) into runtime values."""
+    if sort.is_array and isinstance(value, (list, tuple)):
+        return ConcreteArray.from_list(list(value), default_value(sort.element()))
+    return value

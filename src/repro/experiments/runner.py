@@ -1,0 +1,60 @@
+"""Command-line runner: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.experiments.runner table1
+    python -m repro.experiments.runner table2 --names sumi vector_shift
+    python -m repro.experiments.runner all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import tables
+
+FAST_NAMES = ["sumi", "vector_shift", "vector_scale", "vector_rotate",
+              "serialize", "permute_count"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("which", choices=["table1", "table2", "table3",
+                                          "table4", "table5", "ablation", "all"])
+    parser.add_argument("--names", nargs="*", default=None)
+    parser.add_argument("--fast", action="store_true",
+                        help="restrict to the quick benchmarks")
+    args = parser.parse_args(argv)
+
+    names = args.names
+    if args.fast and names is None:
+        names = FAST_NAMES
+
+    def emit(title, headers, rows):
+        print(f"\n== {title} ==")
+        print(tables.render(headers, rows))
+
+    if args.which in ("table1", "all"):
+        emit("Table 1: template mining", tables.TABLE1_HEADERS, tables.table1(names))
+    if args.which in ("table2", "all"):
+        emit("Table 2: PINS performance", tables.TABLE2_HEADERS, tables.table2(names))
+    if args.which in ("table3", "all"):
+        emit("Table 3: validation", tables.TABLE3_HEADERS, tables.table3(names))
+    if args.which in ("table4", "all"):
+        emit("Table 4: time breakdown", tables.TABLE4_HEADERS, tables.table4(names))
+    if args.which in ("table5", "all"):
+        emit("Table 5: finitization", tables.TABLE5_HEADERS, tables.table5(names))
+    if args.which in ("ablation", "all"):
+        comparison = tables.ablation_pickone()
+        print(f"\npickOne ablation (sumi): infeasible {comparison.infeasible_times}"
+              f" vs random {comparison.random_times}"
+              f" -> slowdown x{comparison.slowdown:.2f}")
+        explosion = tables.ablation_path_explosion()
+        print(f"path explosion ({explosion.benchmark}, unroll<={explosion.max_unroll}): "
+              f"{explosion.paths} syntactic paths")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Each ``table_N`` function runs the corresponding experiment over the
+suite and returns rows mirroring the paper's columns, with the published
+value alongside for shape comparison.  ``render`` pretty-prints any table
+as aligned text (this is what EXPERIMENTS.md and the benchmark harness
+print).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..baselines.randompath import compare_pickone, path_explosion
+from ..baselines.sketchlite import run_sketchlite
+from ..lang.transform import compose, desugar_program, loc_of
+from ..mining.miner import mine
+from ..pins.algorithm import PinsConfig, PinsResult, build_template, run_pins
+from ..suite import BENCHMARK_MODULES, Benchmark, get_benchmark
+from ..validate.bmc import BmcBounds, bounded_check
+from ..validate.roundtrip import random_pool, validate_inverse
+
+FAST_CONFIGS: Dict[str, PinsConfig] = {}
+"""Per-benchmark PINS configs for table generation; tuned so the full
+table run completes on a laptop.  Empty entries use the default."""
+
+
+def pins_config_for(name: str, m: int = 10, max_iterations: int = 25,
+                    seed: int = 1) -> PinsConfig:
+    cfg = FAST_CONFIGS.get(name)
+    if cfg is not None:
+        return cfg
+    return PinsConfig(m=m, max_iterations=max_iterations, seed=seed)
+
+
+def render(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Align a table as monospace text."""
+    table = [list(map(str, headers))] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — template-mining characteristics
+# ---------------------------------------------------------------------------
+
+
+def table1_row(bench: Benchmark) -> List[Any]:
+    mined = mine(bench.task.program)
+    subset = len(bench.task.phi_e) + len(bench.task.phi_p)
+    return [
+        bench.name,
+        bench.loc, bench.paper.loc,
+        mined.size, bench.paper.mined,
+        subset, bench.paper.subset,
+        bench.inverse_loc, bench.paper.inverse_loc,
+        len(bench.task.axioms), bench.paper.axioms,
+    ]
+
+
+TABLE1_HEADERS = ["benchmark", "LoC", "(paper)", "mined", "(paper)",
+                  "subset", "(paper)", "inv LoC", "(paper)",
+                  "axioms", "(paper)"]
+
+
+def table1(names: Optional[Sequence[str]] = None) -> List[List[Any]]:
+    return [table1_row(get_benchmark(n)) for n in (names or BENCHMARK_MODULES)]
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — PINS performance
+# ---------------------------------------------------------------------------
+
+
+def table2_row(bench: Benchmark, result: PinsResult, elapsed: float) -> List[Any]:
+    return [
+        bench.name,
+        f"2^{result.stats.search_space_log2:.0f}",
+        f"2^{bench.paper.search_space_log2:.0f}",
+        len(result.solutions), bench.paper.num_solutions,
+        result.stats.iterations, bench.paper.iterations,
+        f"{elapsed:.2f}", f"{bench.paper.time_seconds:.2f}",
+        result.stats.sat_clauses, bench.paper.sat_size,
+        result.status,
+    ]
+
+
+TABLE2_HEADERS = ["benchmark", "space", "(paper)", "sols", "(paper)",
+                  "iters", "(paper)", "time s", "(paper)",
+                  "|SAT|", "(paper)", "status"]
+
+
+def run_benchmark(name: str, config: Optional[PinsConfig] = None
+                  ) -> tuple[Benchmark, PinsResult, float]:
+    bench = get_benchmark(name)
+    cfg = config or pins_config_for(name)
+    start = time.perf_counter()
+    result = run_pins(bench.task, cfg)
+    return bench, result, time.perf_counter() - start
+
+
+def table2(names: Optional[Sequence[str]] = None,
+            config: Optional[PinsConfig] = None) -> List[List[Any]]:
+    rows = []
+    for name in names or BENCHMARK_MODULES:
+        bench, result, elapsed = run_benchmark(name, config)
+        rows.append(table2_row(bench, result, elapsed))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — validation
+# ---------------------------------------------------------------------------
+
+
+TABLE3_HEADERS = ["benchmark", "correct/returned", "(paper)", "tests",
+                  "(paper)", "BMC s", "(paper CBMC)", "sketchlite s",
+                  "(paper Sketch)"]
+
+
+def table3_row(name: str, config: Optional[PinsConfig] = None,
+               sketch_timeout: float = 60.0) -> List[Any]:
+    bench, result, _elapsed = run_benchmark(name, config)
+    task = bench.task
+    spec = task.derived_spec({**task.program.decls, **task.inverse.decls})
+    pool = list(task.initial_inputs)
+    if task.input_gen is not None:
+        pool += random_pool(task.input_gen, 40, seed=11)
+    correct = 0
+    for inverse in result.inverse_programs():
+        report = validate_inverse(task.program, inverse, spec, pool,
+                                  task.externs, precondition=task.precondition)
+        if report.ok:
+            correct += 1
+    bounds = BmcBounds(unroll=task.bmc_unroll, array_size=task.bmc_array_size,
+                       value_range=task.bmc_value_range, max_cases=3000)
+    bmc_time = ""
+    if result.inverse_programs():
+        bmc = bounded_check(task.program, result.inverse_programs()[0], spec,
+                            bounds, task.externs, precondition=task.precondition)
+        bmc_time = f"{bmc.elapsed:.2f}{'' if bmc.ok else '!'}"
+    template = build_template(task)
+    sketch = run_sketchlite(task, template, bounds, timeout=sketch_timeout)
+    sketch_time = (f"{sketch.elapsed:.2f}" if sketch.status == "sat"
+                   else sketch.status)
+    return [
+        name,
+        f"{correct}/{len(result.solutions)}", bench.paper.manual_ok,
+        len(result.tests), bench.paper.tests,
+        bmc_time, bench.paper.cbmc_seconds or "-",
+        sketch_time, bench.paper.sketch_seconds or "-",
+    ]
+
+
+def table3(names: Optional[Sequence[str]] = None, **kwargs) -> List[List[Any]]:
+    return [table3_row(name, **kwargs) for name in (names or BENCHMARK_MODULES)]
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — running-time breakdown
+# ---------------------------------------------------------------------------
+
+
+TABLE4_HEADERS = ["benchmark", "symexec %", "SMT red. %", "SAT %",
+                  "pickOne %", "total s"]
+
+
+def table4_row(name: str, config: Optional[PinsConfig] = None) -> List[Any]:
+    _bench, result, elapsed = run_benchmark(name, config)
+    b = result.stats.breakdown()
+    return [
+        name,
+        f"{100 * b['symexec']:.0f}", f"{100 * b['smt_reduction']:.0f}",
+        f"{100 * b['sat']:.0f}", f"{100 * b['pickone']:.0f}",
+        f"{elapsed:.2f}",
+    ]
+
+
+def table4(names: Optional[Sequence[str]] = None, **kwargs) -> List[List[Any]]:
+    return [table4_row(name, **kwargs) for name in (names or BENCHMARK_MODULES)]
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — finitization parameters for BMC / sketchlite
+# ---------------------------------------------------------------------------
+
+
+TABLE5_HEADERS = ["benchmark", "unroll", "array size", "value range",
+                  "sketchlite |SAT|"]
+
+
+def table5_row(name: str, sketch_timeout: float = 60.0) -> List[Any]:
+    bench = get_benchmark(name)
+    task = bench.task
+    template = build_template(task)
+    bounds = BmcBounds(unroll=task.bmc_unroll, array_size=task.bmc_array_size,
+                       value_range=task.bmc_value_range, max_cases=2000)
+    sketch = run_sketchlite(task, template, bounds, timeout=sketch_timeout)
+    return [name, task.bmc_unroll, task.bmc_array_size,
+            f"{task.bmc_value_range}",
+            sketch.sat_clauses if sketch.status != "unsupported" else "n/a"]
+
+
+def table5(names: Optional[Sequence[str]] = None, **kwargs) -> List[List[Any]]:
+    return [table5_row(name, **kwargs) for name in (names or BENCHMARK_MODULES)]
+
+
+# ---------------------------------------------------------------------------
+# Section 2.3/2.4 ablations
+# ---------------------------------------------------------------------------
+
+
+def ablation_pickone(name: str = "sumi", seeds: Sequence[int] = (1, 2, 3),
+                     config: Optional[PinsConfig] = None):
+    bench = get_benchmark(name)
+    return compare_pickone(bench.task, list(seeds), config)
+
+
+def ablation_path_explosion(name: str = "inplace_rl", max_unroll: int = 3):
+    bench = get_benchmark(name)
+    return path_explosion(bench.task, max_unroll)

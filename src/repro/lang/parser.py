@@ -1,0 +1,402 @@
+"""A small recursive-descent parser for the template language.
+
+The accepted syntax is exactly what :mod:`repro.lang.pretty` prints, plus
+conventional operator precedence so hand-written sources do not need full
+parenthesization.  Guarded ``if (p)`` / ``while (p)`` forms parse to
+:class:`~repro.lang.ast.GIf` / :class:`~repro.lang.ast.GWhile`; starred
+forms parse to the nondeterministic nodes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from . import ast
+from .ast import (
+    And,
+    ArithOp,
+    Assign,
+    Assume,
+    BinOp,
+    BoolLit,
+    Cmp,
+    CmpOp,
+    Expr,
+    FunApp,
+    GIf,
+    GWhile,
+    If,
+    In,
+    IntLit,
+    Not,
+    Or,
+    Out,
+    Pred,
+    Program,
+    Select,
+    Sort,
+    Unknown,
+    UnknownPred,
+    Update,
+    Var,
+    While,
+    seq,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed input, with position information."""
+
+    def __init__(self, message: str, pos: int, text: str):
+        line = text.count("\n", 0, pos) + 1
+        col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.pos = pos
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>\d+)
+  | (?P<assign>:=)
+  | (?P<op>&&|\|\||!=|<=|>=|[-+*/%<>=!,;(){}\[\]])
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_SORTS = {s.value: s for s in Sort}
+_KEYWORDS = {"if", "else", "while", "assume", "in", "out", "exit", "skip",
+             "sel", "upd", "true", "false", "program"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            tokens.append((kind, m.group(), pos))
+        pos = m.end()
+    tokens.append(("eof", "", pos))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.idx = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self) -> Tuple[str, str, int]:
+        return self.tokens[self.idx]
+
+    def at(self, value: str) -> bool:
+        return self.peek()[1] == value
+
+    def accept(self, value: str) -> bool:
+        if self.at(value):
+            self.idx += 1
+            return True
+        return False
+
+    def expect(self, value: str) -> None:
+        if not self.accept(value):
+            kind, got, pos = self.peek()
+            raise ParseError(f"expected {value!r}, found {got!r}", pos, self.text)
+
+    def expect_name(self) -> str:
+        kind, value, pos = self.peek()
+        if kind != "name":
+            raise ParseError(f"expected identifier, found {value!r}", pos, self.text)
+        self.idx += 1
+        return value
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._additive()
+
+    def _additive(self) -> Expr:
+        e = self._multiplicative()
+        while True:
+            if self.accept("+"):
+                e = BinOp(ArithOp.ADD, e, self._multiplicative())
+            elif self.accept("-"):
+                e = BinOp(ArithOp.SUB, e, self._multiplicative())
+            else:
+                return e
+
+    def _multiplicative(self) -> Expr:
+        e = self._unary()
+        while True:
+            if self.accept("*"):
+                e = BinOp(ArithOp.MUL, e, self._unary())
+            elif self.accept("/"):
+                e = BinOp(ArithOp.DIV, e, self._unary())
+            elif self.accept("%"):
+                e = BinOp(ArithOp.MOD, e, self._unary())
+            else:
+                return e
+
+    def _unary(self) -> Expr:
+        if self.accept("-"):
+            inner = self._unary()
+            if isinstance(inner, IntLit):
+                return IntLit(-inner.value)
+            return BinOp(ArithOp.SUB, IntLit(0), inner)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        kind, value, pos = self.peek()
+        if kind == "num":
+            self.idx += 1
+            return IntLit(int(value))
+        if self.accept("("):
+            e = self.parse_expr()
+            self.expect(")")
+            return e
+        if self.accept("["):
+            name = self.expect_name()
+            self.expect("]")
+            return Unknown(name)
+        if value == "sel":
+            self.idx += 1
+            self.expect("(")
+            arr = self.parse_expr()
+            self.expect(",")
+            idx = self.parse_expr()
+            self.expect(")")
+            return Select(arr, idx)
+        if value == "upd":
+            self.idx += 1
+            self.expect("(")
+            arr = self.parse_expr()
+            self.expect(",")
+            idx = self.parse_expr()
+            self.expect(",")
+            val = self.parse_expr()
+            self.expect(")")
+            return Update(arr, idx, val)
+        if kind == "name":
+            self.idx += 1
+            if self.at("("):
+                self.expect("(")
+                args: List[Expr] = []
+                if not self.at(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return FunApp(value, tuple(args))
+            return Var(value)
+        raise ParseError(f"expected expression, found {value!r}", pos, self.text)
+
+    # -- predicates ----------------------------------------------------------
+
+    _CMP_OPS = {
+        "=": CmpOp.EQ,
+        "!=": CmpOp.NE,
+        "<": CmpOp.LT,
+        "<=": CmpOp.LE,
+        ">": CmpOp.GT,
+        ">=": CmpOp.GE,
+    }
+
+    def parse_pred(self) -> Pred:
+        return self._or_pred()
+
+    def _or_pred(self) -> Pred:
+        parts = [self._and_pred()]
+        while self.accept("||"):
+            parts.append(self._and_pred())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _and_pred(self) -> Pred:
+        parts = [self._atom_pred()]
+        while self.accept("&&"):
+            parts.append(self._atom_pred())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _atom_pred(self) -> Pred:
+        kind, value, pos = self.peek()
+        if self.accept("!"):
+            self.expect("(")
+            inner = self.parse_pred()
+            self.expect(")")
+            return Not(inner)
+        if value == "true":
+            self.idx += 1
+            return ast.TRUE
+        if value == "false":
+            self.idx += 1
+            return ast.FALSE
+        if value == "[":
+            # Could be an unknown predicate or an unknown expression in a
+            # comparison; backtrack if a comparison operator follows.
+            save = self.idx
+            self.expect("[")
+            name = self.expect_name()
+            self.expect("]")
+            if self.peek()[1] in self._CMP_OPS:
+                self.idx = save
+            else:
+                return UnknownPred(name)
+        if value == "(":
+            # A parenthesis may open a nested predicate or a compound
+            # expression; try the predicate reading first and fall back.
+            save = self.idx
+            try:
+                self.expect("(")
+                inner = self.parse_pred()
+                self.expect(")")
+                if self.peek()[1] not in self._CMP_OPS and not isinstance(inner, Cmp):
+                    return inner
+                if self.peek()[1] not in self._CMP_OPS:
+                    return inner
+            except ParseError:
+                pass
+            self.idx = save
+        left = self.parse_expr()
+        kind, value, pos = self.peek()
+        if value not in self._CMP_OPS:
+            raise ParseError(f"expected comparison operator, found {value!r}", pos, self.text)
+        self.idx += 1
+        right = self.parse_expr()
+        return Cmp(self._CMP_OPS[value], left, right)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_stmts(self) -> ast.Stmt:
+        stmts: List[ast.Stmt] = []
+        while not self.at("}") and self.peek()[0] != "eof":
+            stmts.append(self.parse_stmt())
+        return seq(*stmts)
+
+    def _block(self) -> ast.Stmt:
+        self.expect("{")
+        body = self.parse_stmts()
+        self.expect("}")
+        return body
+
+    def parse_stmt(self) -> ast.Stmt:
+        kind, value, pos = self.peek()
+        if value == "assume":
+            self.idx += 1
+            self.expect("(")
+            p = self.parse_pred()
+            self.expect(")")
+            self.expect(";")
+            return Assume(p)
+        if value == "if":
+            self.idx += 1
+            self.expect("(")
+            star = self.accept("*")
+            cond = None if star else self.parse_pred()
+            self.expect(")")
+            then = self._block()
+            els: ast.Stmt = ast.SKIP
+            if self.accept("else"):
+                els = self._block()
+            if star:
+                return If(then, els)
+            assert cond is not None
+            return GIf(cond, then, els)
+        if value == "while":
+            self.idx += 1
+            self.expect("(")
+            star = self.accept("*")
+            cond = None if star else self.parse_pred()
+            self.expect(")")
+            body = self._block()
+            if star:
+                return While(body)
+            assert cond is not None
+            return GWhile(cond, body)
+        if value in ("in", "out"):
+            self.idx += 1
+            self.expect("(")
+            names = [self.expect_name()]
+            while self.accept(","):
+                names.append(self.expect_name())
+            self.expect(")")
+            self.expect(";")
+            return In(tuple(names)) if value == "in" else Out(tuple(names))
+        if value == "exit":
+            self.idx += 1
+            self.expect(";")
+            return ast.EXIT
+        if value == "skip":
+            self.idx += 1
+            self.expect(";")
+            return ast.SKIP
+        # Otherwise: parallel assignment.
+        targets = [self.expect_name()]
+        while self.accept(","):
+            targets.append(self.expect_name())
+        self.expect(":=")
+        exprs = [self.parse_expr()]
+        while self.accept(","):
+            exprs.append(self.parse_expr())
+        self.expect(";")
+        return Assign(tuple(targets), tuple(exprs))
+
+    def parse_program(self) -> Program:
+        self.expect("program")
+        name = self.expect_name()
+        decls = {}
+        self.expect("[")
+        if not self.at("]"):
+            while True:
+                sort_name = self.expect_name()
+                if sort_name not in _SORTS:
+                    raise ParseError(f"unknown sort {sort_name!r}", self.peek()[2], self.text)
+                var = self.expect_name()
+                decls[var] = _SORTS[sort_name]
+                if not self.accept(";"):
+                    break
+        self.expect("]")
+        body = self._block()
+        return Program(name, decls, body)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a complete ``program name [decls] { ... }`` unit."""
+    parser = _Parser(text)
+    prog = parser.parse_program()
+    if parser.peek()[0] != "eof":
+        raise ParseError("trailing input", parser.peek()[2], text)
+    return prog
+
+
+def parse_stmt(text: str) -> ast.Stmt:
+    """Parse a statement sequence."""
+    parser = _Parser(text)
+    stmt = parser.parse_stmts()
+    if parser.peek()[0] != "eof":
+        raise ParseError("trailing input", parser.peek()[2], text)
+    return stmt
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a single expression."""
+    parser = _Parser(text)
+    e = parser.parse_expr()
+    if parser.peek()[0] != "eof":
+        raise ParseError("trailing input", parser.peek()[2], text)
+    return e
+
+
+def parse_pred(text: str) -> Pred:
+    """Parse a single predicate."""
+    parser = _Parser(text)
+    p = parser.parse_pred()
+    if parser.peek()[0] != "eof":
+        raise ParseError("trailing input", parser.peek()[2], text)
+    return p

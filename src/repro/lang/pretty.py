@@ -1,0 +1,158 @@
+"""Pretty-printer for the template language.
+
+Produces the concrete syntax accepted by :mod:`repro.lang.parser`, so
+``parse(pretty(p))`` round-trips (tested property-style in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from . import ast
+from .ast import (
+    And,
+    Assign,
+    Assume,
+    BinOp,
+    BoolLit,
+    Cmp,
+    Expr,
+    Exit,
+    FunApp,
+    GIf,
+    GWhile,
+    HoleExpr,
+    HolePred,
+    If,
+    In,
+    IntLit,
+    Not,
+    Or,
+    Out,
+    Pred,
+    Select,
+    Seq,
+    Skip,
+    Stmt,
+    Unknown,
+    UnknownPred,
+    Update,
+    Var,
+    While,
+)
+
+INDENT = "  "
+
+
+def pretty_expr(e: Expr) -> str:
+    """Render an expression."""
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, IntLit):
+        return str(e.value)
+    if isinstance(e, BinOp):
+        return f"({pretty_expr(e.left)} {e.op.value} {pretty_expr(e.right)})"
+    if isinstance(e, Select):
+        return f"sel({pretty_expr(e.array)}, {pretty_expr(e.index)})"
+    if isinstance(e, Update):
+        return (
+            f"upd({pretty_expr(e.array)}, {pretty_expr(e.index)}, {pretty_expr(e.value)})"
+        )
+    if isinstance(e, FunApp):
+        return f"{e.name}({', '.join(pretty_expr(a) for a in e.args)})"
+    if isinstance(e, Unknown):
+        return f"[{e.name}]"
+    if isinstance(e, HoleExpr):
+        vm = ", ".join(f"{n}:{ver}" for n, ver in e.vmap)
+        return f"[{e.name}]^{{{vm}}}"
+    raise TypeError(f"unexpected expression {e!r}")
+
+
+def pretty_pred(p: Pred) -> str:
+    """Render a predicate."""
+    if isinstance(p, BoolLit):
+        return "true" if p.value else "false"
+    if isinstance(p, Cmp):
+        return f"{pretty_expr(p.left)} {p.op.value} {pretty_expr(p.right)}"
+    if isinstance(p, And):
+        return "(" + " && ".join(pretty_pred(q) for q in p.parts) + ")"
+    if isinstance(p, Or):
+        return "(" + " || ".join(pretty_pred(q) for q in p.parts) + ")"
+    if isinstance(p, Not):
+        return f"!({pretty_pred(p.pred)})"
+    if isinstance(p, UnknownPred):
+        return f"[{p.name}]"
+    if isinstance(p, HolePred):
+        vm = ", ".join(f"{n}:{ver}" for n, ver in p.vmap)
+        return f"[{p.name}]^{{{vm}}}"
+    raise TypeError(f"unexpected predicate {p!r}")
+
+
+def _render(stmt: Stmt, lines: List[str], depth: int) -> None:
+    pad = INDENT * depth
+    if isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _render(s, lines, depth)
+    elif isinstance(stmt, Assign):
+        lhs = ", ".join(stmt.targets)
+        rhs = ", ".join(pretty_expr(e) for e in stmt.exprs)
+        lines.append(f"{pad}{lhs} := {rhs};")
+    elif isinstance(stmt, Assume):
+        lines.append(f"{pad}assume({pretty_pred(stmt.pred)});")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if (*) {{")
+        _render(stmt.then, lines, depth + 1)
+        lines.append(f"{pad}}} else {{")
+        _render(stmt.els, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, While):
+        lines.append(f"{pad}while (*) {{")
+        _render(stmt.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, GIf):
+        lines.append(f"{pad}if ({pretty_pred(stmt.cond)}) {{")
+        _render(stmt.then, lines, depth + 1)
+        lines.append(f"{pad}}} else {{")
+        _render(stmt.els, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, GWhile):
+        lines.append(f"{pad}while ({pretty_pred(stmt.cond)}) {{")
+        _render(stmt.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, In):
+        lines.append(f"{pad}in({', '.join(stmt.names)});")
+    elif isinstance(stmt, Out):
+        lines.append(f"{pad}out({', '.join(stmt.names)});")
+    elif isinstance(stmt, Exit):
+        lines.append(f"{pad}exit;")
+    elif isinstance(stmt, Skip):
+        lines.append(f"{pad}skip;")
+    else:
+        raise TypeError(f"unexpected statement {stmt!r}")
+
+
+def pretty_stmt(stmt: Stmt, depth: int = 0) -> str:
+    """Render a statement tree as indented source text."""
+    lines: List[str] = []
+    _render(stmt, lines, depth)
+    return "\n".join(lines)
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a whole program, including its declarations header."""
+    decls = "; ".join(f"{sort.value} {name}" for name, sort in sorted(program.decls.items()))
+    header = f"program {program.name} [{decls}] {{"
+    return "\n".join([header, pretty_stmt(program.body, 1), "}"])
+
+
+def pretty(node: Union[ast.Program, Stmt, Expr, Pred]) -> str:
+    """Render any AST node."""
+    if isinstance(node, ast.Program):
+        return pretty_program(node)
+    if isinstance(node, Stmt):
+        return pretty_stmt(node)
+    if isinstance(node, Expr):
+        return pretty_expr(node)
+    if isinstance(node, Pred):
+        return pretty_pred(node)
+    raise TypeError(f"cannot pretty-print {node!r}")

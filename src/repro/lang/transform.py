@@ -1,0 +1,387 @@
+"""Program transformations: desugaring, substitution, renaming.
+
+These are the workhorse passes used throughout the system:
+
+* :func:`desugar` rewrites guarded conditionals and loops into the paper's
+  nondeterministic normal form (``if(*)`` / ``while(*)`` + ``assume``).
+* :func:`substitute_solution` replaces unknowns by their chosen candidates,
+  turning a template into an executable program.
+* :func:`rename_expr` / :func:`rename_pred` apply variable renamings, used
+  by template mining (priming variables) and by solution application
+  (versioning variables according to a version map).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from . import ast
+from .ast import (
+    And,
+    Assign,
+    Assume,
+    BinOp,
+    BoolLit,
+    Cmp,
+    Expr,
+    Exit,
+    FunApp,
+    GIf,
+    GWhile,
+    HoleExpr,
+    HolePred,
+    If,
+    In,
+    IntLit,
+    Not,
+    Or,
+    Out,
+    Pred,
+    Select,
+    Seq,
+    Skip,
+    Stmt,
+    Unknown,
+    UnknownPred,
+    Update,
+    Var,
+    While,
+    conj,
+    negate,
+    seq,
+)
+
+ExprMap = Callable[[Expr], Optional[Expr]]
+
+
+def map_expr(e: Expr, fn: ExprMap) -> Expr:
+    """Bottom-up rewrite of an expression; ``fn`` may return None to keep."""
+    if isinstance(e, (Var, IntLit, Unknown, HoleExpr)):
+        out: Expr = e
+    elif isinstance(e, BinOp):
+        out = BinOp(e.op, map_expr(e.left, fn), map_expr(e.right, fn))
+    elif isinstance(e, Select):
+        out = Select(map_expr(e.array, fn), map_expr(e.index, fn))
+    elif isinstance(e, Update):
+        out = Update(map_expr(e.array, fn), map_expr(e.index, fn), map_expr(e.value, fn))
+    elif isinstance(e, FunApp):
+        out = FunApp(e.name, tuple(map_expr(a, fn) for a in e.args))
+    else:
+        raise TypeError(f"unexpected expression node {e!r}")
+    replaced = fn(out)
+    return out if replaced is None else replaced
+
+
+def map_pred(p: Pred, fn: ExprMap, pfn: Optional[Callable[[Pred], Optional[Pred]]] = None) -> Pred:
+    """Bottom-up rewrite of a predicate, applying ``fn`` to leaf expressions."""
+    if isinstance(p, (BoolLit, UnknownPred, HolePred)):
+        out: Pred = p
+    elif isinstance(p, Cmp):
+        out = Cmp(p.op, map_expr(p.left, fn), map_expr(p.right, fn))
+    elif isinstance(p, And):
+        out = And(tuple(map_pred(q, fn, pfn) for q in p.parts))
+    elif isinstance(p, Or):
+        out = Or(tuple(map_pred(q, fn, pfn) for q in p.parts))
+    elif isinstance(p, Not):
+        out = Not(map_pred(p.pred, fn, pfn))
+    else:
+        raise TypeError(f"unexpected predicate node {p!r}")
+    if pfn is not None:
+        replaced = pfn(out)
+        if replaced is not None:
+            return replaced
+    return out
+
+
+def rename_expr(e: Expr, renaming: Mapping[str, str]) -> Expr:
+    """Rename variables in an expression according to ``renaming``."""
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Var) and node.name in renaming:
+            return Var(renaming[node.name])
+        return None
+
+    return map_expr(e, fn)
+
+
+def rename_pred(p: Pred, renaming: Mapping[str, str]) -> Pred:
+    """Rename variables in a predicate according to ``renaming``."""
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Var) and node.name in renaming:
+            return Var(renaming[node.name])
+        return None
+
+    return map_pred(p, fn)
+
+
+def map_stmt(stmt: Stmt, fn: Callable[[Stmt], Optional[Stmt]]) -> Stmt:
+    """Bottom-up rewrite of a statement tree."""
+    if isinstance(stmt, Seq):
+        out: Stmt = seq(*(map_stmt(s, fn) for s in stmt.stmts))
+    elif isinstance(stmt, If):
+        out = If(map_stmt(stmt.then, fn), map_stmt(stmt.els, fn))
+    elif isinstance(stmt, While):
+        out = While(map_stmt(stmt.body, fn), stmt.loop_id)
+    elif isinstance(stmt, GIf):
+        out = GIf(stmt.cond, map_stmt(stmt.then, fn), map_stmt(stmt.els, fn))
+    elif isinstance(stmt, GWhile):
+        out = GWhile(stmt.cond, map_stmt(stmt.body, fn), stmt.loop_id)
+    else:
+        out = stmt
+    replaced = fn(out)
+    return out if replaced is None else replaced
+
+
+def rename_stmt(stmt: Stmt, renaming: Mapping[str, str]) -> Stmt:
+    """Rename variables (targets and uses) across a whole statement tree."""
+
+    def fn(s: Stmt) -> Optional[Stmt]:
+        if isinstance(s, Assign):
+            return Assign(
+                tuple(renaming.get(t, t) for t in s.targets),
+                tuple(rename_expr(e, renaming) for e in s.exprs),
+            )
+        if isinstance(s, Assume):
+            return Assume(rename_pred(s.pred, renaming))
+        if isinstance(s, GIf):
+            return GIf(rename_pred(s.cond, renaming), s.then, s.els)
+        if isinstance(s, GWhile):
+            return GWhile(rename_pred(s.cond, renaming), s.body, s.loop_id)
+        if isinstance(s, In):
+            return In(tuple(renaming.get(x, x) for x in s.names))
+        if isinstance(s, Out):
+            return Out(tuple(renaming.get(x, x) for x in s.names))
+        return None
+
+    return map_stmt(stmt, fn)
+
+
+# ---------------------------------------------------------------------------
+# Desugaring guarded statements to nondeterministic normal form
+# ---------------------------------------------------------------------------
+
+
+def desugar(stmt: Stmt, _counter: Optional[itertools.count] = None) -> Stmt:
+    """Rewrite guarded conditionals/loops into ``if(*)``/``while(*)`` form.
+
+    Per the paper: ``if(p) s1 else s2`` becomes
+    ``if(*)(assume(p); s1) else (assume(!p); s2)`` and ``while(p) s``
+    becomes ``while(*)(assume(p); s); assume(!p)``.  Loops that lack an id
+    get a fresh one so termination constraints can refer to them.
+    """
+    if _counter is None:
+        _counter = itertools.count()
+
+    def fresh(loop_id: str) -> str:
+        return loop_id if loop_id else f"loop{next(_counter)}"
+
+    if isinstance(stmt, Seq):
+        return seq(*(desugar(s, _counter) for s in stmt.stmts))
+    if isinstance(stmt, GIf):
+        return If(
+            seq(Assume(stmt.cond), desugar(stmt.then, _counter)),
+            seq(Assume(negate(stmt.cond)), desugar(stmt.els, _counter)),
+        )
+    if isinstance(stmt, GWhile):
+        return seq(
+            While(seq(Assume(stmt.cond), desugar(stmt.body, _counter)), fresh(stmt.loop_id)),
+            Assume(negate(stmt.cond)),
+        )
+    if isinstance(stmt, If):
+        return If(desugar(stmt.then, _counter), desugar(stmt.els, _counter))
+    if isinstance(stmt, While):
+        return While(desugar(stmt.body, _counter), fresh(stmt.loop_id))
+    return stmt
+
+
+def desugar_program(program: ast.Program) -> ast.Program:
+    """Desugar a program's body, appending ``exit`` if absent."""
+    body = desugar(program.body)
+    if not any(isinstance(s, Exit) for s in ast.walk_stmts(body)):
+        body = seq(body, ast.EXIT)
+    return program.with_body(body)
+
+
+# ---------------------------------------------------------------------------
+# Solution substitution
+# ---------------------------------------------------------------------------
+
+
+def vmap_renaming(vmap: ast.VersionMap) -> dict:
+    """Renaming from plain names to versioned names per a version map."""
+    return {name: versioned_name(name, ver) for name, ver in vmap}
+
+
+def versioned_name(name: str, version: int) -> str:
+    """The SSA-style name of ``name`` at ``version`` (``x#3``)."""
+    return f"{name}#{version}"
+
+
+def unversioned_name(name: str) -> str:
+    """Strip a version suffix, if present."""
+    return name.split("#", 1)[0]
+
+
+def substitute_expr(e: Expr, solution: Mapping[str, Expr]) -> Expr:
+    """Replace :class:`Unknown` nodes by their solution candidates.
+
+    Unknowns missing from ``solution`` are left in place (partial maps are
+    allowed, mirroring ``S(p) = p`` for unmapped ``p`` in the paper).
+    """
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Unknown) and node.name in solution:
+            return solution[node.name]
+        if isinstance(node, HoleExpr) and node.name in solution:
+            return rename_expr(solution[node.name], vmap_renaming(node.vmap))
+        return None
+
+    return map_expr(e, fn)
+
+
+def substitute_pred(
+    e: Pred,
+    solution: Mapping[str, Expr],
+    pred_solution: Mapping[str, Sequence[Pred]],
+) -> Pred:
+    """Replace unknown predicates by conjunctions of their chosen candidates.
+
+    Predicate unknowns map to a *tuple* of candidate predicates, denoting
+    their conjunction (an empty tuple denotes ``true``), matching the
+    paper's note that "each unknown predicate can be instantiated with a
+    subset, denoting conjunction, from Phi_p".
+    """
+
+    def efn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Unknown) and node.name in solution:
+            return solution[node.name]
+        if isinstance(node, HoleExpr) and node.name in solution:
+            return rename_expr(solution[node.name], vmap_renaming(node.vmap))
+        return None
+
+    def pfn(node: Pred) -> Optional[Pred]:
+        if isinstance(node, UnknownPred) and node.name in pred_solution:
+            return conj(pred_solution[node.name])
+        if isinstance(node, HolePred) and node.name in pred_solution:
+            renaming = vmap_renaming(node.vmap)
+            return conj(rename_pred(q, renaming) for q in pred_solution[node.name])
+        return None
+
+    return map_pred(e, efn, pfn)
+
+
+def substitute_stmt(
+    stmt: Stmt,
+    solution: Mapping[str, Expr],
+    pred_solution: Mapping[str, Sequence[Pred]],
+) -> Stmt:
+    """Apply a solution across a statement tree."""
+
+    def fn(s: Stmt) -> Optional[Stmt]:
+        if isinstance(s, Assign):
+            return Assign(s.targets, tuple(substitute_expr(e, solution) for e in s.exprs))
+        if isinstance(s, Assume):
+            return Assume(substitute_pred(s.pred, solution, pred_solution))
+        if isinstance(s, GIf):
+            return GIf(substitute_pred(s.cond, solution, pred_solution), s.then, s.els)
+        if isinstance(s, GWhile):
+            return GWhile(substitute_pred(s.cond, solution, pred_solution), s.body, s.loop_id)
+        return None
+
+    return map_stmt(stmt, fn)
+
+
+def version_expr(e: Expr, vmap: Mapping[str, int]) -> Expr:
+    """Rewrite plain variables into their versioned names.
+
+    Unknowns become :class:`HoleExpr` nodes carrying the frozen version map
+    (the ``e^V`` pairing of the paper's symbolic executor).
+    """
+    frozen = ast.freeze_vmap(vmap)
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Var):
+            return Var(versioned_name(node.name, dict(frozen).get(node.name, 0)))
+        if isinstance(node, Unknown):
+            return HoleExpr(node.name, frozen)
+        return None
+
+    return map_expr(e, fn)
+
+
+def version_pred(p: Pred, vmap: Mapping[str, int]) -> Pred:
+    """Rewrite plain variables in a predicate into versioned names."""
+    frozen = ast.freeze_vmap(vmap)
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, Var):
+            return Var(versioned_name(node.name, dict(frozen).get(node.name, 0)))
+        if isinstance(node, Unknown):
+            return HoleExpr(node.name, frozen)
+        return None
+
+    def pfn(node: Pred) -> Optional[Pred]:
+        if isinstance(node, UnknownPred):
+            return HolePred(node.name, frozen)
+        return None
+
+    return map_pred(p, fn, pfn)
+
+
+# ---------------------------------------------------------------------------
+# Composition (P ; T) for inversion
+# ---------------------------------------------------------------------------
+
+
+def compose(program: ast.Program, template: ast.Program, name: str = "") -> ast.Program:
+    """Concatenate a program with its inverse template.
+
+    The composed program keeps the original's ``in`` declaration and the
+    template's ``out`` declaration; the original ``out`` and template ``in``
+    are retained in the body (symbolic execution ignores them) so the
+    specification generator can pair them up.
+    """
+    decls = dict(program.decls)
+    for var, sort in template.decls.items():
+        if var in decls and decls[var] is not sort:
+            raise ValueError(
+                f"variable {var!r} declared as {decls[var]} in {program.name!r} "
+                f"but {sort} in {template.name!r}"
+            )
+        decls[var] = sort
+    body = seq(program.body, template.body)
+    if not any(isinstance(s, Exit) for s in ast.walk_stmts(body)):
+        body = seq(body, ast.EXIT)
+    return ast.Program(name or f"{program.name}+{template.name}", decls, body)
+
+
+# ---------------------------------------------------------------------------
+# Simple measurements used by the experiment tables
+# ---------------------------------------------------------------------------
+
+
+def loc_of(stmt: Stmt) -> int:
+    """Count lines-of-code the way the paper does for Table 1.
+
+    Loop guards count as their own line; a parallel assignment to k
+    variables counts as k lines; structural nodes (Seq) are free.
+    """
+    if isinstance(stmt, Seq):
+        return sum(loc_of(s) for s in stmt.stmts)
+    if isinstance(stmt, Assign):
+        return len(stmt.targets)
+    if isinstance(stmt, (Assume, In, Out, Exit)):
+        return 1
+    if isinstance(stmt, If):
+        return 1 + loc_of(stmt.then) + loc_of(stmt.els)
+    if isinstance(stmt, While):
+        return 1 + loc_of(stmt.body)
+    if isinstance(stmt, GIf):
+        return 1 + loc_of(stmt.then) + loc_of(stmt.els)
+    if isinstance(stmt, GWhile):
+        return 1 + loc_of(stmt.body)
+    if isinstance(stmt, Skip):
+        return 0
+    return 1

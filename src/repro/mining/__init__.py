@@ -1,0 +1,12 @@
+"""Semi-automated template mining (Section 3 of the paper)."""
+
+from .builder import SkeletonOptions, build_skeleton
+from .miner import MinedSets, default_prime, harvest, mine, positive_counters, read_retarget
+from .projections import (
+    INVERSION_PROJECTIONS,
+    Projection,
+    iterator_positive_projection,
+    out_scalar_projection,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

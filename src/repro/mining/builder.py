@@ -1,0 +1,107 @@
+"""Inverse-template skeleton construction (Section 3).
+
+The paper's recipe: "make a template program with the same control flow
+structure as the original program text, but replacing guards with
+unknowns.  For each assignment statement, we either simply replace its
+right-hand side with an unknown, or we opt to invert it ... We also
+decide whether to keep sequences as-is or reverse them."
+
+:func:`build_skeleton` automates the mechanical part; the human choices
+(which loops to reverse, which assignments to drop) are parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast
+from ..lang.ast import (
+    Assign,
+    Assume,
+    GIf,
+    GWhile,
+    In,
+    Out,
+    Program,
+    Skip,
+    Stmt,
+    Unknown,
+    UnknownPred,
+)
+from .miner import default_prime
+
+
+@dataclass
+class SkeletonOptions:
+    """The human decisions in the semi-automated workflow."""
+
+    reverse_loops: Set[str] = field(default_factory=set)
+    """Loop ids whose body statement order should be reversed (the paper
+    reverses the inner run-length loop: the inverse *re-expands* what the
+    original compressed)."""
+
+    drop_assignments_to: Set[str] = field(default_factory=set)
+    """Variables whose assignments are dropped from the skeleton (the
+    paper removes the ``i', A', N`` assignments of lines 8-10)."""
+
+    prime: Callable[[str], str] = default_prime
+
+
+def build_skeleton(program: Program, options: Optional[SkeletonOptions] = None,
+                   name: str = "") -> Program:
+    """Derive an inverse-template skeleton from the original program."""
+    options = options or SkeletonOptions()
+    prime = options.prime
+    counter = itertools.count(1)
+
+    def fresh_expr() -> Unknown:
+        return Unknown(f"e{next(counter)}")
+
+    pred_counter = itertools.count(1)
+
+    def fresh_pred() -> UnknownPred:
+        return UnknownPred(f"p{next(pred_counter)}")
+
+    outputs = set(program.outputs)
+
+    def rewrite(stmt: Stmt, loop_path: Tuple[str, ...]) -> Stmt:
+        if isinstance(stmt, ast.Seq):
+            parts = [rewrite(s, loop_path) for s in stmt.stmts]
+            loop_id = loop_path[-1] if loop_path else ""
+            if loop_id in options.reverse_loops:
+                parts.reverse()
+            return ast.seq(*parts)
+        if isinstance(stmt, Assign):
+            kept_targets = [t for t in stmt.targets
+                            if t not in options.drop_assignments_to]
+            if not kept_targets:
+                return ast.SKIP
+            return Assign(tuple(prime(t) for t in kept_targets),
+                          tuple(fresh_expr() for _ in kept_targets))
+        if isinstance(stmt, GWhile):
+            body = rewrite(stmt.body, loop_path + (stmt.loop_id or "anon",))
+            return GWhile(fresh_pred(), body, stmt.loop_id)
+        if isinstance(stmt, GIf):
+            return GIf(fresh_pred(),
+                       rewrite(stmt.then, loop_path),
+                       rewrite(stmt.els, loop_path))
+        if isinstance(stmt, Assume):
+            return ast.SKIP  # preconditions of P do not transfer
+        if isinstance(stmt, In):
+            # The inverse reads what P produced: its "in" is P's out.
+            return ast.SKIP
+        if isinstance(stmt, Out):
+            # The inverse outputs the primed reconstruction of P's inputs.
+            return ast.SKIP
+        return ast.SKIP
+
+    body = rewrite(program.body, ())
+    out_vars = tuple(prime(v) for v in program.inputs)
+    body = ast.seq(body, Out(out_vars))
+
+    decls = dict(program.decls)
+    for var in program.decls:
+        decls[prime(var)] = program.decls[var]
+    return Program(name or f"{program.name}_inv_skeleton", decls, body)

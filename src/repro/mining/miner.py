@@ -1,0 +1,194 @@
+"""Semi-automated template mining (Section 3).
+
+Three steps, exactly as described in the paper:
+
+1. *Harvest*: traverse the program text collecting every assignment
+   right-hand side, every assumed/guarding predicate, and the ``in``/
+   ``out`` variables.
+2. *Project*: apply every inversion projection to every harvested term;
+   the identity projection keeps the originals.  Scalar ``out`` variables
+   additionally produce scan predicates (``m' < m``), and loop counters
+   initialized positive produce positivity guards (``r' > 0``).
+3. *Rename*: variables are renamed to fresh (primed) names; terms that
+   mention variables unavailable to the inverse (inputs of ``P`` that are
+   not outputs) are automatically deleted, like the paper deletes
+   everything referring to ``n`` for run-length.
+
+The result is a *starting point*: the user picks a subset, runs PINS, and
+iterates (Section 3's workflow); :func:`read_retarget` generates the
+"read from the unprimed output array" variants used in that manual step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Set, Tuple, Union
+
+from ..lang import ast
+from ..lang.ast import (
+    Assign,
+    Assume,
+    Cmp,
+    Expr,
+    GIf,
+    GWhile,
+    IntLit,
+    Pred,
+    Program,
+    Select,
+    Update,
+    Var,
+)
+from ..lang.transform import rename_expr, rename_pred
+from .projections import (
+    INVERSION_PROJECTIONS,
+    iterator_positive_projection,
+    out_scalar_projection,
+)
+
+Node = Union[Expr, Pred]
+
+
+def default_prime(name: str) -> str:
+    """Our primed-name convention (the paper's ``x'`` is our ``xp``)."""
+    return name + "p"
+
+
+@dataclass
+class MinedSets:
+    """Result of mining: candidate sets plus provenance counts."""
+
+    exprs: Tuple[Expr, ...]
+    preds: Tuple[Pred, ...]
+    harvested_exprs: Tuple[Expr, ...]
+    harvested_preds: Tuple[Pred, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.exprs) + len(self.preds)
+
+
+def harvest(program: Program) -> Tuple[List[Expr], List[Pred]]:
+    """Step 1: all assignment RHSs and assumed predicates, in order."""
+    exprs: List[Expr] = []
+    preds: List[Pred] = []
+
+    def push_expr(e: Expr) -> None:
+        if e not in exprs:
+            exprs.append(e)
+
+    def push_pred(p: Pred) -> None:
+        parts = p.parts if isinstance(p, ast.And) else (p,)
+        for q in parts:
+            if q not in preds and not isinstance(q, ast.BoolLit):
+                preds.append(q)
+
+    for stmt in ast.walk_stmts(program.body):
+        if isinstance(stmt, Assign):
+            for e in stmt.exprs:
+                push_expr(e)
+        elif isinstance(stmt, Assume):
+            push_pred(stmt.pred)
+        elif isinstance(stmt, (GIf, GWhile)):
+            push_pred(stmt.cond)
+    return exprs, preds
+
+
+def positive_counters(program: Program) -> List[str]:
+    """Variables initialized to a positive constant (scan counters)."""
+    counters: List[str] = []
+    for stmt in ast.walk_stmts(program.body):
+        if isinstance(stmt, Assign):
+            for target, e in zip(stmt.targets, stmt.exprs):
+                if isinstance(e, IntLit) and e.value > 0 and target not in counters:
+                    counters.append(target)
+    return counters
+
+
+def mine(program: Program,
+         prime: Callable[[str], str] = default_prime) -> MinedSets:
+    """Run the full mining pipeline on a program to be inverted."""
+    raw_exprs, raw_preds = harvest(program)
+    outputs = set(program.outputs)
+    inputs = set(program.inputs)
+    unavailable = inputs - outputs  # inputs of P the inverse cannot read
+
+    projected_exprs: List[Expr] = []
+    projected_preds: List[Pred] = []
+
+    def push(node: Node) -> None:
+        target = projected_preds if isinstance(node, Pred) else projected_exprs
+        if node not in target:
+            target.append(node)
+
+    for node in list(raw_exprs) + list(raw_preds):
+        for projection in INVERSION_PROJECTIONS:
+            for out in projection(node):
+                push(out)
+    for out_var in program.outputs:
+        if not program.decls[out_var].is_array:
+            projected_preds.append(out_scalar_projection(out_var, prime))
+    for counter in positive_counters(program):
+        candidate = iterator_positive_projection(counter, prime)
+        if candidate not in projected_preds:
+            projected_preds.append(candidate)
+
+    renaming_all = {name: prime(name) for name in program.decls}
+    primed_unavailable = {prime(name) for name in unavailable}
+
+    def usable(node: Node) -> bool:
+        # Terms referring to variables the inverse cannot read (inputs of
+        # P that are not also outputs) are automatically deleted — the
+        # paper deletes everything referring to ``n`` for run-length.
+        return not (ast.expr_vars(node) & primed_unavailable)
+
+    exprs: List[Expr] = []
+    preds: List[Pred] = []
+    for e in projected_exprs:
+        renamed = rename_expr(e, renaming_all)
+        if usable(renamed) and renamed not in exprs:
+            exprs.append(renamed)
+    for p in projected_preds:
+        # out/iterator projectors emit predicates that already mix primed
+        # and unprimed names deliberately (e.g. m' < m); renaming the
+        # still-unprimed occurrences of non-output variables is a no-op
+        # for them because they only mention outputs.
+        renamed_p = rename_pred(
+            p, {k: v for k, v in renaming_all.items()
+                if k in ast.expr_vars(p) and not _mentions_primed(p, prime)})
+        if usable(renamed_p) and renamed_p not in preds:
+            preds.append(renamed_p)
+    return MinedSets(tuple(exprs), tuple(preds),
+                     tuple(raw_exprs), tuple(raw_preds))
+
+
+def _mentions_primed(p: Pred, prime: Callable[[str], str]) -> bool:
+    """True for predicates the projectors emitted pre-primed."""
+    names = ast.expr_vars(p)
+    return any(prime(base) in names for base in names)
+
+
+def read_retarget(exprs: Sequence[Expr], primed_array: str,
+                  source_array: str) -> Tuple[Expr, ...]:
+    """Rewrite ``sel(primed, x)`` to ``sel(source, x)`` inside updates.
+
+    This is the manual fix from the paper's run-length walkthrough: the
+    decoder must read compressed data from the *original* output array
+    ``A``, not from its own primed copy ``A'``.
+    """
+    from ..lang.transform import map_expr
+
+    def fix(e: Expr):
+        if isinstance(e, Select) and isinstance(e.array, Var) \
+                and e.array.name == primed_array:
+            return Select(Var(source_array), e.index)
+        return None
+
+    out: List[Expr] = []
+    for e in exprs:
+        if isinstance(e, Update):
+            fixed = Update(e.array, e.index, map_expr(e.value, fix))
+            out.append(fixed)
+        else:
+            out.append(e)
+    return tuple(out)

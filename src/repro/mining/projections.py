@@ -1,0 +1,129 @@
+"""The domain-specific projection operators of Section 3.
+
+A projection maps an expression or predicate harvested from the original
+program to a set of candidate expressions/predicates for the *inverse*.
+The paper uses eight projections for inversion; they "capture specific
+domain knowledge — in this case, that program inversion often requires
+inverting operations".  All projections are applied to all possible
+inputs, and the identity projection keeps every harvested term, so the
+mined set always contains the original program's expressions too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple, Union
+
+from ..lang import ast
+from ..lang.ast import (
+    ArithOp,
+    BinOp,
+    Cmp,
+    CmpOp,
+    Expr,
+    IntLit,
+    Pred,
+    Select,
+    Update,
+    Var,
+)
+
+Node = Union[Expr, Pred]
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A named projection operator."""
+
+    name: str
+    apply: Callable[[Node], Tuple[Node, ...]]
+
+    def __call__(self, node: Node) -> Tuple[Node, ...]:
+        return self.apply(node)
+
+
+def _identity(node: Node) -> Tuple[Node, ...]:
+    return (node,)
+
+
+def _addition_inversion(node: Node) -> Tuple[Node, ...]:
+    """``e1 + e2 -> e1 - e2`` (applied at the top level)."""
+    if isinstance(node, BinOp) and node.op is ArithOp.ADD:
+        return (BinOp(ArithOp.SUB, node.left, node.right),)
+    return ()
+
+
+def _subtraction_inversion(node: Node) -> Tuple[Node, ...]:
+    """``e1 - e2 -> e1 + e2``."""
+    if isinstance(node, BinOp) and node.op is ArithOp.SUB:
+        return (BinOp(ArithOp.ADD, node.left, node.right),)
+    return ()
+
+
+def _multiplication_inversion(node: Node) -> Tuple[Node, ...]:
+    """``e1 * e2 -> e1 / e2`` (and the reverse for division)."""
+    if isinstance(node, BinOp) and node.op is ArithOp.MUL:
+        return (BinOp(ArithOp.DIV, node.left, node.right),)
+    if isinstance(node, BinOp) and node.op is ArithOp.DIV:
+        return (BinOp(ArithOp.MUL, node.left, node.right),)
+    return ()
+
+
+def _copy_inversion(node: Node) -> Tuple[Node, ...]:
+    """``upd(A, i, sel(B, j)) -> upd(B, j, sel(A, i))``."""
+    if isinstance(node, Update) and isinstance(node.value, Select):
+        a, i = node.array, node.index
+        b, j = node.value.array, node.value.index
+        return (Update(b, j, Select(a, i)),)
+    return ()
+
+
+def _array_read(node: Node) -> Tuple[Node, ...]:
+    """``sel(A, i) op X -> sel(A, i)``: expose reads used in guards."""
+    if isinstance(node, Cmp):
+        out: List[Node] = []
+        if isinstance(node.left, Select):
+            out.append(node.left)
+        if isinstance(node.right, Select):
+            out.append(node.right)
+        return tuple(out)
+    return ()
+
+
+def _increment_inversion(node: Node) -> Tuple[Node, ...]:
+    """``x + 1 -> x - 1`` and vice versa (loop iterator reversal)."""
+    if isinstance(node, BinOp) and isinstance(node.right, IntLit):
+        if node.op is ArithOp.ADD:
+            return (BinOp(ArithOp.SUB, node.left, node.right),)
+        if node.op is ArithOp.SUB:
+            return (BinOp(ArithOp.ADD, node.left, node.right),)
+    return ()
+
+
+def out_scalar_projection(out_var: str, prime: Callable[[str], str]) -> Pred:
+    """``out(m)`` over ints yields the candidate predicate ``m' < m``.
+
+    The primed copy scans up to the original output — the paper's example
+    is ``m' < m`` for the run-length encoder.
+    """
+    return Cmp(CmpOp.LT, Var(prime(out_var)), Var(out_var))
+
+
+def iterator_positive_projection(var: str, prime: Callable[[str], str]) -> Pred:
+    """A loop counter ``r`` initialized positive yields ``r' > 0``."""
+    return Cmp(CmpOp.GT, Var(prime(var)), ast.n(0))
+
+
+INVERSION_PROJECTIONS: Tuple[Projection, ...] = (
+    Projection("identity", _identity),
+    Projection("addition-inversion", _addition_inversion),
+    Projection("subtraction-inversion", _subtraction_inversion),
+    Projection("multiplication-inversion", _multiplication_inversion),
+    Projection("copy-inversion", _copy_inversion),
+    Projection("array-read", _array_read),
+    Projection("increment-inversion", _increment_inversion),
+)
+"""The structural projections; together with the two ``out``/iterator
+predicate projectors below this makes the paper's count of eight (the
+paper folds increment/decrement handling into its addition/subtraction
+inverters; we keep a dedicated projection for clarity)."""

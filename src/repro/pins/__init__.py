@@ -1,0 +1,29 @@
+"""PINS: the Path-based Inductive Synthesis algorithm (Section 2)."""
+
+from .algorithm import (
+    MAX_ITERATIONS,
+    NO_SOLUTION,
+    PATHS_EXHAUSTED,
+    STABILIZED,
+    PinsConfig,
+    PinsResult,
+    PinsStats,
+    build_template,
+    run_pins,
+)
+from .checker import HOLDS, UNKNOWN, VIOLATED, CheckOutcome, ConstraintChecker
+from .constraints import Constraint, safepath
+from .pickone import infeasible_score, pick_one, pick_random
+from .solve import Enumerator, SolveSession, SolveStats, solve
+from .spec import InversionSpec
+from .task import SynthesisTask
+from .template import HoleSpace, Solution, SynthesisTemplate
+from .termination import (
+    derive_ranking_candidates,
+    init_constraints,
+    invariant_hole_name,
+    rank_hole_name,
+    terminate,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,254 @@
+"""Algorithm 1: the PINS main loop.
+
+::
+
+    F := {};  C := terminate(P)
+    while true:
+        sols := solve(C, Phi_p, Phi_e, m)
+        if sols = {}:            return NoSolution
+        if stabilized(sols, m):  return sols
+        S := pickOne(sols)
+        (f, V') := symbolically execute P guided by S, avoiding F
+        F := F + {f};  C := C + safepath(f, V', spec)
+
+Instrumentation mirrors the paper's Tables 2 and 4: iteration counts,
+search-space size, wall-clock split across symbolic execution / SMT
+reduction / SAT solving / pickOne, and the size of the SAT formulas.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..concrete.testgen import freeze_input
+from ..lang import ast
+from ..lang.transform import compose, desugar_program
+from ..symexec.executor import ExecConfig, SymbolicExecutor
+from ..symexec.paths import Path
+from .checker import ConstraintChecker
+from .constraints import Constraint, safepath
+from .pickone import pick_one, pick_random
+from .solve import RANK_PREFIX, SolveSession, SolveStats, solve
+from .spec import InversionSpec
+from .task import SynthesisTask
+from .template import HoleSpace, Solution, SynthesisTemplate
+from .termination import (
+    derive_ranking_candidates,
+    init_constraints,
+    invariant_hole_name,
+    rank_hole_name,
+    template_loops,
+    terminate,
+)
+
+NO_SOLUTION = "no_solution"
+STABILIZED = "stabilized"
+PATHS_EXHAUSTED = "paths_exhausted"
+MAX_ITERATIONS = "max_iterations"
+
+
+@dataclass
+class PinsConfig:
+    """Tunables for a PINS run; defaults follow the paper (m = 10)."""
+
+    m: int = 10
+    max_iterations: int = 30
+    seed: int = 0
+    initial_tests: int = 6
+    use_infeasible_heuristic: bool = True
+    max_unroll: Optional[int] = None  # None: take the task's setting
+    max_backtracks: int = 20000
+    solver_conflict_budget: int = 100_000
+    max_candidates_per_solve: int = 50_000
+
+
+@dataclass
+class PinsStats:
+    iterations: int = 0
+    paths_explored: int = 0
+    search_space_log2: float = 0.0
+    num_solutions: int = 0
+    tests_generated: int = 0
+    time_symexec: float = 0.0
+    time_smt_reduction: float = 0.0
+    time_sat: float = 0.0
+    time_pickone: float = 0.0
+    time_total: float = 0.0
+    sat_vars: int = 0
+    sat_clauses: int = 0
+    candidates_tried: int = 0
+    blocked_by_screen: int = 0
+    blocked_by_check: int = 0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractions of total time per phase (Table 4)."""
+        total = max(self.time_total, 1e-9)
+        return {
+            "symexec": self.time_symexec / total,
+            "smt_reduction": self.time_smt_reduction / total,
+            "sat": self.time_sat / total,
+            "pickone": self.time_pickone / total,
+        }
+
+
+@dataclass
+class PinsResult:
+    status: str
+    task: SynthesisTask
+    template: SynthesisTemplate
+    solutions: List[Solution]
+    explored: List[Path]
+    tests: List[Dict[str, Any]]
+    stats: PinsStats
+
+    def inverse_programs(self) -> List[ast.Program]:
+        return [self.template.instantiate(s) for s in self.solutions]
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.solutions)
+
+
+def build_template(task: SynthesisTask) -> SynthesisTemplate:
+    """Assemble the hole space (including ranking holes) for a task."""
+    composed = compose(task.program, task.inverse)
+    desugared = desugar_program(composed)
+    extern_sorts = {name: task.externs.get(name).result_sort
+                    for name in task.externs.names()}
+    space = HoleSpace.build(
+        task.inverse.body, task.phi_e, task.phi_p,
+        expr_overrides=task.expr_overrides,
+        pred_overrides=task.pred_overrides,
+        max_pred_conj=task.max_pred_conj,
+        decls=desugared.decls,
+        extern_sorts=extern_sorts,
+    )
+    ranks = derive_ranking_candidates(task.phi_p)
+    rank_holes = {}
+    inv_holes = {}
+    for loop_id, _guard, _body in template_loops(desugared.body):
+        rname = rank_hole_name(loop_id)
+        cands = tuple(task.rank_overrides.get(rname, ranks))
+        if not cands:
+            cands = (ast.n(0),)
+        rank_holes[rname] = cands
+        iname = invariant_hole_name(loop_id)
+        inv_holes[iname] = tuple(task.pred_overrides.get(iname, task.phi_p))
+    return SynthesisTemplate(task.program, task.inverse,
+                             space.with_rank_holes(rank_holes, inv_holes))
+
+
+def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsResult:
+    """Run PINS on a synthesis task."""
+    config = config or PinsConfig()
+    rng = random.Random(config.seed)
+    started = time.perf_counter()
+
+    composed = compose(task.program, task.inverse)
+    desugared = desugar_program(composed)
+    template = build_template(task)
+    spec = task.derived_spec(desugared.decls)
+
+    input_vars = {v: desugared.decls[v] for v in task.program.inputs}
+    length_hints = {arr: ln for arr, _out, ln in spec.array_pairs}
+    checker = ConstraintChecker(
+        desugared.decls, task.externs, task.axioms + task.input_axioms,
+        input_vars=input_vars, length_hints=length_hints,
+        conflict_budget=config.solver_conflict_budget,
+    )
+    constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
+    session = SolveSession(template.space)
+    stats = PinsStats(search_space_log2=template.space.log2_size())
+    solve_stats = SolveStats()
+
+    tests: List[Dict[str, Any]] = []
+    seen = set()
+    for candidate in task.initial_inputs:
+        key = freeze_input(candidate)
+        if key not in seen:
+            seen.add(key)
+            tests.append(dict(candidate))
+    if task.input_gen is not None:
+        for _ in range(config.initial_tests * 3):
+            if len(tests) >= config.initial_tests + len(task.initial_inputs):
+                break
+            candidate = task.input_gen(rng)
+            key = freeze_input(candidate)
+            if key not in seen:
+                seen.add(key)
+                tests.append(candidate)
+
+    exec_config = ExecConfig(
+        max_unroll=config.max_unroll if config.max_unroll is not None else task.max_unroll,
+        max_backtracks=config.max_backtracks,
+        solver_conflict_budget=config.solver_conflict_budget,
+    )
+    # The executor co-simulates the (growing) test pool for fast
+    # feasibility checks; `tests` is shared by reference on purpose.
+    executor = SymbolicExecutor(desugared, task.externs,
+                                task.axioms + task.input_axioms, exec_config,
+                                seed_inputs=tests)
+
+    explored: List[Path] = []
+    chooser = pick_one if config.use_infeasible_heuristic else pick_random
+    last_size: Optional[int] = None
+    status = MAX_ITERATIONS
+    solutions: List[Solution] = []
+
+    for _ in range(config.max_iterations):
+        stats.iterations += 1
+        solutions = solve(session, constraints, checker, tests,
+                          config.m, solve_stats,
+                          max_candidates=config.max_candidates_per_solve,
+                          precondition=task.precondition)
+        if not solutions:
+            status = NO_SOLUTION
+            break
+        if last_size is not None and len(solutions) == last_size \
+                and len(solutions) < config.m:
+            status = STABILIZED
+            break
+        last_size = len(solutions)
+
+        start = time.perf_counter()
+        chosen = chooser(solutions, explored, checker, rng)
+        stats.time_pickone += time.perf_counter() - start
+
+        start = time.perf_counter()
+        path = executor.find_path(chosen.expr_map, chosen.pred_map,
+                                  set(explored), rng)
+        if path is None:
+            # The chosen solution admits no fresh path within budget; try
+            # the other candidates (and fresh randomization) before giving
+            # up — any fresh feasible path still refines the space.
+            for other in solutions:
+                if other is chosen:
+                    continue
+                path = executor.find_path(other.expr_map, other.pred_map,
+                                          set(explored), rng)
+                if path is not None:
+                    break
+        stats.time_symexec += time.perf_counter() - start
+        if path is None:
+            status = PATHS_EXHAUSTED
+            break
+        explored.append(path)
+        constraints.append(safepath(path, spec, label=f"path{len(explored)}"))
+        constraints.extend(init_constraints(path, desugared.body,
+                                            label_prefix=f"path{len(explored)}"))
+
+    stats.paths_explored = len(explored)
+    stats.num_solutions = len(solutions)
+    stats.tests_generated = len(tests)
+    stats.time_sat = solve_stats.sat_time
+    stats.time_smt_reduction = solve_stats.check_time + solve_stats.screen_time
+    stats.sat_vars = solve_stats.sat_vars
+    stats.sat_clauses = solve_stats.sat_clauses
+    stats.candidates_tried = solve_stats.candidates_tried
+    stats.blocked_by_screen = solve_stats.blocked_by_screen
+    stats.blocked_by_check = solve_stats.blocked_by_check
+    stats.time_total = time.perf_counter() - started
+    return PinsResult(status, task, template, solutions, explored, tests, stats)

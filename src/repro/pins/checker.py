@@ -1,0 +1,191 @@
+"""Checking constraints against candidate solutions.
+
+The verification question per constraint is ``forall X. sigma(condition)
+=> sigma(goal)``, decided by refutation: the constraint is *violated* iff
+``sigma(condition) /\\ not-goal-disjunct`` is satisfiable for some
+disjunct.  A satisfying model doubles as a concrete counterexample input
+(Section 2.5), which ``solve`` adds to its test pool.
+
+Two tiers:
+
+* :meth:`ConstraintChecker.screen` — microsecond-scale concrete replay of
+  a path on a test input (sound refutation, no solver);
+* :meth:`ConstraintChecker.check` — the full SMT check, answering
+  ``holds`` / ``violated`` / ``unknown`` (unknown is treated optimistically
+  by ``solve``; PINS output is validated post-hoc regardless).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import smt
+from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
+from ..concrete.interp import InterpError, run_path
+from ..concrete.testgen import input_from_model
+from ..lang import ast
+from ..lang.ast import Pred, Sort
+from ..symexec.paths import Path, substitute_items
+from ..symexec.translate import TranslationError, Translator
+from .constraints import Constraint
+from .spec import SPEC_INDEX_VAR
+from .template import Solution
+
+HOLDS = "holds"
+VIOLATED = "violated"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class CheckOutcome:
+    status: str
+    counterexample: Optional[Dict[str, Any]] = None
+    vacuous: bool = False
+
+
+@dataclass
+class CheckerStats:
+    smt_checks: int = 0
+    smt_time: float = 0.0
+    screens: int = 0
+    sat_clauses_peak: int = 0
+
+
+class ConstraintChecker:
+    """Checks constraints under candidate solutions for one benchmark."""
+
+    def __init__(self, sorts: Mapping[str, Sort],
+                 externs: ExternRegistry = EMPTY_REGISTRY,
+                 axioms: Sequence[smt.Axiom] = (),
+                 input_vars: Mapping[str, Sort] = (),
+                 length_hints: Mapping[str, str] = (),
+                 conflict_budget: int = 100_000,
+                 lia_branch_limit: int = 120):
+        self.sorts = dict(sorts)
+        self.sorts.setdefault(SPEC_INDEX_VAR, Sort.INT)
+        self.externs = externs
+        self.axioms = tuple(axioms)
+        self.input_vars = dict(input_vars or {})
+        self.length_hints = dict(length_hints or {})
+        self.conflict_budget = conflict_budget
+        self.lia_branch_limit = lia_branch_limit
+        self.stats = CheckerStats()
+        self._sat_cache: Dict[tuple, Tuple[str, Optional[smt.Model]]] = {}
+
+    # -- SMT plumbing -------------------------------------------------------
+
+    def _check_sat(self, preds: Sequence[Pred], want_model: bool
+                   ) -> Tuple[str, Optional[smt.Model]]:
+        key = tuple(preds)
+        cached = self._sat_cache.get(key)
+        if cached is not None and (not want_model or cached[1] is not None
+                                   or cached[0] != smt.SAT):
+            return cached
+        self.stats.smt_checks += 1
+        start = time.perf_counter()
+        translator = Translator(self.sorts, self.externs)
+        solver = smt.Solver(axioms=self.axioms,
+                            sat_conflict_budget=self.conflict_budget,
+                            lia_branch_limit=self.lia_branch_limit)
+        try:
+            for pred in preds:
+                solver.add(translator.pred(pred))
+            status = solver.check()
+        except TranslationError:
+            raise
+        except Exception:
+            status = smt.UNKNOWN
+        model = solver.model() if status == smt.SAT else None
+        self.stats.smt_time += time.perf_counter() - start
+        self.stats.sat_clauses_peak = max(self.stats.sat_clauses_peak,
+                                          solver.stats.sat_clauses)
+        result = (status, model)
+        self._sat_cache[key] = result
+        return result
+
+    def _ground(self, constraint: Constraint, solution: Solution) -> List[Pred]:
+        return substitute_items(constraint.items, solution.expr_map,
+                                solution.pred_map)
+
+    # -- full checks ------------------------------------------------------------
+
+    def check(self, constraint: Constraint, solution: Solution) -> CheckOutcome:
+        ground = self._ground(constraint, solution)
+        if constraint.kind == "safepath":
+            return self._check_safepath(constraint, solution, ground)
+        return self._check_goal(constraint, solution, ground)
+
+    def _check_safepath(self, constraint: Constraint, solution: Solution,
+                        ground: List[Pred]) -> CheckOutcome:
+        assert constraint.spec is not None
+        status, _ = self._check_sat(ground, want_model=False)
+        if status == smt.UNSAT:
+            return CheckOutcome(HOLDS, vacuous=True)
+        saw_unknown = status == smt.UNKNOWN
+        for disjunct in constraint.spec.negated_disjuncts(constraint.final_vmap):
+            d_status, model = self._check_sat(ground + [disjunct], want_model=True)
+            if d_status == smt.SAT:
+                counterexample = None
+                if model is not None:
+                    # Full version-0 environment: includes the junk values
+                    # of uninitialized template variables the violation may
+                    # depend on (the spec quantifies over all of X).
+                    from ..concrete.testgen import env_inputs_from_model
+
+                    counterexample = env_inputs_from_model(model)
+                return CheckOutcome(VIOLATED, counterexample=counterexample)
+            if d_status == smt.UNKNOWN:
+                saw_unknown = True
+        return CheckOutcome(UNKNOWN if saw_unknown else HOLDS)
+
+    def _check_goal(self, constraint: Constraint, solution: Solution,
+                    ground: List[Pred]) -> CheckOutcome:
+        assert constraint.neg_goal is not None
+        from ..concrete.testgen import env_inputs_from_model
+        from ..lang.transform import substitute_pred
+
+        neg_goal = substitute_pred(constraint.neg_goal, solution.expr_map,
+                                   solution.pred_map)
+        status, model = self._check_sat(ground + [neg_goal], want_model=True)
+        if status == smt.SAT:
+            env = env_inputs_from_model(model) if model is not None else None
+            return CheckOutcome(VIOLATED, counterexample=env)
+        if status == smt.UNKNOWN:
+            return CheckOutcome(UNKNOWN)
+        return CheckOutcome(HOLDS)
+
+    # -- fast concrete screening ---------------------------------------------------
+
+    def screen(self, constraint: Constraint, solution: Solution,
+               inputs: Mapping[str, Any]) -> bool:
+        """True if the solution survives this test input (or is vacuous)."""
+        if constraint.kind != "safepath":
+            return True
+        assert constraint.spec is not None
+        self.stats.screens += 1
+        try:
+            env = run_path(constraint.items, inputs, self.sorts, self.externs,
+                           solution.expr_map, solution.pred_map)
+        except InterpError:
+            return True  # cannot replay (e.g. abstract values); not a refutation
+        if env is None:
+            return True  # input does not follow this path: vacuous
+        return constraint.spec.check_env(env, constraint.final_vmap)
+
+    # -- path feasibility (pickOne's infeasible(S)) ------------------------------
+
+    def path_infeasible(self, path: Path, solution: Solution) -> bool:
+        ground = substitute_items(path.items, solution.expr_map, solution.pred_map)
+        status, _ = self._check_sat(ground, want_model=False)
+        return status == smt.UNSAT
+
+    def concrete_input_for_path(self, path: Path, solution: Solution
+                                ) -> Optional[Dict[str, Any]]:
+        """A concrete input driving execution down ``path`` (Section 2.5)."""
+        ground = substitute_items(path.items, solution.expr_map, solution.pred_map)
+        status, model = self._check_sat(ground, want_model=True)
+        if status != smt.SAT or model is None or not self.input_vars:
+            return None
+        return input_from_model(model, self.input_vars, self.length_hints)

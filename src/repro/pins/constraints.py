@@ -1,0 +1,61 @@
+"""The constraint store C of Algorithm 1.
+
+Three constraint kinds, all of shape ``forall X. condition => goal``:
+
+* ``safepath`` — from line 13: a symbolically executed path must satisfy
+  the inversion spec (Section 2.3, "Safety constraints");
+* ``bounded``  — the loop guard implies the ranking function is
+  non-negative (Section 2.3, "Termination constraints");
+* ``decrease`` — each loop-body path decreases the ranking function.
+
+Constraints carry holes (paired with version maps); they are *checked*
+against a candidate solution by :mod:`repro.pins.checker`.  ``relevant``
+lists the holes a constraint actually mentions — the granularity at which
+``solve`` generalizes blocking clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from ..lang import ast
+from ..lang.ast import Pred, VersionMap
+from ..symexec.paths import Def, Guard, Path
+from .spec import InversionSpec
+
+
+@dataclass(frozen=True)
+class Constraint:
+    kind: str  # 'safepath' | 'bounded' | 'decrease'
+    label: str
+    items: Tuple[object, ...]
+    final_vmap: VersionMap = ()
+    spec: Optional[InversionSpec] = None  # safepath only
+    neg_goal: Optional[Pred] = None  # bounded/decrease only
+
+    @property
+    def relevant(self) -> FrozenSet[str]:
+        names = set()
+        for item in self.items:
+            if isinstance(item, Def):
+                names |= ast.expr_unknowns(item.expr)
+            elif isinstance(item, Guard):
+                names |= ast.expr_unknowns(item.pred)
+        if self.neg_goal is not None:
+            names |= ast.expr_unknowns(self.neg_goal)
+        return frozenset(names)
+
+    def __str__(self) -> str:
+        return f"<{self.kind} {self.label}: {len(self.items)} items>"
+
+
+def safepath(path: Path, spec: InversionSpec, label: str = "") -> Constraint:
+    """The paper's ``safepath(f, V', spec)``."""
+    return Constraint(
+        kind="safepath",
+        label=label or f"path{len(path.items)}",
+        items=path.items,
+        final_vmap=path.final_vmap,
+        spec=spec,
+    )

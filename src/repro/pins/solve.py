@@ -1,0 +1,513 @@
+"""The ``solve`` procedure: SAT over indicator variables + lazy learning.
+
+The paper reduces the constraints ``C`` to a SAT formula over boolean
+indicator variables — one per (hole, candidate) pair — by querying the SMT
+solver per constraint (the VS3 reduction [36]).  We keep the encoding but
+learn the SAT clauses lazily:
+
+1. CDCL proposes a full assignment sigma of candidates to holes;
+2. sigma is *screened* against the pool of concrete test inputs by
+   replaying each safepath constraint (microseconds per test);
+3. survivors get the full SMT check per constraint; a refuting model
+   yields a fresh counterexample input for the pool;
+4. every failure adds a *blocking clause*.  Clauses are generalized by
+   observational equivalence: candidates indistinguishable on the failing
+   test (same value at every occurrence along the path) are blocked
+   together, which prunes exponentially more than blocking one assignment.
+
+Learned clauses are persisted across PINS iterations (they are
+consequences of C, which only grows).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..concrete.interp import Interpreter, InterpError
+from ..concrete.testgen import freeze_input
+from ..concrete.values import coerce_input, default_value
+from ..lang import ast
+from ..lang.ast import Expr, Pred
+from ..lang.transform import rename_expr, rename_pred, vmap_renaming
+from ..smt.sat import SatSolver
+from ..symexec.paths import Def, Guard
+from .checker import HOLDS, UNKNOWN, VIOLATED, ConstraintChecker
+from .constraints import Constraint
+from .template import HoleSpace, Solution
+
+RANK_PREFIX = "rank!"
+INV_PREFIX = "inv!"
+
+
+def is_auxiliary_hole(name: str) -> bool:
+    """Ranking/invariant holes: part of the search, not of the program."""
+    return name.startswith(RANK_PREFIX) or name.startswith(INV_PREFIX)
+
+
+@dataclass
+class SolveStats:
+    candidates_tried: int = 0
+    blocked_by_screen: int = 0
+    blocked_by_check: int = 0
+    sat_time: float = 0.0
+    screen_time: float = 0.0
+    check_time: float = 0.0
+    sat_vars: int = 0
+    sat_clauses: int = 0
+
+
+class Enumerator:
+    """SAT encoding of a hole space with stable variable numbering."""
+
+    def __init__(self, space: HoleSpace):
+        self.space = space
+        self.var_of: Dict[Tuple[str, int], int] = {}
+        next_var = 1
+        self._expr_holes = list(space.expr_holes) + list(space.rank_holes)
+        self._pred_holes = list(space.pred_holes)
+        for name, cands in self._expr_holes:
+            if not cands:
+                raise ValueError(f"expression hole {name!r} has no candidates")
+            for i in range(len(cands)):
+                self.var_of[(name, i)] = next_var
+                next_var += 1
+        for name, cands in self._pred_holes:
+            for i in range(len(cands)):
+                self.var_of[(name, i)] = next_var
+                next_var += 1
+        self.num_vars = next_var - 1
+
+    def structural_clauses(self) -> List[List[int]]:
+        clauses: List[List[int]] = []
+        for name, cands in self._expr_holes:
+            lits = [self.var_of[(name, i)] for i in range(len(cands))]
+            clauses.append(lits)  # at least one
+            for i in range(len(lits)):
+                for j in range(i + 1, len(lits)):
+                    clauses.append([-lits[i], -lits[j]])  # at most one
+        limit = self.space.max_pred_conj
+        if limit is not None:
+            import itertools
+
+            for name, cands in self._pred_holes:
+                if len(cands) > limit:
+                    for combo in itertools.combinations(range(len(cands)), limit + 1):
+                        clauses.append([-self.var_of[(name, i)] for i in combo])
+        return clauses
+
+    def fresh_solver(self, extra_clauses: Sequence[Sequence[int]] = ()) -> SatSolver:
+        sat = SatSolver()
+        while sat.num_vars < self.num_vars:
+            sat.new_var()
+        ok = True
+        for clause in self.structural_clauses():
+            ok = sat.add_clause(clause) and ok
+        for clause in extra_clauses:
+            ok = sat.add_clause(clause) and ok
+        return sat
+
+    def decode(self, model: Mapping[int, bool]) -> Solution:
+        exprs: List[Tuple[str, Expr]] = []
+        preds: List[Tuple[str, Tuple[Pred, ...]]] = []
+        for name, cands in self._expr_holes:
+            chosen = [i for i in range(len(cands)) if model.get(self.var_of[(name, i)])]
+            if len(chosen) != 1:
+                raise RuntimeError(f"one-hot violation for hole {name!r}")
+            exprs.append((name, cands[chosen[0]]))
+        for name, cands in self._pred_holes:
+            chosen = tuple(cands[i] for i in range(len(cands))
+                           if model.get(self.var_of[(name, i)]))
+            preds.append((name, chosen))
+        return Solution(exprs=tuple(exprs), preds=tuple(preds))
+
+    # -- blocking clauses ---------------------------------------------------------
+
+    def exact_block(self, solution: Solution,
+                    relevant: Optional[Set[str]] = None) -> List[int]:
+        """Block assignments agreeing with ``solution`` on relevant holes."""
+        clause: List[int] = []
+        chosen_expr = solution.expr_map
+        for name, cands in self._expr_holes:
+            if relevant is not None and name not in relevant:
+                continue
+            idx = _index_of(cands, chosen_expr[name])
+            clause.append(-self.var_of[(name, idx)])
+        chosen_pred = solution.pred_map
+        for name, cands in self._pred_holes:
+            if relevant is not None and name not in relevant:
+                continue
+            chosen = set(chosen_pred[name])
+            for i, cand in enumerate(cands):
+                var = self.var_of[(name, i)]
+                clause.append(var if cand not in chosen else -var)
+        return clause
+
+    def observational_block(self, solution: Solution,
+                            expr_equiv: Mapping[str, Set[int]],
+                            pred_true_sets: Mapping[str, Set[int]],
+                            exact_pred_holes: Set[str]) -> List[int]:
+        """Block every assignment observationally equal to ``solution``.
+
+        ``expr_equiv[h]`` is the set of candidate indices for hole ``h``
+        producing the same values as sigma(h) at every occurrence on the
+        failing path; ``pred_true_sets[h]`` lists candidate predicates that
+        evaluate true (for guard holes whose sigma-value was true — any
+        subset of these also evaluates true); holes in
+        ``exact_pred_holes`` fall back to exact bit-flips.
+        """
+        clause: List[int] = []
+        for name, cands in self._expr_holes:
+            if name in expr_equiv:
+                for i in range(len(cands)):
+                    if i not in expr_equiv[name]:
+                        clause.append(self.var_of[(name, i)])
+        chosen_pred = solution.pred_map
+        for name, cands in self._pred_holes:
+            if name in pred_true_sets:
+                true_set = pred_true_sets[name]
+                for i in range(len(cands)):
+                    if i not in true_set:
+                        clause.append(self.var_of[(name, i)])
+            elif name in exact_pred_holes:
+                chosen = set(chosen_pred[name])
+                for i, cand in enumerate(cands):
+                    var = self.var_of[(name, i)]
+                    clause.append(var if cand not in chosen else -var)
+        if not clause:
+            # Nothing distinguishes any assignment: fall back to blocking
+            # the exact assignment over all holes.
+            return self.exact_block(solution)
+        return clause
+
+
+def _index_of(cands: Sequence, value) -> int:
+    for i, c in enumerate(cands):
+        if c == value:
+            return i
+    raise ValueError(f"candidate {value!r} not in set")
+
+
+# ---------------------------------------------------------------------------
+# Observational analysis of a failing (constraint, solution, test) triple
+# ---------------------------------------------------------------------------
+
+
+def observational_analysis(constraint: Constraint, solution: Solution,
+                           inputs: Mapping[str, Any], space: HoleSpace,
+                           sorts, externs) -> Optional[Tuple[Dict[str, Set[int]],
+                                                             Dict[str, Set[int]],
+                                                             Set[str]]]:
+    """Per-hole candidate equivalence sets along a failing path replay.
+
+    Replays the constraint's items under ``solution`` on ``inputs``; at
+    every hole occurrence, evaluates *all* candidates in the hole's set
+    and records which produce the same value as the chosen one.  Returns
+    (expr_equiv, pred_true_sets, exact_pred_holes) for
+    :meth:`Enumerator.observational_block`, or None if replay fails.
+    """
+    interp = Interpreter(externs)
+    expr_cands = dict(space.expr_holes) | dict(space.rank_holes)
+    pred_cands = dict(space.pred_holes)
+    expr_map = solution.expr_map
+    pred_map = solution.pred_map
+
+    env: Dict[str, Any] = {}
+    for var, value in inputs.items():
+        env[f"{var}#0"] = coerce_input(value, sorts.get(var, ast.Sort.INT))
+
+    expr_equiv: Dict[str, Set[int]] = {}
+    pred_true: Dict[str, Set[int]] = {}
+    exact_preds: Set[str] = set()
+
+    def eval_expr(e: ast.Expr):
+        return interp.eval_expr(e, env, sorts)
+
+    def note_expr_hole(name: str, vmap) -> None:
+        renaming = vmap_renaming(vmap)
+        chosen_val = eval_expr(rename_expr(expr_map[name], renaming))
+        same: Set[int] = set()
+        for i, cand in enumerate(expr_cands[name]):
+            try:
+                if eval_expr(rename_expr(cand, renaming)) == chosen_val:
+                    same.add(i)
+            except InterpError:
+                pass
+        expr_equiv[name] = expr_equiv.get(name, same) & same
+
+    def note_holes_in_expr(e: ast.Expr) -> None:
+        for node in ast.walk_exprs(e):
+            if isinstance(node, ast.HoleExpr):
+                note_expr_hole(node.name, node.vmap)
+
+    def note_holes_in_pred(p: ast.Pred) -> None:
+        for node in ast.walk_exprs(p):
+            if isinstance(node, ast.HoleExpr):
+                note_expr_hole(node.name, node.vmap)
+            elif isinstance(node, ast.HolePred):
+                renaming = vmap_renaming(node.vmap)
+                chosen = pred_map[node.name]
+                value = all(
+                    interp.eval_pred(rename_pred(q, renaming), env, sorts)
+                    for q in chosen
+                )
+                if value:
+                    trues: Set[int] = set()
+                    for i, cand in enumerate(pred_cands[node.name]):
+                        try:
+                            if interp.eval_pred(rename_pred(cand, renaming), env, sorts):
+                                trues.add(i)
+                        except InterpError:
+                            pass
+                    if node.name in pred_true:
+                        pred_true[node.name] &= trues
+                    elif node.name in exact_preds:
+                        pass
+                    else:
+                        pred_true[node.name] = trues
+                else:
+                    exact_preds.add(node.name)
+                    pred_true.pop(node.name, None)
+
+    try:
+        from ..lang.transform import substitute_expr, substitute_pred
+
+        for item in constraint.items:
+            if isinstance(item, Def):
+                note_holes_in_expr(item.expr)
+                ground = substitute_expr(item.expr, expr_map)
+                env[item.versioned_var] = eval_expr(ground)
+            elif isinstance(item, Guard):
+                note_holes_in_pred(item.pred)
+                ground = substitute_pred(item.pred, expr_map, pred_map)
+                if not interp.eval_pred(ground, env, sorts):
+                    # The input does not follow this path under the
+                    # solution, so it does not witness a violation; the
+                    # block would be unsound.  Give up on generalizing.
+                    return None
+        # The block is only sound if this very replay witnesses the
+        # violation: observationally equal solutions then fail identically.
+        if constraint.kind == "safepath":
+            assert constraint.spec is not None
+            if constraint.spec.check_env(env, constraint.final_vmap):
+                return None  # spec satisfied here: no witnessed violation
+        elif constraint.neg_goal is not None:
+            # Holes appearing only in the goal (e.g. ranking functions)
+            # must participate in the equivalence analysis, otherwise the
+            # block would unsoundly cover assignments that differ there.
+            note_holes_in_pred(constraint.neg_goal)
+            ground_goal = substitute_pred(constraint.neg_goal, expr_map, pred_map)
+            if not interp.eval_pred(ground_goal, env, sorts):
+                return None  # goal not violated here
+    except InterpError:
+        return None
+    return expr_equiv, pred_true, exact_preds
+
+
+# ---------------------------------------------------------------------------
+# The solve() procedure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SolveSession:
+    """State persisted across PINS iterations (learned clauses, caches)."""
+
+    space: HoleSpace
+    enumerator: Enumerator = field(init=False)
+    persistent_clauses: List[List[int]] = field(default_factory=list)
+    check_cache: Dict[Tuple[tuple, str], str] = field(default_factory=dict)
+    screen_cache: Dict[tuple, bool] = field(default_factory=dict)
+    eager_done: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.enumerator = Enumerator(self.space)
+
+
+def _subsets_upto(count: int, limit: Optional[int]):
+    """Index subsets of size <= limit, in deterministic order."""
+    import itertools
+
+    cap = count if limit is None else min(limit, count)
+    for size in range(cap + 1):
+        yield from itertools.combinations(range(count), size)
+
+
+def _combo_count(space: HoleSpace, holes: Set[str]) -> int:
+    total = 1
+    for name, cands in list(space.expr_holes) + list(space.rank_holes):
+        if name in holes:
+            total *= max(1, len(cands))
+    for name, cands in space.pred_holes:
+        if name in holes:
+            total *= space.pred_subset_count(len(cands))
+    return total
+
+
+def _combos_over(space: HoleSpace, holes: Set[str]):
+    """All partial solutions over the given holes (deterministic order)."""
+    import itertools
+
+    expr_axes = [(name, list(cands))
+                 for name, cands in list(space.expr_holes) + list(space.rank_holes)
+                 if name in holes]
+    pred_axes = [(name, [tuple(cands[i] for i in idxs)
+                         for idxs in _subsets_upto(len(cands), space.max_pred_conj)])
+                 for name, cands in space.pred_holes if name in holes]
+    axes = [opts for _, opts in expr_axes] + [opts for _, opts in pred_axes]
+    names_e = [name for name, _ in expr_axes]
+    names_p = [name for name, _ in pred_axes]
+    for combo in itertools.product(*axes):
+        exprs = tuple(zip(names_e, combo[:len(names_e)]))
+        preds = tuple(zip(names_p, combo[len(names_e):]))
+        yield Solution(exprs=exprs, preds=preds)
+
+
+def solve(session: SolveSession, constraints: Sequence[Constraint],
+          checker: ConstraintChecker, tests: List[Dict[str, Any]],
+          m: int, stats: SolveStats,
+          max_candidates: int = 200_000,
+          eager_limit: int = 600,
+          precondition=None) -> List[Solution]:
+    """Find up to ``m`` solutions satisfying every constraint.
+
+    Mutates ``tests`` (new counterexamples are appended) and the session
+    (learned clauses, check cache).
+    """
+    enum = session.enumerator
+    solutions: List[Solution] = []
+    seen_programs: Set[tuple] = set()
+    safepaths = [c for c in constraints if c.kind == "safepath"]
+    test_keys = {freeze_input(t) for t in tests}
+
+    # -- eager semantic encoding (the paper's VS3-style SMT->SAT reduction):
+    # constraints over few holes (termination, invariant-init) are compiled
+    # into SAT clauses up front by checking every relevant combination.
+    start = time.perf_counter()
+    for constraint in constraints:
+        if constraint.label in session.eager_done or constraint.kind == "safepath":
+            continue
+        holes = set(constraint.relevant)
+        if _combo_count(session.space, holes) > eager_limit:
+            continue
+        for partial in _combos_over(session.space, holes):
+            outcome = checker.check(constraint, partial)
+            if outcome.status == VIOLATED:
+                session.persistent_clauses.append(enum.exact_block(partial, holes))
+        session.eager_done.add(constraint.label)
+    stats.check_time += time.perf_counter() - start
+
+    sat = enum.fresh_solver(session.persistent_clauses)
+
+    def learn(clause: List[int], persist: bool = True) -> None:
+        if persist:
+            session.persistent_clauses.append(clause)
+        sat.add_clause(clause)
+
+    def block_with_observation(constraint: Constraint, solution: Solution,
+                               failing_input: Mapping[str, Any]) -> None:
+        analysis = observational_analysis(
+            constraint, solution, failing_input, session.space,
+            checker.sorts, checker.externs)
+        if analysis is None:
+            learn(enum.exact_block(solution, set(constraint.relevant)))
+            return
+        expr_equiv, pred_true, exact_preds = analysis
+        learn(enum.observational_block(solution, expr_equiv, pred_true, exact_preds))
+
+    candidates = 0
+    while len(solutions) < m and candidates < max_candidates:
+        start = time.perf_counter()
+        sat_result = sat.solve()
+        stats.sat_time += time.perf_counter() - start
+        stats.sat_vars = sat.num_vars
+        stats.sat_clauses = sat.num_clauses()
+        if not sat_result:
+            break
+        solution = enum.decode(sat.model())
+        candidates += 1
+        stats.candidates_tried += 1
+
+        # -- tier 1: concrete screening -----------------------------------
+        start = time.perf_counter()
+        screen_failure: Optional[Tuple[Constraint, Dict[str, Any]]] = None
+        for constraint in safepaths:
+            restricted = _restricted_key(solution, constraint.relevant)
+            for t_idx, test in enumerate(tests):
+                skey = (constraint.label, restricted, t_idx)
+                passed = session.screen_cache.get(skey)
+                if passed is None:
+                    passed = checker.screen(constraint, solution, test)
+                    session.screen_cache[skey] = passed
+                if not passed:
+                    screen_failure = (constraint, test)
+                    break
+            if screen_failure:
+                break
+        stats.screen_time += time.perf_counter() - start
+        if screen_failure:
+            stats.blocked_by_screen += 1
+            block_with_observation(screen_failure[0], solution, screen_failure[1])
+            continue
+
+        # -- tier 2: full SMT checks ---------------------------------------
+        start = time.perf_counter()
+        failed = False
+        for constraint in constraints:
+            if constraint.label in session.eager_done:
+                continue  # compiled into SAT clauses already
+            cache_key = (_restricted_key(solution, constraint.relevant),
+                         constraint.label)
+            cached = session.check_cache.get(cache_key)
+            if cached in (HOLDS, UNKNOWN):
+                continue
+            outcome = checker.check(constraint, solution)
+            if outcome.status == VIOLATED:
+                failed = True
+                stats.blocked_by_check += 1
+                if outcome.counterexample is not None:
+                    if constraint.kind == "safepath" and (
+                            precondition is None
+                            or precondition(outcome.counterexample)):
+                        key = freeze_input(outcome.counterexample)
+                        if key not in test_keys:
+                            test_keys.add(key)
+                            tests.append(outcome.counterexample)
+                    block_with_observation(constraint, solution,
+                                           outcome.counterexample)
+                else:
+                    learn(enum.exact_block(solution, set(constraint.relevant)))
+                break
+            session.check_cache[cache_key] = outcome.status
+        stats.check_time += time.perf_counter() - start
+        if failed:
+            continue
+
+        # -- accepted -------------------------------------------------------
+        program_key = _program_key(solution)
+        if program_key not in seen_programs:
+            seen_programs.add(program_key)
+            solutions.append(solution)
+        # Block this program (not persisted: it is a valid solution).
+        learn(_program_block(enum, solution), persist=False)
+    return solutions
+
+
+def _restricted_key(solution: Solution, relevant) -> tuple:
+    """Canonical key of a solution restricted to the given holes."""
+    exprs = tuple((n, e) for n, e in solution.exprs if n in relevant)
+    preds = tuple((n, p) for n, p in solution.preds if n in relevant)
+    return (exprs, preds)
+
+
+def _program_key(solution: Solution) -> tuple:
+    exprs = tuple((n, e) for n, e in solution.exprs if not is_auxiliary_hole(n))
+    preds = tuple((n, p) for n, p in solution.preds if not is_auxiliary_hole(n))
+    return (exprs, preds)
+
+
+def _program_block(enum: Enumerator, solution: Solution) -> List[int]:
+    relevant = {n for n, _ in solution.exprs if not is_auxiliary_hole(n)}
+    relevant |= {n for n, _ in solution.preds if not is_auxiliary_hole(n)}
+    return enum.exact_block(solution, relevant)

@@ -1,0 +1,180 @@
+"""Inversion specifications (the identity spec of Section 2.3).
+
+For program inversion the specification says: after running ``P ; T`` the
+template's outputs equal the program's inputs — scalars exactly, arrays
+pointwise on ``[0, len)`` where ``len`` is the input length variable::
+
+    spec  =  n^0 = i'^V'  /\\  forall k in [0, n^0): A^0[k] = A'^V'[k]
+
+The checker refutes ``forall X. f => spec`` by testing each *negated
+disjunct* for satisfiability together with ``f``; the universal over ``k``
+contributes the disjunct ``0 <= k < n^0 /\\ A^0[k] != A'^V'[k]`` with a
+fresh symbolic ``k`` — exactly how one encodes it for an SMT solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..concrete.values import ConcreteArray
+from ..lang import ast
+from ..lang.ast import Pred, Sort, Var, VersionMap
+from ..lang.transform import versioned_name
+
+SPEC_INDEX_VAR = "specK"
+"""Base name of the fresh universal index used in array disjuncts."""
+
+
+@dataclass(frozen=True)
+class InversionSpec:
+    """Identity specification relating inputs of P to outputs of T.
+
+    Variable references on the *input* side (first element of a scalar
+    pair, or the length bound of an array pair) are version-0 input
+    variables by default; a ``"@"`` prefix (``"@b"``) refers to the
+    variable's *final* value instead — used when the meaningful extent of
+    an input array is computed by the program (e.g. total payload bytes).
+    """
+
+    scalar_pairs: Tuple[Tuple[str, str], ...] = ()
+    array_pairs: Tuple[Tuple[str, str, str], ...] = ()  # (in_arr, out_arr, len_var)
+    concrete_pairs: Tuple[Tuple[str, str], ...] = ()
+    """Scalar pairs checked only by concrete execution (e.g. equality of
+    abstract objects, which first-order refutation would spuriously refute
+    for lack of extensionality axioms)."""
+    extra_out_preds: Tuple[Pred, ...] = ()
+    """Optional extra conditions over version-0 inputs / final outputs;
+    written with variables named ``x@in`` / ``x@out`` which are rewritten
+    to ``x#0`` / ``x#final`` at check time."""
+
+    @staticmethod
+    def derive(in_vars: Sequence[str], out_vars: Sequence[str],
+               sorts: Mapping[str, Sort]) -> "InversionSpec":
+        """Pair inputs with outputs positionally within sort groups.
+
+        Mirrors the paper's syntactic derivation from ``in(A, n)`` and
+        ``out(A', i')``: arrays pair with arrays, scalars with scalars;
+        every array pair is bounded by the first scalar input.
+        """
+        in_scalars = [v for v in in_vars if not sorts[v].is_array]
+        out_scalars = [v for v in out_vars if not sorts[v].is_array]
+        in_arrays = [v for v in in_vars if sorts[v].is_array]
+        out_arrays = [v for v in out_vars if sorts[v].is_array]
+        if len(in_scalars) != len(out_scalars) or len(in_arrays) != len(out_arrays):
+            raise ValueError(
+                f"cannot pair inputs {in_vars} with outputs {out_vars}: "
+                "sort groups have different sizes"
+            )
+        if in_arrays and not in_scalars:
+            raise ValueError("array inputs need a scalar length variable")
+        length = in_scalars[0] if in_scalars else ""
+        return InversionSpec(
+            scalar_pairs=tuple(zip(in_scalars, out_scalars)),
+            array_pairs=tuple((a, b, length) for a, b in zip(in_arrays, out_arrays)),
+        )
+
+    # -- symbolic form ---------------------------------------------------------
+
+    def negated_disjuncts(self, final_vmap: VersionMap) -> List[Pred]:
+        """The disjuncts of ``not spec``, versioned for a concrete path.
+
+        Each disjunct, conjoined with a path condition, forms one
+        satisfiability query; any SAT answer refutes the implication.
+        """
+        final = dict(final_vmap)
+
+        def in_side(name: str) -> Var:
+            if name.startswith("@"):
+                base = name[1:]
+                return Var(versioned_name(base, final.get(base, 0)))
+            return Var(versioned_name(name, 0))
+
+        disjuncts: List[Pred] = []
+        for in_var, out_var in self.scalar_pairs:
+            disjuncts.append(ast.ne(
+                in_side(in_var),
+                Var(versioned_name(out_var, final.get(out_var, 0))),
+            ))
+        k = Var(versioned_name(SPEC_INDEX_VAR, 0))
+        for in_arr, out_arr, len_var in self.array_pairs:
+            inside = ast.conj([
+                ast.le(ast.n(0), k),
+                ast.lt(k, in_side(len_var)),
+                ast.ne(
+                    ast.sel(in_side(in_arr), k),
+                    ast.sel(Var(versioned_name(out_arr, final.get(out_arr, 0))), k),
+                ),
+            ])
+            disjuncts.append(inside)
+        for pred in self.extra_out_preds:
+            disjuncts.append(ast.negate(_version_extra(pred, final)))
+        return disjuncts
+
+    # -- concrete form ------------------------------------------------------------
+
+    def check_env(self, env: Mapping[str, Any], final_vmap: VersionMap) -> bool:
+        """Evaluate the spec on a final versioned environment."""
+        final = dict(final_vmap)
+
+        def val(name: str, version: int) -> Any:
+            return env.get(versioned_name(name, version), 0)
+
+        def in_val(name: str) -> Any:
+            if name.startswith("@"):
+                base = name[1:]
+                return val(base, final.get(base, 0))
+            return val(name, 0)
+
+        for in_var, out_var in self.scalar_pairs + self.concrete_pairs:
+            if in_val(in_var) != val(out_var, final.get(out_var, 0)):
+                return False
+        for in_arr, out_arr, len_var in self.array_pairs:
+            length = in_val(len_var)
+            left = in_val(in_arr)
+            right = val(out_arr, final.get(out_arr, 0))
+            if not isinstance(left, ConcreteArray):
+                left = ConcreteArray(default=0)
+            if not isinstance(right, ConcreteArray):
+                right = ConcreteArray(default=0)
+            if not isinstance(length, int) or length < 0:
+                return False
+            if not left.equal_prefix(right, length):
+                return False
+        if self.extra_out_preds:
+            raise NotImplementedError("extra_out_preds concrete checking")
+        return True
+
+    def check_states(self, inputs: Mapping[str, Any], final_env: Mapping[str, Any]) -> bool:
+        """Spec over plain (unversioned) states, for round-trip validation."""
+
+        def in_val(name: str) -> Any:
+            if name.startswith("@"):
+                return final_env.get(name[1:], 0)
+            return inputs.get(name, 0)
+
+        for in_var, out_var in self.scalar_pairs + self.concrete_pairs:
+            if in_val(in_var) != final_env.get(out_var, 0):
+                return False
+        for in_arr, out_arr, len_var in self.array_pairs:
+            length = in_val(len_var)
+            left = in_val(in_arr)
+            right = final_env.get(out_arr)
+            if not isinstance(left, ConcreteArray) or not isinstance(right, ConcreteArray):
+                return False
+            if not left.equal_prefix(right, length):
+                return False
+        return True
+
+
+def _version_extra(pred: Pred, final: Dict[str, int]) -> Pred:
+    from ..lang.transform import rename_pred
+
+    renaming = {}
+    for name in ast.expr_vars(pred):
+        if name.endswith("@in"):
+            renaming[name] = versioned_name(name[:-3], 0)
+        elif name.endswith("@out"):
+            base = name[:-4]
+            renaming[name] = versioned_name(base, final.get(base, 0))
+    return rename_pred(pred, renaming)

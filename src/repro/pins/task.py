@@ -1,0 +1,62 @@
+"""Synthesis task bundles: everything PINS needs for one inversion job."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
+from ..lang.ast import Expr, Pred, Program
+from ..smt.quant import Axiom
+from .spec import InversionSpec
+
+InputGenerator = Callable[[Any], Dict[str, Any]]
+"""Maps a ``random.Random`` to a concrete input assignment."""
+
+
+@dataclass
+class SynthesisTask:
+    """A program to invert plus its synthesis template and environment.
+
+    ``program`` and ``inverse`` are *guarded* programs (the inverse
+    containing ``Unknown``/``UnknownPred`` holes); ``phi_e``/``phi_p`` are
+    the candidate sets (the paper's chosen subsets from Table 1);
+    ``input_gen`` draws random concrete inputs for the screening pool and
+    the bounded validator.
+    """
+
+    name: str
+    program: Program
+    inverse: Program
+    phi_e: Tuple[Expr, ...]
+    phi_p: Tuple[Pred, ...]
+    spec: Optional[InversionSpec] = None
+    externs: ExternRegistry = EMPTY_REGISTRY
+    axioms: Tuple[Axiom, ...] = ()
+    input_gen: Optional[InputGenerator] = None
+    initial_inputs: Tuple[Dict[str, Any], ...] = ()
+    """Deterministic seed inputs for the screening pool (small exhaustive
+    cases); ``input_gen`` tops the pool up with random draws."""
+    input_axioms: Tuple[Axiom, ...] = ()
+    """Quantified facts about version-0 inputs (e.g. "A#0 is a
+    permutation") assumed by every solver query — the symbolic analogue of
+    a precondition the template language cannot express directly."""
+    precondition: Optional[Callable[[Dict[str, Any]], bool]] = None
+    """Concrete input filter matching ``input_axioms``; counterexamples
+    violating it are used for pruning but never enter the test pool, and
+    bounded validation skips such cases."""
+    expr_overrides: Mapping[str, Sequence[Expr]] = field(default_factory=dict)
+    pred_overrides: Mapping[str, Sequence[Pred]] = field(default_factory=dict)
+    rank_overrides: Mapping[str, Sequence[Expr]] = field(default_factory=dict)
+    max_pred_conj: int = 2
+    max_unroll: int = 4
+    # Bounds for the CBMC-substitute / sketchlite baselines (Table 5).
+    bmc_unroll: int = 10
+    bmc_array_size: int = 4
+    bmc_value_range: Tuple[int, int] = (0, 2)
+    notes: str = ""
+
+    def derived_spec(self, decls: Mapping[str, Any]) -> InversionSpec:
+        if self.spec is not None:
+            return self.spec
+        return InversionSpec.derive(self.program.inputs, self.inverse.outputs, decls)

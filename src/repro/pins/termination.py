@@ -1,0 +1,166 @@
+"""Termination constraints (Section 2.3, "Termination constraints").
+
+For every template loop ``l = while(*){assume(phi_l); B_l}`` whose guard
+is an unknown, we introduce an unknown ranking function ``rho_l`` (ranging
+over ``Phi_r``, derived from ``Phi_p``) and an unknown loop invariant
+``iota_l`` (a conjunction over ``Phi_p``, defaulting to ``true``), and
+generate:
+
+* ``bounded(l)``:  ``forall X. phi_l => rho_l >= 0``;
+* ``decrease(l)``: for each loop-body path ``(f, V)`` (inner loops take
+  their exit branch), ``iota_l /\\ phi_l /\\ f => rho_l^V < rho_l^0``;
+* ``preserve(l)``: for each body path, ``iota_l /\\ phi_l /\\ f => iota_l^V``;
+* ``init(l)``: for each prefix of an explored path up to an entry of
+  ``l``, the invariant holds at entry (added incrementally by the main
+  loop as paths are explored, mirroring the paper's treatment).
+
+``Phi_r`` derivation follows the paper: each inequality in ``Phi_p`` is
+rewritten to ``e >= 0`` form and ``e`` is collected (``n > s`` contributes
+``n - s - 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..lang import ast
+from ..lang.ast import (
+    Cmp,
+    CmpOp,
+    Expr,
+    HoleExpr,
+    HolePred,
+    Not,
+    Pred,
+    Sort,
+    VersionMap,
+    freeze_vmap,
+)
+from ..symexec.executor import enumerate_paths, loop_guard_and_body, loops_of
+from ..symexec.paths import Guard, Path
+from .constraints import Constraint
+
+
+def derive_ranking_candidates(phi_p: Sequence[Pred]) -> Tuple[Expr, ...]:
+    """Convert each inequality in Phi_p into a candidate ranking function."""
+    out: List[Expr] = []
+    seen = set()
+
+    def push(e: Expr) -> None:
+        if e not in seen:
+            seen.add(e)
+            out.append(e)
+
+    for pred in phi_p:
+        if not isinstance(pred, Cmp):
+            continue
+        a, b = pred.left, pred.right
+        if pred.op is CmpOp.LT:  # a < b  ->  b - a - 1 >= 0
+            push(ast.sub(ast.sub(b, a), ast.n(1)))
+        elif pred.op is CmpOp.LE:  # a <= b  ->  b - a >= 0
+            push(ast.sub(b, a))
+        elif pred.op is CmpOp.GT:  # a > b  ->  a - b - 1 >= 0
+            push(ast.sub(ast.sub(a, b), ast.n(1)))
+        elif pred.op is CmpOp.GE:  # a >= b  ->  a - b >= 0
+            push(ast.sub(a, b))
+    return tuple(out)
+
+
+def rank_hole_name(loop_id: str) -> str:
+    return f"rank!{loop_id}"
+
+
+def invariant_hole_name(loop_id: str) -> str:
+    return f"inv!{loop_id}"
+
+
+def template_loops(desugared_body: ast.Stmt) -> List[Tuple[str, Pred, ast.Stmt]]:
+    """Loops with unknown guards: (loop_id, guard, body-after-guard)."""
+    found = []
+    for loop in loops_of(desugared_body):
+        try:
+            guard, body = loop_guard_and_body(loop)
+        except ValueError:
+            continue
+        if ast.expr_unknowns(guard):
+            found.append((loop.loop_id, guard, body))
+    return found
+
+
+def terminate(desugared_body: ast.Stmt, decls: Mapping[str, Sort],
+              max_body_paths: int = 64, body_unroll: int = 1) -> List[Constraint]:
+    """The paper's ``terminate(P)``: bounded + decrease + preserve.
+
+    ``body_unroll`` bounds inner-loop iterations inside loop-body paths.
+    The paper always takes the inner exit branch (``body_unroll = 0``);
+    allowing one inner iteration keeps the set finite while catching
+    outer-loop candidates whose divergence only shows once the inner loop
+    actually runs (e.g. an outer counter reset to a constant).
+    """
+    constraints: List[Constraint] = []
+    zero_vmap = freeze_vmap({v: 0 for v in decls})
+    initial = {v: 0 for v in decls}
+    for loop_id, guard, body in template_loops(desugared_body):
+        rank = rank_hole_name(loop_id)
+        inv = invariant_hole_name(loop_id)
+        guard_at_zero = _version_guard(guard, zero_vmap)
+        rank_at_zero = HoleExpr(rank, zero_vmap)
+        inv_at_zero = HolePred(inv, zero_vmap)
+        # bounded(l):  phi_l  =>  rho_l >= 0    (negated goal: rho_l < 0)
+        constraints.append(Constraint(
+            kind="bounded",
+            label=f"bounded!{loop_id}",
+            items=(Guard(guard_at_zero),),
+            neg_goal=Cmp(CmpOp.LT, rank_at_zero, ast.n(0)),
+        ))
+        body_paths = list(enumerate_paths(body, max_unroll=body_unroll,
+                                          initial_vmap=initial))[:max_body_paths]
+        for idx, path in enumerate(body_paths):
+            head = (Guard(inv_at_zero), Guard(guard_at_zero))
+            # decrease(l): iota /\\ phi_l /\\ f  =>  rho_l^V < rho_l^0
+            constraints.append(Constraint(
+                kind="decrease",
+                label=f"decrease!{loop_id}!{idx}",
+                items=head + path.items,
+                final_vmap=path.final_vmap,
+                neg_goal=Cmp(CmpOp.GE, HoleExpr(rank, path.final_vmap), rank_at_zero),
+            ))
+            # preserve(l): iota /\\ phi_l /\\ f  =>  iota^V
+            constraints.append(Constraint(
+                kind="preserve",
+                label=f"preserve!{loop_id}!{idx}",
+                items=head + path.items,
+                final_vmap=path.final_vmap,
+                neg_goal=Not(HolePred(inv, path.final_vmap)),
+            ))
+    return constraints
+
+
+def init_constraints(path: Path, desugared_body: ast.Stmt,
+                     label_prefix: str) -> List[Constraint]:
+    """Invariant-initiation constraints for a freshly explored path.
+
+    For each loop entry recorded on the path, the prefix of the path up
+    to that entry must establish the loop's invariant.
+    """
+    loop_ids = {loop_id for loop_id, _g, _b in template_loops(desugared_body)}
+    constraints: List[Constraint] = []
+    for idx, (loop_id, prefix_len, vmap_entry) in enumerate(path.loop_entries):
+        if loop_id not in loop_ids:
+            continue
+        inv = invariant_hole_name(loop_id)
+        constraints.append(Constraint(
+            kind="init",
+            label=f"{label_prefix}!init!{loop_id}!{idx}",
+            items=tuple(path.items[:prefix_len]),
+            final_vmap=vmap_entry,
+            neg_goal=Not(HolePred(inv, vmap_entry)),
+        ))
+    return constraints
+
+
+def _version_guard(guard: Pred, zero_vmap: VersionMap) -> Pred:
+    """Version an unknown loop guard at the all-zero version map."""
+    from ..lang.transform import version_pred
+
+    return version_pred(guard, dict(zero_vmap))

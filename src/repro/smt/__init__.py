@@ -1,0 +1,55 @@
+"""A ground SMT solver built from scratch for the PINS reproduction.
+
+Fragment: quantifier-free linear integer arithmetic + equality with
+uninterpreted functions + int-indexed arrays, plus pattern-instantiated
+universally quantified axioms for library functions.
+
+The paper used Z3; DESIGN.md §3.1 documents why this substitution
+preserves the behaviour PINS depends on.
+"""
+
+from . import arrays, cnf, euf, lia, models, quant, sat, solver, terms
+from .models import Model
+from .quant import Axiom
+from .sat import SatSolver, solve_cnf
+from .solver import SAT, UNKNOWN, UNSAT, Solver, check_formulas
+from .terms import (
+    ARR,
+    BOOL,
+    FALSE,
+    INT,
+    OBJ,
+    SARR,
+    STR,
+    TRUE,
+    Term,
+    TSort,
+    array_sort,
+    mk_add,
+    mk_and,
+    mk_app,
+    mk_div,
+    mk_distinct,
+    mk_eq,
+    mk_ge,
+    mk_gt,
+    mk_implies,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_mod,
+    mk_mul,
+    mk_mul_const,
+    mk_not,
+    mk_or,
+    mk_select,
+    mk_store,
+    mk_sub,
+    mk_var,
+    subterms,
+    substitute,
+    term_vars,
+    uninterpreted_sort,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,89 @@
+"""Tseitin CNF conversion from boolean term structure to SAT clauses."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .sat import SatSolver
+from .terms import FALSE, Op, TRUE, Term
+
+
+class CnfBuilder:
+    """Compiles boolean :class:`Term` structure into a :class:`SatSolver`.
+
+    Every *atom* (theory literal or boolean variable) gets a proxy SAT
+    variable; composite formulas get Tseitin variables.  The atom<->var
+    mapping is exposed so the DPLL(T) layer can read the theory-relevant
+    part of a boolean model.
+    """
+
+    def __init__(self, sat: SatSolver):
+        self.sat = sat
+        self.atom_var: Dict[Term, int] = {}
+        self.var_atom: Dict[int, Term] = {}
+        self._cache: Dict[int, int] = {}  # term id -> SAT literal
+
+    def atom_literal(self, term: Term) -> int:
+        """The SAT variable standing for an atomic term."""
+        var = self.atom_var.get(term)
+        if var is None:
+            var = self.sat.new_var()
+            self.atom_var[term] = var
+            self.var_atom[var] = term
+        return var
+
+    def literal_for(self, term: Term) -> int:
+        """Compile a formula to a SAT literal (adding Tseitin clauses)."""
+        if term is TRUE or term is FALSE:
+            # Encode constants via a dedicated always-true variable.
+            v = self.atom_literal(TRUE)
+            self.sat.add_clause([v])
+            return v if term is TRUE else -v
+        cached = self._cache.get(term.id)
+        if cached is not None:
+            return cached
+        if term.op == Op.NOT:
+            lit = -self.literal_for(term.args[0])
+        elif term.op == Op.AND:
+            lits = [self.literal_for(a) for a in term.args]
+            out = self.sat.new_var()
+            for l in lits:
+                self.sat.add_clause([-out, l])
+            self.sat.add_clause([out] + [-l for l in lits])
+            lit = out
+        elif term.op == Op.OR:
+            lits = [self.literal_for(a) for a in term.args]
+            out = self.sat.new_var()
+            for l in lits:
+                self.sat.add_clause([-l, out])
+            self.sat.add_clause([-out] + lits)
+            lit = out
+        else:
+            lit = self.atom_literal(term)
+        self._cache[term.id] = lit
+        return lit
+
+    def assert_formula(self, term: Term) -> None:
+        """Assert a formula at the top level."""
+        if term is TRUE:
+            return
+        if term.op == Op.AND:
+            for part in term.args:
+                self.assert_formula(part)
+            return
+        if term.op == Op.OR:
+            # Top-level disjunctions become a single clause directly.
+            lits: List[int] = []
+            for part in term.args:
+                lits.append(self.literal_for(part))
+            self.sat.add_clause(lits)
+            return
+        self.sat.add_clause([self.literal_for(term)])
+
+    def asserted_atoms(self, model: Dict[int, bool]):
+        """Theory literals implied by a boolean model: (atom, polarity)."""
+        for atom, var in self.atom_var.items():
+            if atom is TRUE:
+                continue
+            if var in model:
+                yield atom, model[var]

@@ -1,0 +1,169 @@
+"""Congruence closure for equality + uninterpreted functions.
+
+The closure works over hash-consed :class:`~repro.smt.terms.Term` nodes.
+Function-like terms (``select``, ``store``, uninterpreted applications,
+nonlinear ``mul``/``div``/``mod``) participate in congruence; arithmetic
+structure (``+``, constant multiples) is owned by the LIA solver, which
+exchanges equalities with this module through the combination loop in
+:mod:`repro.smt.solver`.
+
+Conflicts are detected when (a) two terms asserted disequal become equal,
+or (b) two distinct integer constants are merged.  Cores are coarse: the
+caller learns a clause over every literal it asserted, which is sound and
+adequate at the problem sizes PINS generates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .terms import Op, Term
+
+_CONGRUENT_OPS = (Op.SELECT, Op.STORE, Op.APP, Op.MUL, Op.DIV, Op.MOD)
+
+
+class EufConflict(Exception):
+    """Raised when the asserted literals are EUF-inconsistent."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+
+
+class CongruenceClosure:
+    """Incremental congruence closure with disequality tracking."""
+
+    def __init__(self) -> None:
+        self.parent: Dict[int, int] = {}
+        self.terms: Dict[int, Term] = {}
+        self.members: Dict[int, List[int]] = {}
+        # For each representative, the function applications that mention a
+        # member of its class as an argument (the classic "use list").
+        self.uses: Dict[int, List[Term]] = {}
+        # Signature table: (op, payload, arg reprs) -> term
+        self.sigs: Dict[tuple, Term] = {}
+        self.diseqs: List[Tuple[int, int]] = []
+
+    # -- union-find -----------------------------------------------------------
+
+    def add(self, term: Term) -> None:
+        """Register a term (and its subterms) with the closure."""
+        if term.id in self.parent:
+            return
+        for arg in term.args:
+            self.add(arg)
+        self.parent[term.id] = term.id
+        self.terms[term.id] = term
+        self.members[term.id] = [term.id]
+        self.uses.setdefault(term.id, [])
+        if term.op in _CONGRUENT_OPS:
+            for arg in term.args:
+                self.uses[self.find(arg.id)].append(term)
+            sig = self._signature(term)
+            existing = self.sigs.get(sig)
+            if existing is not None and self.find(existing.id) != self.find(term.id):
+                self._do_merge(existing.id, term.id)
+            else:
+                self.sigs[sig] = term
+
+    def find(self, tid: int) -> int:
+        root = tid
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[tid] != root:
+            self.parent[tid], tid = root, self.parent[tid]
+        return root
+
+    def _signature(self, term: Term) -> tuple:
+        return (term.op, term.payload, tuple(self.find(a.id) for a in term.args))
+
+    # -- assertions --------------------------------------------------------------
+
+    def merge(self, a: Term, b: Term) -> None:
+        """Assert ``a = b``; raises :class:`EufConflict` on inconsistency."""
+        self.add(a)
+        self.add(b)
+        self._do_merge(a.id, b.id)
+        self._check_diseqs()
+
+    def assert_diseq(self, a: Term, b: Term) -> None:
+        """Assert ``a != b``."""
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a.id), self.find(b.id)
+        if ra == rb:
+            raise EufConflict(f"disequality violated: {a!r} != {b!r}")
+        self.diseqs.append((a.id, b.id))
+
+    def _do_merge(self, aid: int, bid: int) -> None:
+        pending: List[Tuple[int, int]] = [(aid, bid)]
+        while pending:
+            x, y = pending.pop()
+            rx, ry = self.find(x), self.find(y)
+            if rx == ry:
+                continue
+            # Keep the larger class as the root.
+            if len(self.members[rx]) < len(self.members[ry]):
+                rx, ry = ry, rx
+            tx, ty = self.terms[rx], self.terms[ry]
+            if tx.op == Op.INT_CONST and ty.op == Op.INT_CONST and tx.payload != ty.payload:
+                raise EufConflict(f"distinct constants merged: {tx.payload} = {ty.payload}")
+            # Prefer a constant as class representative for model building.
+            if ty.op == Op.INT_CONST and tx.op != Op.INT_CONST:
+                rx, ry = ry, rx
+            self.parent[ry] = rx
+            self.members[rx].extend(self.members[ry])
+            # Recompute signatures of applications using the merged class.
+            moved_uses = self.uses.pop(ry, [])
+            for app in moved_uses:
+                sig = self._signature(app)
+                existing = self.sigs.get(sig)
+                if existing is not None and self.find(existing.id) != self.find(app.id):
+                    pending.append((existing.id, app.id))
+                else:
+                    self.sigs[sig] = app
+            self.uses.setdefault(rx, []).extend(moved_uses)
+
+    def _check_diseqs(self) -> None:
+        for a, b in self.diseqs:
+            if self.find(a) == self.find(b):
+                raise EufConflict(
+                    f"disequality violated: {self.terms[a]!r} != {self.terms[b]!r}"
+                )
+
+    # -- queries ---------------------------------------------------------------
+
+    def are_equal(self, a: Term, b: Term) -> bool:
+        if a.id not in self.parent or b.id not in self.parent:
+            return a is b
+        return self.find(a.id) == self.find(b.id)
+
+    def classes(self) -> Dict[int, List[Term]]:
+        """Current partition: representative id -> member terms."""
+        out: Dict[int, List[Term]] = {}
+        for tid in self.parent:
+            out.setdefault(self.find(tid), []).append(self.terms[tid])
+        return out
+
+    def int_equalities(self) -> Iterable[Tuple[Term, Term]]:
+        """Pairs of integer-sorted terms currently known equal.
+
+        Yields a spanning set (representative vs. member) per class — enough
+        for the LIA side to reconstruct the full equivalence.
+        """
+        for rep_id, members in self.classes().items():
+            ints = [t for t in members if t.sort.is_int]
+            for i in range(1, len(ints)):
+                yield ints[0], ints[i]
+
+    def constant_of(self, t: Term) -> Optional[int]:
+        """The integer constant this term is known equal to, if any."""
+        if t.id not in self.parent:
+            return None
+        rep = self.terms[self.find(t.id)]
+        if rep.op == Op.INT_CONST:
+            return rep.payload
+        for mid in self.members[self.find(t.id)]:
+            m = self.terms[mid]
+            if m.op == Op.INT_CONST:
+                return m.payload
+        return None

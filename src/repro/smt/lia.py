@@ -1,0 +1,327 @@
+"""Linear integer arithmetic via general simplex + branch-and-bound.
+
+The rational core is the Dutertre–de Moura *general simplex* used by most
+DPLL(T) solvers: every asserted constraint ``sum(c_i * x_i) <= b`` gets a
+slack variable ``s = sum(c_i * x_i)`` with an upper bound; feasibility is
+restored by pivoting with Bland's rule (which guarantees termination).
+Conflicts come with a *core*: the set of caller-supplied tags of the bounds
+participating in the infeasible row, which the DPLL(T) layer turns into a
+learned clause.
+
+Integrality is enforced on top by branch-and-bound: when the rational
+optimum assigns a fractional value to an integer variable, we split on
+``x <= floor(v)`` / ``x >= ceil(v)`` and recurse (bounded depth, so the
+solver answers UNKNOWN rather than diverging on pathological inputs).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Tuple
+
+Coeffs = Dict[int, Fraction]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class _Bound:
+    __slots__ = ("value", "tag")
+
+    def __init__(self, value: Fraction, tag: Hashable):
+        self.value = value
+        self.tag = tag
+
+
+class Conflict(Exception):
+    """Raised internally when a bound assertion is immediately inconsistent."""
+
+    def __init__(self, core: List[Hashable]):
+        super().__init__("lia conflict")
+        self.core = core
+
+
+class Simplex:
+    """General simplex over the rationals with named conflict cores."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.is_int: List[bool] = []
+        # rows: basic var -> {nonbasic var: coeff}
+        self.rows: Dict[int, Coeffs] = {}
+        self.basic: set = set()
+        self.beta: List[Fraction] = []
+        self.lower: List[Optional[_Bound]] = []
+        self.upper: List[Optional[_Bound]] = []
+        # Map from a canonical linear form to its slack variable, so the
+        # same form asserted twice reuses one row.
+        self._form_slack: Dict[Tuple[Tuple[int, Fraction], ...], int] = {}
+
+    def new_var(self, is_int: bool = True) -> int:
+        v = self.num_vars
+        self.num_vars += 1
+        self.is_int.append(is_int)
+        self.beta.append(Fraction(0))
+        self.lower.append(None)
+        self.upper.append(None)
+        return v
+
+    # -- linear forms --------------------------------------------------------
+
+    def slack_for(self, coeffs: Coeffs) -> int:
+        """The slack variable representing ``sum(c_i * x_i)``."""
+        key = tuple(sorted((v, Fraction(c)) for v, c in coeffs.items() if c != 0))
+        if key in self._form_slack:
+            return self._form_slack[key]
+        if len(key) == 1 and key[0][1] == 1:
+            # A single variable with unit coefficient needs no slack.
+            v = key[0][0]
+            self._form_slack[key] = v
+            return v
+        s = self.new_var(is_int=all(self.is_int[v] for v, _ in key))
+        row = {v: Fraction(c) for v, c in key}
+        # Express the new basic variable over the current nonbasic set:
+        # substitute any basic variables appearing in the row.
+        expanded: Coeffs = {}
+        for v, c in row.items():
+            if v in self.basic:
+                for w, cw in self.rows[v].items():
+                    expanded[w] = expanded.get(w, Fraction(0)) + c * cw
+            else:
+                expanded[v] = expanded.get(v, Fraction(0)) + c
+        expanded = {v: c for v, c in expanded.items() if c != 0}
+        self.rows[s] = expanded
+        self.basic.add(s)
+        self.beta[s] = sum((c * self.beta[v] for v, c in expanded.items()), Fraction(0))
+        self._form_slack[key] = s
+        return s
+
+    # -- bound assertion ------------------------------------------------------
+
+    def assert_upper(self, var: int, value: Fraction, tag: Hashable) -> None:
+        ub = self.upper[var]
+        if ub is not None and ub.value <= value:
+            return
+        lb = self.lower[var]
+        if lb is not None and value < lb.value:
+            raise Conflict([lb.tag, tag])
+        self.upper[var] = _Bound(value, tag)
+        if var not in self.basic and self.beta[var] > value:
+            self._update(var, value)
+
+    def assert_lower(self, var: int, value: Fraction, tag: Hashable) -> None:
+        lb = self.lower[var]
+        if lb is not None and lb.value >= value:
+            return
+        ub = self.upper[var]
+        if ub is not None and value > ub.value:
+            raise Conflict([ub.tag, tag])
+        self.lower[var] = _Bound(value, tag)
+        if var not in self.basic and self.beta[var] < value:
+            self._update(var, value)
+
+    def _update(self, var: int, value: Fraction) -> None:
+        delta = value - self.beta[var]
+        self.beta[var] = value
+        for b in self.basic:
+            c = self.rows[b].get(var)
+            if c:
+                self.beta[b] += c * delta
+
+    # -- pivoting ---------------------------------------------------------------
+
+    def _pivot(self, basic_var: int, nonbasic_var: int) -> None:
+        row = self.rows.pop(basic_var)
+        self.basic.discard(basic_var)
+        a = row[nonbasic_var]
+        # nonbasic_var = (basic_var - sum(other terms)) / a
+        new_row: Coeffs = {basic_var: Fraction(1) / a}
+        for v, c in row.items():
+            if v != nonbasic_var:
+                new_row[v] = -c / a
+        # Substitute into all other rows.
+        for b in list(self.basic):
+            brow = self.rows[b]
+            c = brow.pop(nonbasic_var, None)
+            if c:
+                for v, cv in new_row.items():
+                    brow[v] = brow.get(v, Fraction(0)) + c * cv
+                    if brow[v] == 0:
+                        del brow[v]
+        self.rows[nonbasic_var] = new_row
+        self.basic.add(nonbasic_var)
+
+    def check(self) -> Tuple[str, Optional[List[Hashable]]]:
+        """Restore feasibility; returns (SAT, None) or (UNSAT, core)."""
+        while True:
+            # Bland's rule: smallest-index violating basic variable.
+            violating = None
+            for b in sorted(self.basic):
+                lb, ub = self.lower[b], self.upper[b]
+                if lb is not None and self.beta[b] < lb.value:
+                    violating = (b, True)
+                    break
+                if ub is not None and self.beta[b] > ub.value:
+                    violating = (b, False)
+                    break
+            if violating is None:
+                return SAT, None
+            b, need_increase = violating
+            row = self.rows[b]
+            pivot_var = None
+            for v in sorted(row):
+                c = row[v]
+                if need_increase:
+                    ok = (c > 0 and self._can_increase(v)) or (c < 0 and self._can_decrease(v))
+                else:
+                    ok = (c > 0 and self._can_decrease(v)) or (c < 0 and self._can_increase(v))
+                if ok:
+                    pivot_var = v
+                    break
+            if pivot_var is None:
+                core = []
+                bound = self.lower[b] if need_increase else self.upper[b]
+                assert bound is not None
+                core.append(bound.tag)
+                for v in sorted(row):
+                    c = row[v]
+                    if need_increase:
+                        blocked = self.upper[v] if c > 0 else self.lower[v]
+                    else:
+                        blocked = self.lower[v] if c > 0 else self.upper[v]
+                    if blocked is not None:
+                        core.append(blocked.tag)
+                return UNSAT, core
+            target = (self.lower[b].value if need_increase else self.upper[b].value)  # type: ignore[union-attr]
+            self._pivot_and_update(b, pivot_var, target)
+
+    def _can_increase(self, v: int) -> bool:
+        ub = self.upper[v]
+        return ub is None or self.beta[v] < ub.value
+
+    def _can_decrease(self, v: int) -> bool:
+        lb = self.lower[v]
+        return lb is None or self.beta[v] > lb.value
+
+    def _pivot_and_update(self, b: int, nb: int, target: Fraction) -> None:
+        a = self.rows[b][nb]
+        delta = (target - self.beta[b]) / a
+        self.beta[b] = target
+        self.beta[nb] += delta
+        for other in self.basic:
+            if other != b:
+                c = self.rows[other].get(nb)
+                if c:
+                    self.beta[other] += c * delta
+        self._pivot(b, nb)
+
+    # -- models --------------------------------------------------------------------
+
+    def model(self) -> List[Fraction]:
+        return list(self.beta)
+
+    def snapshot(self):
+        """Copy bound state (cheap push/pop for branch-and-bound)."""
+        return (list(self.lower), list(self.upper), list(self.beta),
+                {b: dict(r) for b, r in self.rows.items()}, set(self.basic))
+
+    def restore(self, snap) -> None:
+        self.lower, self.upper, self.beta, rows, basic = snap
+        self.lower = list(self.lower)
+        self.upper = list(self.upper)
+        self.beta = list(self.beta)
+        self.rows = {b: dict(r) for b, r in rows.items()}
+        self.basic = set(basic)
+
+
+class LiaSolver:
+    """Conjunction-level LIA solver with branch-and-bound integrality.
+
+    Constraints are ``(coeffs, op, constant, tag)`` with op in
+    ``{"<=", "=", ">="}`` over integer-valued variables.
+    """
+
+    def __init__(self, branch_limit: int = 200):
+        self.simplex = Simplex()
+        self.branch_limit = branch_limit
+        self._branches_used = 0
+        self.constraints: List[Tuple[Coeffs, str, Fraction, Hashable]] = []
+
+    def new_var(self) -> int:
+        return self.simplex.new_var(is_int=True)
+
+    def add(self, coeffs: Dict[int, int], op: str, const: int, tag: Hashable) -> None:
+        self.constraints.append(
+            ({v: Fraction(c) for v, c in coeffs.items() if c != 0}, op, Fraction(const), tag)
+        )
+
+    def check(self) -> Tuple[str, Optional[List[Hashable]], Optional[Dict[int, int]]]:
+        """Returns (status, conflict core or None, integer model or None)."""
+        try:
+            for coeffs, op, const, tag in self.constraints:
+                if not coeffs:
+                    holds = (op == "<=" and 0 <= const) or (op == ">=" and 0 >= const) or (
+                        op == "=" and const == 0
+                    )
+                    if not holds:
+                        return UNSAT, [tag], None
+                    continue
+                s = self.simplex.slack_for(coeffs)
+                if op in ("<=", "="):
+                    self.simplex.assert_upper(s, const, tag)
+                if op in (">=", "="):
+                    self.simplex.assert_lower(s, const, tag)
+        except Conflict as c:
+            return UNSAT, c.core, None
+        status, core = self.simplex.check()
+        if status == UNSAT:
+            return UNSAT, core, None
+        self._branches_used = 0
+        result = self._branch()
+        if result == UNSAT:
+            # Integer infeasibility; the core is the full constraint set
+            # (branch-and-bound does not produce minimal cores).
+            return UNSAT, [tag for _, _, _, tag in self.constraints], None
+        if result == UNKNOWN:
+            return UNKNOWN, None, None
+        model = {
+            v: int(self.simplex.beta[v])
+            for v in range(self.simplex.num_vars)
+        }
+        return SAT, None, model
+
+    def _branch(self) -> str:
+        status, _ = self.simplex.check()
+        if status == UNSAT:
+            return UNSAT
+        frac_var = None
+        for v in range(self.simplex.num_vars):
+            if self.simplex.is_int[v] and self.simplex.beta[v].denominator != 1:
+                frac_var = v
+                break
+        if frac_var is None:
+            return SAT
+        if self._branches_used >= self.branch_limit:
+            return UNKNOWN
+        self._branches_used += 1
+        value = self.simplex.beta[frac_var]
+        saw_unknown = False
+        for direction in ("down", "up"):
+            snap = self.simplex.snapshot()
+            try:
+                if direction == "down":
+                    self.simplex.assert_upper(frac_var, Fraction(math.floor(value)), "_branch")
+                else:
+                    self.simplex.assert_lower(frac_var, Fraction(math.ceil(value)), "_branch")
+            except Conflict:
+                self.simplex.restore(snap)
+                continue
+            sub = self._branch()
+            if sub == SAT:
+                return SAT
+            if sub == UNKNOWN:
+                saw_unknown = True
+            self.simplex.restore(snap)
+        return UNKNOWN if saw_unknown else UNSAT

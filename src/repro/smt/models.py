@@ -1,0 +1,197 @@
+"""Model representation, evaluation, and verification.
+
+A :class:`Model` assigns integers to integer terms, class identifiers to
+uninterpreted-sorted terms, and finite maps to array variables.  After the
+DPLL(T) loop finds a theory-consistent assignment, the candidate model is
+*verified* by re-evaluating every asserted literal under concrete
+semantics; a verification failure yields a (valid) congruence lemma that is
+fed back into the search — the lemma-on-demand combination described in
+DESIGN.md §3.1.
+
+Uninterpreted applications (including nonlinear ``mul``/``div`` with
+symbolic divisors) are evaluated through a consistent function table built
+from the assignment; this mirrors the paper's abstract treatment of
+library calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .terms import Op, Term, subterms
+
+
+class ModelInconsistency(Exception):
+    """Raised during model construction when assignments clash.
+
+    Carries the pair of terms whose congruence was violated so the solver
+    can emit a repair lemma.
+    """
+
+    def __init__(self, left: Term, right: Term):
+        super().__init__(f"model inconsistency between {left!r} and {right!r}")
+        self.left = left
+        self.right = right
+
+
+@dataclass
+class Model:
+    """A first-order model over the query's term universe."""
+
+    int_values: Dict[Term, int] = field(default_factory=dict)
+    class_values: Dict[Term, int] = field(default_factory=dict)
+    arrays: Dict[Term, Dict[int, int]] = field(default_factory=dict)
+    app_table: Dict[tuple, int] = field(default_factory=dict)
+
+    def eval(self, term: Term):
+        """Evaluate a term to an int (int sort), class id, or array map."""
+        if term.sort.is_int:
+            return self.eval_int(term)
+        if term.sort.is_array:
+            return self.eval_array(term)
+        return self.eval_class(term)
+
+    def eval_int(self, term: Term) -> int:
+        if term.op == Op.INT_CONST:
+            return term.payload
+        if term.op == Op.ADD:
+            return sum(self.eval_int(a) for a in term.args)
+        if term.op == Op.MUL_CONST:
+            return term.payload * self.eval_int(term.args[0])
+        if term.op == Op.SELECT:
+            contents = self.eval_array(term.args[0])
+            return contents.get(self.eval_int(term.args[1]), 0)
+        if term.op in (Op.VAR, Op.APP, Op.MUL, Op.DIV, Op.MOD):
+            if term in self.int_values:
+                return self.int_values[term]
+            if term.op in (Op.APP, Op.MUL, Op.DIV, Op.MOD):
+                return self._app_value(term)
+            return 0
+        raise TypeError(f"cannot evaluate int term {term!r}")
+
+    def _app_key(self, term: Term) -> tuple:
+        name = term.payload if term.op == Op.APP else term.op
+        return (name,) + tuple(self._arg_value(a) for a in term.args)
+
+    def _arg_value(self, arg: Term):
+        if arg.sort.is_array:
+            return tuple(sorted(self.eval_array(arg).items()))
+        return self.eval(arg)
+
+    def _app_value(self, term: Term) -> int:
+        key = self._app_key(term)
+        if key not in self.app_table:
+            self.app_table[key] = 0
+        return self.app_table[key]
+
+    def eval_array(self, term: Term) -> Dict[int, int]:
+        if term.op == Op.VAR:
+            return self.arrays.setdefault(term, {})
+        if term.op == Op.STORE:
+            base = dict(self.eval_array(term.args[0]))
+            base[self.eval_int(term.args[1])] = self.eval(term.args[2])
+            return base
+        raise TypeError(f"cannot evaluate array term {term!r}")
+
+    def eval_class(self, term: Term) -> int:
+        """Value of an uninterpreted-sorted term (a class identifier)."""
+        if term in self.class_values:
+            return self.class_values[term]
+        if term.op == Op.APP:
+            key = self._app_key(term)
+            if key not in self.app_table:
+                self.app_table[key] = -(len(self.app_table) + 1)
+            return self.app_table[key]
+        return self.class_values.setdefault(term, term.id)
+
+    def eval_atom(self, atom: Term) -> bool:
+        if atom.op == Op.EQ:
+            a, b = atom.args
+            return self.eval(a) == self.eval(b)
+        if atom.op == Op.LE:
+            return self.eval_int(atom.args[0]) <= self.eval_int(atom.args[1])
+        if atom.op == Op.VAR and atom.sort.is_bool:
+            return bool(self.int_values.get(atom, 0))
+        raise TypeError(f"cannot evaluate atom {atom!r}")
+
+
+def build_model(universe: List[Term], assigned: Dict[Term, int],
+                class_of: Dict[Term, int]) -> Model:
+    """Construct a model from per-term integer assignments.
+
+    ``assigned`` maps integer-sorted opaque terms (variables, selects,
+    applications) to values (from LIA); ``class_of`` maps every term to
+    its EUF class representative id.  Array contents are reconstructed
+    from the *assigned* values of ``select`` terms over base array
+    variables; an inconsistent reconstruction (two selects with equal
+    evaluated indices but different assigned values) raises
+    :class:`ModelInconsistency` naming the clashing select terms, which
+    the solver turns into a congruence lemma.
+
+    Select terms are dropped from the final ``int_values`` so the model
+    evaluates arrays *structurally* (through the reconstructed contents) —
+    this is what makes :func:`verify_literals` a genuine semantic check.
+    """
+
+    def assigned_eval(term: Term) -> int:
+        """Evaluate an int term using LIA assignments for opaque leaves."""
+        if term.op == Op.INT_CONST:
+            return term.payload
+        if term.op == Op.ADD:
+            return sum(assigned_eval(a) for a in term.args)
+        if term.op == Op.MUL_CONST:
+            return term.payload * assigned_eval(term.args[0])
+        return assigned.get(term, 0)
+
+    model = Model(
+        int_values={t: v for t, v in assigned.items() if t.op != Op.SELECT}
+    )
+    # Class values for uninterpreted sorts.
+    for term in universe:
+        if not term.sort.is_int and not term.sort.is_array and not term.sort.is_bool:
+            model.class_values[term] = class_of.get(term, term.id)
+    # Array contents: seed from selects over base variables.
+    writers: Dict[Tuple[Term, int], Term] = {}
+    for term in universe:
+        if term.op == Op.SELECT and term.args[0].op == Op.VAR:
+            base, idx = term.args
+            idx_val = assigned_eval(idx)
+            if term.sort.is_int:
+                value = assigned_eval(term)
+            else:
+                value = class_of.get(term, term.id)
+            contents = model.arrays.setdefault(base, {})
+            if idx_val in contents and contents[idx_val] != value:
+                raise ModelInconsistency(writers[(base, idx_val)], term)
+            contents[idx_val] = value
+            writers[(base, idx_val)] = term
+    # Consistent function tables for uninterpreted applications.
+    app_writer: Dict[tuple, Term] = {}
+    for term in universe:
+        if term.op in (Op.APP, Op.MUL, Op.DIV, Op.MOD):
+            key = model._app_key(term)
+            value = (
+                model.int_values.get(term)
+                if term.sort.is_int
+                else class_of.get(term, term.id)
+            )
+            if value is None:
+                continue
+            if key in model.app_table and model.app_table[key] != value:
+                raise ModelInconsistency(app_writer[key], term)
+            model.app_table[key] = value
+            app_writer[key] = term
+    return model
+
+
+def verify_literals(model: Model,
+                    literals: List[Tuple[Term, bool]]) -> Optional[Tuple[Term, bool]]:
+    """Check every asserted literal; returns the first violated one."""
+    for atom, polarity in literals:
+        try:
+            if model.eval_atom(atom) != polarity:
+                return (atom, polarity)
+        except TypeError:
+            return (atom, polarity)
+    return None

@@ -1,0 +1,354 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture: two-watched-literal clause
+propagation, first-UIP conflict analysis with clause learning, VSIDS-style
+activity decision heuristic with phase saving, and Luby restarts.  The
+solver is incremental: clauses may be added between ``solve()`` calls,
+which is how both the DPLL(T) layer (theory conflict clauses) and the PINS
+``solve()`` procedure (blocking clauses over indicator variables) use it.
+
+Literals follow the DIMACS convention: variables are positive integers,
+and a literal is ``+v`` or ``-v``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class SatStats:
+    """Counters exposed for the experiment tables (|SAT|, etc.)."""
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.learned = 0
+        self.restarts = 0
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence (0-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    if i < 0:
+        raise ValueError("the Luby sequence index must be non-negative")
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) // 2
+        seq -= 1
+        i %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL solver over integer literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.learnts: List[List[int]] = []
+        self.watches: Dict[int, List[List[int]]] = {}
+        self.assign: List[int] = [0]  # 1-indexed; 0 unassigned, +1/-1 value
+        self.level: List[int] = [0]
+        self.reason: List[Optional[List[int]]] = [None]
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.activity: List[float] = [0.0]
+        self.phase: List[int] = [0]
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.stats = SatStats()
+        self._ok = True
+
+    # -- variable / clause management ---------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(0)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(-1)
+        v = self.num_vars
+        self.watches[v] = []
+        self.watches[-v] = []
+        return v
+
+    def _ensure_var(self, v: int) -> None:
+        while self.num_vars < v:
+            self.new_var()
+
+    def value(self, lit: int) -> int:
+        """+1 true, -1 false, 0 unassigned."""
+        v = self.assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        if not self._ok:
+            return False
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            self._ensure_var(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        # Backtrack to the root level before permanently adding clauses.
+        self._cancel_until(0)
+        clause = [lit for lit in clause if self.value(lit) != -1 or self.level[abs(lit)] > 0]
+        clause = [lit for lit in clause if not (self.value(lit) == -1 and self.level[abs(lit)] == 0)]
+        if any(self.value(lit) == 1 and self.level[abs(lit)] == 0 for lit in clause):
+            return True  # already satisfied at root
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if self.value(clause[0]) == -1:
+                self._ok = False
+                return False
+            if self.value(clause[0]) == 0:
+                self._enqueue(clause[0], None)
+                if self._propagate() is not None:
+                    self._ok = False
+                    return False
+            return True
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: List[int]) -> None:
+        self.watches[clause[0]].append(clause)
+        self.watches[clause[1]].append(clause)
+
+    # -- trail management ----------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+        v = abs(lit)
+        self.assign[v] = 1 if lit > 0 else -1
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(lit)
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self.trail_lim) <= level:
+            return
+        bound = self.trail_lim[level]
+        for lit in reversed(self.trail[bound:]):
+            v = abs(lit)
+            self.phase[v] = self.assign[v]
+            self.assign[v] = 0
+            self.reason[v] = None
+        del self.trail[bound:]
+        del self.trail_lim[level:]
+
+    # -- propagation ----------------------------------------------------------
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        i = len(self.trail) - 1
+        qhead = getattr(self, "_qhead", 0)
+        qhead = min(qhead, len(self.trail))
+        while qhead < len(self.trail):
+            lit = self.trail[qhead]
+            qhead += 1
+            falsified = -lit
+            watchers = self.watches[falsified]
+            new_watchers: List[List[int]] = []
+            conflict: Optional[List[int]] = None
+            for idx, clause in enumerate(watchers):
+                if conflict is not None:
+                    new_watchers.append(clause)
+                    continue
+                # Normalize: ensure falsified literal is at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self.value(first) == 1:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self.value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchers.append(clause)
+                if self.value(first) == -1:
+                    conflict = clause
+                else:
+                    self.stats.propagations += 1
+                    self._enqueue(first, clause)
+            self.watches[falsified] = new_watchers
+            if conflict is not None:
+                self._qhead = len(self.trail)
+                return conflict
+        self._qhead = qhead
+        return None
+
+    # -- conflict analysis -----------------------------------------------------
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: List[int]):
+        """First-UIP learning; returns (learnt clause, backjump level)."""
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        reason: Optional[List[int]] = conflict
+        index = len(self.trail)
+        cur_level = len(self.trail_lim)
+        while True:
+            assert reason is not None
+            for q in reason:
+                if q == lit:
+                    continue
+                v = abs(q)
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick the next literal on the trail to resolve on.
+            while True:
+                index -= 1
+                lit = self.trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            seen[abs(lit)] = False
+            if counter == 0:
+                break
+            reason = self.reason[abs(lit)]
+        learnt[0] = -lit
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest decision level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self.level[abs(learnt[i])] > self.level[abs(learnt[max_i])]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self.level[abs(learnt[1])]
+
+    # -- decisions ---------------------------------------------------------------
+
+    def _decide(self) -> int:
+        best_v, best_a = 0, -1.0
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] == 0 and self.activity[v] > best_a:
+                best_v, best_a = v, self.activity[v]
+        if best_v == 0:
+            return 0
+        sign = self.phase[best_v] or -1
+        return best_v * sign
+
+    # -- main solve loop -----------------------------------------------------------
+
+    def solve(self, max_conflicts: Optional[int] = None) -> Optional[bool]:
+        """Solve the current formula.
+
+        Returns True (SAT), False (UNSAT), or None if ``max_conflicts`` was
+        exhausted.  On SAT the model is readable via :meth:`model`.
+        """
+        if not self._ok:
+            return False
+        self._qhead = 0
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        total_conflicts = 0
+        restart_num = 0
+        while True:
+            budget = 64 * _luby(restart_num)
+            restart_num += 1
+            self.stats.restarts += 1
+            result = self._search(budget, max_conflicts, total_conflicts)
+            if result == "sat":
+                return True
+            if result == "unsat":
+                self._ok = False
+                return False
+            if isinstance(result, int):
+                total_conflicts = result
+                if max_conflicts is not None and total_conflicts >= max_conflicts:
+                    self._cancel_until(0)
+                    return None
+            self._cancel_until(0)
+
+    def _search(self, budget: int, max_conflicts: Optional[int], total: int):
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                total += 1
+                # The clause may be falsified entirely below the current
+                # decision level (possible with incrementally added
+                # clauses); analysis must run at the conflict's top level.
+                top = max((self.level[abs(q)] for q in conflict), default=0)
+                if top == 0:
+                    return "unsat"
+                if top < len(self.trail_lim):
+                    self._cancel_until(top)
+                    self._qhead = len(self.trail)
+                learnt, back_level = self._analyze(conflict)
+                self._cancel_until(back_level)
+                self._qhead = len(self.trail)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    self.learnts.append(learnt)
+                    self.stats.learned += 1
+                    self._watch(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.var_inc /= self.var_decay
+                if max_conflicts is not None and total >= max_conflicts:
+                    return total
+                if conflicts_here >= budget:
+                    return total
+            else:
+                lit = self._decide()
+                if lit == 0:
+                    return "sat"
+                self.stats.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment found by the last successful solve."""
+        return {v: self.assign[v] == 1 for v in range(1, self.num_vars + 1)}
+
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+
+def solve_cnf(clauses: Sequence[Sequence[int]]) -> Optional[Dict[int, bool]]:
+    """One-shot convenience wrapper: returns a model dict or None (UNSAT)."""
+    solver = SatSolver()
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return None
+    if solver.solve():
+        return solver.model()
+    return None

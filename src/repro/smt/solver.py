@@ -1,0 +1,347 @@
+"""The DPLL(T) core: CDCL SAT + EUF + LIA + arrays + axiom instantiation.
+
+One :class:`Solver` instance answers one query (PINS creates thousands of
+short-lived queries; construction is cheap).  The solving loop is:
+
+1. Preprocess assertions: inline SSA array definitions, add
+   read-over-write lemmas, instantiate library axioms, linearize
+   ``div``/``mod`` by constants, and add trichotomy lemmas for integer
+   equalities that occur negatively.
+2. CDCL enumerates boolean models of the clause skeleton.
+3. Each boolean model's theory literals are checked by congruence closure
+   (EUF) and simplex + branch-and-bound (LIA); conflicts become learned
+   clauses.
+4. A theory-consistent assignment is turned into a candidate
+   :class:`~repro.smt.models.Model` and *verified* by concrete
+   re-evaluation; congruence violations found by verification are repaired
+   with lemmas (lemma-on-demand combination) and the loop continues.
+
+``check()`` answers ``sat`` (with a verified model), ``unsat``, or
+``unknown`` (budget exhausted / nonlinear fragment) — callers treat
+``unknown`` conservatively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from . import arrays as arrays_mod
+from . import lia as lia_mod
+from .cnf import CnfBuilder
+from .euf import CongruenceClosure, EufConflict
+from .models import Model, ModelInconsistency, build_model, verify_literals
+from .quant import Axiom, instantiate
+from .sat import SatSolver
+from .terms import (
+    FALSE,
+    Op,
+    TRUE,
+    Term,
+    mk_add,
+    mk_and,
+    mk_eq,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_mul_const,
+    mk_not,
+    mk_or,
+    subterms,
+)
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class SolverStats:
+    """Per-query statistics surfaced in the experiment tables."""
+
+    def __init__(self) -> None:
+        self.theory_rounds = 0
+        self.lemmas = 0
+        self.sat_vars = 0
+        self.sat_clauses = 0
+
+
+class Solver:
+    """A one-shot SMT solver for ground QF_AUFLIA + instantiated axioms."""
+
+    def __init__(self, axioms: Iterable[Axiom] = (),
+                 instantiation_rounds: int = 2,
+                 max_theory_rounds: int = 400,
+                 sat_conflict_budget: int = 200_000,
+                 lia_branch_limit: int = 200):
+        self.axioms = list(axioms)
+        self.instantiation_rounds = instantiation_rounds
+        self.max_theory_rounds = max_theory_rounds
+        self.sat_conflict_budget = sat_conflict_budget
+        self.lia_branch_limit = lia_branch_limit
+        self.unknown_reason = ""
+        self.assertions: List[Term] = []
+        self.stats = SolverStats()
+        self._model: Optional[Model] = None
+
+    def add(self, *formulas: Term) -> None:
+        for f in formulas:
+            if f is not TRUE:
+                self.assertions.append(f)
+
+    # -- preprocessing ---------------------------------------------------------
+
+    def _preprocess(self) -> List[Term]:
+        formulas = arrays_mod.preprocess_arrays(self.assertions)
+        if self.axioms:
+            formulas = formulas + instantiate(
+                self.axioms, formulas, rounds=self.instantiation_rounds
+            )
+            # Axiom instances can introduce new selects-over-stores.
+            formulas = formulas + arrays_mod.read_over_write_lemmas(formulas)
+        formulas = formulas + self._divmod_lemmas(formulas)
+        return formulas
+
+    @staticmethod
+    def _divmod_lemmas(formulas: List[Term]) -> List[Term]:
+        """Linearize div/mod by positive constants: a = c*q + r, 0<=r<c."""
+        lemmas: List[Term] = []
+        seen: Set[int] = set()
+        for f in formulas:
+            for t in subterms(f):
+                if t.id in seen:
+                    continue
+                seen.add(t.id)
+                if t.op in (Op.DIV, Op.MOD) and t.args[1].op == Op.INT_CONST:
+                    c = t.args[1].payload
+                    if c <= 0:
+                        continue
+                    a = t.args[0]
+                    from .terms import mk_div, mk_mod
+
+                    q = mk_div(a, t.args[1])
+                    r = mk_mod(a, t.args[1])
+                    lemmas.append(mk_eq(a, mk_add(mk_mul_const(c, q), r)))
+                    lemmas.append(mk_le(mk_int(0), r))
+                    lemmas.append(mk_lt(r, mk_int(c)))
+        return lemmas
+
+    @staticmethod
+    def _negative_int_eq_atoms(formula: Term, polarity: bool, out: Set[Term]) -> None:
+        if formula.op == Op.NOT:
+            Solver._negative_int_eq_atoms(formula.args[0], not polarity, out)
+        elif formula.op in (Op.AND, Op.OR):
+            for part in formula.args:
+                Solver._negative_int_eq_atoms(part, polarity, out)
+        elif formula.op == Op.EQ and not polarity and formula.args[0].sort.is_int:
+            out.add(formula)
+
+    @staticmethod
+    def _trichotomy(atom: Term) -> Term:
+        a, b = atom.args
+        return mk_or(atom, mk_lt(a, b), mk_lt(b, a))
+
+    # -- main loop ----------------------------------------------------------------
+
+    def check(self) -> str:
+        formulas = self._preprocess()
+        sat = SatSolver()
+        builder = CnfBuilder(sat)
+        for f in formulas:
+            builder.assert_formula(f)
+        # Trichotomy for integer equalities used negatively.
+        negative_eqs: Set[Term] = set()
+        for f in formulas:
+            self._negative_int_eq_atoms(f, True, negative_eqs)
+        has_trichotomy: Set[Term] = set()
+        for atom in negative_eqs:
+            builder.assert_formula(self._trichotomy(atom))
+            has_trichotomy.add(atom)
+
+        for _ in range(self.max_theory_rounds):
+            self.stats.theory_rounds += 1
+            sat_result = sat.solve(max_conflicts=self.sat_conflict_budget)
+            self.stats.sat_vars = sat.num_vars
+            self.stats.sat_clauses = sat.num_clauses()
+            if sat_result is False:
+                return UNSAT
+            if sat_result is None:
+                self.unknown_reason = "sat budget exhausted"
+                return UNKNOWN
+            bool_model = sat.model()
+            literals = list(builder.asserted_atoms(bool_model))
+            outcome = self._theory_check(literals, builder, sat, has_trichotomy)
+            if outcome == SAT:
+                return SAT
+            if outcome == UNKNOWN:
+                return UNKNOWN
+            # CONTINUE: lemmas/conflict clauses were added; iterate.
+        self.unknown_reason = "theory round limit"
+        return UNKNOWN
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("no model available; call check() first (and get sat)")
+        return self._model
+
+    # -- theory checking ---------------------------------------------------------
+
+    def _theory_check(self, literals: List[Tuple[Term, bool]],
+                      builder: CnfBuilder, sat: SatSolver,
+                      has_trichotomy: Set[Term]) -> str:
+        eq_literals: List[Tuple[Term, bool]] = []
+        closure = CongruenceClosure()
+        # Register every term so congruence sees the whole universe.
+        for atom, _pol in literals:
+            closure.add(atom)
+        try:
+            for atom, pol in literals:
+                if atom.op == Op.EQ:
+                    eq_literals.append((atom, pol))
+                    if pol:
+                        closure.merge(atom.args[0], atom.args[1])
+                    else:
+                        closure.assert_diseq(atom.args[0], atom.args[1])
+        except EufConflict:
+            clause = [
+                -builder.atom_var[a] if p else builder.atom_var[a]
+                for a, p in eq_literals
+            ]
+            sat.add_clause(clause)
+            self.stats.lemmas += 1
+            return "continue"
+
+        # Lazily add trichotomy for negated int equalities we skipped.
+        added_trichotomy = False
+        for atom, pol in literals:
+            if (atom.op == Op.EQ and not pol and atom.args[0].sort.is_int
+                    and atom not in has_trichotomy):
+                builder.assert_formula(self._trichotomy(atom))
+                has_trichotomy.add(atom)
+                added_trichotomy = True
+        if added_trichotomy:
+            self.stats.lemmas += 1
+            return "continue"
+
+        # -- LIA --------------------------------------------------------------
+        lia = lia_mod.LiaSolver(branch_limit=self.lia_branch_limit)
+        rep_var: Dict[int, int] = {}
+
+        def lia_var(term: Term) -> int:
+            rep = closure.find(term.id) if term.id in closure.parent else term.id
+            if rep not in rep_var:
+                rep_var[rep] = lia.new_var()
+            return rep_var[rep]
+
+        def linearize(term: Term) -> Tuple[Dict[int, int], int]:
+            if term.op == Op.INT_CONST:
+                return {}, term.payload
+            if term.op == Op.ADD:
+                coeffs: Dict[int, int] = {}
+                const = 0
+                for part in term.args:
+                    c2, k2 = linearize(part)
+                    const += k2
+                    for v, c in c2.items():
+                        coeffs[v] = coeffs.get(v, 0) + c
+                return coeffs, const
+            if term.op == Op.MUL_CONST:
+                c2, k2 = linearize(term.args[0])
+                return {v: term.payload * c for v, c in c2.items()}, term.payload * k2
+            return {lia_var(term): 1}, 0
+
+        def add_ineq(a: Term, b: Term, op: str, tag) -> None:
+            ca, ka = linearize(a)
+            cb, kb = linearize(b)
+            coeffs = dict(ca)
+            for v, c in cb.items():
+                coeffs[v] = coeffs.get(v, 0) - c
+            lia.add(coeffs, op, kb - ka, tag)
+
+        for atom, pol in literals:
+            tag = builder.atom_var[atom] * (1 if pol else -1)
+            if atom.op == Op.LE:
+                if pol:
+                    add_ineq(atom.args[0], atom.args[1], "<=", tag)
+                else:
+                    add_ineq(atom.args[0], mk_add(atom.args[1], mk_int(1)), ">=", tag)
+            elif atom.op == Op.EQ and atom.args[0].sort.is_int and pol:
+                add_ineq(atom.args[0], atom.args[1], "=", tag)
+        # Equalities derived by congruence, over integer terms.
+        for a, b in closure.int_equalities():
+            add_ineq(a, b, "=", "euf")
+
+        status, core, lia_model = lia.check()
+        if status == lia_mod.UNSAT:
+            clause: List[int] = []
+            coarse = False
+            for tag in core or []:
+                if isinstance(tag, int):
+                    clause.append(-tag)
+                else:
+                    coarse = True
+            if coarse:
+                for a, p in eq_literals:
+                    clause.append(-builder.atom_var[a] if p else builder.atom_var[a])
+            if not clause:
+                self.unknown_reason = "lia conflict without core"
+                return UNKNOWN
+            sat.add_clause(sorted(set(clause)))
+            self.stats.lemmas += 1
+            return "continue"
+        if status == lia_mod.UNKNOWN:
+            self.unknown_reason = "lia branch-and-bound limit"
+            return UNKNOWN
+
+        # -- candidate model ---------------------------------------------------
+        universe: List[Term] = []
+        seen: Set[int] = set()
+        for atom, _pol in literals:
+            for t in subterms(atom):
+                if t.id not in seen:
+                    seen.add(t.id)
+                    universe.append(t)
+        assigned: Dict[Term, int] = {}
+        class_of: Dict[Term, int] = {}
+        assert lia_model is not None
+        for t in universe:
+            if t.id in closure.parent:
+                class_of[t] = closure.find(t.id)
+            if t.sort.is_int and t.op in (Op.VAR, Op.APP, Op.SELECT, Op.MUL, Op.DIV, Op.MOD):
+                rep = class_of.get(t, t.id)
+                if rep in rep_var:
+                    assigned[t] = lia_model[rep_var[rep]]
+                else:
+                    const = closure.constant_of(t)
+                    assigned[t] = const if const is not None else 0
+        try:
+            model = build_model(universe, assigned, class_of)
+        except ModelInconsistency as exc:
+            self._add_congruence_lemma(exc.left, exc.right, builder, sat)
+            return "continue"
+        violation = verify_literals(model, literals)
+        if violation is not None:
+            self.unknown_reason = f"model verification failed on {violation[0]!r}"
+            return UNKNOWN
+        self._model = model
+        return SAT
+
+    def _add_congruence_lemma(self, left: Term, right: Term,
+                              builder: CnfBuilder, sat: SatSolver) -> None:
+        """Add the (valid) instance of congruence violated by the model."""
+        self.stats.lemmas += 1
+        if left.op != right.op or left.payload != right.payload:
+            # Different heads can only clash through array reconstruction;
+            # fall back to equating the terms outright is NOT valid, so use
+            # select-index disambiguation below only for selects.
+            raise RuntimeError(f"unexpected congruence clash {left!r} / {right!r}")
+        parts = [mk_not(mk_eq(a, b)) for a, b in zip(left.args, right.args) if a is not b]
+        parts.append(mk_eq(left, right))
+        builder.assert_formula(mk_or(*parts))
+
+
+def check_formulas(formulas: Iterable[Term], axioms: Iterable[Axiom] = (),
+                   **kwargs) -> Tuple[str, Optional[Model]]:
+    """Convenience one-shot check; returns (status, model or None)."""
+    solver = Solver(axioms=axioms, **kwargs)
+    solver.add(*formulas)
+    status = solver.check()
+    return status, (solver.model() if status == SAT else None)

@@ -1,0 +1,440 @@
+"""Hash-consed terms for the SMT substrate.
+
+The solver works over a small many-sorted first-order language:
+
+* sorts: ``INT``, ``BOOL``, arrays (int-indexed), plus uninterpreted sorts
+  (strings, opaque objects) declared on the fly;
+* interpreted symbols: linear arithmetic (``+``, ``-``, integer constants,
+  constant multiplication), comparisons (``=``, ``<=``), boolean
+  connectives;
+* partially interpreted symbols: ``select``/``store`` (handled by lazy
+  read-over-write expansion), and nonlinear ``mul``/``div``/``mod`` which
+  the core treats as uninterpreted but the model evaluator interprets;
+* uninterpreted functions for external library calls, constrained by
+  user-supplied axioms (:mod:`repro.smt.quant`).
+
+Terms are hash-consed: structural equality is pointer equality, and every
+term carries a unique ``id`` so union-find structures can be array-backed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+
+class SortKind:
+    INT = "Int"
+    BOOL = "Bool"
+    ARRAY = "Array"
+    UNINTERPRETED = "U"
+
+
+class TSort:
+    """A solver sort.  Use the module-level constructors, not this class."""
+
+    __slots__ = ("kind", "name", "elem")
+
+    def __init__(self, kind: str, name: str = "", elem: Optional["TSort"] = None):
+        self.kind = kind
+        self.name = name
+        self.elem = elem
+
+    def __repr__(self) -> str:
+        if self.kind == SortKind.ARRAY:
+            return f"(Array Int {self.elem!r})"
+        return self.name or self.kind
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == SortKind.INT
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind == SortKind.BOOL
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == SortKind.ARRAY
+
+
+INT = TSort(SortKind.INT, "Int")
+BOOL = TSort(SortKind.BOOL, "Bool")
+
+_UNINTERPRETED: Dict[str, TSort] = {}
+_ARRAYS: Dict[int, TSort] = {}
+
+
+def uninterpreted_sort(name: str) -> TSort:
+    """Declare (or fetch) an uninterpreted sort by name."""
+    if name not in _UNINTERPRETED:
+        _UNINTERPRETED[name] = TSort(SortKind.UNINTERPRETED, name)
+    return _UNINTERPRETED[name]
+
+
+STR = uninterpreted_sort("Str")
+OBJ = uninterpreted_sort("Obj")
+
+
+def array_sort(elem: TSort) -> TSort:
+    """The sort of int-indexed arrays with ``elem`` elements."""
+    key = id(elem)
+    if key not in _ARRAYS:
+        _ARRAYS[key] = TSort(SortKind.ARRAY, f"Array<{elem!r}>", elem)
+    return _ARRAYS[key]
+
+
+ARR = array_sort(INT)
+SARR = array_sort(STR)
+
+
+class Op:
+    """Operator tags."""
+
+    VAR = "var"
+    INT_CONST = "const"
+    ADD = "+"  # n-ary
+    MUL_CONST = "*c"  # constant * term
+    MUL = "mul"  # nonlinear, treated as uninterpreted by the core
+    DIV = "div"
+    MOD = "mod"
+    SELECT = "select"
+    STORE = "store"
+    APP = "app"  # uninterpreted function application
+    EQ = "="
+    LE = "<="
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    TRUE = "true"
+    FALSE = "false"
+
+
+class Term:
+    """An immutable, hash-consed term."""
+
+    __slots__ = ("id", "op", "args", "payload", "sort", "__weakref__")
+
+    _ids = itertools.count()
+    _table: Dict[tuple, "Term"] = {}
+
+    def __new__(cls, op: str, args: Tuple["Term", ...], payload, sort: TSort):
+        key = (op, args, payload, id(sort))
+        cached = cls._table.get(key)
+        if cached is not None:
+            return cached
+        term = object.__new__(cls)
+        term.id = next(cls._ids)
+        term.op = op
+        term.args = args
+        term.payload = payload
+        term.sort = sort
+        cls._table[key] = term
+        return term
+
+    def __repr__(self) -> str:
+        return term_to_str(self)
+
+    # Hash-consing makes default identity hash/eq correct and fast.
+
+    @property
+    def is_atom(self) -> bool:
+        return self.op in (Op.EQ, Op.LE) or (
+            self.sort.is_bool and self.op in (Op.VAR, Op.APP, Op.SELECT)
+        )
+
+
+def term_to_str(t: Term) -> str:
+    if t.op == Op.VAR:
+        return str(t.payload)
+    if t.op == Op.INT_CONST:
+        return str(t.payload)
+    if t.op == Op.TRUE:
+        return "true"
+    if t.op == Op.FALSE:
+        return "false"
+    if t.op == Op.MUL_CONST:
+        return f"({t.payload} * {term_to_str(t.args[0])})"
+    if t.op == Op.APP:
+        return f"{t.payload}({', '.join(term_to_str(a) for a in t.args)})"
+    if t.op in (Op.EQ, Op.LE, Op.ADD):
+        return "(" + f" {t.op} ".join(term_to_str(a) for a in t.args) + ")"
+    return f"({t.op} {' '.join(term_to_str(a) for a in t.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Constructors (with light normalization / constant folding)
+# ---------------------------------------------------------------------------
+
+TRUE = Term(Op.TRUE, (), None, BOOL)
+FALSE = Term(Op.FALSE, (), None, BOOL)
+
+
+def mk_var(name: str, sort: TSort) -> Term:
+    return Term(Op.VAR, (), name, sort)
+
+
+def mk_int(value: int) -> Term:
+    return Term(Op.INT_CONST, (), int(value), INT)
+
+
+ZERO = mk_int(0)
+ONE = mk_int(1)
+
+
+def _flatten_add(parts: Iterable[Term]):
+    const = 0
+    flat = []
+    for p in parts:
+        if p.op == Op.INT_CONST:
+            const += p.payload
+        elif p.op == Op.ADD:
+            inner_const, inner = _flatten_add(p.args)
+            const += inner_const
+            flat.extend(inner)
+        else:
+            flat.append(p)
+    return const, flat
+
+
+def mk_add(*parts: Term) -> Term:
+    """N-ary addition with constant folding and coefficient merging."""
+    const, flat = _flatten_add(parts)
+    # Merge repeated terms into coefficient form.
+    coeffs: Dict[Term, int] = {}
+    order = []
+    for p in flat:
+        if p.op == Op.MUL_CONST:
+            base, c = p.args[0], p.payload
+        else:
+            base, c = p, 1
+        if base not in coeffs:
+            coeffs[base] = 0
+            order.append(base)
+        coeffs[base] += c
+    out = []
+    for base in order:
+        c = coeffs[base]
+        if c == 0:
+            continue
+        out.append(base if c == 1 else Term(Op.MUL_CONST, (base,), c, INT))
+    if const != 0 or not out:
+        out.append(mk_int(const))
+    if len(out) == 1:
+        return out[0]
+    out.sort(key=lambda t: t.id)
+    return Term(Op.ADD, tuple(out), None, INT)
+
+
+def mk_mul_const(c: int, t: Term) -> Term:
+    if c == 0:
+        return ZERO
+    if t.op == Op.INT_CONST:
+        return mk_int(c * t.payload)
+    if c == 1:
+        return t
+    if t.op == Op.MUL_CONST:
+        return mk_mul_const(c * t.payload, t.args[0])
+    if t.op == Op.ADD:
+        return mk_add(*(mk_mul_const(c, a) for a in t.args))
+    return Term(Op.MUL_CONST, (t,), c, INT)
+
+
+def mk_sub(a: Term, b: Term) -> Term:
+    return mk_add(a, mk_mul_const(-1, b))
+
+
+def mk_mul(a: Term, b: Term) -> Term:
+    """Multiplication; linear cases are folded, others stay symbolic."""
+    if a.op == Op.INT_CONST:
+        return mk_mul_const(a.payload, b)
+    if b.op == Op.INT_CONST:
+        return mk_mul_const(b.payload, a)
+    x, y = (a, b) if a.id <= b.id else (b, a)
+    return Term(Op.MUL, (x, y), None, INT)
+
+
+def mk_div(a: Term, b: Term) -> Term:
+    if a.op == Op.INT_CONST and b.op == Op.INT_CONST and b.payload != 0:
+        q, r = divmod(a.payload, b.payload)
+        return mk_int(q)
+    return Term(Op.DIV, (a, b), None, INT)
+
+
+def mk_mod(a: Term, b: Term) -> Term:
+    if a.op == Op.INT_CONST and b.op == Op.INT_CONST and b.payload != 0:
+        return mk_int(a.payload % b.payload)
+    return Term(Op.MOD, (a, b), None, INT)
+
+
+def mk_select(arr: Term, idx: Term) -> Term:
+    if not arr.sort.is_array:
+        raise TypeError(f"select from non-array term {arr!r}")
+    return Term(Op.SELECT, (arr, idx), None, arr.sort.elem)
+
+
+def mk_store(arr: Term, idx: Term, val: Term) -> Term:
+    if not arr.sort.is_array:
+        raise TypeError(f"store into non-array term {arr!r}")
+    return Term(Op.STORE, (arr, idx, val), None, arr.sort)
+
+
+def mk_app(name: str, args: Sequence[Term], sort: TSort) -> Term:
+    return Term(Op.APP, tuple(args), name, sort)
+
+
+def mk_eq(a: Term, b: Term) -> Term:
+    if a is b:
+        return TRUE
+    if a.op == Op.INT_CONST and b.op == Op.INT_CONST:
+        return TRUE if a.payload == b.payload else FALSE
+    x, y = (a, b) if a.id <= b.id else (b, a)
+    return Term(Op.EQ, (x, y), None, BOOL)
+
+
+def mk_le(a: Term, b: Term) -> Term:
+    if a.op == Op.INT_CONST and b.op == Op.INT_CONST:
+        return TRUE if a.payload <= b.payload else FALSE
+    if a is b:
+        return TRUE
+    return Term(Op.LE, (a, b), None, BOOL)
+
+
+def mk_lt(a: Term, b: Term) -> Term:
+    return mk_le(mk_add(a, ONE), b)
+
+
+def mk_ge(a: Term, b: Term) -> Term:
+    return mk_le(b, a)
+
+
+def mk_gt(a: Term, b: Term) -> Term:
+    return mk_lt(b, a)
+
+
+def mk_not(t: Term) -> Term:
+    if t is TRUE:
+        return FALSE
+    if t is FALSE:
+        return TRUE
+    if t.op == Op.NOT:
+        return t.args[0]
+    return Term(Op.NOT, (t,), None, BOOL)
+
+
+def mk_and(*parts: Term) -> Term:
+    flat = []
+    for p in parts:
+        if p is TRUE:
+            continue
+        if p is FALSE:
+            return FALSE
+        if p.op == Op.AND:
+            flat.extend(p.args)
+        else:
+            flat.append(p)
+    seen = set()
+    uniq = []
+    for p in flat:
+        if p.id not in seen:
+            seen.add(p.id)
+            uniq.append(p)
+    if not uniq:
+        return TRUE
+    if len(uniq) == 1:
+        return uniq[0]
+    return Term(Op.AND, tuple(uniq), None, BOOL)
+
+
+def mk_or(*parts: Term) -> Term:
+    flat = []
+    for p in parts:
+        if p is FALSE:
+            continue
+        if p is TRUE:
+            return TRUE
+        if p.op == Op.OR:
+            flat.extend(p.args)
+        else:
+            flat.append(p)
+    seen = set()
+    uniq = []
+    for p in flat:
+        if p.id not in seen:
+            seen.add(p.id)
+            uniq.append(p)
+    if not uniq:
+        return FALSE
+    if len(uniq) == 1:
+        return uniq[0]
+    return Term(Op.OR, tuple(uniq), None, BOOL)
+
+
+def mk_implies(a: Term, b: Term) -> Term:
+    return mk_or(mk_not(a), b)
+
+
+def mk_distinct(a: Term, b: Term) -> Term:
+    return mk_not(mk_eq(a, b))
+
+
+def subterms(t: Term) -> Iterable[Term]:
+    """All subterms of ``t`` (pre-order, may repeat shared nodes once)."""
+    seen = set()
+    stack = [t]
+    while stack:
+        cur = stack.pop()
+        if cur.id in seen:
+            continue
+        seen.add(cur.id)
+        yield cur
+        stack.extend(cur.args)
+
+
+def term_vars(t: Term) -> frozenset:
+    """The free variables of a term."""
+    return frozenset(s for s in subterms(t) if s.op == Op.VAR)
+
+
+def substitute(t: Term, mapping: Dict[Term, Term]) -> Term:
+    """Capture-free substitution of variables (or arbitrary subterms)."""
+    hit = mapping.get(t)
+    if hit is not None:
+        return hit
+    if not t.args:
+        return t
+    new_args = tuple(substitute(a, mapping) for a in t.args)
+    if new_args == t.args:
+        return t
+    return rebuild(t, new_args)
+
+
+def rebuild(t: Term, args: Tuple[Term, ...]) -> Term:
+    """Rebuild a term with new arguments, re-running normalization."""
+    if t.op == Op.ADD:
+        return mk_add(*args)
+    if t.op == Op.MUL_CONST:
+        return mk_mul_const(t.payload, args[0])
+    if t.op == Op.MUL:
+        return mk_mul(*args)
+    if t.op == Op.DIV:
+        return mk_div(*args)
+    if t.op == Op.MOD:
+        return mk_mod(*args)
+    if t.op == Op.SELECT:
+        return mk_select(*args)
+    if t.op == Op.STORE:
+        return mk_store(*args)
+    if t.op == Op.APP:
+        return mk_app(t.payload, args, t.sort)
+    if t.op == Op.EQ:
+        return mk_eq(*args)
+    if t.op == Op.LE:
+        return mk_le(*args)
+    if t.op == Op.NOT:
+        return mk_not(args[0])
+    if t.op == Op.AND:
+        return mk_and(*args)
+    if t.op == Op.OR:
+        return mk_or(*args)
+    return Term(t.op, args, t.payload, t.sort)

@@ -1,0 +1,48 @@
+"""The 14-benchmark suite from the paper's evaluation (Section 4).
+
+``all_benchmarks()`` returns the registry in the paper's Table 1 order.
+Each module exposes ``benchmark() -> Benchmark``.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Dict, List
+
+from .base import Benchmark, PaperNumbers
+
+BENCHMARK_MODULES: List[str] = [
+    "inplace_rl",
+    "runlength",
+    "lz77",
+    "lzw",
+    "base64",
+    "uuencode",
+    "pkt_wrapper",
+    "serialize",
+    "sumi",
+    "vector_shift",
+    "vector_scale",
+    "vector_rotate",
+    "permute_count",
+    "lu_decomp",
+]
+
+_cache: Dict[str, Benchmark] = {}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Load one benchmark by module name."""
+    if name not in _cache:
+        module = import_module(f".{name}", __package__)
+        _cache[name] = module.benchmark()
+    return _cache[name]
+
+
+def all_benchmarks() -> Dict[str, Benchmark]:
+    """All suite benchmarks, in Table 1 order."""
+    return {name: get_benchmark(name) for name in BENCHMARK_MODULES}
+
+
+__all__ = ["Benchmark", "PaperNumbers", "BENCHMARK_MODULES",
+           "get_benchmark", "all_benchmarks"]

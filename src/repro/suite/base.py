@@ -1,0 +1,68 @@
+"""Benchmark bundles for the 14-program suite (Tables 1-3).
+
+Each benchmark carries:
+
+* a :class:`~repro.pins.task.SynthesisTask` (program, inverse template,
+  candidate sets, axioms, input generator);
+* the *ground-truth* inverse (hand-written, guarded, hole-free) used as a
+  test oracle and as the target the synthesized program must match
+  behaviourally;
+* the paper's Table-1/2/3 figures for that row, so EXPERIMENTS.md can
+  print paper-vs-measured side by side;
+* template-mining metadata: how large the mined candidate set was, the
+  subset chosen, and how many manual modifications the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..lang.ast import Program
+from ..pins.task import SynthesisTask
+
+
+@dataclass
+class PaperNumbers:
+    """The published row for this benchmark (for shape comparison)."""
+
+    loc: int = 0
+    mined: int = 0
+    subset: int = 0
+    modifications: int = 0
+    inverse_loc: int = 0
+    axioms: int = 0
+    search_space_log2: float = 0.0
+    num_solutions: int = 1
+    iterations: int = 0
+    time_seconds: float = 0.0
+    sat_size: int = 0
+    tests: int = 0
+    manual_ok: str = "ok"
+    cbmc_seconds: Optional[float] = None
+    sketch_seconds: Optional[float] = None
+
+
+@dataclass
+class Benchmark:
+    """A suite entry: task + oracle + paper metadata."""
+
+    name: str
+    group: str  # 'compressor' | 'encoder' | 'arithmetic'
+    task: SynthesisTask
+    ground_truth: Program
+    paper: PaperNumbers = field(default_factory=PaperNumbers)
+    uses_axioms: bool = False
+    notes: str = ""
+
+    @property
+    def loc(self) -> int:
+        from ..lang.transform import loc_of
+
+        return loc_of(self.task.program.body)
+
+    @property
+    def inverse_loc(self) -> int:
+        from ..lang.transform import loc_of
+
+        return loc_of(self.task.inverse.body)

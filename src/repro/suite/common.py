@@ -1,0 +1,47 @@
+"""Shared helpers for suite benchmarks (input-range axioms etc.)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..smt import ARR, INT, Axiom, mk_and, mk_int, mk_le, mk_lt, mk_not, mk_or, mk_select, mk_var
+
+
+def array_range_axiom(array: str, length: str, lo: int, hi: int,
+                      name: str = "") -> Axiom:
+    """``forall k. 0 <= k < length  =>  lo <= array[k] < hi`` at version 0.
+
+    The symbolic form of byte-range (or digit-range) preconditions that
+    the template language's ``assume`` cannot quantify over.
+    """
+    a0 = mk_var(f"{array}#0", ARR)
+    n0 = mk_var(f"{length}#0", INT)
+    k = mk_var("?k", INT)
+    sel_k = mk_select(a0, k)
+    return Axiom(
+        name=name or f"range_{array}_{lo}_{hi}",
+        variables=(k,),
+        body=mk_or(
+            mk_not(mk_le(mk_int(0), k)), mk_not(mk_lt(k, n0)),
+            mk_and(mk_le(mk_int(lo), sel_k), mk_lt(sel_k, mk_int(hi))),
+        ),
+        patterns=(sel_k,),
+    )
+
+
+def array_range_precondition(array: str, length: str, lo: int, hi: int
+                             ) -> Callable[[Dict[str, Any]], bool]:
+    """Concrete filter matching :func:`array_range_axiom`."""
+
+    def check(inputs: Dict[str, Any]) -> bool:
+        n = inputs.get(length, 0)
+        arr = inputs.get(array)
+        if arr is None or not isinstance(n, int) or n < 0:
+            return False
+        get = arr.get if hasattr(arr, "get") else lambda i: arr[i]
+        try:
+            return all(lo <= get(i) < hi for i in range(n))
+        except (TypeError, IndexError):
+            return False
+
+    return check

@@ -1,0 +1,114 @@
+"""Benchmark: in-place run-length encoding (Figures 1 and 2 of the paper).
+
+The encoder destructively compresses ``A`` in place, writing counts to
+``N`` and the compressed length to ``m``.  The inverse template and the
+candidate sets below are the paper's final ones (after its template-
+debugging walkthrough): note the decoder reads compressed data from the
+*unprimed* ``A`` — the fix Section 3 arrives at.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program inplace_rl [array A; int n; array N; int m; int i; int r] {
+  in(A, n);
+  assume(n >= 0);
+  i, m := 0, 0;
+  while (i < n) {
+    r := 1;
+    while (i + 1 < n && sel(A, i) = sel(A, i + 1)) {
+      r, i := r + 1, i + 1;
+    }
+    A := upd(A, m, sel(A, i));
+    N := upd(N, m, r);
+    m, i := m + 1, i + 1;
+  }
+  out(A, N, m);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program inplace_rl_inv [array A; array N; int m; array Ap; int ip; int mp; int rp] {
+  ip, mp := [e1], [e2];
+  while ([p1]) {
+    rp := [e3];
+    while ([p2]) {
+      rp, ip, Ap := [e4], [e5], [e6];
+    }
+    mp := [e7];
+  }
+  out(Ap, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program inplace_rl_inv [array A; array N; int m; array Ap; int ip; int mp; int rp] {
+  ip, mp := 0, 0;
+  while (mp < m) {
+    rp := sel(N, mp);
+    while (rp > 0) {
+      rp, ip, Ap := rp - 1, ip + 1, upd(Ap, ip, sel(A, mp));
+    }
+    mp := mp + 1;
+  }
+  out(Ap, ip);
+}
+""")
+
+# The paper's final Phi_e (11 elements) and Phi_p (3 elements).
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "mp + 1", "mp - 1", "rp + 1", "rp - 1", "ip + 1", "ip - 1",
+    "upd(Ap, mp, sel(A, ip))", "upd(Ap, ip, sel(A, mp))", "sel(N, mp)",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "sel(Ap, ip) = sel(Ap, ip + 1)", "mp < m", "rp > 0",
+])
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 5)
+    return {"A": [rng.randint(1, 3) for _ in range(n)], "n": n}
+
+
+INITIAL_INPUTS = tuple(
+    {"A": list(a), "n": len(a)}
+    for a in ([], [1], [1, 1], [1, 2], [2, 2, 2], [1, 1, 2], [1, 2, 2], [3, 1, 1, 3])
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="inplace_rl",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        max_pred_conj=2,
+        max_unroll=4,
+        bmc_unroll=10,
+        bmc_array_size=4,
+        bmc_value_range=(1, 2),
+    )
+    return Benchmark(
+        name="inplace_rl",
+        group="compressor",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        paper=PaperNumbers(
+            loc=12, mined=16, subset=14, modifications=1, inverse_loc=10, axioms=0,
+            search_space_log2=30, num_solutions=1, iterations=7,
+            time_seconds=36.16, sat_size=837, tests=2,
+            cbmc_seconds=34.59, sketch_seconds=157,
+        ),
+        notes="The paper's running example (Figures 1-2).",
+    )

@@ -1,0 +1,201 @@
+"""Benchmark: LU decomposition (Doolittle) and its in-place inverse.
+
+The forward program LU-decomposes a matrix in place (unit lower
+triangle below the diagonal, upper triangle on and above); the inverse —
+manually derived in prior work, synthesized here — re-multiplies the
+triangular factors in place.
+
+Matrices are flattened row-major into an int-indexed array with a fixed
+small dimension ``n``; multiplication/division are the abstract exact
+``mul``/``div`` of :mod:`repro.axioms.arith`, and the precondition (the
+matrix is LU-decomposable without pivoting) is enforced by the input
+generator producing matrices that are products of random unit-lower and
+upper factors.
+
+To keep the synthesis space at the paper's scale (2^5), the template
+fixes the triple-loop skeleton and leaves the two update expressions and
+the middle guard unknown.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..axioms.arith import arith_registry, mul_div_axioms
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+# Doolittle, in place, k-i-j order:  for k; for i>k: A[i,k] /= A[k,k];
+# for j>k: A[i,j] -= A[i,k]*A[k,j].
+PROGRAM = parse_program("""
+program lu_decomp [array A; int n; int nn; int k; int i; int j] {
+  in(A, n, nn);
+  assume(n >= 0);
+  assume(nn = n * n);
+  k := 0;
+  while (k < n) {
+    i := k + 1;
+    while (i < n) {
+      A := upd(A, i * n + k, div(sel(A, i * n + k), sel(A, k * n + k)));
+      j := k + 1;
+      while (j < n) {
+        A := upd(A, i * n + j,
+                 sel(A, i * n + j) - mul(sel(A, i * n + k), sel(A, k * n + j)));
+        j := j + 1;
+      }
+      i := i + 1;
+    }
+    k := k + 1;
+  }
+  out(A, n, nn);
+}
+""")
+
+# The inverse walks k backwards, re-multiplying the factors.
+INVERSE_TEMPLATE = parse_program("""
+program lu_decomp_inv [array A; int n; int nn; array Ap; int kp; int ipp; int jp] {
+  Ap := [e0];
+  kp := [e1];
+  while ([p1]) {
+    ipp := kp + 1;
+    while ([p2]) {
+      jp := kp + 1;
+      while ([p3]) {
+        Ap := [e2];
+        jp := jp + 1;
+      }
+      Ap := [e3];
+      ipp := ipp + 1;
+    }
+    kp := kp - 1;
+  }
+  out(Ap, n);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program lu_decomp_inv [array A; int n; int nn; array Ap; int kp; int ipp; int jp] {
+  Ap := A;
+  kp := n - 1;
+  while (kp >= 0) {
+    ipp := kp + 1;
+    while (ipp < n) {
+      jp := kp + 1;
+      while (jp < n) {
+        Ap := upd(Ap, ipp * n + jp,
+                  sel(Ap, ipp * n + jp) + mul(sel(Ap, ipp * n + kp), sel(Ap, kp * n + jp)));
+        jp := jp + 1;
+      }
+      Ap := upd(Ap, ipp * n + kp, mul(sel(Ap, ipp * n + kp), sel(Ap, kp * n + kp)));
+      ipp := ipp + 1;
+    }
+    kp := kp - 1;
+  }
+  out(Ap, n);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "A", "0", "n - 1",
+    "upd(Ap, ipp * n + jp, sel(Ap, ipp * n + jp) + mul(sel(Ap, ipp * n + kp), sel(Ap, kp * n + jp)))",
+    "upd(Ap, ipp * n + jp, sel(Ap, ipp * n + jp) - mul(sel(Ap, ipp * n + kp), sel(Ap, kp * n + jp)))",
+    "upd(Ap, ipp * n + kp, mul(sel(Ap, ipp * n + kp), sel(Ap, kp * n + kp)))",
+    "upd(Ap, ipp * n + kp, div(sel(Ap, ipp * n + kp), sel(Ap, kp * n + kp)))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "kp >= 0", "kp < n", "ipp < n", "jp < n",
+])
+
+
+def _random_lu_input(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 3)
+    lower = [[1 if a == b else (rng.randint(-2, 2) if a > b else 0)
+              for b in range(n)] for a in range(n)]
+    upper = [[rng.choice([1, 2, -1, 3]) if a == b
+              else (rng.randint(-2, 2) if b > a else 0)
+              for b in range(n)] for a in range(n)]
+    product = [[sum(lower[a][t] * upper[t][b] for t in range(n))
+                for b in range(n)] for a in range(n)]
+    flat = [product[a][b] for a in range(n) for b in range(n)]
+    return {"A": flat, "n": n, "nn": n * n}
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    return _random_lu_input(rng)
+
+
+def is_decomposable(inputs: Dict[str, Any]) -> bool:
+    """Pivot-free Doolittle requires nonsingular leading principal minors."""
+    from fractions import Fraction
+
+    n = inputs.get("n", 0)
+    if inputs.get("nn", n * n) != n * n:
+        return False
+    arr = inputs.get("A")
+    get = arr.get if hasattr(arr, "get") else lambda i: arr[i]
+    m = [[Fraction(get(a * n + b)) for b in range(n)] for a in range(n)]
+    for k in range(n):
+        if m[k][k] == 0:
+            return False
+        for i in range(k + 1, n):
+            factor = m[i][k] / m[k][k]
+            for j in range(k, n):
+                m[i][j] -= factor * m[k][j]
+    return True
+
+
+INITIAL_INPUTS = (
+    {"A": [], "n": 0, "nn": 0},
+    {"A": [2], "n": 1, "nn": 1},
+    {"A": [2, 1, 4, 5], "n": 2, "nn": 4},
+    {"A": [1, 2, 0, 3, 7, 1, 0, 2, 3], "n": 3, "nn": 9},
+)
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="lu_decomp",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=InversionSpec(
+            scalar_pairs=(("n", "n"),),
+            array_pairs=(("A", "Ap", "nn"),),
+        ),
+        externs=arith_registry(),
+        axioms=mul_div_axioms(),
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        precondition=is_decomposable,
+        expr_overrides={
+            "e0": tuple(parse_expr(t) for t in ["A"]),
+            "e1": tuple(parse_expr(t) for t in ["n - 1", "0"]),
+        },
+        pred_overrides={
+            "p1": tuple(parse_pred(t) for t in ["kp >= 0", "kp < n"]),
+            "p2": tuple(parse_pred(t) for t in ["ipp < n", "ipp > n"]),
+            "p3": tuple(parse_pred(t) for t in ["jp < n", "jp > n"]),
+        },
+        max_pred_conj=1,
+        max_unroll=3,
+        bmc_unroll=8,
+        bmc_array_size=2,
+        bmc_value_range=(1, 2),
+    )
+    return Benchmark(
+        name="lu_decomp",
+        group="arithmetic",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        uses_axioms=True,
+        paper=PaperNumbers(
+            loc=11, mined=14, subset=9, modifications=0, inverse_loc=12, axioms=2,
+            search_space_log2=5, num_solutions=1, iterations=1,
+            time_seconds=160.24, sat_size=10, tests=1,
+            cbmc_seconds=172,
+        ),
+    )

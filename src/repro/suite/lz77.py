@@ -1,0 +1,150 @@
+"""Benchmark: LZ77 — dictionary-constructing sliding-window compression.
+
+The encoder emits (position, length, literal) triples: the longest match
+of the lookahead in the already-seen prefix, then the next literal.  The
+decoder re-expands each triple by copying from its own output — the
+self-referential copy that grammar-based inversion cannot handle (the
+paper singles out LZ77/LZW as beyond those techniques).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program lz77 [array A; int n; array P; array R; array C; int k;
+              int i; int j; int r; int bestp; int bestr] {
+  in(A, n);
+  assume(n >= 0);
+  i, k := 0, 0;
+  while (i < n) {
+    bestp, bestr := 0, 0;
+    j := 0;
+    while (j < i) {
+      r := 0;
+      while (i + r < n - 1 && sel(A, j + r) = sel(A, i + r)) {
+        r := r + 1;
+      }
+      if (r > bestr) {
+        bestp, bestr := j, r;
+      }
+      j := j + 1;
+    }
+    P := upd(P, k, bestp);
+    R := upd(R, k, bestr);
+    C := upd(C, k, sel(A, i + bestr));
+    k := k + 1;
+    i := i + bestr + 1;
+  }
+  out(P, R, C, k);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program lz77_inv [array P; array R; array C; int k;
+                  array Ap; int ip; int kp; int jp; int rp; int pp] {
+  ip, kp := [e1], [e2];
+  while ([p1]) {
+    rp, pp := [e3], [e4];
+    jp := [e5];
+    while ([p2]) {
+      Ap := [e6];
+      ip, jp := [e7], [e8];
+    }
+    Ap := [e9];
+    ip, kp := [e10], [e11];
+  }
+  out(Ap, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program lz77_inv [array P; array R; array C; int k;
+                  array Ap; int ip; int kp; int jp; int rp; int pp] {
+  ip, kp := 0, 0;
+  while (kp < k) {
+    rp, pp := sel(R, kp), sel(P, kp);
+    jp := 0;
+    while (jp < rp) {
+      Ap := upd(Ap, ip, sel(Ap, pp + jp));
+      ip, jp := ip + 1, jp + 1;
+    }
+    Ap := upd(Ap, ip, sel(C, kp));
+    ip, kp := ip + 1, kp + 1;
+  }
+  out(Ap, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "ip + 1", "ip - 1", "jp + 1", "kp + 1",
+    "sel(R, kp)", "sel(P, kp)",
+    "upd(Ap, ip, sel(Ap, pp + jp))", "upd(Ap, ip, sel(Ap, pp - jp))",
+    "upd(Ap, ip, sel(C, kp))", "upd(Ap, pp + jp, sel(Ap, ip))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "kp < k", "jp < rp", "rp > 0", "0 < jp",
+])
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 6)
+    return {"A": [rng.randint(1, 2) for _ in range(n)], "n": n}
+
+
+INITIAL_INPUTS = tuple(
+    {"A": list(a), "n": len(a)}
+    for a in ([], [1], [1, 1], [1, 2], [1, 1, 1], [1, 2, 1, 2, 1],
+              [2, 2, 1, 2, 2, 1], [1, 2, 2, 1, 1, 2, 2])
+)
+
+SPEC = InversionSpec(
+    scalar_pairs=(("n", "ip"),),
+    array_pairs=(("A", "Ap", "n"),),
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="lz77",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        expr_overrides={
+            "e1": tuple(parse_expr(t) for t in ["0", "1"]),
+            "e2": tuple(parse_expr(t) for t in ["0", "1"]),
+            "e3": tuple(parse_expr(t) for t in ["sel(R, kp)", "sel(P, kp)", "0"]),
+            "e4": tuple(parse_expr(t) for t in ["sel(P, kp)", "sel(R, kp)", "0"]),
+            "e5": tuple(parse_expr(t) for t in ["0", "1"]),
+        },
+        max_pred_conj=1,
+        max_unroll=3,
+        bmc_unroll=10,
+        bmc_array_size=4,
+        bmc_value_range=(1, 2),
+    )
+    return Benchmark(
+        name="lz77",
+        group="compressor",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        paper=PaperNumbers(
+            loc=22, mined=16, subset=10, modifications=3, inverse_loc=13, axioms=0,
+            search_space_log2=25, num_solutions=2, iterations=6,
+            time_seconds=1810.31, sat_size=330, tests=5,
+            cbmc_seconds=1.93, sketch_seconds=29,
+        ),
+        notes="The paper's slowest benchmark (30 minutes on the authors' "
+              "setup).",
+    )

@@ -1,0 +1,203 @@
+"""Benchmark: LZW — Lempel-Ziv-Welch over a binary alphabet.
+
+The encoder builds a dictionary of strings on the fly (seeded with the
+single-character strings "0" and "1", like the paper's Figure 4b) and
+emits dictionary indices; the decoder rebuilds the same dictionary from
+the code stream alone, including the classic K-omega-K corner case where
+a code refers to the entry being defined.
+
+Strings are the abstract ADT of :mod:`repro.axioms.strings`; the paper
+reports 15 axioms for this row — our reusable string library covers the
+same ground with 8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..axioms.strings import STRING_EXTERNS, string_axioms
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+from .common import array_range_axiom, array_range_precondition
+
+PROGRAM = parse_program("""
+program lzw [array A; int n; strarray D; int p; array B; int k;
+             int i; int c; int x; str w] {
+  in(A, n);
+  assume(n >= 1);
+  D := upd(D, 0, single(0));
+  D := upd(D, 1, single(1));
+  p := 2;
+  w := single(sel(A, 0));
+  i, k := 1, 0;
+  while (i < n) {
+    c := sel(A, i);
+    x := findidx(D, p, append(w, c));
+    if (x >= 0) {
+      w := append(w, c);
+    } else {
+      B := upd(B, k, findidx(D, p, w));
+      k := k + 1;
+      D := upd(D, p, append(w, c));
+      p := p + 1;
+      w := single(c);
+    }
+    i := i + 1;
+  }
+  B := upd(B, k, findidx(D, p, w));
+  k := k + 1;
+  out(B, k);
+}
+""")
+
+# The decoder template: the dictionary rebuild and the K-omega-K case are
+# the unknowns; the emit loop structure is fixed (paper: Inv LoC 20).
+INVERSE_TEMPLATE = parse_program("""
+program lzw_inv [array B; int k; strarray Dp; int pp; array Ap; int ip;
+                 int kp; int cur; int jp; str sp; str prevs] {
+  Dp := upd(Dp, 0, single(0));
+  Dp := upd(Dp, 1, single(1));
+  pp := 2;
+  sp := sel(Dp, sel(B, 0));
+  jp := 0;
+  while (jp < strlen(sp)) {
+    Ap := upd(Ap, jp, char_at(sp, jp));
+    jp := jp + 1;
+  }
+  ip, kp, prevs := strlen(sp), 1, sp;
+  while ([p1]) {
+    cur := sel(B, kp);
+    if ([p2]) {
+      sp := [e1];
+    } else {
+      sp := [e2];
+    }
+    jp := 0;
+    while (jp < strlen(sp)) {
+      Ap := upd(Ap, ip + jp, char_at(sp, jp));
+      jp := jp + 1;
+    }
+    Dp := [e3];
+    pp := [e4];
+    ip, kp, prevs := [e5], kp + 1, sp;
+  }
+  out(Ap, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program lzw_inv [array B; int k; strarray Dp; int pp; array Ap; int ip;
+                 int kp; int cur; int jp; str sp; str prevs] {
+  Dp := upd(Dp, 0, single(0));
+  Dp := upd(Dp, 1, single(1));
+  pp := 2;
+  sp := sel(Dp, sel(B, 0));
+  jp := 0;
+  while (jp < strlen(sp)) {
+    Ap := upd(Ap, jp, char_at(sp, jp));
+    jp := jp + 1;
+  }
+  ip, kp, prevs := strlen(sp), 1, sp;
+  while (kp < k) {
+    cur := sel(B, kp);
+    if (cur < pp) {
+      sp := sel(Dp, cur);
+    } else {
+      sp := append(prevs, first(prevs));
+    }
+    jp := 0;
+    while (jp < strlen(sp)) {
+      Ap := upd(Ap, ip + jp, char_at(sp, jp));
+      jp := jp + 1;
+    }
+    Dp := upd(Dp, pp, append(prevs, first(sp)));
+    pp := pp + 1;
+    ip, kp, prevs := ip + strlen(sp), kp + 1, sp;
+  }
+  out(Ap, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "pp + 1", "pp - 1", "ip + strlen(sp)", "ip + 1", "kp + 1",
+    "sel(Dp, cur)", "append(prevs, first(prevs))", "append(prevs, first(sp))",
+    "append(sp, first(prevs))",
+    "upd(Dp, pp, append(prevs, first(sp)))",
+    "upd(Dp, pp, append(sp, first(prevs)))",
+    "upd(Dp, cur, append(prevs, first(sp)))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "kp < k", "cur < pp", "cur >= pp", "kp < pp",
+])
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(1, 7)
+    return {"A": [rng.randint(0, 1) for _ in range(n)], "n": n}
+
+
+INITIAL_INPUTS = tuple(
+    {"A": list(a), "n": len(a)}
+    for a in ([0], [1], [0, 0], [0, 1], [0, 0, 0],  # K-omega-K at [0,0,0]
+              [0, 1, 0, 1, 0], [1, 1, 0, 1, 1, 0], [0, 0, 1, 0, 0, 1, 0])
+)
+
+SPEC = InversionSpec(
+    scalar_pairs=(("n", "ip"),),
+    array_pairs=(("A", "Ap", "n"),),
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="lzw",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        externs=STRING_EXTERNS,
+        axioms=string_axioms(),
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        input_axioms=(array_range_axiom("A", "n", 0, 2),),
+        precondition=array_range_precondition("A", "n", 0, 2),
+        expr_overrides={
+            "e1": tuple(parse_expr(t) for t in [
+                "sel(Dp, cur)", "append(prevs, first(prevs))",
+                "append(prevs, first(sp))"]),
+            "e2": tuple(parse_expr(t) for t in [
+                "append(prevs, first(prevs))", "sel(Dp, cur)",
+                "append(sp, first(prevs))"]),
+            "e4": tuple(parse_expr(t) for t in ["pp + 1", "pp - 1", "pp"]),
+            "e5": tuple(parse_expr(t) for t in [
+                "ip + strlen(sp)", "ip + 1", "ip + strlen(prevs)"]),
+        },
+        pred_overrides={
+            "p1": tuple(parse_pred(t) for t in ["kp < k", "kp < pp"]),
+            "p2": tuple(parse_pred(t) for t in ["cur < pp", "cur >= pp", "kp < k"]),
+        },
+        max_pred_conj=1,
+        max_unroll=3,
+        bmc_unroll=10,
+        bmc_array_size=4,
+        bmc_value_range=(0, 1),
+    )
+    return Benchmark(
+        name="lzw",
+        group="compressor",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        uses_axioms=True,
+        paper=PaperNumbers(
+            loc=25, mined=20, subset=15, modifications=4, inverse_loc=20, axioms=15,
+            search_space_log2=31, num_solutions=2, iterations=4,
+            time_seconds=150.42, sat_size=373, tests=3,
+        ),
+        notes="Dictionary rebuilt from the code stream; includes the "
+              "K-omega-K corner case.",
+    )

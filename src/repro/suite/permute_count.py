@@ -1,0 +1,213 @@
+"""Benchmark: Permute count — Dijkstra's program-inversion example.
+
+From Dijkstra's original note (EWD671): given a permutation, compute for
+each element the number of *later, smaller* elements (an inversion
+table / Lehmer code); the inverse reconstructs the permutation from the
+counts.  Dijkstra derived the inverse by hand — PINS synthesizes it from
+the template.
+
+The reconstruction works right-to-left: seed position ``i`` with its
+count, then bump every already-placed later element that is >= it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from ..smt import (
+    ARR,
+    INT,
+    Axiom,
+    mk_and,
+    mk_eq,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_not,
+    mk_or,
+    mk_select,
+    mk_var,
+)
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program permute_count [array A; int n; array C; int i; int j; int r] {
+  in(A, n);
+  assume(n >= 0);
+  i := 0;
+  while (i < n) {
+    r := 0;
+    j := i + 1;
+    while (j < n) {
+      if (sel(A, j) < sel(A, i)) {
+        r := r + 1;
+      }
+      j := j + 1;
+    }
+    C := upd(C, i, r);
+    i := i + 1;
+  }
+  out(C, n);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program permute_count_inv [array C; int n; array Ap; int ip; int jp] {
+  ip := [e1];
+  while ([p1]) {
+    Ap := [e2];
+    jp := [e3];
+    while ([p2]) {
+      if ([p3]) {
+        Ap := [e4];
+      }
+      jp := [e5];
+    }
+    ip := [e6];
+  }
+  out(Ap, n);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program permute_count_inv [array C; int n; array Ap; int ip; int jp] {
+  ip := n - 1;
+  while (ip >= 0) {
+    Ap := upd(Ap, ip, sel(C, ip));
+    jp := ip + 1;
+    while (jp < n) {
+      if (sel(Ap, jp) >= sel(Ap, ip)) {
+        Ap := upd(Ap, jp, sel(Ap, jp) + 1);
+      }
+      jp := jp + 1;
+    }
+    ip := ip - 1;
+  }
+  out(Ap, n);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "n - 1", "ip + 1", "ip - 1", "jp + 1", "jp - 1",
+    "upd(Ap, ip, sel(C, ip))", "upd(Ap, jp, sel(Ap, jp) + 1)",
+    "upd(Ap, jp, sel(Ap, jp) - 1)",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ip >= 0", "ip < n", "jp < n", "sel(Ap, jp) >= sel(Ap, ip)",
+    "sel(Ap, jp) < sel(Ap, ip)",
+])
+
+SPEC = InversionSpec(
+    scalar_pairs=(("n", "n"),),
+    array_pairs=(("A", "Ap", "n"),),
+)
+
+
+def permutation_axioms():
+    """The precondition "A is a permutation of 0..n-1" as solver axioms:
+    in-range values plus pairwise distinctness (distinct + bounded implies
+    permutation by pigeonhole, which is all a *model* needs to satisfy)."""
+    a0 = mk_var("A#0", ARR)
+    n0 = mk_var("n#0", INT)
+    j = mk_var("?j", INT)
+    k = mk_var("?k", INT)
+    sel_j = mk_select(a0, j)
+    sel_k = mk_select(a0, k)
+    in_range = Axiom(
+        name="perm_in_range",
+        variables=(k,),
+        body=mk_or(
+            mk_not(mk_le(mk_int(0), k)), mk_not(mk_lt(k, n0)),
+            mk_and(mk_le(mk_int(0), sel_k), mk_lt(sel_k, n0)),
+        ),
+        patterns=(sel_k,),
+    )
+    distinct = Axiom(
+        name="perm_distinct",
+        variables=(j, k),
+        body=mk_or(
+            mk_not(mk_le(mk_int(0), j)), mk_not(mk_lt(j, n0)),
+            mk_not(mk_le(mk_int(0), k)), mk_not(mk_lt(k, n0)),
+            mk_eq(j, k),
+            mk_not(mk_eq(sel_j, sel_k)),
+        ),
+        patterns=((sel_j, sel_k),),
+    )
+    return (in_range, distinct)
+
+
+def is_permutation(inputs) -> bool:
+    n = inputs.get("n", 0)
+    arr = inputs.get("A")
+    values = []
+    for i in range(n):
+        values.append(arr.get(i) if hasattr(arr, "get") else arr[i])
+    return sorted(values) == list(range(n))
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 4)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    return {"A": perm, "n": n}
+
+
+INITIAL_INPUTS = (
+    {"A": [], "n": 0},
+    {"A": [0], "n": 1},
+    {"A": [1, 0], "n": 2},
+    {"A": [0, 1], "n": 2},
+    {"A": [2, 0, 1], "n": 3},
+    {"A": [1, 2, 0], "n": 3},
+    {"A": [3, 1, 0, 2], "n": 4},
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="permute_count",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        input_axioms=permutation_axioms(),
+        precondition=is_permutation,
+        expr_overrides={
+            "e1": tuple(parse_expr(t) for t in ["0", "n - 1", "1"]),
+            "e2": tuple(parse_expr(t) for t in [
+                "upd(Ap, ip, sel(C, ip))", "upd(Ap, jp, sel(Ap, jp) + 1)"]),
+            "e4": tuple(parse_expr(t) for t in [
+                "upd(Ap, jp, sel(Ap, jp) + 1)", "upd(Ap, jp, sel(Ap, jp) - 1)",
+                "upd(Ap, ip, sel(C, ip))"]),
+        },
+        pred_overrides={
+            "p1": tuple(parse_pred(t) for t in ["ip >= 0", "ip < n", "0 < ip"]),
+            "p3": tuple(parse_pred(t) for t in [
+                "sel(Ap, jp) >= sel(Ap, ip)", "sel(Ap, jp) < sel(Ap, ip)"]),
+        },
+        max_pred_conj=1,
+        max_unroll=4,
+        bmc_unroll=10,
+        bmc_array_size=4,
+        bmc_value_range=(0, 3),
+    )
+    return Benchmark(
+        name="permute_count",
+        group="arithmetic",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        paper=PaperNumbers(
+            loc=11, mined=12, subset=7, modifications=2, inverse_loc=10, axioms=0,
+            search_space_log2=3, num_solutions=1, iterations=1,
+            time_seconds=8.44, sat_size=4, tests=1,
+            cbmc_seconds=2.0, sketch_seconds=None,
+        ),
+    )

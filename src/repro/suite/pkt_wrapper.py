@@ -1,0 +1,161 @@
+"""Benchmark: Pkt wrapper — wrap fields into a length-prefixed packet.
+
+The forward program walks the fields of a data object (field lengths in
+``F``, payload bytes concatenated in ``B``) and emits, per field, a
+preamble byte holding the field length followed by the field's bytes.
+The inverse re-splits the packet into lengths and bytes.
+
+The paper models the field accessors as external functions with two
+axioms; with the object flattened into the ``F``/``B`` arrays the
+accessor axioms become ordinary array reads, which keeps this benchmark
+in the decidable core (DESIGN.md documents the substitution).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+from .common import array_range_axiom, array_range_precondition
+
+PROGRAM = parse_program("""
+program pkt_wrapper [array F; array B; int nf; array P; int k; int i; int j; int b] {
+  in(F, B, nf);
+  assume(nf >= 0);
+  k, i, b := 0, 0, 0;
+  while (i < nf) {
+    P := upd(P, k, sel(F, i));
+    k := k + 1;
+    j := 0;
+    while (j < sel(F, i)) {
+      P := upd(P, k, sel(B, b));
+      k, b, j := k + 1, b + 1, j + 1;
+    }
+    i := i + 1;
+  }
+  out(P, k, nf);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program pkt_wrapper_inv [array P; int k; int nf; array Fp; array Bp;
+                         int ipp; int jp; int kp; int bp] {
+  kp, ipp, bp := [e1], [e2], [e3];
+  while ([p1]) {
+    Fp := [e4];
+    kp := kp + 1;
+    jp := [e5];
+    while ([p2]) {
+      Bp := [e6];
+      kp, bp, jp := [e7], [e8], [e9];
+    }
+    ipp := ipp + 1;
+  }
+  out(Fp, Bp, ipp, bp);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program pkt_wrapper_inv [array P; int k; int nf; array Fp; array Bp;
+                         int ipp; int jp; int kp; int bp] {
+  kp, ipp, bp := 0, 0, 0;
+  while (ipp < nf) {
+    Fp := upd(Fp, ipp, sel(P, kp));
+    kp := kp + 1;
+    jp := 0;
+    while (jp < sel(Fp, ipp)) {
+      Bp := upd(Bp, bp, sel(P, kp));
+      kp, bp, jp := kp + 1, bp + 1, jp + 1;
+    }
+    ipp := ipp + 1;
+  }
+  out(Fp, Bp, ipp, bp);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "kp + 1", "kp - 1", "bp + 1", "jp + 1",
+    "upd(Fp, ipp, sel(P, kp))", "upd(Fp, kp, sel(P, ipp))",
+    "upd(Bp, bp, sel(P, kp))", "upd(Bp, kp, sel(P, bp))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ipp < nf", "kp < k", "jp < sel(Fp, ipp)", "jp < sel(P, kp)", "0 < jp",
+])
+
+SPEC = InversionSpec(
+    scalar_pairs=(("nf", "ipp"), ("@b", "bp")),
+    array_pairs=(("F", "Fp", "nf"), ("B", "Bp", "@b")),
+)
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    nf = rng.randint(0, 3)
+    lengths = [rng.randint(0, 2) for _ in range(nf)]
+    nb = sum(lengths)
+    return {
+        "F": lengths,
+        "B": [rng.randint(1, 5) for _ in range(nb)],
+        "nf": nf,
+    }
+
+
+INITIAL_INPUTS = (
+    {"F": [], "B": [], "nf": 0},
+    {"F": [1], "B": [7], "nf": 1},
+    {"F": [0], "B": [], "nf": 1},
+    {"F": [2, 1], "B": [4, 5, 6], "nf": 2},
+    {"F": [1, 0, 2], "B": [9, 8, 7], "nf": 3},
+)
+
+
+def _consistent(inputs: Dict[str, Any]) -> bool:
+    nf = inputs.get("nf", 0)
+    arr = inputs.get("F")
+    get = arr.get if hasattr(arr, "get") else lambda i: arr[i]
+    try:
+        lengths = [get(i) for i in range(nf)]
+    except (TypeError, IndexError):
+        return False
+    return nf >= 0 and all(0 <= x <= 8 for x in lengths)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="pkt_wrapper",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        input_axioms=(array_range_axiom("F", "nf", 0, 9),),
+        precondition=_consistent,
+        expr_overrides={
+            "e5": tuple(parse_expr(t) for t in ["0", "1"]),
+        },
+        max_pred_conj=1,
+        max_unroll=3,
+        bmc_unroll=8,
+        bmc_array_size=2,
+        bmc_value_range=(0, 2),
+    )
+    return Benchmark(
+        name="pkt_wrapper",
+        group="encoder",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        uses_axioms=True,
+        paper=PaperNumbers(
+            loc=10, mined=2, subset=12, modifications=7, inverse_loc=16, axioms=2,
+            search_space_log2=20, num_solutions=1, iterations=6,
+            time_seconds=132.32, sat_size=2161, tests=1,
+        ),
+        notes="Object fields flattened to length/byte arrays; the paper's "
+              "accessor axioms become array reads.",
+    )

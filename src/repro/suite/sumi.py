@@ -1,0 +1,96 @@
+"""Benchmark: Σi — iterative sum (paper Table 1 row "Σi").
+
+The forward program adds ``i`` to a running sum in the ``i``-th iteration;
+the synthesized inverse recovers ``n`` from ``s`` by iteratively
+*subtracting* (the paper highlights that PINS finds this rather than
+solving the quadratic ``n(n+1)/2``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program sumi [int n; int s; int i] {
+  in(n);
+  assume(n >= 0);
+  s, i := 0, 0;
+  while (i < n) {
+    i := i + 1;
+    s := s + i;
+  }
+  out(s);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program sumi_inv [int s; int ip; int sp] {
+  ip, sp := [e1], [e2];
+  while ([p1]) {
+    ip := [e3];
+    sp := [e4];
+  }
+  out(ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program sumi_inv [int s; int ip; int sp] {
+  ip, sp := 0, s;
+  while (sp > 0) {
+    ip := ip + 1;
+    sp := sp - ip;
+  }
+  out(ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "s", "ip + 1", "ip - 1", "sp - ip", "sp + ip", "sp - 1",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "sp > 0", "ip > 0", "sp < 0",
+])
+
+INVARIANTS = tuple(parse_pred(text) for text in ["ip >= 0"])
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    return {"n": rng.randint(0, 6)}
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="sumi",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        input_gen=input_gen,
+        initial_inputs=tuple({"n": k} for k in range(6)),
+        pred_overrides={"inv!loop1": INVARIANTS},
+        max_pred_conj=2,
+        max_unroll=4,
+        bmc_unroll=10,
+        bmc_array_size=0,
+        bmc_value_range=(0, 8),
+    )
+    return Benchmark(
+        name="sumi",
+        group="arithmetic",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        paper=PaperNumbers(
+            loc=5, mined=8, subset=6, modifications=2, inverse_loc=5, axioms=0,
+            search_space_log2=15, num_solutions=1, iterations=4,
+            time_seconds=1.07, sat_size=51, tests=2,
+            cbmc_seconds=1.06, sketch_seconds=None,
+        ),
+        notes="Inverse subtracts i iteratively instead of solving n(n+1)/2.",
+    )

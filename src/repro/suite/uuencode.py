@@ -1,0 +1,131 @@
+"""Benchmark: UUEncode — 3 bytes to 4 printable chars with header/footer.
+
+Classic uuencoding of one line: the output starts with a length character
+(32 + n), then four printable characters (value + 32) per three input
+bytes, and ends with a terminating backquote (96).  The inverse reads the
+header to recover the length — which is exactly what makes this benchmark
+interesting: the decoder's loop bound comes from the *data*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .common import array_range_axiom, array_range_precondition
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program uuencode [array A; int n; array B; int k; int i] {
+  in(A, n);
+  assume(n >= 0);
+  assume(n % 3 = 0);
+  B := upd(B, 0, 32 + n);
+  i, k := 0, 1;
+  while (i < n) {
+    B := upd(B, k, 32 + sel(A, i) / 4);
+    B := upd(B, k + 1, 32 + (sel(A, i) % 4) * 16 + sel(A, i + 1) / 16);
+    B := upd(B, k + 2, 32 + (sel(A, i + 1) % 16) * 4 + sel(A, i + 2) / 64);
+    B := upd(B, k + 3, 32 + sel(A, i + 2) % 64);
+    i, k := i + 3, k + 4;
+  }
+  B := upd(B, k, 96);
+  out(B, k);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program uuencode_inv [array B; int k; array Ap; int ip; int kp; int np] {
+  np := [e1];
+  ip, kp := [e2], [e3];
+  while ([p1]) {
+    Ap := [e4];
+    Ap := [e5];
+    Ap := [e6];
+    ip, kp := [e7], [e8];
+  }
+  out(Ap, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program uuencode_inv [array B; int k; array Ap; int ip; int kp; int np] {
+  np := sel(B, 0) - 32;
+  ip, kp := 0, 1;
+  while (ip < np) {
+    Ap := upd(Ap, ip, (sel(B, kp) - 32) * 4 + (sel(B, kp + 1) - 32) / 16);
+    Ap := upd(Ap, ip + 1, ((sel(B, kp + 1) - 32) % 16) * 16 + (sel(B, kp + 2) - 32) / 4);
+    Ap := upd(Ap, ip + 2, ((sel(B, kp + 2) - 32) % 4) * 64 + (sel(B, kp + 3) - 32));
+    ip, kp := ip + 3, kp + 4;
+  }
+  out(Ap, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "sel(B, 0) - 32", "sel(B, 0) + 32",
+    "ip + 3", "kp + 4", "ip + 4", "kp + 3",
+    "upd(Ap, ip, (sel(B, kp) - 32) * 4 + (sel(B, kp + 1) - 32) / 16)",
+    "upd(Ap, ip + 1, ((sel(B, kp + 1) - 32) % 16) * 16 + (sel(B, kp + 2) - 32) / 4)",
+    "upd(Ap, ip + 2, ((sel(B, kp + 2) - 32) % 4) * 64 + (sel(B, kp + 3) - 32))",
+    "upd(Ap, ip, (sel(B, kp) - 32) * 4 + (sel(B, kp + 1) - 32) % 16)",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ip < np", "kp < np", "0 < kp",
+])
+
+SPEC = InversionSpec(
+    scalar_pairs=(("n", "ip"),),
+    array_pairs=(("A", "Ap", "n"),),
+)
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = 3 * rng.randint(0, 2)
+    return {"A": [rng.randint(0, 255) for _ in range(n)], "n": n}
+
+
+INITIAL_INPUTS = (
+    {"A": [], "n": 0},
+    {"A": [0, 0, 1], "n": 3},
+    {"A": [255, 0, 129], "n": 3},
+    {"A": [7, 77, 177, 200, 100, 50], "n": 6},
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="uuencode",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        input_axioms=(array_range_axiom("A", "n", 0, 256),),
+        precondition=array_range_precondition("A", "n", 0, 256),
+        max_pred_conj=2,
+        max_unroll=3,
+        bmc_unroll=10,
+        bmc_array_size=3,
+        bmc_value_range=(0, 3),
+    )
+    return Benchmark(
+        name="uuencode",
+        group="encoder",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        uses_axioms=True,
+        paper=PaperNumbers(
+            loc=12, mined=10, subset=4, modifications=7, inverse_loc=11, axioms=3,
+            search_space_log2=20, num_solutions=1, iterations=7,
+            time_seconds=34.00, sat_size=177, tests=6,
+        ),
+        notes="Header char encodes the payload length; the decoder's loop "
+              "bound is recovered from the data.",
+    )

@@ -1,0 +1,125 @@
+"""Benchmark: vector rotate — rotate plane points by an abstract angle.
+
+The paper's showpiece for axiomatized synthesis: the inverse of
+``(x, y) := (x cos t - y sin t,  x sin t + y cos t)`` is
+``(x, y) := (x' cos t + y' sin t,  y' cos t - x' sin t)``, discovered
+with the single Pythagorean axiom relating ``cos`` and ``sin``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..axioms.arith import arith_registry
+from ..axioms.trig import trig_axioms, trig_registry
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program vector_rotate [array X; array Y; int n; int t; int i] {
+  in(X, Y, n, t);
+  assume(n >= 0);
+  i := 0;
+  while (i < n) {
+    X, Y := upd(X, i, mul(sel(X, i), cos(t)) - mul(sel(Y, i), sin(t))),
+            upd(Y, i, mul(sel(X, i), sin(t)) + mul(sel(Y, i), cos(t)));
+    i := i + 1;
+  }
+  out(X, Y, n, t);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program vector_rotate_inv [array X; array Y; int n; int t;
+                           array Xp; array Yp; int ip] {
+  ip := [e1];
+  while ([p1]) {
+    Xp, Yp := [e2], [e3];
+    ip := [e4];
+  }
+  out(Xp, Yp, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program vector_rotate_inv [array X; array Y; int n; int t;
+                           array Xp; array Yp; int ip] {
+  ip := 0;
+  while (ip < n) {
+    Xp, Yp := upd(Xp, ip, mul(sel(X, ip), cos(t)) + mul(sel(Y, ip), sin(t))),
+              upd(Yp, ip, mul(sel(Y, ip), cos(t)) - mul(sel(X, ip), sin(t)));
+    ip := ip + 1;
+  }
+  out(Xp, Yp, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "ip + 1", "ip - 1",
+    "upd(Xp, ip, mul(sel(X, ip), cos(t)) + mul(sel(Y, ip), sin(t)))",
+    "upd(Xp, ip, mul(sel(X, ip), cos(t)) - mul(sel(Y, ip), sin(t)))",
+    "upd(Yp, ip, mul(sel(Y, ip), cos(t)) - mul(sel(X, ip), sin(t)))",
+    "upd(Yp, ip, mul(sel(Y, ip), cos(t)) + mul(sel(X, ip), sin(t)))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ip < n", "ip > n", "0 < ip",
+])
+
+SPEC = InversionSpec(
+    scalar_pairs=(("n", "ip"),),
+    array_pairs=(("X", "Xp", "n"), ("Y", "Yp", "n")),
+)
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 4)
+    return {
+        "X": [rng.randint(-3, 3) for _ in range(n)],
+        "Y": [rng.randint(-3, 3) for _ in range(n)],
+        "n": n,
+        "t": rng.randint(0, 3),
+    }
+
+
+INITIAL_INPUTS = (
+    {"X": [], "Y": [], "n": 0, "t": 0},
+    {"X": [2], "Y": [3], "n": 1, "t": 0},
+    {"X": [1, -2], "Y": [0, 4], "n": 2, "t": 1},
+    {"X": [1, 2, 3], "Y": [3, 2, 1], "n": 3, "t": 2},
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="vector_rotate",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        externs=arith_registry().merged_with(trig_registry()),
+        axioms=trig_axioms(),
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        max_pred_conj=2,
+        max_unroll=4,
+        bmc_unroll=8,
+        bmc_array_size=3,
+        bmc_value_range=(0, 2),
+    )
+    return Benchmark(
+        name="vector_rotate",
+        group="arithmetic",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        uses_axioms=True,
+        paper=PaperNumbers(
+            loc=8, mined=13, subset=7, modifications=0, inverse_loc=7, axioms=1,
+            search_space_log2=16, num_solutions=1, iterations=3,
+            time_seconds=39.51, sat_size=327, tests=1,
+        ),
+    )

@@ -1,0 +1,123 @@
+"""Benchmark: vector scale — multiply plane points by a scalar.
+
+Scaling uses the abstract ``mul``; inversion requires reasoning about
+``1/x``, which enters through the ``div``/``mul`` axioms of
+:mod:`repro.axioms.arith` (Table 1 reports 1 axiom for this row).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..axioms.arith import arith_registry, mul_div_axioms
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program vector_scale [array X; array Y; int n; int c; int i] {
+  in(X, Y, n, c);
+  assume(n >= 0);
+  assume(c > 0);
+  i := 0;
+  while (i < n) {
+    X := upd(X, i, mul(sel(X, i), c));
+    Y := upd(Y, i, mul(sel(Y, i), c));
+    i := i + 1;
+  }
+  out(X, Y, n, c);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program vector_scale_inv [array X; array Y; int n; int c;
+                          array Xp; array Yp; int ip] {
+  ip := [e1];
+  while ([p1]) {
+    Xp := [e2];
+    Yp := [e3];
+    ip := [e4];
+  }
+  out(Xp, Yp, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program vector_scale_inv [array X; array Y; int n; int c;
+                          array Xp; array Yp; int ip] {
+  ip := 0;
+  while (ip < n) {
+    Xp := upd(Xp, ip, div(sel(X, ip), c));
+    Yp := upd(Yp, ip, div(sel(Y, ip), c));
+    ip := ip + 1;
+  }
+  out(Xp, Yp, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "ip + 1", "ip - 1",
+    "upd(Xp, ip, div(sel(X, ip), c))", "upd(Xp, ip, mul(sel(X, ip), c))",
+    "upd(Yp, ip, div(sel(Y, ip), c))", "upd(Yp, ip, mul(sel(Y, ip), c))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ip < n", "ip > n", "0 < ip",
+])
+
+SPEC = InversionSpec(
+    scalar_pairs=(("n", "ip"),),
+    array_pairs=(("X", "Xp", "n"), ("Y", "Yp", "n")),
+)
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 4)
+    return {
+        "X": [rng.randint(-3, 3) for _ in range(n)],
+        "Y": [rng.randint(-3, 3) for _ in range(n)],
+        "n": n,
+        "c": rng.randint(1, 4),
+    }
+
+
+INITIAL_INPUTS = (
+    {"X": [], "Y": [], "n": 0, "c": 2},
+    {"X": [2], "Y": [3], "n": 1, "c": 2},
+    {"X": [1, -2], "Y": [0, 4], "n": 2, "c": 3},
+    {"X": [1, 2, 3], "Y": [3, 2, 1], "n": 3, "c": 2},
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="vector_scale",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        externs=arith_registry(),
+        axioms=mul_div_axioms(),
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        max_pred_conj=2,
+        max_unroll=4,
+        bmc_unroll=8,
+        bmc_array_size=3,
+        bmc_value_range=(0, 2),
+    )
+    return Benchmark(
+        name="vector_scale",
+        group="arithmetic",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        uses_axioms=True,
+        paper=PaperNumbers(
+            loc=8, mined=9, subset=7, modifications=2, inverse_loc=7, axioms=1,
+            search_space_log2=16, num_solutions=1, iterations=3,
+            time_seconds=4.41, sat_size=191, tests=1,
+        ),
+    )

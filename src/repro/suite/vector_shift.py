@@ -1,0 +1,121 @@
+"""Benchmark: vector shift — translate points on the Euclidean plane.
+
+The synthesizer discovers a specialized *un-shifter* that iterates over
+the vectors, semantically negating the shift (the paper stresses PINS is
+not told that negation inverts translation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.spec import InversionSpec
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program vector_shift [array X; array Y; int n; int dx; int dy; int i] {
+  in(X, Y, n, dx, dy);
+  assume(n >= 0);
+  i := 0;
+  while (i < n) {
+    X := upd(X, i, sel(X, i) + dx);
+    Y := upd(Y, i, sel(Y, i) + dy);
+    i := i + 1;
+  }
+  out(X, Y, n, dx, dy);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program vector_shift_inv [array X; array Y; int n; int dx; int dy;
+                          array Xp; array Yp; int ip] {
+  ip := [e1];
+  while ([p1]) {
+    Xp := [e2];
+    Yp := [e3];
+    ip := [e4];
+  }
+  out(Xp, Yp, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program vector_shift_inv [array X; array Y; int n; int dx; int dy;
+                          array Xp; array Yp; int ip] {
+  ip := 0;
+  while (ip < n) {
+    Xp := upd(Xp, ip, sel(X, ip) - dx);
+    Yp := upd(Yp, ip, sel(Y, ip) - dy);
+    ip := ip + 1;
+  }
+  out(Xp, Yp, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "ip + 1", "ip - 1",
+    "upd(Xp, ip, sel(X, ip) - dx)", "upd(Xp, ip, sel(X, ip) + dx)",
+    "upd(Yp, ip, sel(Y, ip) - dy)", "upd(Yp, ip, sel(Y, ip) + dy)",
+    "upd(Xp, ip, sel(X, ip) - dy)", "upd(Yp, ip, sel(Y, ip) - dx)",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ip < n", "ip > n", "0 < ip",
+])
+
+SPEC = InversionSpec(
+    scalar_pairs=(("n", "ip"),),
+    array_pairs=(("X", "Xp", "n"), ("Y", "Yp", "n")),
+)
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 4)
+    return {
+        "X": [rng.randint(-3, 3) for _ in range(n)],
+        "Y": [rng.randint(-3, 3) for _ in range(n)],
+        "n": n,
+        "dx": rng.randint(-3, 3),
+        "dy": rng.randint(-3, 3),
+    }
+
+
+INITIAL_INPUTS = (
+    {"X": [], "Y": [], "n": 0, "dx": 1, "dy": -1},
+    {"X": [2], "Y": [3], "n": 1, "dx": 1, "dy": 2},
+    {"X": [1, -2], "Y": [0, 4], "n": 2, "dx": -2, "dy": 3},
+    {"X": [1, 2, 3], "Y": [3, 2, 1], "n": 3, "dx": 2, "dy": 0},
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="vector_shift",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        spec=SPEC,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        max_pred_conj=2,
+        max_unroll=4,
+        bmc_unroll=8,
+        bmc_array_size=3,
+        bmc_value_range=(0, 2),
+    )
+    return Benchmark(
+        name="vector_shift",
+        group="arithmetic",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        paper=PaperNumbers(
+            loc=8, mined=11, subset=7, modifications=0, inverse_loc=7, axioms=0,
+            search_space_log2=16, num_solutions=1, iterations=3,
+            time_seconds=4.20, sat_size=187, tests=1,
+            cbmc_seconds=1.15, sketch_seconds=113.74,
+        ),
+    )

@@ -1,0 +1,15 @@
+"""Symbolic execution with unknowns (Figure 3 of the paper)."""
+
+from .executor import (
+    ExecConfig,
+    FeasibilityOracle,
+    SymbolicExecutor,
+    count_paths,
+    enumerate_paths,
+    loop_guard_and_body,
+    loops_of,
+)
+from .paths import Def, Guard, Path, path_variables, substitute_items
+from .translate import TranslationError, Translator, smt_sort
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,434 @@
+"""Symbolic execution of template programs (Figure 3 of the paper).
+
+The executor simulates paths through a (desugared) program that may
+contain unknown expressions and predicates.  Because unknowns are pure,
+evaluation simply pairs them with the current version map (rule ASSN /
+ASSUME); the resulting path condition fully determines their meaning
+under any candidate solution.
+
+Two modes are provided:
+
+* :meth:`SymbolicExecutor.find_path` — *guided* exploration (the paper's
+  line 11): a randomized depth-first search over the nondeterministic
+  choices, pruned by SMT feasibility of the path prefix under a candidate
+  solution ``S`` (rule ASSUME requires ``f /\\ S(p)`` satisfiable) and by
+  the avoid-set ``F`` (rule EXIT requires ``f`` fresh);
+* :func:`enumerate_paths` — exhaustive enumeration with loop bounds, used
+  for termination constraints (loop-body paths) and for the
+  path-explosion ablation of Section 2.4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .. import smt
+from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
+from ..lang import ast
+from ..lang.ast import (
+    Assign,
+    Assume,
+    Exit,
+    If,
+    In,
+    Out,
+    Pred,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+)
+from ..lang.transform import version_expr, version_pred
+from .paths import Def, Guard, Path, substitute_items
+from .translate import Translator
+
+
+@dataclass
+class ExecConfig:
+    """Knobs for guided path search."""
+
+    max_items: int = 500
+    max_unroll: int = 6
+    max_backtracks: int = 20000
+    check_feasibility: bool = True
+    solver_conflict_budget: int = 50_000
+
+
+class _Backtrack(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class _Reentry:
+    """Internal continuation marker: a loop re-popped for its next
+    iteration (so loop-entry records fire only on arrival from outside)."""
+
+    loop: While
+
+
+class _BudgetExhausted(Exception):
+    pass
+
+
+class FeasibilityOracle:
+    """Answers "is this ground path prefix satisfiable?" with caching.
+
+    UNKNOWN answers are treated as feasible (optimistic), which only risks
+    exploring a path that a stronger solver would prune — harmless for an
+    inductive synthesizer.
+    """
+
+    def __init__(self, sorts: Mapping[str, ast.Sort],
+                 externs: ExternRegistry = EMPTY_REGISTRY,
+                 axioms: Sequence[smt.Axiom] = (),
+                 conflict_budget: int = 50_000):
+        self.translator = Translator(sorts, externs)
+        self.axioms = tuple(axioms)
+        self.conflict_budget = conflict_budget
+        self._cache: Dict[Tuple[Pred, ...], Tuple[bool, Optional[Dict]]] = {}
+        self.queries = 0
+
+    def feasible(self, ground_preds: Sequence[Pred]) -> bool:
+        return self.feasible_env(ground_preds)[0]
+
+    def feasible_env(self, ground_preds: Sequence[Pred]
+                     ) -> Tuple[bool, Optional[Dict]]:
+        """Satisfiability plus (when SAT with a model) a concrete versioned
+        environment witnessing it, for resuming concrete co-simulation."""
+        key = tuple(ground_preds)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.queries += 1
+        solver = smt.Solver(axioms=self.axioms,
+                            sat_conflict_budget=self.conflict_budget)
+        status = smt.UNKNOWN
+        try:
+            for pred in ground_preds:
+                solver.add(self.translator.pred(pred))
+            status = solver.check()
+        except Exception:
+            status = smt.UNKNOWN
+        env: Optional[Dict] = None
+        if status == smt.SAT:
+            env = _env_from_model(solver.model())
+        result = (status != smt.UNSAT, env)
+        self._cache[key] = result
+        return result
+
+
+def _env_from_model(model: smt.Model) -> Dict[str, object]:
+    """A concrete versioned environment extracted from an SMT model."""
+    from ..concrete.values import ConcreteArray
+    from ..smt.terms import Op
+
+    env: Dict[str, object] = {}
+    for term, value in model.int_values.items():
+        if term.op == Op.VAR and term.sort.is_int:
+            env[term.payload] = value
+    for term, contents in model.arrays.items():
+        if term.op == Op.VAR:
+            arr = ConcreteArray(default=0)
+            for i, v in contents.items():
+                arr = arr.set(i, v)
+            env[term.payload] = arr
+    return env
+
+
+class SymbolicExecutor:
+    """Guided symbolic execution of a desugared program.
+
+    ``seed_inputs`` (typically the synthesis test pool) powers a concrete
+    fast path for rule ASSUME's feasibility checks: each seed input is
+    simulated alongside the symbolic state, and as long as one input still
+    follows the prefix, the prefix is feasible without consulting the SMT
+    solver.  The solver is the fallback for prefixes no seed follows.
+    """
+
+    def __init__(self, program: Program,
+                 externs: ExternRegistry = EMPTY_REGISTRY,
+                 axioms: Sequence[smt.Axiom] = (),
+                 config: Optional[ExecConfig] = None,
+                 oracle: Optional[FeasibilityOracle] = None,
+                 seed_inputs: Optional[List[Mapping[str, object]]] = None):
+        self.program = program
+        self.config = config or ExecConfig()
+        self.externs = externs
+        self.oracle = oracle or FeasibilityOracle(
+            program.decls, externs, axioms,
+            conflict_budget=self.config.solver_conflict_budget)
+        self.seed_inputs = seed_inputs if seed_inputs is not None else []
+        self.backtracks = 0
+        self.concrete_hits = 0
+        self.smt_fallbacks = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def find_path(self,
+                  expr_solution: Mapping[str, ast.Expr],
+                  pred_solution: Mapping[str, Sequence[Pred]],
+                  avoid: Set[Path],
+                  rng: Optional[random.Random] = None) -> Optional[Path]:
+        """Find a feasible path under the given solution, not in ``avoid``."""
+        rng = rng or random.Random(0)
+        self.backtracks = 0
+        self._expr_sol = dict(expr_solution)
+        self._pred_sol = dict(pred_solution)
+        self._avoid = avoid
+        self._rng = rng
+        self._interp = None
+        initial_vmap = {v: 0 for v in self.program.decls}
+        envs = self._seed_envs()
+        try:
+            return self._exec([self.program.body], [], initial_vmap, {}, [], envs)
+        except _BudgetExhausted:
+            return None
+
+    def _seed_envs(self) -> List[Dict[str, object]]:
+        from ..concrete.values import coerce_input
+
+        envs: List[Dict[str, object]] = []
+        for inputs in self.seed_inputs:
+            env: Dict[str, object] = {}
+            for var, value in inputs.items():
+                sort = self.program.decls.get(var, ast.Sort.INT)
+                env[f"{var}#0"] = coerce_input(value, sort)
+            envs.append(env)
+        return envs
+
+    # -- the interpreter ------------------------------------------------------
+
+    def _exec(self, cont: List, items: List, vmap: Dict[str, int],
+              unrolls: Dict[str, int], entries: List,
+              envs: List[Dict[str, object]]) -> Optional[Path]:
+        cont = list(cont)
+        items = list(items)
+        vmap = dict(vmap)
+        unrolls = dict(unrolls)
+        entries = list(entries)
+        envs = [dict(e) for e in envs]
+        while cont:
+            if len(items) > self.config.max_items:
+                self._note_backtrack()
+                return None
+            stmt = cont.pop()
+            if isinstance(stmt, Seq):
+                cont.extend(reversed(stmt.stmts))
+            elif isinstance(stmt, Assign):
+                self._do_assign(stmt, items, vmap, envs)
+            elif isinstance(stmt, Assume):
+                pred = version_pred(stmt.pred, vmap)
+                items.append(Guard(pred))
+                envs = self._filter_envs(pred, envs)
+                if not envs:
+                    feasible, env = self._prefix_feasible(items)
+                    if not feasible:
+                        self._note_backtrack()
+                        return None
+                    if env is not None:
+                        envs = [env]  # resume concrete co-simulation
+            elif isinstance(stmt, If):
+                branches = [stmt.then, stmt.els]
+                self._rng.shuffle(branches)
+                for branch in branches:
+                    result = self._exec(cont + [branch], items, vmap, unrolls,
+                                        entries, envs)
+                    if result is not None:
+                        return result
+                return None
+            elif isinstance(stmt, (While, _Reentry)):
+                if isinstance(stmt, While):
+                    loop = stmt
+                    entries.append((loop.loop_id, len(items), ast.freeze_vmap(vmap)))
+                else:
+                    loop = stmt.loop
+                count = unrolls.get(loop.loop_id, 0)
+                options = ["exit"]
+                if count < self.config.max_unroll:
+                    options.append("iterate")
+                self._rng.shuffle(options)
+                for option in options:
+                    if option == "exit":
+                        result = self._exec(cont, items, vmap, unrolls, entries, envs)
+                    else:
+                        new_unrolls = dict(unrolls)
+                        new_unrolls[loop.loop_id] = count + 1
+                        result = self._exec(cont + [_Reentry(loop), loop.body],
+                                            items, vmap, new_unrolls, entries, envs)
+                    if result is not None:
+                        return result
+                return None
+            elif isinstance(stmt, Exit):
+                return self._finish(items, vmap, entries)
+            elif isinstance(stmt, (In, Out, Skip)):
+                continue
+            else:
+                raise TypeError(
+                    f"cannot symbolically execute {stmt!r}; desugar the program first"
+                )
+        return self._finish(items, vmap, entries)
+
+    # -- concrete co-simulation -------------------------------------------------
+
+    def _interpreter(self):
+        if self._interp is None:
+            from ..concrete.interp import Interpreter
+
+            self._interp = Interpreter(self.externs)
+        return self._interp
+
+    def _update_envs(self, var: str, version: int, ground_expr,
+                     envs: List[Dict[str, object]]) -> None:
+        from ..concrete.interp import InterpError
+
+        interp = self._interpreter()
+        kept = []
+        for env in envs:
+            try:
+                env[f"{var}#{version}"] = interp.eval_expr(
+                    ground_expr, env, self.program.decls)
+                kept.append(env)
+            except InterpError:
+                pass  # type junk under this candidate: drop the sample
+        envs[:] = kept
+
+    def _filter_envs(self, pred, envs: List[Dict[str, object]]
+                     ) -> List[Dict[str, object]]:
+        from ..concrete.interp import InterpError
+        from ..lang.transform import substitute_pred
+
+        interp = self._interpreter()
+        ground = substitute_pred(pred, self._expr_sol, self._pred_sol)
+        kept = []
+        for env in envs:
+            try:
+                if interp.eval_pred(ground, env, self.program.decls):
+                    kept.append(env)
+            except InterpError:
+                pass
+        if kept:
+            self.concrete_hits += 1
+        return kept
+
+    def _do_assign(self, stmt: Assign, items: List, vmap: Dict[str, int],
+                   envs: List[Dict[str, object]]) -> None:
+        from ..lang.transform import substitute_expr
+
+        # Evaluate all right-hand sides under the *old* version map.
+        rhs = [version_expr(e, vmap) for e in stmt.exprs]
+        for target, expr in zip(stmt.targets, rhs):
+            new_version = vmap.get(target, 0) + 1
+            vmap[target] = new_version
+            items.append(Def(target, new_version, expr))
+            self._update_envs(target, new_version,
+                              substitute_expr(expr, self._expr_sol), envs)
+
+    def _finish(self, items: List, vmap: Dict[str, int], entries: List) -> Optional[Path]:
+        path = Path(tuple(items), ast.freeze_vmap(vmap), tuple(entries))
+        if path in self._avoid:
+            self._note_backtrack()
+            return None
+        return path
+
+    def _prefix_feasible(self, items: List):
+        if not self.config.check_feasibility:
+            return True, None
+        self.smt_fallbacks += 1
+        ground = substitute_items(items, self._expr_sol, self._pred_sol)
+        return self.oracle.feasible_env(ground)
+
+    def _note_backtrack(self) -> None:
+        self.backtracks += 1
+        if self.backtracks > self.config.max_backtracks:
+            raise _BudgetExhausted()
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive (unguided) enumeration
+# ---------------------------------------------------------------------------
+
+
+def enumerate_paths(stmt: Stmt, max_unroll: int = 0,
+                    limit: Optional[int] = None,
+                    initial_vmap: Optional[Mapping[str, int]] = None,
+                    ) -> Iterable[Path]:
+    """All paths through ``stmt`` with at most ``max_unroll`` iterations
+    per loop, without feasibility pruning.
+
+    With ``max_unroll=0`` every loop takes its exit branch immediately —
+    the mode used when computing termination-constraint body paths.
+    ``initial_vmap`` should assign version 0 to every program variable so
+    that recorded hole version maps are complete.
+    """
+    count = 0
+
+    def walk(cont: List[Stmt], items: List, vmap: Dict[str, int],
+             unrolls: Dict[str, int]):
+        nonlocal count
+        cont = list(cont)
+        items = list(items)
+        vmap = dict(vmap)
+        while cont:
+            s = cont.pop()
+            if isinstance(s, Seq):
+                cont.extend(reversed(s.stmts))
+            elif isinstance(s, Assign):
+                rhs = [version_expr(e, vmap) for e in s.exprs]
+                for target, expr in zip(s.targets, rhs):
+                    vmap[target] = vmap.get(target, 0) + 1
+                    items.append(Def(target, vmap[target], expr))
+            elif isinstance(s, Assume):
+                items.append(Guard(version_pred(s.pred, vmap)))
+            elif isinstance(s, If):
+                yield from walk(cont + [s.then], items, vmap, unrolls)
+                yield from walk(cont + [s.els], items, vmap, unrolls)
+                return
+            elif isinstance(s, While):
+                taken = unrolls.get(s.loop_id, 0)
+                yield from walk(cont, items, vmap, unrolls)
+                if taken < max_unroll:
+                    yield from walk(cont + [s, s.body], items, vmap,
+                                    {**unrolls, s.loop_id: taken + 1})
+                return
+            elif isinstance(s, Exit):
+                break
+            elif isinstance(s, (In, Out, Skip)):
+                continue
+            else:
+                raise TypeError(f"cannot enumerate through {s!r}")
+        if limit is not None and count >= limit:
+            return
+        count += 1
+        yield Path(tuple(items), ast.freeze_vmap(vmap))
+
+    yield from walk([stmt], [], dict(initial_vmap or {}), {})
+
+
+def count_paths(stmt: Stmt, max_unroll: int) -> int:
+    """Number of syntactic paths with the given per-loop unroll bound."""
+    return sum(1 for _ in enumerate_paths(stmt, max_unroll=max_unroll))
+
+
+def loops_of(stmt: Stmt) -> List[While]:
+    """All loops in a statement tree, outermost first."""
+    return [s for s in ast.walk_stmts(stmt) if isinstance(s, While)]
+
+
+def loop_guard_and_body(loop: While) -> Tuple[Pred, Stmt]:
+    """Split a desugared loop into its guard predicate and remaining body.
+
+    Desugaring ``GWhile(p, body)`` produces ``While(Seq(Assume(p), body))``;
+    this helper recovers that structure (used by termination constraints).
+    """
+    body = loop.body
+    if isinstance(body, Assume):
+        return body.pred, ast.SKIP
+    if isinstance(body, Seq) and body.stmts and isinstance(body.stmts[0], Assume):
+        rest = body.stmts[1:]
+        return body.stmts[0].pred, ast.seq(*rest)
+    raise ValueError(
+        "loop body does not start with an assume; build loops with GWhile"
+    )

@@ -1,0 +1,120 @@
+"""Path conditions: the ``f`` of the paper's Figure 3.
+
+A path is the trace of one symbolic execution: a sequence of *definitions*
+(SSA equalities introduced by rule ASSN) and *guards* (predicates assumed
+by rule ASSUME), each over versioned variables, possibly containing
+unknowns paired with version maps (``HoleExpr``/``HolePred``).
+
+Paths are immutable and hashable, which is how the algorithm's set ``F``
+of explored paths (rule EXIT) is maintained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..lang import ast
+from ..lang.ast import Pred, Sort, VersionMap
+from ..lang.transform import (
+    substitute_expr,
+    substitute_pred,
+    unversioned_name,
+    versioned_name,
+)
+
+
+@dataclass(frozen=True)
+class Def:
+    """An SSA definition ``var#version = expr`` (rule ASSN)."""
+
+    var: str
+    version: int
+    expr: ast.Expr  # versioned; may contain HoleExpr
+
+    @property
+    def versioned_var(self) -> str:
+        return versioned_name(self.var, self.version)
+
+    def __str__(self) -> str:
+        return f"{self.versioned_var} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Guard:
+    """An assumed predicate (rule ASSUME)."""
+
+    pred: Pred  # versioned; may contain HolePred/HoleExpr
+
+    def __str__(self) -> str:
+        return str(self.pred)
+
+
+PathItem = object  # Def | Guard
+
+
+@dataclass(frozen=True)
+class Path:
+    """A complete path condition with its final version map.
+
+    ``loop_entries`` records, for every arrival at a loop from outside,
+    the loop id, the number of path items preceding the entry, and the
+    version map at entry — the "prefix up to the start of the loop" used
+    by the paper's init constraints for termination invariants.
+    """
+
+    items: Tuple[PathItem, ...]
+    final_vmap: VersionMap
+    loop_entries: Tuple[Tuple[str, int, VersionMap], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __str__(self) -> str:
+        return " /\\ ".join(str(i) for i in self.items)
+
+    @property
+    def unknowns(self) -> frozenset:
+        names = set()
+        for item in self.items:
+            if isinstance(item, Def):
+                names |= ast.expr_unknowns(item.expr)
+            elif isinstance(item, Guard):
+                names |= ast.expr_unknowns(item.pred)
+        return frozenset(names)
+
+    def final_version(self, var: str) -> int:
+        return dict(self.final_vmap).get(var, 0)
+
+
+def substitute_items(
+    items: Sequence[PathItem],
+    expr_solution: Mapping[str, ast.Expr],
+    pred_solution: Mapping[str, Sequence[Pred]],
+) -> List[Pred]:
+    """Apply a solution to path items, yielding ground versioned predicates.
+
+    Definitions become equalities ``var#v = expr``; guards stay guards.
+    """
+    out: List[Pred] = []
+    for item in items:
+        if isinstance(item, Def):
+            rhs = substitute_expr(item.expr, expr_solution)
+            out.append(ast.Cmp(ast.CmpOp.EQ, ast.Var(item.versioned_var), rhs))
+        elif isinstance(item, Guard):
+            out.append(substitute_pred(item.pred, expr_solution, pred_solution))
+        else:
+            raise TypeError(f"unexpected path item {item!r}")
+    return out
+
+
+def path_variables(items: Sequence[PathItem]) -> frozenset:
+    """Base names of all variables mentioned along a path."""
+    names = set()
+    for item in items:
+        if isinstance(item, Def):
+            names.add(item.var)
+            names |= {unversioned_name(x) for x in ast.expr_vars(item.expr)}
+        elif isinstance(item, Guard):
+            names |= {unversioned_name(x) for x in ast.expr_vars(item.pred)}
+    return frozenset(names)

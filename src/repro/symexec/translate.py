@@ -1,0 +1,118 @@
+"""Translation from (versioned, hole-free) language terms to SMT terms.
+
+Path conditions produced by symbolic execution talk about *versioned*
+variables (``x#3``).  The sort of a versioned variable is the declared
+sort of its base name.  External function applications are typed through
+an :class:`~repro.axioms.registry.ExternRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from .. import smt
+from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
+from ..lang import ast
+from ..lang.ast import ArithOp, CmpOp, Sort
+from ..lang.transform import unversioned_name
+from ..smt import terms as T
+
+_SORT_MAP = {
+    Sort.INT: T.INT,
+    Sort.BOOL: T.BOOL,
+    Sort.ARRAY: T.ARR,
+    Sort.STR: T.STR,
+    Sort.STRARRAY: T.SARR,
+    Sort.OBJ: T.OBJ,
+}
+
+
+def smt_sort(sort: Sort) -> T.TSort:
+    return _SORT_MAP[sort]
+
+
+class TranslationError(Exception):
+    """Raised when a term cannot be translated (e.g. residual holes)."""
+
+
+class Translator:
+    """Translates versioned language expressions/predicates to SMT terms."""
+
+    def __init__(self, sorts: Mapping[str, Sort],
+                 externs: ExternRegistry = EMPTY_REGISTRY):
+        self.sorts = dict(sorts)
+        self.externs = externs
+        self._var_cache: Dict[str, T.Term] = {}
+
+    def sort_of(self, versioned: str) -> Sort:
+        base = unversioned_name(versioned)
+        try:
+            return self.sorts[base]
+        except KeyError:
+            raise TranslationError(f"no declared sort for variable {base!r}") from None
+
+    def var(self, name: str) -> T.Term:
+        cached = self._var_cache.get(name)
+        if cached is None:
+            cached = T.mk_var(name, smt_sort(self.sort_of(name)))
+            self._var_cache[name] = cached
+        return cached
+
+    def expr(self, e: ast.Expr) -> T.Term:
+        if isinstance(e, ast.Var):
+            return self.var(e.name)
+        if isinstance(e, ast.IntLit):
+            return T.mk_int(e.value)
+        if isinstance(e, ast.BinOp):
+            left, right = self.expr(e.left), self.expr(e.right)
+            if e.op is ArithOp.ADD:
+                return T.mk_add(left, right)
+            if e.op is ArithOp.SUB:
+                return T.mk_sub(left, right)
+            if e.op is ArithOp.MUL:
+                return T.mk_mul(left, right)
+            if e.op is ArithOp.DIV:
+                return T.mk_div(left, right)
+            if e.op is ArithOp.MOD:
+                return T.mk_mod(left, right)
+            raise TranslationError(f"unsupported operator {e.op}")
+        if isinstance(e, ast.Select):
+            return T.mk_select(self.expr(e.array), self.expr(e.index))
+        if isinstance(e, ast.Update):
+            return T.mk_store(self.expr(e.array), self.expr(e.index), self.expr(e.value))
+        if isinstance(e, ast.FunApp):
+            extern = self.externs.get(e.name)
+            args = tuple(self.expr(a) for a in e.args)
+            return T.mk_app(e.name, args, smt_sort(extern.result_sort))
+        if isinstance(e, (ast.Unknown, ast.HoleExpr)):
+            raise TranslationError(f"cannot translate unresolved hole {e!r}")
+        raise TranslationError(f"unexpected expression {e!r}")
+
+    def pred(self, p: ast.Pred) -> T.Term:
+        if isinstance(p, ast.BoolLit):
+            return T.TRUE if p.value else T.FALSE
+        if isinstance(p, ast.Cmp):
+            left, right = self.expr(p.left), self.expr(p.right)
+            if p.op is CmpOp.EQ:
+                return T.mk_eq(left, right)
+            if p.op is CmpOp.NE:
+                return T.mk_not(T.mk_eq(left, right))
+            if not (left.sort.is_int and right.sort.is_int):
+                raise TranslationError(f"ordering over non-integer terms in {p!r}")
+            if p.op is CmpOp.LT:
+                return T.mk_lt(left, right)
+            if p.op is CmpOp.LE:
+                return T.mk_le(left, right)
+            if p.op is CmpOp.GT:
+                return T.mk_gt(left, right)
+            if p.op is CmpOp.GE:
+                return T.mk_ge(left, right)
+        if isinstance(p, ast.And):
+            return T.mk_and(*(self.pred(q) for q in p.parts))
+        if isinstance(p, ast.Or):
+            return T.mk_or(*(self.pred(q) for q in p.parts))
+        if isinstance(p, ast.Not):
+            return T.mk_not(self.pred(p.pred))
+        if isinstance(p, (ast.UnknownPred, ast.HolePred)):
+            raise TranslationError(f"cannot translate unresolved hole {p!r}")
+        raise TranslationError(f"unexpected predicate {p!r}")

@@ -1,0 +1,6 @@
+"""Validation of synthesized inverses: round-trip testing + bounded checking."""
+
+from .bmc import BmcBounds, BmcResult, bounded_check, enumerate_inputs
+from .roundtrip import RoundTripReport, random_pool, round_trip_once, validate_inverse
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,98 @@
+"""Round-trip validation of synthesized inverses (Section 2.5).
+
+Runs ``P`` then a candidate ``P⁻¹`` concretely and checks the identity
+specification — the programmatic analogue of the paper's manual
+inspection, applied over test pools.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
+from ..concrete.interp import AssumeFailed, InterpError, Interpreter, OutOfFuel
+from ..concrete.values import coerce_input
+from ..lang.ast import Program, Sort
+from ..lang.transform import compose
+from ..pins.spec import InversionSpec
+
+
+@dataclass
+class RoundTripReport:
+    """Outcome of validating one candidate inverse."""
+
+    total: int = 0
+    passed: int = 0
+    skipped: int = 0  # inputs rejected by P's own assume (precondition)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        checked = self.total - self.skipped
+        return checked > 0 and self.passed == checked and not self.failures
+
+
+def round_trip_once(program: Program, inverse: Program, spec: InversionSpec,
+                    inputs: Mapping[str, Any],
+                    externs: ExternRegistry = EMPTY_REGISTRY,
+                    fuel: int = 100_000) -> bool:
+    """Run ``P ; P⁻¹`` on one input and evaluate the identity spec."""
+    composed = compose(program, inverse)
+    interp = Interpreter(externs, fuel=fuel)
+    env = interp.run(composed, inputs)
+    seeded = {
+        name: coerce_input(value, composed.decls.get(name, Sort.INT))
+        for name, value in inputs.items()
+    }
+    return spec.check_states(seeded, env)
+
+
+def validate_inverse(program: Program, inverse: Program, spec: InversionSpec,
+                     inputs_pool: Sequence[Mapping[str, Any]],
+                     externs: ExternRegistry = EMPTY_REGISTRY,
+                     fuel: int = 100_000,
+                     precondition=None) -> RoundTripReport:
+    """Round-trip a candidate inverse over a pool of inputs.
+
+    Inputs violating ``P``'s own ``assume`` statements (or the task's
+    precondition) are counted as skipped, not failed — ``P`` never runs on
+    them, so the inverse owes nothing for them.
+    """
+    report = RoundTripReport()
+    for inputs in inputs_pool:
+        report.total += 1
+        if precondition is not None and not precondition(dict(inputs)):
+            report.skipped += 1
+            continue
+        try:
+            if round_trip_once(program, inverse, spec, inputs, externs, fuel):
+                report.passed += 1
+            else:
+                report.failures.append(dict(inputs))
+        except AssumeFailed:
+            report.skipped += 1
+        except (OutOfFuel, InterpError) as exc:
+            report.failures.append(dict(inputs))
+            report.errors.append(f"{type(exc).__name__}: {exc}")
+    return report
+
+
+def random_pool(input_gen, count: int, seed: int = 0) -> List[Dict[str, Any]]:
+    """Draw a deduplicated random test pool from a task's generator."""
+    from ..concrete.testgen import freeze_input
+
+    rng = random.Random(seed)
+    pool: List[Dict[str, Any]] = []
+    seen = set()
+    for _ in range(count * 5):
+        if len(pool) >= count:
+            break
+        candidate = input_gen(rng)
+        key = freeze_input(candidate)
+        if key not in seen:
+            seen.add(key)
+            pool.append(candidate)
+    return pool

@@ -1,0 +1,78 @@
+"""Executable models for the axiom libraries (strings, trig, arith)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.axioms.arith import DIV, MUL, mul_div_axioms
+from repro.axioms.registry import EMPTY_REGISTRY, Extern, ExternRegistry
+from repro.axioms.strings import STRING_EXTERNS, string_axioms
+from repro.axioms.trig import COS, SIN, trig_axioms
+from repro.lang.ast import Sort
+
+
+def test_registry_lookup_and_duplicates():
+    reg = ExternRegistry((MUL,))
+    assert "mul" in reg
+    assert reg.get("mul")(3, 4) == 12
+    with pytest.raises(ValueError):
+        reg.register(MUL)
+    with pytest.raises(KeyError):
+        reg.get("nope")
+
+
+def test_registry_merge():
+    merged = ExternRegistry((MUL,)).merged_with(ExternRegistry((DIV,)))
+    assert "mul" in merged and "div" in merged
+
+
+def test_mul_div_cancel_model():
+    for a in range(-4, 5):
+        for b in (1, 2, 3, -2):
+            assert DIV(MUL(a, b), b) == a
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        DIV(1, 0)
+
+
+def test_trig_model_on_unit_circle():
+    for t in range(6):
+        assert COS(t) ** 2 + SIN(t) ** 2 == 1
+
+
+def test_string_model_satisfies_axioms():
+    single = STRING_EXTERNS.get("single")
+    append = STRING_EXTERNS.get("append")
+    strlen = STRING_EXTERNS.get("strlen")
+    first = STRING_EXTERNS.get("first")
+    char_at = STRING_EXTERNS.get("char_at")
+    s = append(append(single(1), 0), 1)
+    assert strlen(s) == 3
+    assert first(s) == 1
+    assert [char_at(s, j) for j in range(3)] == [1, 0, 1]
+    assert strlen(append(s, 1)) == strlen(s) + 1
+
+
+def test_findidx_model():
+    from repro.concrete.values import ConcreteArray
+
+    findidx = STRING_EXTERNS.get("findidx")
+    d = ConcreteArray({0: (0,), 1: (1,), 2: (0, 1)}, default=())
+    assert findidx(d, 3, (0, 1)) == 2
+    assert findidx(d, 2, (0, 1)) == -1  # beyond the live prefix
+    assert findidx(d, 3, (1, 1)) == -1
+
+
+def test_axiom_sets_well_formed():
+    for axioms in (mul_div_axioms(), trig_axioms(), string_axioms()):
+        for axiom in axioms:
+            assert axiom.name
+            assert axiom.normalized_patterns()
+
+
+def test_extern_without_impl_raises():
+    ghost = Extern("ghost", (Sort.INT,), Sort.INT, None)
+    with pytest.raises(RuntimeError):
+        ghost(1)

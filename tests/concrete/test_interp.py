@@ -1,0 +1,127 @@
+"""Concrete interpreter tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.axioms.arith import arith_registry
+from repro.concrete.interp import (
+    AssumeFailed,
+    InterpError,
+    Interpreter,
+    OutOfFuel,
+    run_path,
+)
+from repro.concrete.values import ConcreteArray
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_pred, parse_program, parse_stmt
+from repro.symexec.paths import Def, Guard
+
+
+def run(src, inputs):
+    program = parse_program(src)
+    return Interpreter().run(program, inputs)
+
+
+def test_simple_loop():
+    env = run("""
+    program t [int n; int s; int i] {
+      in(n);
+      s, i := 0, 0;
+      while (i < n) { i := i + 1; s := s + i; }
+      out(s);
+    }
+    """, {"n": 4})
+    assert env["s"] == 10
+
+
+def test_parallel_assignment_uses_old_values():
+    env = run("program t [int x; int y] { x, y := 1, 2; x, y := y, x; }", {})
+    assert env["x"] == 2 and env["y"] == 1
+
+
+def test_array_update_is_functional():
+    program = parse_program("""
+    program t [array A; array B] {
+      B := upd(A, 0, 9);
+    }
+    """)
+    a = ConcreteArray.from_list([1, 2])
+    env = Interpreter().run(program, {"A": a})
+    assert env["B"].get(0) == 9
+    assert env["A"].get(0) == 1  # original untouched
+
+
+def test_assume_failure_raises():
+    with pytest.raises(AssumeFailed):
+        run("program t [int x] { in(x); assume(x > 0); }", {"x": 0})
+
+
+def test_division_semantics_floor():
+    env = run("program t [int a; int b] { a := 0 - 7; b := a / 2; }", {})
+    assert env["b"] == -4
+    env = run("program t [int a; int b] { a := 0 - 7; b := a % 2; }", {})
+    assert env["b"] == 1
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpError):
+        run("program t [int a] { a := 1 / 0; }", {})
+
+
+def test_fuel_exhaustion():
+    interp = Interpreter(fuel=100)
+    program = parse_program("program t [int x] { while (0 < 1) { x := x + 1; } }")
+    with pytest.raises(OutOfFuel):
+        interp.run(program, {})
+
+
+def test_nondeterministic_forms_rejected():
+    program = parse_program("program t [int x] { while (*) { x := 1; } }")
+    with pytest.raises(InterpError):
+        Interpreter().run(program, {})
+
+
+def test_extern_call():
+    env_prog = parse_program("program t [int a; int b] { b := mul(a, 3); }")
+    env = Interpreter(arith_registry()).run(env_prog, {"a": 5})
+    assert env["b"] == 15
+
+
+def test_extern_failure_becomes_interp_error():
+    program = parse_program("program t [int a] { a := div(1, 0); }")
+    with pytest.raises(InterpError):
+        Interpreter(arith_registry()).run(program, {})
+
+
+def test_rational_arithmetic_allowed():
+    program = parse_program("program t [int a; int b] { b := div(a, 2) + 1; }")
+    env = Interpreter(arith_registry()).run(program, {"a": 5})
+    assert env["b"] == Fraction(7, 2)
+
+
+def test_type_errors_raise_interp_error():
+    program = parse_program("program t [array A; int x] { x := A + 1; }")
+    with pytest.raises(InterpError):
+        Interpreter().run(program, {"A": []})
+
+
+def test_run_path_follows_and_diverges():
+    sorts = {"x": ast.Sort.INT, "y": ast.Sort.INT}
+    items = (
+        Def("y", 1, parse_expr("x") and ast.add(ast.Var("x#0"), ast.n(1))),
+        Guard(ast.lt(ast.Var("y#1"), ast.n(10))),
+    )
+    env = run_path(items, {"x": 3}, sorts)
+    assert env is not None and env["y#1"] == 4
+    assert run_path(items, {"x": 100}, sorts) is None
+
+
+def test_run_path_substitutes_holes():
+    sorts = {"x": ast.Sort.INT, "y": ast.Sort.INT}
+    items = (
+        Def("y", 1, ast.HoleExpr("e1", (("x", 0),))),
+    )
+    env = run_path(items, {"x": 3}, sorts,
+                   expr_solution={"e1": parse_expr("x + 10")})
+    assert env["y#1"] == 13

@@ -1,0 +1,68 @@
+"""ConcreteArray and input-coercion tests."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.concrete.values import ConcreteArray, coerce_input, default_value
+from repro.lang.ast import Sort
+
+
+def test_from_list_and_get():
+    a = ConcreteArray.from_list([5, 6, 7])
+    assert a.get(0) == 5 and a.get(2) == 7
+    assert a.get(99) == 0  # default
+
+
+def test_set_is_persistent():
+    a = ConcreteArray.from_list([1])
+    b = a.set(0, 9)
+    assert a.get(0) == 1 and b.get(0) == 9
+
+
+def test_equality_ignores_representation():
+    a = ConcreteArray({0: 1, 5: 0})
+    b = ConcreteArray({0: 1})
+    assert a == b  # explicit default entries don't matter
+
+
+def test_prefix_and_equal_prefix():
+    a = ConcreteArray.from_list([1, 2, 3])
+    b = ConcreteArray.from_list([1, 2, 9])
+    assert a.prefix(2) == [1, 2]
+    assert a.equal_prefix(b, 2)
+    assert not a.equal_prefix(b, 3)
+
+
+def test_not_hashable():
+    with pytest.raises(TypeError):
+        hash(ConcreteArray())
+
+
+def test_defaults_per_sort():
+    assert default_value(Sort.INT) == 0
+    assert isinstance(default_value(Sort.ARRAY), ConcreteArray)
+    assert default_value(Sort.STR) == ""
+    assert default_value(Sort.OBJ) is None
+
+
+def test_coerce_input_lists():
+    arr = coerce_input([1, 2], Sort.ARRAY)
+    assert isinstance(arr, ConcreteArray) and arr.get(1) == 2
+    assert coerce_input(5, Sort.INT) == 5
+
+
+@given(st.lists(st.integers(-5, 5), max_size=8), st.integers(0, 8))
+@settings(max_examples=60, deadline=None)
+def test_prefix_matches_list_semantics(values, length):
+    a = ConcreteArray.from_list(values)
+    expected = (values + [0] * length)[:length]
+    assert a.prefix(length) == expected
+
+
+@given(st.lists(st.integers(-3, 3), max_size=6),
+       st.integers(0, 5), st.integers(-3, 3))
+@settings(max_examples=60, deadline=None)
+def test_set_get_roundtrip(values, idx, val):
+    a = ConcreteArray.from_list(values).set(idx, val)
+    assert a.get(idx) == val

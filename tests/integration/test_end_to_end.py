@@ -1,0 +1,87 @@
+"""End-to-end PINS runs on the fast benchmarks (the slow ones run in the
+benchmark harness, not the unit-test suite)."""
+
+import pytest
+
+from repro.baselines.randompath import path_explosion, pins_with_random_pickone
+from repro.baselines.sketchlite import run_sketchlite
+from repro.pins import PinsConfig, build_template, run_pins
+from repro.suite import get_benchmark
+from repro.validate.bmc import BmcBounds
+from repro.validate.roundtrip import random_pool, validate_inverse
+
+
+def synthesize_and_validate(name, **config_kwargs):
+    bench = get_benchmark(name)
+    task = bench.task
+    config = PinsConfig(m=10, max_iterations=25, seed=1, **config_kwargs)
+    result = run_pins(task, config)
+    assert result.succeeded, f"{name}: {result.status}"
+    spec = task.derived_spec({**task.program.decls, **task.inverse.decls})
+    pool = list(task.initial_inputs)
+    if task.input_gen is not None:
+        pool += random_pool(task.input_gen, 25, seed=7)
+    reports = [
+        validate_inverse(task.program, inverse, spec, pool, task.externs,
+                         precondition=task.precondition)
+        for inverse in result.inverse_programs()
+    ]
+    assert any(r.ok for r in reports), f"{name}: no returned candidate is correct"
+    return bench, result, reports
+
+
+def test_sumi_end_to_end():
+    bench, result, reports = synthesize_and_validate("sumi")
+    assert result.status in ("stabilized", "max_iterations")
+    # Small path bound: a handful of paths characterize the program.
+    assert result.stats.paths_explored <= 15
+
+
+def test_vector_shift_end_to_end():
+    _bench, result, reports = synthesize_and_validate("vector_shift")
+    assert len(result.solutions) == 1
+    assert reports[0].ok
+    assert result.stats.paths_explored <= 6
+
+
+def test_vector_scale_end_to_end_with_axioms():
+    _bench, result, reports = synthesize_and_validate("vector_scale")
+    assert reports[0].ok
+
+
+def test_time_breakdown_dominated_by_smt_and_symexec():
+    bench = get_benchmark("vector_shift")
+    result = run_pins(bench.task, PinsConfig(m=10, max_iterations=20, seed=1))
+    breakdown = result.stats.breakdown()
+    heavy = breakdown["smt_reduction"] + breakdown["symexec"] + breakdown["sat"]
+    assert heavy > 0.5  # Table 4's shape
+
+
+def test_random_pickone_still_converges():
+    bench = get_benchmark("sumi")
+    result = pins_with_random_pickone(
+        bench.task, PinsConfig(m=10, max_iterations=25, seed=2))
+    assert result.succeeded
+
+
+def test_path_explosion_matches_papers_story():
+    explosion = path_explosion(get_benchmark("inplace_rl").task, max_unroll=3)
+    # Section 2.4: thousands of syntactic paths at three unrollings.
+    assert explosion.paths > 1000
+
+
+def test_sketchlite_solves_vector_shift():
+    bench = get_benchmark("vector_shift")
+    template = build_template(bench.task)
+    bounds = BmcBounds(unroll=bench.task.bmc_unroll,
+                       array_size=2, value_range=(0, 1), scalar_range=(0, 1),
+                       max_cases=300)
+    result = run_sketchlite(bench.task, template, bounds, timeout=60)
+    assert result.status == "sat"
+
+
+def test_sketchlite_rejects_axiomatized_benchmarks():
+    bench = get_benchmark("vector_scale")
+    template = build_template(bench.task)
+    result = run_sketchlite(bench.task, template, BmcBounds(), timeout=5)
+    assert result.status == "unsupported"

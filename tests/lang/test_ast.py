@@ -1,0 +1,121 @@
+"""Unit tests for the AST module."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.ast import (
+    Assign,
+    Cmp,
+    CmpOp,
+    IntLit,
+    Program,
+    Sort,
+    Var,
+    conj,
+    negate,
+)
+
+
+def test_expr_equality_is_structural():
+    assert ast.add(ast.v("x"), ast.n(1)) == ast.add(ast.v("x"), ast.n(1))
+    assert ast.add(ast.v("x"), ast.n(1)) != ast.add(ast.v("x"), ast.n(2))
+
+
+def test_exprs_are_hashable():
+    seen = {ast.sel(ast.v("A"), ast.v("i")), ast.sel(ast.v("A"), ast.v("i"))}
+    assert len(seen) == 1
+
+
+def test_parallel_assignment_arity_checked():
+    with pytest.raises(ValueError):
+        Assign(("x", "y"), (IntLit(1),))
+
+
+def test_seq_flattens_and_drops_skip():
+    s = ast.seq(ast.SKIP, ast.assign("x", ast.n(1)),
+                ast.seq(ast.assign("y", ast.n(2)), ast.SKIP))
+    assert isinstance(s, ast.Seq)
+    assert len(s.stmts) == 2
+
+
+def test_seq_of_nothing_is_skip():
+    assert ast.seq() == ast.SKIP
+    assert ast.seq(ast.SKIP) == ast.SKIP
+
+
+def test_conj_drops_true_and_flattens():
+    p = conj([ast.TRUE, ast.lt(ast.v("x"), ast.n(3)),
+              ast.And((ast.gt(ast.v("y"), ast.n(0)),))])
+    assert isinstance(p, ast.And)
+    assert len(p.parts) == 2
+    assert conj([]) == ast.TRUE
+    only = ast.lt(ast.v("x"), ast.n(3))
+    assert conj([only]) == only
+
+
+def test_negate_flips_comparisons():
+    assert negate(ast.lt(ast.v("x"), ast.n(1))) == ast.ge(ast.v("x"), ast.n(1))
+    assert negate(ast.eq(ast.v("x"), ast.n(1))) == ast.ne(ast.v("x"), ast.n(1))
+    assert negate(ast.TRUE) == ast.FALSE
+
+
+def test_negate_de_morgan():
+    p = ast.And((ast.lt(ast.v("x"), ast.n(1)), ast.gt(ast.v("y"), ast.n(2))))
+    q = negate(p)
+    assert isinstance(q, ast.Or)
+    assert q.parts[0] == ast.ge(ast.v("x"), ast.n(1))
+
+
+def test_negate_involution_on_comparisons():
+    p = ast.le(ast.v("a"), ast.v("b"))
+    assert negate(negate(p)) == p
+
+
+def test_cmp_op_negate_flip():
+    assert CmpOp.LT.negate() is CmpOp.GE
+    assert CmpOp.LT.flip() is CmpOp.GT
+    assert CmpOp.EQ.flip() is CmpOp.EQ
+
+
+def test_program_inputs_outputs():
+    body = ast.seq(ast.In(("A", "n")), ast.assign("x", ast.n(0)), ast.Out(("x",)))
+    p = Program("t", {"A": Sort.ARRAY, "n": Sort.INT, "x": Sort.INT}, body)
+    assert p.inputs == ("A", "n")
+    assert p.outputs == ("x",)
+
+
+def test_program_sort_of_unknown_raises():
+    p = Program("t", {"x": Sort.INT})
+    with pytest.raises(KeyError):
+        p.sort_of("zzz")
+
+
+def test_expr_vars_and_unknowns():
+    e = ast.upd(ast.v("A"), ast.v("i"), ast.Unknown("e1"))
+    assert ast.expr_vars(e) == frozenset({"A", "i"})
+    assert ast.expr_unknowns(e) == frozenset({"e1"})
+
+
+def test_stmt_unknowns_sees_guards_and_assignments():
+    body = ast.seq(
+        ast.GWhile(ast.UnknownPred("p1"), ast.assign("x", ast.Unknown("e1"))),
+        ast.Assume(ast.UnknownPred("p2")),
+    )
+    assert ast.stmt_unknowns(body) == frozenset({"p1", "p2", "e1"})
+
+
+def test_assigned_vars():
+    body = ast.seq(ast.assign(("x", "y"), (ast.n(1), ast.n(2))),
+                   ast.GIf(ast.TRUE, ast.assign("z", ast.n(3)), ast.SKIP))
+    assert ast.assigned_vars(body) == frozenset({"x", "y", "z"})
+
+
+def test_freeze_vmap_sorted():
+    assert ast.freeze_vmap({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+
+def test_sort_element():
+    assert Sort.ARRAY.element() is Sort.INT
+    assert Sort.STRARRAY.element() is Sort.STR
+    with pytest.raises(ValueError):
+        Sort.INT.element()

@@ -1,0 +1,84 @@
+"""Parser unit tests, including error positions and precedence."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse_expr, parse_pred, parse_program, parse_stmt
+
+
+def test_precedence_mul_over_add():
+    e = parse_expr("a + b * c")
+    assert isinstance(e, ast.BinOp) and e.op is ast.ArithOp.ADD
+    assert isinstance(e.right, ast.BinOp) and e.right.op is ast.ArithOp.MUL
+
+
+def test_unary_minus_folds_literal():
+    assert parse_expr("-5") == ast.IntLit(-5)
+    e = parse_expr("-x")
+    assert e == ast.BinOp(ast.ArithOp.SUB, ast.IntLit(0), ast.Var("x"))
+
+
+def test_sel_upd_and_funapp():
+    e = parse_expr("upd(A, i, sel(B, j) + f(x, 1))")
+    assert isinstance(e, ast.Update)
+    assert isinstance(e.value, ast.BinOp)
+    assert isinstance(e.value.right, ast.FunApp)
+    assert e.value.right.name == "f"
+
+
+def test_unknown_expr_and_pred():
+    assert parse_expr("[e1]") == ast.Unknown("e1")
+    assert parse_pred("[p1]") == ast.UnknownPred("p1")
+
+
+def test_pred_connectives():
+    p = parse_pred("x < 1 && (y > 2 || !(z = 3))")
+    assert isinstance(p, ast.And)
+    assert isinstance(p.parts[1], ast.Or)
+    assert isinstance(p.parts[1].parts[1], ast.Not)
+
+
+def test_parallel_assignment():
+    s = parse_stmt("x, y := y, x;")
+    assert isinstance(s, ast.Assign)
+    assert s.targets == ("x", "y")
+
+
+def test_guarded_and_star_forms():
+    g = parse_stmt("while (x < 3) { x := x + 1; }")
+    assert isinstance(g, ast.GWhile)
+    nd = parse_stmt("while (*) { x := x + 1; }")
+    assert isinstance(nd, ast.While)
+    gi = parse_stmt("if (x = 0) { y := 1; } else { y := 2; }")
+    assert isinstance(gi, ast.GIf)
+    ndi = parse_stmt("if (*) { y := 1; }")
+    assert isinstance(ndi, ast.If)
+    assert ndi.els == ast.SKIP
+
+
+def test_program_with_decls():
+    p = parse_program("program t [int x; array A] { in(A, x); out(A); }")
+    assert p.decls["x"] is ast.Sort.INT
+    assert p.decls["A"] is ast.Sort.ARRAY
+    assert p.inputs == ("A", "x")
+
+
+def test_error_has_line_and_column():
+    with pytest.raises(ParseError) as err:
+        parse_stmt("x := ;")
+    assert "line 1" in str(err.value)
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("x + 1 extra")
+
+
+def test_comments_are_skipped():
+    s = parse_stmt("// setup\nx := 1; // done\n")
+    assert isinstance(s, ast.Assign)
+
+
+def test_keywords_not_usable_as_calls():
+    e = parse_expr("sel(A, 0)")
+    assert isinstance(e, ast.Select)

@@ -1,0 +1,83 @@
+"""Pretty-printer round-trips, including a hypothesis property."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_pred, parse_program
+from repro.lang.pretty import pretty, pretty_expr, pretty_pred, pretty_program
+
+names = st.sampled_from(["x", "y", "z", "A", "i", "n"])
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth > 3:
+        return draw(st.one_of(
+            st.builds(ast.Var, names),
+            st.builds(ast.IntLit, st.integers(-50, 50)),
+        ))
+    return draw(st.one_of(
+        st.builds(ast.Var, names),
+        st.builds(ast.IntLit, st.integers(-50, 50)),
+        st.builds(lambda a, b: ast.add(a, b), exprs(depth + 1), exprs(depth + 1)),
+        st.builds(lambda a, b: ast.sub(a, b), exprs(depth + 1), exprs(depth + 1)),
+        st.builds(lambda a, b: ast.mul(a, b), exprs(depth + 1), exprs(depth + 1)),
+        st.builds(lambda a, b: ast.sel(a, b), st.builds(ast.Var, names),
+                  exprs(depth + 1)),
+        st.builds(ast.Unknown, st.sampled_from(["e1", "e2"])),
+    ))
+
+
+@st.composite
+def preds(draw):
+    op = draw(st.sampled_from(list(ast.CmpOp)))
+    return ast.Cmp(op, draw(exprs()), draw(exprs()))
+
+
+@given(exprs())
+@settings(max_examples=120, deadline=None)
+def test_expr_pretty_parse_roundtrip(e):
+    assert parse_expr(pretty_expr(e)) == e
+
+
+@given(preds())
+@settings(max_examples=80, deadline=None)
+def test_pred_pretty_parse_roundtrip(p):
+    assert parse_pred(pretty_pred(p)) == p
+
+
+def test_program_roundtrip():
+    src = """
+    program demo [array A; int n; int i] {
+      in(A, n);
+      assume(n >= 0);
+      i := 0;
+      while (i < n) {
+        A := upd(A, i, sel(A, i) + 1);
+        i := i + 1;
+      }
+      if (*) {
+        i := 0;
+      } else {
+        skip;
+      }
+      out(A);
+      exit;
+    }
+    """
+    p = parse_program(src)
+    again = parse_program(pretty_program(p))
+    assert again.body == p.body
+    assert again.decls == p.decls
+
+
+def test_pretty_dispatch():
+    assert pretty(ast.n(3)) == "3"
+    assert pretty(ast.lt(ast.v("x"), ast.n(2))) == "x < 2"
+    assert "x := 1;" in pretty(ast.assign("x", ast.n(1)))
+
+
+def test_pretty_hole_forms():
+    h = ast.HoleExpr("e1", (("x", 2),))
+    assert "e1" in pretty_expr(h) and "x:2" in pretty_expr(h)

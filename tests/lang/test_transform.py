@@ -1,0 +1,137 @@
+"""Desugaring, substitution, renaming, and composition tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_pred, parse_program, parse_stmt
+from repro.lang.transform import (
+    compose,
+    desugar,
+    desugar_program,
+    loc_of,
+    rename_expr,
+    rename_pred,
+    rename_stmt,
+    substitute_expr,
+    substitute_pred,
+    substitute_stmt,
+    version_expr,
+    version_pred,
+    versioned_name,
+    unversioned_name,
+)
+
+
+def test_desugar_gwhile_shape():
+    s = parse_stmt("while (x < 3) { x := x + 1; }")
+    d = desugar(s)
+    assert isinstance(d, ast.Seq)
+    loop, trailing = d.stmts
+    assert isinstance(loop, ast.While) and loop.loop_id
+    body = loop.body
+    assert isinstance(body, ast.Seq)
+    assert isinstance(body.stmts[0], ast.Assume)
+    assert isinstance(trailing, ast.Assume)
+    assert trailing.pred == ast.ge(ast.v("x"), ast.n(3))
+
+
+def test_desugar_gif_shape():
+    s = parse_stmt("if (x = 0) { y := 1; } else { y := 2; }")
+    d = desugar(s)
+    assert isinstance(d, ast.If)
+    assert isinstance(d.then, ast.Seq)
+    assert isinstance(d.then.stmts[0], ast.Assume)
+    assert d.els.stmts[0].pred == ast.ne(ast.v("x"), ast.n(0))
+
+
+def test_desugar_assigns_unique_loop_ids():
+    s = parse_stmt("while (a < 1) { while (b < 2) { b := b + 1; } a := a + 1; }")
+    d = desugar(s)
+    ids = [w.loop_id for w in ast.walk_stmts(d) if isinstance(w, ast.While)]
+    assert len(ids) == 2 and len(set(ids)) == 2
+
+
+def test_desugar_program_appends_exit():
+    p = parse_program("program t [int x] { x := 1; }")
+    d = desugar_program(p)
+    assert any(isinstance(s, ast.Exit) for s in ast.walk_stmts(d.body))
+
+
+def test_rename_expr_and_pred():
+    e = parse_expr("sel(A, i) + j")
+    assert rename_expr(e, {"i": "ip", "A": "Ap"}) == parse_expr("sel(Ap, ip) + j")
+    p = parse_pred("i < n")
+    assert rename_pred(p, {"i": "ip"}) == parse_pred("ip < n")
+
+
+def test_rename_stmt_renames_targets_and_io():
+    s = parse_stmt("in(A); x := sel(A, 0); out(x);")
+    r = rename_stmt(s, {"x": "xp", "A": "Ap"})
+    text = str(r)
+    assert "xp" in str(r) or True  # structural checks below
+    assigns = [q for q in ast.walk_stmts(r) if isinstance(q, ast.Assign)]
+    assert assigns[0].targets == ("xp",)
+    ins = [q for q in ast.walk_stmts(r) if isinstance(q, ast.In)]
+    assert ins[0].names == ("Ap",)
+
+
+def test_substitute_expr_fills_unknowns():
+    e = parse_expr("[e1] + 1")
+    out = substitute_expr(e, {"e1": parse_expr("x * 2")})
+    assert out == parse_expr("(x * 2) + 1")
+
+
+def test_substitute_expr_partial_map_keeps_hole():
+    e = parse_expr("[e1] + [e2]")
+    out = substitute_expr(e, {"e1": ast.n(5)})
+    assert ast.expr_unknowns(out) == frozenset({"e2"})
+
+
+def test_substitute_pred_subset_conjunction():
+    p = ast.UnknownPred("p1")
+    out = substitute_pred(p, {}, {"p1": (parse_pred("x < 1"), parse_pred("y > 2"))})
+    assert isinstance(out, ast.And)
+    empty = substitute_pred(p, {}, {"p1": ()})
+    assert empty == ast.TRUE
+
+
+def test_version_expr_pairs_hole_with_vmap():
+    e = parse_expr("[e1] + x")
+    v = version_expr(e, {"x": 3, "y": 1})
+    holes = [n for n in ast.walk_exprs(v) if isinstance(n, ast.HoleExpr)]
+    assert holes[0].vmap == (("x", 3), ("y", 1))
+    vars_ = ast.expr_vars(v)
+    assert "x#3" in vars_
+
+
+def test_version_pred_unknown():
+    p = version_pred(ast.UnknownPred("g"), {"x": 2})
+    assert isinstance(p, ast.HolePred)
+    assert p.vmap == (("x", 2),)
+
+
+def test_versioned_name_roundtrip():
+    assert versioned_name("x", 4) == "x#4"
+    assert unversioned_name("x#4") == "x"
+    assert unversioned_name("plain") == "plain"
+
+
+def test_compose_merges_decls_and_checks_conflicts():
+    p = parse_program("program p [int x] { in(x); out(x); }")
+    q = parse_program("program q [int x; int y] { y := x; out(y); }")
+    c = compose(p, q)
+    assert set(c.decls) == {"x", "y"}
+    bad = parse_program("program r [array x] { x := upd(x, 0, 1); }")
+    with pytest.raises(ValueError):
+        compose(p, bad)
+
+
+def test_loc_counts_like_the_paper():
+    s = parse_stmt("""
+      x, y := 1, 2;
+      while (x < 3) {
+        x := x + 1;
+      }
+    """)
+    # parallel assign = 2, guard = 1, body assign = 1
+    assert loc_of(s) == 4

@@ -1,0 +1,46 @@
+"""Sort-inference tests."""
+
+import pytest
+
+from repro.lang.ast import Sort
+from repro.lang.parser import parse_expr
+from repro.lang.types import SortError, candidate_fits, infer_expr_sort
+
+DECLS = {"x": Sort.INT, "A": Sort.ARRAY, "D": Sort.STRARRAY, "s": Sort.STR}
+
+
+def test_basic_sorts():
+    assert infer_expr_sort(parse_expr("x + 1"), DECLS) is Sort.INT
+    assert infer_expr_sort(parse_expr("sel(A, x)"), DECLS) is Sort.INT
+    assert infer_expr_sort(parse_expr("upd(A, x, 1)"), DECLS) is Sort.ARRAY
+    assert infer_expr_sort(parse_expr("sel(D, 0)"), DECLS) is Sort.STR
+
+
+def test_unknown_vars_are_none():
+    assert infer_expr_sort(parse_expr("mystery"), DECLS) is None
+    assert infer_expr_sort(parse_expr("f(x)"), DECLS) is None
+    assert infer_expr_sort(parse_expr("f(x)"), DECLS, {"f": Sort.STR}) is Sort.STR
+
+
+def test_ill_sorted_raises():
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("A + 1"), DECLS)
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("sel(x, 0)"), DECLS)
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("sel(A, A)"), DECLS)
+
+
+def test_candidate_fits():
+    assert candidate_fits(parse_expr("x + 1"), Sort.INT, DECLS)
+    assert not candidate_fits(parse_expr("upd(A, x, 1)"), Sort.INT, DECLS)
+    assert candidate_fits(parse_expr("upd(A, x, 1)"), Sort.ARRAY, DECLS)
+    # Ill-sorted candidates never fit anywhere.
+    assert not candidate_fits(parse_expr("A + 1"), Sort.INT, DECLS)
+    # Unknown-sort candidates fit optimistically.
+    assert candidate_fits(parse_expr("g(x)"), Sort.INT, DECLS)
+
+
+def test_update_element_mismatch():
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("upd(D, 0, 1)"), DECLS)

@@ -1,0 +1,108 @@
+"""Template-mining tests: harvest, projections, renaming, skeletons."""
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_pred, parse_program
+from repro.mining.builder import SkeletonOptions, build_skeleton
+from repro.mining.miner import harvest, mine, positive_counters, read_retarget
+from repro.mining.projections import (
+    INVERSION_PROJECTIONS,
+    iterator_positive_projection,
+    out_scalar_projection,
+)
+from repro.suite.inplace_rl import PROGRAM as RL_PROGRAM
+
+SIMPLE = parse_program("""
+program t [int n; int s; int i] {
+  in(n);
+  assume(n >= 0);
+  s, i := 0, 0;
+  while (i < n) {
+    i := i + 1;
+    s := s + i;
+  }
+  out(s);
+}
+""")
+
+
+def test_harvest_collects_rhs_and_guards():
+    exprs, preds = harvest(SIMPLE)
+    assert parse_expr("i + 1") in exprs
+    assert parse_expr("s + i") in exprs
+    assert parse_pred("i < n") in preds
+    assert parse_pred("n >= 0") in preds
+
+
+def test_projection_addition_inversion():
+    proj = {p.name: p for p in INVERSION_PROJECTIONS}
+    out = proj["addition-inversion"](parse_expr("s + i"))
+    assert out == (parse_expr("s - i"),)
+    assert proj["addition-inversion"](parse_expr("s - i")) == ()
+
+
+def test_projection_copy_inversion():
+    proj = {p.name: p for p in INVERSION_PROJECTIONS}
+    out = proj["copy-inversion"](parse_expr("upd(A, m, sel(B, i))"))
+    assert out == (parse_expr("upd(B, i, sel(A, m))"),)
+
+
+def test_projection_array_read():
+    proj = {p.name: p for p in INVERSION_PROJECTIONS}
+    out = proj["array-read"](parse_pred("sel(A, i) = sel(A, i + 1)"))
+    assert parse_expr("sel(A, i)") in out
+
+
+def test_out_scalar_and_iterator_projectors():
+    assert out_scalar_projection("m", lambda s: s + "p") == parse_pred("mp < m")
+    assert iterator_positive_projection("r", lambda s: s + "p") == parse_pred("rp > 0")
+
+
+def test_positive_counters():
+    assert positive_counters(RL_PROGRAM) == ["r"]
+
+
+def test_mine_deletes_unavailable_references():
+    mined = mine(SIMPLE)
+    # n is an input but not an output: nothing mined may mention np.
+    for e in mined.exprs:
+        assert "np" not in ast.expr_vars(e)
+    for p in mined.preds:
+        assert "np" not in ast.expr_vars(p)
+
+
+def test_mine_runlength_contains_paper_candidates():
+    mined = mine(RL_PROGRAM)
+    expr_texts = {str(e) for e in mined.exprs}
+    pred_texts = {str(p) for p in mined.preds}
+    assert "(rp + 1)" in expr_texts
+    assert "(rp - 1)" in expr_texts  # increment inversion
+    assert "mp < m" in pred_texts  # out projector
+    assert "rp > 0" in pred_texts  # iterator projector
+    assert mined.size >= 10
+
+
+def test_read_retarget():
+    exprs = (parse_expr("upd(Ap, ip, sel(Ap, mp))"),)
+    fixed = read_retarget(exprs, "Ap", "A")
+    assert fixed == (parse_expr("upd(Ap, ip, sel(A, mp))"),)
+
+
+def test_build_skeleton_structure():
+    skeleton = build_skeleton(SIMPLE)
+    holes = ast.stmt_unknowns(skeleton.body)
+    assert holes  # guards and RHS became unknowns
+    loops = [s for s in ast.walk_stmts(skeleton.body) if isinstance(s, ast.GWhile)]
+    assert len(loops) == 1
+    assert isinstance(loops[0].cond, ast.UnknownPred)
+    assert skeleton.outputs == ("np",)  # primed inputs of P
+
+
+def test_build_skeleton_reverse_and_drop():
+    options = SkeletonOptions(drop_assignments_to={"s"})
+    skeleton = build_skeleton(SIMPLE, options)
+    targets = set()
+    for s in ast.walk_stmts(skeleton.body):
+        if isinstance(s, ast.Assign):
+            targets.update(s.targets)
+    assert "sp" not in targets
+    assert "ip" in targets

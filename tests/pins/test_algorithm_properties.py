@@ -1,0 +1,73 @@
+"""Property-style tests of the PINS main loop's invariants."""
+
+import random
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.pins.algorithm import build_template
+from repro.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def sumi_result():
+    bench = get_benchmark("sumi")
+    return bench, run_pins(bench.task, PinsConfig(m=10, max_iterations=25, seed=1))
+
+
+def test_paths_are_distinct(sumi_result):
+    _bench, result = sumi_result
+    assert len(set(result.explored)) == len(result.explored)
+
+
+def test_solutions_are_program_distinct(sumi_result):
+    from repro.pins.solve import _program_key
+
+    _bench, result = sumi_result
+    keys = [_program_key(s) for s in result.solutions]
+    assert len(set(keys)) == len(keys)
+
+
+def test_solutions_fill_every_template_hole(sumi_result):
+    bench, result = sumi_result
+    template = build_template(bench.task)
+    hole_names = {n for n, _ in template.space.expr_holes}
+    hole_names |= {n for n, _ in template.space.pred_holes}
+    for sol in result.solutions:
+        assigned = {n for n, _ in sol.exprs} | {n for n, _ in sol.preds}
+        assert hole_names <= assigned
+
+
+def test_instantiated_inverses_have_no_holes(sumi_result):
+    from repro.lang import ast
+
+    _bench, result = sumi_result
+    for inverse in result.inverse_programs():
+        assert not ast.stmt_unknowns(inverse.body)
+
+
+def test_stats_are_coherent(sumi_result):
+    _bench, result = sumi_result
+    stats = result.stats
+    assert stats.paths_explored == len(result.explored)
+    assert stats.num_solutions == len(result.solutions)
+    assert stats.iterations >= stats.paths_explored  # one path per iteration
+    assert stats.time_total > 0
+    fractions = stats.breakdown()
+    assert 0 <= sum(fractions.values()) <= 1.01
+
+
+def test_determinism_given_seed():
+    bench = get_benchmark("vector_shift")
+    r1 = run_pins(bench.task, PinsConfig(m=6, max_iterations=15, seed=9))
+    r2 = run_pins(bench.task, PinsConfig(m=6, max_iterations=15, seed=9))
+    assert [s.key for s in r1.solutions] == [s.key for s in r2.solutions]
+    assert r1.stats.paths_explored == r2.stats.paths_explored
+
+
+def test_tests_pool_respects_initial_inputs():
+    bench = get_benchmark("sumi")
+    result = run_pins(bench.task, PinsConfig(m=6, max_iterations=10, seed=4))
+    # All deterministic seed inputs must be in the pool.
+    for seed_input in bench.task.initial_inputs:
+        assert any(t.get("n") == seed_input["n"] for t in result.tests)

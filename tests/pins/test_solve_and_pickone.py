@@ -1,0 +1,139 @@
+"""solve() enumeration/blocking tests and pickOne heuristic tests."""
+
+import random
+
+from repro.lang.parser import parse_expr, parse_pred, parse_program
+from repro.lang.transform import desugar_program
+from repro.pins.checker import ConstraintChecker
+from repro.pins.constraints import safepath
+from repro.pins.pickone import infeasible_score, pick_one, pick_random
+from repro.pins.solve import (
+    Enumerator,
+    SolveSession,
+    SolveStats,
+    _program_key,
+    is_auxiliary_hole,
+    solve,
+)
+from repro.pins.spec import InversionSpec
+from repro.pins.template import HoleSpace, Solution
+from repro.suite.sumi import benchmark as sumi_benchmark
+
+
+def small_space():
+    return HoleSpace(
+        expr_holes=(("e1", (parse_expr("0"), parse_expr("1"))),),
+        pred_holes=(("p1", (parse_pred("x < 1"), parse_pred("x > 1"))),),
+        max_pred_conj=2,
+    )
+
+
+def test_enumerator_counts_and_decodes():
+    enum = Enumerator(small_space())
+    sat = enum.fresh_solver()
+    seen = set()
+    while sat.solve():
+        sol = enum.decode(sat.model())
+        seen.add(sol.key)
+        sat.add_clause(enum.exact_block(sol))
+    # 2 candidates x 4 subsets = 8 total assignments.
+    assert len(seen) == 8
+
+
+def test_exact_block_restricted():
+    enum = Enumerator(small_space())
+    sat = enum.fresh_solver()
+    assert sat.solve()
+    sol = enum.decode(sat.model())
+    sat.add_clause(enum.exact_block(sol, relevant={"e1"}))
+    remaining = set()
+    while sat.solve():
+        s2 = enum.decode(sat.model())
+        remaining.add(s2.key)
+        sat.add_clause(enum.exact_block(s2))
+    # Blocking on e1 only removes all 4 subsets sharing that e1 choice.
+    assert len(remaining) == 4
+    assert all(dict(k[0])["e1"] != dict(sol.exprs)["e1"] for k in remaining)
+
+
+def test_is_auxiliary_hole():
+    assert is_auxiliary_hole("rank!loop1")
+    assert is_auxiliary_hole("inv!loop2")
+    assert not is_auxiliary_hole("e1")
+
+
+def test_program_key_ignores_auxiliary():
+    a = Solution(exprs=(("e1", parse_expr("0")),
+                        ("rank!L", parse_expr("x - 0"))), preds=())
+    b = Solution(exprs=(("e1", parse_expr("0")),
+                        ("rank!L", parse_expr("x - 1"))), preds=())
+    assert _program_key(a) == _program_key(b)
+
+
+def test_solve_on_sumi_termination_only():
+    bench = sumi_benchmark()
+    from repro.pins.algorithm import build_template
+    from repro.lang.transform import compose
+
+    task = bench.task
+    desugared = desugar_program(compose(task.program, task.inverse))
+    template = build_template(task)
+    checker = ConstraintChecker(desugared.decls)
+    from repro.pins.termination import terminate
+
+    session = SolveSession(template.space)
+    stats = SolveStats()
+    tests = [{"n": k} for k in range(4)]
+    sols = solve(session, terminate(desugared.body, desugared.decls),
+                 checker, tests, m=5, stats=stats)
+    assert 1 <= len(sols) <= 5
+    assert stats.candidates_tried >= len(sols)
+    # Re-solving with the same session is cheap and consistent.
+    sols2 = solve(session, terminate(desugared.body, desugared.decls),
+                  checker, tests, m=5, stats=stats)
+    assert len(sols2) == len(sols)
+
+
+def test_pick_one_prefers_infeasible_solutions():
+    bench = sumi_benchmark()
+    from repro.lang.transform import compose
+
+    task = bench.task
+    desugared = desugar_program(compose(task.program, task.inverse))
+    checker = ConstraintChecker(desugared.decls)
+    good = Solution(
+        exprs=(("e1", parse_expr("0")), ("e2", parse_expr("s")),
+               ("e3", parse_expr("ip + 1")), ("e4", parse_expr("sp - ip"))),
+        preds=(("p1", (parse_pred("sp > 0"),)),),
+    )
+    # A solution whose guard is contradictory makes explored paths that
+    # enter the loop infeasible.
+    bad = Solution(
+        exprs=good.exprs,
+        preds=(("p1", (parse_pred("sp > 0"), parse_pred("sp < 0"))),),
+    )
+    from repro.symexec.executor import SymbolicExecutor
+
+    ex = SymbolicExecutor(desugared)
+    rng = random.Random(0)
+    explored = []
+    avoid = set()
+    for _ in range(3):
+        path = ex.find_path(good.expr_map, good.pred_map, avoid, rng)
+        avoid.add(path)
+        explored.append(path)
+    entering = [p for p in explored
+                if infeasible_score(bad, [p], checker) == 1]
+    if entering:  # at least one explored path entered the template loop
+        assert infeasible_score(bad, explored, checker) > \
+            infeasible_score(good, explored, checker)
+        chosen = pick_one([good, bad], explored, checker, random.Random(0))
+        assert chosen is bad
+
+
+def test_pick_random_uniformity():
+    sols = [Solution(exprs=(("e1", parse_expr(str(i))),), preds=())
+            for i in range(3)]
+    rng = random.Random(0)
+    picks = {pick_random(sols, [], None, rng).key for _ in range(50)}
+    assert len(picks) == 3

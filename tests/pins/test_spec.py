@@ -1,0 +1,76 @@
+"""Inversion-spec tests."""
+
+import pytest
+
+from repro.concrete.values import ConcreteArray
+from repro.lang import ast
+from repro.lang.ast import Sort
+from repro.pins.spec import InversionSpec
+
+
+def test_derive_pairs_by_sort_groups():
+    sorts = {"A": Sort.ARRAY, "n": Sort.INT, "Ap": Sort.ARRAY, "ip": Sort.INT}
+    spec = InversionSpec.derive(("A", "n"), ("Ap", "ip"), sorts)
+    assert spec.scalar_pairs == (("n", "ip"),)
+    assert spec.array_pairs == (("A", "Ap", "n"),)
+
+
+def test_derive_mismatch_raises():
+    sorts = {"A": Sort.ARRAY, "n": Sort.INT, "ip": Sort.INT}
+    with pytest.raises(ValueError):
+        InversionSpec.derive(("A", "n"), ("ip",), sorts)
+
+
+def test_negated_disjuncts_shape():
+    spec = InversionSpec(scalar_pairs=(("n", "ip"),),
+                         array_pairs=(("A", "Ap", "n"),))
+    disjuncts = spec.negated_disjuncts((("ip", 4), ("Ap", 3)))
+    assert len(disjuncts) == 2
+    scalar, array = disjuncts
+    assert scalar == ast.ne(ast.Var("n#0"), ast.Var("ip#4"))
+    names = ast.expr_vars(array)
+    assert "A#0" in names and "Ap#3" in names and "specK#0" in names
+
+
+def test_final_version_references():
+    spec = InversionSpec(scalar_pairs=(("@b", "bp"),))
+    disjuncts = spec.negated_disjuncts((("b", 5), ("bp", 2)))
+    assert disjuncts[0] == ast.ne(ast.Var("b#5"), ast.Var("bp#2"))
+
+
+def test_check_env_scalar_and_array():
+    spec = InversionSpec(scalar_pairs=(("n", "ip"),),
+                         array_pairs=(("A", "Ap", "n"),))
+    vmap = (("ip", 2), ("Ap", 1))
+    env = {
+        "n#0": 2, "ip#2": 2,
+        "A#0": ConcreteArray.from_list([7, 8]),
+        "Ap#1": ConcreteArray.from_list([7, 8, 99]),  # extra junk past n ok
+    }
+    assert spec.check_env(env, vmap)
+    env["Ap#1"] = ConcreteArray.from_list([7, 9])
+    assert not spec.check_env(env, vmap)
+
+
+def test_check_env_negative_length_rejected():
+    spec = InversionSpec(array_pairs=(("A", "Ap", "n"),))
+    env = {"n#0": -1, "A#0": ConcreteArray(), "Ap#0": ConcreteArray()}
+    assert not spec.check_env(env, ())
+
+
+def test_check_states_roundtrip_view():
+    spec = InversionSpec(scalar_pairs=(("n", "ip"),),
+                         array_pairs=(("A", "Ap", "n"),))
+    inputs = {"n": 1, "A": ConcreteArray.from_list([3])}
+    final = {"ip": 1, "Ap": ConcreteArray.from_list([3])}
+    assert spec.check_states(inputs, final)
+    final["ip"] = 0
+    assert not spec.check_states(inputs, final)
+
+
+def test_concrete_pairs_not_in_disjuncts():
+    spec = InversionSpec(concrete_pairs=(("root", "op"),))
+    assert spec.negated_disjuncts(()) == []
+    assert not spec.check_states({"root": ("cons", 1, ("nil",))},
+                                 {"op": ("nil",)})
+    assert spec.check_states({"root": ("nil",)}, {"op": ("nil",)})

@@ -1,0 +1,94 @@
+"""Hole-space and solution tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.ast import Sort
+from repro.lang.parser import parse_expr, parse_pred, parse_program
+from repro.pins.template import HoleSpace, Solution, SynthesisTemplate
+
+TEMPLATE = parse_program("""
+program inv [int s; int ip; array Ap] {
+  ip := [e1];
+  while ([p1]) {
+    ip := [e2];
+    Ap := [e3];
+  }
+  out(ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(t) for t in ["0", "s", "ip + 1", "upd(Ap, ip, s)"])
+PHI_P = tuple(parse_pred(t) for t in ["ip < s", "ip > 0"])
+
+
+def build_space(**kwargs):
+    return HoleSpace.build(TEMPLATE.body, PHI_E, PHI_P,
+                           decls={"s": Sort.INT, "ip": Sort.INT,
+                                  "Ap": Sort.ARRAY}, **kwargs)
+
+
+def test_holes_discovered_in_order():
+    space = build_space()
+    assert [n for n, _ in space.expr_holes] == ["e1", "e2", "e3"]
+    assert [n for n, _ in space.pred_holes] == ["p1"]
+
+
+def test_sort_filtering():
+    space = build_space()
+    cands = dict(space.expr_holes)
+    assert all(not isinstance(c, ast.Update) for c in cands["e1"])  # int slot
+    assert [str(c) for c in cands["e3"]] == ["upd(Ap, ip, s)"]  # array slot
+
+
+def test_overrides():
+    space = build_space(expr_overrides={"e1": (parse_expr("0"),)})
+    assert dict(space.expr_holes)["e1"] == (parse_expr("0"),)
+
+
+def test_size_counting():
+    space = build_space(max_pred_conj=2)
+    # e1, e2: 3 int candidates each; e3: 1; p1: subsets of 2 preds = 4.
+    assert space.size() == 3 * 3 * 1 * 4
+    assert space.pred_subset_count(3) == 7  # <=2 of 3
+
+
+def test_size_excludes_auxiliary_holes():
+    space = build_space().with_rank_holes(
+        {"rank!L": (parse_expr("s - ip"),)},
+        {"inv!L": PHI_P})
+    assert space.size() == build_space().size()
+    assert space.size(include_auxiliary=True) > space.size()
+
+
+def test_solution_key_and_describe():
+    sol = Solution(exprs=(("e1", parse_expr("0")),),
+                   preds=(("p1", (parse_pred("ip < s"),)),))
+    assert sol.key == sol.key
+    assert "e1 -> 0" in sol.describe()
+    empty = Solution(exprs=(), preds=(("p1", ()),))
+    assert "true" in empty.describe()
+
+
+def test_instantiate_rejects_partial_solutions():
+    program = parse_program("program p [int s] { in(s); out(s); }")
+    space = build_space()
+    template = SynthesisTemplate(program, TEMPLATE, space)
+    partial = Solution(exprs=(("e1", parse_expr("0")),), preds=())
+    with pytest.raises(ValueError):
+        template.instantiate(partial)
+
+
+def test_instantiate_produces_guarded_program():
+    program = parse_program("program p [int s] { in(s); out(s); }")
+    space = build_space()
+    template = SynthesisTemplate(program, TEMPLATE, space)
+    sol = Solution(
+        exprs=(("e1", parse_expr("0")), ("e2", parse_expr("ip + 1")),
+               ("e3", parse_expr("upd(Ap, ip, s)"))),
+        preds=(("p1", (parse_pred("ip < s"),)),),
+    )
+    inverse = template.instantiate(sol)
+    assert not ast.stmt_unknowns(inverse.body)
+    loops = [s for s in ast.walk_stmts(inverse.body) if isinstance(s, ast.GWhile)]
+    assert loops[0].cond == parse_pred("ip < s")

@@ -1,0 +1,123 @@
+"""Termination-constraint tests (bounded / decrease / preserve / init)."""
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_pred, parse_program
+from repro.lang.transform import desugar_program
+from repro.pins.checker import HOLDS, VIOLATED, ConstraintChecker
+from repro.pins.template import Solution
+from repro.pins.termination import (
+    derive_ranking_candidates,
+    init_constraints,
+    invariant_hole_name,
+    rank_hole_name,
+    template_loops,
+    terminate,
+)
+
+
+def test_derive_ranking_candidates():
+    phi_p = (parse_pred("sp > 0"), parse_pred("mp < m"),
+             parse_pred("a <= b"), parse_pred("x >= y"))
+    ranks = derive_ranking_candidates(phi_p)
+    texts = [str(r) for r in ranks]
+    assert "((sp - 0) - 1)" in texts
+    assert "((m - mp) - 1)" in texts
+    assert "(b - a)" in texts
+    assert "(x - y)" in texts
+
+
+def test_equalities_do_not_contribute_ranks():
+    assert derive_ranking_candidates((parse_pred("a = b"),)) == ()
+
+
+PROGRAM = desugar_program(parse_program("""
+program t [int s; int sp; int ip] {
+  in(s);
+  out(s);
+  ip, sp := [e1], [e2];
+  while ([p1]) {
+    ip := [e3];
+    sp := [e4];
+  }
+  out(ip);
+}
+"""))
+
+
+def test_template_loops_finds_unknown_guards():
+    loops = template_loops(PROGRAM.body)
+    assert len(loops) == 1
+    loop_id, guard, _body = loops[0]
+    assert isinstance(guard, ast.UnknownPred)
+
+
+def test_terminate_constraint_kinds():
+    constraints = terminate(PROGRAM.body, PROGRAM.decls)
+    kinds = {c.kind for c in constraints}
+    assert kinds == {"bounded", "decrease", "preserve"}
+    bounded = [c for c in constraints if c.kind == "bounded"][0]
+    loop_id = template_loops(PROGRAM.body)[0][0]
+    assert rank_hole_name(loop_id) in bounded.relevant
+
+
+def checker():
+    return ConstraintChecker(PROGRAM.decls)
+
+
+def good_solution(loop_id):
+    return Solution(
+        exprs=(("e1", parse_expr("0")), ("e2", parse_expr("s")),
+               ("e3", parse_expr("ip + 1")), ("e4", parse_expr("sp - ip")),
+               (rank_hole_name(loop_id), parse_expr("(sp - 0) - 1"))),
+        preds=(("p1", (parse_pred("sp > 0"),)),
+               (invariant_hole_name(loop_id), (parse_pred("ip >= 0"),))),
+    )
+
+
+def test_ground_truth_passes_termination():
+    loop_id = template_loops(PROGRAM.body)[0][0]
+    chk = checker()
+    for c in terminate(PROGRAM.body, PROGRAM.decls):
+        assert chk.check(c, good_solution(loop_id)).status == HOLDS
+
+
+def test_nondecreasing_rank_violates():
+    loop_id = template_loops(PROGRAM.body)[0][0]
+    sol = good_solution(loop_id)
+    bad = Solution(
+        exprs=tuple((n, parse_expr("ip - 0") if n == rank_hole_name(loop_id) else e)
+                    for n, e in sol.exprs),
+        preds=sol.preds,
+    )
+    chk = checker()
+    decrease = [c for c in terminate(PROGRAM.body, PROGRAM.decls)
+                if c.kind == "decrease"]
+    # rank = ip grows, so some decrease constraint must be violated.
+    assert any(chk.check(c, bad).status == VIOLATED for c in decrease)
+
+
+def test_true_guard_fails_bounded():
+    loop_id = template_loops(PROGRAM.body)[0][0]
+    sol = good_solution(loop_id)
+    bad = Solution(exprs=sol.exprs,
+                   preds=(("p1", ()),  # guard "true": never bounded
+                          (invariant_hole_name(loop_id), (parse_pred("ip >= 0"),))))
+    chk = checker()
+    bounded = [c for c in terminate(PROGRAM.body, PROGRAM.decls)
+               if c.kind == "bounded"][0]
+    assert chk.check(bounded, bad).status == VIOLATED
+
+
+def test_init_constraints_from_path_entries():
+    from repro.symexec.executor import SymbolicExecutor
+    import random
+
+    loop_id = template_loops(PROGRAM.body)[0][0]
+    ex = SymbolicExecutor(PROGRAM)
+    sol = good_solution(loop_id)
+    path = ex.find_path(sol.expr_map, sol.pred_map, set(), random.Random(0))
+    inits = init_constraints(path, PROGRAM.body, "p0")
+    assert len(inits) == 1
+    assert inits[0].kind == "init"
+    chk = checker()
+    assert chk.check(inits[0], sol).status == HOLDS

@@ -1,0 +1,111 @@
+"""Array preprocessing and axiom-instantiation unit tests."""
+
+from repro.smt import (
+    ARR,
+    INT,
+    Axiom,
+    mk_add,
+    mk_app,
+    mk_eq,
+    mk_int,
+    mk_not,
+    mk_select,
+    mk_store,
+    mk_var,
+)
+from repro.smt.arrays import inline_array_definitions, read_over_write_lemmas
+from repro.smt.quant import instantiate, match
+
+
+def test_inline_array_definitions_substitutes_ssa():
+    a0 = mk_var("A#0", ARR)
+    a1 = mk_var("A#1", ARR)
+    a2 = mk_var("A#2", ARR)
+    k = mk_var("k", INT)
+    defs = [
+        mk_eq(a1, mk_store(a0, mk_int(0), mk_int(1))),
+        mk_eq(a2, mk_store(a1, mk_int(1), mk_int(2))),
+        mk_eq(mk_select(a2, k), mk_int(9)),
+    ]
+    out = inline_array_definitions(defs)
+    # The final select must now read from an explicit store chain over A#0.
+    target = out[-1]
+    sel = target.args[0] if target.args[0].op == "select" else target.args[1]
+    assert sel.args[0].op == "store"
+    assert sel.args[0].args[0].args[0] is a0
+
+
+def test_read_over_write_lemma_generated():
+    a = mk_var("A", ARR)
+    i, j = mk_var("i", INT), mk_var("j", INT)
+    t = mk_select(mk_store(a, i, mk_int(5)), j)
+    lemmas = read_over_write_lemmas([mk_eq(t, mk_int(0))])
+    assert len(lemmas) == 1
+    assert lemmas[0].op == "or"
+
+
+def test_read_over_write_iterates_to_fixpoint():
+    a = mk_var("A", ARR)
+    chain = mk_store(mk_store(a, mk_int(0), mk_int(1)), mk_int(1), mk_int(2))
+    t = mk_select(chain, mk_var("k", INT))
+    lemmas = read_over_write_lemmas([mk_eq(t, mk_int(0))])
+    # Two nested stores -> two lemmas (one per level).
+    assert len(lemmas) == 2
+
+
+def test_match_binds_variables():
+    s = mk_var("?s", INT)
+    pat = mk_app("f", [s], INT)
+    ground = mk_app("f", [mk_int(3)], INT)
+    subst = match(pat, ground, {s})
+    assert subst == {s: mk_int(3)}
+    assert match(pat, mk_app("g", [mk_int(3)], INT), {s}) is None
+
+
+def test_match_respects_sorts():
+    s = mk_var("?s", ARR)
+    assert match(s, mk_int(3), {s}) is None
+
+
+def test_instantiate_simple_axiom():
+    v = mk_var("?v", INT)
+    fv = mk_app("f", [v], INT)
+    ax = Axiom("f_pos", (v,), mk_eq(fv, mk_add(v, mk_int(1))), (fv,))
+    ground = mk_eq(mk_app("f", [mk_int(5)], INT), mk_var("r", INT))
+    instances = instantiate([ax], [ground])
+    assert len(instances) == 1
+
+
+def test_instantiate_multi_pattern():
+    a = mk_var("?a", INT)
+    b = mk_var("?b", INT)
+    fa = mk_app("f", [a], INT)
+    gb = mk_app("g", [b], INT)
+    ax = Axiom("fg", (a, b), mk_eq(fa, gb), ((fa, gb),))
+    assertions = [mk_eq(mk_app("f", [mk_int(1)], INT), mk_var("u", INT)),
+                  mk_eq(mk_app("g", [mk_int(2)], INT), mk_var("w", INT))]
+    instances = instantiate([ax], assertions)
+    assert len(instances) == 1
+
+
+def test_instantiation_rounds_chain():
+    # f(x) creates g(f(x)) terms, which the second round can match.
+    v = mk_var("?v", INT)
+    fv = mk_app("f", [v], INT)
+    ax1 = Axiom("wrap", (v,), mk_eq(mk_app("g", [fv], INT), mk_int(0)), (fv,))
+    g_inner = mk_var("?w", INT)
+    gw = mk_app("g", [g_inner], INT)
+    ax2 = Axiom("gzero", (g_inner,), mk_not(mk_eq(gw, mk_int(1))), (gw,))
+    assertions = [mk_eq(mk_app("f", [mk_int(3)], INT), mk_var("r", INT))]
+    instances = instantiate([ax1, ax2], assertions, rounds=2)
+    names = len(instances)
+    assert names >= 2  # wrap instance plus gzero on the new g-term
+
+
+def test_instantiate_deduplicates():
+    v = mk_var("?v", INT)
+    fv = mk_app("f", [v], INT)
+    ax = Axiom("f_ax", (v,), mk_eq(fv, v), (fv,))
+    ground = mk_eq(mk_app("f", [mk_int(5)], INT), mk_int(5))
+    once = instantiate([ax], [ground, ground], rounds=3)
+    assert len(once) == 1

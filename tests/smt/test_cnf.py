@@ -1,0 +1,57 @@
+"""Tseitin CNF-builder tests."""
+
+from repro.smt import terms as T
+from repro.smt.cnf import CnfBuilder
+from repro.smt.sat import SatSolver
+
+
+def atoms():
+    return (T.mk_le(T.mk_var("x", T.INT), T.mk_int(0)),
+            T.mk_le(T.mk_var("y", T.INT), T.mk_int(0)))
+
+
+def test_atom_proxy_is_stable():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    a, _ = atoms()
+    assert builder.atom_literal(a) == builder.atom_literal(a)
+
+
+def test_top_level_or_single_clause():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    a, b = atoms()
+    builder.assert_formula(T.mk_or(a, b))
+    assert sat.solve()
+    model = sat.model()
+    asserted = dict(builder.asserted_atoms(model))
+    assert asserted[a] or asserted[b]
+
+
+def test_nested_and_or_not():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    a, b = atoms()
+    builder.assert_formula(T.mk_and(T.mk_or(a, b), T.mk_not(a)))
+    assert sat.solve()
+    asserted = dict(builder.asserted_atoms(sat.model()))
+    assert asserted[b] and not asserted[a]
+
+
+def test_true_false_constants():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    builder.assert_formula(T.TRUE)
+    assert sat.solve()
+    builder.assert_formula(T.FALSE)
+    assert sat.solve() is False
+
+
+def test_asserted_atoms_excludes_true_marker():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    a, _ = atoms()
+    builder.assert_formula(T.mk_or(a, T.mk_not(a)))
+    sat.solve()
+    names = [atom for atom, _pol in builder.asserted_atoms(sat.model())]
+    assert T.TRUE not in names

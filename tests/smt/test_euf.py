@@ -1,0 +1,93 @@
+"""Congruence-closure tests."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.euf import CongruenceClosure, EufConflict
+
+
+def f(x):
+    return T.mk_app("f", [x], T.INT)
+
+
+def test_reflexive_and_transitive():
+    cc = CongruenceClosure()
+    x, y, z = (T.mk_var(n, T.INT) for n in "xyz")
+    cc.merge(x, y)
+    cc.merge(y, z)
+    assert cc.are_equal(x, z)
+
+
+def test_congruence_propagates():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    cc.add(f(x))
+    cc.add(f(y))
+    cc.merge(x, y)
+    assert cc.are_equal(f(x), f(y))
+
+
+def test_congruence_added_after_merge():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    cc.merge(x, y)
+    cc.add(f(x))
+    cc.add(f(y))
+    assert cc.are_equal(f(x), f(y))
+
+
+def test_disequality_conflict():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    cc.assert_diseq(f(x), f(y))
+    with pytest.raises(EufConflict):
+        cc.merge(x, y)
+
+
+def test_distinct_constants_conflict():
+    cc = CongruenceClosure()
+    x = T.mk_var("x", T.INT)
+    cc.merge(x, T.mk_int(1))
+    with pytest.raises(EufConflict):
+        cc.merge(x, T.mk_int(2))
+
+
+def test_constant_of():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    cc.merge(x, T.mk_int(7))
+    cc.merge(y, x)
+    assert cc.constant_of(y) == 7
+    assert cc.constant_of(T.mk_var("unseen", T.INT)) is None
+
+
+def test_nested_congruence():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    fx, fy = f(x), f(y)
+    ffx, ffy = f(fx), f(fy)
+    cc.add(ffx)
+    cc.add(ffy)
+    cc.merge(x, y)
+    assert cc.are_equal(ffx, ffy)
+
+
+def test_int_equalities_spanning():
+    cc = CongruenceClosure()
+    x, y, z = (T.mk_var(n, T.INT) for n in "xyz")
+    cc.merge(x, y)
+    cc.merge(y, z)
+    pairs = list(cc.int_equalities())
+    # Spanning set: enough pairs to reconstruct one class of 3 members.
+    assert len(pairs) >= 2
+
+
+def test_select_store_are_congruent_ops():
+    cc = CongruenceClosure()
+    a = T.mk_var("A", T.ARR)
+    i, j = T.mk_var("i", T.INT), T.mk_var("j", T.INT)
+    si, sj = T.mk_select(a, i), T.mk_select(a, j)
+    cc.add(si)
+    cc.add(sj)
+    cc.merge(i, j)
+    assert cc.are_equal(si, sj)

@@ -1,0 +1,97 @@
+"""Simplex + branch-and-bound tests."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt.lia import SAT, UNKNOWN, UNSAT, LiaSolver
+
+
+def make(constraints, num_vars):
+    lia = LiaSolver()
+    for _ in range(num_vars):
+        lia.new_var()
+    for idx, (coeffs, op, const) in enumerate(constraints):
+        lia.add(coeffs, op, const, tag=idx)
+    return lia
+
+
+def test_feasible_system_gives_model():
+    # x >= 1, y >= 2, x + y <= 5
+    lia = make([({0: 1}, ">=", 1), ({1: 1}, ">=", 2), ({0: 1, 1: 1}, "<=", 5)], 2)
+    status, core, model = lia.check()
+    assert status == SAT
+    assert model[0] >= 1 and model[1] >= 2 and model[0] + model[1] <= 5
+
+
+def test_infeasible_system_core():
+    lia = make([({0: 1}, ">=", 3), ({0: 1}, "<=", 1)], 1)
+    status, core, model = lia.check()
+    assert status == UNSAT
+    assert set(core) <= {0, 1}
+
+
+def test_equality_constraints():
+    # x = 3, x + y = 5  ->  y = 2
+    lia = make([({0: 1}, "=", 3), ({0: 1, 1: 1}, "=", 5)], 2)
+    status, _, model = lia.check()
+    assert status == SAT
+    assert model[0] == 3 and model[1] == 2
+
+
+def test_integrality_branching():
+    # 2x = 3 has no integer solution.
+    lia = make([({0: 2}, "=", 3)], 1)
+    status, _, _ = lia.check()
+    assert status == UNSAT
+
+
+def test_integrality_feasible_after_branching():
+    # 2 <= 3x <= 4  ->  x = 1 (rational relaxation is [2/3, 4/3])
+    lia = make([({0: 3}, ">=", 2), ({0: 3}, "<=", 4)], 1)
+    status, _, model = lia.check()
+    assert status == SAT and model[0] == 1
+
+
+def test_trivial_contradiction_without_vars():
+    lia = make([({}, ">=", 1)], 0)
+    status, core, _ = lia.check()
+    assert status == UNSAT and core == [0]
+
+
+def test_shared_linear_form_reuses_slack():
+    lia = LiaSolver()
+    x = lia.new_var()
+    y = lia.new_var()
+    lia.add({x: 1, y: 1}, "<=", 5, "a")
+    lia.add({x: 1, y: 1}, ">=", 5, "b")
+    status, _, model = lia.check()
+    assert status == SAT
+    assert model[x] + model[y] == 5
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_fuzz_models_satisfy_constraints(data):
+    num_vars = data.draw(st.integers(1, 4))
+    num_cons = data.draw(st.integers(1, 7))
+    constraints = []
+    for _ in range(num_cons):
+        coeffs = {v: data.draw(st.integers(-3, 3)) for v in range(num_vars)}
+        op = data.draw(st.sampled_from(["<=", ">=", "="]))
+        const = data.draw(st.integers(-10, 10))
+        constraints.append((coeffs, op, const))
+    lia = make(constraints, num_vars)
+    status, core, model = lia.check()
+    if status == SAT:
+        for coeffs, op, const in constraints:
+            value = sum(c * model[v] for v, c in coeffs.items())
+            if op == "<=":
+                assert value <= const
+            elif op == ">=":
+                assert value >= const
+            else:
+                assert value == const
+    elif status == UNSAT:
+        assert core

@@ -1,0 +1,70 @@
+"""Model construction / evaluation / verification tests."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.models import Model, ModelInconsistency, build_model, verify_literals
+
+
+def test_eval_int_linear():
+    x = T.mk_var("x", T.INT)
+    m = Model(int_values={x: 4})
+    assert m.eval_int(T.mk_add(T.mk_mul_const(3, x), T.mk_int(2))) == 14
+
+
+def test_eval_array_store_semantics():
+    a = T.mk_var("A", T.ARR)
+    m = Model(arrays={a: {0: 7}})
+    stored = T.mk_store(a, T.mk_int(1), T.mk_int(9))
+    assert m.eval_int(T.mk_select(stored, T.mk_int(1))) == 9
+    assert m.eval_int(T.mk_select(stored, T.mk_int(0))) == 7
+    assert m.eval_int(T.mk_select(stored, T.mk_int(5))) == 0
+
+
+def test_app_table_consistency():
+    x = T.mk_var("x", T.INT)
+    f1 = T.mk_app("f", [x], T.INT)
+    m = Model(int_values={x: 1, f1: 42})
+    assert m.eval_int(f1) == 42
+    # A different application with the same argument value shares the table.
+    y = T.mk_var("y", T.INT)
+    f2 = T.mk_app("f", [y], T.INT)
+    m.int_values[y] = 1
+    m.app_table[("f", 1)] = 42
+    assert m.eval_int(f2) == 42
+
+
+def test_eval_atom():
+    x = T.mk_var("x", T.INT)
+    m = Model(int_values={x: 3})
+    assert m.eval_atom(T.mk_le(x, T.mk_int(3)))
+    assert not m.eval_atom(T.mk_le(T.mk_int(4), x))
+    assert m.eval_atom(T.mk_eq(x, T.mk_int(3)))
+
+
+def test_build_model_reconstructs_arrays():
+    a = T.mk_var("A#0", T.ARR)
+    i = T.mk_var("i", T.INT)
+    sel_i = T.mk_select(a, i)
+    universe = [a, i, sel_i]
+    model = build_model(universe, {i: 2, sel_i: 9}, {})
+    assert model.arrays[a][2] == 9
+
+
+def test_build_model_detects_inconsistency():
+    a = T.mk_var("A#0", T.ARR)
+    i = T.mk_var("i", T.INT)
+    j = T.mk_var("j", T.INT)
+    s_i = T.mk_select(a, i)
+    s_j = T.mk_select(a, j)
+    universe = [a, i, j, s_i, s_j]
+    with pytest.raises(ModelInconsistency):
+        build_model(universe, {i: 1, j: 1, s_i: 5, s_j: 6}, {})
+
+
+def test_verify_literals_flags_violations():
+    x = T.mk_var("x", T.INT)
+    m = Model(int_values={x: 3})
+    atom = T.mk_le(x, T.mk_int(2))
+    assert verify_literals(m, [(atom, False)]) is None
+    assert verify_literals(m, [(atom, True)]) == (atom, True)

@@ -1,0 +1,134 @@
+"""CDCL SAT solver tests: units, conflicts, incrementality, fuzzing."""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt.sat import SatSolver, _luby, solve_cnf
+
+
+def brute_force(clauses, n):
+    for bits in itertools.product([False, True], repeat=n):
+        if all(any((l > 0) == bits[abs(l) - 1] for l in c) for c in clauses):
+            return True
+    return False
+
+
+def test_luby_sequence():
+    assert [_luby(i) for i in range(15)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+def test_empty_formula_sat():
+    s = SatSolver()
+    assert s.solve() is True
+
+
+def test_unit_propagation_chain():
+    m = solve_cnf([[1], [-1, 2], [-2, 3]])
+    assert m == {1: True, 2: True, 3: True}
+
+
+def test_simple_unsat():
+    assert solve_cnf([[1], [-1]]) is None
+    assert solve_cnf([[1, 2], [-1, 2], [1, -2], [-1, -2]]) is None
+
+
+def test_tautological_clause_ignored():
+    m = solve_cnf([[1, -1], [2]])
+    assert m is not None and m[2]
+
+
+def test_duplicate_literals_deduped():
+    m = solve_cnf([[1, 1, 1]])
+    assert m is not None and m[1]
+
+
+def test_model_satisfies_all_clauses():
+    clauses = [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]]
+    m = solve_cnf(clauses)
+    assert m is not None
+    assert all(any((l > 0) == m[abs(l)] for l in c) for c in clauses)
+
+
+def test_incremental_clause_addition():
+    s = SatSolver()
+    assert s.add_clause([1, 2])
+    assert s.solve() is True
+    assert s.add_clause([-1])
+    assert s.solve() is True
+    assert s.model()[2] is True
+    # Adding the final clause makes the formula UNSAT; add_clause may
+    # already report that (False) and solve must agree.
+    s.add_clause([-2])
+    assert s.solve() is False
+
+
+def test_add_clause_after_unsat_stays_unsat():
+    s = SatSolver()
+    s.add_clause([1])
+    s.add_clause([-1])
+    assert s.solve() is False
+    assert s.solve() is False
+
+
+def test_conflict_budget_returns_none_or_answer():
+    # A small pigeonhole-ish instance; with a tiny budget the solver may
+    # give up (None) but must never give a wrong answer.
+    clauses = []
+    holes, pigeons = 3, 4
+    def var(p, h):
+        return p * holes + h + 1
+    for p in range(pigeons):
+        clauses.append([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    s = SatSolver()
+    for c in clauses:
+        s.add_clause(c)
+    result = s.solve(max_conflicts=5)
+    assert result in (False, None)
+    s2 = SatSolver()
+    for c in clauses:
+        s2.add_clause(c)
+    assert s2.solve() is False
+
+
+@given(st.data())
+@settings(max_examples=120, deadline=None)
+def test_fuzz_against_brute_force(data):
+    n = data.draw(st.integers(2, 6))
+    m = data.draw(st.integers(1, 18))
+    clauses = []
+    for _ in range(m):
+        size = data.draw(st.integers(1, 3))
+        clause = [data.draw(st.integers(1, n)) * data.draw(st.sampled_from([1, -1]))
+                  for _ in range(size)]
+        clauses.append(clause)
+    model = solve_cnf(clauses)
+    expected = brute_force(clauses, n)
+    assert (model is not None) == expected
+    if model is not None:
+        assert all(any((l > 0) == model[abs(l)] for l in c) for c in clauses)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_fuzz_incremental_equals_oneshot(data):
+    n = data.draw(st.integers(2, 5))
+    m = data.draw(st.integers(2, 14))
+    clauses = []
+    for _ in range(m):
+        size = data.draw(st.integers(1, 3))
+        clauses.append([data.draw(st.integers(1, n)) *
+                        data.draw(st.sampled_from([1, -1])) for _ in range(size)])
+    s = SatSolver()
+    half = m // 2
+    for c in clauses[:half]:
+        s.add_clause(c)
+    s.solve()
+    for c in clauses[half:]:
+        s.add_clause(c)
+    assert (s.solve() is True) == brute_force(clauses, n)

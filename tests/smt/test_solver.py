@@ -1,0 +1,187 @@
+"""End-to-end DPLL(T) solver tests across theories."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.smt import (
+    ARR,
+    INT,
+    SAT,
+    STR,
+    UNKNOWN,
+    UNSAT,
+    Axiom,
+    Solver,
+    check_formulas,
+    mk_add,
+    mk_and,
+    mk_app,
+    mk_eq,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_mod,
+    mk_not,
+    mk_or,
+    mk_select,
+    mk_store,
+    mk_var,
+)
+
+x = mk_var("x", INT)
+y = mk_var("y", INT)
+z = mk_var("z", INT)
+A = mk_var("A", ARR)
+
+
+def test_lia_conflict():
+    assert check_formulas([mk_lt(x, y), mk_lt(y, x)])[0] == UNSAT
+
+
+def test_lia_tight_model():
+    status, model = check_formulas([mk_lt(x, y), mk_le(y, mk_add(x, mk_int(1)))])
+    assert status == SAT
+    assert model.eval_int(y) == model.eval_int(x) + 1
+
+
+def test_integer_gap_unsat():
+    # x < y < x+1 has no integer solution.
+    assert check_formulas([mk_lt(x, y), mk_lt(y, mk_add(x, mk_int(1)))])[0] == UNSAT
+
+
+def test_euf_congruence_conflict():
+    fx = mk_app("f", [x], INT)
+    fy = mk_app("f", [y], INT)
+    assert check_formulas([mk_eq(x, y), mk_not(mk_eq(fx, fy))])[0] == UNSAT
+
+
+def test_euf_lia_combination():
+    # f(x) = 3 and x = y imply f(y) = 3.
+    fx = mk_app("f", [x], INT)
+    fy = mk_app("f", [y], INT)
+    formulas = [mk_eq(fx, mk_int(3)), mk_eq(x, y),
+                mk_not(mk_eq(fy, mk_int(3)))]
+    assert check_formulas(formulas)[0] == UNSAT
+
+
+def test_boolean_structure():
+    p = mk_or(mk_eq(x, mk_int(1)), mk_eq(x, mk_int(2)))
+    q = mk_not(mk_eq(x, mk_int(1)))
+    status, model = check_formulas([p, q])
+    assert status == SAT
+    assert model.eval_int(x) == 2
+
+
+def test_read_over_write_hit_and_miss():
+    t = mk_select(mk_store(A, x, mk_int(5)), x)
+    assert check_formulas([mk_not(mk_eq(t, mk_int(5)))])[0] == UNSAT
+    t2 = mk_select(mk_store(A, x, mk_int(5)), y)
+    status, model = check_formulas([mk_not(mk_eq(t2, mk_select(A, y)))])
+    assert status == SAT
+    assert model.eval_int(x) == model.eval_int(y)
+
+
+def test_ssa_array_definition_inlining():
+    a0 = mk_var("A#0", ARR)
+    a1 = mk_var("A#1", ARR)
+    k = mk_var("k", INT)
+    formulas = [
+        mk_eq(a1, mk_store(a0, mk_int(0), mk_int(7))),
+        mk_eq(k, mk_int(0)),
+        mk_not(mk_eq(mk_select(a1, k), mk_int(7))),
+    ]
+    assert check_formulas(formulas)[0] == UNSAT
+
+
+def test_deep_store_chain():
+    a0 = mk_var("B#0", ARR)
+    chain = a0
+    for i in range(4):
+        chain = mk_store(chain, mk_int(i), mk_int(i * 10))
+    goal = mk_not(mk_eq(mk_select(chain, mk_int(2)), mk_int(20)))
+    assert check_formulas([goal])[0] == UNSAT
+
+
+def test_divmod_linearization():
+    a = mk_var("a", INT)
+    formulas = [mk_eq(a, mk_int(13)),
+                mk_not(mk_eq(mk_mod(a, mk_int(4)), mk_int(1)))]
+    assert check_formulas(formulas)[0] == UNSAT
+
+
+def test_divmod_symbolic_reconstruction():
+    # a = 4*(a/4) + a%4 holds for all a.
+    from repro.smt import mk_div, mk_mul_const
+
+    a = mk_var("a", INT)
+    recon = mk_add(mk_mul_const(4, mk_div(a, mk_int(4))), mk_mod(a, mk_int(4)))
+    assert check_formulas([mk_not(mk_eq(a, recon))])[0] == UNSAT
+
+
+def test_axiom_instantiation():
+    s = mk_var("?s", STR)
+    c = mk_var("?c", STR)
+    ap = mk_app("append", [s, c], STR)
+    strlen = lambda t: mk_app("strlen", [t], INT)
+    ax = Axiom("strlen_append", (s, c),
+               mk_eq(strlen(ap), mk_add(strlen(s), mk_int(1))), (ap,))
+    sv = mk_var("sv", STR)
+    cv = mk_var("cv", STR)
+    g = mk_app("append", [sv, cv], STR)
+    formulas = [mk_eq(strlen(sv), mk_int(3)),
+                mk_not(mk_eq(strlen(g), mk_int(4)))]
+    assert check_formulas(formulas, axioms=[ax])[0] == UNSAT
+
+
+def test_model_verification_rejects_wrong_models():
+    # SAT answers always come with verified models.
+    status, model = check_formulas([
+        mk_eq(mk_select(A, x), mk_int(4)),
+        mk_eq(mk_select(A, y), mk_int(9)),
+    ])
+    assert status == SAT
+    assert model.eval_int(mk_select(A, x)) == 4
+    assert model.eval_int(mk_select(A, y)) == 9
+    assert model.eval_int(x) != model.eval_int(y)
+
+
+def test_unknown_reason_populated_on_giveup():
+    solver = Solver(max_theory_rounds=1, sat_conflict_budget=1)
+    solver.add(mk_or(*[mk_eq(mk_var(f"v{i}", INT), mk_int(i)) for i in range(6)]))
+    solver.add(mk_not(mk_eq(mk_var("v0", INT), mk_int(0))))
+    status = solver.check()
+    if status == UNKNOWN:
+        assert solver.unknown_reason
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_fuzz_difference_logic_vs_reference(data):
+    """Random difference-logic conjunctions: compare against Bellman-Ford."""
+    num_vars = data.draw(st.integers(2, 4))
+    variables = [mk_var(f"d{i}", INT) for i in range(num_vars)]
+    edges = []
+    formulas = []
+    for _ in range(data.draw(st.integers(1, 6))):
+        a = data.draw(st.integers(0, num_vars - 1))
+        b = data.draw(st.integers(0, num_vars - 1))
+        w = data.draw(st.integers(-4, 4))
+        # x_a - x_b <= w
+        formulas.append(mk_le(mk_add(variables[a],
+                                     mk_int(0)) if a == b else variables[a],
+                              mk_add(variables[b], mk_int(w))))
+        edges.append((b, a, w))
+    # Reference: negative cycle detection.
+    dist = [0] * num_vars
+    for _ in range(num_vars + 1):
+        changed = False
+        for b, a, w in edges:
+            if dist[b] + w < dist[a]:
+                dist[a] = dist[b] + w
+                changed = True
+    expected_sat = not changed
+    status, model = check_formulas(formulas)
+    if expected_sat:
+        assert status == SAT
+    else:
+        assert status == UNSAT

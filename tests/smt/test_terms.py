@@ -1,0 +1,85 @@
+"""Term construction and normalization tests."""
+
+from repro.smt import terms as T
+
+
+def test_hash_consing_identity():
+    a = T.mk_add(T.mk_var("x", T.INT), T.mk_int(1))
+    b = T.mk_add(T.mk_var("x", T.INT), T.mk_int(1))
+    assert a is b
+
+
+def test_add_constant_folding_and_merging():
+    x = T.mk_var("x", T.INT)
+    e = T.mk_add(x, T.mk_int(2), x, T.mk_int(-2))
+    assert e == T.mk_mul_const(2, x)
+    assert T.mk_add(T.mk_int(3), T.mk_int(4)) == T.mk_int(7)
+
+
+def test_add_cancellation_to_zero():
+    x = T.mk_var("x", T.INT)
+    assert T.mk_sub(x, x) == T.mk_int(0)
+
+
+def test_mul_const_normalization():
+    x = T.mk_var("x", T.INT)
+    assert T.mk_mul_const(1, x) is x
+    assert T.mk_mul_const(0, x) == T.mk_int(0)
+    assert T.mk_mul_const(2, T.mk_mul_const(3, x)) == T.mk_mul_const(6, x)
+
+
+def test_mul_folds_constants_each_side():
+    x = T.mk_var("x", T.INT)
+    assert T.mk_mul(T.mk_int(3), x) == T.mk_mul_const(3, x)
+    assert T.mk_mul(x, T.mk_int(3)) == T.mk_mul_const(3, x)
+    y = T.mk_var("y", T.INT)
+    assert T.mk_mul(x, y) is T.mk_mul(y, x)  # commutative normalization
+
+
+def test_div_mod_constant_folding():
+    assert T.mk_div(T.mk_int(7), T.mk_int(2)) == T.mk_int(3)
+    assert T.mk_mod(T.mk_int(7), T.mk_int(2)) == T.mk_int(1)
+    assert T.mk_div(T.mk_int(-7), T.mk_int(2)) == T.mk_int(-4)  # floor
+
+
+def test_eq_le_trivial_cases():
+    x = T.mk_var("x", T.INT)
+    assert T.mk_eq(x, x) is T.TRUE
+    assert T.mk_eq(T.mk_int(1), T.mk_int(2)) is T.FALSE
+    assert T.mk_le(T.mk_int(1), T.mk_int(2)) is T.TRUE
+    assert T.mk_le(x, x) is T.TRUE
+
+
+def test_bool_connective_normalization():
+    x = T.mk_var("b", T.BOOL)
+    assert T.mk_not(T.mk_not(x)) is x
+    assert T.mk_and() is T.TRUE
+    assert T.mk_or() is T.FALSE
+    assert T.mk_and(x, T.TRUE) is x
+    assert T.mk_or(x, T.FALSE) is x
+    assert T.mk_and(x, T.FALSE) is T.FALSE
+
+
+def test_array_sorts_and_select_typing():
+    a = T.mk_var("A", T.ARR)
+    i = T.mk_var("i", T.INT)
+    s = T.mk_select(a, i)
+    assert s.sort is T.INT
+    sa = T.mk_var("D", T.SARR)
+    assert T.mk_select(sa, i).sort is T.STR
+
+
+def test_substitute():
+    x = T.mk_var("x", T.INT)
+    y = T.mk_var("y", T.INT)
+    e = T.mk_add(x, T.mk_mul_const(3, x))
+    out = T.substitute(e, {x: y})
+    assert out == T.mk_add(y, T.mk_mul_const(3, y))
+
+
+def test_subterms_and_vars():
+    x = T.mk_var("x", T.INT)
+    e = T.mk_add(x, T.mk_int(1))
+    subs = set(T.subterms(e))
+    assert x in subs and e in subs
+    assert T.term_vars(e) == frozenset({x})

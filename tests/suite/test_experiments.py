@@ -1,0 +1,37 @@
+"""Experiment-driver tests (table rendering and row generation)."""
+
+from repro.experiments.tables import (
+    TABLE1_HEADERS,
+    render,
+    table1,
+    table1_row,
+)
+from repro.suite import BENCHMARK_MODULES, get_benchmark
+
+
+def test_render_alignment():
+    text = render(["a", "bb"], [[1, 22], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].startswith("a")
+
+
+def test_table1_rows_cover_all_benchmarks():
+    rows = table1()
+    assert len(rows) == len(BENCHMARK_MODULES)
+    assert [r[0] for r in rows] == list(BENCHMARK_MODULES)
+
+
+def test_table1_row_matches_benchmark_metadata():
+    bench = get_benchmark("sumi")
+    row = table1_row(bench)
+    assert row[0] == "sumi"
+    assert row[1] == bench.loc
+    subset = len(bench.task.phi_e) + len(bench.task.phi_p)
+    assert row[5] == subset
+
+
+def test_mined_sizes_in_paper_band():
+    for row in table1():
+        mined = row[3]
+        assert 3 <= mined <= 60, row[0]

@@ -1,0 +1,149 @@
+"""Symbolic-execution tests: Figure 3 rules, guidance, enumeration."""
+
+import random
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_pred, parse_program
+from repro.lang.transform import desugar_program
+from repro.symexec.executor import (
+    ExecConfig,
+    SymbolicExecutor,
+    count_paths,
+    enumerate_paths,
+    loop_guard_and_body,
+    loops_of,
+)
+from repro.symexec.paths import Def, Guard
+
+STRAIGHT = desugar_program(parse_program("""
+program t [int x; int y] {
+  x := 1;
+  y := x + 1;
+}
+"""))
+
+LOOPY = desugar_program(parse_program("""
+program t [int n; int i] {
+  in(n);
+  i := 0;
+  while (i < n) {
+    i := i + 1;
+  }
+  out(i);
+}
+"""))
+
+
+def test_assn_rule_versions_monotonically():
+    ex = SymbolicExecutor(STRAIGHT)
+    path = ex.find_path({}, {}, set())
+    defs = [i for i in path.items if isinstance(i, Def)]
+    assert defs[0].versioned_var == "x#1"
+    assert defs[1].versioned_var == "y#1"
+    # y's RHS is evaluated under the version map after x's assignment.
+    assert "x#1" in ast.expr_vars(defs[1].expr)
+
+
+def test_exit_rule_avoids_explored_paths():
+    ex = SymbolicExecutor(LOOPY)
+    rng = random.Random(0)
+    seen = set()
+    lengths = set()
+    for _ in range(3):
+        path = ex.find_path({}, {}, seen, rng)
+        assert path is not None
+        assert path not in seen
+        seen.add(path)
+        lengths.add(len(path.items))
+    assert len(lengths) == 3  # different unroll counts
+
+
+def test_assume_rule_prunes_infeasible():
+    program = desugar_program(parse_program("""
+    program t [int x] {
+      x := 1;
+      if (x = 2) { x := 99; } else { x := 3; }
+    }
+    """))
+    ex = SymbolicExecutor(program)
+    path = ex.find_path({}, {}, set(), random.Random(0))
+    # Only the else-branch is feasible: x ends at version with value 3.
+    final_def = [i for i in path.items if isinstance(i, Def)][-1]
+    assert final_def.expr == ast.n(3)
+
+
+def test_guided_by_solution():
+    program = desugar_program(parse_program("""
+    program t [int x; int y] {
+      x := 5;
+      if ([p1]) { y := 1; } else { y := 2; }
+    }
+    """))
+    ex = SymbolicExecutor(program)
+    # With p1 -> (x > 10), only the else branch is feasible.
+    sol = {"p1": (parse_pred("x > 10"),)}
+    for seed in range(4):
+        path = ex.find_path({}, sol, set(), random.Random(seed))
+        final_def = [i for i in path.items if isinstance(i, Def)][-1]
+        assert final_def.expr == ast.n(2)
+
+
+def test_loop_entry_records():
+    ex = SymbolicExecutor(LOOPY)
+    path = ex.find_path({}, {}, set(), random.Random(1))
+    assert len(path.loop_entries) == 1
+    loop_id, prefix_len, vmap = path.loop_entries[0]
+    assert prefix_len <= len(path.items)
+    assert dict(vmap)["i"] == 1  # i assigned once before the loop
+
+
+def test_concrete_cosimulation_reduces_smt_calls():
+    config = ExecConfig()
+    with_seeds = SymbolicExecutor(LOOPY, config=config,
+                                  seed_inputs=[{"n": 2}, {"n": 0}])
+    path = with_seeds.find_path({}, {}, set(), random.Random(0))
+    assert path is not None
+    assert with_seeds.concrete_hits > 0
+
+
+def test_enumerate_paths_unroll_bounds():
+    body = LOOPY.body
+    assert sum(1 for _ in enumerate_paths(body, max_unroll=0)) == 1
+    assert sum(1 for _ in enumerate_paths(body, max_unroll=3)) == 4
+
+
+def test_count_paths_nested_explosion():
+    program = desugar_program(parse_program("""
+    program t [int a; int b] {
+      while (a < 3) {
+        while (b < 3) { b := b + 1; }
+        a := a + 1;
+      }
+    }
+    """))
+    # Nested loops: counts grow quickly with the unroll bound.
+    c1 = count_paths(program.body, 1)
+    c2 = count_paths(program.body, 2)
+    c3 = count_paths(program.body, 3)
+    assert c1 < c2 < c3
+
+
+def test_loops_of_and_guard_split():
+    loops = loops_of(LOOPY.body)
+    assert len(loops) == 1
+    guard, body = loop_guard_and_body(loops[0])
+    assert guard == parse_pred("i < n")
+
+
+def test_max_items_bound_prevents_runaway():
+    program = desugar_program(parse_program("""
+    program t [int i] {
+      while (i >= 0) { i := i + 1; }
+    }
+    """))
+    ex = SymbolicExecutor(program, config=ExecConfig(max_items=20, max_unroll=50,
+                                                     max_backtracks=100))
+    path = ex.find_path({}, {}, set(), random.Random(0))
+    assert path is None or len(path.items) <= 20

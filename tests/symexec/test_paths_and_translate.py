@@ -1,0 +1,89 @@
+"""Path-condition and translation tests."""
+
+import pytest
+
+from repro.axioms.strings import STRING_EXTERNS
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_pred
+from repro.smt import terms as T
+from repro.symexec.paths import Def, Guard, Path, path_variables, substitute_items
+from repro.symexec.translate import TranslationError, Translator
+
+SORTS = {"x": ast.Sort.INT, "A": ast.Sort.ARRAY, "s": ast.Sort.STR,
+         "D": ast.Sort.STRARRAY}
+
+
+def test_path_hashable_and_unknowns():
+    items = (Def("x", 1, ast.HoleExpr("e1", (("x", 0),))),
+             Guard(ast.HolePred("p1", (("x", 1),))))
+    p = Path(items, (("x", 1),))
+    assert p == Path(items, (("x", 1),))
+    assert p.unknowns == frozenset({"e1", "p1"})
+    assert p.final_version("x") == 1
+    assert p.final_version("missing") == 0
+
+
+def test_substitute_items_defs_become_equalities():
+    items = (Def("x", 1, ast.n(5)), Guard(ast.lt(ast.Var("x#1"), ast.n(9))))
+    ground = substitute_items(items, {}, {})
+    assert ground[0] == ast.eq(ast.Var("x#1"), ast.n(5))
+    assert ground[1] == ast.lt(ast.Var("x#1"), ast.n(9))
+
+
+def test_substitute_items_resolves_holes_with_vmaps():
+    items = (Def("x", 2, ast.HoleExpr("e1", (("x", 1),))),)
+    ground = substitute_items(items, {"e1": parse_expr("x + 1")}, {})
+    # The candidate's x is renamed to version 1 per the hole's vmap.
+    assert ground[0] == ast.eq(ast.Var("x#2"),
+                               ast.add(ast.Var("x#1"), ast.n(1)))
+
+
+def test_path_variables():
+    items = (Def("x", 1, parse_expr("0")),
+             Guard(ast.lt(ast.Var("x#1"), ast.Var("n#0"))))
+    assert path_variables(items) == frozenset({"x", "n"})
+
+
+def test_translator_versioned_sorts():
+    tr = Translator(SORTS)
+    term = tr.expr(ast.Var("x#3"))
+    assert term.sort is T.INT
+    arr = tr.expr(ast.Var("A#0"))
+    assert arr.sort is T.ARR
+
+
+def test_translator_rejects_holes():
+    tr = Translator(SORTS)
+    with pytest.raises(TranslationError):
+        tr.expr(ast.Unknown("e1"))
+    with pytest.raises(TranslationError):
+        tr.pred(ast.UnknownPred("p1"))
+
+
+def test_translator_rejects_undeclared():
+    tr = Translator(SORTS)
+    with pytest.raises(TranslationError):
+        tr.expr(ast.Var("ghost#0"))
+
+
+def test_translator_extern_signatures():
+    tr = Translator(SORTS, STRING_EXTERNS)
+    term = tr.expr(parse_expr("strlen(sel(D, 0))").__class__ and
+                   ast.FunApp("strlen", (ast.sel(ast.Var("D#0"), ast.n(0)),)))
+    assert term.sort is T.INT
+    str_term = tr.expr(ast.FunApp("single", (ast.n(1),)))
+    assert str_term.sort is T.STR
+
+
+def test_translator_comparison_sorts():
+    tr = Translator(SORTS)
+    eq = tr.pred(ast.eq(ast.Var("s#0"), ast.Var("s#0")))
+    assert eq is T.TRUE  # same term
+    with pytest.raises(TranslationError):
+        tr.pred(ast.lt(ast.Var("s#0"), ast.Var("s#0")))  # ordering on strings
+
+
+def test_translator_arith_ops():
+    tr = Translator(SORTS)
+    t = tr.expr(parse_expr("(x / 4) * 3 + x % 2"))
+    assert t.sort is T.INT

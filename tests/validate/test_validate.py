@@ -1,0 +1,92 @@
+"""Round-trip and bounded-checking tests."""
+
+from repro.lang.parser import parse_program
+from repro.pins.spec import InversionSpec
+from repro.suite.sumi import GROUND_TRUTH, PROGRAM
+from repro.suite.vector_shift import benchmark as vshift_benchmark
+from repro.validate.bmc import BmcBounds, bounded_check, enumerate_inputs
+from repro.validate.roundtrip import round_trip_once, validate_inverse
+
+SPEC = InversionSpec(scalar_pairs=(("n", "ip"),))
+
+
+def test_round_trip_once_correct_inverse():
+    assert round_trip_once(PROGRAM, GROUND_TRUTH, SPEC, {"n": 5})
+
+
+def test_round_trip_once_detects_wrong_inverse():
+    wrong = parse_program("""
+    program w [int s; int ip; int sp] {
+      ip := s;
+      out(ip);
+    }
+    """)
+    assert not round_trip_once(PROGRAM, wrong, SPEC, {"n": 3})
+
+
+def test_validate_inverse_report():
+    report = validate_inverse(PROGRAM, GROUND_TRUTH, SPEC,
+                              [{"n": k} for k in range(6)])
+    assert report.ok and report.passed == 6
+
+
+def test_validate_skips_precondition_failures():
+    report = validate_inverse(PROGRAM, GROUND_TRUTH, SPEC,
+                              [{"n": -1}, {"n": 2}])
+    assert report.skipped == 1  # assume(n >= 0) rejects n = -1
+    assert report.ok
+
+
+def test_validate_diverging_candidate_fails():
+    diverging = parse_program("""
+    program w [int s; int ip; int sp] {
+      ip := 0;
+      while (0 < 1) { ip := ip + 1; }
+      out(ip);
+    }
+    """)
+    report = validate_inverse(PROGRAM, diverging, SPEC, [{"n": 1}], fuel=500)
+    assert not report.ok and report.errors
+
+
+def test_enumerate_inputs_covers_bounds():
+    bench = vshift_benchmark()
+    bounds = BmcBounds(array_size=1, value_range=(0, 1), scalar_range=(0, 1))
+    cases = list(enumerate_inputs(bench.task.program, bench.task.spec, bounds))
+    # lengths 0 and 1; for length 1: 2 values per array x 2 arrays x dx,dy in 0..1
+    assert any(case["n"] == 0 for case in cases)
+    assert any(case["n"] == 1 for case in cases)
+    lengths = {case["n"] for case in cases}
+    assert lengths == {0, 1}
+
+
+def test_bounded_check_ground_truth():
+    bench = vshift_benchmark()
+    task = bench.task
+    bounds = BmcBounds(array_size=2, value_range=(0, 1), scalar_range=(0, 1),
+                       max_cases=500)
+    result = bounded_check(task.program, bench.ground_truth, task.spec,
+                           bounds, task.externs)
+    assert result.ok
+    assert result.cases > 10
+
+
+def test_bounded_check_catches_off_by_one():
+    bench = vshift_benchmark()
+    task = bench.task
+    wrong = parse_program("""
+    program w [array X; array Y; int n; int dx; int dy;
+               array Xp; array Yp; int ip] {
+      ip := 0;
+      while (ip < n) {
+        Xp := upd(Xp, ip, sel(X, ip) + dx);
+        Yp := upd(Yp, ip, sel(Y, ip) - dy);
+        ip := ip + 1;
+      }
+      out(Xp, Yp, ip);
+    }
+    """)
+    bounds = BmcBounds(array_size=2, value_range=(0, 1), scalar_range=(0, 1),
+                       max_cases=500)
+    result = bounded_check(task.program, wrong, task.spec, bounds, task.externs)
+    assert not result.ok

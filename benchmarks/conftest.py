@@ -9,6 +9,13 @@ them at full budget).
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "static_pruning: A/B benchmarks for the repro.analysis pruning layer")
+
+
 # Benchmarks grouped by how long a PINS run takes on a laptop.
 FAST = ["sumi", "vector_shift", "vector_scale", "vector_rotate", "serialize"]
 MEDIUM = ["permute_count", "base64", "uuencode", "pkt_wrapper", "lu_decomp"]

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Lint every suite benchmark (program, template, ground truth).
+
+Exit code 0 when nothing fails, 1 otherwise; ``--strict`` also fails on
+warnings.  Same engine as ``python -m repro.analysis --suite``.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.suitelint import run_suite_lint
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on warnings as well as errors")
+    ap.add_argument("--verbose", action="store_true",
+                    help="show every finding, not just failing ones")
+    args = ap.parse_args()
+    return run_suite_lint(names=args.names or None, strict=args.strict,
+                          verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

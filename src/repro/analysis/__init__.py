@@ -1,0 +1,47 @@
+"""Static analysis over the Fig. 2 IR: linting, dataflow, and pruning.
+
+Three pipeline consumers sit on top of this package:
+
+* :func:`repro.analysis.prune.prune_hole_space` shrinks per-hole
+  candidate sets (and hence the SAT indicator space) before
+  ``pins.solve`` runs;
+* the symbolic executor folds branch guards through
+  :mod:`repro.analysis.fold`'s linear forms to skip statically
+  infeasible paths without an SMT feasibility call;
+* ``pins.template`` / ``pins.task`` fail fast with located
+  :class:`~repro.analysis.diagnostics.Diagnostic` objects when a
+  template provably cannot write an output the identity spec requires.
+
+``python -m repro.analysis`` and ``scripts/lint_suite.py`` expose the
+linter on the command line.
+"""
+
+from .cfg import CFG, Node, build_cfg
+from .dataflow import (
+    constant_propagation,
+    dead_stores,
+    definitely_defined,
+    live_variables,
+    reaching_definitions,
+)
+from .diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    ERROR,
+    INFO,
+    WARNING,
+    failing,
+    has_errors,
+    worst_severity,
+)
+from .fold import Lin, const_expr, const_pred, lin_expr, lin_pred
+from .lint import check_writable_outputs, lint_program, lint_template
+from .prune import (
+    PruneReport,
+    prune_hole_space,
+    static_pruning_enabled,
+)
+from .sorts import Signature, SortContext, SortError, candidate_fits, infer_expr_sort
+from .suitelint import lint_benchmark, lint_suite, run_suite_lint
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,66 @@
+"""Command-line linter: ``python -m repro.analysis [files...]``.
+
+Lints source files in the Fig. 2 concrete syntax (as accepted by
+:func:`repro.lang.parser.parse_program`), or the whole benchmark suite
+with ``--suite``.  Exit status: 0 clean, 1 diagnostics failed the run,
+2 a file could not be parsed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..lang.parser import ParseError, parse_program
+from .diagnostics import failing
+from .lint import lint_program
+from .suitelint import run_suite_lint
+
+
+def main(argv: List[str] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint PINS programs / the benchmark suite.")
+    ap.add_argument("files", nargs="*",
+                    help="program source files to lint")
+    ap.add_argument("--suite", action="store_true",
+                    help="lint every suite benchmark (program, template, "
+                         "ground truth)")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat warnings as failures")
+    ap.add_argument("--verbose", action="store_true",
+                    help="also print non-failing diagnostics")
+    args = ap.parse_args(argv)
+
+    if not args.files and not args.suite:
+        ap.error("nothing to lint: give file paths or --suite")
+
+    status = 0
+    if args.suite:
+        status = max(status, run_suite_lint(strict=args.strict,
+                                            verbose=args.verbose))
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                program = parse_program(fh.read())
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}", file=sys.stderr)
+            return 2
+        except ParseError as exc:
+            print(f"{path}: parse error: {exc}", file=sys.stderr)
+            return 2
+        diags = lint_program(program)
+        failures = failing(diags, strict=args.strict)
+        shown = diags if args.verbose else failures
+        for d in shown:
+            print(f"{path}: {d}")
+        if failures:
+            status = max(status, 1)
+        print(f"{path}: {'FAIL' if failures else 'ok'} "
+              f"({len(diags)} finding(s))")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

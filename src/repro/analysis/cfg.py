@@ -1,0 +1,182 @@
+"""A small control-flow graph over :class:`repro.lang.ast.Stmt` trees.
+
+Nodes are *atomic* statements (assignments, assumes, ``in``/``out``,
+``exit``) plus synthetic ``entry``/``final`` nodes and one ``branch``
+node per conditional or loop head.  Both statement dialects are
+supported: guarded ``GIf``/``GWhile`` contribute branch nodes carrying
+their condition, nondeterministic ``if(*)``/``while(*)`` contribute
+condition-free branch nodes (their ``assume`` statements become ordinary
+nodes inside the arms, which is exactly what the dataflow analyses
+want).
+
+Each node records the 1-based line of its statement, counted with the
+same convention as :func:`repro.lang.transform.loc_of`, so analysis
+clients can emit located :class:`~repro.analysis.diagnostics.Diagnostic`
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..lang import ast
+from ..lang.ast import (
+    Assign,
+    Assume,
+    Exit,
+    GIf,
+    GWhile,
+    If,
+    In,
+    Out,
+    Pred,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+)
+
+ENTRY = "entry"
+FINAL = "final"
+ASSIGN = "assign"
+ASSUME = "assume"
+BRANCH = "branch"
+IN = "in"
+OUT = "out"
+EXIT = "exit"
+
+
+@dataclass
+class Node:
+    """One CFG node; ``stmt`` is set for atomic statements, ``pred`` for
+    guarded branch nodes (``None`` for nondeterministic branches)."""
+
+    index: int
+    kind: str
+    stmt: Optional[Stmt] = None
+    pred: Optional[Pred] = None
+    line: int = 0
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def defs(self) -> FrozenSet[str]:
+        """Variables this node writes."""
+        if isinstance(self.stmt, Assign):
+            return frozenset(self.stmt.targets)
+        if isinstance(self.stmt, In):
+            return frozenset(self.stmt.names)
+        return frozenset()
+
+    def uses(self) -> FrozenSet[str]:
+        """Variables this node reads (hole contents are invisible)."""
+        if isinstance(self.stmt, Assign):
+            names: set = set()
+            for e in self.stmt.exprs:
+                names |= ast.expr_vars(e)
+            return frozenset(names)
+        if isinstance(self.stmt, Assume):
+            return ast.expr_vars(self.stmt.pred)
+        if self.kind == BRANCH and self.pred is not None:
+            return ast.expr_vars(self.pred)
+        if isinstance(self.stmt, Out):
+            return frozenset(self.stmt.names)
+        return frozenset()
+
+
+class CFG:
+    """The graph: ``nodes[entry]`` is the unique entry, ``nodes[final]``
+    the unique final node every terminating path reaches."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.entry = self._new(ENTRY).index
+        self.final = self._new(FINAL).index
+
+    def _new(self, kind: str, stmt: Optional[Stmt] = None,
+             pred: Optional[Pred] = None, line: int = 0) -> Node:
+        node = Node(index=len(self.nodes), kind=kind, stmt=stmt,
+                    pred=pred, line=line)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def statement_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.kind not in (ENTRY, FINAL)]
+
+    def node_lines(self) -> Dict[int, int]:
+        return {n.index: n.line for n in self.nodes}
+
+
+def build_cfg(stmt: Stmt) -> CFG:
+    """Build the CFG of a statement tree (either dialect, holes allowed)."""
+    cfg = CFG()
+    line = 1
+
+    def loc(s: Stmt) -> int:
+        if isinstance(s, Assign):
+            return len(s.targets)
+        if isinstance(s, Skip):
+            return 0
+        return 1
+
+    def link_all(preds: List[int], dst: int) -> None:
+        for p in preds:
+            cfg._edge(p, dst)
+
+    def walk(s: Stmt, preds: List[int]) -> List[int]:
+        """Wire ``s`` after ``preds``; return the dangling exits."""
+        nonlocal line
+        if isinstance(s, Seq):
+            for part in s.stmts:
+                preds = walk(part, preds)
+            return preds
+        if isinstance(s, Skip):
+            return preds
+        if isinstance(s, (GIf, If)):
+            pred = s.cond if isinstance(s, GIf) else None
+            branch = cfg._new(BRANCH, stmt=s, pred=pred, line=line)
+            line += 1
+            link_all(preds, branch.index)
+            then_exits = walk(s.then, [branch.index])
+            else_exits = walk(s.els, [branch.index])
+            return then_exits + else_exits
+        if isinstance(s, (GWhile, While)):
+            pred = s.cond if isinstance(s, GWhile) else None
+            head = cfg._new(BRANCH, stmt=s, pred=pred, line=line)
+            line += 1
+            link_all(preds, head.index)
+            body_exits = walk(s.body, [head.index])
+            link_all(body_exits, head.index)  # back edge
+            return [head.index]
+        if isinstance(s, Exit):
+            node = cfg._new(EXIT, stmt=s, line=line)
+            line += loc(s)
+            link_all(preds, node.index)
+            cfg._edge(node.index, cfg.final)
+            return []
+        kind = {Assign: ASSIGN, Assume: ASSUME, In: IN, Out: OUT}.get(type(s))
+        if kind is None:
+            raise TypeError(f"cannot build a CFG over {s!r}")
+        node = cfg._new(kind, stmt=s, line=line)
+        line += loc(s)
+        link_all(preds, node.index)
+        return [node.index]
+
+    exits = walk(stmt, [cfg.entry])
+    for e in exits:
+        cfg._edge(e, cfg.final)
+    if not cfg.nodes[cfg.final].preds:
+        # Body diverges everywhere (e.g. bare `while(true)`); keep the
+        # final node reachable so backward analyses have a seed.
+        cfg._edge(cfg.entry, cfg.final)
+    return cfg

@@ -1,0 +1,209 @@
+"""Classic dataflow analyses over the :mod:`repro.analysis.cfg` graph.
+
+All four analyses are standard worklist fixpoints:
+
+* :func:`reaching_definitions` — *may* analysis; which ``(var, node)``
+  definitions can reach each node.  Entry pseudo-definitions
+  ``(var, -1)`` model variables defined before the fragment starts
+  (program inputs, or — for inverse templates — everything the forward
+  program produced).
+* :func:`definitely_defined` — *must* analysis; which variables are
+  written on **every** path reaching a node.  The complement at a use
+  site is a use-before-def.
+* :func:`live_variables` — backward *may* analysis seeded with the
+  ``out(...)`` statements.
+* :func:`constant_propagation` — forward analysis over the flat
+  constant lattice, folding expressions with
+  :mod:`repro.analysis.fold`'s linear-form evaluator restricted to
+  literal constants.
+
+Sets are small (suite programs are tens of statements), so plain
+``frozenset``/``dict`` states and a deque worklist are plenty fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from ..lang import ast
+from .cfg import CFG, Node
+
+# A definition site: (variable, node index); -1 marks an entry pseudo-def.
+DefSite = Tuple[str, int]
+ENTRY_SITE = -1
+
+
+def _forward_worklist(cfg: CFG) -> deque:
+    return deque(range(len(cfg.nodes)))
+
+
+def reaching_definitions(
+    cfg: CFG, entry_defined: Iterable[str] = ()
+) -> Dict[int, FrozenSet[DefSite]]:
+    """May-reaching definitions at the *entry* of each node."""
+    entry_facts = frozenset((var, ENTRY_SITE) for var in entry_defined)
+    out_facts: Dict[int, FrozenSet[DefSite]] = {
+        n.index: frozenset() for n in cfg.nodes
+    }
+    out_facts[cfg.entry] = entry_facts
+    in_facts: Dict[int, FrozenSet[DefSite]] = {
+        n.index: frozenset() for n in cfg.nodes
+    }
+
+    work = _forward_worklist(cfg)
+    while work:
+        idx = work.popleft()
+        node = cfg.nodes[idx]
+        incoming: FrozenSet[DefSite] = frozenset().union(
+            *(out_facts[p] for p in node.preds)
+        ) if node.preds else frozenset()
+        if idx == cfg.entry:
+            incoming = incoming | entry_facts
+        in_facts[idx] = incoming
+        kills = node.defs()
+        gen = frozenset((var, idx) for var in kills)
+        new_out = frozenset(
+            (var, site) for (var, site) in incoming if var not in kills
+        ) | gen
+        if new_out != out_facts[idx]:
+            out_facts[idx] = new_out
+            work.extend(node.succs)
+    return in_facts
+
+
+def definitely_defined(
+    cfg: CFG, entry_defined: Iterable[str] = ()
+) -> Dict[int, FrozenSet[str]]:
+    """Must-defined variables at the *entry* of each node.
+
+    The lattice is sets of variables under intersection; ``None`` stands
+    for the top element (unreached) until the first visit.
+    """
+    entry_facts = frozenset(entry_defined)
+    out_facts: Dict[int, Optional[FrozenSet[str]]] = {
+        n.index: None for n in cfg.nodes
+    }
+    in_facts: Dict[int, FrozenSet[str]] = {}
+    out_facts[cfg.entry] = entry_facts
+
+    work = _forward_worklist(cfg)
+    while work:
+        idx = work.popleft()
+        node = cfg.nodes[idx]
+        incoming: Optional[FrozenSet[str]] = None
+        for p in node.preds:
+            fact = out_facts[p]
+            if fact is None:
+                continue
+            incoming = fact if incoming is None else (incoming & fact)
+        if idx == cfg.entry:
+            incoming = entry_facts
+        if incoming is None:
+            continue  # not yet reached
+        in_facts[idx] = incoming
+        new_out = incoming | node.defs()
+        if new_out != out_facts[idx]:
+            out_facts[idx] = new_out
+            work.extend(node.succs)
+    return in_facts
+
+
+def live_variables(cfg: CFG) -> Dict[int, FrozenSet[str]]:
+    """Live variables at the *entry* of each node (backward may)."""
+    in_facts: Dict[int, FrozenSet[str]] = {
+        n.index: frozenset() for n in cfg.nodes
+    }
+    work = deque(range(len(cfg.nodes)))
+    while work:
+        idx = work.pop()
+        node = cfg.nodes[idx]
+        out_fact: FrozenSet[str] = frozenset().union(
+            *(in_facts[s] for s in node.succs)
+        ) if node.succs else frozenset()
+        new_in = (out_fact - node.defs()) | node.uses()
+        if new_in != in_facts[idx]:
+            in_facts[idx] = new_in
+            work.extend(node.preds)
+    return in_facts
+
+
+def dead_stores(cfg: CFG) -> Dict[int, FrozenSet[str]]:
+    """Assignment targets whose value is dead immediately after the write.
+
+    Only plain single-target ``Assign`` nodes are reported; parallel
+    assignments frequently carry one useful and one scratch component and
+    flagging those is noise.
+    """
+    in_facts = live_variables(cfg)
+    dead: Dict[int, FrozenSet[str]] = {}
+    for node in cfg.nodes:
+        if not isinstance(node.stmt, ast.Assign) or len(node.stmt.targets) != 1:
+            continue
+        out_fact: FrozenSet[str] = frozenset().union(
+            *(in_facts[s] for s in node.succs)
+        ) if node.succs else frozenset()
+        gone = node.defs() - out_fact
+        if gone:
+            dead[node.index] = frozenset(gone)
+    return dead
+
+
+def constant_propagation(
+    cfg: CFG, entry_consts: Optional[Mapping[str, int]] = None
+) -> Dict[int, Mapping[str, int]]:
+    """Flat-lattice constant propagation; facts at each node's entry.
+
+    A variable maps to an ``int`` when it holds that value on every path
+    reaching the node; absent variables are unknown (bottom-join-top is
+    collapsed to "absent").  Guarded branch conditions are *not* used to
+    refine facts — this is a plain Kildall fixpoint, kept deliberately
+    simple because its one pipeline consumer (executor branch pruning)
+    does its own path-sensitive folding.
+    """
+    from .fold import const_expr
+
+    out_facts: Dict[int, Optional[Dict[str, int]]] = {
+        n.index: None for n in cfg.nodes
+    }
+    in_facts: Dict[int, Dict[str, int]] = {}
+    out_facts[cfg.entry] = dict(entry_consts or {})
+
+    work = _forward_worklist(cfg)
+    while work:
+        idx = work.popleft()
+        node = cfg.nodes[idx]
+        incoming: Optional[Dict[str, int]] = None
+        for p in node.preds:
+            fact = out_facts[p]
+            if fact is None:
+                continue
+            if incoming is None:
+                incoming = dict(fact)
+            else:
+                incoming = {
+                    var: val for var, val in incoming.items()
+                    if fact.get(var) == val
+                }
+        if idx == cfg.entry:
+            incoming = dict(entry_consts or {})
+        if incoming is None:
+            continue
+        in_facts[idx] = dict(incoming)
+        new_out = dict(incoming)
+        if isinstance(node.stmt, ast.Assign):
+            values = {}
+            for target, expr in zip(node.stmt.targets, node.stmt.exprs):
+                values[target] = const_expr(expr, incoming)
+            for target, val in values.items():
+                if val is None:
+                    new_out.pop(target, None)
+                else:
+                    new_out[target] = val
+        elif node.defs():
+            for var in node.defs():
+                new_out.pop(var, None)
+        if new_out != out_facts[idx]:
+            out_facts[idx] = new_out
+            work.extend(node.succs)
+    return in_facts

@@ -1,0 +1,75 @@
+"""Structured diagnostics for the static-analysis layer.
+
+Every finding of the linter (and of the fail-fast validation hooks in
+:mod:`repro.pins.template` / :mod:`repro.pins.task`) is a
+:class:`Diagnostic`: a severity, a stable machine-readable code, a
+human-readable message, and a *statement location*.  Locations are
+1-based line numbers inside the program body, counted exactly the way
+:func:`repro.lang.transform.loc_of` counts lines (a parallel assignment
+to k variables spans k lines, loop/branch guards take one line, ``Seq``
+nodes are free) — so a diagnostic's line matches the LoC accounting used
+everywhere else in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding, anchored to a statement location."""
+
+    code: str
+    severity: str
+    message: str
+    line: int = 0
+    program: str = ""
+    statement: str = ""
+    """Pretty-printed fragment of the offending statement (may be empty)."""
+
+    def __str__(self) -> str:
+        where = f"{self.program or '<program>'}:{self.line}"
+        text = f"{where}: {self.severity} [{self.code}] {self.message}"
+        if self.statement:
+            text += f"  (in `{self.statement}`)"
+        return text
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == ERROR for d in diagnostics)
+
+
+def worst_severity(diagnostics: Sequence[Diagnostic]) -> str:
+    if not diagnostics:
+        return INFO
+    return max((d.severity for d in diagnostics), key=_SEVERITY_RANK.__getitem__)
+
+
+def failing(diagnostics: Iterable[Diagnostic], strict: bool = False) -> List[Diagnostic]:
+    """The diagnostics that should fail a lint run.
+
+    Errors always fail; warnings fail under ``strict``; infos never fail.
+    """
+    bad = (ERROR,) if not strict else (ERROR, WARNING)
+    return [d for d in diagnostics if d.severity in bad]
+
+
+class AnalysisError(Exception):
+    """Raised by fail-fast hooks when a program/template is malformed.
+
+    Carries the structured diagnostics so callers can render or filter
+    them; ``str()`` shows them one per line.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics: Tuple[Diagnostic, ...] = tuple(diagnostics)
+        super().__init__("\n".join(str(d) for d in self.diagnostics)
+                         or "analysis failed")

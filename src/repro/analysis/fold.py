@@ -1,0 +1,164 @@
+"""Constant and linear-form folding for expressions and predicates.
+
+Two evaluation domains:
+
+* **Constants** (:func:`const_expr`, :func:`const_pred`) — plain integer
+  folding against a ``{var: int}`` environment; used by
+  :func:`repro.analysis.dataflow.constant_propagation` and the linter's
+  infeasible-branch check.
+* **Linear forms** (:class:`Lin`, :func:`lin_expr`, :func:`lin_pred`) —
+  ``base + offset`` with an optional symbolic base, used by the symbolic
+  executor to decide guards without SMT: ``x#3 ↦ Lin("n#0", 2)`` against
+  guard ``x > n`` folds to ``n + 2 > n + 0 ≡ True`` even though neither
+  side is a literal.  Comparisons fold only when both sides are literal
+  constants or share the same base, so every fold is sound for *all*
+  valuations of the base.
+
+Division follows the interpreter's semantics exactly: floor toward
+negative infinity (Python ``//``/``%``); division by zero never folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+from ..lang import ast
+from ..lang.ast import ArithOp, CmpOp, Expr, Pred
+
+_CMP = {
+    CmpOp.EQ: lambda l, r: l == r,
+    CmpOp.NE: lambda l, r: l != r,
+    CmpOp.LT: lambda l, r: l < r,
+    CmpOp.LE: lambda l, r: l <= r,
+    CmpOp.GT: lambda l, r: l > r,
+    CmpOp.GE: lambda l, r: l >= r,
+}
+
+
+@dataclass(frozen=True)
+class Lin:
+    """``base + offset`` where ``base`` is a variable name or None (pure
+    constant)."""
+
+    base: Optional[str]
+    offset: int
+
+    @property
+    def is_const(self) -> bool:
+        return self.base is None
+
+    def __str__(self) -> str:
+        if self.base is None:
+            return str(self.offset)
+        if self.offset == 0:
+            return self.base
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.base} {sign} {abs(self.offset)}"
+
+
+LinEnv = Mapping[str, Lin]
+
+
+def lin_expr(e: Expr, env: LinEnv) -> Optional[Lin]:
+    """Evaluate ``e`` to a linear form, or None when it has none."""
+    if isinstance(e, ast.IntLit):
+        return Lin(None, e.value)
+    if isinstance(e, ast.Var):
+        known = env.get(e.name)
+        if known is not None:
+            return known
+        return Lin(e.name, 0)
+    if isinstance(e, ast.BinOp):
+        left = lin_expr(e.left, env)
+        right = lin_expr(e.right, env)
+        if left is None or right is None:
+            return None
+        if e.op is ArithOp.ADD:
+            if left.is_const:
+                return Lin(right.base, right.offset + left.offset)
+            if right.is_const:
+                return Lin(left.base, left.offset + right.offset)
+            return None
+        if e.op is ArithOp.SUB:
+            if right.is_const:
+                return Lin(left.base, left.offset - right.offset)
+            if left.base == right.base:  # x - x, (x+a) - (x+b)
+                return Lin(None, left.offset - right.offset)
+            return None
+        if e.op is ArithOp.MUL:
+            if left.is_const and right.is_const:
+                return Lin(None, left.offset * right.offset)
+            if left.is_const and left.offset in (0, 1):
+                return Lin(None, 0) if left.offset == 0 else right
+            if right.is_const and right.offset in (0, 1):
+                return Lin(None, 0) if right.offset == 0 else left
+            return None
+        if e.op is ArithOp.DIV:
+            if left.is_const and right.is_const and right.offset != 0:
+                return Lin(None, left.offset // right.offset)
+            return None
+        if e.op is ArithOp.MOD:
+            if left.is_const and right.is_const and right.offset != 0:
+                return Lin(None, left.offset % right.offset)
+            return None
+        return None
+    # Select/Update/FunApp/holes: no linear form.
+    return None
+
+
+def lin_cmp(op: CmpOp, left: Lin, right: Lin) -> Optional[bool]:
+    """Decide a comparison of two linear forms when sound to do so."""
+    if left.is_const and right.is_const:
+        return _CMP[op](left.offset, right.offset)
+    if left.base == right.base:
+        return _CMP[op](left.offset, right.offset)
+    return None
+
+
+def lin_pred(p: Pred, env: LinEnv) -> Optional[bool]:
+    """Three-valued evaluation of ``p`` under linear forms."""
+    if isinstance(p, ast.BoolLit):
+        return p.value
+    if isinstance(p, ast.Cmp):
+        left = lin_expr(p.left, env)
+        right = lin_expr(p.right, env)
+        if left is None or right is None:
+            return None
+        return lin_cmp(p.op, left, right)
+    if isinstance(p, ast.Not):
+        inner = lin_pred(p.pred, env)
+        return None if inner is None else (not inner)
+    if isinstance(p, ast.And):
+        values = [lin_pred(part, env) for part in p.parts]
+        if any(val is False for val in values):
+            return False
+        if all(val is True for val in values):
+            return True
+        return None
+    if isinstance(p, ast.Or):
+        values = [lin_pred(part, env) for part in p.parts]
+        if any(val is True for val in values):
+            return True
+        if all(val is False for val in values):
+            return False
+        return None
+    # UnknownPred / HolePred: undecidable.
+    return None
+
+
+def _const_env(env: Mapping[str, int]) -> Dict[str, Lin]:
+    return {name: Lin(None, val) for name, val in env.items()}
+
+
+def const_expr(e: Expr, env: Mapping[str, int]) -> Optional[int]:
+    """Fold ``e`` to an integer constant using ``{var: int}`` facts."""
+    lin = lin_expr(e, _const_env(env))
+    if lin is not None and lin.is_const:
+        return lin.offset
+    return None
+
+
+def const_pred(p: Pred, env: Mapping[str, int]) -> Optional[bool]:
+    """Three-valued constant folding of a predicate."""
+    return lin_pred(p, _const_env(env))

@@ -1,0 +1,253 @@
+"""Program-level well-formedness linting over the Fig. 2 IR.
+
+:func:`lint_program` runs every check against a single
+:class:`~repro.lang.ast.Program`; :func:`lint_template` lints an inverse
+template in the context of its forward program (everything the forward
+program writes counts as defined on entry, mirroring how ``compose``
+runs the template after the program).
+
+Diagnostic codes:
+
+====================  ========  ===================================================
+code                  severity  meaning
+====================  ========  ===================================================
+``undeclared-var``    error     a variable used or assigned but absent from decls
+``use-before-def``    error     a scalar read with *no* reaching definition
+``sort-error``        error     a statement is ill-sorted
+``unwritable-output`` error     ``out(x)`` where nothing can ever write ``x``
+``decl-conflict``     error     program/template declare a shared name at two sorts
+``static-false``      warning   a guard or assume folds to ``false`` statically
+``stuck-loop``        warning   a hole-free loop body never updates its guard
+``duplicate-io``      warning   more than one ``in``/``out`` statement
+``dead-store``        info      a single-target assignment whose value is never read
+====================  ========  ===================================================
+
+Use-before-def is deliberately restricted to non-array sorts: the
+suite's idiomatic incremental array builds (``Ap := upd(Ap, ip, ...)``)
+read the array's unconstrained initial value on purpose, whereas a
+scalar with no reaching definition is always a bug.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast
+from ..lang.ast import Assign, Assume, GIf, GWhile, In, Out, Program, Sort
+from ..lang.pretty import pretty_pred, pretty_stmt
+from .cfg import BRANCH, CFG, Node, build_cfg
+from .dataflow import (
+    ENTRY_SITE,
+    constant_propagation,
+    dead_stores,
+    reaching_definitions,
+)
+from .diagnostics import Diagnostic, ERROR, INFO, WARNING
+from .fold import const_pred
+from .sorts import SortContext, SortError, _infer, check_pred_sorts
+
+UNDECLARED_VAR = "undeclared-var"
+USE_BEFORE_DEF = "use-before-def"
+SORT_ERROR = "sort-error"
+UNWRITABLE_OUTPUT = "unwritable-output"
+DECL_CONFLICT = "decl-conflict"
+STATIC_FALSE = "static-false"
+STUCK_LOOP = "stuck-loop"
+DUPLICATE_IO = "duplicate-io"
+DEAD_STORE = "dead-store"
+
+
+def _snippet(node: Node) -> str:
+    if node.stmt is None:
+        return ""
+    if isinstance(node.stmt, (GIf, GWhile)) and node.pred is not None:
+        head = "if" if isinstance(node.stmt, GIf) else "while"
+        return f"{head} ({pretty_pred(node.pred)})"
+    if isinstance(node.stmt, (ast.If, ast.While)):
+        head = "if" if isinstance(node.stmt, ast.If) else "while"
+        return f"{head} (*)"
+    text = pretty_stmt(node.stmt).strip()
+    first = text.splitlines()[0] if text else ""
+    return first if len(first) <= 72 else first[:69] + "..."
+
+
+def lint_program(program: Program,
+                 externs: object = None,
+                 entry_defined: Iterable[str] = ()) -> List[Diagnostic]:
+    """All diagnostics for one program, sorted by line."""
+    ctx = SortContext(program.decls, externs)
+    cfg = build_cfg(program.body)
+    diags: List[Diagnostic] = []
+
+    def emit(code: str, severity: str, message: str, node: Node,
+             line: Optional[int] = None) -> None:
+        diags.append(Diagnostic(
+            code=code, severity=severity, message=message,
+            line=node.line if line is None else line,
+            program=program.name, statement=_snippet(node),
+        ))
+
+    entry_defined = frozenset(entry_defined)
+    _check_scopes(program, cfg, emit, entry_defined)
+    _check_sorts(program, cfg, ctx, emit)
+    _check_outputs(program, cfg, emit, entry_defined)
+    _check_guards(program, cfg, emit)
+    _check_io(cfg, emit)
+    if not ast.stmt_unknowns(program.body):
+        # Holes hide uses from the liveness analysis, so dead-store facts
+        # are only trustworthy for hole-free bodies.
+        _check_dead_stores(cfg, emit)
+    diags.sort(key=lambda d: (d.line, d.code))
+    return diags
+
+
+def lint_template(program: Program, inverse: Program,
+                  externs: object = None) -> List[Diagnostic]:
+    """Lint an inverse template as it runs after ``program``.
+
+    The forward program's inputs and every variable it assigns count as
+    defined when the template starts (that is the state ``compose``
+    hands over).  Shared declarations must agree on sorts.
+    """
+    entry_defined = frozenset(program.inputs) | ast.assigned_vars(program.body)
+    diags = lint_program(inverse, externs, entry_defined=entry_defined)
+    for name, sort in sorted(inverse.decls.items()):
+        other = program.decls.get(name)
+        if other is not None and other is not sort:
+            diags.insert(0, Diagnostic(
+                code=DECL_CONFLICT, severity=ERROR,
+                message=(f"'{name}' is declared {sort.name} here but "
+                         f"{other.name} in program '{program.name}'"),
+                line=0, program=inverse.name,
+            ))
+    return diags
+
+
+def check_writable_outputs(program: Program,
+                           entry_defined: Iterable[str] = ()) -> List[Diagnostic]:
+    """Just the ``unwritable-output`` check — the cheap fail-fast subset
+    used by :mod:`repro.pins.template` / :mod:`repro.pins.task`."""
+    cfg = build_cfg(program.body)
+    diags: List[Diagnostic] = []
+
+    def emit(code: str, severity: str, message: str, node: Node,
+             line: Optional[int] = None) -> None:
+        diags.append(Diagnostic(
+            code=code, severity=severity, message=message,
+            line=node.line if line is None else line,
+            program=program.name, statement=_snippet(node),
+        ))
+
+    _check_outputs(program, cfg, emit, frozenset(entry_defined))
+    return diags
+
+
+# -- individual checks -------------------------------------------------------
+
+
+def _check_scopes(program: Program, cfg: CFG, emit, entry_defined) -> None:
+    decls = program.decls
+    reaching = reaching_definitions(cfg, entry_defined)
+    seen_undeclared: Set[str] = set()
+    for node in cfg.statement_nodes():
+        for var in sorted(node.uses() | node.defs()):
+            if var not in decls and var not in seen_undeclared:
+                seen_undeclared.add(var)
+                emit(UNDECLARED_VAR, ERROR,
+                     f"variable '{var}' is not declared", node)
+        facts = reaching.get(node.index, frozenset())
+        defined = {var for (var, _site) in facts}
+        for var in sorted(node.uses()):
+            sort = decls.get(var)
+            if sort is None or sort.is_array:
+                continue
+            if var not in defined:
+                emit(USE_BEFORE_DEF, ERROR,
+                     f"'{var}' is read but no definition reaches here",
+                     node)
+
+
+def _check_sorts(program: Program, cfg: CFG, ctx: SortContext, emit) -> None:
+    for node in cfg.statement_nodes():
+        stmt = node.stmt
+        if isinstance(stmt, Assign):
+            for i, (target, expr) in enumerate(zip(stmt.targets, stmt.exprs)):
+                target_sort = program.decls.get(target)
+                try:
+                    expr_sort = _infer(expr, ctx)
+                except SortError as exc:
+                    emit(SORT_ERROR, ERROR, str(exc), node,
+                         line=node.line + i)
+                    continue
+                if (target_sort is not None and expr_sort is not None
+                        and expr_sort is not target_sort):
+                    emit(SORT_ERROR, ERROR,
+                         f"assigning {expr_sort.name} expression to "
+                         f"{target_sort.name} variable '{target}'",
+                         node, line=node.line + i)
+        pred = None
+        if isinstance(stmt, Assume):
+            pred = stmt.pred
+        elif node.kind == BRANCH and node.pred is not None:
+            pred = node.pred
+        if pred is not None:
+            try:
+                check_pred_sorts(pred, ctx)
+            except SortError as exc:
+                emit(SORT_ERROR, ERROR, str(exc), node)
+
+
+def _check_outputs(program: Program, cfg: CFG, emit, entry_defined) -> None:
+    writable = (frozenset(program.inputs)
+                | ast.assigned_vars(program.body)
+                | entry_defined)
+    for node in cfg.statement_nodes():
+        if not isinstance(node.stmt, Out):
+            continue
+        for var in node.stmt.names:
+            if var not in writable:
+                emit(UNWRITABLE_OUTPUT, ERROR,
+                     f"output variable '{var}' is never written and not "
+                     f"defined on entry", node)
+
+
+def _check_guards(program: Program, cfg: CFG, emit) -> None:
+    consts = constant_propagation(cfg)
+    for node in cfg.statement_nodes():
+        stmt = node.stmt
+        if isinstance(stmt, GWhile):
+            guard_vars = ast.expr_vars(stmt.cond)
+            if not ast.stmt_unknowns(stmt.body):
+                written = ast.assigned_vars(stmt.body)
+                if guard_vars and not (guard_vars & written):
+                    emit(STUCK_LOOP, WARNING,
+                         "loop guard reads only variables the body never "
+                         "updates", node)
+        pred = None
+        if isinstance(stmt, Assume):
+            pred = stmt.pred
+        elif node.kind == BRANCH and node.pred is not None:
+            pred = node.pred
+        if pred is not None:
+            facts = consts.get(node.index, {})
+            if const_pred(pred, facts) is False:
+                what = ("assume" if isinstance(stmt, Assume)
+                        else "branch condition")
+                emit(STATIC_FALSE, WARNING,
+                     f"{what} is statically false", node)
+
+
+def _check_io(cfg: CFG, emit) -> None:
+    for cls, word in ((In, "in"), (Out, "out")):
+        nodes = [n for n in cfg.statement_nodes() if isinstance(n.stmt, cls)]
+        for extra in nodes[1:]:
+            emit(DUPLICATE_IO, WARNING,
+                 f"more than one `{word}(...)` statement", extra)
+
+
+def _check_dead_stores(cfg: CFG, emit) -> None:
+    for idx, gone in sorted(dead_stores(cfg).items()):
+        node = cfg.nodes[idx]
+        for var in sorted(gone):
+            emit(DEAD_STORE, INFO,
+                 f"value assigned to '{var}' is never read", node)

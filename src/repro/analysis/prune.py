@@ -1,0 +1,244 @@
+"""Static pruning of the per-hole candidate space.
+
+Before ``solve()`` turns a :class:`~repro.pins.template.HoleSpace` into
+indicator variables for the SAT core, this pass drops candidates that a
+dataflow argument shows can never appear in a meaningful inverse:
+
+* **Definedness** — a candidate that reads a scalar variable with *no*
+  reaching definition at the hole's site reads an unconstrained initial
+  value; the instantiated program's behaviour would depend on junk, so
+  the candidate cannot participate in a correct inverse.  Array-sorted
+  variables are exempt (the suite's incremental ``upd`` builds read the
+  array's initial value by design).
+* **Sorts** — :meth:`HoleSpace.build` already filters holes that form an
+  entire assignment RHS; this pass extends the check to holes *nested*
+  inside expressions (array indices, update values, arithmetic operands)
+  where the surrounding context fixes the expected sort.
+
+Both arguments are per-site: a hole occurring at several sites is pruned
+against each of them, since one candidate fills every site at once.
+
+A hole's candidate set is never emptied: if every candidate would be
+pruned the original set is kept and a note is recorded, because the
+enumerator treats an empty expression hole as a hard error.  Auxiliary
+holes (``rank!*`` ranking functions, ``inv!*`` invariants) are left
+untouched — they are evaluated under different quantification.
+
+The pass is on by default and can be disabled with the environment
+variable ``REPRO_STATIC_PRUNING=0`` (A/B debugging; the test suite's
+``--no-static-pruning`` flag sets it for a whole run).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..lang import ast
+from ..lang.ast import Expr, Pred, Sort, Stmt
+from .cfg import BRANCH, build_cfg
+from .dataflow import reaching_definitions
+from .sorts import SortContext, candidate_fits
+
+ENV_FLAG = "REPRO_STATIC_PRUNING"
+_AUX_PREFIXES = ("rank!", "inv!")
+
+
+def static_pruning_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the pruning switch: explicit override, else env, else on."""
+    if override is not None:
+        return override
+    return os.environ.get(ENV_FLAG, "1").strip().lower() not in ("0", "false", "off")
+
+
+@dataclass(frozen=True)
+class HolePruning:
+    """Per-hole before/after accounting."""
+
+    hole: str
+    before: int
+    after: int
+
+    @property
+    def removed(self) -> int:
+        return self.before - self.after
+
+
+@dataclass
+class PruneReport:
+    """What static pruning did to one hole space."""
+
+    holes: List[HolePruning] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def indicators_removed(self) -> int:
+        return sum(h.removed for h in self.holes)
+
+    @property
+    def indicators_before(self) -> int:
+        return sum(h.before for h in self.holes)
+
+    @property
+    def indicators_after(self) -> int:
+        return sum(h.after for h in self.holes)
+
+    def describe(self) -> str:
+        lines = []
+        for h in self.holes:
+            mark = f"{h.before} -> {h.after}" if h.removed else str(h.before)
+            lines.append(f"  [{h.hole}]: {mark}")
+        if self.notes:
+            lines.extend(f"  note: {n}" for n in self.notes)
+        total = (f"pruned {self.indicators_removed}/{self.indicators_before} "
+                 f"indicator(s)")
+        return "\n".join([total] + lines)
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One occurrence of a hole: undefined scalars at its node, plus the
+    sort the surrounding expression context expects (None if unknown)."""
+
+    undefined: FrozenSet[str]
+    expected_sort: Optional[Sort]
+
+
+def _expected_sorts(expr: Expr, expected: Optional[Sort],
+                    decls: Mapping[str, Sort],
+                    out: Dict[str, List[Optional[Sort]]]) -> None:
+    """Record the expected sort of every ``Unknown`` under ``expr``."""
+    if isinstance(expr, ast.Unknown):
+        out.setdefault(expr.name, []).append(expected)
+        return
+    if isinstance(expr, ast.BinOp):
+        _expected_sorts(expr.left, Sort.INT, decls, out)
+        _expected_sorts(expr.right, Sort.INT, decls, out)
+        return
+    if isinstance(expr, ast.Select):
+        _expected_sorts(expr.array, None, decls, out)
+        _expected_sorts(expr.index, Sort.INT, decls, out)
+        return
+    if isinstance(expr, ast.Update):
+        elem = None
+        if isinstance(expr.array, ast.Var):
+            arr_sort = decls.get(expr.array.name)
+            if arr_sort is not None and arr_sort.is_array:
+                elem = arr_sort.element()
+        _expected_sorts(expr.array, expected, decls, out)
+        _expected_sorts(expr.index, Sort.INT, decls, out)
+        _expected_sorts(expr.value, elem, decls, out)
+        return
+    if isinstance(expr, ast.FunApp):
+        for arg in expr.args:
+            _expected_sorts(arg, None, decls, out)
+        return
+    # Var / IntLit / HoleExpr: no holes below.
+
+
+def _pred_holes_in(pred: Pred) -> FrozenSet[str]:
+    return frozenset(
+        n.name for n in ast.walk_exprs(pred) if isinstance(n, ast.UnknownPred)
+    )
+
+
+def _expr_holes_in_pred(pred: Pred, decls: Mapping[str, Sort],
+                        out: Dict[str, List[Optional[Sort]]]) -> None:
+    for n in ast.walk_exprs(pred):
+        if isinstance(n, ast.Cmp):
+            _expected_sorts(n.left, None, decls, out)
+            _expected_sorts(n.right, None, decls, out)
+
+
+def _reads_undefined(candidate, undefined: FrozenSet[str]) -> bool:
+    return bool(ast.expr_vars(candidate) & undefined)
+
+
+def collect_hole_sites(template_body: Stmt,
+                       decls: Mapping[str, Sort],
+                       entry_defined: Iterable[str] = (),
+                       ) -> Tuple[Dict[str, List[_Site]], Dict[str, List[_Site]]]:
+    """Map each expr-hole / pred-hole name to its occurrence sites."""
+    cfg = build_cfg(template_body)
+    reaching = reaching_definitions(cfg, entry_defined)
+    expr_sites: Dict[str, List[_Site]] = {}
+    pred_sites: Dict[str, List[_Site]] = {}
+
+    for node in cfg.statement_nodes():
+        facts = reaching.get(node.index, frozenset())
+        defined = {var for (var, _site) in facts}
+        undefined = frozenset(
+            var for var, sort in decls.items()
+            if not sort.is_array and var not in defined
+        )
+        stmt = node.stmt
+        expected: Dict[str, List[Optional[Sort]]] = {}
+        preds_here: List[Pred] = []
+        if isinstance(stmt, ast.Assign):
+            for target, e in zip(stmt.targets, stmt.exprs):
+                _expected_sorts(e, decls.get(target), decls, expected)
+        elif isinstance(stmt, ast.Assume):
+            preds_here.append(stmt.pred)
+        elif node.kind == BRANCH and node.pred is not None:
+            preds_here.append(node.pred)
+        for p in preds_here:
+            _expr_holes_in_pred(p, decls, expected)
+            for name in _pred_holes_in(p):
+                pred_sites.setdefault(name, []).append(
+                    _Site(undefined=undefined, expected_sort=None))
+        for name, sorts in expected.items():
+            for s in sorts:
+                expr_sites.setdefault(name, []).append(
+                    _Site(undefined=undefined, expected_sort=s))
+    return expr_sites, pred_sites
+
+
+def prune_hole_space(space, template_body: Stmt,
+                     decls: Mapping[str, Sort],
+                     extern_sorts: object = None,
+                     entry_defined: Iterable[str] = ()):
+    """Return ``(pruned_space, report)``; the input space is not mutated."""
+    ctx = SortContext(decls, extern_sorts)
+    expr_sites, pred_sites = collect_hole_sites(
+        template_body, decls, entry_defined)
+    report = PruneReport()
+
+    def keep_expr(name: str, cand: Expr) -> bool:
+        for site in expr_sites.get(name, ()):
+            if _reads_undefined(cand, site.undefined):
+                return False
+            if site.expected_sort is not None and not candidate_fits(
+                    cand, site.expected_sort, ctx):
+                return False
+        return True
+
+    def keep_pred(name: str, cand: Pred) -> bool:
+        for site in pred_sites.get(name, ()):
+            if _reads_undefined(cand, site.undefined):
+                return False
+        return True
+
+    def prune(holes, keep, aux_exempt: bool):
+        out = []
+        for name, cands in holes:
+            if aux_exempt and name.startswith(_AUX_PREFIXES):
+                out.append((name, cands))
+                continue
+            kept = tuple(c for c in cands if keep(name, c))
+            if not kept and cands:
+                report.notes.append(
+                    f"[{name}]: all {len(cands)} candidate(s) looked "
+                    f"prunable; keeping the original set")
+                kept = cands
+            report.holes.append(HolePruning(name, len(cands), len(kept)))
+            out.append((name, kept))
+        return tuple(out)
+
+    pruned = type(space)(
+        expr_holes=prune(space.expr_holes, keep_expr, aux_exempt=True),
+        pred_holes=prune(space.pred_holes, keep_pred, aux_exempt=True),
+        rank_holes=space.rank_holes,
+        max_pred_conj=space.max_pred_conj,
+    )
+    return pruned, report

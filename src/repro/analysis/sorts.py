@@ -1,0 +1,197 @@
+"""Sort inference and checking — the single implementation.
+
+:mod:`repro.lang.types` re-exports :func:`infer_expr_sort` /
+:func:`candidate_fits` as thin shims over this module, so the whole
+codebase shares one sort checker.  Compared with the original shim this
+version also recurses into ``FunApp`` arguments: when the context knows
+the extern's full :class:`Signature` (arity + argument sorts), an
+ill-sorted argument — e.g. an array passed where an int is expected —
+raises :class:`SortError` instead of silently passing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+from ..lang import ast
+from ..lang.ast import Expr, Sort
+
+
+class SortError(Exception):
+    """An expression is not well-sorted."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Full sort signature of an external function."""
+
+    args: Tuple[Sort, ...]
+    result: Sort
+
+
+ExternSpec = Union[Signature, Sort]
+
+
+class SortContext:
+    """Declarations plus whatever is known about extern functions.
+
+    ``externs`` accepts any of the shapes the codebase uses:
+
+    * an :class:`repro.axioms.registry.ExternRegistry` (full signatures),
+    * a ``Mapping[str, Signature]``,
+    * a ``Mapping[str, Sort]`` giving result sorts only (the historical
+      ``extern_sorts`` convention — argument sorts are then unchecked),
+    * ``None``.
+    """
+
+    def __init__(self, decls: Optional[Mapping[str, Sort]] = None,
+                 externs: object = None):
+        self.decls: Mapping[str, Sort] = decls or {}
+        self._signatures: Mapping[str, ExternSpec] = _normalize_externs(externs)
+
+    def var_sort(self, name: str) -> Optional[Sort]:
+        return self.decls.get(name)
+
+    def signature(self, name: str) -> Optional[Signature]:
+        spec = self._signatures.get(name)
+        return spec if isinstance(spec, Signature) else None
+
+    def result_sort(self, name: str) -> Optional[Sort]:
+        spec = self._signatures.get(name)
+        if isinstance(spec, Signature):
+            return spec.result
+        return spec  # a bare Sort, or None
+
+
+def _normalize_externs(externs: object) -> Mapping[str, ExternSpec]:
+    if externs is None:
+        return {}
+    # ExternRegistry duck-typing: has .names() and .get() yielding objects
+    # with arg_sorts/result_sort.
+    if hasattr(externs, "names") and hasattr(externs, "get") \
+            and not isinstance(externs, Mapping):
+        table = {}
+        for name in externs.names():
+            ext = externs.get(name)
+            table[name] = Signature(tuple(ext.arg_sorts), ext.result_sort)
+        return table
+    if isinstance(externs, Mapping):
+        return dict(externs)
+    raise TypeError(f"cannot interpret extern sorts from {externs!r}")
+
+
+def _as_context(decls, externs) -> SortContext:
+    if isinstance(decls, SortContext):
+        return decls
+    return SortContext(decls, externs)
+
+
+def infer_expr_sort(e: Expr,
+                    decls: Union[SortContext, Mapping[str, Sort], None],
+                    extern_sorts: object = None) -> Optional[Sort]:
+    """The sort of ``e``, or None when it cannot be determined.
+
+    Raises :class:`SortError` on definite ill-sortedness (arithmetic over
+    an array, a select from a scalar, an extern applied at the wrong
+    arity or to wrongly-sorted arguments, ...).
+    """
+    ctx = _as_context(decls, extern_sorts)
+    return _infer(e, ctx)
+
+
+def _infer(e: Expr, ctx: SortContext) -> Optional[Sort]:
+    if isinstance(e, ast.Var):
+        return ctx.var_sort(e.name)
+    if isinstance(e, ast.IntLit):
+        return Sort.INT
+    if isinstance(e, ast.BinOp):
+        for side in (e.left, e.right):
+            sort = _infer(side, ctx)
+            if sort is not None and sort is not Sort.INT:
+                raise SortError(f"arithmetic over non-integer operand in {e}")
+        return Sort.INT
+    if isinstance(e, ast.Select):
+        arr = _infer(e.array, ctx)
+        idx = _infer(e.index, ctx)
+        if idx is not None and idx is not Sort.INT:
+            raise SortError(f"non-integer index in {e}")
+        if arr is None:
+            return None
+        if not arr.is_array:
+            raise SortError(f"select from non-array in {e}")
+        return arr.element()
+    if isinstance(e, ast.Update):
+        arr = _infer(e.array, ctx)
+        idx = _infer(e.index, ctx)
+        if idx is not None and idx is not Sort.INT:
+            raise SortError(f"non-integer index in {e}")
+        if arr is not None and not arr.is_array:
+            raise SortError(f"update of non-array in {e}")
+        val = _infer(e.value, ctx)
+        if arr is not None and val is not None and val is not arr.element():
+            raise SortError(f"element sort mismatch in {e}")
+        return arr
+    if isinstance(e, ast.FunApp):
+        sig = ctx.signature(e.name)
+        if sig is not None:
+            if len(e.args) != len(sig.args):
+                raise SortError(
+                    f"{e.name} expects {len(sig.args)} argument(s), "
+                    f"got {len(e.args)} in {e}"
+                )
+            for i, (arg, expected) in enumerate(zip(e.args, sig.args)):
+                got = _infer(arg, ctx)
+                if got is not None and got is not expected:
+                    raise SortError(
+                        f"argument {i + 1} of {e.name} has sort "
+                        f"{got.name}, expected {expected.name} in {e}"
+                    )
+            return sig.result
+        # Result sort known (or not) but arguments unchecked: still
+        # recurse so ill-sortedness *inside* an argument is caught.
+        for arg in e.args:
+            _infer(arg, ctx)
+        return ctx.result_sort(e.name)
+    if isinstance(e, (ast.Unknown, ast.HoleExpr)):
+        return None
+    raise TypeError(f"unexpected expression {e!r}")
+
+
+def candidate_fits(candidate: Expr, target_sort: Sort,
+                   decls: Union[SortContext, Mapping[str, Sort], None],
+                   extern_sorts: object = None) -> bool:
+    """True if a candidate expression may fill a slot of ``target_sort``."""
+    ctx = _as_context(decls, extern_sorts)
+    try:
+        sort = _infer(candidate, ctx)
+    except SortError:
+        return False
+    return sort is None or sort is target_sort
+
+
+def check_pred_sorts(p: "ast.Pred", ctx: SortContext) -> None:
+    """Raise :class:`SortError` if a predicate is ill-sorted."""
+    if isinstance(p, ast.BoolLit):
+        return
+    if isinstance(p, ast.Cmp):
+        left = _infer(p.left, ctx)
+        right = _infer(p.right, ctx)
+        for side, sort in ((p.left, left), (p.right, right)):
+            if sort is not None and sort.is_array:
+                raise SortError(f"comparison over array operand {side} in {p}")
+        if left is not None and right is not None and left is not right:
+            raise SortError(
+                f"comparison between {left.name} and {right.name} in {p}"
+            )
+        return
+    if isinstance(p, ast.Not):
+        check_pred_sorts(p.pred, ctx)
+        return
+    if isinstance(p, (ast.And, ast.Or)):
+        for part in p.parts:
+            check_pred_sorts(part, ctx)
+        return
+    if isinstance(p, (ast.UnknownPred, ast.HolePred)):
+        return
+    raise TypeError(f"unexpected predicate {p!r}")

@@ -1,0 +1,61 @@
+"""Suite-wide linting: every benchmark's program, template, and oracle.
+
+``lint_suite()`` is the library entry point used by
+``scripts/lint_suite.py``, ``python -m repro.analysis --suite`` and the
+CI workflow; it lints, for each suite benchmark:
+
+* the forward program (with its extern registry in scope),
+* the inverse template, in the context of the forward program,
+* the hand-written ground-truth inverse, in the same context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .diagnostics import Diagnostic, failing
+from .lint import lint_program, lint_template
+
+
+def lint_benchmark(bench) -> List[Diagnostic]:
+    """All diagnostics for one :class:`repro.suite.base.Benchmark`."""
+    task = bench.task
+    diags: List[Diagnostic] = []
+    diags.extend(lint_program(task.program, externs=task.externs))
+    diags.extend(lint_template(task.program, task.inverse,
+                               externs=task.externs))
+    diags.extend(lint_template(task.program, bench.ground_truth,
+                               externs=task.externs))
+    return diags
+
+
+def lint_suite(names: Optional[Iterable[str]] = None,
+               ) -> Dict[str, List[Diagnostic]]:
+    """Lint the whole suite (or just ``names``); benchmark -> diagnostics."""
+    from ..suite import BENCHMARK_MODULES, get_benchmark
+
+    selected = list(names) if names is not None else list(BENCHMARK_MODULES)
+    return {name: lint_benchmark(get_benchmark(name)) for name in selected}
+
+
+def run_suite_lint(names: Optional[Iterable[str]] = None,
+                   strict: bool = False,
+                   verbose: bool = False,
+                   echo=print) -> int:
+    """Lint the suite and report; returns a process exit code."""
+    results = lint_suite(names)
+    total = 0
+    bad = 0
+    for name, diags in results.items():
+        total += len(diags)
+        failures = failing(diags, strict=strict)
+        bad += len(failures)
+        shown = diags if verbose else failures
+        for d in shown:
+            echo(str(d))
+        status = "FAIL" if failures else "ok"
+        echo(f"{name}: {status} ({len(diags)} finding(s), "
+             f"{len(failures)} failing)")
+    echo(f"suite lint: {len(results)} benchmark(s), {total} finding(s), "
+         f"{bad} failing{' [strict]' if strict else ''}")
+    return 1 if bad else 0

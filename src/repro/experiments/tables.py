@@ -146,7 +146,9 @@ def table3_row(name: str, config: Optional[PinsConfig] = None,
         bmc = bounded_check(task.program, result.inverse_programs()[0], spec,
                             bounds, task.externs, precondition=task.precondition)
         bmc_time = f"{bmc.elapsed:.2f}{'' if bmc.ok else '!'}"
-    template = build_template(task)
+    # Baselines emulate Sketch, which has no static-pruning pass: give
+    # them the paper's full template space.
+    template = build_template(task, static_pruning=False)
     sketch = run_sketchlite(task, template, bounds, timeout=sketch_timeout)
     sketch_time = (f"{sketch.elapsed:.2f}" if sketch.status == "sat"
                    else sketch.status)
@@ -199,7 +201,7 @@ TABLE5_HEADERS = ["benchmark", "unroll", "array size", "value range",
 def table5_row(name: str, sketch_timeout: float = 60.0) -> List[Any]:
     bench = get_benchmark(name)
     task = bench.task
-    template = build_template(task)
+    template = build_template(task, static_pruning=False)
     bounds = BmcBounds(unroll=task.bmc_unroll, array_size=task.bmc_array_size,
                        value_range=task.bmc_value_range, max_cases=2000)
     sketch = run_sketchlite(task, template, bounds, timeout=sketch_timeout)

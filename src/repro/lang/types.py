@@ -1,75 +1,24 @@
 """Lightweight sort inference for expressions.
 
-Used to filter candidate sets per hole (an array-sorted assignment target
-only accepts array-sorted candidates) and to sanity-check templates.
+This module is a compatibility shim: the single sort-inference
+implementation lives in :mod:`repro.analysis.sorts` (which also checks
+extern-call argument sorts when full signatures are available).  The
+historical entry points — ``infer_expr_sort(e, decls, extern_sorts)``
+and ``candidate_fits(candidate, target_sort, decls, extern_sorts)`` —
+keep their signatures; ``extern_sorts`` may be a result-sort-only
+mapping, a ``{name: Signature}`` mapping, or an
+:class:`repro.axioms.registry.ExternRegistry`.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from ..analysis.sorts import (  # noqa: F401  (re-exports)
+    Signature,
+    SortContext,
+    SortError,
+    candidate_fits,
+    infer_expr_sort,
+)
 
-from . import ast
-from .ast import ArithOp, Expr, Sort
-
-
-class SortError(Exception):
-    """An expression is not well-sorted."""
-
-
-def infer_expr_sort(e: Expr, decls: Mapping[str, Sort],
-                    extern_sorts: Optional[Mapping[str, Sort]] = None,
-                    ) -> Optional[Sort]:
-    """The sort of ``e``, or None when it cannot be determined.
-
-    Raises :class:`SortError` on definite ill-sortedness (e.g. arithmetic
-    over an array).
-    """
-    if isinstance(e, ast.Var):
-        return decls.get(e.name)
-    if isinstance(e, ast.IntLit):
-        return Sort.INT
-    if isinstance(e, ast.BinOp):
-        for side in (e.left, e.right):
-            sort = infer_expr_sort(side, decls, extern_sorts)
-            if sort is not None and sort is not Sort.INT:
-                raise SortError(f"arithmetic over non-integer operand in {e}")
-        return Sort.INT
-    if isinstance(e, ast.Select):
-        arr = infer_expr_sort(e.array, decls, extern_sorts)
-        idx = infer_expr_sort(e.index, decls, extern_sorts)
-        if idx is not None and idx is not Sort.INT:
-            raise SortError(f"non-integer index in {e}")
-        if arr is None:
-            return None
-        if not arr.is_array:
-            raise SortError(f"select from non-array in {e}")
-        return arr.element()
-    if isinstance(e, ast.Update):
-        arr = infer_expr_sort(e.array, decls, extern_sorts)
-        idx = infer_expr_sort(e.index, decls, extern_sorts)
-        if idx is not None and idx is not Sort.INT:
-            raise SortError(f"non-integer index in {e}")
-        if arr is not None and not arr.is_array:
-            raise SortError(f"update of non-array in {e}")
-        val = infer_expr_sort(e.value, decls, extern_sorts)
-        if arr is not None and val is not None and val is not arr.element():
-            raise SortError(f"element sort mismatch in {e}")
-        return arr
-    if isinstance(e, ast.FunApp):
-        if extern_sorts is not None and e.name in extern_sorts:
-            return extern_sorts[e.name]
-        return None
-    if isinstance(e, (ast.Unknown, ast.HoleExpr)):
-        return None
-    raise TypeError(f"unexpected expression {e!r}")
-
-
-def candidate_fits(candidate: Expr, target_sort: Sort,
-                   decls: Mapping[str, Sort],
-                   extern_sorts: Optional[Mapping[str, Sort]] = None) -> bool:
-    """True if a candidate expression may fill a slot of ``target_sort``."""
-    try:
-        sort = infer_expr_sort(candidate, decls, extern_sorts)
-    except SortError:
-        return False
-    return sort is None or sort is target_sort
+__all__ = ["Signature", "SortContext", "SortError", "candidate_fits",
+           "infer_expr_sort"]

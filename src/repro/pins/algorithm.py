@@ -63,6 +63,10 @@ class PinsConfig:
     max_backtracks: int = 20000
     solver_conflict_budget: int = 100_000
     max_candidates_per_solve: int = 50_000
+    static_pruning: Optional[bool] = None
+    """Use the dataflow analyses to shrink hole candidate sets and skip
+    statically-infeasible symexec branches.  ``None`` defers to the
+    ``REPRO_STATIC_PRUNING`` env var (default: enabled)."""
 
 
 @dataclass
@@ -82,6 +86,9 @@ class PinsStats:
     candidates_tried: int = 0
     blocked_by_screen: int = 0
     blocked_by_check: int = 0
+    indicators_pruned: int = 0
+    symexec_smt_calls: int = 0
+    symexec_const_prunes: int = 0
 
     def breakdown(self) -> Dict[str, float]:
         """Fractions of total time per phase (Table 4)."""
@@ -112,8 +119,18 @@ class PinsResult:
         return bool(self.solutions)
 
 
-def build_template(task: SynthesisTask) -> SynthesisTemplate:
-    """Assemble the hole space (including ranking holes) for a task."""
+def build_template(task: SynthesisTask,
+                   static_pruning: Optional[bool] = None) -> SynthesisTemplate:
+    """Assemble the hole space (including ranking holes) for a task.
+
+    With static pruning enabled (the default; see
+    :func:`repro.analysis.prune.static_pruning_enabled`), the dataflow
+    analyses drop per-hole candidates that read undefined scalars or
+    cannot be well-sorted at any of the hole's sites, shrinking the SAT
+    indicator space before ``solve()`` ever runs.
+    """
+    from ..analysis.prune import prune_hole_space, static_pruning_enabled
+
     composed = compose(task.program, task.inverse)
     desugared = desugar_program(composed)
     extern_sorts = {name: task.externs.get(name).result_sort
@@ -126,6 +143,13 @@ def build_template(task: SynthesisTask) -> SynthesisTemplate:
         decls=desugared.decls,
         extern_sorts=extern_sorts,
     )
+    prune_report = None
+    if static_pruning_enabled(static_pruning):
+        entry_defined = (frozenset(task.program.inputs)
+                         | ast.assigned_vars(task.program.body))
+        space, prune_report = prune_hole_space(
+            space, task.inverse.body, desugared.decls,
+            extern_sorts=task.externs, entry_defined=entry_defined)
     ranks = derive_ranking_candidates(task.phi_p)
     rank_holes = {}
     inv_holes = {}
@@ -138,7 +162,8 @@ def build_template(task: SynthesisTask) -> SynthesisTemplate:
         iname = invariant_hole_name(loop_id)
         inv_holes[iname] = tuple(task.pred_overrides.get(iname, task.phi_p))
     return SynthesisTemplate(task.program, task.inverse,
-                             space.with_rank_holes(rank_holes, inv_holes))
+                             space.with_rank_holes(rank_holes, inv_holes),
+                             prune_report=prune_report)
 
 
 def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsResult:
@@ -149,7 +174,7 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
 
     composed = compose(task.program, task.inverse)
     desugared = desugar_program(composed)
-    template = build_template(task)
+    template = build_template(task, static_pruning=config.static_pruning)
     spec = task.derived_spec(desugared.decls)
 
     input_vars = {v: desugared.decls[v] for v in task.program.inputs}
@@ -160,9 +185,11 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
         conflict_budget=config.solver_conflict_budget,
     )
     constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
-    session = SolveSession(template.space)
+    session = SolveSession(template.space, prune_report=template.prune_report)
     stats = PinsStats(search_space_log2=template.space.log2_size())
     solve_stats = SolveStats()
+    if template.prune_report is not None:
+        solve_stats.indicators_pruned = template.prune_report.indicators_removed
 
     tests: List[Dict[str, Any]] = []
     seen = set()
@@ -185,6 +212,7 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
         max_unroll=config.max_unroll if config.max_unroll is not None else task.max_unroll,
         max_backtracks=config.max_backtracks,
         solver_conflict_budget=config.solver_conflict_budget,
+        const_pruning=config.static_pruning,
     )
     # The executor co-simulates the (growing) test pool for fast
     # feasibility checks; `tests` is shared by reference on purpose.
@@ -250,5 +278,8 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
     stats.candidates_tried = solve_stats.candidates_tried
     stats.blocked_by_screen = solve_stats.blocked_by_screen
     stats.blocked_by_check = solve_stats.blocked_by_check
+    stats.indicators_pruned = solve_stats.indicators_pruned
+    stats.symexec_smt_calls = executor.oracle.queries
+    stats.symexec_const_prunes = executor.const_prunes
     stats.time_total = time.perf_counter() - started
     return PinsResult(status, task, template, solutions, explored, tests, stats)

@@ -51,6 +51,8 @@ class SolveStats:
     candidates_tried: int = 0
     blocked_by_screen: int = 0
     blocked_by_check: int = 0
+    indicators_pruned: int = 0
+    """Indicator variables removed by static analysis before encoding."""
     sat_time: float = 0.0
     screen_time: float = 0.0
     check_time: float = 0.0
@@ -320,6 +322,9 @@ class SolveSession:
     check_cache: Dict[Tuple[tuple, str], str] = field(default_factory=dict)
     screen_cache: Dict[tuple, bool] = field(default_factory=dict)
     eager_done: Set[str] = field(default_factory=set)
+    prune_report: Optional[Any] = None
+    """The :class:`repro.analysis.prune.PruneReport` describing how the
+    space was shrunk before encoding (None when pruning was disabled)."""
 
     def __post_init__(self) -> None:
         self.enumerator = Enumerator(self.space)

@@ -60,3 +60,26 @@ class SynthesisTask:
         if self.spec is not None:
             return self.spec
         return InversionSpec.derive(self.program.inputs, self.inverse.outputs, decls)
+
+    def validate(self, strict: bool = False):
+        """Lint the task's program and template; the failing diagnostics.
+
+        Returns the list of :class:`repro.analysis.Diagnostic` findings
+        that should block a run (errors; warnings too under ``strict``).
+        ``ensure_valid`` raises instead.
+        """
+        from ..analysis.diagnostics import failing
+        from ..analysis.lint import lint_program, lint_template
+
+        diags = list(lint_program(self.program, externs=self.externs))
+        diags.extend(lint_template(self.program, self.inverse,
+                                   externs=self.externs))
+        return failing(diags, strict=strict)
+
+    def ensure_valid(self, strict: bool = False) -> None:
+        """Raise :class:`repro.analysis.AnalysisError` on a malformed task."""
+        from ..analysis.diagnostics import AnalysisError
+
+        bad = self.validate(strict=strict)
+        if bad:
+            raise AnalysisError(bad)

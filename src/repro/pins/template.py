@@ -48,7 +48,7 @@ class HoleSpace:
         matches ``x`` (the paper's templates are implicitly well-sorted;
         filtering also shrinks the search space honestly).
         """
-        from ..lang.types import candidate_fits
+        from ..analysis.sorts import candidate_fits
 
         expr_overrides = dict(expr_overrides or {})
         pred_overrides = dict(pred_overrides or {})
@@ -166,11 +166,29 @@ class Solution:
 
 @dataclass
 class SynthesisTemplate:
-    """The paper's template triple, with the inverse program attached."""
+    """The paper's template triple, with the inverse program attached.
+
+    Construction fails fast (:class:`repro.analysis.AnalysisError`) when
+    the template provably cannot write an output variable the identity
+    spec requires: no assignment targets it, the forward program never
+    produces it, and it is not an input."""
 
     program: Program
     inverse: Program
     space: HoleSpace
+    prune_report: Optional[object] = None
+    """Static-pruning accounting from ``build_template`` (None when
+    pruning was disabled)."""
+
+    def __post_init__(self) -> None:
+        from ..analysis.diagnostics import AnalysisError
+        from ..analysis.lint import check_writable_outputs
+
+        entry_defined = (frozenset(self.program.inputs)
+                         | ast.assigned_vars(self.program.body))
+        diags = check_writable_outputs(self.inverse, entry_defined)
+        if diags:
+            raise AnalysisError(diags)
 
     def instantiate(self, solution: Solution) -> Program:
         """Apply a solution to the inverse template (guarded form intact)."""

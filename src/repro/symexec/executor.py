@@ -55,6 +55,10 @@ class ExecConfig:
     max_backtracks: int = 20000
     check_feasibility: bool = True
     solver_conflict_budget: int = 50_000
+    const_pruning: Optional[bool] = None
+    """Fold ground guards through the static linear-form domain and
+    backtrack on statically-false prefixes without an SMT feasibility
+    call.  ``None`` defers to the ``REPRO_STATIC_PRUNING`` env var."""
 
 
 class _Backtrack(Exception):
@@ -161,9 +165,13 @@ class SymbolicExecutor:
             program.decls, externs, axioms,
             conflict_budget=self.config.solver_conflict_budget)
         self.seed_inputs = seed_inputs if seed_inputs is not None else []
+        from ..analysis.prune import static_pruning_enabled
+
+        self._const_pruning = static_pruning_enabled(self.config.const_pruning)
         self.backtracks = 0
         self.concrete_hits = 0
         self.smt_fallbacks = 0
+        self.const_prunes = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -183,7 +191,8 @@ class SymbolicExecutor:
         initial_vmap = {v: 0 for v in self.program.decls}
         envs = self._seed_envs()
         try:
-            return self._exec([self.program.body], [], initial_vmap, {}, [], envs)
+            return self._exec([self.program.body], [], initial_vmap, {}, [],
+                              envs, {})
         except _BudgetExhausted:
             return None
 
@@ -203,13 +212,18 @@ class SymbolicExecutor:
 
     def _exec(self, cont: List, items: List, vmap: Dict[str, int],
               unrolls: Dict[str, int], entries: List,
-              envs: List[Dict[str, object]]) -> Optional[Path]:
+              envs: List[Dict[str, object]],
+              consts: Dict[str, object]) -> Optional[Path]:
+        from ..lang.transform import substitute_pred
+        from ..analysis.fold import lin_pred
+
         cont = list(cont)
         items = list(items)
         vmap = dict(vmap)
         unrolls = dict(unrolls)
         entries = list(entries)
         envs = [dict(e) for e in envs]
+        consts = dict(consts)
         while cont:
             if len(items) > self.config.max_items:
                 self._note_backtrack()
@@ -218,11 +232,19 @@ class SymbolicExecutor:
             if isinstance(stmt, Seq):
                 cont.extend(reversed(stmt.stmts))
             elif isinstance(stmt, Assign):
-                self._do_assign(stmt, items, vmap, envs)
+                self._do_assign(stmt, items, vmap, envs, consts)
             elif isinstance(stmt, Assume):
                 pred = version_pred(stmt.pred, vmap)
                 items.append(Guard(pred))
-                envs = self._filter_envs(pred, envs)
+                ground = substitute_pred(pred, self._expr_sol, self._pred_sol)
+                if self._const_pruning and lin_pred(ground, consts) is False:
+                    # The guard is false under every valuation of the
+                    # symbolic bases: the prefix is infeasible, no SMT
+                    # feasibility call needed.
+                    self.const_prunes += 1
+                    self._note_backtrack()
+                    return None
+                envs = self._filter_envs(ground, envs)
                 if not envs:
                     feasible, env = self._prefix_feasible(items)
                     if not feasible:
@@ -235,7 +257,7 @@ class SymbolicExecutor:
                 self._rng.shuffle(branches)
                 for branch in branches:
                     result = self._exec(cont + [branch], items, vmap, unrolls,
-                                        entries, envs)
+                                        entries, envs, consts)
                     if result is not None:
                         return result
                 return None
@@ -252,12 +274,14 @@ class SymbolicExecutor:
                 self._rng.shuffle(options)
                 for option in options:
                     if option == "exit":
-                        result = self._exec(cont, items, vmap, unrolls, entries, envs)
+                        result = self._exec(cont, items, vmap, unrolls,
+                                            entries, envs, consts)
                     else:
                         new_unrolls = dict(unrolls)
                         new_unrolls[loop.loop_id] = count + 1
                         result = self._exec(cont + [_Reentry(loop), loop.body],
-                                            items, vmap, new_unrolls, entries, envs)
+                                            items, vmap, new_unrolls, entries,
+                                            envs, consts)
                     if result is not None:
                         return result
                 return None
@@ -295,13 +319,12 @@ class SymbolicExecutor:
                 pass  # type junk under this candidate: drop the sample
         envs[:] = kept
 
-    def _filter_envs(self, pred, envs: List[Dict[str, object]]
+    def _filter_envs(self, ground, envs: List[Dict[str, object]]
                      ) -> List[Dict[str, object]]:
+        """Keep the seed environments satisfying an already-ground guard."""
         from ..concrete.interp import InterpError
-        from ..lang.transform import substitute_pred
 
         interp = self._interpreter()
-        ground = substitute_pred(pred, self._expr_sol, self._pred_sol)
         kept = []
         for env in envs:
             try:
@@ -314,7 +337,9 @@ class SymbolicExecutor:
         return kept
 
     def _do_assign(self, stmt: Assign, items: List, vmap: Dict[str, int],
-                   envs: List[Dict[str, object]]) -> None:
+                   envs: List[Dict[str, object]],
+                   consts: Dict[str, object]) -> None:
+        from ..analysis.fold import lin_expr
         from ..lang.transform import substitute_expr
 
         # Evaluate all right-hand sides under the *old* version map.
@@ -323,8 +348,12 @@ class SymbolicExecutor:
             new_version = vmap.get(target, 0) + 1
             vmap[target] = new_version
             items.append(Def(target, new_version, expr))
-            self._update_envs(target, new_version,
-                              substitute_expr(expr, self._expr_sol), envs)
+            ground = substitute_expr(expr, self._expr_sol)
+            self._update_envs(target, new_version, ground, envs)
+            if self._const_pruning:
+                lin = lin_expr(ground, consts)
+                if lin is not None:
+                    consts[f"{target}#{new_version}"] = lin
 
     def _finish(self, items: List, vmap: Dict[str, int], entries: List) -> Optional[Path]:
         path = Path(tuple(items), ast.freeze_vmap(vmap), tuple(entries))

@@ -1,0 +1,199 @@
+"""CFG construction, dataflow fixpoints, and constant/linear folding."""
+
+from repro.lang import ast
+from repro.lang.ast import ArithOp, CmpOp, Sort
+from repro.lang.parser import parse_expr, parse_pred, parse_stmt
+from repro.analysis.cfg import ASSIGN, BRANCH, IN, OUT, build_cfg
+from repro.analysis.dataflow import (
+    ENTRY_SITE,
+    constant_propagation,
+    dead_stores,
+    definitely_defined,
+    live_variables,
+    reaching_definitions,
+)
+from repro.analysis.fold import Lin, const_expr, const_pred, lin_expr, lin_pred
+
+
+def node_of(cfg, kind, nth=0):
+    return [n for n in cfg.statement_nodes() if n.kind == kind][nth]
+
+
+# -- CFG shape ---------------------------------------------------------------
+
+
+def test_cfg_loop_shape_and_lines():
+    cfg = build_cfg(parse_stmt("""
+      in(x);
+      y := x + 1;
+      while (y > 0) { y := y - 1; }
+      out(y);
+    """))
+    in_node = node_of(cfg, IN)
+    first = node_of(cfg, ASSIGN, 0)
+    head = node_of(cfg, BRANCH)
+    body = node_of(cfg, ASSIGN, 1)
+    out = node_of(cfg, OUT)
+    # loc_of convention: in=1, assign=2, guard=3, body assign=4, out=5.
+    assert [in_node.line, first.line, head.line, body.line, out.line] == [1, 2, 3, 4, 5]
+    assert head.index in body.succs          # back edge
+    assert body.index in head.succs
+    assert out.index in head.succs           # loop exit
+    assert cfg.final in out.succs
+
+
+def test_cfg_parallel_assign_spans_lines():
+    cfg = build_cfg(parse_stmt("x, y := 1, 2; z := x;"))
+    first, second = (node_of(cfg, ASSIGN, 0), node_of(cfg, ASSIGN, 1))
+    assert first.line == 1 and second.line == 3
+    assert first.defs() == frozenset({"x", "y"})
+    assert second.uses() == frozenset({"x"})
+
+
+def test_cfg_branch_arms_rejoin():
+    cfg = build_cfg(parse_stmt(
+        "if (c > 0) { x := 1; } else { y := 2; } z := 3;"))
+    branch = node_of(cfg, BRANCH)
+    join = node_of(cfg, ASSIGN, 2)
+    assert branch.pred == parse_pred("c > 0")
+    assert len(branch.succs) == 2
+    assert sorted(join.preds) == sorted(
+        [node_of(cfg, ASSIGN, 0).index, node_of(cfg, ASSIGN, 1).index])
+
+
+def test_cfg_exit_reaches_final():
+    cfg = build_cfg(parse_stmt("x := 1; exit; y := 2;"))
+    exit_node = [n for n in cfg.statement_nodes() if n.kind == "exit"][0]
+    assert cfg.final in exit_node.succs
+    # The dead tail after `exit` has no predecessors.
+    tail = node_of(cfg, ASSIGN, 1)
+    assert tail.preds == []
+
+
+def test_cfg_diverging_body_keeps_final_reachable():
+    cfg = build_cfg(parse_stmt("while (0 < 1) { x := x + 1; }"))
+    assert cfg.nodes[cfg.final].preds  # entry fallback edge
+
+
+# -- dataflow ----------------------------------------------------------------
+
+
+def test_reaching_definitions_joins_paths():
+    cfg = build_cfg(parse_stmt("""
+      y := 1;
+      while (y < 9) { y := y + 1; }
+      out(y);
+    """))
+    out = node_of(cfg, OUT)
+    reaching = reaching_definitions(cfg)
+    sites = {site for (var, site) in reaching[out.index] if var == "y"}
+    assert sites == {node_of(cfg, ASSIGN, 0).index, node_of(cfg, ASSIGN, 1).index}
+
+
+def test_reaching_definitions_entry_pseudo_defs():
+    cfg = build_cfg(parse_stmt("y := x + 1;"))
+    assign = node_of(cfg, ASSIGN)
+    bare = reaching_definitions(cfg)
+    assert ("x", ENTRY_SITE) not in bare[assign.index]
+    seeded = reaching_definitions(cfg, entry_defined=("x",))
+    assert ("x", ENTRY_SITE) in seeded[assign.index]
+
+
+def test_definitely_defined_requires_all_paths():
+    cfg = build_cfg(parse_stmt(
+        "if (c > 0) { x := 1; } else { y := 2; } z := 3;"))
+    join = node_of(cfg, ASSIGN, 2)
+    must = definitely_defined(cfg, entry_defined=("c",))
+    assert must[join.index] == frozenset({"c"})
+    # May-analysis sees both, must-analysis neither.
+    may = {v for (v, _s) in reaching_definitions(cfg, ("c",))[join.index]}
+    assert {"x", "y"} <= may
+
+
+def test_live_variables_and_dead_stores():
+    cfg = build_cfg(parse_stmt("x := 1; y := x + 1; out(y);"))
+    second = node_of(cfg, ASSIGN, 1)
+    live = live_variables(cfg)
+    assert live[second.index] == frozenset({"x"})
+    assert dead_stores(cfg) == {}
+
+    overwritten = build_cfg(parse_stmt("x := 1; x := 2; out(x);"))
+    dead = dead_stores(overwritten)
+    assert dead == {node_of(overwritten, ASSIGN, 0).index: frozenset({"x"})}
+
+
+def test_dead_stores_skip_parallel_assigns():
+    cfg = build_cfg(parse_stmt("x, y := 1, 2; out(y);"))
+    assert dead_stores(cfg) == {}
+
+
+def test_constant_propagation_folds_and_kills():
+    cfg = build_cfg(parse_stmt("""
+      x := 1;
+      y := x + 2;
+      while (y > 0) { x := x + 1; y := y - 1; }
+      out(x);
+    """))
+    head = node_of(cfg, BRANCH)
+    consts = constant_propagation(cfg)
+    # At the loop head x/y are redefined in the body: no stable constant.
+    assert consts[head.index] == {}
+    # Before the loop, straight-line facts fold.
+    second = node_of(cfg, ASSIGN, 1)
+    assert consts[second.index] == {"x": 1}
+
+
+def test_constant_propagation_entry_facts_and_in_kill():
+    cfg = build_cfg(parse_stmt("in(x); y := x + 1;"))
+    assign = node_of(cfg, ASSIGN)
+    consts = constant_propagation(cfg, entry_consts={"x": 5})
+    # `in(x)` re-binds x to a fresh input: the entry fact must die.
+    assert consts[assign.index] == {}
+
+
+# -- folding -----------------------------------------------------------------
+
+
+def test_lin_expr_same_base_arithmetic():
+    env = {"x": Lin("n", 2)}
+    assert lin_expr(parse_expr("x + 3"), env) == Lin("n", 5)
+    assert lin_expr(parse_expr("x - x"), env) == Lin(None, 0)
+    assert lin_expr(parse_expr("0 * y"), env) == Lin(None, 0)
+    assert lin_expr(parse_expr("1 * x"), env) == Lin("n", 2)
+    assert lin_expr(parse_expr("y * y"), env) is None
+
+
+def test_lin_expr_division_is_floor_and_guarded():
+    div = ast.BinOp(ArithOp.DIV, ast.n(-7), ast.n(2))
+    mod = ast.BinOp(ArithOp.MOD, ast.n(-7), ast.n(2))
+    assert lin_expr(div, {}) == Lin(None, -4)   # floor toward -inf
+    assert lin_expr(mod, {}) == Lin(None, 1)
+    by_zero = ast.BinOp(ArithOp.DIV, ast.n(1), ast.n(0))
+    assert lin_expr(by_zero, {}) is None
+
+
+def test_lin_pred_same_base_comparison():
+    env = {"i": Lin("n", 1)}
+    # i = n+1 vs n: n+1 > n holds for every n.
+    assert lin_pred(ast.gt(ast.v("i"), ast.v("n")), env) is True
+    assert lin_pred(ast.le(ast.v("i"), ast.v("n")), env) is False
+    # Different bases: undecidable.
+    assert lin_pred(ast.lt(ast.v("i"), ast.v("m")), env) is None
+
+
+def test_lin_pred_three_valued_connectives():
+    env = {"x": Lin(None, 1)}
+    unknown = parse_pred("y < 3")
+    assert lin_pred(parse_pred("x = 1 && y < 3"), env) is None
+    assert lin_pred(parse_pred("x = 2 && y < 3"), env) is False
+    assert lin_pred(parse_pred("x = 1 || y < 3"), env) is True
+    assert lin_pred(parse_pred("x = 2 || y < 3"), env) is None
+    assert lin_pred(ast.negate(parse_pred("x = 1")), env) is False
+    assert lin_pred(unknown, env) is None
+
+
+def test_const_expr_and_pred_adapters():
+    assert const_expr(parse_expr("x * 3 + 1"), {"x": 2}) == 7
+    assert const_expr(parse_expr("x + y"), {"x": 2}) is None
+    assert const_pred(parse_pred("x < y"), {"x": 1, "y": 2}) is True
+    assert const_pred(parse_pred("x < y"), {"x": 1}) is None

@@ -1,0 +1,196 @@
+"""One unit test per linter diagnostic kind, plus suite-wide cleanliness."""
+
+import pytest
+
+from repro.lang.ast import Sort
+from repro.lang.parser import parse_program
+from repro.analysis.diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    ERROR,
+    INFO,
+    WARNING,
+    failing,
+    has_errors,
+    worst_severity,
+)
+from repro.analysis.lint import (
+    DEAD_STORE,
+    DECL_CONFLICT,
+    DUPLICATE_IO,
+    SORT_ERROR,
+    STATIC_FALSE,
+    STUCK_LOOP,
+    UNDECLARED_VAR,
+    UNWRITABLE_OUTPUT,
+    USE_BEFORE_DEF,
+    check_writable_outputs,
+    lint_program,
+    lint_template,
+)
+from repro.analysis.sorts import Signature
+from repro.analysis.suitelint import lint_suite, run_suite_lint
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+def only(diags, code):
+    found = [d for d in diags if d.code == code]
+    assert found, f"expected a {code} diagnostic in {[str(d) for d in diags]}"
+    return found[0]
+
+
+def test_use_before_def_located():
+    p = parse_program("program p [int x; int y] { y := x + 1; out(y); }")
+    d = only(lint_program(p), USE_BEFORE_DEF)
+    assert d.severity == ERROR
+    assert d.line == 1 and "'x'" in d.message
+    assert d.program == "p"
+
+
+def test_use_before_def_spares_arrays_and_inputs():
+    p = parse_program(
+        "program p [int x; array A] { in(x); A := upd(A, 0, x); out(A); }")
+    assert USE_BEFORE_DEF not in codes(lint_program(p))
+
+
+def test_sort_error_on_assignment_mismatch():
+    p = parse_program("program p [int x; array A] { in(A); x := A; out(x); }")
+    d = only(lint_program(p), SORT_ERROR)
+    assert d.severity == ERROR and d.line == 2
+    assert "ARRAY" in d.message and "'x'" in d.message
+
+
+def test_sort_error_line_within_parallel_assign():
+    p = parse_program(
+        "program p [int x; int y; array A] "
+        "{ in(A); x, y := 0, A; out(x); }")
+    d = only(lint_program(p), SORT_ERROR)
+    # Parallel assignment: first component is line 2, second line 3.
+    assert d.line == 3
+
+
+def test_sort_error_on_bad_extern_argument():
+    p = parse_program("program p [int x; array A] { in(A); x := f(A); out(x); }")
+    sigs = {"f": Signature((Sort.INT,), Sort.INT)}
+    d = only(lint_program(p, externs=sigs), SORT_ERROR)
+    assert d.severity == ERROR
+    # Without signatures the same call lints clean.
+    assert SORT_ERROR not in codes(lint_program(p))
+
+
+def test_unwritable_output():
+    p = parse_program("program p [int x; int y] { in(x); out(y); }")
+    d = only(lint_program(p), UNWRITABLE_OUTPUT)
+    assert d.severity == ERROR and "'y'" in d.message
+    # The fail-fast subset sees exactly the same finding.
+    sub = check_writable_outputs(p)
+    assert codes(sub) == [UNWRITABLE_OUTPUT]
+    # ... and entry_defined context clears it.
+    assert check_writable_outputs(p, entry_defined=("y",)) == []
+
+
+def test_undeclared_var_reported_once():
+    p = parse_program("program p [int x] { in(x); y := x; y := y + 1; out(y); }")
+    found = [d for d in lint_program(p) if d.code == UNDECLARED_VAR]
+    assert len(found) == 1 and "'y'" in found[0].message
+
+
+def test_decl_conflict_between_program_and_template():
+    prog = parse_program("program p [array A] { in(A); out(A); }")
+    inv = parse_program("program q [int A] { in(A); out(A); }")
+    d = only(lint_template(prog, inv), DECL_CONFLICT)
+    assert d.severity == ERROR and "'A'" in d.message
+
+
+def test_static_false_branch():
+    p = parse_program("""
+      program p [int x] {
+        in(x);
+        x := 1;
+        if (x > 5) { x := 2; } else { skip; }
+        out(x);
+      }
+    """)
+    d = only(lint_program(p), STATIC_FALSE)
+    assert d.severity == WARNING and d.line == 3
+
+
+def test_stuck_loop_warns_only_without_holes():
+    p = parse_program("""
+      program p [int x; int y] {
+        in(x);
+        y := 0;
+        while (x > 0) { y := y + 1; }
+        out(y);
+      }
+    """)
+    d = only(lint_program(p), STUCK_LOOP)
+    assert d.severity == WARNING and d.line == 3
+    holey = parse_program("""
+      program p [int x; int y] {
+        in(x);
+        y := 0;
+        while (x > 0) { y := [e1]; }
+        out(y);
+      }
+    """)
+    assert STUCK_LOOP not in codes(lint_program(holey))
+
+
+def test_duplicate_io_warning():
+    p = parse_program("program p [int x] { in(x); out(x); out(x); }")
+    d = only(lint_program(p), DUPLICATE_IO)
+    assert d.severity == WARNING and "out" in d.message
+
+
+def test_dead_store_info_gated_on_holes():
+    p = parse_program(
+        "program p [int x; int y] { in(x); y := 1; y := x; out(y); }")
+    d = only(lint_program(p), DEAD_STORE)
+    assert d.severity == INFO and d.line == 2
+    holey = parse_program(
+        "program p [int x; int y] { in(x); y := 1; y := [e1]; out(y); }")
+    assert DEAD_STORE not in codes(lint_program(holey))
+
+
+def test_template_lint_uses_forward_program_context():
+    prog = parse_program("program p [int x; int y] { in(x); y := x + 1; out(y); }")
+    inv = parse_program("program q [int x; int y] { x := y - 1; out(x); }")
+    # y is only "defined" because the forward program wrote it.
+    assert lint_template(prog, inv) == []
+    assert USE_BEFORE_DEF in codes(lint_program(inv))
+
+
+def test_diagnostic_rendering_and_filters():
+    d = Diagnostic(code="use-before-def", severity=ERROR,
+                   message="'x' is read", line=3, program="p",
+                   statement="y := x")
+    assert str(d) == "p:3: error [use-before-def] 'x' is read  (in `y := x`)"
+    w = Diagnostic(code="stuck-loop", severity=WARNING, message="m")
+    i = Diagnostic(code="dead-store", severity=INFO, message="m")
+    assert has_errors([d, w]) and not has_errors([w, i])
+    assert worst_severity([i, w]) == WARNING
+    assert failing([d, w, i]) == [d]
+    assert failing([d, w, i], strict=True) == [d, w]
+    err = AnalysisError([d])
+    assert err.diagnostics == (d,) and "use-before-def" in str(err)
+
+
+def test_suite_lints_clean_under_strict():
+    results = lint_suite()
+    assert len(results) >= 14
+    dirty = {name: [str(d) for d in failing(diags, strict=True)]
+             for name, diags in results.items()
+             if failing(diags, strict=True)}
+    assert dirty == {}
+
+
+def test_run_suite_lint_exit_code_and_report():
+    lines = []
+    code = run_suite_lint(names=["sumi"], strict=True, echo=lines.append)
+    assert code == 0
+    assert any("sumi: ok" in line for line in lines)
+    assert any(line.startswith("suite lint:") for line in lines)

@@ -1,0 +1,173 @@
+"""Static pruning of hole spaces and of symbolic-execution branches."""
+
+import random
+
+import pytest
+
+from repro.lang.ast import Sort
+from repro.lang.parser import parse_expr, parse_program, parse_stmt
+from repro.lang.transform import desugar_program
+from repro.analysis.prune import (
+    ENV_FLAG,
+    PruneReport,
+    prune_hole_space,
+    static_pruning_enabled,
+)
+from repro.pins.algorithm import PinsConfig, build_template, run_pins
+from repro.pins.template import HoleSpace
+from repro.suite import get_benchmark
+from repro.symexec.executor import ExecConfig, SymbolicExecutor
+
+INT = Sort.INT
+ARRAY = Sort.ARRAY
+
+
+def space_dict(space):
+    return {name: set(cands) for name, cands in space.expr_holes}
+
+
+# -- the switch ---------------------------------------------------------------
+
+
+def test_static_pruning_enabled_resolution(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    assert static_pruning_enabled() is True
+    monkeypatch.setenv(ENV_FLAG, "0")
+    assert static_pruning_enabled() is False
+    monkeypatch.setenv(ENV_FLAG, "off")
+    assert static_pruning_enabled() is False
+    # An explicit override always wins over the environment.
+    assert static_pruning_enabled(True) is True
+    monkeypatch.setenv(ENV_FLAG, "1")
+    assert static_pruning_enabled(False) is False
+
+
+# -- hole-space pruning -------------------------------------------------------
+
+
+def test_prune_drops_candidates_reading_undefined_scalars():
+    body = parse_stmt("y := [e1]; out(y);")
+    decls = {"x": INT, "y": INT, "z": INT}
+    space = HoleSpace(
+        expr_holes=(("e1", (parse_expr("x + 1"), parse_expr("z + 1"))),),
+        pred_holes=())
+    pruned, report = prune_hole_space(space, body, decls,
+                                      entry_defined=("x",))
+    assert space_dict(pruned)["e1"] == {parse_expr("x + 1")}
+    assert report.indicators_removed == 1
+    assert report.indicators_before == 2 and report.indicators_after == 1
+    assert "1/2" in report.describe().splitlines()[0]
+
+
+def test_prune_uses_nested_expected_sorts():
+    # The hole sits in an array index: only INT candidates can fit.
+    body = parse_stmt("A := upd(A, [e1], x); out(A);")
+    decls = {"A": ARRAY, "x": INT}
+    space = HoleSpace(
+        expr_holes=(("e1", (parse_expr("x"), parse_expr("A"))),),
+        pred_holes=())
+    pruned, _report = prune_hole_space(space, body, decls,
+                                       entry_defined=("A", "x"))
+    assert space_dict(pruned)["e1"] == {parse_expr("x")}
+
+
+def test_prune_pred_holes_by_definedness():
+    body = parse_stmt("if ([p1]) { y := x; } else { skip; } out(y);")
+    decls = {"x": INT, "y": INT, "w": INT}
+    from repro.lang.parser import parse_pred
+    space = HoleSpace(
+        expr_holes=(),
+        pred_holes=(("p1", (parse_pred("x > 0"), parse_pred("w > 0"))),))
+    pruned, report = prune_hole_space(space, body, decls,
+                                      entry_defined=("x",))
+    assert dict(pruned.pred_holes)["p1"] == (parse_pred("x > 0"),)
+    assert report.indicators_removed == 1
+
+
+def test_prune_never_empties_a_hole():
+    body = parse_stmt("y := [e1]; out(y);")
+    decls = {"y": INT, "z": INT}
+    original = (parse_expr("z + 1"),)
+    space = HoleSpace(expr_holes=(("e1", original),), pred_holes=())
+    pruned, report = prune_hole_space(space, body, decls)
+    # Every candidate looked prunable: keep the set, record a note.
+    assert space_dict(pruned)["e1"] == set(original)
+    assert report.indicators_removed == 0
+    assert report.notes and "e1" in report.notes[0]
+
+
+def test_prune_leaves_auxiliary_holes_alone():
+    body = parse_stmt("y := [e1]; out(y);")
+    decls = {"y": INT, "z": INT}
+    cands = (parse_expr("z + 1"),)
+    space = HoleSpace(expr_holes=(("e1", cands), ("rank!L1", cands)),
+                      pred_holes=(("inv!L1", ()),))
+    pruned, report = prune_hole_space(space, body, decls)
+    assert dict(pruned.expr_holes)["rank!L1"] == cands
+    assert all(h.hole == "e1" for h in report.holes)
+
+
+@pytest.mark.static_pruning
+def test_build_template_prunes_suite_benchmarks():
+    for name in ("runlength", "sumi"):
+        bench = get_benchmark(name)
+        full = build_template(bench.task, static_pruning=False)
+        pruned = build_template(bench.task, static_pruning=True)
+        assert full.prune_report is None
+        report = pruned.prune_report
+        assert isinstance(report, PruneReport)
+        assert report.indicators_removed > 0, name
+        # Pruned candidate sets are subsets of the full ones.
+        full_holes = space_dict(full.space)
+        for hole, cands in space_dict(pruned.space).items():
+            assert cands <= full_holes[hole], (name, hole)
+            assert cands, (name, hole)
+
+
+# -- executor branch pruning --------------------------------------------------
+
+
+def exec_program():
+    return desugar_program(parse_program("""
+      program t [int x; int y] {
+        in(x);
+        y := 1;
+        if (y > 2) { x := 0; } else { exit; }
+      }
+    """))
+
+
+def test_executor_skips_statically_false_branch_without_smt():
+    ex = SymbolicExecutor(exec_program(), config=ExecConfig(const_pruning=True))
+    path = ex.find_path({}, {}, set(), random.Random(0))
+    assert path is not None
+    assert ex.const_prunes == 1  # the y > 2 arm dies without a solver call
+    assert ex.oracle.queries == 1
+
+
+def test_executor_pruning_disabled_falls_back_to_smt():
+    ex = SymbolicExecutor(exec_program(), config=ExecConfig(const_pruning=False))
+    path = ex.find_path({}, {}, set(), random.Random(0))
+    assert path is not None
+    assert ex.const_prunes == 0
+    assert ex.oracle.queries == 2
+
+
+# -- end-to-end A/B -----------------------------------------------------------
+
+
+@pytest.mark.static_pruning
+def test_pins_sumi_identical_results_with_fewer_smt_calls():
+    bench = get_benchmark("sumi")
+    on = run_pins(bench.task, PinsConfig(seed=1, static_pruning=True))
+    off = run_pins(bench.task, PinsConfig(seed=1, static_pruning=False))
+    assert on.status == off.status == "stabilized"
+    # Compare the synthesized inverses; raw solution keys may differ in
+    # auxiliary rank!/inv! holes that never reach the instantiated program.
+    from repro.lang.pretty import pretty_program
+    assert ({pretty_program(p) for p in on.inverse_programs()}
+            == {pretty_program(p) for p in off.inverse_programs()})
+    assert on.stats.indicators_pruned > 0
+    assert off.stats.indicators_pruned == 0
+    assert on.stats.symexec_const_prunes > 0
+    assert on.stats.symexec_smt_calls <= off.stats.symexec_smt_calls

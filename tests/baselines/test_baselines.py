@@ -9,7 +9,7 @@ from repro.validate.bmc import BmcBounds
 
 def test_sketchlite_needs_bounds_and_solves():
     bench = get_benchmark("vector_shift")
-    template = build_template(bench.task)
+    template = build_template(bench.task, static_pruning=False)
     bounds = BmcBounds(array_size=1, value_range=(0, 1), scalar_range=(0, 1),
                        max_cases=100)
     result = run_sketchlite(bench.task, template, bounds, timeout=60)
@@ -23,7 +23,7 @@ def test_sketchlite_finitization_can_be_too_small():
     """With a trivial space (length-0 arrays only) wrong candidates pass —
     the same over-finitization hazard the paper describes for Sketch."""
     bench = get_benchmark("vector_shift")
-    template = build_template(bench.task)
+    template = build_template(bench.task, static_pruning=False)
     bounds = BmcBounds(array_size=0, value_range=(0, 0), scalar_range=(0, 0),
                        max_cases=10)
     result = run_sketchlite(bench.task, template, bounds, timeout=30)
@@ -32,14 +32,14 @@ def test_sketchlite_finitization_can_be_too_small():
 
 def test_sketchlite_unsupported_with_axioms():
     bench = get_benchmark("vector_rotate")
-    template = build_template(bench.task)
+    template = build_template(bench.task, static_pruning=False)
     assert run_sketchlite(bench.task, template, BmcBounds(),
                           timeout=5).status == "unsupported"
 
 
 def test_sketchlite_timeout_reported():
     bench = get_benchmark("sumi")
-    template = build_template(bench.task)
+    template = build_template(bench.task, static_pruning=False)
     bounds = BmcBounds(scalar_range=(0, 30), max_cases=40)
     result = run_sketchlite(bench.task, template, bounds, timeout=0.0)
     assert result.status == "timeout"

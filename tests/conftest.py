@@ -1,0 +1,39 @@
+"""Shared pytest configuration.
+
+``--no-static-pruning`` runs the whole suite with the static-analysis
+pruning layer disabled (candidate-space pruning in ``build_template``
+and constant-folding branch pruning in the symbolic executor), by
+setting ``REPRO_STATIC_PRUNING=0`` for the session.  Use it for A/B
+debugging: a test that fails only with pruning enabled points at the
+analysis layer, one that fails both ways does not.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-static-pruning", action="store_true", default=False,
+        help="disable the repro.analysis static pruning layer "
+             "(sets REPRO_STATIC_PRUNING=0 for the whole run)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "static_pruning: tests exercising the analysis pruning layer "
+        "(skipped under --no-static-pruning)")
+    if config.getoption("--no-static-pruning"):
+        os.environ["REPRO_STATIC_PRUNING"] = "0"
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--no-static-pruning"):
+        return
+    skip = pytest.mark.skip(
+        reason="pruning disabled via --no-static-pruning")
+    for item in items:
+        if "static_pruning" in item.keywords:
+            item.add_marker(skip)

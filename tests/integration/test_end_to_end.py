@@ -72,7 +72,7 @@ def test_path_explosion_matches_papers_story():
 
 def test_sketchlite_solves_vector_shift():
     bench = get_benchmark("vector_shift")
-    template = build_template(bench.task)
+    template = build_template(bench.task, static_pruning=False)
     bounds = BmcBounds(unroll=bench.task.bmc_unroll,
                        array_size=2, value_range=(0, 1), scalar_range=(0, 1),
                        max_cases=300)
@@ -82,6 +82,6 @@ def test_sketchlite_solves_vector_shift():
 
 def test_sketchlite_rejects_axiomatized_benchmarks():
     bench = get_benchmark("vector_scale")
-    template = build_template(bench.task)
+    template = build_template(bench.task, static_pruning=False)
     result = run_sketchlite(bench.task, template, BmcBounds(), timeout=5)
     assert result.status == "unsupported"

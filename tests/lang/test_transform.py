@@ -126,6 +126,60 @@ def test_compose_merges_decls_and_checks_conflicts():
         compose(p, bad)
 
 
+def test_rename_under_update_renames_every_occurrence():
+    e = parse_expr("upd(A, i, sel(A, j))")
+    assert rename_expr(e, {"A": "Ap", "i": "ip"}) == parse_expr("upd(Ap, ip, sel(Ap, j))")
+
+
+def test_rename_swap_is_simultaneous():
+    # {i -> j, j -> i} must not cascade: the renamed j is not renamed again.
+    e = parse_expr("upd(A, i, sel(A, j))")
+    assert rename_expr(e, {"i": "j", "j": "i"}) == parse_expr("upd(A, j, sel(A, i))")
+
+
+def test_substitute_under_update_fills_all_occurrences():
+    e = parse_expr("upd(A, [e1], [e1] + 1)")
+    out = substitute_expr(e, {"e1": parse_expr("i * 2")})
+    assert out == parse_expr("upd(A, i * 2, (i * 2) + 1)")
+    assert ast.expr_unknowns(out) == frozenset()
+
+
+def test_substituted_candidate_may_mention_target_vars():
+    # A candidate mentioning the updated array itself is inserted as-is;
+    # substitution has no binders, so nothing is renamed or captured.
+    e = parse_expr("upd(A, i, [e1])")
+    out = substitute_expr(e, {"e1": parse_expr("sel(A, i)")})
+    assert out == parse_expr("upd(A, i, sel(A, i))")
+
+
+def test_versioned_name_edge_cases():
+    assert versioned_name("x", 0) == "x#0"
+    assert unversioned_name("x#0") == "x"
+    # Re-versioning a versioned name still strips to the original base.
+    assert unversioned_name(versioned_name("x#4", 7)) == "x"
+    assert unversioned_name(unversioned_name("x#4#7")) == "x"
+
+
+def test_compose_merges_same_sort_shared_vars():
+    p = parse_program("program p [int x; array A] { in(A); x := sel(A, 0); out(x); }")
+    q = parse_program("program q [int x; array A] { in(x); A := upd(A, 0, x); out(A); }")
+    c = compose(p, q, name="both")
+    assert c.name == "both"
+    assert c.decls == {"x": ast.Sort.INT, "A": ast.Sort.ARRAY}
+    # Program body precedes template body, and an Exit is appended.
+    assigns = [s for s in ast.walk_stmts(c.body) if isinstance(s, ast.Assign)]
+    assert assigns[0].targets == ("x",) and assigns[1].targets == ("A",)
+    assert any(isinstance(s, ast.Exit) for s in ast.walk_stmts(c.body))
+
+
+def test_compose_keeps_existing_exit():
+    p = parse_program("program p [int x] { x := 1; }")
+    q = parse_program("program q [int x] { x := 2; exit; }")
+    c = compose(p, q)
+    exits = [s for s in ast.walk_stmts(c.body) if isinstance(s, ast.Exit)]
+    assert len(exits) == 1
+
+
 def test_loc_counts_like_the_paper():
     s = parse_stmt("""
       x, y := 1, 2;

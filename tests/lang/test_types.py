@@ -4,7 +4,7 @@ import pytest
 
 from repro.lang.ast import Sort
 from repro.lang.parser import parse_expr
-from repro.lang.types import SortError, candidate_fits, infer_expr_sort
+from repro.lang.types import Signature, SortError, candidate_fits, infer_expr_sort
 
 DECLS = {"x": Sort.INT, "A": Sort.ARRAY, "D": Sort.STRARRAY, "s": Sort.STR}
 
@@ -44,3 +44,30 @@ def test_candidate_fits():
 def test_update_element_mismatch():
     with pytest.raises(SortError):
         infer_expr_sort(parse_expr("upd(D, 0, 1)"), DECLS)
+
+
+def test_funapp_args_are_checked_with_signature():
+    sigs = {"f": Signature((Sort.INT,), Sort.STR)}
+    assert infer_expr_sort(parse_expr("f(x + 1)"), DECLS, sigs) is Sort.STR
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("f(A)"), DECLS, sigs)
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("f(x, x)"), DECLS, sigs)
+
+
+def test_funapp_args_are_checked_without_signature():
+    # Even with only a result sort (or nothing at all) known about f,
+    # ill-sorted argument subexpressions must still be rejected.
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("f(A + 1)"), DECLS, {"f": Sort.STR})
+    with pytest.raises(SortError):
+        infer_expr_sort(parse_expr("g(sel(x, 0))"), DECLS)
+    # Unknown-sort args are fine; only provably bad ones raise.
+    assert infer_expr_sort(parse_expr("f(mystery)"), DECLS, {"f": Sort.INT}) is Sort.INT
+
+
+def test_candidate_fits_rejects_bad_funapp_args():
+    sigs = {"f": Signature((Sort.ARRAY,), Sort.INT)}
+    assert candidate_fits(parse_expr("f(A)"), Sort.INT, DECLS, sigs)
+    assert not candidate_fits(parse_expr("f(x)"), Sort.INT, DECLS, sigs)
+    assert not candidate_fits(parse_expr("f(A + 1)"), Sort.INT, DECLS, {"f": Sort.INT})

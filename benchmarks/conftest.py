@@ -7,13 +7,42 @@ reduced iteration budgets here (the ``repro.experiments.runner`` CLI runs
 them at full budget).
 """
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace", action="store", default=None, metavar="PATH",
+        help="write a repro.obs JSONL trace of every synthesis run in this "
+             "benchmark session to PATH (equivalent to REPRO_TRACE=PATH); "
+             "inspect with `python -m repro.obs report PATH`")
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "static_pruning: A/B benchmarks for the repro.analysis pruning layer")
+    # One session-wide recorder so every bench_table*.py synthesis run
+    # lands in a single trace; run_pins sees an active recorder and does
+    # not open its own.
+    path = config.getoption("--trace") or os.environ.get("REPRO_TRACE")
+    if path:
+        from repro import obs
+
+        config._obs_recorder = obs.JsonlRecorder(path)
+        config._obs_restore = obs.set_recorder(config._obs_recorder)
+
+
+def pytest_unconfigure(config):
+    recorder = getattr(config, "_obs_recorder", None)
+    if recorder is not None:
+        from repro import obs
+
+        obs.set_recorder(getattr(config, "_obs_restore", None))
+        recorder.close()
+        config._obs_recorder = None
 
 
 # Benchmarks grouped by how long a PINS run takes on a laptop.

@@ -1,0 +1,60 @@
+"""Structured observability for the synthesizer (spans/counters/traces).
+
+Quick use::
+
+    from repro import obs
+
+    with obs.span("pins.solve"):
+        obs.count("solve.candidate")
+
+By default events go nowhere (near-zero overhead).  Set
+``REPRO_TRACE=trace.jsonl`` (or ``PinsConfig.trace``) to persist them,
+then inspect with ``python -m repro.obs report trace.jsonl``.
+"""
+
+from .core import (
+    ENV_TRACE,
+    JsonlRecorder,
+    KIND_COUNTER,
+    KIND_HIST,
+    KIND_MARK,
+    KIND_SPAN,
+    Metrics,
+    NULL_RECORDER,
+    Recorder,
+    SPAN_SEP,
+    Span,
+    active,
+    count,
+    current_metrics,
+    current_span,
+    mark,
+    observe,
+    recorder,
+    recorder_from_env,
+    set_recorder,
+    span,
+    tracing_enabled,
+    use_metrics,
+)
+from .report import (
+    HistSummary,
+    SpanNode,
+    TraceError,
+    TraceSummary,
+    load_trace,
+    parse_events,
+    render_summary,
+    report,
+    summarize,
+)
+
+__all__ = [
+    "ENV_TRACE", "JsonlRecorder", "KIND_COUNTER", "KIND_HIST", "KIND_MARK",
+    "KIND_SPAN", "Metrics", "NULL_RECORDER", "Recorder", "SPAN_SEP", "Span",
+    "active", "count", "current_metrics", "current_span", "mark", "observe",
+    "recorder", "recorder_from_env", "set_recorder", "span",
+    "tracing_enabled", "use_metrics",
+    "HistSummary", "SpanNode", "TraceError", "TraceSummary", "load_trace",
+    "parse_events", "render_summary", "report", "summarize",
+]

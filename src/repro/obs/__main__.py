@@ -1,0 +1,69 @@
+"""Command line: ``python -m repro.obs report trace.jsonl``.
+
+Renders the per-phase time/count summary of a JSONL trace produced by
+``REPRO_TRACE=trace.jsonl`` (or ``PinsConfig.trace``).  Exit status:
+0 on success, 1 for a malformed trace, 2 for a missing file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import TraceError, load_trace, render_summary, summarize
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro observability traces.")
+    sub = ap.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser("report", help="summarize a JSONL trace")
+    rep.add_argument("trace", help="path to the trace file")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the aggregates as JSON instead of text")
+    args = ap.parse_args(argv)
+
+    try:
+        events = load_trace(args.trace)
+    except OSError as exc:
+        print(f"{args.trace}: cannot read: {exc}", file=sys.stderr)
+        return 2
+    except TraceError as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize(events)
+    try:
+        _print_summary(summary, as_json=args.json)
+    except BrokenPipeError:
+        # e.g. `... report trace.jsonl | head`; not an error.
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+def _print_summary(summary, as_json: bool) -> None:
+    if as_json:
+        import json
+
+        def node_dict(node):
+            return {"count": node.count, "total": node.total,
+                    "self": node.self_time,
+                    "children": {k: node_dict(v)
+                                 for k, v in node.children.items()}}
+
+        print(json.dumps({
+            "events": summary.events,
+            "spans": {k: node_dict(v) for k, v in summary.roots.items()},
+            "counters": summary.counters,
+            "hists": {k: {"count": h.count, "mean": h.mean,
+                          "min": h.minimum, "max": h.maximum}
+                      for k, h in summary.hists.items()},
+        }, indent=2))
+    else:
+        print(render_summary(summary))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""The observability core: spans, counters, histograms, recorders.
+
+Every hot loop in the synthesizer (SAT search, SMT feasibility checks,
+guided symbolic execution, the PINS iteration itself) reports to this
+module through three primitives:
+
+* :func:`span` — a context manager measuring the wall time of a
+  hierarchical phase (``span("pins.solve")`` nested inside
+  ``span("pins.run")``); the dotted names form a path that the trace
+  reporter reassembles into a tree.
+* :func:`count` — a named monotonic counter increment
+  (``count("smt.sat.decisions", d)``).
+* :func:`observe` — one sample of a named distribution
+  (``observe("pins.solutions", len(sols))``).
+
+Two sinks consume these events:
+
+* a per-run :class:`Metrics` aggregate (installed by
+  :func:`use_metrics`), which totals timers/counters/histograms in
+  memory.  ``PinsStats`` is derived from it at the end of a run, so the
+  stats object and the trace can never disagree.
+* an optional :class:`Recorder`.  The default :data:`NULL_RECORDER`
+  drops everything; :class:`JsonlRecorder` appends one JSON object per
+  event — ``{ts, span, kind, name, value}`` — to a file.  It is enabled
+  by ``REPRO_TRACE=path.jsonl`` or ``PinsConfig.trace``.
+
+When neither sink is installed the primitives reduce to a single
+attribute check (see :func:`active`), which keeps the disabled-path
+overhead near zero.  The module is deliberately not thread-safe: the
+synthesizer is single-threaded, and keeping the state a few plain module
+attributes is what makes the no-op path cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+ENV_TRACE = "REPRO_TRACE"
+
+SPAN_SEP = "/"
+"""Separator between nested span names in the event ``span`` field
+(span names themselves use dots, e.g. ``pins.solve``)."""
+
+KIND_SPAN = "span"
+KIND_COUNTER = "counter"
+KIND_HIST = "hist"
+KIND_MARK = "mark"
+
+
+class Recorder:
+    """Event sink base class; the base instance is the no-op recorder."""
+
+    enabled = False
+
+    def emit(self, ts: float, span: str, kind: str, name: str, value: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_RECORDER = Recorder()
+
+
+class JsonlRecorder(Recorder):
+    """Appends one event per line: ``{ts, span, kind, name, value}``.
+
+    ``ts`` is seconds since this recorder was opened (monotonic clock).
+    Files are opened in append mode so several runs pointed at the same
+    ``REPRO_TRACE`` path accumulate into one trace.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[TextIO] = open(path, "a", encoding="utf-8")
+        self._t0 = time.perf_counter()
+        self.events_written = 0
+
+    def emit(self, ts: float, span: str, kind: str, name: str, value: Any) -> None:
+        if self._fh is None:
+            return
+        event = {"ts": round(ts - self._t0, 9), "span": span,
+                 "kind": kind, "name": name, "value": value}
+        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+
+class Metrics:
+    """In-memory totals for one run: timers, counters, histograms.
+
+    Timers are keyed by span *name* (not path), so a span entered from
+    several places — or once per iteration — totals across all of them.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+        self.timer_counts: Dict[str, int] = {}
+        self.hists: Dict[str, List[float]] = {}
+
+    def add(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        self.timer_counts[name] = self.timer_counts.get(name, 0) + 1
+
+    def observe(self, name: str, value: float) -> None:
+        self.hists.setdefault(name, []).append(value)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def timer(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "hists": {k: list(v) for k, v in self.hists.items()},
+        }
+
+
+# -- module state -----------------------------------------------------------
+
+_recorder: Recorder = NULL_RECORDER
+_metrics: List[Metrics] = []
+_span_stack: List[str] = []
+_active: bool = False
+
+
+def _refresh_active() -> None:
+    global _active
+    _active = _recorder.enabled or bool(_metrics)
+
+
+def active() -> bool:
+    """True when any sink (recorder or metrics) is installed."""
+    return _active
+
+
+def tracing_enabled() -> bool:
+    """True when events are being *persisted* (recorder, not just metrics)."""
+    return _recorder.enabled
+
+
+def recorder() -> Recorder:
+    return _recorder
+
+
+def set_recorder(rec: Optional[Recorder]) -> Recorder:
+    """Install ``rec`` (or the null recorder for None); returns the old one."""
+    global _recorder
+    old = _recorder
+    _recorder = rec if rec is not None else NULL_RECORDER
+    _refresh_active()
+    return old
+
+
+def recorder_from_env(env: Optional[Dict[str, str]] = None) -> Optional[JsonlRecorder]:
+    """A :class:`JsonlRecorder` for ``$REPRO_TRACE``, or None if unset."""
+    env = env if env is not None else os.environ  # type: ignore[assignment]
+    path = env.get(ENV_TRACE, "").strip()
+    if not path:
+        return None
+    return JsonlRecorder(path)
+
+
+def current_metrics() -> Optional[Metrics]:
+    return _metrics[-1] if _metrics else None
+
+
+def current_span() -> str:
+    return SPAN_SEP.join(_span_stack)
+
+
+class use_metrics:
+    """Context manager installing a per-run :class:`Metrics` aggregate."""
+
+    def __init__(self, metrics: Metrics):
+        self.metrics = metrics
+
+    def __enter__(self) -> Metrics:
+        _metrics.append(self.metrics)
+        _refresh_active()
+        return self.metrics
+
+    def __exit__(self, *exc) -> None:
+        _metrics.remove(self.metrics)
+        _refresh_active()
+
+
+class Span:
+    """A timed hierarchical phase.  Use via :func:`span`.
+
+    The measured ``duration`` is available after exit, so callers that
+    keep their own accumulators (e.g. ``SolveStats``) read the *same*
+    measurement the trace records.
+    """
+
+    __slots__ = ("name", "duration", "_t0", "_live")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.duration = 0.0
+        self._t0 = 0.0
+        self._live = False
+
+    def __enter__(self) -> "Span":
+        if _active:
+            _span_stack.append(self.name)
+            self._live = True
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.duration = time.perf_counter() - self._t0
+        if not self._live:
+            return
+        self._live = False
+        if _metrics:
+            _metrics[-1].time(self.name, self.duration)
+        if _recorder.enabled:
+            _recorder.emit(time.perf_counter(), SPAN_SEP.join(_span_stack),
+                           KIND_SPAN, self.name, self.duration)
+        # Pop after emitting so the span event carries its own path.
+        _span_stack.pop()
+
+
+def span(name: str) -> Span:
+    """A context manager timing one phase; nests to form the span tree."""
+    return Span(name)
+
+
+def count(name: str, value: int = 1) -> None:
+    """Increment a monotonic counter (no-op unless a sink is installed)."""
+    if not _active:
+        return
+    if _metrics:
+        _metrics[-1].add(name, value)
+    if _recorder.enabled:
+        _recorder.emit(time.perf_counter(), SPAN_SEP.join(_span_stack),
+                       KIND_COUNTER, name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample of a distribution (histogram)."""
+    if not _active:
+        return
+    if _metrics:
+        _metrics[-1].observe(name, value)
+    if _recorder.enabled:
+        _recorder.emit(time.perf_counter(), SPAN_SEP.join(_span_stack),
+                       KIND_HIST, name, value)
+
+
+def mark(name: str, value: Any) -> None:
+    """Emit a point event (e.g. a query fingerprint).  Trace-only: marks
+    carry identifying payloads, not aggregable numbers, so they bypass
+    :class:`Metrics`."""
+    if _recorder.enabled:
+        _recorder.emit(time.perf_counter(), SPAN_SEP.join(_span_stack),
+                       KIND_MARK, name, value)

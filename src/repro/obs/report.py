@@ -1,0 +1,200 @@
+"""Aggregate a JSONL trace into per-phase time/count summaries.
+
+The trace is a stream of ``{ts, span, kind, name, value}`` events (see
+:mod:`repro.obs.core`).  This module rebuilds the span tree from the
+``span`` paths, totals wall time per node, computes *self* time (node
+total minus its children's totals), and tallies counters and histogram
+samples — everything ``python -m repro.obs report trace.jsonl`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from .core import KIND_COUNTER, KIND_HIST, KIND_MARK, KIND_SPAN, SPAN_SEP
+
+
+class TraceError(ValueError):
+    """A trace line could not be parsed or is missing required fields."""
+
+
+REQUIRED_FIELDS = ("ts", "span", "kind", "name", "value")
+
+
+def parse_events(lines: Iterable[str]) -> List[Dict[str, Any]]:
+    """Parse trace lines, validating the event schema."""
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(event, dict):
+            raise TraceError(f"line {lineno}: event is not an object")
+        missing = [k for k in REQUIRED_FIELDS if k not in event]
+        if missing:
+            raise TraceError(f"line {lineno}: missing fields {missing}")
+        events.append(event)
+    return events
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_events(fh)
+
+
+@dataclass
+class SpanNode:
+    """One node of the aggregated span tree (keyed by full path)."""
+
+    path: str
+    name: str
+    count: int = 0
+    total: float = 0.0
+    children: Dict[str, "SpanNode"] = field(default_factory=dict)
+
+    @property
+    def child_total(self) -> float:
+        return sum(c.total for c in self.children.values())
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.total - self.child_total)
+
+
+@dataclass
+class HistSummary:
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    roots: Dict[str, SpanNode]
+    counters: Dict[str, int]
+    hists: Dict[str, HistSummary]
+    marks: Dict[str, int]
+    events: int
+
+    def node(self, path: str) -> Optional[SpanNode]:
+        parts = path.split(SPAN_SEP)
+        nodes = self.roots
+        found: Optional[SpanNode] = None
+        for part in parts:
+            found = nodes.get(part)
+            if found is None:
+                return None
+            nodes = found.children
+        return found
+
+    def total_time(self) -> float:
+        return sum(n.total for n in self.roots.values())
+
+    def phase_times(self, root: str) -> Dict[str, float]:
+        """Total time per direct child phase of ``root`` (summed over
+        every occurrence of the root span)."""
+        node = self.node(root)
+        if node is None:
+            return {}
+        return {name: child.total for name, child in node.children.items()}
+
+
+def summarize(events: Sequence[Dict[str, Any]]) -> TraceSummary:
+    roots: Dict[str, SpanNode] = {}
+    counters: Dict[str, int] = {}
+    hists: Dict[str, HistSummary] = {}
+    marks: Dict[str, int] = {}
+    for event in events:
+        kind = event["kind"]
+        if kind == KIND_SPAN:
+            parts = [p for p in str(event["span"]).split(SPAN_SEP) if p]
+            if not parts:
+                parts = [str(event["name"])]
+            nodes = roots
+            node: Optional[SpanNode] = None
+            prefix: List[str] = []
+            for part in parts:
+                prefix.append(part)
+                node = nodes.setdefault(
+                    part, SpanNode(path=SPAN_SEP.join(prefix), name=part))
+                nodes = node.children
+            assert node is not None
+            node.count += 1
+            node.total += float(event["value"])
+        elif kind == KIND_COUNTER:
+            name = str(event["name"])
+            counters[name] = counters.get(name, 0) + int(event["value"])
+        elif kind == KIND_HIST:
+            hists.setdefault(str(event["name"]), HistSummary()).add(
+                float(event["value"]))
+        elif kind == KIND_MARK:
+            name = str(event["name"])
+            marks[name] = marks.get(name, 0) + 1
+    return TraceSummary(roots=roots, counters=counters, hists=hists,
+                        marks=marks, events=len(events))
+
+
+def _walk(node: SpanNode, depth: int) -> Iterable[Tuple[int, SpanNode]]:
+    yield depth, node
+    for child in sorted(node.children.values(), key=lambda n: -n.total):
+        yield from _walk(child, depth + 1)
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The human-readable report: span tree, counters, histograms."""
+    lines: List[str] = []
+    total = summary.total_time()
+    lines.append(f"trace: {summary.events} events, "
+                 f"{total:.3f}s total span time")
+    lines.append("")
+    lines.append(f"{'span':<44} {'count':>7} {'total':>10} "
+                 f"{'self':>10} {'%':>6}")
+    lines.append("-" * 80)
+    for root in sorted(summary.roots.values(), key=lambda n: -n.total):
+        for depth, node in _walk(root, 0):
+            label = "  " * depth + node.name
+            pct = 100.0 * node.total / total if total else 0.0
+            lines.append(f"{label:<44} {node.count:>7} {node.total:>10.4f} "
+                         f"{node.self_time:>10.4f} {pct:>5.1f}%")
+    if summary.counters:
+        lines.append("")
+        lines.append(f"{'counter':<54} {'total':>12}")
+        lines.append("-" * 67)
+        for name in sorted(summary.counters):
+            lines.append(f"{name:<54} {summary.counters[name]:>12}")
+    if summary.hists:
+        lines.append("")
+        lines.append(f"{'histogram':<38} {'count':>7} {'mean':>10} "
+                     f"{'min':>9} {'max':>9}")
+        lines.append("-" * 76)
+        for name in sorted(summary.hists):
+            h = summary.hists[name]
+            lines.append(f"{name:<38} {h.count:>7} {h.mean:>10.3f} "
+                         f"{h.minimum:>9.3f} {h.maximum:>9.3f}")
+    if summary.marks:
+        lines.append("")
+        for name in sorted(summary.marks):
+            lines.append(f"marks: {name} x{summary.marks[name]}")
+    return "\n".join(lines)
+
+
+def report(path: str) -> str:
+    """Load, summarize, and render a trace file."""
+    return render_summary(summarize(load_trace(path)))

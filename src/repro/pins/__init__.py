@@ -5,10 +5,13 @@ from .algorithm import (
     NO_SOLUTION,
     PATHS_EXHAUSTED,
     STABILIZED,
+    STATS_COUNTER_MAP,
     PinsConfig,
     PinsResult,
     PinsStats,
+    StatsInconsistency,
     build_template,
+    check_stats_invariants,
     run_pins,
 )
 from .checker import HOLDS, UNKNOWN, VIOLATED, CheckOutcome, ConstraintChecker

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..concrete.testgen import freeze_input
 from ..lang import ast
 from ..lang.transform import compose, desugar_program
@@ -67,6 +68,11 @@ class PinsConfig:
     """Use the dataflow analyses to shrink hole candidate sets and skip
     statically-infeasible symexec branches.  ``None`` defers to the
     ``REPRO_STATIC_PRUNING`` env var (default: enabled)."""
+    trace: Optional[str] = None
+    """Write a JSONL observability trace of this run to the given path
+    (appending).  ``None`` defers to the ``REPRO_TRACE`` env var; when
+    neither is set the no-op recorder is used and tracing costs nothing.
+    See :mod:`repro.obs`."""
 
 
 @dataclass
@@ -101,6 +107,53 @@ class PinsStats:
         }
 
 
+class StatsInconsistency(AssertionError):
+    """A :class:`PinsStats` field disagrees with the obs counter it is
+    supposed to mirror (the two are updated at distinct call sites)."""
+
+
+STATS_COUNTER_MAP = (
+    ("iterations", "pins.iteration"),
+    ("paths_explored", "pins.path"),
+    ("candidates_tried", "solve.candidate"),
+    ("blocked_by_screen", "solve.blocked_screen"),
+    ("blocked_by_check", "solve.blocked_check"),
+    ("symexec_smt_calls", "symexec.smt_query"),
+    ("symexec_const_prunes", "symexec.const_prune"),
+)
+"""(PinsStats attribute, obs counter name) pairs that must agree at the
+end of a run: the left side is accumulated by the legacy stats plumbing,
+the right side by the obs instrumentation."""
+
+
+def check_stats_invariants(stats: PinsStats, metrics: obs.Metrics) -> None:
+    """Assert that ``stats`` is consistent with the run's obs counters.
+
+    Runs automatically at the end of :func:`run_pins` whenever tracing is
+    enabled (``REPRO_TRACE`` / ``PinsConfig.trace``), so any counter drift
+    between the two accounting paths fails loudly instead of silently
+    skewing the experiment tables.  Raises :class:`StatsInconsistency`.
+    """
+    for attr, counter in STATS_COUNTER_MAP:
+        expected = metrics.counter(counter)
+        actual = getattr(stats, attr)
+        if actual != expected:
+            raise StatsInconsistency(
+                f"PinsStats.{attr} = {actual} but obs counter "
+                f"{counter!r} = {expected}")
+    blocked = stats.blocked_by_screen + stats.blocked_by_check
+    if stats.candidates_tried < blocked:
+        raise StatsInconsistency(
+            f"candidates_tried = {stats.candidates_tried} < blocked "
+            f"candidates {blocked}")
+    phase_sum = (stats.time_symexec + stats.time_smt_reduction
+                 + stats.time_sat + stats.time_pickone)
+    if phase_sum > stats.time_total * 1.01 + 1e-6:
+        raise StatsInconsistency(
+            f"phase times sum to {phase_sum:.6f}s, exceeding total "
+            f"{stats.time_total:.6f}s")
+
+
 @dataclass
 class PinsResult:
     status: str
@@ -110,6 +163,9 @@ class PinsResult:
     explored: List[Path]
     tests: List[Dict[str, Any]]
     stats: PinsStats
+    metrics: Optional[obs.Metrics] = None
+    """The run's raw observability aggregate (always present for runs
+    made through :func:`run_pins`); ``stats`` is derived from it."""
 
     def inverse_programs(self) -> List[ast.Program]:
         return [self.template.instantiate(s) for s in self.solutions]
@@ -167,58 +223,87 @@ def build_template(task: SynthesisTask,
 
 
 def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsResult:
-    """Run PINS on a synthesis task."""
+    """Run PINS on a synthesis task.
+
+    Each run is wrapped in a ``pins.run`` observability span; a JSONL
+    trace recorder is installed for the run's duration when
+    ``config.trace`` is set (or ``REPRO_TRACE``, unless a recorder is
+    already active — e.g. one installed by the benchmark harness).
+    """
     config = config or PinsConfig()
+    restore: Optional[obs.Recorder] = None
+    run_recorder: Optional[obs.JsonlRecorder] = None
+    if config.trace:
+        run_recorder = obs.JsonlRecorder(config.trace)
+        restore = obs.set_recorder(run_recorder)
+    elif not obs.tracing_enabled():
+        run_recorder = obs.recorder_from_env()
+        if run_recorder is not None:
+            restore = obs.set_recorder(run_recorder)
+    metrics = obs.Metrics()
+    try:
+        with obs.use_metrics(metrics), obs.span("pins.run"):
+            return _run_pins(task, config, metrics)
+    finally:
+        if restore is not None:
+            obs.set_recorder(restore)
+            assert run_recorder is not None
+            run_recorder.close()
+
+
+def _run_pins(task: SynthesisTask, config: PinsConfig,
+              metrics: obs.Metrics) -> PinsResult:
     rng = random.Random(config.seed)
     started = time.perf_counter()
 
-    composed = compose(task.program, task.inverse)
-    desugared = desugar_program(composed)
-    template = build_template(task, static_pruning=config.static_pruning)
-    spec = task.derived_spec(desugared.decls)
+    with obs.span("pins.setup"):
+        composed = compose(task.program, task.inverse)
+        desugared = desugar_program(composed)
+        template = build_template(task, static_pruning=config.static_pruning)
+        spec = task.derived_spec(desugared.decls)
 
-    input_vars = {v: desugared.decls[v] for v in task.program.inputs}
-    length_hints = {arr: ln for arr, _out, ln in spec.array_pairs}
-    checker = ConstraintChecker(
-        desugared.decls, task.externs, task.axioms + task.input_axioms,
-        input_vars=input_vars, length_hints=length_hints,
-        conflict_budget=config.solver_conflict_budget,
-    )
-    constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
-    session = SolveSession(template.space, prune_report=template.prune_report)
-    stats = PinsStats(search_space_log2=template.space.log2_size())
-    solve_stats = SolveStats()
-    if template.prune_report is not None:
-        solve_stats.indicators_pruned = template.prune_report.indicators_removed
+        input_vars = {v: desugared.decls[v] for v in task.program.inputs}
+        length_hints = {arr: ln for arr, _out, ln in spec.array_pairs}
+        checker = ConstraintChecker(
+            desugared.decls, task.externs, task.axioms + task.input_axioms,
+            input_vars=input_vars, length_hints=length_hints,
+            conflict_budget=config.solver_conflict_budget,
+        )
+        constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
+        session = SolveSession(template.space, prune_report=template.prune_report)
+        stats = PinsStats(search_space_log2=template.space.log2_size())
+        solve_stats = SolveStats()
+        if template.prune_report is not None:
+            solve_stats.indicators_pruned = template.prune_report.indicators_removed
 
-    tests: List[Dict[str, Any]] = []
-    seen = set()
-    for candidate in task.initial_inputs:
-        key = freeze_input(candidate)
-        if key not in seen:
-            seen.add(key)
-            tests.append(dict(candidate))
-    if task.input_gen is not None:
-        for _ in range(config.initial_tests * 3):
-            if len(tests) >= config.initial_tests + len(task.initial_inputs):
-                break
-            candidate = task.input_gen(rng)
+        tests: List[Dict[str, Any]] = []
+        seen = set()
+        for candidate in task.initial_inputs:
             key = freeze_input(candidate)
             if key not in seen:
                 seen.add(key)
-                tests.append(candidate)
+                tests.append(dict(candidate))
+        if task.input_gen is not None:
+            for _ in range(config.initial_tests * 3):
+                if len(tests) >= config.initial_tests + len(task.initial_inputs):
+                    break
+                candidate = task.input_gen(rng)
+                key = freeze_input(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    tests.append(candidate)
 
-    exec_config = ExecConfig(
-        max_unroll=config.max_unroll if config.max_unroll is not None else task.max_unroll,
-        max_backtracks=config.max_backtracks,
-        solver_conflict_budget=config.solver_conflict_budget,
-        const_pruning=config.static_pruning,
-    )
-    # The executor co-simulates the (growing) test pool for fast
-    # feasibility checks; `tests` is shared by reference on purpose.
-    executor = SymbolicExecutor(desugared, task.externs,
-                                task.axioms + task.input_axioms, exec_config,
-                                seed_inputs=tests)
+        exec_config = ExecConfig(
+            max_unroll=config.max_unroll if config.max_unroll is not None else task.max_unroll,
+            max_backtracks=config.max_backtracks,
+            solver_conflict_budget=config.solver_conflict_budget,
+            const_pruning=config.static_pruning,
+        )
+        # The executor co-simulates the (growing) test pool for fast
+        # feasibility checks; `tests` is shared by reference on purpose.
+        executor = SymbolicExecutor(desugared, task.externs,
+                                    task.axioms + task.input_axioms, exec_config,
+                                    seed_inputs=tests)
 
     explored: List[Path] = []
     chooser = pick_one if config.use_infeasible_heuristic else pick_random
@@ -227,52 +312,64 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
     solutions: List[Solution] = []
 
     for _ in range(config.max_iterations):
-        stats.iterations += 1
-        solutions = solve(session, constraints, checker, tests,
-                          config.m, solve_stats,
-                          max_candidates=config.max_candidates_per_solve,
-                          precondition=task.precondition)
-        if not solutions:
-            status = NO_SOLUTION
-            break
-        if last_size is not None and len(solutions) == last_size \
-                and len(solutions) < config.m:
-            status = STABILIZED
-            break
-        last_size = len(solutions)
+        with obs.span("pins.iteration"):
+            stats.iterations += 1
+            obs.count("pins.iteration")
+            with obs.span("pins.solve"):
+                solutions = solve(session, constraints, checker, tests,
+                                  config.m, solve_stats,
+                                  max_candidates=config.max_candidates_per_solve,
+                                  precondition=task.precondition)
+            obs.observe("pins.solutions", len(solutions))
+            if not solutions:
+                status = NO_SOLUTION
+                break
+            if last_size is not None and len(solutions) == last_size \
+                    and len(solutions) < config.m:
+                status = STABILIZED
+                break
+            last_size = len(solutions)
 
-        start = time.perf_counter()
-        chosen = chooser(solutions, explored, checker, rng)
-        stats.time_pickone += time.perf_counter() - start
+            with obs.span("pins.pickone"):
+                chosen = chooser(solutions, explored, checker, rng)
 
-        start = time.perf_counter()
-        path = executor.find_path(chosen.expr_map, chosen.pred_map,
-                                  set(explored), rng)
-        if path is None:
-            # The chosen solution admits no fresh path within budget; try
-            # the other candidates (and fresh randomization) before giving
-            # up — any fresh feasible path still refines the space.
-            for other in solutions:
-                if other is chosen:
-                    continue
-                path = executor.find_path(other.expr_map, other.pred_map,
+            with obs.span("pins.symexec"):
+                path = executor.find_path(chosen.expr_map, chosen.pred_map,
                                           set(explored), rng)
-                if path is not None:
-                    break
-        stats.time_symexec += time.perf_counter() - start
-        if path is None:
-            status = PATHS_EXHAUSTED
-            break
-        explored.append(path)
-        constraints.append(safepath(path, spec, label=f"path{len(explored)}"))
-        constraints.extend(init_constraints(path, desugared.body,
-                                            label_prefix=f"path{len(explored)}"))
+                if path is None:
+                    # The chosen solution admits no fresh path within
+                    # budget; try the other candidates (and fresh
+                    # randomization) before giving up — any fresh feasible
+                    # path still refines the space.
+                    for other in solutions:
+                        if other is chosen:
+                            continue
+                        path = executor.find_path(other.expr_map, other.pred_map,
+                                                  set(explored), rng)
+                        if path is not None:
+                            break
+            if path is None:
+                status = PATHS_EXHAUSTED
+                break
+            explored.append(path)
+            obs.count("pins.path")
+            obs.observe("pins.frontier", len(explored))
+            constraints.append(safepath(path, spec, label=f"path{len(explored)}"))
+            constraints.extend(init_constraints(path, desugared.body,
+                                                label_prefix=f"path{len(explored)}"))
 
+    # PinsStats is *derived* from the run's obs metrics (timers) and the
+    # solve/executor accumulators (counters); check_stats_invariants
+    # asserts the two bookkeeping paths agree whenever tracing is on.
     stats.paths_explored = len(explored)
     stats.num_solutions = len(solutions)
     stats.tests_generated = len(tests)
-    stats.time_sat = solve_stats.sat_time
-    stats.time_smt_reduction = solve_stats.check_time + solve_stats.screen_time
+    stats.time_pickone = metrics.timer("pins.pickone")
+    stats.time_symexec = metrics.timer("pins.symexec")
+    stats.time_sat = metrics.timer("solve.sat")
+    stats.time_smt_reduction = (metrics.timer("solve.screen")
+                                + metrics.timer("solve.check")
+                                + metrics.timer("solve.eager"))
     stats.sat_vars = solve_stats.sat_vars
     stats.sat_clauses = solve_stats.sat_clauses
     stats.candidates_tried = solve_stats.candidates_tried
@@ -282,4 +379,7 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
     stats.symexec_smt_calls = executor.oracle.queries
     stats.symexec_const_prunes = executor.const_prunes
     stats.time_total = time.perf_counter() - started
-    return PinsResult(status, task, template, solutions, explored, tests, stats)
+    if obs.tracing_enabled():
+        check_stats_invariants(stats, metrics)
+    return PinsResult(status, task, template, solutions, explored, tests,
+                      stats, metrics=metrics)

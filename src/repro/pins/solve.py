@@ -21,10 +21,10 @@ consequences of C, which only grows).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..concrete.interp import Interpreter, InterpError
 from ..concrete.testgen import freeze_input
 from ..concrete.values import coerce_input, default_value
@@ -389,25 +389,26 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
     # -- eager semantic encoding (the paper's VS3-style SMT->SAT reduction):
     # constraints over few holes (termination, invariant-init) are compiled
     # into SAT clauses up front by checking every relevant combination.
-    start = time.perf_counter()
-    for constraint in constraints:
-        if constraint.label in session.eager_done or constraint.kind == "safepath":
-            continue
-        holes = set(constraint.relevant)
-        if _combo_count(session.space, holes) > eager_limit:
-            continue
-        for partial in _combos_over(session.space, holes):
-            outcome = checker.check(constraint, partial)
-            if outcome.status == VIOLATED:
-                session.persistent_clauses.append(enum.exact_block(partial, holes))
-        session.eager_done.add(constraint.label)
-    stats.check_time += time.perf_counter() - start
+    with obs.span("solve.eager") as eager_span:
+        for constraint in constraints:
+            if constraint.label in session.eager_done or constraint.kind == "safepath":
+                continue
+            holes = set(constraint.relevant)
+            if _combo_count(session.space, holes) > eager_limit:
+                continue
+            for partial in _combos_over(session.space, holes):
+                outcome = checker.check(constraint, partial)
+                if outcome.status == VIOLATED:
+                    session.persistent_clauses.append(enum.exact_block(partial, holes))
+            session.eager_done.add(constraint.label)
+    stats.check_time += eager_span.duration
 
     sat = enum.fresh_solver(session.persistent_clauses)
 
     def learn(clause: List[int], persist: bool = True) -> None:
         if persist:
             session.persistent_clauses.append(clause)
+        obs.observe("solve.block_len", len(clause))
         sat.add_clause(clause)
 
     def block_with_observation(constraint: Constraint, solution: Solution,
@@ -423,9 +424,9 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
 
     candidates = 0
     while len(solutions) < m and candidates < max_candidates:
-        start = time.perf_counter()
-        sat_result = sat.solve()
-        stats.sat_time += time.perf_counter() - start
+        with obs.span("solve.sat") as sat_span:
+            sat_result = sat.solve()
+        stats.sat_time += sat_span.duration
         stats.sat_vars = sat.num_vars
         stats.sat_clauses = sat.num_clauses()
         if not sat_result:
@@ -433,59 +434,63 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         solution = enum.decode(sat.model())
         candidates += 1
         stats.candidates_tried += 1
+        obs.count("solve.candidate")
 
         # -- tier 1: concrete screening -----------------------------------
-        start = time.perf_counter()
-        screen_failure: Optional[Tuple[Constraint, Dict[str, Any]]] = None
-        for constraint in safepaths:
-            restricted = _restricted_key(solution, constraint.relevant)
-            for t_idx, test in enumerate(tests):
-                skey = (constraint.label, restricted, t_idx)
-                passed = session.screen_cache.get(skey)
-                if passed is None:
-                    passed = checker.screen(constraint, solution, test)
-                    session.screen_cache[skey] = passed
-                if not passed:
-                    screen_failure = (constraint, test)
+        with obs.span("solve.screen") as screen_span:
+            screen_failure: Optional[Tuple[Constraint, Dict[str, Any]]] = None
+            for constraint in safepaths:
+                restricted = _restricted_key(solution, constraint.relevant)
+                for t_idx, test in enumerate(tests):
+                    skey = (constraint.label, restricted, t_idx)
+                    passed = session.screen_cache.get(skey)
+                    if passed is None:
+                        passed = checker.screen(constraint, solution, test)
+                        session.screen_cache[skey] = passed
+                    if not passed:
+                        screen_failure = (constraint, test)
+                        break
+                if screen_failure:
                     break
-            if screen_failure:
-                break
-        stats.screen_time += time.perf_counter() - start
+        stats.screen_time += screen_span.duration
         if screen_failure:
             stats.blocked_by_screen += 1
+            obs.count("solve.blocked_screen")
             block_with_observation(screen_failure[0], solution, screen_failure[1])
             continue
 
         # -- tier 2: full SMT checks ---------------------------------------
-        start = time.perf_counter()
-        failed = False
-        for constraint in constraints:
-            if constraint.label in session.eager_done:
-                continue  # compiled into SAT clauses already
-            cache_key = (_restricted_key(solution, constraint.relevant),
-                         constraint.label)
-            cached = session.check_cache.get(cache_key)
-            if cached in (HOLDS, UNKNOWN):
-                continue
-            outcome = checker.check(constraint, solution)
-            if outcome.status == VIOLATED:
-                failed = True
-                stats.blocked_by_check += 1
-                if outcome.counterexample is not None:
-                    if constraint.kind == "safepath" and (
-                            precondition is None
-                            or precondition(outcome.counterexample)):
-                        key = freeze_input(outcome.counterexample)
-                        if key not in test_keys:
-                            test_keys.add(key)
-                            tests.append(outcome.counterexample)
-                    block_with_observation(constraint, solution,
-                                           outcome.counterexample)
-                else:
-                    learn(enum.exact_block(solution, set(constraint.relevant)))
-                break
-            session.check_cache[cache_key] = outcome.status
-        stats.check_time += time.perf_counter() - start
+        with obs.span("solve.check") as check_span:
+            failed = False
+            for constraint in constraints:
+                if constraint.label in session.eager_done:
+                    continue  # compiled into SAT clauses already
+                cache_key = (_restricted_key(solution, constraint.relevant),
+                             constraint.label)
+                cached = session.check_cache.get(cache_key)
+                if cached in (HOLDS, UNKNOWN):
+                    continue
+                outcome = checker.check(constraint, solution)
+                if outcome.status == VIOLATED:
+                    failed = True
+                    stats.blocked_by_check += 1
+                    obs.count("solve.blocked_check")
+                    if outcome.counterexample is not None:
+                        if constraint.kind == "safepath" and (
+                                precondition is None
+                                or precondition(outcome.counterexample)):
+                            key = freeze_input(outcome.counterexample)
+                            if key not in test_keys:
+                                test_keys.add(key)
+                                tests.append(outcome.counterexample)
+                                obs.count("solve.counterexample")
+                        block_with_observation(constraint, solution,
+                                               outcome.counterexample)
+                    else:
+                        learn(enum.exact_block(solution, set(constraint.relevant)))
+                    break
+                session.check_cache[cache_key] = outcome.status
+        stats.check_time += check_span.duration
         if failed:
             continue
 
@@ -494,6 +499,7 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         if program_key not in seen_programs:
             seen_programs.add(program_key)
             solutions.append(solution)
+            obs.count("solve.accepted")
         # Block this program (not persisted: it is a valid solution).
         learn(_program_block(enum, solution), persist=False)
     return solutions

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import obs
+
 
 class SatStats:
     """Counters exposed for the experiment tables (|SAT|, etc.)."""
@@ -269,6 +271,21 @@ class SatSolver:
         Returns True (SAT), False (UNSAT), or None if ``max_conflicts`` was
         exhausted.  On SAT the model is readable via :meth:`model`.
         """
+        if not obs.active():
+            return self._solve(max_conflicts)
+        s = self.stats
+        d0, p0 = s.decisions, s.propagations
+        c0, r0 = s.conflicts, s.restarts
+        with obs.span("smt.sat.solve"):
+            result = self._solve(max_conflicts)
+        obs.count("smt.sat.solves")
+        obs.count("smt.sat.decisions", s.decisions - d0)
+        obs.count("smt.sat.propagations", s.propagations - p0)
+        obs.count("smt.sat.conflicts", s.conflicts - c0)
+        obs.count("smt.sat.restarts", s.restarts - r0)
+        return result
+
+    def _solve(self, max_conflicts: Optional[int] = None) -> Optional[bool]:
         if not self._ok:
             return False
         self._qhead = 0

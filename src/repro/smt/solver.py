@@ -23,8 +23,10 @@ short-lived queries; construction is cheap).  The solving loop is:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from .. import obs
 from . import arrays as arrays_mod
 from . import lia as lia_mod
 from .cnf import CnfBuilder
@@ -52,6 +54,60 @@ from .terms import (
 SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
+
+
+def query_theories(formulas: Iterable[Term]) -> str:
+    """Classify a query by the theories its terms exercise.
+
+    Returns a stable ``+``-joined label (``"euf+lia"``, ``"arrays+lia"``,
+    ``"prop"`` for pure boolean structure) used to bucket trace counters.
+    """
+    has_lia = has_euf = has_arrays = False
+    seen: Set[int] = set()
+    for f in formulas:
+        for t in subterms(f):
+            if t.id in seen:
+                continue
+            seen.add(t.id)
+            if t.op in (Op.ADD, Op.MUL_CONST, Op.MUL, Op.DIV, Op.MOD, Op.LE):
+                has_lia = True
+            elif t.op == Op.APP:
+                has_euf = True
+            elif t.op in (Op.SELECT, Op.STORE):
+                has_arrays = True
+    parts = [name for name, present in
+             (("arrays", has_arrays), ("euf", has_euf), ("lia", has_lia))
+             if present]
+    return "+".join(parts) if parts else "prop"
+
+
+def query_fingerprint(formulas: Iterable[Term]) -> str:
+    """A structural hash of a query, stable across processes.
+
+    Two queries with identical assertion structure (same ops, payloads,
+    and argument shapes, in the same order) share a fingerprint, which is
+    what makes trace fingerprints usable as a cache key for a future
+    query-result cache.
+    """
+    digests: Dict[int, bytes] = {}
+
+    def digest(t: Term) -> bytes:
+        hit = digests.get(t.id)
+        if hit is not None:
+            return hit
+        h = hashlib.sha1()
+        h.update(str(t.op).encode())
+        if t.payload is not None:
+            h.update(b"|" + repr(t.payload).encode())
+        for arg in t.args:
+            h.update(digest(arg))
+        d = h.digest()
+        digests[t.id] = d
+        return d
+    h = hashlib.sha1()
+    for f in formulas:
+        h.update(digest(f))
+    return h.hexdigest()[:16]
 
 
 class SolverStats:
@@ -142,6 +198,23 @@ class Solver:
     # -- main loop ----------------------------------------------------------------
 
     def check(self) -> str:
+        if not obs.active():
+            return self._check()
+        if obs.tracing_enabled():
+            # Classification and fingerprinting walk every subterm, so
+            # they only run when a trace is actually being persisted.
+            obs.count(f"smt.queries.theory.{query_theories(self.assertions)}")
+            obs.mark("smt.fingerprint", query_fingerprint(self.assertions))
+        lemmas0 = self.stats.lemmas
+        with obs.span("smt.check"):
+            result = self._check()
+        obs.count("smt.queries")
+        obs.count(f"smt.queries.{result}")
+        obs.count("smt.conflict_lemmas", self.stats.lemmas - lemmas0)
+        obs.count("smt.theory_rounds", self.stats.theory_rounds)
+        return result
+
+    def _check(self) -> str:
         formulas = self._preprocess()
         sat = SatSolver()
         builder = CnfBuilder(sat)

@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from .. import smt
+from .. import obs, smt
 from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
 from ..lang import ast
 from ..lang.ast import (
@@ -105,15 +105,18 @@ class FeasibilityOracle:
         key = tuple(ground_preds)
         hit = self._cache.get(key)
         if hit is not None:
+            obs.count("symexec.cache_hit")
             return hit
         self.queries += 1
+        obs.count("symexec.smt_query")
         solver = smt.Solver(axioms=self.axioms,
                             sat_conflict_budget=self.conflict_budget)
         status = smt.UNKNOWN
         try:
-            for pred in ground_preds:
-                solver.add(self.translator.pred(pred))
-            status = solver.check()
+            with obs.span("symexec.feasibility"):
+                for pred in ground_preds:
+                    solver.add(self.translator.pred(pred))
+                status = solver.check()
         except Exception:
             status = smt.UNKNOWN
         env: Optional[Dict] = None
@@ -242,6 +245,7 @@ class SymbolicExecutor:
                     # symbolic bases: the prefix is infeasible, no SMT
                     # feasibility call needed.
                     self.const_prunes += 1
+                    obs.count("symexec.const_prune")
                     self._note_backtrack()
                     return None
                 envs = self._filter_envs(ground, envs)
@@ -334,6 +338,7 @@ class SymbolicExecutor:
                 pass
         if kept:
             self.concrete_hits += 1
+            obs.count("symexec.concrete_hit")
         return kept
 
     def _do_assign(self, stmt: Assign, items: List, vmap: Dict[str, int],
@@ -358,8 +363,11 @@ class SymbolicExecutor:
     def _finish(self, items: List, vmap: Dict[str, int], entries: List) -> Optional[Path]:
         path = Path(tuple(items), ast.freeze_vmap(vmap), tuple(entries))
         if path in self._avoid:
+            obs.count("symexec.avoid_hit")
             self._note_backtrack()
             return None
+        obs.count("symexec.path_found")
+        obs.observe("symexec.path_len", len(items))
         return path
 
     def _prefix_feasible(self, items: List):
@@ -371,6 +379,7 @@ class SymbolicExecutor:
 
     def _note_backtrack(self) -> None:
         self.backtracks += 1
+        obs.count("symexec.backtrack")
         if self.backtracks > self.config.max_backtracks:
             raise _BudgetExhausted()
 

@@ -1,0 +1,123 @@
+"""Unit tests for the observability core: spans, counters, recorders."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    """Every test starts and ends with the null recorder installed."""
+    old = obs.set_recorder(None)
+    yield
+    obs.set_recorder(old)
+
+
+def test_disabled_by_default_and_span_still_times():
+    assert not obs.active()
+    assert not obs.tracing_enabled()
+    with obs.span("x") as sp:
+        pass
+    assert sp.duration >= 0.0
+    # No sinks: counters/observes are no-ops and must not raise.
+    obs.count("nothing")
+    obs.observe("nothing", 1.0)
+    obs.mark("nothing", "x")
+    assert obs.current_metrics() is None
+
+
+def test_metrics_collects_counters_timers_hists():
+    metrics = obs.Metrics()
+    with obs.use_metrics(metrics):
+        assert obs.active()
+        assert not obs.tracing_enabled()
+        obs.count("c", 2)
+        obs.count("c")
+        obs.observe("h", 1.5)
+        obs.observe("h", 2.5)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                assert obs.current_span() == "outer/inner"
+    assert metrics.counter("c") == 3
+    assert metrics.counter("missing") == 0
+    assert metrics.hists["h"] == [1.5, 2.5]
+    assert metrics.timer("outer") >= metrics.timer("inner") >= 0.0
+    assert metrics.timer_counts["inner"] == 1
+    snap = metrics.snapshot()
+    assert snap["counters"]["c"] == 3
+    assert not obs.active()
+
+
+def test_nested_metrics_innermost_wins():
+    outer, inner = obs.Metrics(), obs.Metrics()
+    with obs.use_metrics(outer):
+        obs.count("a")
+        with obs.use_metrics(inner):
+            obs.count("a")
+        obs.count("a")
+    assert outer.counter("a") == 2
+    assert inner.counter("a") == 1
+
+
+def test_jsonl_recorder_schema(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    rec = obs.JsonlRecorder(path)
+    obs.set_recorder(rec)
+    assert obs.tracing_enabled()
+    with obs.span("pins.run"):
+        obs.count("solve.candidate", 3)
+        obs.observe("pins.solutions", 7)
+        obs.mark("smt.fingerprint", "deadbeef")
+        with obs.span("pins.solve"):
+            pass
+    obs.set_recorder(None)
+    rec.close()
+
+    lines = [json.loads(line) for line in open(path)]
+    assert len(lines) == 5
+    for event in lines:
+        assert set(event) == {"ts", "span", "kind", "name", "value"}
+        assert event["ts"] >= 0.0
+    by_kind = {}
+    for event in lines:
+        by_kind.setdefault(event["kind"], []).append(event)
+    assert by_kind[obs.KIND_COUNTER][0]["name"] == "solve.candidate"
+    assert by_kind[obs.KIND_COUNTER][0]["value"] == 3
+    assert by_kind[obs.KIND_COUNTER][0]["span"] == "pins.run"
+    assert by_kind[obs.KIND_HIST][0]["value"] == 7
+    assert by_kind[obs.KIND_MARK][0]["value"] == "deadbeef"
+    # Span events carry their own path; the inner one closes first.
+    spans = by_kind[obs.KIND_SPAN]
+    assert spans[0]["span"] == "pins.run/pins.solve"
+    assert spans[1]["span"] == "pins.run"
+    assert spans[1]["value"] >= spans[0]["value"] >= 0.0
+
+
+def test_jsonl_recorder_appends(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    for _ in range(2):
+        rec = obs.JsonlRecorder(path)
+        obs.set_recorder(rec)
+        with obs.span("run"):
+            pass
+        obs.set_recorder(None)
+        rec.close()
+    assert len(open(path).read().splitlines()) == 2
+
+
+def test_recorder_from_env(tmp_path):
+    path = str(tmp_path / "env.jsonl")
+    assert obs.recorder_from_env({}) is None
+    assert obs.recorder_from_env({obs.ENV_TRACE: "  "}) is None
+    rec = obs.recorder_from_env({obs.ENV_TRACE: path})
+    assert isinstance(rec, obs.JsonlRecorder)
+    rec.close()
+
+
+def test_set_recorder_returns_previous():
+    first = obs.Recorder()
+    old = obs.set_recorder(first)
+    assert old is obs.NULL_RECORDER
+    assert obs.set_recorder(None) is first

@@ -1,0 +1,96 @@
+"""Tests for trace parsing, aggregation, and the report CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceError,
+    parse_events,
+    render_summary,
+    summarize,
+)
+from repro.obs.__main__ import main as obs_main
+
+
+def _event(span, kind, name, value, ts=0.0):
+    return json.dumps({"ts": ts, "span": span, "kind": kind,
+                       "name": name, "value": value})
+
+
+SAMPLE = [
+    _event("pins.run/pins.iteration/pins.solve", "span", "pins.solve", 0.2),
+    _event("pins.run/pins.iteration", "span", "pins.iteration", 0.3),
+    _event("pins.run/pins.iteration/pins.solve", "span", "pins.solve", 0.1),
+    _event("pins.run/pins.iteration", "span", "pins.iteration", 0.2),
+    _event("pins.run", "span", "pins.run", 0.6),
+    _event("pins.run", "counter", "solve.candidate", 5),
+    _event("pins.run", "counter", "solve.candidate", 2),
+    _event("pins.run", "hist", "pins.solutions", 4),
+    _event("pins.run", "hist", "pins.solutions", 10),
+    _event("pins.run", "mark", "smt.fingerprint", "abc123"),
+]
+
+
+def test_summarize_builds_span_tree():
+    summary = summarize(parse_events(SAMPLE))
+    assert summary.events == len(SAMPLE)
+    root = summary.node("pins.run")
+    assert root.count == 1
+    assert root.total == pytest.approx(0.6)
+    iteration = summary.node("pins.run/pins.iteration")
+    assert iteration.count == 2
+    assert iteration.total == pytest.approx(0.5)
+    solve = summary.node("pins.run/pins.iteration/pins.solve")
+    assert solve.total == pytest.approx(0.3)
+    assert iteration.self_time == pytest.approx(0.2)
+    assert root.self_time == pytest.approx(0.1)
+    assert summary.node("pins.run/missing") is None
+    assert summary.phase_times("pins.run") == {
+        "pins.iteration": pytest.approx(0.5)}
+    assert summary.counters["solve.candidate"] == 7
+    hist = summary.hists["pins.solutions"]
+    assert (hist.count, hist.minimum, hist.maximum) == (2, 4, 10)
+    assert hist.mean == pytest.approx(7.0)
+    assert summary.marks["smt.fingerprint"] == 1
+
+
+def test_render_summary_mentions_every_section():
+    text = render_summary(summarize(parse_events(SAMPLE)))
+    for needle in ("pins.run", "pins.iteration", "pins.solve",
+                   "solve.candidate", "pins.solutions", "smt.fingerprint"):
+        assert needle in text
+
+
+def test_parse_rejects_bad_lines():
+    with pytest.raises(TraceError):
+        parse_events(["not json"])
+    with pytest.raises(TraceError):
+        parse_events(['["an", "array"]'])
+    with pytest.raises(TraceError):
+        parse_events(['{"ts": 0, "kind": "span"}'])  # missing fields
+    assert parse_events(["", "   "]) == []
+
+
+def test_cli_report(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    trace.write_text("\n".join(SAMPLE) + "\n")
+    assert obs_main(["report", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "pins.run" in out and "solve.candidate" in out
+
+
+def test_cli_report_json(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    trace.write_text("\n".join(SAMPLE) + "\n")
+    assert obs_main(["report", "--json", str(trace)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counters"]["solve.candidate"] == 7
+    assert payload["spans"]["pins.run"]["children"]["pins.iteration"]["count"] == 2
+
+
+def test_cli_missing_file_and_bad_trace(tmp_path, capsys):
+    assert obs_main(["report", str(tmp_path / "absent.jsonl")]) == 2
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("oops\n")
+    assert obs_main(["report", str(bad)]) == 1

@@ -1,0 +1,131 @@
+"""End-to-end observability tests: traced PINS runs on real benchmarks.
+
+Covers the acceptance bar for the obs layer: a traced ``sumi`` run emits
+a parseable JSONL trace whose per-phase times account for the run's wall
+time, the report renders it, traces are deterministic for a fixed seed
+(modulo timestamps), and PinsStats is consistent with the trace counters.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.pins import (
+    PinsConfig,
+    PinsStats,
+    StatsInconsistency,
+    check_stats_invariants,
+    run_pins,
+)
+from repro.suite import get_benchmark
+
+
+def run_sumi(trace_path=None, seed=1):
+    task = get_benchmark("sumi").task
+    config = PinsConfig(m=10, max_iterations=25, seed=seed,
+                        trace=str(trace_path) if trace_path else None)
+    return run_pins(task, config)
+
+
+def test_traced_sumi_run_meets_acceptance(tmp_path):
+    trace = tmp_path / "sumi.jsonl"
+    result = run_sumi(trace)
+    assert result.succeeded
+
+    events = obs.load_trace(str(trace))  # parses & validates the schema
+    assert events, "trace is empty"
+    summary = obs.summarize(events)
+
+    # Per-phase wall time (direct children of pins.run) accounts for at
+    # least 90% of the run's total wall time.
+    root = summary.node("pins.run")
+    assert root is not None and root.count == 1
+    phases = summary.phase_times("pins.run")
+    assert set(phases) >= {"pins.setup", "pins.iteration"}
+    assert sum(phases.values()) >= 0.9 * root.total
+    assert root.total == pytest.approx(result.stats.time_total, rel=0.25)
+
+    # The report renders and names the hot phases.
+    text = obs.render_summary(summary)
+    for needle in ("pins.run", "pins.iteration", "pins.solve", "solve.sat",
+                   "smt.check", "solve.candidate", "smt.sat.decisions"):
+        assert needle in text
+
+    # Counters for every instrumented subsystem made it into the trace.
+    for counter in ("pins.iteration", "pins.path", "solve.candidate",
+                    "smt.queries", "smt.sat.decisions", "smt.sat.propagations"):
+        assert summary.counters.get(counter, 0) > 0, counter
+    assert summary.marks.get("smt.fingerprint", 0) > 0
+    # Theory-bucketed query counts only exist while tracing; they must
+    # total to the overall query count.
+    theory_total = sum(v for k, v in summary.counters.items()
+                      if k.startswith("smt.queries.theory."))
+    assert theory_total == summary.counters["smt.queries"]
+
+
+def _canonical(trace_path):
+    """Trace bytes with wall-clock information normalized away."""
+    lines = []
+    for line in open(trace_path):
+        event = json.loads(line)
+        del event["ts"]
+        if event["kind"] == obs.KIND_SPAN:
+            event["value"] = 0.0
+        lines.append(json.dumps(event, sort_keys=True))
+    return "\n".join(lines).encode()
+
+
+def test_trace_determinism_for_fixed_seed(tmp_path):
+    first = tmp_path / "a.jsonl"
+    second = tmp_path / "b.jsonl"
+    r1 = run_sumi(first)
+    r2 = run_sumi(second)
+    assert r1.status == r2.status
+    assert _canonical(first) == _canonical(second)
+    # Different seeds take different trajectories (sanity: the canonical
+    # form is not insensitive to the run).
+    third = tmp_path / "c.jsonl"
+    run_sumi(third, seed=5)
+    assert _canonical(first) != _canonical(third)
+
+
+def test_traced_run_checks_stats_invariants(tmp_path):
+    # run_pins performs the check itself when tracing; re-run it here
+    # explicitly against the returned metrics to make that observable.
+    result = run_sumi(tmp_path / "t.jsonl")
+    assert result.metrics is not None
+    check_stats_invariants(result.stats, result.metrics)
+
+
+def test_untraced_run_still_agrees_with_metrics():
+    result = run_sumi(trace_path=None)
+    assert result.metrics is not None
+    check_stats_invariants(result.stats, result.metrics)
+    # Times in PinsStats are the metrics timers, by construction.
+    assert result.stats.time_sat == result.metrics.timer("solve.sat")
+    assert result.stats.time_pickone == result.metrics.timer("pins.pickone")
+
+
+def test_stats_invariant_violations_raise():
+    metrics = obs.Metrics()
+    metrics.add("pins.iteration", 3)
+    stats = PinsStats(iterations=3)
+    check_stats_invariants(stats, metrics)  # consistent: no raise
+
+    stats.iterations = 2  # drifted counter
+    with pytest.raises(StatsInconsistency, match="pins.iteration"):
+        check_stats_invariants(stats, metrics)
+
+    stats.iterations = 3
+    metrics.add("solve.blocked_screen", 5)
+    stats.blocked_by_screen = 5  # more blocks than candidates tried
+    with pytest.raises(StatsInconsistency, match="candidates_tried"):
+        check_stats_invariants(stats, metrics)
+
+    metrics.add("solve.candidate", 5)
+    stats.candidates_tried = 5
+    stats.time_total = 1.0
+    stats.time_sat = 2.0  # phases exceed the total
+    with pytest.raises(StatsInconsistency, match="phase times"):
+        check_stats_invariants(stats, metrics)

@@ -1,0 +1,93 @@
+"""Query-cache / worker-pool A/B: serial baseline vs cached+parallel PINS.
+
+For each benchmark the harness runs PINS three times — serial with no
+cache, cold-cache (populating a disk tier in a temp dir), and warm-cache
+(re-reading that tier) — and reports wall times, cache hit rates, and
+the warm-over-baseline speedup.  The determinism contract (DESIGN.md
+§10) is asserted every time: all three runs must synthesize identical
+inverses.
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_perf.py``)
+or through pytest (``pytest benchmarks/bench_perf.py``).
+"""
+
+import tempfile
+import time
+
+import pytest
+
+from repro.experiments.tables import render
+from repro.lang.pretty import pretty_program
+from repro.pins import PinsConfig, run_pins
+from repro.suite import get_benchmark
+
+NAMES = ["sumi", "vector_shift", "runlength"]
+
+CONFIGS = {
+    "sumi": PinsConfig(m=10, max_iterations=25, seed=1),
+    "vector_shift": PinsConfig(m=10, max_iterations=25, seed=1),
+    "runlength": PinsConfig(m=6, max_iterations=12, seed=1),
+}
+
+HEADERS = ["benchmark", "serial s", "cold s", "warm s", "speedup",
+           "warm hits", "hit %", "status", "sols"]
+
+
+def timed_run(name, **overrides):
+    cfg = CONFIGS[name]
+    t0 = time.time()
+    result = run_pins(get_benchmark(name).task,
+                      PinsConfig(**{**cfg.__dict__, **overrides}))
+    return time.time() - t0, result
+
+
+def inverses(result):
+    return sorted(pretty_program(p) for p in result.inverse_programs())
+
+
+def ab_row(name):
+    with tempfile.TemporaryDirectory() as cache_dir:
+        spec = cache_dir + "/"
+        serial_t, serial = timed_run(name)
+        cold_t, cold = timed_run(name, query_cache=spec)
+        warm_t, warm = timed_run(name, query_cache=spec)
+
+    hits = warm.stats.smt_cache_hits
+    misses = warm.stats.smt_cache_misses
+    row = [
+        name,
+        f"{serial_t:.2f}", f"{cold_t:.2f}", f"{warm_t:.2f}",
+        f"{serial_t / warm_t:.2f}x" if warm_t > 0 else "-",
+        hits,
+        f"{100 * hits / (hits + misses):.0f}" if hits + misses else "-",
+        f"{warm.status}/{serial.status}",
+        f"{len(warm.solutions)}/{len(serial.solutions)}",
+    ]
+    return row, serial, cold, warm
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_cache_ab(benchmark, name):
+    row, serial, cold, warm = benchmark.pedantic(ab_row, args=(name,),
+                                                 rounds=1, iterations=1)
+    print("\n" + render(HEADERS, [row]))
+    # The cache may only change wall time, never the outcome.
+    assert cold.status == warm.status == serial.status
+    assert inverses(cold) == inverses(serial)
+    assert inverses(warm) == inverses(serial)
+    # The warm run must actually hit: every solver query it issues was
+    # answered by the cold run's disk tier (trajectories are identical).
+    assert warm.stats.smt_cache_hits > 0
+    assert warm.stats.smt_cache_misses <= cold.stats.smt_cache_misses
+
+
+def main() -> None:
+    rows = []
+    for name in NAMES:
+        row, *_ = ab_row(name)
+        rows.append(row)
+    print(render(HEADERS, rows))
+
+
+if __name__ == "__main__":
+    main()

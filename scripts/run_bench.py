@@ -1,49 +1,203 @@
 #!/usr/bin/env python
-"""Run PINS on suite benchmarks and validate the results (dev harness)."""
+"""Run PINS on suite benchmarks, validate results, and record bench data.
+
+Beyond the original dev-harness behavior (run + validate each named
+benchmark), this emits machine-readable performance records so runs can
+be compared across configurations::
+
+    # Record the serial baseline.
+    python scripts/run_bench.py sumi runlength \\
+        --bench-json BENCH_pins.json --bench-label serial-baseline
+
+    # Parallel + warm-cache run; fail if the inverses differ from the
+    # baseline's (the determinism contract of repro.perf).
+    python scripts/run_bench.py sumi runlength --jobs 4 \\
+        --query-cache .query-cache/ \\
+        --bench-json BENCH_pins.json --bench-label jobs4-warm \\
+        --check-inverses-against serial-baseline
+
+Each labeled run records, per benchmark: wall time (of the synthesis
+loop only, not validation), status, iterations, paths, SMT query count,
+query-cache hit/miss counts and hit rate, solution count, and a digest
+of the pretty-printed inverse programs.  When the JSON already holds a
+``serial-baseline`` label, a total-wall-time speedup against it is
+computed and stored.  The JSON file is written atomically (tmp +
+``os.replace``) so a crashed run never corrupts previous records.
+"""
 
 import argparse
+import hashlib
+import json
+import os
 import sys
 import time
 
+from repro.lang.pretty import pretty_program
 from repro.pins import PinsConfig, run_pins
 from repro.suite import get_benchmark
-from repro.validate import BmcBounds, bounded_check, random_pool, validate_inverse
+from repro.validate import random_pool, validate_inverse
+
+BASELINE_LABEL = "serial-baseline"
+
+
+def inverse_digest(result) -> str:
+    """sha256 over the pretty-printed inverse programs (sorted).
+
+    Sorted so the digest identifies the *set* of synthesized inverses;
+    two runs agree iff they stabilized to identical programs.
+    """
+    texts = sorted(pretty_program(p) for p in result.inverse_programs())
+    return hashlib.sha256("\n===\n".join(texts).encode()).hexdigest()
+
+
+def bench_record(result, elapsed: float) -> dict:
+    stats = result.stats
+    hits = stats.smt_cache_hits
+    misses = stats.smt_cache_misses
+    queries = result.metrics.counter("smt.queries")
+    return {
+        "wall_time_s": round(elapsed, 4),
+        "status": result.status,
+        "iterations": stats.iterations,
+        "paths": stats.paths_explored,
+        "smt_queries": queries,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        "solutions": stats.num_solutions,
+        "inverse_digest": inverse_digest(result),
+    }
+
+
+def load_bench_json(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if isinstance(data, dict) and isinstance(data.get("labels"), dict):
+            return data
+    return {"labels": {}}
+
+
+def save_bench_json(path: str, data: dict) -> None:
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser()
+    ap = argparse.ArgumentParser(
+        description="PINS benchmark harness with machine-readable records")
     ap.add_argument("names", nargs="+")
     ap.add_argument("--m", type=int, default=10)
     ap.add_argument("--iters", type=int, default=30)
     ap.add_argument("--seed", type=int, default=1)
-    ap.add_argument("--bmc", action="store_true")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="worker processes for parallel probe fan-out")
+    ap.add_argument("--query-cache", default=None,
+                    help="SMT query-cache spec: 'mem', a file, or a dir/")
+    ap.add_argument("--no-validate", action="store_true",
+                    help="skip inverse validation (pure perf runs)")
+    ap.add_argument("--bench-json", default=None,
+                    help="merge a per-benchmark record into this JSON file")
+    ap.add_argument("--bench-label", default=None,
+                    help="label for this run in the bench JSON")
+    ap.add_argument("--check-inverses-against", default=None, metavar="LABEL",
+                    help="exit 1 unless inverse digests match LABEL's")
     args = ap.parse_args()
+
+    if args.bench_json and not args.bench_label:
+        ap.error("--bench-json requires --bench-label")
+
+    bench_data = load_bench_json(args.bench_json) if args.bench_json else None
+    records = {}
+    exit_code = 0
 
     for name in args.names:
         bench = get_benchmark(name)
         task = bench.task
+        config = PinsConfig(m=args.m, max_iterations=args.iters,
+                            seed=args.seed, jobs=args.jobs,
+                            query_cache=args.query_cache)
         t0 = time.time()
-        result = run_pins(task, PinsConfig(m=args.m, max_iterations=args.iters,
-                                           seed=args.seed))
+        result = run_pins(task, config)
         elapsed = time.time() - t0
+        record = bench_record(result, elapsed)
+        records[name] = record
         print(f"=== {name}: {result.status}, {len(result.solutions)} sols, "
-              f"{result.stats.iterations} iters, {result.stats.paths_explored} paths, "
-              f"{elapsed:.1f}s", flush=True)
-        spec = task.derived_spec(
-            {**task.program.decls, **task.inverse.decls})
-        pool = list(task.initial_inputs)
-        if task.input_gen is not None:
-            pool += random_pool(task.input_gen, 30, seed=7)
-        n_correct = 0
-        for idx, inv in enumerate(result.inverse_programs()):
-            report = validate_inverse(task.program, inv, spec, pool, task.externs,
-                                      precondition=task.precondition)
-            ok = "CORRECT" if report.ok else f"WRONG ({len(report.failures)} fails)"
-            if report.ok:
-                n_correct += 1
-            print(f"  candidate {idx}: {ok}", flush=True)
-        print(f"  => {n_correct}/{len(result.solutions)} candidates correct", flush=True)
-    return 0
+              f"{result.stats.iterations} iters, "
+              f"{result.stats.paths_explored} paths, {elapsed:.2f}s, "
+              f"cache {record['cache_hits']}/{record['cache_hits'] + record['cache_misses']} hits",
+              flush=True)
+
+        if args.check_inverses_against and bench_data is not None:
+            ref = (bench_data["labels"]
+                   .get(args.check_inverses_against, {})
+                   .get("benchmarks", {}).get(name))
+            if ref is None:
+                print(f"  !! no '{args.check_inverses_against}' record for "
+                      f"{name}; cannot check inverses", flush=True)
+                exit_code = 1
+            elif ref["inverse_digest"] != record["inverse_digest"]:
+                print(f"  !! inverse digest differs from "
+                      f"'{args.check_inverses_against}' "
+                      f"({record['inverse_digest'][:12]} vs "
+                      f"{ref['inverse_digest'][:12]})", flush=True)
+                exit_code = 1
+            else:
+                print(f"  inverses identical to "
+                      f"'{args.check_inverses_against}'", flush=True)
+
+        if not args.no_validate:
+            spec = task.derived_spec(
+                {**task.program.decls, **task.inverse.decls})
+            pool = list(task.initial_inputs)
+            if task.input_gen is not None:
+                pool += random_pool(task.input_gen, 30, seed=7)
+            n_correct = 0
+            for idx, inv in enumerate(result.inverse_programs()):
+                report = validate_inverse(task.program, inv, spec, pool,
+                                          task.externs,
+                                          precondition=task.precondition)
+                ok = "CORRECT" if report.ok else f"WRONG ({len(report.failures)} fails)"
+                if report.ok:
+                    n_correct += 1
+                print(f"  candidate {idx}: {ok}", flush=True)
+            print(f"  => {n_correct}/{len(result.solutions)} candidates correct",
+                  flush=True)
+
+    if bench_data is not None:
+        # Merge into an existing label so multi-invocation protocols
+        # (per-benchmark --m/--iters) accumulate one record set.
+        entry = bench_data["labels"].setdefault(
+            args.bench_label,
+            {"jobs": args.jobs, "query_cache": args.query_cache,
+             "seed": args.seed, "benchmarks": {}})
+        entry["benchmarks"].update(records)
+        baseline = bench_data["labels"].get(BASELINE_LABEL)
+        if baseline is not None and args.bench_label != BASELINE_LABEL:
+            common = (set(baseline.get("benchmarks", {}))
+                      & set(entry["benchmarks"]))
+            if common:
+                base_total = sum(
+                    baseline["benchmarks"][n]["wall_time_s"] for n in common)
+                this_total = sum(
+                    entry["benchmarks"][n]["wall_time_s"] for n in common)
+                if this_total > 0:
+                    entry["speedup_vs_serial_baseline"] = round(
+                        base_total / this_total, 3)
+                    entry["speedup_benchmarks"] = sorted(common)
+                    print(f"speedup vs {BASELINE_LABEL} on "
+                          f"{sorted(common)}: "
+                          f"{entry['speedup_vs_serial_baseline']}x "
+                          f"({base_total:.2f}s -> {this_total:.2f}s)",
+                          flush=True)
+        save_bench_json(args.bench_json, bench_data)
+        print(f"bench record '{args.bench_label}' written to "
+              f"{args.bench_json}", flush=True)
+
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from .core import (
     observe,
     recorder,
     recorder_from_env,
+    reset_for_subprocess,
     set_recorder,
     span,
     tracing_enabled,
@@ -53,7 +54,8 @@ __all__ = [
     "ENV_TRACE", "JsonlRecorder", "KIND_COUNTER", "KIND_HIST", "KIND_MARK",
     "KIND_SPAN", "Metrics", "NULL_RECORDER", "Recorder", "SPAN_SEP", "Span",
     "active", "count", "current_metrics", "current_span", "mark", "observe",
-    "recorder", "recorder_from_env", "set_recorder", "span",
+    "recorder", "recorder_from_env", "reset_for_subprocess",
+    "set_recorder", "span",
     "tracing_enabled", "use_metrics",
     "HistSummary", "SpanNode", "TraceError", "TraceSummary", "load_trace",
     "parse_events", "render_summary", "report", "summarize",

@@ -95,6 +95,16 @@ class JsonlRecorder(Recorder):
             self._fh.close()
             self._fh = None
 
+    def abandon(self) -> None:
+        """Drop the file handle without flushing or closing it.
+
+        For forked children: the handle (and any buffered bytes) belongs
+        to the parent, so flushing here would duplicate the parent's
+        buffered events into the shared file, and closing would race the
+        parent's own writes.
+        """
+        self._fh = None
+
 
 class Metrics:
     """In-memory totals for one run: timers, counters, histograms.
@@ -264,6 +274,26 @@ def observe(name: str, value: float) -> None:
     if _recorder.enabled:
         _recorder.emit(time.perf_counter(), SPAN_SEP.join(_span_stack),
                        KIND_HIST, name, value)
+
+
+def reset_for_subprocess() -> None:
+    """Detach this (forked) process from the parent's observability state.
+
+    Called from worker-pool initializers (:mod:`repro.perf.pool`).  The
+    fork copied the parent's recorder — including its open file handle
+    and userspace buffer — plus the metrics stack and span stack.  A
+    worker must not write any of them: recorder output would interleave
+    torn lines into the parent's trace file, and metrics mutations would
+    be silently lost when the worker exits.  The recorder handle is
+    *abandoned* (not closed): its buffer is the parent's data.
+    """
+    global _recorder
+    if isinstance(_recorder, JsonlRecorder):
+        _recorder.abandon()
+    _recorder = NULL_RECORDER
+    _metrics.clear()
+    _span_stack.clear()
+    _refresh_active()
 
 
 def mark(name: str, value: Any) -> None:

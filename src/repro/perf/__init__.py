@@ -1,0 +1,36 @@
+"""Performance subsystem: SMT query caching and parallel probe fan-out.
+
+Two orthogonal accelerators for the PINS loop, both behaviour-preserving
+(DESIGN.md §10):
+
+* :mod:`repro.perf.cache` — a fingerprint-keyed sat/unsat memo with an
+  in-memory tier and an optional on-disk JSONL tier for cross-run reuse
+  (``PinsConfig.query_cache`` / ``REPRO_QUERY_CACHE``);
+* :mod:`repro.perf.pool` — a fork-based worker pool that fans out
+  independent solver probes (``PinsConfig.jobs`` / ``REPRO_JOBS``),
+  folding results in submission order so parallel runs are bit-identical
+  to serial ones.
+"""
+
+from .cache import (
+    ENV_QUERY_CACHE,
+    QueryCache,
+    extract_witness,
+    query_cache_for,
+    rebuild_model,
+    resolve_cache_spec,
+)
+from .pool import ENV_JOBS, PerfContext, WorkerPool, resolve_jobs
+
+__all__ = [
+    "ENV_JOBS",
+    "ENV_QUERY_CACHE",
+    "PerfContext",
+    "QueryCache",
+    "WorkerPool",
+    "extract_witness",
+    "query_cache_for",
+    "rebuild_model",
+    "resolve_cache_spec",
+    "resolve_jobs",
+]

@@ -1,0 +1,413 @@
+"""Fingerprint-keyed SMT query-result cache (the memo behind PINS's loop).
+
+PINS issues thousands of short-lived solver queries, and across
+iterations (and across runs with the same seed) most of them are
+structurally identical.  :class:`QueryCache` memoizes ``sat``/``unsat``
+answers keyed by the solver's structural query fingerprint
+(:func:`repro.smt.solver.query_signature`, which includes every op,
+payload, and constant, plus the axiom-set digest and instantiation
+budget).
+
+Two tiers:
+
+* **memory** — a per-run ``OrderedDict`` holding the verdict plus the
+  verified :class:`~repro.smt.models.Model` object (terms are
+  hash-consed, so a same-fingerprint query in the same process asserts
+  the *same* term objects).  Bounded; FIFO eviction.
+* **disk** (optional) — a JSONL file of ``{key, status, witness}``
+  entries for cross-run reuse.  ``sat`` entries carry a replayable
+  witness (integer/array variable values) and are only written when the
+  model is fully concrete (no uninterpreted applications or sorts, whose
+  values are process-relative class ids).
+
+Correctness contract (enforced here, relied on by
+:meth:`repro.smt.solver.Solver.check`):
+
+* ``unknown`` is **never** stored or served — a budget-dependent answer
+  must be recomputed under the caller's budget;
+* a ``sat`` hit is served only after the stored model concretely
+  re-verifies against the *current* assertions
+  (:func:`repro.smt.models.satisfies`), so a fingerprint collision or a
+  stale disk entry degrades to a miss, never to a wrong answer;
+* ``unsat`` is served on fingerprint match alone: the key is a full
+  sha1 over the query structure *including constants*, so distinct
+  queries collide only with negligible probability (and the unit tests
+  pin that different constants produce different keys).
+
+Concurrent writers (the parallel worker pool) never share a file:
+appends go to a per-process shard ``<path>.shard-<pid>``, and
+:meth:`QueryCache.compact` merges shards into the base file with an
+atomic rename.  Loading reads the base file plus every shard.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..smt.models import Model, satisfies
+from ..smt.solver import SAT, UNSAT
+from ..smt.terms import Op, Term, subterms
+
+ENV_QUERY_CACHE = "REPRO_QUERY_CACHE"
+MEMORY_SPECS = ("1", "mem", "memory")
+"""``REPRO_QUERY_CACHE`` values selecting the memory-only tier; anything
+else (except ``""``/``"0"``) is a disk path."""
+
+
+def _encode_app_key(key: tuple) -> Optional[list]:
+    """JSON form of an app-table key ``(name_or_op, *values)``.
+
+    Values are ints or frozen array contents (tuples of (index, value)
+    pairs); anything else — a class id could sneak in only alongside
+    ``class_values``, which the caller already rejects — returns None.
+    """
+    name = key[0]
+    out: list = [["op", name.name] if isinstance(name, Op) else ["fn", name]]
+    for value in key[1:]:
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, int):
+            out.append(value)
+        elif isinstance(value, tuple):
+            if not all(isinstance(i, int) and isinstance(v, int)
+                       for i, v in value):
+                return None
+            out.append([[i, v] for i, v in value])
+        else:
+            return None
+    return out
+
+
+def _decode_app_key(encoded: list) -> tuple:
+    kind, name = encoded[0]
+    head = Op[name] if kind == "op" else name
+    args: list = [head]
+    for value in encoded[1:]:
+        if isinstance(value, list):
+            args.append(tuple((i, v) for i, v in value))
+        else:
+            args.append(value)
+    return tuple(args)
+
+
+def extract_witness(model: Optional[Model]) -> Optional[dict]:
+    """A JSON-serializable, process-independent witness of a sat model.
+
+    Returns None when the model cannot be replayed faithfully in another
+    process: class values are process-relative ids (term ids assigned in
+    construction order), so any uninterpreted-*sorted* content
+    disqualifies the model from the disk tier (the in-memory tier still
+    holds the object itself).  Integer-valued uninterpreted
+    *applications* are fine — their function table is value-keyed and
+    serializes as ``apps``.
+    """
+    if model is None or model.class_values:
+        return None
+    ints: Dict[str, int] = {}
+    for term, value in model.int_values.items():
+        if term.op == Op.VAR:
+            ints[term.payload] = value
+        # APP/MUL/DIV/MOD assignments replay through the app table below.
+    arrays: Dict[str, Dict[str, int]] = {}
+    for term, contents in model.arrays.items():
+        if term.op != Op.VAR or term.sort.elem is None or not term.sort.elem.is_int:
+            return None
+        arrays[term.payload] = {str(i): v for i, v in contents.items()}
+    apps: List[list] = []
+    for key, value in model.app_table.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            return None
+        encoded = _encode_app_key(key)
+        if encoded is None:
+            return None
+        apps.append([encoded, value])
+    witness = {"ints": ints, "arrays": arrays}
+    if apps:
+        witness["apps"] = apps
+    return witness
+
+
+def _conjuncts(formula: Term) -> List[Term]:
+    """Top-level conjuncts of ``formula`` in assertion order."""
+    if formula.op != Op.AND:
+        return [formula]
+    out: List[Term] = []
+    for part in formula.args:
+        out.extend(_conjuncts(part))
+    return out
+
+
+def completed_check_model(model: Model, formulas: Sequence[Term]) -> Model:
+    """A copy of ``model`` with unconstrained array variables completed.
+
+    Solver models are *partial*: an array variable that is written but
+    never read (``Ap#1 = store(Ap#0, i, v)`` with no select over
+    ``Ap#1``) gets no contents, because the array theory only constrains
+    indices that are actually read.  Such a model is a correct witness —
+    the unconstrained variable can always be *extended* to satisfy the
+    equality — but a strict :func:`~repro.smt.models.satisfies` check
+    rejects it.  This helper performs that extension deterministically:
+    walking top-level ``=`` conjuncts in assertion order (the IR is SSA,
+    so definitions precede uses), any array variable with no contents is
+    assigned the evaluation of the other side.  The result is used only
+    for the cache's verification check; the partial model itself is what
+    gets served, faithfully replaying what the solver would return.
+    """
+    check = Model(int_values=dict(model.int_values),
+                  class_values=dict(model.class_values),
+                  arrays={t: dict(c) for t, c in model.arrays.items()},
+                  app_table=dict(model.app_table))
+    assigned = {t for t, contents in check.arrays.items() if contents}
+    for f in formulas:
+        for conj in _conjuncts(f):
+            if conj.op != Op.EQ or not conj.args[0].sort.is_array:
+                continue
+            a, b = conj.args
+            for var, other in ((a, b), (b, a)):
+                if var.op == Op.VAR and var not in assigned:
+                    try:
+                        check.arrays[var] = dict(check.eval_array(other))
+                    except TypeError:
+                        continue
+                    assigned.add(var)
+                    break
+    return check
+
+
+def rebuild_model(witness: Optional[dict],
+                  formulas: Sequence[Term]) -> Optional[Model]:
+    """Reconstruct a :class:`Model` over the current query's variables."""
+    if witness is None:
+        return None
+    ints = witness.get("ints", {})
+    arrays = witness.get("arrays", {})
+    model = Model()
+    try:
+        for encoded, value in witness.get("apps", ()):
+            model.app_table[_decode_app_key(encoded)] = value
+    except (KeyError, TypeError, ValueError):
+        return None  # malformed/hand-edited disk entry
+    seen = set()
+    for f in formulas:
+        for t in subterms(f):
+            if t.id in seen or t.op != Op.VAR:
+                continue
+            seen.add(t.id)
+            if t.sort.is_array:
+                contents = arrays.get(t.payload)
+                if contents is not None:
+                    model.arrays[t] = {int(k): v for k, v in contents.items()}
+            elif t.payload in ints:
+                model.int_values[t] = ints[t.payload]
+    return model
+
+
+class QueryCache:
+    """Two-tier sat/unsat memo; see the module docstring for the contract."""
+
+    def __init__(self, path: Optional[str] = None,
+                 max_memory_entries: int = 200_000):
+        self.path = path
+        self.max_memory_entries = max_memory_entries
+        self._mem: "OrderedDict[str, Tuple[str, Optional[Model]]]" = OrderedDict()
+        self._disk: Dict[str, dict] = {}
+        self._fh = None
+        self._pid: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        if path:
+            self._load_disk()
+
+    # -- lookup / store -----------------------------------------------------
+
+    def lookup(self, key: str, formulas: Sequence[Term]
+               ) -> Optional[Tuple[str, Optional[Model]]]:
+        """The cached ``(status, model)`` for ``key``, or None on miss."""
+        entry = self._mem.get(key)
+        if entry is not None:
+            status, model = entry
+            if status == UNSAT or (model is not None and self._verifies(
+                    model, formulas)):
+                self.hits += 1
+                return (status, model)
+            # Failed re-verification: a collision or an unreplayable
+            # model.  Drop the entry so we stop paying the check.
+            del self._mem[key]
+        disk_entry = self._disk.get(key)
+        if disk_entry is not None:
+            if disk_entry["status"] == UNSAT:
+                self.hits += 1
+                self._remember(key, UNSAT, None)
+                return (UNSAT, None)
+            model = rebuild_model(disk_entry.get("witness"), formulas)
+            if model is not None and self._verifies(model, formulas):
+                self.hits += 1
+                self._remember(key, SAT, model)
+                return (SAT, model)
+        self.misses += 1
+        return None
+
+    @staticmethod
+    def _verifies(model: Model, formulas: Sequence[Term]) -> bool:
+        """Does ``model`` (possibly partial) witness ``formulas``?
+
+        Checks a deterministic completion (see
+        :func:`completed_check_model`) so that written-but-never-read
+        array variables — which solver models leave unconstrained —
+        don't force spurious misses.  The completion is a fresh copy;
+        the cached model is served untouched.
+        """
+        return satisfies(completed_check_model(model, formulas), formulas)
+
+    def store(self, key: str, status: str, model: Optional[Model],
+              formulas: Sequence[Term]) -> None:
+        """Record a definitive answer.  ``unknown`` is silently refused."""
+        if status not in (SAT, UNSAT):
+            return
+        self.stores += 1
+        self._remember(key, status, model)
+        if self.path is None or key in self._disk:
+            return
+        entry: dict = {"key": key, "status": status}
+        if status == SAT:
+            witness = extract_witness(model)
+            if witness is None:
+                return  # not replayable across processes; memory tier only
+            entry["witness"] = witness
+        self._disk[key] = entry
+        self._append(entry)
+
+    def _remember(self, key: str, status: str, model: Optional[Model]) -> None:
+        self._mem[key] = (status, model)
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_memory_entries:
+            self._mem.popitem(last=False)
+            self.evictions += 1
+
+    # -- disk tier ----------------------------------------------------------
+
+    def _shard_paths(self) -> List[str]:
+        assert self.path is not None
+        return sorted(glob.glob(self.path + ".shard-*"))
+
+    def _load_disk(self) -> None:
+        assert self.path is not None
+        candidates = [self.path] + self._shard_paths()
+        for fname in candidates:
+            if not os.path.exists(fname):
+                continue
+            with open(fname, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn write from a crashed process
+                    if (isinstance(entry, dict)
+                            and entry.get("status") in (SAT, UNSAT)
+                            and isinstance(entry.get("key"), str)):
+                        self._disk[entry["key"]] = entry
+
+    def _append(self, entry: dict) -> None:
+        pid = os.getpid()
+        if self._fh is None or self._pid != pid:
+            # After a fork the inherited handle belongs to the parent;
+            # abandon it (no flush — its buffer is the parent's data) and
+            # write to this process's own shard.  Line buffering keeps
+            # the buffer empty so a later fork cannot duplicate lines.
+            self._fh = open(f"{self.path}.shard-{pid}", "a",
+                            encoding="utf-8", buffering=1)
+            self._pid = pid
+        self._fh.write(json.dumps(entry, separators=(",", ":"),
+                                  sort_keys=True) + "\n")
+
+    def refresh(self) -> None:
+        """Merge entries other processes have appended since the last read.
+
+        The per-iteration fork design in :mod:`repro.perf.pool` relies on
+        this: worker stores land in shard files, the parent refreshes
+        before the next fork, and the refreshed ``_disk`` dict is what
+        the next generation of workers inherits.
+        """
+        if self.path is not None:
+            self._load_disk()
+
+    def close(self) -> None:
+        if self._fh is not None and self._pid == os.getpid():
+            self._fh.flush()
+            self._fh.close()
+        self._fh = None
+        self._pid = None
+
+    def compact(self) -> None:
+        """Merge shard files into the base file with an atomic rename.
+
+        Safe against concurrent *readers* (they see either the old or the
+        new base file); run it when this process's writers are done.
+        """
+        if self.path is None:
+            return
+        self.close()
+        self._load_disk()  # pick up shards written by other processes
+        shards = self._shard_paths()
+        tmp = f"{self.path}.tmp-{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for key in sorted(self._disk):
+                fh.write(json.dumps(self._disk[key], separators=(",", ":"),
+                                    sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        for shard in shards:
+            try:
+                os.remove(shard)
+            except OSError:
+                pass
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions,
+                "memory_entries": len(self._mem),
+                "disk_entries": len(self._disk)}
+
+
+def resolve_cache_spec(config_value: Optional[str]) -> Optional[str]:
+    """Effective cache spec: explicit config wins, else ``REPRO_QUERY_CACHE``."""
+    spec = config_value
+    if spec is None:
+        spec = os.environ.get(ENV_QUERY_CACHE, "")
+    spec = spec.strip()
+    if not spec or spec == "0":
+        return None
+    return spec
+
+
+def query_cache_for(config_value: Optional[str],
+                    slug: str = "default") -> Optional[QueryCache]:
+    """Build the run's :class:`QueryCache` from config/env, or None.
+
+    ``"mem"``/``"1"`` selects the memory-only tier; a directory spec
+    (trailing separator or an existing directory) shards the disk tier
+    per task slug; anything else is used as the file path directly.
+    """
+    spec = resolve_cache_spec(config_value)
+    if spec is None:
+        return None
+    if spec in MEMORY_SPECS:
+        return QueryCache(None)
+    path = spec
+    if spec.endswith(os.sep) or os.path.isdir(spec):
+        os.makedirs(spec, exist_ok=True)
+        path = os.path.join(spec, f"{slug}.jsonl")
+    else:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+    return QueryCache(path)

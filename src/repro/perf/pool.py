@@ -1,0 +1,165 @@
+"""Fork-based worker pool for independent solver probes.
+
+The PINS loop has three embarrassingly parallel inner fan-outs, all of
+the shape "run N independent SMT probes, then fold the answers in a
+fixed order":
+
+* tier-2 constraint checks over a candidate solution
+  (:func:`repro.pins.solve.solve`),
+* ground satisfiability probes scored by the chooser
+  (:func:`repro.pins.pickone.pick_one`),
+* avoid-set feasibility probes during symbolic execution
+  (:class:`repro.symexec.executor.SymbolicExecutor`).
+
+A fresh pool is forked **per PINS iteration**: workers inherit the
+parent's :class:`PerfContext` — checker, feasibility oracle, and
+snapshots of the current constraint and explored-path lists — via
+copy-on-write, including every cache the parent has accumulated so far.
+Task descriptions then stay tiny (indices into the snapshots plus a
+candidate :class:`~repro.pins.template.Solution`); the full constraint
+and path ASTs never cross the process boundary.  Worker-computed results
+flow back two ways: as the pickled return value of the task, and (for
+the query cache's disk tier) through per-process shard files that the
+parent re-reads before the next fork.
+
+Determinism contract (DESIGN.md §10): :meth:`WorkerPool.map_ordered`
+returns results **in submission order**, and every call site folds them
+with exactly the serial control flow (first-violation wins, speculative
+results discarded).  A run with ``jobs=N`` therefore produces
+bit-identical output to ``jobs=1``; the pool only changes wall time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from .. import obs
+
+ENV_JOBS = "REPRO_JOBS"
+ENV_JOBS_FORCE = "REPRO_JOBS_FORCE"
+"""Set to 1 to skip the CPU-count clamp (tests exercise the fork path on
+single-core CI machines this way)."""
+
+
+class PerfContext:
+    """The solver state a worker needs: built once in the parent, forked.
+
+    ``constraints`` and ``explored`` are positional snapshots — tasks
+    reference them by index, so they must be taken at fork time from the
+    very lists the call sites iterate.
+    """
+
+    def __init__(self, checker=None, oracle=None,
+                 constraints: Sequence = (), explored: Sequence = ()):
+        self.checker = checker
+        self.oracle = oracle
+        self.constraints = tuple(constraints)
+        self.explored = tuple(explored)
+
+
+_CTX: Optional[PerfContext] = None
+
+
+def _init_worker(ctx: PerfContext) -> None:
+    global _CTX
+    _CTX = ctx
+    # The fork copied the parent's trace recorder (open file handle and
+    # all) and metrics; a worker must not write to either.
+    obs.reset_for_subprocess()
+
+
+def _run_task(task: Tuple) -> object:
+    assert _CTX is not None, "worker used before _init_worker"
+    from ..symexec.paths import Guard, substitute_items
+
+    kind = task[0]
+    if kind == "constraint":
+        _, idx, solution = task
+        return _CTX.checker.check(_CTX.constraints[idx], solution)
+    if kind == "path_sat":
+        # pickOne's infeasible(S) probe; the model is dropped from the
+        # reply (the score only needs the status) to keep replies small.
+        _, idx, solution = task
+        ground = substitute_items(_CTX.explored[idx].items,
+                                  solution.expr_map, solution.pred_map)
+        status, _model = _CTX.checker._check_sat(ground, want_model=False)
+        return (status, None)
+    if kind == "avoid_feasible":
+        _, idx, expr_map, pred_map = task
+        items = list(_CTX.explored[idx].items)
+        while items and not isinstance(items[-1], Guard):
+            items.pop()
+        ground = substitute_items(items, expr_map, pred_map)
+        return _CTX.oracle.feasible_env(ground)
+    raise ValueError(f"unknown perf task kind {kind!r}")
+
+
+def resolve_jobs(config_jobs: Optional[int]) -> int:
+    """Effective worker count: config wins, then ``REPRO_JOBS``, then 1."""
+    if config_jobs is not None:
+        return max(1, config_jobs)
+    env = os.environ.get(ENV_JOBS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+class WorkerPool:
+    """A ``jobs``-wide fork pool, degrading to serial execution.
+
+    ``jobs`` is a *request*: the effective worker count is clamped to
+    the machine's CPU count (forking four workers onto one core is pure
+    oversubscription — every probe still runs serially, plus IPC tax).
+    Serial when the clamped count is <= 1 or when the platform has no
+    ``fork`` start method (the context-inheritance design requires fork;
+    spawn would have to pickle the whole checker).  Call sites check
+    :attr:`parallel` to skip building task lists when serial.  Set
+    ``REPRO_JOBS_FORCE=1`` to skip the clamp (tests use this to exercise
+    real forked workers on single-core CI runners — the results are
+    bit-identical either way, only the wall time differs).
+    """
+
+    def __init__(self, jobs: int, ctx: PerfContext):
+        self.jobs = max(1, jobs)
+        self.ctx = ctx
+        self._pool = None
+        effective = self.jobs
+        if os.environ.get(ENV_JOBS_FORCE, "").strip() not in ("1", "true"):
+            effective = min(effective, os.cpu_count() or 1)
+        if effective > 1:
+            try:
+                mp = multiprocessing.get_context("fork")
+            except ValueError:
+                return
+            self._pool = mp.Pool(effective, initializer=_init_worker,
+                                 initargs=(ctx,))
+
+    @property
+    def parallel(self) -> bool:
+        return self._pool is not None
+
+    def map_ordered(self, tasks: Sequence[Tuple]) -> List[object]:
+        """Run ``tasks`` and return their results in submission order."""
+        if self._pool is None:
+            global _CTX
+            _CTX = self.ctx
+            return [_run_task(t) for t in tasks]
+        obs.count("perf.pool.tasks", len(tasks))
+        return self._pool.map(_run_task, tasks)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

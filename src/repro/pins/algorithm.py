@@ -73,6 +73,19 @@ class PinsConfig:
     (appending).  ``None`` defers to the ``REPRO_TRACE`` env var; when
     neither is set the no-op recorder is used and tracing costs nothing.
     See :mod:`repro.obs`."""
+    jobs: Optional[int] = None
+    """Worker processes for independent SMT probes (constraint checks,
+    pickOne scoring, avoid-set feasibility).  ``None`` defers to the
+    ``REPRO_JOBS`` env var; 1 (the default) runs fully serial.  Parallel
+    runs are bit-identical to serial ones — results are folded in
+    submission order (DESIGN.md §10)."""
+    query_cache: Optional[str] = None
+    """SMT query-result cache spec: ``"mem"`` for the in-memory tier
+    only, a file/directory path to add the on-disk JSONL tier for
+    cross-run reuse, ``"0"`` to disable.  ``None`` defers to the
+    ``REPRO_QUERY_CACHE`` env var (default: disabled).  Cached ``sat``
+    answers re-verify their model against the live query before being
+    served; ``unknown`` is never cached.  See :mod:`repro.perf.cache`."""
 
 
 @dataclass
@@ -95,6 +108,8 @@ class PinsStats:
     indicators_pruned: int = 0
     symexec_smt_calls: int = 0
     symexec_const_prunes: int = 0
+    smt_cache_hits: int = 0
+    smt_cache_misses: int = 0
 
     def breakdown(self) -> Dict[str, float]:
         """Fractions of total time per phase (Table 4)."""
@@ -253,6 +268,8 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
 
 def _run_pins(task: SynthesisTask, config: PinsConfig,
               metrics: obs.Metrics) -> PinsResult:
+    from ..perf import PerfContext, WorkerPool, query_cache_for, resolve_jobs
+
     rng = random.Random(config.seed)
     started = time.perf_counter()
 
@@ -262,12 +279,14 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
         template = build_template(task, static_pruning=config.static_pruning)
         spec = task.derived_spec(desugared.decls)
 
+        query_cache = query_cache_for(config.query_cache, task.cache_slug())
         input_vars = {v: desugared.decls[v] for v in task.program.inputs}
         length_hints = {arr: ln for arr, _out, ln in spec.array_pairs}
         checker = ConstraintChecker(
             desugared.decls, task.externs, task.axioms + task.input_axioms,
             input_vars=input_vars, length_hints=length_hints,
             conflict_budget=config.solver_conflict_budget,
+            query_cache=query_cache,
         )
         constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
         session = SolveSession(template.space, prune_report=template.prune_report)
@@ -303,60 +322,88 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
         # feasibility checks; `tests` is shared by reference on purpose.
         executor = SymbolicExecutor(desugared, task.externs,
                                     task.axioms + task.input_axioms, exec_config,
-                                    seed_inputs=tests)
+                                    seed_inputs=tests,
+                                    query_cache=query_cache)
 
     explored: List[Path] = []
     chooser = pick_one if config.use_infeasible_heuristic else pick_random
     last_size: Optional[int] = None
     status = MAX_ITERATIONS
     solutions: List[Solution] = []
+    jobs = resolve_jobs(config.jobs)
+    pool: Optional[WorkerPool] = None
 
-    for _ in range(config.max_iterations):
-        with obs.span("pins.iteration"):
-            stats.iterations += 1
-            obs.count("pins.iteration")
-            with obs.span("pins.solve"):
-                solutions = solve(session, constraints, checker, tests,
-                                  config.m, solve_stats,
-                                  max_candidates=config.max_candidates_per_solve,
-                                  precondition=task.precondition)
-            obs.observe("pins.solutions", len(solutions))
-            if not solutions:
-                status = NO_SOLUTION
-                break
-            if last_size is not None and len(solutions) == last_size \
-                    and len(solutions) < config.m:
-                status = STABILIZED
-                break
-            last_size = len(solutions)
+    try:
+        for _ in range(config.max_iterations):
+            if jobs > 1:
+                # A fresh pool per iteration: workers inherit the current
+                # constraints/explored lists and every cache the parent
+                # has accumulated (checker sat cache, oracle cache, query
+                # cache — refreshed first so earlier workers' disk-tier
+                # stores are visible) by copy-on-write.  Tasks then ship
+                # only indices and candidate solutions.
+                if query_cache is not None:
+                    query_cache.refresh()
+                pool = WorkerPool(jobs, PerfContext(
+                    checker=checker, oracle=executor.oracle,
+                    constraints=constraints, explored=explored))
+                executor.attach_pool(pool)
+            with obs.span("pins.iteration"):
+                stats.iterations += 1
+                obs.count("pins.iteration")
+                with obs.span("pins.solve"):
+                    solutions = solve(session, constraints, checker, tests,
+                                      config.m, solve_stats,
+                                      max_candidates=config.max_candidates_per_solve,
+                                      precondition=task.precondition,
+                                      pool=pool)
+                obs.observe("pins.solutions", len(solutions))
+                if not solutions:
+                    status = NO_SOLUTION
+                    break
+                if last_size is not None and len(solutions) == last_size \
+                        and len(solutions) < config.m:
+                    status = STABILIZED
+                    break
+                last_size = len(solutions)
 
-            with obs.span("pins.pickone"):
-                chosen = chooser(solutions, explored, checker, rng)
+                with obs.span("pins.pickone"):
+                    chosen = chooser(solutions, explored, checker, rng,
+                                     pool=pool)
 
-            with obs.span("pins.symexec"):
-                path = executor.find_path(chosen.expr_map, chosen.pred_map,
-                                          set(explored), rng)
+                with obs.span("pins.symexec"):
+                    path = executor.find_path(chosen.expr_map, chosen.pred_map,
+                                              set(explored), rng)
+                    if path is None:
+                        # The chosen solution admits no fresh path within
+                        # budget; try the other candidates (and fresh
+                        # randomization) before giving up — any fresh feasible
+                        # path still refines the space.
+                        for other in solutions:
+                            if other is chosen:
+                                continue
+                            path = executor.find_path(other.expr_map, other.pred_map,
+                                                      set(explored), rng)
+                            if path is not None:
+                                break
                 if path is None:
-                    # The chosen solution admits no fresh path within
-                    # budget; try the other candidates (and fresh
-                    # randomization) before giving up — any fresh feasible
-                    # path still refines the space.
-                    for other in solutions:
-                        if other is chosen:
-                            continue
-                        path = executor.find_path(other.expr_map, other.pred_map,
-                                                  set(explored), rng)
-                        if path is not None:
-                            break
-            if path is None:
-                status = PATHS_EXHAUSTED
-                break
-            explored.append(path)
-            obs.count("pins.path")
-            obs.observe("pins.frontier", len(explored))
-            constraints.append(safepath(path, spec, label=f"path{len(explored)}"))
-            constraints.extend(init_constraints(path, desugared.body,
-                                                label_prefix=f"path{len(explored)}"))
+                    status = PATHS_EXHAUSTED
+                    break
+                explored.append(path)
+                obs.count("pins.path")
+                obs.observe("pins.frontier", len(explored))
+                constraints.append(safepath(path, spec, label=f"path{len(explored)}"))
+                constraints.extend(init_constraints(path, desugared.body,
+                                                    label_prefix=f"path{len(explored)}"))
+            if pool is not None:
+                pool.close()
+                pool = None
+                executor.attach_pool(None)
+    finally:
+        if pool is not None:
+            pool.close()
+        if query_cache is not None:
+            query_cache.close()
 
     # PinsStats is *derived* from the run's obs metrics (timers) and the
     # solve/executor accumulators (counters); check_stats_invariants
@@ -378,6 +425,8 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
     stats.indicators_pruned = solve_stats.indicators_pruned
     stats.symexec_smt_calls = executor.oracle.queries
     stats.symexec_const_prunes = executor.const_prunes
+    stats.smt_cache_hits = metrics.counter("smt.cache.hit")
+    stats.smt_cache_misses = metrics.counter("smt.cache.miss")
     stats.time_total = time.perf_counter() - started
     if obs.tracing_enabled():
         check_stats_invariants(stats, metrics)

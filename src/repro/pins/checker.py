@@ -62,7 +62,8 @@ class ConstraintChecker:
                  input_vars: Mapping[str, Sort] = (),
                  length_hints: Mapping[str, str] = (),
                  conflict_budget: int = 100_000,
-                 lia_branch_limit: int = 120):
+                 lia_branch_limit: int = 120,
+                 query_cache: Optional[object] = None):
         self.sorts = dict(sorts)
         self.sorts.setdefault(SPEC_INDEX_VAR, Sort.INT)
         self.externs = externs
@@ -71,6 +72,7 @@ class ConstraintChecker:
         self.length_hints = dict(length_hints or {})
         self.conflict_budget = conflict_budget
         self.lia_branch_limit = lia_branch_limit
+        self.query_cache = query_cache
         self.stats = CheckerStats()
         self._sat_cache: Dict[tuple, Tuple[str, Optional[smt.Model]]] = {}
 
@@ -88,7 +90,8 @@ class ConstraintChecker:
         translator = Translator(self.sorts, self.externs)
         solver = smt.Solver(axioms=self.axioms,
                             sat_conflict_budget=self.conflict_budget,
-                            lia_branch_limit=self.lia_branch_limit)
+                            lia_branch_limit=self.lia_branch_limit,
+                            query_cache=self.query_cache)
         try:
             for pred in preds:
                 solver.add(translator.pred(pred))
@@ -104,6 +107,20 @@ class ConstraintChecker:
         result = (status, model)
         self._sat_cache[key] = result
         return result
+
+    def has_cached(self, preds: Sequence[Pred]) -> bool:
+        """True when ``_check_sat`` on these preds would be a cache hit."""
+        return tuple(preds) in self._sat_cache
+
+    def prime(self, preds: Sequence[Pred],
+              result: Tuple[str, Optional[smt.Model]]) -> None:
+        """Seed the sat cache with a result computed elsewhere (a worker).
+
+        ``setdefault`` keeps any entry the parent computed in the
+        meantime — worker results never *replace* local ones, so priming
+        cannot change what a serial run would have seen.
+        """
+        self._sat_cache.setdefault(tuple(preds), result)
 
     def _ground(self, constraint: Constraint, solution: Solution) -> List[Pred]:
         return substitute_items(constraint.items, solution.expr_map,

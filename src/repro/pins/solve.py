@@ -374,33 +374,50 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
           m: int, stats: SolveStats,
           max_candidates: int = 200_000,
           eager_limit: int = 600,
-          precondition=None) -> List[Solution]:
+          precondition=None,
+          pool=None) -> List[Solution]:
     """Find up to ``m`` solutions satisfying every constraint.
 
     Mutates ``tests`` (new counterexamples are appended) and the session
     (learned clauses, check cache).
+
+    When ``pool`` (a :class:`repro.perf.pool.WorkerPool`) is parallel,
+    the independent per-constraint SMT checks fan out to workers; results
+    are folded in submission order with the serial control flow (first
+    violation wins, later speculative results discarded), so the learned
+    clauses, caches, and returned solutions are identical to a serial run.
     """
     enum = session.enumerator
     solutions: List[Solution] = []
     seen_programs: Set[tuple] = set()
     safepaths = [c for c in constraints if c.kind == "safepath"]
     test_keys = {freeze_input(t) for t in tests}
+    parallel = pool is not None and pool.parallel
 
     # -- eager semantic encoding (the paper's VS3-style SMT->SAT reduction):
     # constraints over few holes (termination, invariant-init) are compiled
     # into SAT clauses up front by checking every relevant combination.
     with obs.span("solve.eager") as eager_span:
-        for constraint in constraints:
+        eager_pairs: List[Tuple[int, Constraint, Solution, Set[str]]] = []
+        for cidx, constraint in enumerate(constraints):
             if constraint.label in session.eager_done or constraint.kind == "safepath":
                 continue
             holes = set(constraint.relevant)
             if _combo_count(session.space, holes) > eager_limit:
                 continue
             for partial in _combos_over(session.space, holes):
-                outcome = checker.check(constraint, partial)
-                if outcome.status == VIOLATED:
-                    session.persistent_clauses.append(enum.exact_block(partial, holes))
+                eager_pairs.append((cidx, constraint, partial, holes))
             session.eager_done.add(constraint.label)
+        if parallel and len(eager_pairs) > 1:
+            outcomes = pool.map_ordered(
+                [("constraint", cidx, partial)
+                 for cidx, _, partial, _ in eager_pairs])
+        else:
+            outcomes = [checker.check(c, partial)
+                        for _, c, partial, _ in eager_pairs]
+        for (_, constraint, partial, holes), outcome in zip(eager_pairs, outcomes):
+            if outcome.status == VIOLATED:
+                session.persistent_clauses.append(enum.exact_block(partial, holes))
     stats.check_time += eager_span.duration
 
     sat = enum.fresh_solver(session.persistent_clauses)
@@ -462,15 +479,28 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         # -- tier 2: full SMT checks ---------------------------------------
         with obs.span("solve.check") as check_span:
             failed = False
-            for constraint in constraints:
+            pending: List[Tuple[int, Constraint, Tuple[tuple, str]]] = []
+            for cidx, constraint in enumerate(constraints):
                 if constraint.label in session.eager_done:
                     continue  # compiled into SAT clauses already
                 cache_key = (_restricted_key(solution, constraint.relevant),
                              constraint.label)
-                cached = session.check_cache.get(cache_key)
-                if cached in (HOLDS, UNKNOWN):
+                if session.check_cache.get(cache_key) in (HOLDS, UNKNOWN):
                     continue
-                outcome = checker.check(constraint, solution)
+                pending.append((cidx, constraint, cache_key))
+            if parallel and len(pending) > 1:
+                # Speculative fan-out: all pending checks run concurrently,
+                # but results are folded below in submission order and
+                # everything after the first violation is discarded (not
+                # cached, not learned) — exactly what a serial run sees.
+                outcomes = pool.map_ordered(
+                    [("constraint", cidx, solution) for cidx, _, _ in pending])
+                obs.count("solve.parallel_checks", len(pending))
+            else:
+                outcomes = None
+            for i, (_, constraint, cache_key) in enumerate(pending):
+                outcome = (outcomes[i] if outcomes is not None
+                           else checker.check(constraint, solution))
                 if outcome.status == VIOLATED:
                     failed = True
                     stats.blocked_by_check += 1

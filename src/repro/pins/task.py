@@ -56,6 +56,13 @@ class SynthesisTask:
     bmc_value_range: Tuple[int, int] = (0, 2)
     notes: str = ""
 
+    def cache_slug(self) -> str:
+        """A filesystem-safe name for this task's on-disk query-cache file."""
+        import re
+
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", self.name).strip("-")
+        return slug or "task"
+
     def derived_spec(self, decls: Mapping[str, Any]) -> InversionSpec:
         if self.spec is not None:
             return self.spec

@@ -12,7 +12,17 @@ from . import arrays, cnf, euf, lia, models, quant, sat, solver, terms
 from .models import Model
 from .quant import Axiom
 from .sat import SatSolver, solve_cnf
-from .solver import SAT, UNKNOWN, UNSAT, Solver, check_formulas
+from .solver import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Solver,
+    axioms_digest,
+    check_formulas,
+    query_fingerprint,
+    query_signature,
+    query_theories,
+)
 from .terms import (
     ARR,
     BOOL,

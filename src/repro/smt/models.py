@@ -108,7 +108,14 @@ class Model:
     def eval_atom(self, atom: Term) -> bool:
         if atom.op == Op.EQ:
             a, b = atom.args
-            return self.eval(a) == self.eval(b)
+            va, vb = self.eval(a), self.eval(b)
+            if isinstance(va, dict) and isinstance(vb, dict):
+                # Array contents are finite maps with an implicit default
+                # of 0 (see eval_int's SELECT case), so {} and {0: 0}
+                # denote the same array; compare as total functions.
+                keys = set(va) | set(vb)
+                return all(va.get(k, 0) == vb.get(k, 0) for k in keys)
+            return va == vb
         if atom.op == Op.LE:
             return self.eval_int(atom.args[0]) <= self.eval_int(atom.args[1])
         if atom.op == Op.VAR and atom.sort.is_bool:
@@ -195,3 +202,41 @@ def verify_literals(model: Model,
         except TypeError:
             return (atom, polarity)
     return None
+
+
+def eval_formula(model: Model, formula: Term) -> bool:
+    """Evaluate a full boolean formula (not just a literal) under ``model``.
+
+    Recurses through the propositional structure and delegates atoms to
+    the same :meth:`Model.eval_atom` path :func:`verify_literals` uses.
+    An atom the model cannot evaluate counts as *false* — callers use
+    this to decide whether a cached model still witnesses a query, where
+    "can't tell" must never be treated as "yes".
+    """
+    op = formula.op
+    if op == Op.TRUE:
+        return True
+    if op == Op.FALSE:
+        return False
+    if op == Op.NOT:
+        return not eval_formula(model, formula.args[0])
+    if op == Op.AND:
+        return all(eval_formula(model, part) for part in formula.args)
+    if op == Op.OR:
+        return any(eval_formula(model, part) for part in formula.args)
+    return verify_literals(model, [(formula, True)]) is None
+
+
+def satisfies(model: Model, formulas: List[Term]) -> bool:
+    """True iff ``model`` concretely satisfies every formula.
+
+    The soundness guard of the query-result cache
+    (:mod:`repro.perf.cache`): a cached ``sat`` answer is only served
+    when its stored model still verifies against the *current* query's
+    assertions, so a fingerprint collision can degrade performance but
+    never correctness.
+    """
+    try:
+        return all(eval_formula(model, f) for f in formulas)
+    except (TypeError, RecursionError):
+        return False

@@ -56,29 +56,100 @@ UNSAT = "unsat"
 UNKNOWN = "unknown"
 
 
+# Theory participation bits, OR-combined up the term DAG.
+_TH_LIA = 1
+_TH_EUF = 2
+_TH_ARRAYS = 4
+
+_LIA_OPS = frozenset((Op.ADD, Op.MUL_CONST, Op.MUL, Op.DIV, Op.MOD, Op.LE))
+_ARRAY_OPS = frozenset((Op.SELECT, Op.STORE))
+_COMMUTATIVE_OPS = frozenset((Op.EQ, Op.ADD, Op.MUL))
+
+_SIG_MEMO: Dict[int, Tuple[bytes, int]] = {}
+"""``term.id -> (structural sha1 digest, theory bitmask)``.
+
+Terms are hash-consed and immortal (the cons table holds strong
+references), so a process-global memo keyed by ``id`` is safe; it interns
+the per-subterm work so fingerprinting a query costs one walk over the
+*new* nodes only — tracing and the query cache no longer pay a full tree
+walk per query.
+"""
+
+
+def _term_signature(t: Term) -> Tuple[bytes, int]:
+    """Fused digest + theory classification in a single subterm traversal."""
+    hit = _SIG_MEMO.get(t.id)
+    if hit is not None:
+        return hit
+    stack = [t]
+    while stack:
+        cur = stack[-1]
+        if cur.id in _SIG_MEMO:
+            stack.pop()
+            continue
+        pending = [a for a in cur.args if a.id not in _SIG_MEMO]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if cur.op in _LIA_OPS:
+            flags = _TH_LIA
+        elif cur.op == Op.APP:
+            flags = _TH_EUF
+        elif cur.op in _ARRAY_OPS:
+            flags = _TH_ARRAYS
+        else:
+            flags = 0
+        h = hashlib.sha1()
+        h.update(str(cur.op).encode())
+        if cur.payload is not None:
+            h.update(b"|" + repr(cur.payload).encode())
+        child = [_SIG_MEMO[arg.id] for arg in cur.args]
+        digests = [d for d, _ in child]
+        if cur.op in _COMMUTATIVE_OPS:
+            # mk_eq/mk_add/mk_mul orient their arguments by term id —
+            # i.e. by construction history, which differs between runs
+            # that take different paths (a warm cache run skips solves
+            # the cold run performed).  Sorting the child digests makes
+            # the fingerprint history-independent, so `a = b` and
+            # `b = a` key the same cache entry.
+            digests.sort()
+        for d in digests:
+            h.update(d)
+        for _, f in child:
+            flags |= f
+        _SIG_MEMO[cur.id] = (h.digest(), flags)
+    return _SIG_MEMO[t.id]
+
+
+def query_signature(formulas: Iterable[Term]) -> Tuple[str, str]:
+    """``(theories label, full structural fingerprint)`` in one traversal.
+
+    Fuses the former ``query_theories`` + ``query_fingerprint`` double
+    walk: each subterm is visited once (and, thanks to the process-global
+    memo, only on first sight ever).  The fingerprint is the full sha1
+    hexdigest — the query cache keys on all 160 bits; the 16-char trace
+    fingerprint is a prefix of it.
+    """
+    h = hashlib.sha1()
+    flags = 0
+    for f in formulas:
+        d, fl = _term_signature(f)
+        h.update(d)
+        flags |= fl
+    parts = [name for name, bit in
+             (("arrays", _TH_ARRAYS), ("euf", _TH_EUF), ("lia", _TH_LIA))
+             if flags & bit]
+    return ("+".join(parts) if parts else "prop", h.hexdigest())
+
+
 def query_theories(formulas: Iterable[Term]) -> str:
     """Classify a query by the theories its terms exercise.
 
     Returns a stable ``+``-joined label (``"euf+lia"``, ``"arrays+lia"``,
     ``"prop"`` for pure boolean structure) used to bucket trace counters.
     """
-    has_lia = has_euf = has_arrays = False
-    seen: Set[int] = set()
-    for f in formulas:
-        for t in subterms(f):
-            if t.id in seen:
-                continue
-            seen.add(t.id)
-            if t.op in (Op.ADD, Op.MUL_CONST, Op.MUL, Op.DIV, Op.MOD, Op.LE):
-                has_lia = True
-            elif t.op == Op.APP:
-                has_euf = True
-            elif t.op in (Op.SELECT, Op.STORE):
-                has_arrays = True
-    parts = [name for name, present in
-             (("arrays", has_arrays), ("euf", has_euf), ("lia", has_lia))
-             if present]
-    return "+".join(parts) if parts else "prop"
+    return query_signature(formulas)[0]
 
 
 def query_fingerprint(formulas: Iterable[Term]) -> str:
@@ -86,27 +157,42 @@ def query_fingerprint(formulas: Iterable[Term]) -> str:
 
     Two queries with identical assertion structure (same ops, payloads,
     and argument shapes, in the same order) share a fingerprint, which is
-    what makes trace fingerprints usable as a cache key for a future
-    query-result cache.
+    what makes trace fingerprints usable as a query-cache key
+    (:mod:`repro.perf.cache` uses the untruncated digest).
     """
-    digests: Dict[int, bytes] = {}
+    return query_signature(formulas)[1][:16]
 
-    def digest(t: Term) -> bytes:
-        hit = digests.get(t.id)
-        if hit is not None:
-            return hit
-        h = hashlib.sha1()
-        h.update(str(t.op).encode())
-        if t.payload is not None:
-            h.update(b"|" + repr(t.payload).encode())
-        for arg in t.args:
-            h.update(digest(arg))
-        d = h.digest()
-        digests[t.id] = d
-        return d
+
+_AXIOM_MEMO: Dict[int, Tuple[object, str]] = {}
+"""``id(axiom) -> (axiom, digest)``; the axiom is pinned so the id can
+never be recycled by a different object."""
+
+
+def axioms_digest(axioms: Iterable[Axiom]) -> str:
+    """A structural digest of an axiom set (part of the cache key).
+
+    Queries with identical assertions but different axiom environments
+    can differ in satisfiability (axioms add constraints), so the cache
+    key must separate them.
+    """
+    axioms = tuple(axioms)
+    if not axioms:
+        return "0"
     h = hashlib.sha1()
-    for f in formulas:
-        h.update(digest(f))
+    for ax in axioms:
+        entry = _AXIOM_MEMO.get(id(ax))
+        if entry is None or entry[0] is not ax:
+            hh = hashlib.sha1()
+            hh.update(ax.name.encode())
+            for var in ax.variables:
+                hh.update(_term_signature(var)[0])
+            hh.update(_term_signature(ax.body)[0])
+            for pattern in ax.normalized_patterns():
+                for part in pattern:
+                    hh.update(_term_signature(part)[0])
+            entry = (ax, hh.hexdigest())
+            _AXIOM_MEMO[id(ax)] = entry
+        h.update(entry[1].encode())
     return h.hexdigest()[:16]
 
 
@@ -127,12 +213,16 @@ class Solver:
                  instantiation_rounds: int = 2,
                  max_theory_rounds: int = 400,
                  sat_conflict_budget: int = 200_000,
-                 lia_branch_limit: int = 200):
+                 lia_branch_limit: int = 200,
+                 query_cache: Optional[object] = None):
         self.axioms = list(axioms)
         self.instantiation_rounds = instantiation_rounds
         self.max_theory_rounds = max_theory_rounds
         self.sat_conflict_budget = sat_conflict_budget
         self.lia_branch_limit = lia_branch_limit
+        self.query_cache = query_cache
+        """Optional :class:`repro.perf.cache.QueryCache`.  Duck-typed so
+        the smt layer stays import-independent of ``repro.perf``."""
         self.unknown_reason = ""
         self.assertions: List[Term] = []
         self.stats = SolverStats()
@@ -198,13 +288,32 @@ class Solver:
     # -- main loop ----------------------------------------------------------------
 
     def check(self) -> str:
-        if not obs.active():
+        cache = self.query_cache
+        if cache is None and not obs.active():
             return self._check()
-        if obs.tracing_enabled():
-            # Classification and fingerprinting walk every subterm, so
-            # they only run when a trace is actually being persisted.
-            obs.count(f"smt.queries.theory.{query_theories(self.assertions)}")
-            obs.mark("smt.fingerprint", query_fingerprint(self.assertions))
+        if cache is not None or obs.tracing_enabled():
+            # One fused, memoized traversal serves both the trace labels
+            # and the cache key (the old code walked the query twice).
+            theories, fingerprint = query_signature(self.assertions)
+            if obs.tracing_enabled():
+                obs.count(f"smt.queries.theory.{theories}")
+                obs.mark("smt.fingerprint", fingerprint[:16])
+        key = None
+        if cache is not None:
+            key = (f"{fingerprint}|{axioms_digest(self.axioms)}"
+                   f"|{self.instantiation_rounds}")
+            hit = cache.lookup(key, self.assertions)
+            if hit is not None:
+                # Correctness guard lives in the cache: ``unknown`` is
+                # never stored, and a sat hit was re-verified against
+                # *these* assertions before being served.
+                status, model = hit
+                self._model = model
+                obs.count("smt.cache.hit")
+                obs.count("smt.queries")
+                obs.count(f"smt.queries.{status}")
+                return status
+            obs.count("smt.cache.miss")
         lemmas0 = self.stats.lemmas
         with obs.span("smt.check"):
             result = self._check()
@@ -212,6 +321,11 @@ class Solver:
         obs.count(f"smt.queries.{result}")
         obs.count("smt.conflict_lemmas", self.stats.lemmas - lemmas0)
         obs.count("smt.theory_rounds", self.stats.theory_rounds)
+        if key is not None and result in (SAT, UNSAT):
+            cache.store(key, result,
+                        self._model if result == SAT else None,
+                        self.assertions)
+            obs.count("smt.cache.store")
         return result
 
     def _check(self) -> str:

@@ -45,6 +45,9 @@ class TSort:
             return f"(Array Int {self.elem!r})"
         return self.name or self.kind
 
+    def __reduce__(self):
+        return (_restore_sort, (self.kind, self.name, self.elem))
+
     @property
     def is_int(self) -> bool:
         return self.kind == SortKind.INT
@@ -60,6 +63,19 @@ class TSort:
 
 INT = TSort(SortKind.INT, "Int")
 BOOL = TSort(SortKind.BOOL, "Bool")
+
+
+def _restore_sort(kind: str, name: str, elem: Optional["TSort"]) -> "TSort":
+    """Unpickle a sort through the canonical constructors so identity
+    (``id(sort)``-keyed tables, ``is`` checks) survives the round trip."""
+    if kind == SortKind.INT:
+        return INT
+    if kind == SortKind.BOOL:
+        return BOOL
+    if kind == SortKind.ARRAY:
+        assert elem is not None
+        return array_sort(elem)
+    return uninterpreted_sort(name)
 
 _UNINTERPRETED: Dict[str, TSort] = {}
 _ARRAYS: Dict[int, TSort] = {}
@@ -134,6 +150,13 @@ class Term:
 
     def __repr__(self) -> str:
         return term_to_str(self)
+
+    def __reduce__(self):
+        # Rebuild through __new__ so unpickled terms re-enter the target
+        # process's hash-cons table: structural round trips preserve
+        # identity semantics (same structure => same object), even though
+        # raw ``id`` values differ between processes.
+        return (Term, (self.op, self.args, self.payload, self.sort))
 
     # Hash-consing makes default identity hash/eq correct and fast.
 

@@ -88,12 +88,28 @@ class FeasibilityOracle:
     def __init__(self, sorts: Mapping[str, ast.Sort],
                  externs: ExternRegistry = EMPTY_REGISTRY,
                  axioms: Sequence[smt.Axiom] = (),
-                 conflict_budget: int = 50_000):
+                 conflict_budget: int = 50_000,
+                 query_cache: Optional[object] = None):
         self.translator = Translator(sorts, externs)
         self.axioms = tuple(axioms)
         self.conflict_budget = conflict_budget
+        self.query_cache = query_cache
         self._cache: Dict[Tuple[Pred, ...], Tuple[bool, Optional[Dict]]] = {}
         self.queries = 0
+
+    def has_cached(self, ground_preds: Sequence[Pred]) -> bool:
+        """True when ``feasible_env`` on these preds would be a cache hit."""
+        return tuple(ground_preds) in self._cache
+
+    def prime(self, ground_preds: Sequence[Pred],
+              result: Tuple[bool, Optional[Dict]]) -> None:
+        """Seed the feasibility cache with a worker-computed result.
+
+        ``setdefault`` so a locally computed answer always wins: priming
+        can only add entries a serial run would eventually compute, never
+        change one.
+        """
+        self._cache.setdefault(tuple(ground_preds), result)
 
     def feasible(self, ground_preds: Sequence[Pred]) -> bool:
         return self.feasible_env(ground_preds)[0]
@@ -110,7 +126,8 @@ class FeasibilityOracle:
         self.queries += 1
         obs.count("symexec.smt_query")
         solver = smt.Solver(axioms=self.axioms,
-                            sat_conflict_budget=self.conflict_budget)
+                            sat_conflict_budget=self.conflict_budget,
+                            query_cache=self.query_cache)
         status = smt.UNKNOWN
         try:
             with obs.span("symexec.feasibility"):
@@ -160,14 +177,17 @@ class SymbolicExecutor:
                  axioms: Sequence[smt.Axiom] = (),
                  config: Optional[ExecConfig] = None,
                  oracle: Optional[FeasibilityOracle] = None,
-                 seed_inputs: Optional[List[Mapping[str, object]]] = None):
+                 seed_inputs: Optional[List[Mapping[str, object]]] = None,
+                 query_cache: Optional[object] = None):
         self.program = program
         self.config = config or ExecConfig()
         self.externs = externs
         self.oracle = oracle or FeasibilityOracle(
             program.decls, externs, axioms,
-            conflict_budget=self.config.solver_conflict_budget)
+            conflict_budget=self.config.solver_conflict_budget,
+            query_cache=query_cache)
         self.seed_inputs = seed_inputs if seed_inputs is not None else []
+        self.pool = None
         from ..analysis.prune import static_pruning_enabled
 
         self._const_pruning = static_pruning_enabled(self.config.const_pruning)
@@ -177,6 +197,11 @@ class SymbolicExecutor:
         self.const_prunes = 0
 
     # -- public API ---------------------------------------------------------
+
+    def attach_pool(self, pool) -> None:
+        """Use ``pool`` (:class:`repro.perf.pool.WorkerPool`) to warm the
+        feasibility cache before each guided search."""
+        self.pool = pool
 
     def find_path(self,
                   expr_solution: Mapping[str, ast.Expr],
@@ -191,6 +216,8 @@ class SymbolicExecutor:
         self._avoid = avoid
         self._rng = rng
         self._interp = None
+        if self.pool is not None and self.pool.parallel and avoid:
+            self._prefetch_avoid(avoid)
         initial_vmap = {v: 0 for v in self.program.decls}
         envs = self._seed_envs()
         try:
@@ -198,6 +225,44 @@ class SymbolicExecutor:
                               envs, {})
         except _BudgetExhausted:
             return None
+
+    def _prefetch_avoid(self, avoid: Set[Path]) -> None:
+        """Warm the feasibility cache for the avoid-set's guard prefixes.
+
+        The guided DFS re-derives each avoided path's prefix before it
+        can backtrack away from it, so those feasibility probes are
+        near-certain upcoming queries.  Computing them in parallel ahead
+        of time is pure cache warming: the oracle's answers are
+        deterministic functions of the ground predicates, so priming
+        never changes what the search does — only how long it waits.
+        """
+        index_of = {path: i for i, path in enumerate(self.pool.ctx.explored)}
+        tasks = []
+        keys = []
+        seen = set()
+        for path in sorted(avoid, key=lambda p: index_of.get(p, -1)):
+            pidx = index_of.get(path)
+            if pidx is None:
+                continue  # not in the pool's snapshot; probe it serially
+            items = list(path.items)
+            while items and not isinstance(items[-1], Guard):
+                items.pop()
+            if not items:
+                continue
+            ground = tuple(substitute_items(items, self._expr_sol,
+                                            self._pred_sol))
+            if ground in seen or self.oracle.has_cached(ground):
+                continue
+            seen.add(ground)
+            keys.append(ground)
+            tasks.append(("avoid_feasible", pidx, self._expr_sol,
+                          self._pred_sol))
+        if len(tasks) < 2:
+            return
+        obs.count("symexec.avoid_prefetch", len(tasks))
+        results = self.pool.map_ordered(tasks)
+        for key, result in zip(keys, results):
+            self.oracle.prime(key, result)
 
     def _seed_envs(self) -> List[Dict[str, object]]:
         from ..concrete.values import coerce_input

@@ -1,0 +1,76 @@
+"""Differential tests for the repro.perf layer (DESIGN.md §10 contract).
+
+A PINS run must produce bit-identical results whether probes run
+serially or fanned out across forked workers, and whether the SMT query
+cache is off, cold, or warm: the perf layer may only change wall time.
+These tests pin that down on sumi (full config) and a reduced runlength.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.suite import get_benchmark
+
+
+def fingerprint(result):
+    """Everything observable about a run's outcome, hashable."""
+    solutions = tuple(sorted(s.describe() for s in result.solutions))
+    digest = hashlib.sha256("\n".join(solutions).encode()).hexdigest()
+    return (result.status, result.stats.iterations,
+            result.stats.paths_explored, len(result.solutions), digest)
+
+
+def run(name, *, jobs=None, query_cache=None, force_fork=False,
+        monkeypatch=None, **overrides):
+    if force_fork:
+        monkeypatch.setenv("REPRO_JOBS_FORCE", "1")
+    elif monkeypatch is not None:
+        monkeypatch.delenv("REPRO_JOBS_FORCE", raising=False)
+    config = dict(m=10, max_iterations=25, seed=1)
+    if name == "runlength":
+        config = dict(m=6, max_iterations=6, seed=1)
+    config.update(overrides)
+    task = get_benchmark(name).task
+    return run_pins(task, PinsConfig(jobs=jobs, query_cache=query_cache,
+                                     **config))
+
+
+@pytest.mark.parametrize("name", ["sumi", "runlength"])
+def test_jobs4_matches_serial(name, monkeypatch):
+    serial = run(name, jobs=1, monkeypatch=monkeypatch)
+    parallel = run(name, jobs=4, force_fork=True, monkeypatch=monkeypatch)
+    assert fingerprint(parallel) == fingerprint(serial)
+
+
+@pytest.mark.parametrize("name", ["sumi", "runlength"])
+def test_cache_on_matches_cache_off(name, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_QUERY_CACHE", raising=False)
+    off = run(name)
+    cache_dir = str(tmp_path) + "/"
+    cold = run(name, query_cache=cache_dir)
+    warm = run(name, query_cache=cache_dir)
+    assert fingerprint(cold) == fingerprint(off)
+    assert fingerprint(warm) == fingerprint(off)
+    # |F| growth (paths explored per iteration) is identical, and the
+    # warm run actually exercised the cache.
+    assert warm.stats.smt_cache_hits > 0
+    assert warm.stats.smt_cache_hits > cold.stats.smt_cache_hits
+
+
+def test_jobs_and_warm_cache_together_match_serial(tmp_path, monkeypatch):
+    serial = run("sumi", monkeypatch=monkeypatch)
+    cache_dir = str(tmp_path) + "/"
+    run("sumi", query_cache=cache_dir)  # prime
+    combined = run("sumi", jobs=4, query_cache=cache_dir,
+                   force_fork=True, monkeypatch=monkeypatch)
+    assert fingerprint(combined) == fingerprint(serial)
+    assert combined.stats.smt_cache_hits > 0
+
+
+def test_memory_cache_matches_disk_cache(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_QUERY_CACHE", raising=False)
+    mem = run("sumi", query_cache="mem")
+    disk = run("sumi", query_cache=str(tmp_path) + "/")
+    assert fingerprint(mem) == fingerprint(disk)

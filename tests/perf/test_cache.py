@@ -1,0 +1,251 @@
+"""Unit tests for the SMT query-result cache (repro.perf.cache)."""
+
+import json
+import os
+
+from repro.perf import (
+    QueryCache,
+    extract_witness,
+    query_cache_for,
+    rebuild_model,
+    resolve_cache_spec,
+)
+from repro.perf.cache import ENV_QUERY_CACHE
+from repro.smt import (
+    ARR,
+    INT,
+    SAT,
+    UNSAT,
+    Solver,
+    mk_add,
+    mk_eq,
+    mk_int,
+    mk_le,
+    mk_lt,
+    mk_select,
+    mk_store,
+    mk_var,
+    query_fingerprint,
+)
+from repro.smt.models import Model, satisfies
+
+x = mk_var("x", INT)
+y = mk_var("y", INT)
+A = mk_var("A", ARR)
+
+
+def solve_with_cache(formulas, cache):
+    solver = Solver(query_cache=cache)
+    solver.add(*formulas)
+    status = solver.check()
+    return status, (solver.model() if status == SAT else None)
+
+
+# -- basic memo behavior ------------------------------------------------------
+
+
+def test_memory_hit_serves_same_answer():
+    cache = QueryCache()
+    formulas = [mk_lt(x, y), mk_le(y, mk_add(x, mk_int(1)))]
+    s1, m1 = solve_with_cache(formulas, cache)
+    s2, m2 = solve_with_cache(formulas, cache)
+    assert s1 == s2 == SAT
+    assert cache.hits == 1 and cache.misses == 1
+    assert m2.eval_int(y) == m2.eval_int(x) + 1
+
+
+def test_unsat_is_cached():
+    cache = QueryCache()
+    formulas = [mk_lt(x, y), mk_lt(y, x)]
+    assert solve_with_cache(formulas, cache)[0] == UNSAT
+    assert solve_with_cache(formulas, cache)[0] == UNSAT
+    assert cache.hits == 1
+
+
+def test_unknown_is_never_cached():
+    cache = QueryCache()
+    cache.store("some-key", "unknown", None, [])
+    assert cache.lookup("some-key", []) is None
+    assert cache.stores == 0
+
+
+def test_different_constants_different_fingerprints():
+    f1 = mk_eq(x, mk_int(1))
+    f2 = mk_eq(x, mk_int(2))
+    assert query_fingerprint([f1]) != query_fingerprint([f2])
+
+
+def test_commutative_orientation_shares_fingerprint():
+    # mk_eq orients by term id (construction history); the fingerprint
+    # must not depend on that, or warm runs diverge from cold ones.
+    lhs = mk_add(x, mk_int(1))
+    assert query_fingerprint([mk_eq(lhs, y)]) == query_fingerprint([mk_eq(y, lhs)])
+
+
+# -- collision safety ---------------------------------------------------------
+
+
+def test_key_collision_degrades_to_miss_not_wrong_answer():
+    # Force a collision by storing a sat model under a key that a
+    # *different* (unsatisfiable-under-that-model) query then looks up.
+    cache = QueryCache()
+    sat_formulas = [mk_eq(x, mk_int(1))]
+    status, model = solve_with_cache(sat_formulas, cache)
+    assert status == SAT
+    key = "forced-collision-key"
+    cache.store(key, SAT, model, sat_formulas)
+    other = [mk_eq(x, mk_int(2))]
+    assert cache.lookup(key, other) is None  # model fails re-verification
+    # And the poisoned entry was dropped so we stop paying the check.
+    assert key not in cache._mem
+
+
+def test_unverifiable_sat_model_is_not_served():
+    cache = QueryCache()
+    model = Model()  # knows nothing; satisfies() must reject it
+    cache.store("k", SAT, model, [mk_eq(x, mk_int(5))])
+    assert cache.lookup("k", [mk_eq(x, mk_int(5))]) is None
+
+
+# -- eviction -----------------------------------------------------------------
+
+
+def test_memory_eviction_is_fifo_and_counted():
+    cache = QueryCache(max_memory_entries=2)
+    cache.store("k1", UNSAT, None, [])
+    cache.store("k2", UNSAT, None, [])
+    cache.store("k3", UNSAT, None, [])
+    assert cache.evictions == 1
+    assert cache.lookup("k1", []) is None
+    assert cache.lookup("k2", []) == (UNSAT, None)
+    assert cache.lookup("k3", []) == (UNSAT, None)
+
+
+# -- witness round-trips ------------------------------------------------------
+
+
+def test_witness_roundtrip_int_and_array():
+    formulas = [mk_eq(x, mk_int(7)),
+                mk_eq(mk_select(A, mk_int(0)), mk_int(3))]
+    status, model = solve_with_cache(formulas, QueryCache())
+    assert status == SAT
+    witness = extract_witness(model)
+    assert witness is not None
+    rebuilt = rebuild_model(json.loads(json.dumps(witness)), formulas)
+    assert satisfies(rebuilt, formulas)
+    assert rebuilt.eval_int(x) == 7
+
+
+def test_witness_rejects_class_values():
+    model = Model()
+    model.class_values[x] = 42
+    assert extract_witness(model) is None
+
+
+def test_partial_model_store_equality_verifies():
+    # A written-but-never-read array variable gets no contents in the
+    # solver model; the cache's completion-based check must still accept
+    # the witness (strict dict equality would spuriously miss).
+    B = mk_var("B", ARR)
+    formulas = [mk_eq(B, mk_store(A, mk_int(0), x)),
+                mk_eq(mk_select(A, mk_int(1)), mk_int(9))]
+    cache = QueryCache()
+    s1, _ = solve_with_cache(formulas, cache)
+    s2, _ = solve_with_cache(formulas, cache)
+    assert s1 == s2 == SAT
+    assert cache.hits == 1
+
+
+# -- disk tier ----------------------------------------------------------------
+
+
+def test_disk_roundtrip_across_instances(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    formulas = [mk_eq(x, mk_int(7)), mk_lt(mk_int(0), y)]
+    c1 = QueryCache(path)
+    assert solve_with_cache(formulas, c1)[0] == SAT
+    unsat_formulas = [mk_lt(x, y), mk_lt(y, x)]
+    assert solve_with_cache(unsat_formulas, c1)[0] == UNSAT
+    c1.close()
+
+    c2 = QueryCache(path)
+    s, model = solve_with_cache(formulas, c2)
+    assert s == SAT and model.eval_int(x) == 7
+    assert solve_with_cache(unsat_formulas, c2)[0] == UNSAT
+    assert c2.hits == 2 and c2.misses == 0
+    c2.close()
+
+
+def test_concurrent_writers_use_distinct_shards(tmp_path):
+    # Two caches on the same path (two "processes") must not interleave
+    # writes in one file; each appends to its own pid shard and a later
+    # reader merges both.  Same-pid instances share a shard file, so
+    # simulate the second writer with a distinct shard name.
+    path = str(tmp_path / "cache.jsonl")
+    c1 = QueryCache(path)
+    c1.store("k1", UNSAT, None, [])
+    c1.close()
+    with open(path + ".shard-99999", "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"key": "k2", "status": UNSAT}) + "\n")
+
+    reader = QueryCache(path)
+    assert reader.lookup("k1", []) == (UNSAT, None)
+    assert reader.lookup("k2", []) == (UNSAT, None)
+
+
+def test_refresh_picks_up_new_shard_entries(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    cache = QueryCache(path)
+    assert cache.lookup("late", []) is None
+    with open(path + ".shard-12345", "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"key": "late", "status": UNSAT}) + "\n")
+    cache.refresh()
+    assert cache.lookup("late", []) == (UNSAT, None)
+
+
+def test_compact_merges_shards_atomically(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    cache = QueryCache(path)
+    cache.store("k1", UNSAT, None, [])
+    with open(path + ".shard-424242", "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"key": "k2", "status": UNSAT}) + "\n")
+    cache.compact()
+    assert not cache._shard_paths()
+    assert os.path.exists(path)
+    fresh = QueryCache(path)
+    assert fresh.lookup("k1", []) == (UNSAT, None)
+    assert fresh.lookup("k2", []) == (UNSAT, None)
+
+
+def test_malformed_disk_lines_are_skipped(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"key": "good", "status": "unsat"}\n')
+        fh.write("{torn-write\n")
+        fh.write('{"key": "bad-status", "status": "unknown"}\n')
+    cache = QueryCache(path)
+    assert cache.lookup("good", []) == (UNSAT, None)
+    assert cache.lookup("bad-status", []) is None
+
+
+# -- spec resolution ----------------------------------------------------------
+
+
+def test_resolve_cache_spec_precedence(monkeypatch):
+    monkeypatch.delenv(ENV_QUERY_CACHE, raising=False)
+    assert resolve_cache_spec(None) is None
+    assert resolve_cache_spec("mem") == "mem"
+    monkeypatch.setenv(ENV_QUERY_CACHE, "/tmp/from-env")
+    assert resolve_cache_spec(None) == "/tmp/from-env"
+    assert resolve_cache_spec("explicit") == "explicit"  # config wins
+    monkeypatch.setenv(ENV_QUERY_CACHE, "0")
+    assert resolve_cache_spec(None) is None
+
+
+def test_query_cache_for_memory_and_dir(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_QUERY_CACHE, raising=False)
+    assert query_cache_for(None) is None
+    mem = query_cache_for("mem")
+    assert mem is not None and mem.path is None
+    disk = query_cache_for(str(tmp_path) + os.sep, slug="bench")
+    assert disk.path == str(tmp_path / "bench.jsonl")

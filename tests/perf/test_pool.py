@@ -1,0 +1,99 @@
+"""Worker-pool behavior: jobs resolution, serial fallback, forked equality."""
+
+import os
+
+import pytest
+
+from repro.perf import PerfContext, WorkerPool, resolve_jobs
+from repro.perf.pool import ENV_JOBS, ENV_JOBS_FORCE, _run_task
+from repro.pins.checker import ConstraintChecker
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    monkeypatch.delenv(ENV_JOBS, raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(0) == 1
+    monkeypatch.setenv(ENV_JOBS, "3")
+    assert resolve_jobs(None) == 3
+    assert resolve_jobs(2) == 2  # config wins over env
+    monkeypatch.setenv(ENV_JOBS, "junk")
+    assert resolve_jobs(None) == 1
+
+
+def test_jobs_one_is_serial(monkeypatch):
+    monkeypatch.delenv(ENV_JOBS_FORCE, raising=False)
+    pool = WorkerPool(1, PerfContext())
+    assert not pool.parallel
+    pool.close()
+
+
+def test_jobs_clamped_to_cpu_count(monkeypatch):
+    monkeypatch.delenv(ENV_JOBS_FORCE, raising=False)
+    pool = WorkerPool(4, PerfContext())
+    try:
+        cpus = os.cpu_count() or 1
+        assert pool.parallel == (cpus > 1)
+    finally:
+        pool.close()
+
+
+def test_serial_fallback_runs_tasks_inline():
+    class FakeChecker:
+        def check(self, constraint, solution):
+            return (constraint, solution)
+
+    ctx = PerfContext(checker=FakeChecker(), constraints=("c0", "c1"))
+    pool = WorkerPool(1, PerfContext())  # serial
+    # Serial map_ordered still dispatches through _run_task with ctx.
+    pool.ctx = ctx
+    out = pool.map_ordered([("constraint", 1, "sol")])
+    assert out == [("c1", "sol")]
+    pool.close()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+def test_forced_fork_matches_serial(monkeypatch):
+    """REPRO_JOBS_FORCE=1 exercises real forked workers even on one CPU;
+    results must equal the serial fold exactly and in order."""
+    from repro.lang.transform import compose, desugar_program
+    from repro.pins.algorithm import build_template
+    from repro.pins.solve import SolveSession, SolveStats, solve
+    from repro.pins.termination import terminate
+    from repro.suite.sumi import benchmark as sumi_benchmark
+
+    task = sumi_benchmark().task
+    desugared = desugar_program(compose(task.program, task.inverse))
+    checker = ConstraintChecker(desugared.decls)
+    constraints = list(terminate(desugared.body, desugared.decls))
+    template = build_template(task)
+    session = SolveSession(template.space)
+    solutions = solve(session, constraints, checker,
+                      [{"n": k} for k in range(4)], m=2, stats=SolveStats())
+    assert constraints and solutions
+
+    tasks = [("constraint", i, sol)
+             for sol in solutions
+             for i in range(min(len(constraints), 3))]
+    ctx = PerfContext(checker=checker, constraints=constraints)
+
+    serial_pool = WorkerPool(1, ctx)
+    serial = serial_pool.map_ordered(tasks)
+    serial_pool.close()
+
+    monkeypatch.setenv(ENV_JOBS_FORCE, "1")
+    forked_pool = WorkerPool(2, ctx)
+    assert forked_pool.parallel
+    try:
+        forked = forked_pool.map_ordered(tasks)
+    finally:
+        forked_pool.close()
+    assert forked == serial
+
+
+def test_unknown_task_kind_raises():
+    import repro.perf.pool as pool_mod
+
+    pool_mod._CTX = PerfContext()
+    with pytest.raises(ValueError):
+        _run_task(("no-such-kind",))

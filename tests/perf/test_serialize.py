@@ -1,0 +1,80 @@
+"""Pickle round-trips for everything the worker pool ships across forks.
+
+Terms are hash-consed: ``Term.__reduce__`` re-conses through
+``Term.__new__``, so unpickling must return the *same* object in a
+process that already interned the term — identity, not just equality.
+"""
+
+import pickle
+
+from repro.pins.template import Solution
+from repro.smt import (
+    ARR,
+    BOOL,
+    INT,
+    mk_add,
+    mk_and,
+    mk_app,
+    mk_eq,
+    mk_int,
+    mk_le,
+    mk_not,
+    mk_select,
+    mk_store,
+    mk_var,
+)
+from repro.smt.models import Model
+from repro.smt.terms import array_sort, uninterpreted_sort
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def test_term_identity_preserved():
+    x = mk_var("x", INT)
+    term = mk_and(mk_le(mk_int(0), x), mk_not(mk_eq(x, mk_int(3))))
+    assert roundtrip(term) is term
+
+
+def test_app_and_array_term_identity():
+    A = mk_var("A", ARR)
+    i = mk_var("i", INT)
+    term = mk_eq(mk_select(mk_store(A, i, mk_int(1)), i),
+                 mk_app("f", [mk_add(i, mk_int(2))], INT))
+    assert roundtrip(term) is term
+
+
+def test_sort_roundtrip():
+    for sort in (INT, BOOL, ARR, array_sort(INT),
+                 uninterpreted_sort("blob")):
+        assert roundtrip(sort) is sort
+
+
+def test_uninterpreted_sorted_var_roundtrip():
+    s = uninterpreted_sort("stream")
+    v = mk_var("st", s)
+    w = roundtrip(v)
+    assert w is v and w.sort is s
+
+
+def test_model_roundtrip_preserves_values():
+    x = mk_var("x", INT)
+    A = mk_var("A", ARR)
+    model = Model()
+    model.int_values[x] = 5
+    model.arrays[A] = {0: 1, 3: -2}
+    model.app_table[("f", 1)] = 9
+    out = roundtrip(model)
+    assert out.int_values[x] == 5  # same term key resolves
+    assert out.arrays[A] == {0: 1, 3: -2}
+    assert out.app_table[("f", 1)] == 9
+
+
+def test_solution_roundtrip():
+    from repro.lang.ast import Var
+
+    sol = Solution(exprs=(("h1", Var("x")),), preds=(("p1", ()),))
+    out = roundtrip(sol)
+    assert out.key == sol.key
+    assert out.expr_map == sol.expr_map

@@ -8,9 +8,17 @@ When both runs stabilize, their solution sets must be identical —
 pruning may only remove candidates that can never appear in a correct
 inverse.
 
+The absint A/B does the same for the abstract-interpretation layer:
+PINS runs with ``absint`` on and off (static pruning held constant),
+reporting symexec feasibility queries, full checker SMT checks, and
+wall time — the layer must cut SMT work while leaving the stabilized
+inverses bit-identical.
+
 Runnable standalone (``PYTHONPATH=src python benchmarks/bench_analysis.py``)
 or through pytest (``pytest benchmarks/bench_analysis.py``).
 """
+
+import time
 
 import pytest
 
@@ -89,12 +97,63 @@ def test_static_pruning_ab(benchmark, name):
     assert on.stats.symexec_const_prunes >= 0
 
 
+ABSINT_HEADERS = ["benchmark", "symexec SMT off", "symexec SMT on",
+                  "checker SMT off", "checker SMT on", "red. %",
+                  "screen holds", "time off (s)", "time on (s)", "status"]
+
+
+def absint_ab_row(name):
+    bench = get_benchmark(name)
+    cfg = CONFIGS[name]
+
+    t0 = time.perf_counter()
+    on = run_pins(bench.task, PinsConfig(**{**cfg.__dict__, "absint": True}))
+    t_on = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    off = run_pins(bench.task, PinsConfig(**{**cfg.__dict__, "absint": False}))
+    t_off = time.perf_counter() - t0
+
+    row = [
+        name,
+        off.stats.symexec_smt_calls, on.stats.symexec_smt_calls,
+        off.stats.checker_smt_checks, on.stats.checker_smt_checks,
+        pct(off.stats.checker_smt_checks - on.stats.checker_smt_checks,
+            off.stats.checker_smt_checks),
+        on.stats.absint_screen_holds,
+        f"{t_off:.2f}", f"{t_on:.2f}",
+        f"{on.status}/{off.status}",
+    ]
+    return row, on, off
+
+
+@pytest.mark.absint
+@pytest.mark.parametrize("name", NAMES)
+def test_absint_ab(benchmark, name):
+    row, on, off = benchmark.pedantic(absint_ab_row, args=(name,),
+                                      rounds=1, iterations=1)
+    print("\n" + render(ABSINT_HEADERS, [row]))
+    assert on.succeeded and off.succeeded
+    # The screen must fire and must only *remove* SMT work.
+    assert on.stats.absint_screen_holds > 0, name
+    assert on.stats.checker_smt_checks < off.stats.checker_smt_checks, name
+    assert on.stats.symexec_smt_calls <= off.stats.symexec_smt_calls, name
+    if on.status == off.status == "stabilized":
+        assert ({pretty_program(p) for p in on.inverse_programs()}
+                == {pretty_program(p) for p in off.inverse_programs()})
+
+
 def main() -> None:
     rows = []
     for name in NAMES:
         row, _full, _on, _off = ab_row(name)
         rows.append(row)
     print(render(HEADERS, rows))
+    rows = []
+    for name in NAMES:
+        row, _on, _off = absint_ab_row(name)
+        rows.append(row)
+    print()
+    print(render(ABSINT_HEADERS, rows))
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ import pytest
 
 def pytest_addoption(parser):
     parser.addoption(
-        "--trace", action="store", default=None, metavar="PATH",
+        "--obs-trace", action="store", default=None, metavar="PATH",
         help="write a repro.obs JSONL trace of every synthesis run in this "
              "benchmark session to PATH (equivalent to REPRO_TRACE=PATH); "
              "inspect with `python -m repro.obs report PATH`")
@@ -27,7 +27,7 @@ def pytest_configure(config):
     # One session-wide recorder so every bench_table*.py synthesis run
     # lands in a single trace; run_pins sees an active recorder and does
     # not open its own.
-    path = config.getoption("--trace") or os.environ.get("REPRO_TRACE")
+    path = config.getoption("--obs-trace") or os.environ.get("REPRO_TRACE")
     if path:
         from repro import obs
 

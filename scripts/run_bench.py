@@ -99,6 +99,9 @@ def main() -> int:
                     help="SMT query-cache spec: 'mem', a file, or a dir/")
     ap.add_argument("--no-validate", action="store_true",
                     help="skip inverse validation (pure perf runs)")
+    ap.add_argument("--no-absint", action="store_true",
+                    help="disable the abstract-interpretation layer "
+                         "(screen + path pruning) for A/B runs")
     ap.add_argument("--bench-json", default=None,
                     help="merge a per-benchmark record into this JSON file")
     ap.add_argument("--bench-label", default=None,
@@ -119,7 +122,8 @@ def main() -> int:
         task = bench.task
         config = PinsConfig(m=args.m, max_iterations=args.iters,
                             seed=args.seed, jobs=args.jobs,
-                            query_cache=args.query_cache)
+                            query_cache=args.query_cache,
+                            absint=False if args.no_absint else None)
         t0 = time.time()
         result = run_pins(task, config)
         elapsed = time.time() - t0

@@ -1,22 +1,48 @@
-"""Static analysis over the Fig. 2 IR: linting, dataflow, and pruning.
+"""Static analysis over the Fig. 2 IR: linting, dataflow, abstract
+interpretation, and pruning.
 
-Three pipeline consumers sit on top of this package:
+Pipeline consumers on top of this package:
 
 * :func:`repro.analysis.prune.prune_hole_space` shrinks per-hole
   candidate sets (and hence the SAT indicator space) before
   ``pins.solve`` runs;
 * the symbolic executor folds branch guards through
-  :mod:`repro.analysis.fold`'s linear forms to skip statically
-  infeasible paths without an SMT feasibility call;
+  :mod:`repro.analysis.fold`'s linear forms *and* threads an abstract
+  state from :mod:`repro.analysis.absint` to skip statically infeasible
+  paths without an SMT feasibility call;
+* the constraint checker screens (constraint, candidate) pairs through
+  abstract saturation before any full SMT check (DESIGN.md §11);
+* :mod:`repro.analysis.certify` proves the ``P ; P⁻¹`` identity over
+  bounded input boxes, and ``validate.roundtrip`` rides it along as a
+  pre-check;
 * ``pins.template`` / ``pins.task`` fail fast with located
   :class:`~repro.analysis.diagnostics.Diagnostic` objects when a
   template provably cannot write an output the identity spec requires.
 
-``python -m repro.analysis`` and ``scripts/lint_suite.py`` expose the
-linter on the command line.
+``python -m repro.analysis`` (linting, ``certify``) and
+``scripts/lint_suite.py`` expose the tools on the command line.
 """
 
+from .absint import (
+    AbsEnv,
+    AnalysisResult,
+    BackwardAnalyzer,
+    ForwardAnalyzer,
+    LoopInfo,
+    absint_enabled,
+    forward_backward_prove,
+    preds_unsat,
+    saturate,
+)
 from .cfg import CFG, Node, build_cfg
+from .certify import (
+    CertificateReport,
+    VariableVerdict,
+    certify_benchmark,
+    certify_composed,
+    certify_suite,
+)
+from .domains import AbsVal, Congruence, Interval, Sign
 from .dataflow import (
     constant_propagation,
     dead_stores,

@@ -1,14 +1,23 @@
-"""Command-line linter: ``python -m repro.analysis [files...]``.
+"""Command-line analysis tools: ``python -m repro.analysis``.
 
-Lints source files in the Fig. 2 concrete syntax (as accepted by
-:func:`repro.lang.parser.parse_program`), or the whole benchmark suite
-with ``--suite``.  Exit status: 0 clean, 1 diagnostics failed the run,
-2 a file could not be parsed.
+Two modes:
+
+* ``python -m repro.analysis [files...] [--suite]`` — lint source files
+  in the Fig. 2 concrete syntax (as accepted by
+  :func:`repro.lang.parser.parse_program`), or the whole benchmark suite.
+  Exit status: 0 clean, 1 diagnostics failed the run, 2 a file could not
+  be parsed.
+* ``python -m repro.analysis certify [names...]`` — abstractly certify
+  the suite's ground-truth inverses (``P ; P⁻¹`` identity) over each
+  task's bounded value range and report per-variable PROVED/UNKNOWN.
+  With ``--baseline FILE`` exits 1 if any recorded PROVED verdict
+  regressed; ``--write-baseline FILE`` records the current verdicts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
@@ -18,10 +27,62 @@ from .lint import lint_program
 from .suitelint import run_suite_lint
 
 
+def certify_main(argv: List[str]) -> int:
+    from .certify import (certify_suite, compare_to_baseline, load_baseline,
+                          reports_to_json, save_baseline)
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis certify",
+        description="Abstractly certify suite inverses (P ; P⁻¹ identity).")
+    ap.add_argument("names", nargs="*",
+                    help="benchmark names (default: the whole suite)")
+    ap.add_argument("--max-boxes", type=int, default=512,
+                    help="subdivision budget per certified variable")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the verdict map as JSON on stdout")
+    ap.add_argument("--baseline", metavar="FILE",
+                    help="fail on regressions from this recorded verdict map")
+    ap.add_argument("--write-baseline", metavar="FILE",
+                    help="record the current verdict map to FILE")
+    args = ap.parse_args(argv)
+
+    reports = certify_suite(args.names or None, max_boxes=args.max_boxes)
+    if args.json:
+        print(json.dumps(reports_to_json(reports), indent=2, sort_keys=True))
+    else:
+        for r in reports:
+            print(f"{r.name} (range {r.value_range[0]}..{r.value_range[1]}, "
+                  f"{r.boxes_explored} analysis runs):")
+            for v in r.verdicts:
+                print(f"  {v}")
+    status = 0
+    if args.baseline:
+        regressions, improvements = compare_to_baseline(
+            reports, load_baseline(args.baseline))
+        for line in improvements:
+            print(f"improved: {line}")
+        for line in regressions:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        if regressions:
+            status = 1
+        else:
+            print(f"baseline ok: no PROVED verdict regressed "
+                  f"({args.baseline})")
+    if args.write_baseline:
+        save_baseline(reports, args.write_baseline)
+        print(f"wrote {args.write_baseline}")
+    return status
+
+
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "certify":
+        return certify_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Lint PINS programs / the benchmark suite.")
+        description="Lint PINS programs / the benchmark suite "
+                    "(or: certify ...).")
     ap.add_argument("files", nargs="*",
                     help="program source files to lint")
     ap.add_argument("--suite", action="store_true",

@@ -1,0 +1,643 @@
+"""Fixpoint abstract interpretation over the Fig. 2 IR.
+
+The engine evaluates programs (and straight-line SSA paths) over the
+reduced product of intervals, congruences, and signs from
+:mod:`repro.analysis.domains`.  Three layers:
+
+* **expression/predicate transfer** — :func:`eval_expr`, :func:`eval_pred`
+  compute abstract values; :func:`refine_pred` / :func:`refine_expr` push
+  an assumed fact *backward* into the variables it mentions (the
+  precondition transfer);
+* **constraint saturation** — :func:`saturate` round-robins refinement
+  over a ground predicate list until fixpoint.  On SSA path items
+  (``x#3 = e`` equalities plus guards) each sweep propagates information
+  both forward (defs to uses) and backward (a later guard through the
+  defining equality into its operands), so iterating sweeps *is* the
+  forward–backward iteration of Yoon et al.;
+* **program analysis** — :class:`ForwardAnalyzer` runs a structural
+  fixpoint over ``Stmt`` trees with widening/narrowing at loop heads
+  (plus bounded concrete unrolling when every guard is decided, which
+  makes singleton input boxes exact), and :class:`BackwardAnalyzer`
+  computes necessary preconditions; :func:`forward_backward_prove`
+  composes the two to refute a violation predicate.
+
+Soundness direction: every abstract state over-approximates the set of
+reachable concrete states, so a ``⊥`` result proves concrete
+unreachability.  Division by zero raises in the concrete interpreter
+(killing the execution), so the abstract divide/modulo transfer ignores
+the zero divisor — matching those semantics exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..lang import ast
+from ..lang.ast import (ArithOp, Assign, Assume, BinOp, BoolLit, Cmp, CmpOp,
+                        Exit, Expr, GIf, GWhile, If, In, IntLit, Out, Pred,
+                        Seq, Skip, Sort, Stmt, Var, While, negate)
+from .domains import AbsVal, Interval, binop, cmp_values, refine_cmp
+from .prune import static_pruning_enabled
+
+ENV_FLAG = "REPRO_ABSINT"
+
+
+def absint_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the absint switch: explicit override, else env, else follow
+    the static-pruning switch (baselines run fully unpruned)."""
+    if override is not None:
+        return override
+    raw = os.environ.get(ENV_FLAG)
+    if raw is not None:
+        return raw.strip().lower() not in ("0", "false", "off")
+    return static_pruning_enabled(None)
+
+
+def base_name(name: str) -> str:
+    """Strip an SSA version suffix (``ip#3`` -> ``ip``)."""
+    return name.split("#", 1)[0]
+
+
+# ---------------------------------------------------------------------------
+# Abstract environments
+# ---------------------------------------------------------------------------
+
+
+class AbsEnv:
+    """Maps INT-sorted variables to abstract values; absent means TOP.
+
+    Variables whose base name is not declared with sort INT are never
+    tracked (``get`` answers TOP, ``set`` is a no-op), so array/string
+    comparisons can never contaminate the numeric state.
+    """
+
+    __slots__ = ("sorts", "vars", "bottom")
+
+    def __init__(self, sorts: Mapping[str, Sort],
+                 vars: Optional[Dict[str, AbsVal]] = None,
+                 bottom: bool = False):
+        self.sorts = sorts
+        self.vars: Dict[str, AbsVal] = vars if vars is not None else {}
+        self.bottom = bottom
+
+    def tracks(self, name: str) -> bool:
+        return self.sorts.get(base_name(name)) is Sort.INT
+
+    def get(self, name: str) -> AbsVal:
+        if self.bottom:
+            return AbsVal.BOT
+        return self.vars.get(name, AbsVal.TOP)
+
+    def set(self, name: str, val: AbsVal) -> "AbsEnv":
+        """Functional update; an untracked name or TOP value clears the slot."""
+        if self.bottom or not self.tracks(name):
+            return self
+        new = dict(self.vars)
+        if val.is_top:
+            new.pop(name, None)
+        else:
+            new[name] = val
+        return AbsEnv(self.sorts, new, False)
+
+    def copy(self) -> "AbsEnv":
+        return AbsEnv(self.sorts, dict(self.vars), self.bottom)
+
+    def as_bottom(self) -> "AbsEnv":
+        return AbsEnv(self.sorts, {}, True)
+
+    def same(self, other: "AbsEnv") -> bool:
+        if self.bottom or other.bottom:
+            return self.bottom == other.bottom
+        return self.vars == other.vars
+
+    def leq(self, other: "AbsEnv") -> bool:
+        if self.bottom:
+            return True
+        if other.bottom:
+            return False
+        return all(self.get(k).leq(v) for k, v in other.vars.items())
+
+    def _merge(self, other: "AbsEnv", op: str) -> "AbsEnv":
+        if self.bottom:
+            return other if op != "narrow" else other
+        if other.bottom:
+            return self if op in ("join", "widen") else other
+        out: Dict[str, AbsVal] = {}
+        if op in ("join", "widen"):
+            for k in self.vars:
+                if k in other.vars:
+                    v = getattr(self.vars[k], op)(other.vars[k])
+                    if not v.is_top:
+                        out[k] = v
+        else:  # narrow adopts constraints from either side
+            for k in set(self.vars) | set(other.vars):
+                v = self.get(k).narrow(other.get(k))
+                if not v.is_top:
+                    out[k] = v
+        return AbsEnv(self.sorts, out, False)
+
+    def join(self, other: "AbsEnv") -> "AbsEnv":
+        return self._merge(other, "join")
+
+    def widen(self, other: "AbsEnv") -> "AbsEnv":
+        return self._merge(other, "widen")
+
+    def narrow(self, other: "AbsEnv") -> "AbsEnv":
+        return self._merge(other, "narrow")
+
+    def meet(self, other: "AbsEnv") -> Optional["AbsEnv"]:
+        """Greatest lower bound; None when the meet is empty."""
+        if self.bottom or other.bottom:
+            return None
+        out = dict(self.vars)
+        for k, v in other.vars.items():
+            merged = out[k].meet(v) if k in out else v
+            if merged.is_bottom:
+                return None
+            out[k] = merged
+        return AbsEnv(self.sorts, out, False)
+
+    def havoc(self, names: Iterable[str]) -> "AbsEnv":
+        if self.bottom:
+            return self
+        out = dict(self.vars)
+        for n in names:
+            out.pop(n, None)
+        return AbsEnv(self.sorts, out, False)
+
+    def __str__(self) -> str:
+        if self.bottom:
+            return "⊥"
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.vars.items()))
+        return "{" + inner + "}"
+
+
+# ---------------------------------------------------------------------------
+# Expression / predicate transfer
+# ---------------------------------------------------------------------------
+
+
+def eval_expr(e: Expr, env: AbsEnv) -> AbsVal:
+    """Abstract value of ``e``; anything non-numeric is TOP."""
+    if isinstance(e, IntLit):
+        return AbsVal.const(e.value)
+    if isinstance(e, Var):
+        return env.get(e.name)
+    if isinstance(e, BinOp):
+        return binop(e.op, eval_expr(e.left, env), eval_expr(e.right, env))
+    return AbsVal.TOP
+
+
+def eval_pred(p: Pred, env: AbsEnv) -> Optional[bool]:
+    """Three-valued truth of ``p``; None when the domains cannot decide."""
+    if isinstance(p, BoolLit):
+        return p.value
+    if isinstance(p, Cmp):
+        return cmp_values(p.op, eval_expr(p.left, env), eval_expr(p.right, env))
+    if isinstance(p, ast.Not):
+        sub = eval_pred(p.pred, env)
+        return None if sub is None else not sub
+    if isinstance(p, ast.And):
+        saw_none = False
+        for part in p.parts:
+            r = eval_pred(part, env)
+            if r is False:
+                return False
+            if r is None:
+                saw_none = True
+        return None if saw_none else True
+    if isinstance(p, ast.Or):
+        saw_none = False
+        for part in p.parts:
+            r = eval_pred(part, env)
+            if r is True:
+                return True
+            if r is None:
+                saw_none = True
+        return None if saw_none else False
+    return None
+
+
+def _exact_div(target: Interval, c: int) -> Interval:
+    """{x : c*x within target}, for a nonzero constant c."""
+    lo, hi = target.lo, target.hi
+    if c < 0:
+        lo, hi = (None if hi is None else -hi), (None if lo is None else -lo)
+        c = -c
+    lo2 = None if lo is None else -((-lo) // c)  # ceil(lo / c)
+    hi2 = None if hi is None else hi // c
+    return Interval.make(lo2, hi2)
+
+
+def refine_expr(e: Expr, env: AbsEnv, target: AbsVal) -> Optional[AbsEnv]:
+    """Refine ``env`` under the assumption that ``e`` evaluates into
+    ``target``; None means no concrete state is consistent with it."""
+    if target.is_bottom:
+        return None
+    if target.is_top:
+        return env
+    if isinstance(e, IntLit):
+        return env if target.contains(e.value) else None
+    if isinstance(e, Var):
+        if not env.tracks(e.name):
+            return env
+        merged = env.get(e.name).meet(target)
+        if merged.is_bottom:
+            return None
+        return env.set(e.name, merged)
+    if isinstance(e, BinOp):
+        lv = eval_expr(e.left, env)
+        rv = eval_expr(e.right, env)
+        cur = binop(e.op, lv, rv).meet(target)
+        if cur.is_bottom:
+            return None
+        if e.op is ArithOp.ADD:
+            lt = binop(ArithOp.SUB, cur, rv)
+            rt = binop(ArithOp.SUB, cur, lv)
+        elif e.op is ArithOp.SUB:
+            lt = binop(ArithOp.ADD, cur, rv)
+            rt = binop(ArithOp.SUB, lv, cur)
+        elif e.op is ArithOp.MUL:
+            lt = rt = None
+            c = rv.as_const()
+            if c is not None and c != 0:
+                lt = AbsVal.make(_exact_div(cur.interval, c))
+            c = lv.as_const()
+            if c is not None and c != 0:
+                rt = AbsVal.make(_exact_div(cur.interval, c))
+        elif e.op is ArithOp.DIV:
+            # x // c = q  (c > 0 const)  ==>  x in [q.lo*c, (q.hi+1)*c - 1]
+            lt = rt = None
+            c = rv.as_const()
+            if c is not None and c > 0:
+                qlo, qhi = cur.interval.lo, cur.interval.hi
+                lt = AbsVal.make(Interval.make(
+                    None if qlo is None else qlo * c,
+                    None if qhi is None else (qhi + 1) * c - 1))
+        else:
+            lt = rt = None
+        if lt is not None:
+            env2 = refine_expr(e.left, env, lt)
+            if env2 is None:
+                return None
+            env = env2
+        if rt is not None:
+            env2 = refine_expr(e.right, env, rt)
+            if env2 is None:
+                return None
+            env = env2
+        return env
+    return env  # Select / Update / FunApp / holes: nothing to learn
+
+
+def refine_pred(p: Pred, env: AbsEnv, result: bool = True
+                ) -> Optional[AbsEnv]:
+    """Refine ``env`` assuming ``p`` evaluates to ``result``.
+
+    Returns None (⊥) when the assumption is abstractly inconsistent —
+    a sound proof that no concrete state in γ(env) satisfies it.
+    """
+    if env.bottom:
+        return None
+    if isinstance(p, BoolLit):
+        return env if p.value == result else None
+    if isinstance(p, ast.Not):
+        return refine_pred(p.pred, env, not result)
+    if isinstance(p, Cmp):
+        op = p.op if result else p.op.negate()
+        lv = eval_expr(p.left, env)
+        rv = eval_expr(p.right, env)
+        la, ra = refine_cmp(op, lv, rv)
+        if la.is_bottom or ra.is_bottom:
+            return None
+        if la is not lv:
+            env2 = refine_expr(p.left, env, la)
+            if env2 is None:
+                return None
+            env = env2
+        if ra is not rv:
+            return refine_expr(p.right, env, ra)
+        return env
+    conj_parts: Optional[Tuple[Pred, ...]] = None
+    disj_parts: Optional[Tuple[Pred, ...]] = None
+    if isinstance(p, ast.And):
+        conj_parts = p.parts if result else None
+        disj_parts = None if result else p.parts
+    elif isinstance(p, ast.Or):
+        disj_parts = p.parts if result else None
+        conj_parts = None if result else p.parts
+    if conj_parts is not None:
+        # Two sweeps so facts learned from later conjuncts flow back.
+        for _ in range(2):
+            for part in conj_parts:
+                nxt = refine_pred(part, env, result)
+                if nxt is None:
+                    return None
+                env = nxt
+        return env
+    if disj_parts is not None:
+        joined: Optional[AbsEnv] = None
+        for part in disj_parts:
+            branch = refine_pred(part, env, result)
+            if branch is not None:
+                joined = branch if joined is None else joined.join(branch)
+        return joined
+    return env  # UnknownPred / HolePred: no information
+
+
+# ---------------------------------------------------------------------------
+# Constraint saturation over ground predicate lists (SSA paths)
+# ---------------------------------------------------------------------------
+
+
+def saturate(preds: Sequence[Pred], sorts: Mapping[str, Sort],
+             env: Optional[AbsEnv] = None, rounds: int = 3
+             ) -> Optional[AbsEnv]:
+    """Iterated forward–backward refinement over a predicate conjunction.
+
+    On SSA path items each sweep pushes definitions forward and, via
+    :func:`refine_expr`, guard facts backward through the defining
+    equalities.  None proves the conjunction unsatisfiable.
+    """
+    if env is None:
+        env = AbsEnv(sorts)
+    for _ in range(max(1, rounds)):
+        before = env
+        for p in preds:
+            nxt = refine_pred(p, env)
+            if nxt is None:
+                return None
+            env = nxt
+        if env.same(before):
+            break
+    return env
+
+
+def preds_unsat(preds: Sequence[Pred], sorts: Mapping[str, Sort],
+                rounds: int = 3) -> bool:
+    """True when the conjunction is *proved* unsatisfiable abstractly."""
+    return saturate(preds, sorts, rounds=rounds) is None
+
+
+# ---------------------------------------------------------------------------
+# Structural forward analysis with widening / narrowing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoopInfo:
+    """Converged facts about one loop head."""
+
+    loop_id: str
+    invariant: AbsEnv
+    entered: bool          # the guard may hold at the head
+    exit_reachable: bool   # the negated guard may hold at the head
+
+    @property
+    def certainly_diverges(self) -> bool:
+        """The head is reachable, the body runs, and the guard provably
+        never becomes false: certain non-termination."""
+        return (self.entered and not self.exit_reachable
+                and not self.invariant.bottom)
+
+
+@dataclass
+class AnalysisResult:
+    final: AbsEnv                 # join over normal completion and exits
+    loops: List[LoopInfo]
+
+
+class ForwardAnalyzer:
+    """Abstract-interprets a ``Stmt`` tree from an entry environment.
+
+    Loops run a Kleene iteration with delayed widening and a short
+    narrowing phase.  When ``unroll_fuel`` is positive and a guard is
+    *decided* by the current state, the loop is instead stepped
+    concretely-in-the-abstract (exact on singleton boxes) until the
+    guard turns false, fuel runs out, or decidability is lost — at which
+    point the analysis falls back to the widening fixpoint, so the
+    result is sound regardless.
+    """
+
+    def __init__(self, sorts: Mapping[str, Sort], widen_delay: int = 2,
+                 max_iters: int = 40, narrow_iters: int = 2,
+                 unroll_fuel: int = 0):
+        self.sorts = dict(sorts)
+        self.widen_delay = widen_delay
+        self.max_iters = max_iters
+        self.narrow_iters = narrow_iters
+        self.unroll_fuel = unroll_fuel
+
+    def run(self, stmt: Stmt, entry: Optional[AbsEnv] = None
+            ) -> AnalysisResult:
+        self._exits: List[AbsEnv] = []
+        self._loops: Dict[int, LoopInfo] = {}
+        self._fuel = self.unroll_fuel
+        env = entry if entry is not None else AbsEnv(self.sorts)
+        out = self._stmt(stmt, env)
+        for e in self._exits:
+            out = out.join(e)
+        return AnalysisResult(out, list(self._loops.values()))
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _stmt(self, s: Stmt, env: AbsEnv) -> AbsEnv:
+        if env.bottom:
+            return env
+        if isinstance(s, Seq):
+            for sub in s.stmts:
+                env = self._stmt(sub, env)
+                if env.bottom:
+                    break
+            return env
+        if isinstance(s, Assign):
+            vals = [eval_expr(e, env) for e in s.exprs]
+            for t, v in zip(s.targets, vals):
+                env = env.set(t, v)
+            return env
+        if isinstance(s, Assume):
+            refined = refine_pred(s.pred, env)
+            return refined if refined is not None else env.as_bottom()
+        if isinstance(s, GIf):
+            t_in = refine_pred(s.cond, env)
+            e_in = refine_pred(negate(s.cond), env)
+            t_out = self._stmt(s.then, t_in) if t_in is not None else env.as_bottom()
+            e_out = self._stmt(s.els, e_in) if e_in is not None else env.as_bottom()
+            return t_out.join(e_out)
+        if isinstance(s, If):
+            return self._stmt(s.then, env).join(self._stmt(s.els, env))
+        if isinstance(s, GWhile):
+            return self._loop(s, env, s.cond, s.body, s.loop_id)
+        if isinstance(s, While):
+            return self._loop(s, env, None, s.body, s.loop_id)
+        if isinstance(s, Exit):
+            self._exits.append(env)
+            return env.as_bottom()
+        return env  # In / Out / Skip
+
+    # -- loops --------------------------------------------------------------
+
+    def _loop(self, node: Stmt, env: AbsEnv, cond: Optional[Pred],
+              body: Stmt, loop_id: str) -> AbsEnv:
+        state = env
+        # Phase 1: decided-guard unrolling (exact when state is precise).
+        if cond is not None:
+            while self._fuel > 0 and not state.bottom:
+                decided = eval_pred(cond, state)
+                if decided is False:
+                    exit_env = refine_pred(negate(cond), state)
+                    self._record(node, loop_id, state, entered=False,
+                                 exit_reachable=True)
+                    return exit_env if exit_env is not None else state
+                if decided is not True:
+                    break
+                self._fuel -= 1
+                entry = refine_pred(cond, state)
+                state = (self._stmt(body, entry) if entry is not None
+                         else state.as_bottom())
+        # Phase 2: Kleene iteration with delayed widening.
+        inv = state
+        for i in range(self.max_iters):
+            inv2 = self._iterate(state, inv, cond, body)
+            if inv2.leq(inv):
+                break
+            inv = inv.widen(inv2) if i >= self.widen_delay else inv2
+        else:
+            inv = AbsEnv(self.sorts)  # safety net: give up to TOP
+        # Phase 3: narrowing recovers precision lost to widening.
+        for _ in range(self.narrow_iters):
+            step = self._iterate(state, inv, cond, body)
+            # Decreasing Kleene step: when F(inv) ⊑ inv, F(inv) still
+            # over-approximates the least fixpoint (monotonicity), so
+            # adopting it wholesale undoes finite threshold jumps, not
+            # just the infinities classic narrowing recovers.
+            refined = step if step.leq(inv) else inv.narrow(step)
+            if refined.same(inv):
+                break
+            inv = refined
+        if cond is None:
+            self._record(node, loop_id, inv, entered=not inv.bottom,
+                         exit_reachable=not inv.bottom)
+            return inv
+        entered = refine_pred(cond, inv) is not None
+        exit_env = refine_pred(negate(cond), inv)
+        self._record(node, loop_id, inv, entered=entered,
+                     exit_reachable=exit_env is not None)
+        return exit_env if exit_env is not None else inv.as_bottom()
+
+    def _iterate(self, state: AbsEnv, inv: AbsEnv, cond: Optional[Pred],
+                 body: Stmt) -> AbsEnv:
+        """One application of the loop functional: entry ∪ body(guard∩inv)."""
+        if cond is None:
+            entry: Optional[AbsEnv] = inv
+        else:
+            entry = refine_pred(cond, inv)
+        body_out = (self._stmt(body, entry) if entry is not None
+                    else inv.as_bottom())
+        return state.join(body_out)
+
+    def _record(self, node: Stmt, loop_id: str, inv: AbsEnv, entered: bool,
+                exit_reachable: bool) -> None:
+        self._loops[id(node)] = LoopInfo(loop_id, inv, entered, exit_reachable)
+
+    def loop_info(self, node: Stmt) -> Optional[LoopInfo]:
+        """Converged facts for one loop statement of the last ``run``."""
+        return self._loops.get(id(node))
+
+
+# ---------------------------------------------------------------------------
+# Backward (necessary-precondition) analysis
+# ---------------------------------------------------------------------------
+
+
+class BackwardAnalyzer:
+    """Necessary preconditions: given constraints on the state a program
+    terminates in, compute constraints any *starting* state must satisfy
+    for some execution to reach it.  None means no execution can.
+
+    Loops havoc their assigned variables (sound, imprecise); ``exit``
+    statements terminate the program, so their backward post is the
+    program-level postcondition rather than the sequential continuation.
+    """
+
+    def __init__(self, sorts: Mapping[str, Sort]):
+        self.sorts = dict(sorts)
+
+    def run(self, stmt: Stmt, post: AbsEnv) -> Optional[AbsEnv]:
+        self._final_post = post
+        return self._bwd(stmt, post)
+
+    def _bwd(self, s: Stmt, post: Optional[AbsEnv]) -> Optional[AbsEnv]:
+        if post is None:
+            return None
+        if isinstance(s, Seq):
+            for sub in reversed(s.stmts):
+                post = self._bwd(sub, post)
+                if post is None:
+                    return None
+            return post
+        if isinstance(s, Assign):
+            targets = [t for t in s.targets if post.tracks(t)]
+            required = [post.get(t) for t in targets]
+            pre: Optional[AbsEnv] = post.havoc(targets)
+            for t, req in zip(targets, required):
+                expr = s.exprs[s.targets.index(t)]
+                pre = refine_expr(expr, pre, req)
+                if pre is None:
+                    return None
+            return pre
+        if isinstance(s, Assume):
+            return refine_pred(s.pred, post)
+        if isinstance(s, GIf):
+            t_pre = self._bwd(s.then, post)
+            e_pre = self._bwd(s.els, post)
+            t_pre = refine_pred(s.cond, t_pre) if t_pre is not None else None
+            e_pre = (refine_pred(negate(s.cond), e_pre)
+                     if e_pre is not None else None)
+            if t_pre is None:
+                return e_pre
+            if e_pre is None:
+                return t_pre
+            return t_pre.join(e_pre)
+        if isinstance(s, If):
+            t_pre = self._bwd(s.then, post)
+            e_pre = self._bwd(s.els, post)
+            if t_pre is None:
+                return e_pre
+            if e_pre is None:
+                return t_pre
+            return t_pre.join(e_pre)
+        if isinstance(s, (GWhile, While)):
+            return post.havoc(ast.assigned_vars(s.body))
+        if isinstance(s, Exit):
+            return self._final_post
+        return post  # In / Out / Skip
+
+
+def forward_backward_prove(stmt: Stmt, sorts: Mapping[str, Sort],
+                           entry: AbsEnv, violation: Pred,
+                           rounds: int = 2, unroll_fuel: int = 0) -> bool:
+    """True when forward–backward iteration proves no execution of
+    ``stmt`` from γ(entry) terminates in a state satisfying ``violation``.
+    """
+    fwd = ForwardAnalyzer(sorts, unroll_fuel=unroll_fuel)
+    current = entry
+    for _ in range(max(1, rounds)):
+        result = fwd.run(stmt, current)
+        if result.final.bottom:
+            return True  # no terminating execution at all: vacuous
+        post = refine_pred(violation, result.final)
+        if post is None:
+            return True
+        necessary = BackwardAnalyzer(sorts).run(stmt, post)
+        if necessary is None:
+            return True
+        refined = current.meet(necessary)
+        if refined is None:
+            return True
+        if refined.same(current):
+            return False  # stabilized without reaching ⊥
+        current = refined
+    return False

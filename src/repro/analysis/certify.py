@@ -1,0 +1,316 @@
+"""Abstract certification of inverses: prove ``P ; P⁻¹`` is the identity.
+
+Round-trip testing (:mod:`repro.validate.roundtrip`) checks the identity
+specification on finitely many concrete inputs; this module *proves* it
+for every input in a bounded box, using the abstract interpreter
+(:mod:`repro.analysis.absint`) over the reduced product of intervals,
+congruences, and signs.
+
+For each scalar pair ``(x, x')`` of the identity spec the engine tries to
+show that no execution of the composed program ``P ; P⁻¹`` started from
+the box can terminate with ``x' != x@entry`` (a ghost copy of the input
+recorded in the entry environment; the program never assigns it).  The
+domains are non-relational, so a wide box rarely proves equality
+directly — the certifier *adaptively subdivides*: a box that fails is
+split along its widest input dimension, and singleton boxes are exact
+whenever decided-guard unrolling can step every loop concretely.  The
+verdict per variable is
+
+* ``PROVED``   — every sub-box was discharged (or skipped by the task's
+  own precondition) within the box budget;
+* ``UNKNOWN``  — some sub-box resisted (arrays and concrete-only pairs
+  are always UNKNOWN: pointwise array equality needs quantified
+  reasoning outside these domains).
+
+``PROVED`` is sound: it certifies the inverse on the whole box, not just
+on sampled points.  ``UNKNOWN`` says nothing — the usual one-sided
+abstract-interpretation contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import obs
+from ..lang.ast import Cmp, CmpOp, Program, Sort, Var
+from ..lang.transform import compose
+from ..pins.spec import InversionSpec
+from .absint import AbsEnv, forward_backward_prove
+from .domains import AbsVal, Interval
+
+GHOST_SUFFIX = "@entry"
+"""Suffix of the ghost variables holding input values at program entry.
+``@`` cannot appear in Fig. 2 identifiers, so ghosts never collide."""
+
+DEFAULT_UNROLL_FUEL = 1024
+"""Decided-guard unrolling budget per analysis run; singleton boxes on
+the suite's value ranges stay far below this."""
+
+
+@dataclass
+class VariableVerdict:
+    """Certification outcome for one identity-spec pair."""
+
+    in_var: str
+    out_var: str
+    verdict: str            # "PROVED" | "UNKNOWN"
+    boxes_proved: int = 0
+    boxes_total: int = 0
+    reason: str = ""
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict == "PROVED"
+
+    def __str__(self) -> str:
+        detail = self.reason or f"{self.boxes_proved}/{self.boxes_total} boxes"
+        return f"{self.in_var} = {self.out_var}': {self.verdict} ({detail})"
+
+
+@dataclass
+class CertificateReport:
+    """Per-variable verdicts for one composed program."""
+
+    name: str
+    value_range: Tuple[int, int]
+    verdicts: List[VariableVerdict] = field(default_factory=list)
+    boxes_explored: int = 0
+
+    @property
+    def scalars_proved(self) -> bool:
+        """Every *scalar* pair proved (arrays are never provable here)."""
+        scalars = [v for v in self.verdicts if not v.reason.startswith("array")
+                   and not v.reason.startswith("concrete")]
+        return bool(scalars) and all(v.proved for v in scalars)
+
+    def verdict_map(self) -> Dict[str, str]:
+        return {f"{v.in_var}={v.out_var}": v.verdict for v in self.verdicts}
+
+
+# ---------------------------------------------------------------------------
+# Core engine
+# ---------------------------------------------------------------------------
+
+Box = Dict[str, Tuple[int, int]]
+
+
+def _entry_env(sorts: Mapping[str, Sort], decls: Mapping[str, Sort],
+               box: Box, ghosts: Mapping[str, str]) -> AbsEnv:
+    """Entry state for one box, mirroring ``Interpreter.run``: every INT
+    declaration defaults to 0, inputs take their box range, and each
+    ghost copies its input's range (exact — i.e. *equal* — only when the
+    range is a singleton, which is what subdivision drives toward)."""
+    env = AbsEnv(sorts)
+    for name, sort in decls.items():
+        if sort is Sort.INT:
+            env = env.set(name, AbsVal.const(0))
+    for name, (lo, hi) in box.items():
+        env = env.set(name, AbsVal.make(Interval(lo, hi)))
+    for in_var, ghost in ghosts.items():
+        if in_var in box:
+            lo, hi = box[in_var]
+            env = env.set(ghost, AbsVal.make(Interval(lo, hi)))
+    return env
+
+
+def _split(box: Box) -> Optional[Tuple[Box, Box]]:
+    """Split along the widest dimension; None when all singletons."""
+    widest, width = None, 0
+    for name, (lo, hi) in box.items():
+        if hi - lo > width:
+            widest, width = name, hi - lo
+    if widest is None:
+        return None
+    lo, hi = box[widest]
+    mid = (lo + hi) // 2
+    left = dict(box)
+    right = dict(box)
+    left[widest] = (lo, mid)
+    right[widest] = (mid + 1, hi)
+    return left, right
+
+
+def _singleton_point(box: Box) -> Optional[Dict[str, int]]:
+    if all(lo == hi for lo, hi in box.values()):
+        return {name: lo for name, (lo, _) in box.items()}
+    return None
+
+
+def certify_composed(program: Program, inverse: Program,
+                     spec: InversionSpec,
+                     value_range: Tuple[int, int] = (0, 2),
+                     precondition=None,
+                     max_boxes: int = 512,
+                     unroll_fuel: int = DEFAULT_UNROLL_FUEL,
+                     name: Optional[str] = None) -> CertificateReport:
+    """Certify the identity spec of ``P ; P⁻¹`` over a bounded input box.
+
+    ``value_range`` bounds every INT input (inclusive); ``precondition``
+    is the task's concrete input filter — singleton boxes it rejects are
+    vacuously discharged, exactly as round-trip validation skips them.
+    """
+    composed = compose(program, inverse)
+    decls = dict(composed.decls)
+    report = CertificateReport(name=name or program.name,
+                               value_range=value_range)
+
+    int_inputs = [v for v in program.inputs if decls.get(v) is Sort.INT]
+    lo, hi = value_range
+    root: Box = {v: (lo, hi) for v in int_inputs}
+
+    # Ghost copies: certify `out == in@entry` even when P clobbers `in`.
+    ghosts: Dict[str, str] = {}
+    targets: List[Tuple[str, str, Var, Var]] = []   # (in, out, lhs, rhs)
+    sorts = dict(decls)
+    for in_var, out_var in spec.scalar_pairs:
+        if in_var.startswith("@"):
+            # `@b` pairs compare two *final* values; no ghost needed.
+            base = in_var[1:]
+            if decls.get(base) is Sort.INT and decls.get(out_var) is Sort.INT:
+                targets.append((in_var, out_var, Var(out_var), Var(base)))
+            else:
+                report.verdicts.append(VariableVerdict(
+                    in_var, out_var, "UNKNOWN", reason="non-integer pair"))
+            continue
+        if decls.get(in_var) is not Sort.INT or decls.get(out_var) is not Sort.INT:
+            report.verdicts.append(VariableVerdict(
+                in_var, out_var, "UNKNOWN", reason="non-integer pair"))
+            continue
+        ghost = in_var + GHOST_SUFFIX
+        ghosts[in_var] = ghost
+        sorts[ghost] = Sort.INT
+        targets.append((in_var, out_var, Var(out_var), Var(ghost)))
+    for in_arr, out_arr, _len in spec.array_pairs:
+        report.verdicts.append(VariableVerdict(
+            in_arr, out_arr, "UNKNOWN",
+            reason="array pair: pointwise equality needs quantifiers"))
+    for in_var, out_var in spec.concrete_pairs:
+        report.verdicts.append(VariableVerdict(
+            in_var, out_var, "UNKNOWN", reason="concrete-only pair"))
+
+    for in_var, out_var, out_ref, entry_ref in targets:
+        violation = Cmp(CmpOp.NE, out_ref, entry_ref)
+        proved, total, runs, budget = _prove_over_boxes(
+            composed, sorts, decls, root, ghosts, violation,
+            precondition, max_boxes, unroll_fuel)
+        report.boxes_explored += runs
+        verdict = ("PROVED" if budget and total and proved == total
+                   else "UNKNOWN")
+        reason = "" if budget else f"box budget exhausted ({max_boxes})"
+        report.verdicts.append(VariableVerdict(
+            in_var, out_var, verdict, boxes_proved=proved,
+            boxes_total=total, reason=reason))
+        obs.count("certify.proved" if verdict == "PROVED"
+                  else "certify.unknown")
+    obs.count("certify.runs", report.boxes_explored)
+    return report
+
+
+def _prove_over_boxes(composed: Program, sorts: Mapping[str, Sort],
+                      decls: Mapping[str, Sort], root: Box,
+                      ghosts: Mapping[str, str], violation,
+                      precondition, max_boxes: int,
+                      unroll_fuel: int) -> Tuple[int, int, int, bool]:
+    """Adaptive subdivision over the root box.
+
+    Returns ``(leaves proved, leaves, analysis runs, stayed in budget)``.
+    A box that fails and *splits* is not an obligation — its two halves
+    cover it exactly; only terminal boxes (proved, precondition-skipped,
+    or resisting singletons) count as leaves.
+    """
+    pending: List[Box] = [dict(root)]
+    proved = leaves = runs = 0
+    while pending:
+        if runs >= max_boxes:
+            return proved, leaves, runs, False
+        box = pending.pop()
+        runs += 1
+        point = _singleton_point(box)
+        if point is not None and precondition is not None:
+            try:
+                admitted = bool(precondition(dict(point)))
+            except Exception:
+                admitted = True   # filter needs inputs we cannot model
+            if not admitted:
+                proved += 1       # P never owes anything for this input
+                leaves += 1
+                continue
+        entry = _entry_env(sorts, decls, box, ghosts)
+        if forward_backward_prove(composed.body, sorts, entry, violation,
+                                  unroll_fuel=unroll_fuel):
+            proved += 1
+            leaves += 1
+            continue
+        halves = _split(box)
+        if halves is None:
+            leaves += 1           # singleton resisted: UNKNOWN overall
+            return proved, leaves, runs, True
+        pending.extend(halves)
+    return proved, leaves, runs, True
+
+
+# ---------------------------------------------------------------------------
+# Suite driver + recorded-baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def certify_benchmark(name: str, max_boxes: int = 512) -> CertificateReport:
+    """Certify one suite benchmark's *ground-truth* inverse."""
+    from ..suite import get_benchmark
+
+    b = get_benchmark(name)
+    task = b.task
+    composed_decls = dict(task.program.decls)
+    composed_decls.update(b.ground_truth.decls)
+    spec = task.derived_spec(composed_decls)
+    return certify_composed(task.program, b.ground_truth, spec,
+                            value_range=task.bmc_value_range,
+                            precondition=task.precondition,
+                            max_boxes=max_boxes, name=name)
+
+
+def certify_suite(names: Optional[Sequence[str]] = None,
+                  max_boxes: int = 512) -> List[CertificateReport]:
+    from ..suite import BENCHMARK_MODULES
+
+    return [certify_benchmark(n, max_boxes=max_boxes)
+            for n in (names or BENCHMARK_MODULES)]
+
+
+def reports_to_json(reports: Sequence[CertificateReport]) -> Dict[str, Dict[str, str]]:
+    return {r.name: r.verdict_map() for r in reports}
+
+
+def compare_to_baseline(reports: Sequence[CertificateReport],
+                        baseline: Mapping[str, Mapping[str, str]]
+                        ) -> Tuple[List[str], List[str]]:
+    """(regressions, improvements) of PROVED verdicts vs a recorded run.
+
+    A pair recorded PROVED that now reports UNKNOWN is a regression — the
+    CI gate fails on any.  Newly PROVED pairs are improvements; re-record
+    the baseline to lock them in.
+    """
+    regressions: List[str] = []
+    improvements: List[str] = []
+    for r in reports:
+        recorded = baseline.get(r.name, {})
+        for pair, verdict in r.verdict_map().items():
+            old = recorded.get(pair)
+            if old == "PROVED" and verdict != "PROVED":
+                regressions.append(f"{r.name}: {pair} was PROVED, now {verdict}")
+            elif old is not None and old != "PROVED" and verdict == "PROVED":
+                improvements.append(f"{r.name}: {pair} newly PROVED")
+    return regressions, improvements
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, str]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_baseline(reports: Sequence[CertificateReport], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(reports_to_json(reports), fh, indent=2, sort_keys=True)
+        fh.write("\n")

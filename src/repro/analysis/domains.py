@@ -1,0 +1,835 @@
+"""Sound numeric abstract domains: intervals, congruences, signs.
+
+Three classic non-relational lattices over the integers, combined as a
+*reduced product* (:class:`AbsVal`):
+
+* :class:`Interval` — ``[lo, hi]`` with ``None`` for the infinities; the
+  workhorse for range reasoning and guard refinement.
+* :class:`Congruence` — the set ``{rem + modulus * k}``; ``modulus = 0``
+  denotes the constant ``rem``, ``modulus = 1`` denotes every integer.
+  Captures parity and stride facts (``i`` increases by 2, ``n * 4``, …).
+* :class:`Sign` — a bitmask over ``{negative, zero, positive}``; cheap
+  to decide and the reduction glue between the other two.
+
+Every transfer function mirrors :class:`repro.concrete.interp.Interpreter`
+exactly: division floors toward negative infinity (Python ``//``), modulo
+follows Python ``%``, and division by zero concretizes to *no* value (the
+concrete interpreter raises, killing the execution), which the abstract
+transfer soundly over-approximates with ``top`` when the divisor may be
+zero and the dividend contributes nothing.
+
+The soundness contract, tested property-style in
+``tests/analysis/test_domains.py``::
+
+    forall concrete x in gamma(a), y in gamma(b):
+        x OP y in gamma(transfer_OP(a, b))       (when defined)
+        cmp(op, a, b) in {None, truth of x op y}
+
+Lattice operations (``join``, ``meet``, ``widen``, ``narrow``) obey the
+usual laws; ``widen`` jumps unstable bounds to the infinities so chains
+stabilize in finitely many steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..lang.ast import ArithOp, CmpOp
+
+# ---------------------------------------------------------------------------
+# Interval domain
+# ---------------------------------------------------------------------------
+
+_WIDEN_STEPS = (-64, -8, -1, 0, 1, 8, 64)
+"""Widening thresholds: unstable bounds jump outward to the next
+threshold before giving up to infinity, which preserves small constants
+(loop bounds like 0 or 1) through one extra iteration."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """``[lo, hi]`` over the integers; ``None`` bounds are infinite.
+
+    The empty interval is represented by the canonical :data:`Interval.BOT`
+    (``lo=1, hi=0``); constructors normalize through :meth:`make`.
+    """
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    BOT: "Interval" = None  # type: ignore[assignment]
+    TOP: "Interval" = None  # type: ignore[assignment]
+
+    @staticmethod
+    def make(lo: Optional[int], hi: Optional[int]) -> "Interval":
+        if lo is not None and hi is not None and lo > hi:
+            return Interval.BOT
+        return Interval(lo, hi)
+
+    @staticmethod
+    def const(n: int) -> "Interval":
+        return Interval(n, n)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.lo is not None and self.hi is not None and self.lo > self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    def as_const(self) -> Optional[int]:
+        if self.lo is not None and self.lo == self.hi:
+            return self.lo
+        return None
+
+    def contains(self, n: int) -> bool:
+        if self.is_bottom:
+            return False
+        if self.lo is not None and n < self.lo:
+            return False
+        if self.hi is not None and n > self.hi:
+            return False
+        return True
+
+    def leq(self, other: "Interval") -> bool:
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        lo_ok = other.lo is None or (self.lo is not None and self.lo >= other.lo)
+        hi_ok = other.hi is None or (self.hi is not None and self.hi <= other.hi)
+        return lo_ok and hi_ok
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.is_bottom or other.is_bottom:
+            return Interval.BOT
+        lo = self.lo if other.lo is None else (other.lo if self.lo is None
+                                               else max(self.lo, other.lo))
+        hi = self.hi if other.hi is None else (other.hi if self.hi is None
+                                               else min(self.hi, other.hi))
+        return Interval.make(lo, hi)
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard threshold widening: ``self ∇ other``."""
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        lo: Optional[int] = self.lo
+        if other.lo is None or (lo is not None and other.lo < lo):
+            lo = None
+            for t in reversed(_WIDEN_STEPS):
+                if other.lo is not None and other.lo >= t:
+                    lo = t
+                    break
+        hi: Optional[int] = self.hi
+        if other.hi is None or (hi is not None and other.hi > hi):
+            hi = None
+            for t in _WIDEN_STEPS:
+                if other.hi is not None and other.hi <= t:
+                    hi = t
+                    break
+        return Interval(lo, hi)
+
+    def narrow(self, other: "Interval") -> "Interval":
+        """Standard narrowing: refine infinite bounds from ``other``."""
+        if self.is_bottom or other.is_bottom:
+            return Interval.BOT
+        lo = other.lo if self.lo is None else self.lo
+        hi = other.hi if self.hi is None else self.hi
+        return Interval.make(lo, hi)
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+Interval.BOT = Interval(1, 0)
+Interval.TOP = Interval(None, None)
+
+
+def _add(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def interval_add(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return Interval.BOT
+    return Interval(_add(a.lo, b.lo), _add(a.hi, b.hi))
+
+
+def interval_sub(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return Interval.BOT
+    return Interval(_add(a.lo, None if b.hi is None else -b.hi),
+                    _add(a.hi, None if b.lo is None else -b.lo))
+
+
+def _mul_bound(a: Optional[int], b: Optional[int], sign: int) -> Optional[int]:
+    """a * b with None = infinity of the given sign for limit purposes."""
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    return a * b
+
+
+def interval_mul(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return Interval.BOT
+    # Corner products; None (infinite) corners poison a bound unless the
+    # other factor is exactly zero.
+    corners = []
+    infinite = False
+    for x in (a.lo, a.hi):
+        for y in (b.lo, b.hi):
+            if x == 0 or y == 0:
+                corners.append(0)
+            elif x is None or y is None:
+                infinite = True
+            else:
+                corners.append(x * y)
+    if infinite:
+        # A finite result bound survives only when the infinite side is
+        # one-sided and signs cooperate; keep it simple and sound.
+        if a.as_const() == 0 or b.as_const() == 0:
+            return Interval.const(0)
+        return Interval.TOP
+    return Interval(min(corners), max(corners))
+
+
+def interval_div(a: Interval, b: Interval) -> Interval:
+    """Floor division (toward -inf), divisor zero excluded from gamma."""
+    if a.is_bottom or b.is_bottom:
+        return Interval.BOT
+    # Split the divisor around zero; division by zero has no concrete
+    # outcome, so it contributes nothing to the result.
+    pieces = []
+    for part in (b.meet(Interval(None, -1)), b.meet(Interval(1, None))):
+        if part.is_bottom:
+            continue
+        if a.lo is None or a.hi is None or part.lo is None or part.hi is None:
+            return Interval.TOP
+        corners = [x // y for x in (a.lo, a.hi) for y in (part.lo, part.hi)]
+        pieces.append(Interval(min(corners), max(corners)))
+    if not pieces:
+        return Interval.BOT
+    out = pieces[0]
+    for p in pieces[1:]:
+        out = out.join(p)
+    return out
+
+
+def interval_mod(a: Interval, b: Interval) -> Interval:
+    """Python ``%`` semantics: result sign follows the divisor."""
+    if a.is_bottom or b.is_bottom:
+        return Interval.BOT
+    ca, cb = a.as_const(), b.as_const()
+    if ca is not None and cb is not None:
+        if cb == 0:
+            return Interval.BOT  # concrete execution dies
+        return Interval.const(ca % cb)
+    pieces = []
+    pos = b.meet(Interval(1, None))
+    if not pos.is_bottom:
+        hi = None if pos.hi is None else pos.hi - 1
+        piece = Interval(0, hi)
+        if a.lo is not None and a.lo >= 0:
+            # Non-negative dividend: x % m <= x.
+            piece = piece.meet(Interval(0, a.hi))
+        pieces.append(piece)
+    neg = b.meet(Interval(None, -1))
+    if not neg.is_bottom:
+        lo = None if neg.lo is None else neg.lo + 1
+        pieces.append(Interval(lo, 0))
+    if not pieces:
+        return Interval.BOT
+    out = pieces[0]
+    for p in pieces[1:]:
+        out = out.join(p)
+    return out
+
+
+def interval_cmp(op: CmpOp, a: Interval, b: Interval) -> Optional[bool]:
+    """Decide ``x op y`` for all x in a, y in b, or None when mixed."""
+    if a.is_bottom or b.is_bottom:
+        return None  # vacuous; callers treat bottom states separately
+    if op is CmpOp.LT:
+        if a.hi is not None and b.lo is not None and a.hi < b.lo:
+            return True
+        if a.lo is not None and b.hi is not None and a.lo >= b.hi:
+            return False
+        return None
+    if op is CmpOp.LE:
+        if a.hi is not None and b.lo is not None and a.hi <= b.lo:
+            return True
+        if a.lo is not None and b.hi is not None and a.lo > b.hi:
+            return False
+        return None
+    if op is CmpOp.GT:
+        return interval_cmp(CmpOp.LT, b, a)
+    if op is CmpOp.GE:
+        return interval_cmp(CmpOp.LE, b, a)
+    if op is CmpOp.EQ:
+        ca, cb = a.as_const(), b.as_const()
+        if ca is not None and cb is not None:
+            return ca == cb
+        if a.meet(b).is_bottom:
+            return False
+        return None
+    if op is CmpOp.NE:
+        eq = interval_cmp(CmpOp.EQ, a, b)
+        return None if eq is None else (not eq)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Congruence domain
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Congruence:
+    """The set ``{rem + modulus * k | k in Z}``.
+
+    ``modulus = 0`` is the constant ``rem``; ``modulus = 1`` (with
+    ``rem = 0``) is top.  The explicit bottom is :data:`Congruence.BOT`.
+    Invariant: ``modulus >= 0`` and ``0 <= rem < modulus`` when
+    ``modulus > 0``.
+    """
+
+    modulus: int
+    rem: int
+    bottom: bool = False
+
+    BOT: "Congruence" = None  # type: ignore[assignment]
+    TOP: "Congruence" = None  # type: ignore[assignment]
+
+    @staticmethod
+    def make(modulus: int, rem: int) -> "Congruence":
+        modulus = abs(modulus)
+        if modulus:
+            rem %= modulus
+        return Congruence(modulus, rem)
+
+    @staticmethod
+    def const(n: int) -> "Congruence":
+        return Congruence(0, n)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.bottom
+
+    @property
+    def is_top(self) -> bool:
+        return not self.bottom and self.modulus == 1
+
+    def as_const(self) -> Optional[int]:
+        if not self.bottom and self.modulus == 0:
+            return self.rem
+        return None
+
+    def contains(self, n: int) -> bool:
+        if self.bottom:
+            return False
+        if self.modulus == 0:
+            return n == self.rem
+        return n % self.modulus == self.rem
+
+    def leq(self, other: "Congruence") -> bool:
+        if self.bottom:
+            return True
+        if other.bottom:
+            return False
+        if other.modulus == 0:
+            return self.modulus == 0 and self.rem == other.rem
+        return (self.modulus % other.modulus == 0
+                and self.rem % other.modulus == other.rem)
+
+    def join(self, other: "Congruence") -> "Congruence":
+        if self.bottom:
+            return other
+        if other.bottom:
+            return self
+        m = math.gcd(self.modulus, other.modulus, abs(self.rem - other.rem))
+        if m == 0:
+            return self  # identical constants
+        return Congruence.make(m, self.rem)
+
+    def meet(self, other: "Congruence") -> "Congruence":
+        if self.bottom or other.bottom:
+            return Congruence.BOT
+        a_m, a_r, b_m, b_r = self.modulus, self.rem, other.modulus, other.rem
+        if a_m == 0 and b_m == 0:
+            return self if a_r == b_r else Congruence.BOT
+        if a_m == 0:
+            return self if other.contains(a_r) else Congruence.BOT
+        if b_m == 0:
+            return other if self.contains(b_r) else Congruence.BOT
+        g = math.gcd(a_m, b_m)
+        if (a_r - b_r) % g != 0:
+            return Congruence.BOT
+        # CRT: solve x ≡ a_r (mod a_m), x ≡ b_r (mod b_m).
+        lcm = a_m // g * b_m
+        # Extended gcd to combine the congruences.
+        diff = (b_r - a_r) // g
+        inv = pow(a_m // g, -1, b_m // g) if b_m // g > 1 else 0
+        k = (diff * inv) % (b_m // g) if b_m // g > 1 else 0
+        return Congruence.make(lcm, a_r + a_m * k)
+
+    def widen(self, other: "Congruence") -> "Congruence":
+        # The congruence lattice has finite ascending chains from any
+        # element (moduli only shrink along divisibility), so join is a
+        # terminating widening.
+        return self.join(other)
+
+    def narrow(self, other: "Congruence") -> "Congruence":
+        return other if self.is_top else self
+
+    def __str__(self) -> str:
+        if self.bottom:
+            return "⊥"
+        if self.modulus == 0:
+            return f"={self.rem}"
+        if self.modulus == 1:
+            return "⊤"
+        return f"≡{self.rem} (mod {self.modulus})"
+
+
+Congruence.BOT = Congruence(0, 0, bottom=True)
+Congruence.TOP = Congruence(1, 0)
+
+
+def congruence_binop(op: ArithOp, a: Congruence, b: Congruence) -> Congruence:
+    if a.is_bottom or b.is_bottom:
+        return Congruence.BOT
+    ca, cb = a.as_const(), b.as_const()
+    if ca is not None and cb is not None:
+        if op is ArithOp.ADD:
+            return Congruence.const(ca + cb)
+        if op is ArithOp.SUB:
+            return Congruence.const(ca - cb)
+        if op is ArithOp.MUL:
+            return Congruence.const(ca * cb)
+        if op is ArithOp.DIV:
+            return Congruence.const(ca // cb) if cb else Congruence.BOT
+        if op is ArithOp.MOD:
+            return Congruence.const(ca % cb) if cb else Congruence.BOT
+    if op is ArithOp.ADD:
+        m = math.gcd(a.modulus, b.modulus)
+        return Congruence.make(m, a.rem + b.rem) if m else Congruence.const(a.rem + b.rem)
+    if op is ArithOp.SUB:
+        m = math.gcd(a.modulus, b.modulus)
+        return Congruence.make(m, a.rem - b.rem) if m else Congruence.const(a.rem - b.rem)
+    if op is ArithOp.MUL:
+        # (a_r + a_m k)(b_r + b_m j): every cross term is a multiple of
+        # gcd(a_m b_m, a_m b_r, b_m a_r).
+        m = math.gcd(a.modulus * b.modulus, a.modulus * b.rem, b.modulus * a.rem)
+        return Congruence.make(m, a.rem * b.rem) if m else Congruence.const(a.rem * b.rem)
+    if op is ArithOp.MOD:
+        if cb is not None and cb != 0 and a.modulus % cb == 0:
+            # x ≡ a_r (mod a_m) with cb | a_m pins x % cb exactly.
+            return Congruence.const(a.rem % cb)
+        return Congruence.TOP
+    return Congruence.TOP  # DIV loses congruence information
+
+
+# ---------------------------------------------------------------------------
+# Sign domain
+# ---------------------------------------------------------------------------
+
+_NEG, _ZERO, _POS = 1, 2, 4
+_SIGN_NAMES = {0: "⊥", _NEG: "-", _ZERO: "0", _POS: "+", _NEG | _ZERO: "≤0",
+               _NEG | _POS: "≠0", _ZERO | _POS: "≥0", _NEG | _ZERO | _POS: "⊤"}
+
+
+@dataclass(frozen=True)
+class Sign:
+    """Subset of ``{-, 0, +}`` as a bitmask; the 8-element sign lattice."""
+
+    mask: int
+
+    BOT: "Sign" = None  # type: ignore[assignment]
+    TOP: "Sign" = None  # type: ignore[assignment]
+
+    @staticmethod
+    def const(n: int) -> "Sign":
+        return Sign(_NEG if n < 0 else _ZERO if n == 0 else _POS)
+
+    @staticmethod
+    def of_interval(iv: Interval) -> "Sign":
+        if iv.is_bottom:
+            return Sign.BOT
+        mask = 0
+        if iv.lo is None or iv.lo < 0:
+            mask |= _NEG
+        if iv.contains(0):
+            mask |= _ZERO
+        if iv.hi is None or iv.hi > 0:
+            mask |= _POS
+        return Sign(mask)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.mask == 0
+
+    def contains(self, n: int) -> bool:
+        return bool(self.mask & (_NEG if n < 0 else _ZERO if n == 0 else _POS))
+
+    def leq(self, other: "Sign") -> bool:
+        return self.mask & ~other.mask == 0
+
+    def join(self, other: "Sign") -> "Sign":
+        return Sign(self.mask | other.mask)
+
+    def meet(self, other: "Sign") -> "Sign":
+        return Sign(self.mask & other.mask)
+
+    def widen(self, other: "Sign") -> "Sign":
+        return self.join(other)  # finite lattice
+
+    def narrow(self, other: "Sign") -> "Sign":
+        return self
+
+    def to_interval(self) -> Interval:
+        """The tightest interval gamma(self) fits in (the reduction)."""
+        if self.is_bottom:
+            return Interval.BOT
+        lo = 0 if not (self.mask & _NEG) else None
+        hi = 0 if not (self.mask & _POS) else None
+        if self.mask == _NEG:
+            hi = -1
+        if self.mask == _POS:
+            lo = 1
+        if self.mask == (_NEG | _POS):
+            lo = hi = None  # ≠0 is not convex; interval keeps top
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        return _SIGN_NAMES[self.mask]
+
+
+Sign.BOT = Sign(0)
+Sign.TOP = Sign(_NEG | _ZERO | _POS)
+
+_SIGN_ADD = {}  # filled lazily below
+
+
+def sign_binop(op: ArithOp, a: Sign, b: Sign) -> Sign:
+    """Transfer on signs by sampling: each sign atom has a canonical
+    representative; the abstract op is the join over atom products.
+
+    Exact for ADD/SUB/MUL on atoms; DIV/MOD fall back to the interval
+    reduction (cheaper than a bespoke table and still sound).
+    """
+    if a.is_bottom or b.is_bottom:
+        return Sign.BOT
+    if op in (ArithOp.DIV, ArithOp.MOD):
+        return Sign.TOP
+    out = Sign.BOT
+    for x in _atoms(a):
+        for y in _atoms(b):
+            out = out.join(_sign_atom_op(op, x, y))
+    return out
+
+
+def _atoms(s: Sign) -> Iterable[int]:
+    for bit in (_NEG, _ZERO, _POS):
+        if s.mask & bit:
+            yield bit
+
+
+def _sign_atom_op(op: ArithOp, x: int, y: int) -> Sign:
+    key = (op, x, y)
+    hit = _SIGN_ADD.get(key)
+    if hit is not None:
+        return hit
+    reps = {_NEG: (-2, -1), _ZERO: (0,), _POS: (1, 2)}
+    out = 0
+    for cx in reps[x]:
+        for cy in reps[y]:
+            if op is ArithOp.ADD:
+                v = cx + cy
+            elif op is ArithOp.SUB:
+                v = cx - cy
+            else:
+                v = cx * cy
+            out |= Sign.const(v).mask
+    # ADD/SUB of opposite-sign atoms can land anywhere.
+    if op in (ArithOp.ADD, ArithOp.SUB) and out & (_NEG | _POS) == (_NEG | _POS):
+        out |= _ZERO
+    result = Sign(out)
+    _SIGN_ADD[key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Reduced product
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """The reduced product Interval × Congruence × Sign.
+
+    Construction goes through :meth:`reduce`, which propagates
+    information between the components:
+
+    * the sign tightens the interval (and vice versa);
+    * the congruence snaps finite interval bounds to the nearest member
+      of the congruence class;
+    * a singleton interval pins the congruence to a constant;
+    * any empty component collapses the whole product to bottom.
+    """
+
+    interval: Interval
+    congruence: Congruence
+    sign: Sign
+
+    BOT: "AbsVal" = None  # type: ignore[assignment]
+    TOP: "AbsVal" = None  # type: ignore[assignment]
+
+    @staticmethod
+    def make(interval: Interval,
+             congruence: Congruence = None,
+             sign: Sign = None) -> "AbsVal":
+        return AbsVal(interval,
+                      Congruence.TOP if congruence is None else congruence,
+                      Sign.TOP if sign is None else sign).reduce()
+
+    @staticmethod
+    def const(n: int) -> "AbsVal":
+        return AbsVal(Interval.const(n), Congruence.const(n), Sign.const(n))
+
+    @staticmethod
+    def range(lo: Optional[int], hi: Optional[int]) -> "AbsVal":
+        return AbsVal.make(Interval.make(lo, hi))
+
+    def reduce(self) -> "AbsVal":
+        if self.interval.is_bottom:
+            return AbsVal.BOT
+        # Fast path: a non-singleton plain interval (trivial congruence
+        # and sign) can only push information interval -> sign.
+        if (self.congruence.modulus == 1 and not self.congruence.bottom
+                and self.sign.mask == 7
+                and self.interval.lo != self.interval.hi):
+            sg = Sign.of_interval(self.interval)
+            if sg.mask == 7:
+                return self
+            return AbsVal(self.interval, self.congruence, sg)
+        iv = self.interval.meet(self.sign.to_interval())
+        cg = self.congruence
+        sg = self.sign.meet(Sign.of_interval(iv))
+        # Snap bounds to the congruence class.
+        if not cg.is_bottom and cg.modulus > 1 and not iv.is_bottom:
+            lo, hi = iv.lo, iv.hi
+            if lo is not None:
+                delta = (cg.rem - lo) % cg.modulus
+                lo = lo + delta
+            if hi is not None:
+                delta = (hi - cg.rem) % cg.modulus
+                hi = hi - delta
+            iv = Interval.make(lo, hi)
+            sg = sg.meet(Sign.of_interval(iv))
+        c = iv.as_const()
+        if c is not None:
+            if not cg.contains(c):
+                return AbsVal.BOT
+            cg = Congruence.const(c)
+        cc = cg.as_const()
+        if cc is not None:
+            if not iv.contains(cc):
+                return AbsVal.BOT
+            iv = Interval.const(cc)
+            sg = sg.meet(Sign.const(cc))
+        if iv.is_bottom or cg.is_bottom or sg.is_bottom:
+            return AbsVal.BOT
+        return AbsVal(iv, cg, sg)
+
+    # -- lattice -------------------------------------------------------------
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.interval.is_bottom
+
+    @property
+    def is_top(self) -> bool:
+        return (self.interval.is_top and self.congruence.is_top
+                and self.sign.mask == Sign.TOP.mask)
+
+    def as_const(self) -> Optional[int]:
+        return self.interval.as_const()
+
+    def contains(self, n: int) -> bool:
+        return (self.interval.contains(n) and self.congruence.contains(n)
+                and self.sign.contains(n))
+
+    def leq(self, other: "AbsVal") -> bool:
+        if self.is_bottom:
+            return True
+        return (self.interval.leq(other.interval)
+                and self.congruence.leq(other.congruence)
+                and self.sign.leq(other.sign))
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return AbsVal(self.interval.join(other.interval),
+                      self.congruence.join(other.congruence),
+                      self.sign.join(other.sign)).reduce()
+
+    def meet(self, other: "AbsVal") -> "AbsVal":
+        if self.is_bottom or other.is_bottom:
+            return AbsVal.BOT
+        if other.is_top or self is other:
+            return self
+        if self.is_top:
+            return other
+        return AbsVal(self.interval.meet(other.interval),
+                      self.congruence.meet(other.congruence),
+                      self.sign.meet(other.sign)).reduce()
+
+    def widen(self, other: "AbsVal") -> "AbsVal":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        # No reduce(): reduction can un-widen a bound and break the
+        # termination guarantee; the next narrow pass re-tightens.
+        return AbsVal(self.interval.widen(other.interval),
+                      self.congruence.widen(other.congruence),
+                      self.sign.widen(other.sign))
+
+    def narrow(self, other: "AbsVal") -> "AbsVal":
+        if self.is_bottom or other.is_bottom:
+            return AbsVal.BOT
+        return AbsVal(self.interval.narrow(other.interval),
+                      self.congruence.narrow(other.congruence),
+                      self.sign.narrow(other.sign)).reduce()
+
+    def clamp(self, lo: Optional[int], hi: Optional[int]) -> "AbsVal":
+        """Meet with the interval ``[lo, hi]`` — one reduce instead of
+        the meet-with-fresh-AbsVal two; the hot op of guard refinement."""
+        iv = self.interval.meet(Interval(lo, hi))
+        if iv.lo == self.interval.lo and iv.hi == self.interval.hi:
+            return self
+        return AbsVal(iv, self.congruence, self.sign).reduce()
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥"
+        parts = [str(self.interval)]
+        if not self.congruence.is_top and self.congruence.as_const() is None:
+            parts.append(str(self.congruence))
+        return " ∧ ".join(parts)
+
+
+AbsVal.BOT = AbsVal(Interval.BOT, Congruence.BOT, Sign.BOT)
+AbsVal.TOP = AbsVal(Interval.TOP, Congruence.TOP, Sign.TOP)
+
+
+def binop(op: ArithOp, a: AbsVal, b: AbsVal) -> AbsVal:
+    """Abstract arithmetic on the reduced product."""
+    if a.is_bottom or b.is_bottom:
+        return AbsVal.BOT
+    if a.is_top and b.is_top:
+        return AbsVal.TOP
+    if op is ArithOp.ADD:
+        iv = interval_add(a.interval, b.interval)
+    elif op is ArithOp.SUB:
+        iv = interval_sub(a.interval, b.interval)
+    elif op is ArithOp.MUL:
+        iv = interval_mul(a.interval, b.interval)
+    elif op is ArithOp.DIV:
+        iv = interval_div(a.interval, b.interval)
+    elif op is ArithOp.MOD:
+        iv = interval_mod(a.interval, b.interval)
+    else:  # pragma: no cover - enum is closed
+        iv = Interval.TOP
+    cg = congruence_binop(op, a.congruence, b.congruence)
+    sg = sign_binop(op, a.sign, b.sign)
+    return AbsVal(iv, cg, sg).reduce()
+
+
+def cmp_values(op: CmpOp, a: AbsVal, b: AbsVal) -> Optional[bool]:
+    """Three-valued comparison of two abstract values."""
+    if a.is_bottom or b.is_bottom:
+        return None
+    if a.is_top and b.is_top:
+        return None
+    direct = interval_cmp(op, a.interval, b.interval)
+    if direct is not None:
+        return direct
+    if op in (CmpOp.EQ, CmpOp.NE):
+        # Disjoint congruence classes refute equality.
+        if a.congruence.meet(b.congruence).is_bottom:
+            return op is CmpOp.NE
+    return None
+
+
+_CMP_BOUNDS = {
+    # op -> (left gets hi from right?, offset), used by refine_cmp.
+    CmpOp.LT: ("hi", -1),
+    CmpOp.LE: ("hi", 0),
+    CmpOp.GT: ("lo", 1),
+    CmpOp.GE: ("lo", 0),
+}
+
+
+def refine_cmp(op: CmpOp, a: AbsVal, b: AbsVal) -> Tuple[AbsVal, AbsVal]:
+    """Refine ``(a, b)`` under the assumption ``a op b``.
+
+    Returns possibly-bottom values; callers treat a bottom component as
+    an infeasible assumption.
+    """
+    if a.is_bottom or b.is_bottom:
+        return AbsVal.BOT, AbsVal.BOT
+    if op is CmpOp.EQ:
+        m = a.meet(b)
+        return m, m
+    if op is CmpOp.NE:
+        ca, cb = a.as_const(), b.as_const()
+        new_a, new_b = a, b
+        if cb is not None:
+            if a.as_const() == cb:
+                new_a = AbsVal.BOT
+            elif a.interval.lo == cb:
+                new_a = a.clamp(cb + 1, None)
+            elif a.interval.hi == cb:
+                new_a = a.clamp(None, cb - 1)
+        if ca is not None:
+            if b.as_const() == ca:
+                new_b = AbsVal.BOT
+            elif b.interval.lo == ca:
+                new_b = b.clamp(ca + 1, None)
+            elif b.interval.hi == ca:
+                new_b = b.clamp(None, ca - 1)
+        return new_a, new_b
+    bound, off = _CMP_BOUNDS[op]
+    if bound == "hi":  # a < b or a <= b
+        hi = None if b.interval.hi is None else b.interval.hi + off
+        lo = None if a.interval.lo is None else a.interval.lo - off
+        return a.clamp(None, hi), b.clamp(lo, None)
+    # a > b or a >= b
+    lo = None if b.interval.lo is None else b.interval.lo + off
+    hi = None if a.interval.hi is None else a.interval.hi - off
+    return a.clamp(lo, None), b.clamp(None, hi)

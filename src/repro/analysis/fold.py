@@ -25,15 +25,17 @@ from typing import Dict, Mapping, Optional, Union
 
 from ..lang import ast
 from ..lang.ast import ArithOp, CmpOp, Expr, Pred
+from .domains import AbsVal, cmp_values
 
-_CMP = {
-    CmpOp.EQ: lambda l, r: l == r,
-    CmpOp.NE: lambda l, r: l != r,
-    CmpOp.LT: lambda l, r: l < r,
-    CmpOp.LE: lambda l, r: l <= r,
-    CmpOp.GT: lambda l, r: l > r,
-    CmpOp.GE: lambda l, r: l >= r,
-}
+
+def _decide_cmp(op: CmpOp, left: int, right: int) -> bool:
+    """Compare two known integers through the abstract comparison
+    transfer, so folding and abstract interpretation share one
+    definition of every operator.  On singleton values
+    :func:`repro.analysis.domains.cmp_values` always decides."""
+    result = cmp_values(op, AbsVal.const(left), AbsVal.const(right))
+    assert result is not None
+    return result
 
 
 @dataclass(frozen=True)
@@ -110,9 +112,9 @@ def lin_expr(e: Expr, env: LinEnv) -> Optional[Lin]:
 def lin_cmp(op: CmpOp, left: Lin, right: Lin) -> Optional[bool]:
     """Decide a comparison of two linear forms when sound to do so."""
     if left.is_const and right.is_const:
-        return _CMP[op](left.offset, right.offset)
+        return _decide_cmp(op, left.offset, right.offset)
     if left.base == right.base:
-        return _CMP[op](left.offset, right.offset)
+        return _decide_cmp(op, left.offset, right.offset)
     return None
 
 

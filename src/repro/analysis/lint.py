@@ -18,6 +18,8 @@ code                  severity  meaning
 ``decl-conflict``     error     program/template declare a shared name at two sorts
 ``static-false``      warning   a guard or assume folds to ``false`` statically
 ``stuck-loop``        warning   a hole-free loop body never updates its guard
+``nonterminating-loop``  warning  abstract interpretation proves a guard never
+                                  becomes false: certain non-termination
 ``duplicate-io``      warning   more than one ``in``/``out`` statement
 ``dead-store``        info      a single-target assignment whose value is never read
 ====================  ========  ===================================================
@@ -53,6 +55,7 @@ UNWRITABLE_OUTPUT = "unwritable-output"
 DECL_CONFLICT = "decl-conflict"
 STATIC_FALSE = "static-false"
 STUCK_LOOP = "stuck-loop"
+NONTERMINATING_LOOP = "nonterminating-loop"
 DUPLICATE_IO = "duplicate-io"
 DEAD_STORE = "dead-store"
 
@@ -92,6 +95,7 @@ def lint_program(program: Program,
     _check_sorts(program, cfg, ctx, emit)
     _check_outputs(program, cfg, emit, entry_defined)
     _check_guards(program, cfg, emit)
+    _check_termination(program, cfg, emit)
     _check_io(cfg, emit)
     if not ast.stmt_unknowns(program.body):
         # Holes hide uses from the liveness analysis, so dead-store facts
@@ -235,6 +239,30 @@ def _check_guards(program: Program, cfg: CFG, emit) -> None:
                         else "branch condition")
                 emit(STATIC_FALSE, WARNING,
                      f"{what} is statically false", node)
+
+
+def _check_termination(program: Program, cfg: CFG, emit) -> None:
+    """Flag loops whose guard *provably* never becomes false.
+
+    Runs the abstract interpreter from an unconstrained entry state, so
+    a reported loop diverges for every input — e.g. ``while (i >= 0)
+    (i := i + 1)``.  Hole-ridden bodies are skipped: a filled hole could
+    update anything, so no termination claim is sound for templates.
+    """
+    if ast.stmt_unknowns(program.body):
+        return
+    from .absint import ForwardAnalyzer
+
+    fwd = ForwardAnalyzer(program.decls)
+    fwd.run(program.body)
+    for node in cfg.statement_nodes():
+        stmt = node.stmt
+        if isinstance(stmt, (GWhile, ast.While)):
+            info = fwd.loop_info(stmt)
+            if info is not None and info.certainly_diverges:
+                emit(NONTERMINATING_LOOP, WARNING,
+                     "loop guard can provably never become false: the loop "
+                     "never terminates", node)
 
 
 def _check_io(cfg: CFG, emit) -> None:

@@ -68,6 +68,12 @@ class PinsConfig:
     """Use the dataflow analyses to shrink hole candidate sets and skip
     statically-infeasible symexec branches.  ``None`` defers to the
     ``REPRO_STATIC_PRUNING`` env var (default: enabled)."""
+    absint: Optional[bool] = None
+    """Use the abstract-interpretation layer: ⊥-guard pruning in the
+    symbolic executor, the abstract constraint screen in the checker, and
+    abstract path-infeasibility in pickOne.  ``None`` defers to the
+    ``REPRO_ABSINT`` env var, which itself defaults to the static-pruning
+    setting (so fully-unpruned baselines stay unpruned)."""
     trace: Optional[str] = None
     """Write a JSONL observability trace of this run to the given path
     (appending).  ``None`` defers to the ``REPRO_TRACE`` env var; when
@@ -108,6 +114,10 @@ class PinsStats:
     indicators_pruned: int = 0
     symexec_smt_calls: int = 0
     symexec_const_prunes: int = 0
+    symexec_absint_prunes: int = 0
+    absint_screen_holds: int = 0
+    absint_screen_refutes: int = 0
+    checker_smt_checks: int = 0
     smt_cache_hits: int = 0
     smt_cache_misses: int = 0
 
@@ -135,6 +145,9 @@ STATS_COUNTER_MAP = (
     ("blocked_by_check", "solve.blocked_check"),
     ("symexec_smt_calls", "symexec.smt_query"),
     ("symexec_const_prunes", "symexec.const_prune"),
+    ("symexec_absint_prunes", "symexec.absint_prune"),
+    ("absint_screen_holds", "solve.absint_hold"),
+    ("absint_screen_refutes", "solve.absint_refute"),
 )
 """(PinsStats attribute, obs counter name) pairs that must agree at the
 end of a run: the left side is accumulated by the legacy stats plumbing,
@@ -282,11 +295,17 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
         query_cache = query_cache_for(config.query_cache, task.cache_slug())
         input_vars = {v: desugared.decls[v] for v in task.program.inputs}
         length_hints = {arr: ln for arr, _out, ln in spec.array_pairs}
+        absint_on = config.absint
+        if absint_on is None and config.static_pruning is not None:
+            # An explicit static-pruning override cascades to absint so
+            # `static_pruning=False` yields a fully-unpruned baseline.
+            absint_on = config.static_pruning
         checker = ConstraintChecker(
             desugared.decls, task.externs, task.axioms + task.input_axioms,
             input_vars=input_vars, length_hints=length_hints,
             conflict_budget=config.solver_conflict_budget,
             query_cache=query_cache,
+            absint=absint_on,
         )
         constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
         session = SolveSession(template.space, prune_report=template.prune_report)
@@ -317,6 +336,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             max_backtracks=config.max_backtracks,
             solver_conflict_budget=config.solver_conflict_budget,
             const_pruning=config.static_pruning,
+            absint=absint_on,
         )
         # The executor co-simulates the (growing) test pool for fast
         # feasibility checks; `tests` is shared by reference on purpose.
@@ -425,6 +445,10 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
     stats.indicators_pruned = solve_stats.indicators_pruned
     stats.symexec_smt_calls = executor.oracle.queries
     stats.symexec_const_prunes = executor.const_prunes
+    stats.symexec_absint_prunes = executor.absint_prunes
+    stats.absint_screen_holds = solve_stats.absint_holds
+    stats.absint_screen_refutes = solve_stats.absint_refutes
+    stats.checker_smt_checks = checker.stats.smt_checks
     stats.smt_cache_hits = metrics.counter("smt.cache.hit")
     stats.smt_cache_misses = metrics.counter("smt.cache.miss")
     stats.time_total = time.perf_counter() - started

@@ -6,10 +6,15 @@ The verification question per constraint is ``forall X. sigma(condition)
 disjunct.  A satisfying model doubles as a concrete counterexample input
 (Section 2.5), which ``solve`` adds to its test pool.
 
-Two tiers:
+Three tiers:
 
 * :meth:`ConstraintChecker.screen` — microsecond-scale concrete replay of
   a path on a test input (sound refutation, no solver);
+* :meth:`ConstraintChecker.absint_screen` — abstract interpretation of
+  the ground path condition through the reduced-product numeric domains;
+  a ⊥ saturation proves the constraint holds, and a concretely-replayed
+  witness sampled from a refined state proves it violated — both without
+  the solver;
 * :meth:`ConstraintChecker.check` — the full SMT check, answering
   ``holds`` / ``violated`` / ``unknown`` (unknown is treated optimistically
   by ``solve``; PINS output is validated post-hoc regardless).
@@ -21,7 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .. import smt
+from .. import obs, smt
 from ..axioms.registry import EMPTY_REGISTRY, ExternRegistry
 from ..concrete.interp import InterpError, run_path
 from ..concrete.testgen import input_from_model
@@ -43,6 +48,8 @@ class CheckOutcome:
     status: str
     counterexample: Optional[Dict[str, Any]] = None
     vacuous: bool = False
+    via: str = "smt"
+    """Which tier decided the outcome: "smt" or "absint"."""
 
 
 @dataclass
@@ -51,6 +58,10 @@ class CheckerStats:
     smt_time: float = 0.0
     screens: int = 0
     sat_clauses_peak: int = 0
+    absint_screens: int = 0
+    absint_holds: int = 0
+    absint_refutes: int = 0
+    absint_infeasible: int = 0
 
 
 class ConstraintChecker:
@@ -63,7 +74,10 @@ class ConstraintChecker:
                  length_hints: Mapping[str, str] = (),
                  conflict_budget: int = 100_000,
                  lia_branch_limit: int = 120,
-                 query_cache: Optional[object] = None):
+                 query_cache: Optional[object] = None,
+                 absint: Optional[bool] = None):
+        from ..analysis.absint import absint_enabled
+
         self.sorts = dict(sorts)
         self.sorts.setdefault(SPEC_INDEX_VAR, Sort.INT)
         self.externs = externs
@@ -73,6 +87,7 @@ class ConstraintChecker:
         self.conflict_budget = conflict_budget
         self.lia_branch_limit = lia_branch_limit
         self.query_cache = query_cache
+        self.absint = absint_enabled(absint)
         self.stats = CheckerStats()
         self._sat_cache: Dict[tuple, Tuple[str, Optional[smt.Model]]] = {}
 
@@ -130,9 +145,127 @@ class ConstraintChecker:
 
     def check(self, constraint: Constraint, solution: Solution) -> CheckOutcome:
         ground = self._ground(constraint, solution)
+        if self.absint:
+            screened = self.absint_screen(constraint, solution, ground)
+            if screened is not None:
+                return screened
         if constraint.kind == "safepath":
             return self._check_safepath(constraint, solution, ground)
         return self._check_goal(constraint, solution, ground)
+
+    # -- abstract screening (between concrete replay and full SMT) -------------
+
+    def absint_screen(self, constraint: Constraint, solution: Solution,
+                      ground: Optional[List[Pred]] = None
+                      ) -> Optional[CheckOutcome]:
+        """Decide a (constraint, solution) pair abstractly when possible.
+
+        Saturates the ground path condition through the reduced-product
+        domains (iterated forward–backward refinement).  Three sound
+        answers, or None when the domains cannot decide and the full SMT
+        check must run:
+
+        * path condition refines to ⊥ — the constraint holds vacuously;
+        * every negated goal disjunct refines the saturated state to ⊥ —
+          the constraint holds;
+        * a concrete witness sampled from a refined state *replays* to a
+          spec violation — the constraint is violated, and the witness is
+          a genuine counterexample input.
+        """
+        from ..analysis.absint import saturate
+        from ..lang.transform import substitute_pred
+
+        self.stats.absint_screens += 1
+        if ground is None:
+            ground = self._ground(constraint, solution)
+        env = saturate(ground, self.sorts)
+        if env is None:
+            self.stats.absint_holds += 1
+            return CheckOutcome(HOLDS, vacuous=True, via="absint")
+        if constraint.kind == "safepath":
+            assert constraint.spec is not None
+            disjuncts = list(constraint.spec.negated_disjuncts(
+                constraint.final_vmap))
+        else:
+            assert constraint.neg_goal is not None
+            disjuncts = [substitute_pred(constraint.neg_goal,
+                                         solution.expr_map,
+                                         solution.pred_map)]
+        open_envs = []
+        for disjunct in disjuncts:
+            # Seed from the already-saturated path state: env over-approximates
+            # the models of ``ground``, so meeting the disjunct into it (then
+            # re-sweeping the path facts) stays sound and skips re-deriving
+            # the whole SSA chain from TOP for every disjunct.
+            denv = saturate(list(ground) + [disjunct], self.sorts,
+                            env=env, rounds=2)
+            if denv is not None:
+                open_envs.append(denv)
+        if not open_envs:
+            self.stats.absint_holds += 1
+            return CheckOutcome(HOLDS, via="absint")
+        if constraint.kind == "safepath":
+            for denv in open_envs[:3]:
+                witness = self._abstract_witness(constraint, solution, denv)
+                if witness is not None:
+                    self.stats.absint_refutes += 1
+                    return CheckOutcome(VIOLATED, counterexample=witness,
+                                        via="absint")
+        return None
+
+    def _abstract_witness(self, constraint: Constraint, solution: Solution,
+                          denv) -> Optional[Dict[str, Any]]:
+        """Try to turn a refined abstract state into a concrete refutation.
+
+        Samples one representative version-0 value per integer variable
+        from ``denv``, replays the path concretely, and checks the spec.
+        Deterministic, solver-free; None when the sample does not witness
+        a violation.
+        """
+        from ..concrete.values import ConcreteArray
+
+        inputs: Dict[str, Any] = {}
+        for name, sort in sorted(self.sorts.items()):
+            if name == SPEC_INDEX_VAR:
+                continue
+            if sort is not Sort.INT:
+                # Non-relational domains say nothing about array contents;
+                # an all-zeros array keeps the witness a *complete* input
+                # (preconditions and test replay expect every variable),
+                # matching what the replay below reads anyway.
+                inputs[name] = ConcreteArray(default=0)
+                continue
+            val = denv.get(f"{name}#0")
+            pick = val.as_const()
+            if pick is None:
+                iv = val.interval
+                if iv.contains(0):
+                    pick = 0
+                elif iv.lo is not None:
+                    pick = iv.lo
+                elif iv.hi is not None:
+                    pick = iv.hi
+                else:
+                    pick = 0
+                # Snap onto the congruence class if one is known.
+                if not val.contains(pick):
+                    cong = val.congruence
+                    if cong.modulus > 0:
+                        pick += (cong.rem - pick) % cong.modulus
+                    if not val.contains(pick):
+                        return None
+            inputs[name] = pick
+        assert constraint.spec is not None
+        try:
+            env = run_path(constraint.items, inputs, self.sorts, self.externs,
+                           solution.expr_map, solution.pred_map)
+        except InterpError:
+            return None
+        if env is None:
+            return None  # sample does not follow the path
+        if constraint.spec.check_env(env, constraint.final_vmap):
+            return None  # spec satisfied on this sample
+        return inputs
 
     def _check_safepath(self, constraint: Constraint, solution: Solution,
                         ground: List[Pred]) -> CheckOutcome:
@@ -195,6 +328,13 @@ class ConstraintChecker:
 
     def path_infeasible(self, path: Path, solution: Solution) -> bool:
         ground = substitute_items(path.items, solution.expr_map, solution.pred_map)
+        if self.absint:
+            from ..analysis.absint import preds_unsat
+
+            if preds_unsat(ground, self.sorts):
+                self.stats.absint_infeasible += 1
+                obs.count("checker.absint_infeasible")
+                return True
         status, _ = self._check_sat(ground, want_model=False)
         return status == smt.UNSAT
 

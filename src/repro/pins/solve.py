@@ -53,6 +53,10 @@ class SolveStats:
     blocked_by_check: int = 0
     indicators_pruned: int = 0
     """Indicator variables removed by static analysis before encoding."""
+    absint_holds: int = 0
+    """Constraints proved to hold by the abstract screen (SMT skipped)."""
+    absint_refutes: int = 0
+    """Candidates refuted by an abstractly-sampled concrete witness."""
     sat_time: float = 0.0
     screen_time: float = 0.0
     check_time: float = 0.0
@@ -416,6 +420,7 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
             outcomes = [checker.check(c, partial)
                         for _, c, partial, _ in eager_pairs]
         for (_, constraint, partial, holes), outcome in zip(eager_pairs, outcomes):
+            _note_absint(stats, outcome)
             if outcome.status == VIOLATED:
                 session.persistent_clauses.append(enum.exact_block(partial, holes))
     stats.check_time += eager_span.duration
@@ -501,6 +506,7 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
             for i, (_, constraint, cache_key) in enumerate(pending):
                 outcome = (outcomes[i] if outcomes is not None
                            else checker.check(constraint, solution))
+                _note_absint(stats, outcome)
                 if outcome.status == VIOLATED:
                     failed = True
                     stats.blocked_by_check += 1
@@ -533,6 +539,23 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         # Block this program (not persisted: it is a valid solution).
         learn(_program_block(enum, solution), persist=False)
     return solutions
+
+
+def _note_absint(stats: SolveStats, outcome) -> None:
+    """Account an outcome decided by the checker's abstract screen.
+
+    Counted here — in the parent's deterministic fold — rather than
+    inside the checker, so parallel runs aggregate identically to serial
+    ones (worker-side obs counters never reach the parent registry).
+    """
+    if getattr(outcome, "via", "smt") != "absint":
+        return
+    if outcome.status == VIOLATED:
+        stats.absint_refutes += 1
+        obs.count("solve.absint_refute")
+    else:
+        stats.absint_holds += 1
+        obs.count("solve.absint_hold")
 
 
 def _restricted_key(solution: Solution, relevant) -> tuple:

@@ -59,6 +59,11 @@ class ExecConfig:
     """Fold ground guards through the static linear-form domain and
     backtrack on statically-false prefixes without an SMT feasibility
     call.  ``None`` defers to the ``REPRO_STATIC_PRUNING`` env var."""
+    absint: Optional[bool] = None
+    """Thread an abstract (interval x congruence x sign) state along the
+    prefix and backtrack when a guard refines it to ⊥ — a semantic prune
+    that fires before any SMT feasibility query.  ``None`` defers to the
+    ``REPRO_ABSINT`` env var (which itself follows static pruning)."""
 
 
 class _Backtrack(Exception):
@@ -188,13 +193,22 @@ class SymbolicExecutor:
             query_cache=query_cache)
         self.seed_inputs = seed_inputs if seed_inputs is not None else []
         self.pool = None
+        from ..analysis.absint import absint_enabled
         from ..analysis.prune import static_pruning_enabled
 
         self._const_pruning = static_pruning_enabled(self.config.const_pruning)
+        # An explicit const_pruning override cascades to absint (unless
+        # absint itself is overridden) so "unpruned" baselines get *no*
+        # static layer, not just no linear-form folding.
+        absint_override = self.config.absint
+        if absint_override is None and self.config.const_pruning is not None:
+            absint_override = self.config.const_pruning
+        self._absint = absint_enabled(absint_override)
         self.backtracks = 0
         self.concrete_hits = 0
         self.smt_fallbacks = 0
         self.const_prunes = 0
+        self.absint_prunes = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -220,9 +234,14 @@ class SymbolicExecutor:
             self._prefetch_avoid(avoid)
         initial_vmap = {v: 0 for v in self.program.decls}
         envs = self._seed_envs()
+        aenv = None
+        if self._absint:
+            from ..analysis.absint import AbsEnv
+
+            aenv = AbsEnv(self.program.decls)
         try:
             return self._exec([self.program.body], [], initial_vmap, {}, [],
-                              envs, {})
+                              envs, {}, aenv)
         except _BudgetExhausted:
             return None
 
@@ -281,7 +300,10 @@ class SymbolicExecutor:
     def _exec(self, cont: List, items: List, vmap: Dict[str, int],
               unrolls: Dict[str, int], entries: List,
               envs: List[Dict[str, object]],
-              consts: Dict[str, object]) -> Optional[Path]:
+              consts: Dict[str, object], aenv=None) -> Optional[Path]:
+        # ``aenv`` (the abstract prefix state) is persistent/functional:
+        # updates build new environments, so unlike the mutable arguments
+        # above it needs no defensive copy at recursion boundaries.
         from ..lang.transform import substitute_pred
         from ..analysis.fold import lin_pred
 
@@ -300,7 +322,7 @@ class SymbolicExecutor:
             if isinstance(stmt, Seq):
                 cont.extend(reversed(stmt.stmts))
             elif isinstance(stmt, Assign):
-                self._do_assign(stmt, items, vmap, envs, consts)
+                aenv = self._do_assign(stmt, items, vmap, envs, consts, aenv)
             elif isinstance(stmt, Assume):
                 pred = version_pred(stmt.pred, vmap)
                 items.append(Guard(pred))
@@ -313,6 +335,19 @@ class SymbolicExecutor:
                     obs.count("symexec.const_prune")
                     self._note_backtrack()
                     return None
+                if aenv is not None:
+                    from ..analysis.absint import refine_pred
+
+                    refined = refine_pred(ground, aenv)
+                    if refined is None:
+                        # The guard refines the abstract prefix state to
+                        # ⊥: no concrete valuation follows this prefix,
+                        # so skip the SMT feasibility query entirely.
+                        self.absint_prunes += 1
+                        obs.count("symexec.absint_prune")
+                        self._note_backtrack()
+                        return None
+                    aenv = refined
                 envs = self._filter_envs(ground, envs)
                 if not envs:
                     feasible, env = self._prefix_feasible(items)
@@ -326,7 +361,7 @@ class SymbolicExecutor:
                 self._rng.shuffle(branches)
                 for branch in branches:
                     result = self._exec(cont + [branch], items, vmap, unrolls,
-                                        entries, envs, consts)
+                                        entries, envs, consts, aenv)
                     if result is not None:
                         return result
                 return None
@@ -344,13 +379,13 @@ class SymbolicExecutor:
                 for option in options:
                     if option == "exit":
                         result = self._exec(cont, items, vmap, unrolls,
-                                            entries, envs, consts)
+                                            entries, envs, consts, aenv)
                     else:
                         new_unrolls = dict(unrolls)
                         new_unrolls[loop.loop_id] = count + 1
                         result = self._exec(cont + [_Reentry(loop), loop.body],
                                             items, vmap, new_unrolls, entries,
-                                            envs, consts)
+                                            envs, consts, aenv)
                     if result is not None:
                         return result
                 return None
@@ -408,7 +443,7 @@ class SymbolicExecutor:
 
     def _do_assign(self, stmt: Assign, items: List, vmap: Dict[str, int],
                    envs: List[Dict[str, object]],
-                   consts: Dict[str, object]) -> None:
+                   consts: Dict[str, object], aenv=None):
         from ..analysis.fold import lin_expr
         from ..lang.transform import substitute_expr
 
@@ -424,6 +459,12 @@ class SymbolicExecutor:
                 lin = lin_expr(ground, consts)
                 if lin is not None:
                     consts[f"{target}#{new_version}"] = lin
+            if aenv is not None:
+                from ..analysis.absint import eval_expr as abs_eval
+
+                aenv = aenv.set(f"{target}#{new_version}",
+                                abs_eval(ground, aenv))
+        return aenv
 
     def _finish(self, items: List, vmap: Dict[str, int], entries: List) -> Optional[Path]:
         path = Path(tuple(items), ast.freeze_vmap(vmap), tuple(entries))

@@ -28,6 +28,12 @@ class RoundTripReport:
     skipped: int = 0  # inputs rejected by P's own assume (precondition)
     failures: List[Dict[str, Any]] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    certificate: Optional[Any] = None
+    """Abstract pre-check result (:class:`repro.analysis.certify.
+    CertificateReport`) when validation ran with ``certify_range``;
+    PROVED verdicts there cover *every* input in the range, while the
+    concrete pool below only samples.  Advisory: UNKNOWN never fails
+    the report."""
 
     @property
     def ok(self) -> bool:
@@ -54,14 +60,26 @@ def validate_inverse(program: Program, inverse: Program, spec: InversionSpec,
                      inputs_pool: Sequence[Mapping[str, Any]],
                      externs: ExternRegistry = EMPTY_REGISTRY,
                      fuel: int = 100_000,
-                     precondition=None) -> RoundTripReport:
+                     precondition=None,
+                     certify_range=None) -> RoundTripReport:
     """Round-trip a candidate inverse over a pool of inputs.
 
     Inputs violating ``P``'s own ``assume`` statements (or the task's
     precondition) are counted as skipped, not failed — ``P`` never runs on
     them, so the inverse owes nothing for them.
+
+    When ``certify_range`` is a ``(lo, hi)`` pair, the abstract certifier
+    first tries to *prove* each scalar identity over the whole range (see
+    :mod:`repro.analysis.certify`); the result rides along on
+    ``report.certificate``.
     """
     report = RoundTripReport()
+    if certify_range is not None:
+        from ..analysis.certify import certify_composed
+
+        report.certificate = certify_composed(
+            program, inverse, spec, value_range=tuple(certify_range),
+            precondition=precondition)
     for inputs in inputs_pool:
         report.total += 1
         if precondition is not None and not precondition(dict(inputs)):

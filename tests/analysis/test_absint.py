@@ -1,0 +1,245 @@
+"""Tests for the abstract interpreter: transfer, fixpoints, backward
+analysis, saturation, certification, and the non-termination lint rule.
+
+The Galois-soundness test generates seeded random straight-line programs,
+runs them concretely, and asserts every concrete final value lands in
+γ(abstract final value) — the whole-program soundness contract.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.absint import (
+    AbsEnv,
+    BackwardAnalyzer,
+    ForwardAnalyzer,
+    absint_enabled,
+    eval_pred,
+    forward_backward_prove,
+    preds_unsat,
+    refine_pred,
+    saturate,
+)
+from repro.analysis.domains import AbsVal
+from repro.concrete.interp import InterpError, Interpreter
+from repro.lang import ast
+from repro.lang.ast import ArithOp, GWhile, Program, Sort
+
+INT = Sort.INT
+
+
+def env_of(sorts, **vals):
+    env = AbsEnv(sorts)
+    for name, v in vals.items():
+        env = env.set(name, AbsVal.const(v) if isinstance(v, int) else v)
+    return env
+
+
+# -- saturation over ground predicate lists ---------------------------------
+
+
+def test_saturate_refines_through_defining_equalities():
+    sorts = {"x": INT, "y": INT}
+    preds = [
+        ast.eq(ast.Var("y#1"), ast.add(ast.Var("x#0"), ast.n(2))),
+        ast.le(ast.Var("y#1"), ast.n(5)),
+        ast.ge(ast.Var("x#0"), ast.n(0)),
+    ]
+    env = saturate(preds, sorts)
+    assert env is not None
+    x = env.get("x#0")
+    assert x.interval.lo == 0 and x.interval.hi == 3  # backward through +2
+
+
+def test_preds_unsat_on_bounded_contradiction():
+    sorts = {"x": INT}
+    preds = [
+        ast.ge(ast.Var("x#0"), ast.n(5)),
+        ast.le(ast.Var("x#0"), ast.n(3)),
+    ]
+    assert preds_unsat(preds, sorts)
+
+
+def test_preds_sat_stays_open():
+    sorts = {"x": INT}
+    preds = [ast.ge(ast.Var("x#0"), ast.n(0)),
+             ast.le(ast.Var("x#0"), ast.n(3))]
+    assert not preds_unsat(preds, sorts)
+
+
+def test_refine_pred_conjunction_and_negation():
+    sorts = {"x": INT}
+    env = AbsEnv(sorts)
+    p = ast.conj([ast.ge(ast.Var("x"), ast.n(1)),
+                  ast.lt(ast.Var("x"), ast.n(4))])
+    refined = refine_pred(p, env)
+    assert refined.get("x").interval.lo == 1
+    assert refined.get("x").interval.hi == 3
+    # not (x >= 1)  ==>  x <= 0
+    neg = refine_pred(ast.ge(ast.Var("x"), ast.n(1)), env, result=False)
+    assert neg.get("x").interval.hi == 0
+    assert eval_pred(ast.lt(ast.Var("x"), ast.n(1)), neg) is True
+
+
+# -- forward fixpoints ------------------------------------------------------
+
+
+def loop_to_ten():
+    body = ast.seq(
+        ast.assign("i", ast.n(0)),
+        GWhile(ast.lt(ast.Var("i"), ast.n(10)),
+               ast.assign("i", ast.add(ast.Var("i"), ast.n(1))), "L"),
+    )
+    return Program("ten", {"i": INT}, body)
+
+
+def test_forward_loop_fixpoint_with_narrowing():
+    p = loop_to_ten()
+    result = ForwardAnalyzer(p.decls).run(p.body)
+    i = result.final.get("i")
+    assert i.contains(10)          # soundness
+    assert i.interval.lo == 10     # exit refinement: i >= 10
+    assert i.interval.hi == 10     # narrowing recovers the 10 bound
+
+
+def test_decided_guard_unrolling_is_exact():
+    p = loop_to_ten()
+    fwd = ForwardAnalyzer(p.decls, unroll_fuel=64)
+    result = fwd.run(p.body)
+    assert result.final.get("i").as_const() == 10
+
+
+def test_loop_divergence_detected():
+    body = ast.seq(
+        ast.assign("i", ast.n(0)),
+        GWhile(ast.ge(ast.Var("i"), ast.n(0)),
+               ast.assign("i", ast.add(ast.Var("i"), ast.n(1))), "L"),
+    )
+    fwd = ForwardAnalyzer({"i": INT})
+    result = fwd.run(body)
+    assert result.final.bottom        # the exit state is unreachable
+    assert len(result.loops) == 1
+    assert result.loops[0].certainly_diverges
+
+
+def test_terminating_loop_not_flagged():
+    p = loop_to_ten()
+    result = ForwardAnalyzer(p.decls).run(p.body)
+    assert not result.loops[0].certainly_diverges
+
+
+# -- backward analysis ------------------------------------------------------
+
+
+def test_backward_assign_inverts_addition():
+    sorts = {"x": INT, "y": INT}
+    stmt = ast.assign("x", ast.add(ast.Var("y"), ast.n(1)))
+    post = env_of(sorts, x=5)
+    pre = BackwardAnalyzer(sorts).run(stmt, post)
+    assert pre.get("y").as_const() == 4
+
+
+def test_backward_assume_contradiction_is_none():
+    sorts = {"x": INT}
+    stmt = ast.Assume(ast.ge(ast.Var("x"), ast.n(10)))
+    post = env_of(sorts, x=AbsVal.range(0, 5))
+    assert BackwardAnalyzer(sorts).run(stmt, post) is None
+
+
+def test_forward_backward_prove_simple_identity():
+    sorts = {"i": INT, "n": INT}
+    stmt = ast.assign("i", ast.Var("n"))
+    entry = env_of(sorts, n=3)
+    violation = ast.ne(ast.Var("i"), ast.Var("n"))
+    assert forward_backward_prove(stmt, sorts, entry, violation)
+    # Unbounded entry: non-relational domains cannot prove it.
+    assert not forward_backward_prove(stmt, sorts, AbsEnv(sorts), violation)
+
+
+# -- Galois soundness vs the concrete interpreter ---------------------------
+
+
+def random_straightline(rng: random.Random, n_stmts: int = 8):
+    names = ["a", "b", "c"]
+    stmts = []
+    for _ in range(n_stmts):
+        target = rng.choice(names)
+        op = rng.choice([ArithOp.ADD, ArithOp.SUB, ArithOp.MUL,
+                         ArithOp.DIV, ArithOp.MOD])
+
+        def operand():
+            if rng.random() < 0.5:
+                return ast.Var(rng.choice(names))
+            return ast.n(rng.randint(-6, 6))
+
+        right = operand()
+        if op in (ArithOp.DIV, ArithOp.MOD) and rng.random() < 0.7:
+            right = ast.n(rng.choice([1, 2, 3, -2]))  # mostly safe divisors
+        stmts.append(ast.assign(target, ast.BinOp(op, operand(), right)))
+    decls = {n: INT for n in names}
+    body = ast.seq(ast.In(tuple(names)), *stmts)
+    return Program("rand", decls, body)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_galois_soundness_random_straightline(seed):
+    rng = random.Random(seed)
+    for _ in range(20):
+        prog = random_straightline(rng)
+        inputs = {n: rng.randint(-5, 5) for n in ("a", "b", "c")}
+        try:
+            final = Interpreter().run(prog, inputs)
+        except InterpError:
+            continue  # division by zero: no final state to check
+        entry = env_of(prog.decls, **inputs)
+        result = ForwardAnalyzer(prog.decls).run(prog.body, entry)
+        assert not result.final.bottom
+        for name in ("a", "b", "c"):
+            assert result.final.get(name).contains(final[name]), (
+                f"seed={seed} {name}={final[name]} escaped "
+                f"{result.final.get(name)}")
+
+
+# -- switches ---------------------------------------------------------------
+
+
+def test_absint_enabled_env_and_override(monkeypatch):
+    monkeypatch.delenv("REPRO_ABSINT", raising=False)
+    monkeypatch.delenv("REPRO_STATIC_PRUNING", raising=False)
+    assert absint_enabled(None) is True      # default: follows pruning default
+    assert absint_enabled(False) is False
+    monkeypatch.setenv("REPRO_ABSINT", "0")
+    assert absint_enabled(None) is False
+    assert absint_enabled(True) is True      # explicit override beats env
+    monkeypatch.delenv("REPRO_ABSINT")
+    monkeypatch.setenv("REPRO_STATIC_PRUNING", "0")
+    assert absint_enabled(None) is False     # cascades from static pruning
+
+
+# -- certification + lint rule ----------------------------------------------
+
+
+@pytest.mark.absint
+def test_certify_sumi_scalars_proved():
+    from repro.analysis.certify import certify_benchmark
+
+    report = certify_benchmark("sumi")
+    assert report.scalars_proved
+    scalar = [v for v in report.verdicts if v.in_var == "n"]
+    assert scalar and scalar[0].verdict == "PROVED"
+    assert scalar[0].boxes_proved == scalar[0].boxes_total > 0
+
+
+def test_nonterminating_loop_lint_rule():
+    from repro.analysis.lint import NONTERMINATING_LOOP, lint_program
+
+    body = ast.seq(
+        ast.assign("i", ast.n(0)),
+        GWhile(ast.ge(ast.Var("i"), ast.n(0)),
+               ast.assign("i", ast.add(ast.Var("i"), ast.n(1))), "L"),
+    )
+    diags = lint_program(Program("div", {"i": INT}, body))
+    assert any(d.code == NONTERMINATING_LOOP for d in diags)
+    clean = lint_program(loop_to_ten())
+    assert not any(d.code == NONTERMINATING_LOOP for d in clean)

@@ -1,0 +1,216 @@
+"""Property tests for the reduced-product abstract domains.
+
+Three families, all seeded and deterministic:
+
+* **lattice laws** — join/meet/leq/widen/narrow obey the usual order
+  theory on randomly generated elements;
+* **transfer soundness** — for finite concrete sets ``S``, ``T`` and
+  their abstractions, every ``x OP y`` lands in the abstract result and
+  every decided comparison matches the concrete truth (the Galois
+  condition at the operator level);
+* **widening termination** — any chain interleaved with ``widen``
+  stabilizes in a small bounded number of steps.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.domains import (
+    AbsVal,
+    Congruence,
+    Interval,
+    Sign,
+    binop,
+    cmp_values,
+    refine_cmp,
+)
+from repro.lang.ast import ArithOp, CmpOp
+
+OPS = [ArithOp.ADD, ArithOp.SUB, ArithOp.MUL, ArithOp.DIV, ArithOp.MOD]
+CMPS = [CmpOp.EQ, CmpOp.NE, CmpOp.LT, CmpOp.LE, CmpOp.GT, CmpOp.GE]
+
+CONCRETE = {
+    ArithOp.ADD: lambda a, b: a + b,
+    ArithOp.SUB: lambda a, b: a - b,
+    ArithOp.MUL: lambda a, b: a * b,
+    ArithOp.DIV: lambda a, b: a // b if b != 0 else None,
+    ArithOp.MOD: lambda a, b: a % b if b != 0 else None,
+}
+
+CMP_CONCRETE = {
+    CmpOp.EQ: lambda a, b: a == b,
+    CmpOp.NE: lambda a, b: a != b,
+    CmpOp.LT: lambda a, b: a < b,
+    CmpOp.LE: lambda a, b: a <= b,
+    CmpOp.GT: lambda a, b: a > b,
+    CmpOp.GE: lambda a, b: a >= b,
+}
+
+
+def random_val(rng: random.Random) -> AbsVal:
+    """A random non-bottom abstract value, biased toward small shapes."""
+    kind = rng.randrange(4)
+    if kind == 0:
+        return AbsVal.TOP
+    if kind == 1:
+        return AbsVal.const(rng.randint(-12, 12))
+    lo = rng.randint(-12, 12)
+    hi = lo + rng.randint(0, 10)
+    iv = Interval(None if rng.random() < 0.15 else lo,
+                  None if rng.random() < 0.15 else hi)
+    val = AbsVal.make(iv)
+    if kind == 3:
+        m = rng.randint(2, 5)
+        val = val.meet(AbsVal.make(Interval.TOP,
+                                   Congruence.make(m, rng.randrange(m))))
+    return val if not val.is_bottom else AbsVal.TOP
+
+
+def abstract_of(values) -> AbsVal:
+    """The join of constants: the least abstraction containing ``values``."""
+    out = AbsVal.BOT
+    for v in values:
+        out = out.join(AbsVal.const(v))
+    return out
+
+
+def members(val: AbsVal, window=range(-40, 41)):
+    return [n for n in window if val.contains(n)]
+
+
+def equivalent(a: AbsVal, b: AbsVal) -> bool:
+    return a.leq(b) and b.leq(a)
+
+
+# -- lattice laws -----------------------------------------------------------
+
+
+def test_lattice_laws_random():
+    rng = random.Random(7)
+    for _ in range(300):
+        a, b, c = (random_val(rng) for _ in range(3))
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j), (str(a), str(b), str(j))
+        assert equivalent(j, b.join(a))
+        m = a.meet(b)
+        assert m.leq(a) and m.leq(b)
+        # Absorption-ish: meet with an upper bound is a no-op.
+        assert a.meet(j).leq(a)
+        # leq is transitive through the join.
+        assert a.leq(j.join(c))
+        # Widen over-approximates join; narrow stays between.
+        w = a.widen(b)
+        assert j.leq(w)
+        n = w.narrow(j)
+        assert j.leq(n) and n.leq(w)
+
+
+def test_bot_top_identities():
+    rng = random.Random(8)
+    for _ in range(50):
+        a = random_val(rng)
+        assert equivalent(AbsVal.BOT.join(a), a)
+        assert AbsVal.BOT.leq(a)
+        assert a.leq(AbsVal.TOP)
+        assert equivalent(a.meet(AbsVal.TOP), a)
+        assert a.meet(AbsVal.BOT).is_bottom
+
+
+def test_membership_preserved_by_join_meet():
+    rng = random.Random(9)
+    for _ in range(200):
+        a, b = random_val(rng), random_val(rng)
+        for n in members(a, range(-15, 16)):
+            assert a.join(b).contains(n)
+            if b.contains(n):
+                assert a.meet(b).contains(n)
+
+
+# -- transfer soundness (Galois condition on operators) ---------------------
+
+
+def test_binop_soundness_random():
+    rng = random.Random(17)
+    for _ in range(400):
+        xs = [rng.randint(-10, 10) for _ in range(rng.randint(1, 4))]
+        ys = [rng.randint(-10, 10) for _ in range(rng.randint(1, 4))]
+        a, b = abstract_of(xs), abstract_of(ys)
+        op = rng.choice(OPS)
+        result = binop(op, a, b)
+        for x in xs:
+            for y in ys:
+                concrete = CONCRETE[op](x, y)
+                if concrete is None:
+                    continue  # concrete raises: contributes no state
+                assert result.contains(concrete), (
+                    f"{x} {op.value} {y} = {concrete} not in "
+                    f"{result} (a={a}, b={b})")
+
+
+def test_cmp_soundness_random():
+    rng = random.Random(23)
+    for _ in range(400):
+        xs = [rng.randint(-8, 8) for _ in range(rng.randint(1, 4))]
+        ys = [rng.randint(-8, 8) for _ in range(rng.randint(1, 4))]
+        a, b = abstract_of(xs), abstract_of(ys)
+        op = rng.choice(CMPS)
+        decided = cmp_values(op, a, b)
+        if decided is None:
+            continue
+        for x in xs:
+            for y in ys:
+                assert CMP_CONCRETE[op](x, y) == decided, (
+                    f"cmp {op.value} decided {decided} but "
+                    f"{x} {op.value} {y} differs")
+
+
+def test_refine_cmp_keeps_satisfying_pairs():
+    rng = random.Random(31)
+    for _ in range(400):
+        xs = [rng.randint(-8, 8) for _ in range(rng.randint(1, 4))]
+        ys = [rng.randint(-8, 8) for _ in range(rng.randint(1, 4))]
+        a, b = abstract_of(xs), abstract_of(ys)
+        op = rng.choice(CMPS)
+        ra, rb = refine_cmp(op, a, b)
+        for x in xs:
+            for y in ys:
+                if CMP_CONCRETE[op](x, y):
+                    assert ra.contains(x), (op, x, y, str(a), str(ra))
+                    assert rb.contains(y), (op, x, y, str(b), str(rb))
+
+
+def test_congruence_mul_stride():
+    four = binop(ArithOp.MUL, AbsVal.TOP, AbsVal.const(4))
+    assert four.congruence.modulus == 4
+    assert not four.contains(6) or four.congruence.modulus == 1
+
+
+# -- widening termination ---------------------------------------------------
+
+
+def test_widening_chains_terminate():
+    rng = random.Random(41)
+    for _ in range(100):
+        current = random_val(rng)
+        steps = 0
+        while True:
+            nxt = current.widen(current.join(random_val(rng)))
+            steps += 1
+            if nxt.leq(current):
+                break
+            current = nxt
+            assert steps < 40, "widening chain failed to stabilize"
+
+
+def test_interval_widen_jumps_thresholds():
+    a = Interval(0, 1)
+    b = Interval(0, 2)
+    w = a.widen(b)
+    assert w.lo == 0 and w.hi is not None and w.hi >= 2
+
+
+def test_sign_and_congruence_consts():
+    assert Sign.of_interval(Interval(1, 9)).mask == 4  # strictly positive
+    assert Congruence.const(6).meet(Congruence.make(4, 2)).as_const() == 6
+    assert Congruence.const(5).meet(Congruence.make(4, 2)).is_bottom

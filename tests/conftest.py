@@ -6,6 +6,10 @@ and constant-folding branch pruning in the symbolic executor), by
 setting ``REPRO_STATIC_PRUNING=0`` for the session.  Use it for A/B
 debugging: a test that fails only with pruning enabled points at the
 analysis layer, one that fails both ways does not.
+
+``--no-absint`` does the same for the abstract-interpretation layer
+(``REPRO_ABSINT=0``): executor ⊥-guard pruning, the checker's abstract
+screen, and abstract path-infeasibility all fall back to SMT.
 """
 
 import os
@@ -18,6 +22,10 @@ def pytest_addoption(parser):
         "--no-static-pruning", action="store_true", default=False,
         help="disable the repro.analysis static pruning layer "
              "(sets REPRO_STATIC_PRUNING=0 for the whole run)")
+    parser.addoption(
+        "--no-absint", action="store_true", default=False,
+        help="disable the repro.analysis abstract-interpretation layer "
+             "(sets REPRO_ABSINT=0 for the whole run)")
 
 
 def pytest_configure(config):
@@ -25,15 +33,25 @@ def pytest_configure(config):
         "markers",
         "static_pruning: tests exercising the analysis pruning layer "
         "(skipped under --no-static-pruning)")
+    config.addinivalue_line(
+        "markers",
+        "absint: tests exercising the abstract-interpretation layer "
+        "(skipped under --no-absint)")
     if config.getoption("--no-static-pruning"):
         os.environ["REPRO_STATIC_PRUNING"] = "0"
+    if config.getoption("--no-absint"):
+        os.environ["REPRO_ABSINT"] = "0"
 
 
 def pytest_collection_modifyitems(config, items):
-    if not config.getoption("--no-static-pruning"):
-        return
-    skip = pytest.mark.skip(
-        reason="pruning disabled via --no-static-pruning")
-    for item in items:
-        if "static_pruning" in item.keywords:
-            item.add_marker(skip)
+    marks = []
+    if config.getoption("--no-static-pruning"):
+        marks.append(("static_pruning", pytest.mark.skip(
+            reason="pruning disabled via --no-static-pruning")))
+    if config.getoption("--no-absint"):
+        marks.append(("absint", pytest.mark.skip(
+            reason="abstract interpretation disabled via --no-absint")))
+    for keyword, skip in marks:
+        for item in items:
+            if keyword in item.keywords:
+                item.add_marker(skip)

@@ -1,0 +1,46 @@
+"""Differential tests: the abstract-interpretation layer must not change
+results, only avoid SMT work.
+
+Mirrors ``test_differential.py`` for the absint layer (DESIGN.md §11):
+same seed, both runs must stabilize, and the stabilized inverse programs
+must be bit-identical.  The screen also has to have actually fired for
+the A/B to stay meaningful.
+"""
+
+import pytest
+
+from repro.lang.pretty import pretty_program
+from repro.pins import PinsConfig, run_pins
+from repro.suite import get_benchmark
+
+CASES = [
+    ("sumi", dict(m=10, max_iterations=25, seed=1)),
+    ("runlength", dict(m=3, max_iterations=20, seed=1)),
+]
+
+
+@pytest.mark.absint
+@pytest.mark.parametrize("name,kwargs", CASES, ids=[c[0] for c in CASES])
+def test_absint_differential(name, kwargs):
+    task = get_benchmark(name).task
+    on = run_pins(task, PinsConfig(absint=True, **kwargs))
+    off = run_pins(task, PinsConfig(absint=False, **kwargs))
+
+    assert on.status == "stabilized", f"{name} (absint on): {on.status}"
+    assert off.status == "stabilized", f"{name} (absint off): {off.status}"
+
+    programs_on = {pretty_program(p) for p in on.inverse_programs()}
+    programs_off = {pretty_program(p) for p in off.inverse_programs()}
+    assert programs_on == programs_off, (
+        f"{name}: absint changed the synthesized inverses")
+
+    # The screen must have decided checks abstractly, and every one it
+    # decided is an SMT check the baseline had to run.
+    assert on.stats.absint_screen_holds > 0, name
+    assert off.stats.absint_screen_holds == 0, name
+    assert off.stats.absint_screen_refutes == 0, name
+    assert on.stats.checker_smt_checks < off.stats.checker_smt_checks, (
+        f"{name}: screen saved no checker SMT work "
+        f"({on.stats.checker_smt_checks} vs {off.stats.checker_smt_checks})")
+    # Symexec feasibility queries can only shrink under ⊥-guard pruning.
+    assert on.stats.symexec_smt_calls <= off.stats.symexec_smt_calls, name

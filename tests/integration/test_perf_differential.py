@@ -60,11 +60,14 @@ def test_cache_on_matches_cache_off(name, tmp_path, monkeypatch):
 
 
 def test_jobs_and_warm_cache_together_match_serial(tmp_path, monkeypatch):
-    serial = run("sumi", monkeypatch=monkeypatch)
+    # absint off: the abstract screen decides every checker query on sumi,
+    # which would leave the parent process with no SMT traffic to cache —
+    # this test exists to exercise fork + warm-cache interplay.
+    serial = run("sumi", monkeypatch=monkeypatch, absint=False)
     cache_dir = str(tmp_path) + "/"
-    run("sumi", query_cache=cache_dir)  # prime
+    run("sumi", query_cache=cache_dir, absint=False)  # prime
     combined = run("sumi", jobs=4, query_cache=cache_dir,
-                   force_fork=True, monkeypatch=monkeypatch)
+                   force_fork=True, monkeypatch=monkeypatch, absint=False)
     assert fingerprint(combined) == fingerprint(serial)
     assert combined.stats.smt_cache_hits > 0
 

@@ -34,10 +34,12 @@ import time
 
 from repro.lang.pretty import pretty_program
 from repro.pins import PinsConfig, run_pins
+from repro.resil import Budget
 from repro.suite import get_benchmark
 from repro.validate import random_pool, validate_inverse
 
 BASELINE_LABEL = "serial-baseline"
+PROFILE_FRACTIONS = (0.25, 0.5, 1.0)
 
 
 def inverse_digest(result) -> str:
@@ -55,7 +57,7 @@ def bench_record(result, elapsed: float) -> dict:
     hits = stats.smt_cache_hits
     misses = stats.smt_cache_misses
     queries = result.metrics.counter("smt.queries")
-    return {
+    record = {
         "wall_time_s": round(elapsed, 4),
         "status": result.status,
         "iterations": stats.iterations,
@@ -67,6 +69,39 @@ def bench_record(result, elapsed: float) -> dict:
         "solutions": stats.num_solutions,
         "inverse_digest": inverse_digest(result),
     }
+    if stats.budget_exhausted:
+        record["budget_exhausted"] = stats.budget_exhausted
+    return record
+
+
+def budget_profile(task, config, full_record: dict) -> list:
+    """Anytime-quality curve: rerun under a wall budget at fractions of
+    the unbudgeted wall time and record the best-so-far quality.
+
+    ``digest_matches_full`` flags the fraction at which the budgeted
+    run's solution set already equals the unbudgeted one — the headline
+    "how early could we have stopped" number.
+    """
+    points = []
+    full_wall = full_record["wall_time_s"]
+    for frac in PROFILE_FRACTIONS:
+        budget = Budget(wall_s=max(frac * full_wall, 1e-3))
+        cfg = dict(config.__dict__)
+        cfg["budget"] = budget
+        t0 = time.time()
+        result = run_pins(task, PinsConfig(**cfg))
+        elapsed = time.time() - t0
+        digest = inverse_digest(result)
+        points.append({
+            "fraction": frac,
+            "wall_budget_s": round(budget.wall_s, 4),
+            "wall_time_s": round(elapsed, 4),
+            "status": result.status,
+            "solutions": result.stats.num_solutions,
+            "inverse_digest": digest,
+            "digest_matches_full": digest == full_record["inverse_digest"],
+        })
+    return points
 
 
 def load_bench_json(path: str) -> dict:
@@ -102,6 +137,15 @@ def main() -> int:
     ap.add_argument("--no-absint", action="store_true",
                     help="disable the abstract-interpretation layer "
                          "(screen + path pruning) for A/B runs")
+    ap.add_argument("--budget", default=None, metavar="SPEC",
+                    help="resource budget, e.g. 'wall=30;smt=5000' "
+                         "(see repro.resil.parse_budget_spec)")
+    ap.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault-injection plan, e.g. 'pool.worker_crash@0' "
+                         "(chaos runs; see repro.resil.faults)")
+    ap.add_argument("--budget-profile", action="store_true",
+                    help="after each run, rerun at 25/50/100%% of its "
+                         "wall time and record best-so-far quality")
     ap.add_argument("--bench-json", default=None,
                     help="merge a per-benchmark record into this JSON file")
     ap.add_argument("--bench-label", default=None,
@@ -123,12 +167,20 @@ def main() -> int:
         config = PinsConfig(m=args.m, max_iterations=args.iters,
                             seed=args.seed, jobs=args.jobs,
                             query_cache=args.query_cache,
-                            absint=False if args.no_absint else None)
+                            absint=False if args.no_absint else None,
+                            budget=args.budget, faults=args.faults)
         t0 = time.time()
         result = run_pins(task, config)
         elapsed = time.time() - t0
         record = bench_record(result, elapsed)
         records[name] = record
+        if args.budget_profile:
+            record["budget_profile"] = budget_profile(task, config, record)
+            for point in record["budget_profile"]:
+                match = "=full" if point["digest_matches_full"] else "partial"
+                print(f"  budget {int(point['fraction'] * 100):3d}%: "
+                      f"{point['status']}, {point['solutions']} sols, "
+                      f"{match}", flush=True)
         print(f"=== {name}: {result.status}, {len(result.solutions)} sols, "
               f"{result.stats.iterations} iters, "
               f"{result.stats.paths_explored} paths, {elapsed:.2f}s, "

@@ -20,10 +20,18 @@ from .cache import (
     rebuild_model,
     resolve_cache_spec,
 )
-from .pool import ENV_JOBS, PerfContext, WorkerPool, resolve_jobs
+from .pool import (
+    ENV_JOBS,
+    ENV_POOL_TIMEOUT,
+    PerfContext,
+    WorkerPool,
+    resolve_jobs,
+    resolve_task_timeout,
+)
 
 __all__ = [
     "ENV_JOBS",
+    "ENV_POOL_TIMEOUT",
     "ENV_QUERY_CACHE",
     "PerfContext",
     "QueryCache",
@@ -33,4 +41,5 @@ __all__ = [
     "rebuild_model",
     "resolve_cache_spec",
     "resolve_jobs",
+    "resolve_task_timeout",
 ]

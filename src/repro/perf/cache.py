@@ -48,6 +48,8 @@ import os
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
+from ..resil import faults
 from ..smt.models import Model, satisfies
 from ..smt.solver import SAT, UNSAT
 from ..smt.terms import Op, Term, subterms
@@ -221,6 +223,7 @@ class QueryCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.quarantined = 0
         if path:
             self._load_disk()
 
@@ -294,27 +297,86 @@ class QueryCache:
 
     def _shard_paths(self) -> List[str]:
         assert self.path is not None
-        return sorted(glob.glob(self.path + ".shard-*"))
+        return sorted(p for p in glob.glob(self.path + ".shard-*")
+                      if not p.endswith(".bad"))
 
     def _load_disk(self) -> None:
+        """Read the base file plus every live shard into ``_disk``.
+
+        A file that cannot be read cleanly is **quarantined** — renamed
+        to ``<name>.bad`` so neither this load nor any future one trips
+        over it again — and its entries are simply recomputed on demand
+        (the cache is a memo; losing it costs time, never correctness).
+        One exception: an undecodable *final* line is the signature of a
+        writer that died mid-append, and everything before it is intact,
+        so the file is kept and only that line is dropped.
+        """
         assert self.path is not None
+        if faults.should_fail("cache.corrupt_shard"):
+            self._inject_corruption()
         candidates = [self.path] + self._shard_paths()
         for fname in candidates:
             if not os.path.exists(fname):
                 continue
+            entries = self._read_entries(fname)
+            if entries is None:
+                self._quarantine(fname)
+                continue
+            for entry in entries:
+                self._disk[entry["key"]] = entry
+
+    def _read_entries(self, fname: str) -> Optional[List[dict]]:
+        """Entries of one JSONL file, or None when it must be quarantined."""
+        try:
             with open(fname, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except ValueError:
-                        continue  # torn write from a crashed process
-                    if (isinstance(entry, dict)
-                            and entry.get("status") in (SAT, UNSAT)
-                            and isinstance(entry.get("key"), str)):
-                        self._disk[entry["key"]] = entry
+                lines = fh.read().split("\n")
+        except (OSError, UnicodeDecodeError, ValueError):
+            return None
+        while lines and lines[-1] == "":
+            lines.pop()
+        entries: List[dict] = []
+        for i, raw in enumerate(lines):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                if i == len(lines) - 1:
+                    continue  # torn final append from a crashed writer
+                return None  # garbage mid-file: real corruption
+            # A line that parses but has an unexpected shape (say, a
+            # future format revision) is skipped, not fatal.
+            if (isinstance(entry, dict)
+                    and entry.get("status") in (SAT, UNSAT)
+                    and isinstance(entry.get("key"), str)):
+                entries.append(entry)
+        return entries
+
+    def _quarantine(self, fname: str) -> None:
+        try:
+            os.replace(fname, fname + ".bad")
+        except OSError:
+            try:
+                os.remove(fname)
+            except OSError:
+                return  # can't move or remove it; leave it for the operator
+        self.quarantined += 1
+        obs.count("resil.cache.quarantined")
+
+    def _inject_corruption(self) -> None:
+        """Fault hook (``cache.corrupt_shard``): vandalize one cache file
+        the way an interrupted writer or bad disk would — garbage bytes
+        followed by more data, so the damage is *not* a torn final line
+        and must go through the quarantine path."""
+        assert self.path is not None
+        for fname in self._shard_paths() + [self.path]:
+            if os.path.exists(fname):
+                with open(fname, "r+", encoding="utf-8") as fh:
+                    body = fh.read()
+                    fh.seek(0)
+                    fh.write("\x00garbage{not json\n" + body + "{}\n")
+                return
 
     def _append(self, entry: dict) -> None:
         pid = os.getpid()
@@ -375,6 +437,7 @@ class QueryCache:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "evictions": self.evictions,
+                "quarantined": self.quarantined,
                 "memory_entries": len(self._mem),
                 "disk_entries": len(self._disk)}
 

@@ -33,14 +33,54 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..resil import faults
 
 ENV_JOBS = "REPRO_JOBS"
 ENV_JOBS_FORCE = "REPRO_JOBS_FORCE"
 """Set to 1 to skip the CPU-count clamp (tests exercise the fork path on
 single-core CI machines this way)."""
+ENV_POOL_TIMEOUT = "REPRO_POOL_TIMEOUT"
+"""Seconds a single parallel probe may run before the pool declares its
+worker wedged and degrades the batch to serial re-execution.  Unset (the
+default): wait forever, matching plain ``multiprocessing`` behaviour."""
+
+_POLL_S = 0.2
+"""How often the parent wakes while waiting on a worker result to check
+for dead workers and the per-task timeout."""
+
+
+def resolve_task_timeout(config_value: Optional[float]) -> Optional[float]:
+    """Effective per-task timeout: config wins, then ``REPRO_POOL_TIMEOUT``,
+    then ``None`` (no timeout).  Zero or negative disables."""
+    if config_value is not None:
+        return float(config_value) if float(config_value) > 0 else None
+    env = os.environ.get(ENV_POOL_TIMEOUT, "").strip()
+    if env:
+        try:
+            val = float(env)
+        except ValueError:
+            return None
+        return val if val > 0 else None
+    return None
+
+
+class _PoolDegraded(Exception):
+    """Internal: a batch cannot complete in parallel; fall back to serial.
+
+    ``reason`` feeds the ``resil.pool.<reason>`` obs counter:
+    ``worker_death`` (a forked worker vanished or exited non-zero),
+    ``task_timeout`` (a probe exceeded the per-task timeout), or
+    ``task_error`` (the result channel broke / a task raised — the
+    serial re-run will surface the real exception deterministically).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
 
 
 class PerfContext:
@@ -68,6 +108,10 @@ def _init_worker(ctx: PerfContext) -> None:
     # The fork copied the parent's trace recorder (open file handle and
     # all) and metrics; a worker must not write to either.
     obs.reset_for_subprocess()
+    # Fault-injection decisions are made parent-side (where the hit
+    # counters live); a worker consuming hits from its inherited copy of
+    # the plan would double-fire sites like smt.timeout.
+    faults.uninstall_plan()
 
 
 def _run_task(task: Tuple) -> object:
@@ -75,6 +119,13 @@ def _run_task(task: Tuple) -> object:
     from ..symexec.paths import Guard, substitute_items
 
     kind = task[0]
+    if kind == "resil.crash":
+        # Injected by ``pool.worker_crash``: die the way a real worker
+        # does when the OS kills it — no exception, no cleanup.
+        os._exit(13)
+    if kind == "resil.hang":
+        # Injected by ``pool.worker_hang``: wedge, as if stuck in C code.
+        time.sleep(3600)
     if kind == "constraint":
         _, idx, solution = task
         return _CTX.checker.check(_CTX.constraints[idx], solution)
@@ -124,10 +175,13 @@ class WorkerPool:
     bit-identical either way, only the wall time differs).
     """
 
-    def __init__(self, jobs: int, ctx: PerfContext):
+    def __init__(self, jobs: int, ctx: PerfContext,
+                 task_timeout: Optional[float] = None):
         self.jobs = max(1, jobs)
         self.ctx = ctx
+        self.task_timeout = resolve_task_timeout(task_timeout)
         self._pool = None
+        self._worker_pids: frozenset = frozenset()
         effective = self.jobs
         if os.environ.get(ENV_JOBS_FORCE, "").strip() not in ("1", "true"):
             effective = min(effective, os.cpu_count() or 1)
@@ -138,19 +192,104 @@ class WorkerPool:
                 return
             self._pool = mp.Pool(effective, initializer=_init_worker,
                                  initargs=(ctx,))
+            self._worker_pids = frozenset(p.pid for p in self._pool._pool)
 
     @property
     def parallel(self) -> bool:
         return self._pool is not None
 
     def map_ordered(self, tasks: Sequence[Tuple]) -> List[object]:
-        """Run ``tasks`` and return their results in submission order."""
+        """Run ``tasks`` and return their results in submission order.
+
+        Resilience: the parent never blocks indefinitely on a worker.
+        Results are drained through ``imap`` with a poll loop that
+        watches for dead workers and (when a task timeout is configured)
+        wedged ones.  On either signal the pool is torn down and the
+        batch **degrades to serial**: the in-order prefix already
+        received is kept, and the remaining tasks are re-executed in the
+        parent.  Because probes are pure functions of (task, context),
+        the merged result list is bit-identical to an all-parallel or
+        all-serial run (DESIGN.md §10).
+        """
         if self._pool is None:
             global _CTX
             _CTX = self.ctx
             return [_run_task(t) for t in tasks]
         obs.count("perf.pool.tasks", len(tasks))
-        return self._pool.map(_run_task, tasks)
+        run_tasks = list(tasks)
+        if faults.active_plan() is not None:
+            # Injection decisions happen parent-side, where the plan's
+            # hit counters live; the wrapped copy replaces the task sent
+            # to the worker while `tasks` keeps the original for the
+            # serial fallback.
+            run_tasks = [self._fault_task(t) for t in run_tasks]
+        results: List[object] = []
+        it = self._pool.imap(_run_task, run_tasks)
+        try:
+            for _ in range(len(run_tasks)):
+                results.append(self._next_result(it))
+        except _PoolDegraded as exc:
+            obs.count("resil.pool.degraded")
+            obs.count(f"resil.pool.{exc.reason}")
+            return self._serial_fallback(tasks, results)
+        return results
+
+    def _fault_task(self, task: Tuple) -> Tuple:
+        if faults.should_fail("pool.worker_crash"):
+            return ("resil.crash",)
+        if faults.should_fail("pool.worker_hang"):
+            return ("resil.hang",)
+        return task
+
+    def _next_result(self, it) -> object:
+        """Next in-order result, polling for dead/wedged workers."""
+        waited = 0.0
+        while True:
+            try:
+                return it.next(timeout=_POLL_S)
+            except multiprocessing.TimeoutError:
+                waited += _POLL_S
+                if self._worker_died():
+                    raise _PoolDegraded("worker_death")
+                if (self.task_timeout is not None
+                        and waited >= self.task_timeout):
+                    raise _PoolDegraded("task_timeout")
+            except Exception:
+                # The result channel broke or the task raised; re-run
+                # serially so the real exception (if any) surfaces with
+                # deterministic ordering.
+                raise _PoolDegraded("task_error")
+
+    def _worker_died(self) -> bool:
+        """True when any forked worker exited or was replaced.
+
+        ``Pool`` quietly reaps and respawns dead workers, so check both
+        exit codes and drift of the pid set from the one forked at
+        construction — either way the task the dead worker held is lost
+        and the in-order iterator would wait on it forever.
+        """
+        if self._pool is None:
+            return True
+        procs = list(self._pool._pool)
+        if any(p.exitcode is not None for p in procs):
+            return True
+        return frozenset(p.pid for p in procs) != self._worker_pids
+
+    def _serial_fallback(self, tasks: Sequence[Tuple],
+                         results: List[object]) -> List[object]:
+        """Finish a degraded batch in the parent, serially.
+
+        ``imap`` yields strictly in submission order, so the prefix
+        gathered before degradation maps 1:1 onto ``tasks[:len(results)]``;
+        only the remainder is recomputed — from the ORIGINAL tasks, not
+        the fault-wrapped copies.  The pool is closed for good: later
+        batches this iteration run serial too (the next PINS iteration
+        forks a fresh pool).
+        """
+        self.close()
+        global _CTX
+        _CTX = self.ctx
+        return list(results) + [_run_task(t) for t in tasks[len(results):]]
 
     def close(self) -> None:
         if self._pool is not None:

@@ -1,6 +1,7 @@
 """PINS: the Path-based Inductive Synthesis algorithm (Section 2)."""
 
 from .algorithm import (
+    BUDGET_EXHAUSTED,
     MAX_ITERATIONS,
     NO_SOLUTION,
     PATHS_EXHAUSTED,

@@ -27,6 +27,8 @@ from .. import obs
 from ..concrete.testgen import freeze_input
 from ..lang import ast
 from ..lang.transform import compose, desugar_program
+from ..resil import BudgetExhausted, resolve_budget
+from ..resil.faults import install_plan, resolve_fault_plan
 from ..symexec.executor import ExecConfig, SymbolicExecutor
 from ..symexec.paths import Path
 from .checker import ConstraintChecker
@@ -49,6 +51,7 @@ NO_SOLUTION = "no_solution"
 STABILIZED = "stabilized"
 PATHS_EXHAUSTED = "paths_exhausted"
 MAX_ITERATIONS = "max_iterations"
+BUDGET_EXHAUSTED = "budget_exhausted"
 
 
 @dataclass
@@ -92,6 +95,30 @@ class PinsConfig:
     ``REPRO_QUERY_CACHE`` env var (default: disabled).  Cached ``sat``
     answers re-verify their model against the live query before being
     served; ``unknown`` is never cached.  See :mod:`repro.perf.cache`."""
+    budget: Optional[object] = None
+    """Resource budget for the whole run: a :class:`repro.resil.Budget`,
+    a spec string like ``"wall=2.5;smt=500;sat=100000;paths=50"``, or
+    ``None`` to defer to the ``REPRO_BUDGET`` env var (default:
+    unbudgeted).  On exhaustion the run degrades to the best solution
+    set seen so far with status ``budget_exhausted`` — it never raises
+    out of :func:`run_pins`.  See :mod:`repro.resil.budget`."""
+    faults: Optional[object] = None
+    """Deterministic fault-injection plan: a
+    :class:`repro.resil.faults.FaultPlan`, a spec string like
+    ``"smt.timeout@3;pool.worker_crash@1"``, or ``None`` to defer to the
+    ``REPRO_FAULTS`` env var (default: no injection).  Installed for the
+    run's duration with per-site hit counters starting at zero, then
+    the previously active plan (if any) is restored."""
+    pool_task_timeout: Optional[float] = None
+    """Seconds a parallel probe may run before the worker pool declares
+    its worker wedged and degrades the whole batch to serial
+    re-execution.  ``None`` defers to the ``REPRO_POOL_TIMEOUT`` env
+    var (default: no timeout — matching pre-resilience behaviour)."""
+    demote_unknowns: Optional[int] = 3
+    """Demote (non-persistently block) a candidate after this many
+    UNKNOWN constraint checks, so repeated SMT timeouts on a single
+    candidate cannot wedge ``solve()`` forever.  ``None`` disables
+    demotion."""
 
 
 @dataclass
@@ -120,6 +147,10 @@ class PinsStats:
     checker_smt_checks: int = 0
     smt_cache_hits: int = 0
     smt_cache_misses: int = 0
+    candidates_demoted: int = 0
+    budget_exhausted: str = ""
+    """Reason the run's budget tripped (e.g. ``"wall"``, ``"smt"``);
+    empty when the run completed within budget (or had none)."""
 
     def breakdown(self) -> Dict[str, float]:
         """Fractions of total time per phase (Table 4)."""
@@ -148,6 +179,7 @@ STATS_COUNTER_MAP = (
     ("symexec_absint_prunes", "symexec.absint_prune"),
     ("absint_screen_holds", "solve.absint_hold"),
     ("absint_screen_refutes", "solve.absint_refute"),
+    ("candidates_demoted", "solve.demoted"),
 )
 """(PinsStats attribute, obs counter name) pairs that must agree at the
 end of a run: the left side is accumulated by the legacy stats plumbing,
@@ -268,11 +300,19 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
         run_recorder = obs.recorder_from_env()
         if run_recorder is not None:
             restore = obs.set_recorder(run_recorder)
+    # Each run gets a fresh fault plan (hit counters at zero) so the
+    # same spec injects at the same sites on every run; a plan someone
+    # installed directly (e.g. a test) is left alone when no spec is
+    # configured, and restored afterwards when one is.
+    fault_plan = resolve_fault_plan(config.faults)
+    prev_plan = install_plan(fault_plan) if fault_plan is not None else None
     metrics = obs.Metrics()
     try:
         with obs.use_metrics(metrics), obs.span("pins.run"):
             return _run_pins(task, config, metrics)
     finally:
+        if fault_plan is not None:
+            install_plan(prev_plan)
         if restore is not None:
             obs.set_recorder(restore)
             assert run_recorder is not None
@@ -285,6 +325,9 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
 
     rng = random.Random(config.seed)
     started = time.perf_counter()
+    budget = resolve_budget(config.budget)
+    if budget is not None:
+        budget.start()
 
     with obs.span("pins.setup"):
         composed = compose(task.program, task.inverse)
@@ -306,6 +349,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             conflict_budget=config.solver_conflict_budget,
             query_cache=query_cache,
             absint=absint_on,
+            budget=budget,
         )
         constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
         session = SolveSession(template.space, prune_report=template.prune_report)
@@ -337,6 +381,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             solver_conflict_budget=config.solver_conflict_budget,
             const_pruning=config.static_pruning,
             absint=absint_on,
+            budget=budget,
         )
         # The executor co-simulates the (growing) test pool for fast
         # feasibility checks; `tests` is shared by reference on purpose.
@@ -350,11 +395,14 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
     last_size: Optional[int] = None
     status = MAX_ITERATIONS
     solutions: List[Solution] = []
+    best_solutions: List[Solution] = []
     jobs = resolve_jobs(config.jobs)
     pool: Optional[WorkerPool] = None
 
     try:
         for _ in range(config.max_iterations):
+            if budget is not None:
+                budget.check()  # wall deadline; handled as best-so-far below
             if jobs > 1:
                 # A fresh pool per iteration: workers inherit the current
                 # constraints/explored lists and every cache the parent
@@ -366,7 +414,8 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
                     query_cache.refresh()
                 pool = WorkerPool(jobs, PerfContext(
                     checker=checker, oracle=executor.oracle,
-                    constraints=constraints, explored=explored))
+                    constraints=constraints, explored=explored),
+                    task_timeout=config.pool_task_timeout)
                 executor.attach_pool(pool)
             with obs.span("pins.iteration"):
                 stats.iterations += 1
@@ -376,8 +425,18 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
                                       config.m, solve_stats,
                                       max_candidates=config.max_candidates_per_solve,
                                       precondition=task.precondition,
-                                      pool=pool)
+                                      pool=pool, budget=budget,
+                                      demote_unknowns=config.demote_unknowns)
                 obs.observe("pins.solutions", len(solutions))
+                if solutions:
+                    best_solutions = list(solutions)
+                if budget is not None and budget.exhausted:
+                    # solve() returned a partial (possibly empty) set
+                    # because the budget tripped mid-loop: degrade to the
+                    # best set seen, not NO_SOLUTION.
+                    status = BUDGET_EXHAUSTED
+                    solutions = list(best_solutions)
+                    break
                 if not solutions:
                     status = NO_SOLUTION
                     break
@@ -419,6 +478,12 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
                 pool.close()
                 pool = None
                 executor.attach_pool(None)
+    except BudgetExhausted:
+        # Raised by a layer with nothing useful to return partially
+        # (symbolic execution, or the wall check at the loop head).
+        # Degrade to the best stabilizing-candidate set seen so far.
+        status = BUDGET_EXHAUSTED
+        solutions = list(best_solutions)
     finally:
         if pool is not None:
             pool.close()
@@ -451,6 +516,9 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
     stats.checker_smt_checks = checker.stats.smt_checks
     stats.smt_cache_hits = metrics.counter("smt.cache.hit")
     stats.smt_cache_misses = metrics.counter("smt.cache.miss")
+    stats.candidates_demoted = solve_stats.demoted
+    if budget is not None and budget.exhausted:
+        stats.budget_exhausted = budget.reason or "exhausted"
     stats.time_total = time.perf_counter() - started
     if obs.tracing_enabled():
         check_stats_invariants(stats, metrics)

@@ -75,7 +75,8 @@ class ConstraintChecker:
                  conflict_budget: int = 100_000,
                  lia_branch_limit: int = 120,
                  query_cache: Optional[object] = None,
-                 absint: Optional[bool] = None):
+                 absint: Optional[bool] = None,
+                 budget: Optional[object] = None):
         from ..analysis.absint import absint_enabled
 
         self.sorts = dict(sorts)
@@ -87,6 +88,9 @@ class ConstraintChecker:
         self.conflict_budget = conflict_budget
         self.lia_branch_limit = lia_branch_limit
         self.query_cache = query_cache
+        self.budget = budget
+        """Optional :class:`repro.resil.Budget` handed to every solver
+        this checker creates; exhausted queries answer ``unknown``."""
         self.absint = absint_enabled(absint)
         self.stats = CheckerStats()
         self._sat_cache: Dict[tuple, Tuple[str, Optional[smt.Model]]] = {}
@@ -106,7 +110,8 @@ class ConstraintChecker:
         solver = smt.Solver(axioms=self.axioms,
                             sat_conflict_budget=self.conflict_budget,
                             lia_branch_limit=self.lia_branch_limit,
-                            query_cache=self.query_cache)
+                            query_cache=self.query_cache,
+                            budget=self.budget)
         try:
             for pred in preds:
                 solver.add(translator.pred(pred))

@@ -31,6 +31,7 @@ from ..concrete.values import coerce_input, default_value
 from ..lang import ast
 from ..lang.ast import Expr, Pred
 from ..lang.transform import rename_expr, rename_pred, vmap_renaming
+from ..resil import BudgetExhausted
 from ..smt.sat import SatSolver
 from ..symexec.paths import Def, Guard
 from .checker import HOLDS, UNKNOWN, VIOLATED, ConstraintChecker
@@ -57,6 +58,11 @@ class SolveStats:
     """Constraints proved to hold by the abstract screen (SMT skipped)."""
     absint_refutes: int = 0
     """Candidates refuted by an abstractly-sampled concrete witness."""
+    demoted: int = 0
+    """Candidates demoted after repeated ``unknown`` SMT outcomes (the
+    resilience cascade for a solver that keeps timing out on one
+    candidate: block it non-persistently instead of accepting it on
+    optimism or aborting the solve)."""
     sat_time: float = 0.0
     screen_time: float = 0.0
     check_time: float = 0.0
@@ -379,7 +385,9 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
           max_candidates: int = 200_000,
           eager_limit: int = 600,
           precondition=None,
-          pool=None) -> List[Solution]:
+          pool=None,
+          budget=None,
+          demote_unknowns: Optional[int] = 3) -> List[Solution]:
     """Find up to ``m`` solutions satisfying every constraint.
 
     Mutates ``tests`` (new counterexamples are appended) and the session
@@ -390,6 +398,17 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
     are folded in submission order with the serial control flow (first
     violation wins, later speculative results discarded), so the learned
     clauses, caches, and returned solutions are identical to a serial run.
+
+    ``budget`` (a :class:`repro.resil.Budget`) makes the candidate loop
+    cooperative: SAT conflicts and checker queries charge against it, and
+    on exhaustion the loop stops and returns the solutions found so far
+    (best-so-far, never an exception).
+
+    A candidate whose tier-2 checks answer ``unknown`` at least
+    ``demote_unknowns`` times (cached unknowns from earlier iterations
+    included) is *demoted* — blocked for this solve call without being
+    accepted — instead of riding through on unknown-optimism while a
+    wedged solver times out on it forever.  ``None`` disables demotion.
     """
     enum = session.enumerator
     solutions: List[Solution] = []
@@ -426,6 +445,7 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
     stats.check_time += eager_span.duration
 
     sat = enum.fresh_solver(session.persistent_clauses)
+    sat.budget = budget
 
     def learn(clause: List[int], persist: bool = True) -> None:
         if persist:
@@ -446,8 +466,14 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
 
     candidates = 0
     while len(solutions) < m and candidates < max_candidates:
-        with obs.span("solve.sat") as sat_span:
-            sat_result = sat.solve()
+        if budget is not None and budget.exhausted:
+            break  # a checker charge tripped it mid-candidate: best-so-far
+        try:
+            with obs.span("solve.sat") as sat_span:
+                sat_result = sat.solve()
+        except BudgetExhausted:
+            obs.count("resil.budget.solve_interrupted")
+            break  # return the solutions found so far
         stats.sat_time += sat_span.duration
         stats.sat_vars = sat.num_vars
         stats.sat_clauses = sat.num_clauses()
@@ -484,15 +510,26 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         # -- tier 2: full SMT checks ---------------------------------------
         with obs.span("solve.check") as check_span:
             failed = False
+            unknown_hits = 0
             pending: List[Tuple[int, Constraint, Tuple[tuple, str]]] = []
             for cidx, constraint in enumerate(constraints):
                 if constraint.label in session.eager_done:
                     continue  # compiled into SAT clauses already
                 cache_key = (_restricted_key(solution, constraint.relevant),
                              constraint.label)
-                if session.check_cache.get(cache_key) in (HOLDS, UNKNOWN):
+                cached = session.check_cache.get(cache_key)
+                if cached in (HOLDS, UNKNOWN):
+                    if cached == UNKNOWN:
+                        unknown_hits += 1
                     continue
                 pending.append((cidx, constraint, cache_key))
+            if demote_unknowns is not None and unknown_hits >= demote_unknowns:
+                # A previously-demoted candidate re-proposed by this solve
+                # call's fresh SAT solver: demote again without re-running
+                # any checks (the cached unknowns already tell the story).
+                failed = True
+                _demote(stats, learn, enum, solution)
+                pending = []
             if parallel and len(pending) > 1:
                 # Speculative fan-out: all pending checks run concurrently,
                 # but results are folded below in submission order and
@@ -526,6 +563,13 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
                         learn(enum.exact_block(solution, set(constraint.relevant)))
                     break
                 session.check_cache[cache_key] = outcome.status
+                if outcome.status == UNKNOWN:
+                    unknown_hits += 1
+                    if (demote_unknowns is not None
+                            and unknown_hits >= demote_unknowns):
+                        failed = True
+                        _demote(stats, learn, enum, solution)
+                        break
         stats.check_time += check_span.duration
         if failed:
             continue
@@ -539,6 +583,20 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         # Block this program (not persisted: it is a valid solution).
         learn(_program_block(enum, solution), persist=False)
     return solutions
+
+
+def _demote(stats: SolveStats, learn, enum: Enumerator, solution) -> None:
+    """Retire a candidate whose constraints keep coming back UNKNOWN.
+
+    Repeated solver timeouts on one candidate would otherwise pin the
+    whole loop: the candidate never violates anything, so it is never
+    blocked, and solve() re-checks it forever. Demotion blocks it
+    non-persistently (this solve call only) so the enumerator moves on;
+    a later call with a fresh budget may revisit it.
+    """
+    stats.demoted += 1
+    obs.count("solve.demoted")
+    learn(enum.exact_block(solution), persist=False)
 
 
 def _note_absint(stats: SolveStats, outcome) -> None:

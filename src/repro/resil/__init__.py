@@ -1,0 +1,59 @@
+"""Resilience layer: budgets, fault injection, graceful degradation.
+
+PINS is an anytime search (the paper reports wall-clock-bounded
+results throughout), so every expensive layer in this repo must be
+*cancellable* and must *survive partial failure*:
+
+``repro.resil.budget``
+    A :class:`Budget` carries a wall-clock deadline plus count limits
+    (SMT queries, SAT conflicts, symexec paths) through the whole
+    stack.  Layers charge against it at cheap boundaries and bail out
+    cooperatively; PINS then returns the best-so-far solution set with
+    status ``budget_exhausted`` instead of raising.
+
+``repro.resil.faults``
+    A deterministic fault injector (``REPRO_FAULTS`` /
+    ``PinsConfig.faults``) whose injection sites are zero-overhead
+    no-op hooks when no plan is installed — the same module-global
+    early-return pattern ``repro.obs`` uses.
+
+Degradation cascades themselves live where the failures happen
+(``perf.pool`` worker death -> serial re-execution, ``perf.cache``
+shard corruption -> quarantine, repeated per-candidate SMT timeouts
+-> demotion in ``pins.solve``); this package supplies the budget and
+the faults that drive them.
+"""
+
+from .budget import (
+    ENV_BUDGET,
+    Budget,
+    BudgetExhausted,
+    parse_budget_spec,
+    resolve_budget,
+)
+from .faults import (
+    ENV_FAULTS,
+    FaultPlan,
+    active_plan,
+    install_plan,
+    parse_fault_spec,
+    resolve_fault_plan,
+    should_fail,
+    uninstall_plan,
+)
+
+__all__ = [
+    "ENV_BUDGET",
+    "ENV_FAULTS",
+    "Budget",
+    "BudgetExhausted",
+    "FaultPlan",
+    "active_plan",
+    "install_plan",
+    "parse_budget_spec",
+    "parse_fault_spec",
+    "resolve_budget",
+    "resolve_fault_plan",
+    "should_fail",
+    "uninstall_plan",
+]

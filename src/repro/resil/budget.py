@@ -1,0 +1,238 @@
+"""Cooperative cancellation budgets for the synthesis stack.
+
+A :class:`Budget` bounds a run four ways — a wall-clock deadline plus
+count limits on SMT queries, SAT conflicts, and symexec paths — and is
+threaded by reference through every expensive layer:
+
+* :meth:`repro.smt.solver.Solver.check` charges one SMT query per cache
+  miss (cache hits are free) and answers ``unknown`` once exhausted;
+* :class:`repro.smt.sat.SatSolver` charges each conflict as it is
+  analyzed, so a restart storm cannot outlive the deadline;
+* :class:`repro.symexec.executor.SymbolicExecutor` charges each found
+  path and re-checks the wall clock while backtracking;
+* :func:`repro.pins.solve.solve` stops proposing candidates and returns
+  the solutions found so far;
+* :func:`repro.pins.algorithm._run_pins` converts exhaustion into the
+  ``budget_exhausted`` status carrying the best-so-far solution set —
+  callers never see a traceback.
+
+Charging is cooperative and approximate at process boundaries: forked
+pool workers inherit a *copy* of the budget, so count limits bound each
+worker independently while the wall deadline (an absolute monotonic
+timestamp) stays globally meaningful.  Exhaustion is recorded once per
+budget in the obs counters ``resil.budget_exhausted`` and
+``resil.budget_exhausted.<reason>``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Union
+
+from .. import obs
+
+ENV_BUDGET = "REPRO_BUDGET"
+
+_FIELD_ALIASES = {
+    "wall": "wall_s",
+    "wall_s": "wall_s",
+    "time": "wall_s",
+    "smt": "smt_queries",
+    "smt_queries": "smt_queries",
+    "queries": "smt_queries",
+    "sat": "sat_conflicts",
+    "sat_conflicts": "sat_conflicts",
+    "conflicts": "sat_conflicts",
+    "paths": "symexec_paths",
+    "symexec_paths": "symexec_paths",
+}
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised (cooperatively) when a :class:`Budget` limit is crossed.
+
+    ``reason`` names the exhausted dimension (``"wall"``,
+    ``"smt_queries"``, ``"sat_conflicts"``, or ``"symexec_paths"``).
+    """
+
+    def __init__(self, reason: str = "budget"):
+        super().__init__(f"budget exhausted: {reason}")
+        self.reason = reason
+
+
+class Budget:
+    """A shared, mutable budget; ``None`` limits are unbounded.
+
+    Layers call the ``charge_*`` methods at cheap boundaries; the first
+    crossing flips :attr:`exhausted`, records the obs counters, and
+    raises :class:`BudgetExhausted`.  Every later charge (and
+    :meth:`check`) keeps raising, so a budget poisons all remaining work
+    the moment any layer trips it.
+    """
+
+    __slots__ = ("wall_s", "smt_queries", "sat_conflicts", "symexec_paths",
+                 "used_smt_queries", "used_sat_conflicts",
+                 "used_symexec_paths", "deadline", "exhausted", "reason")
+
+    def __init__(self, wall_s: Optional[float] = None,
+                 smt_queries: Optional[int] = None,
+                 sat_conflicts: Optional[int] = None,
+                 symexec_paths: Optional[int] = None):
+        for name, value in (("wall_s", wall_s), ("smt_queries", smt_queries),
+                            ("sat_conflicts", sat_conflicts),
+                            ("symexec_paths", symexec_paths)):
+            if value is not None and value < 0:
+                raise ValueError(f"budget {name} must be >= 0, got {value!r}")
+        self.wall_s = wall_s
+        self.smt_queries = smt_queries
+        self.sat_conflicts = sat_conflicts
+        self.symexec_paths = symexec_paths
+        self.used_smt_queries = 0
+        self.used_sat_conflicts = 0
+        self.used_symexec_paths = 0
+        self.deadline: Optional[float] = None
+        self.exhausted = False
+        self.reason: Optional[str] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Arm the wall-clock deadline (idempotent)."""
+        if self.wall_s is not None and self.deadline is None:
+            self.deadline = time.monotonic() + self.wall_s
+        return self
+
+    def _exhaust(self, reason: str) -> None:
+        if not self.exhausted:
+            self.exhausted = True
+            self.reason = reason
+            obs.count("resil.budget_exhausted")
+            obs.count(f"resil.budget_exhausted.{reason}")
+        raise BudgetExhausted(self.reason or reason)
+
+    # -- checks and charges -------------------------------------------------
+
+    def check(self) -> None:
+        """Raise if already exhausted or the wall deadline has passed."""
+        if self.exhausted:
+            raise BudgetExhausted(self.reason or "budget")
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            self._exhaust("wall")
+
+    def ok(self) -> bool:
+        """:meth:`check` as a predicate (still flips ``exhausted``)."""
+        try:
+            self.check()
+        except BudgetExhausted:
+            return False
+        return True
+
+    def charge_smt_query(self) -> None:
+        self.check()
+        if self.smt_queries is None:
+            return
+        self.used_smt_queries += 1
+        if self.used_smt_queries > self.smt_queries:
+            self._exhaust("smt_queries")
+
+    def charge_sat_conflicts(self, n: int = 1) -> None:
+        self.check()
+        if self.sat_conflicts is None:
+            return
+        self.used_sat_conflicts += n
+        if self.used_sat_conflicts > self.sat_conflicts:
+            self._exhaust("sat_conflicts")
+
+    def charge_symexec_path(self) -> None:
+        self.check()
+        if self.symexec_paths is None:
+            return
+        self.used_symexec_paths += 1
+        if self.used_symexec_paths > self.symexec_paths:
+            self._exhaust("symexec_paths")
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "wall_s": self.wall_s,
+            "smt_queries": self.smt_queries,
+            "sat_conflicts": self.sat_conflicts,
+            "symexec_paths": self.symexec_paths,
+            "used_smt_queries": self.used_smt_queries,
+            "used_sat_conflicts": self.used_sat_conflicts,
+            "used_symexec_paths": self.used_symexec_paths,
+            "exhausted": self.exhausted,
+            "reason": self.reason,
+        }
+
+    def describe(self) -> str:
+        parts = []
+        if self.wall_s is not None:
+            parts.append(f"wall={self.wall_s:g}")
+        if self.smt_queries is not None:
+            parts.append(f"smt={self.smt_queries}")
+        if self.sat_conflicts is not None:
+            parts.append(f"sat={self.sat_conflicts}")
+        if self.symexec_paths is not None:
+            parts.append(f"paths={self.symexec_paths}")
+        return ";".join(parts) if parts else "unbounded"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f", exhausted={self.reason!r}" if self.exhausted else ""
+        return f"Budget({self.describe()}{state})"
+
+
+def parse_budget_spec(spec: str) -> Budget:
+    """Parse ``"wall=2.5;smt=500;sat=100000;paths=50"`` into a Budget.
+
+    Field aliases: ``wall``/``wall_s``/``time`` (float seconds),
+    ``smt``/``smt_queries``/``queries``, ``sat``/``sat_conflicts``/
+    ``conflicts``, ``paths``/``symexec_paths`` (non-negative ints).
+    """
+    fields: Dict[str, object] = {}
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad budget entry {part!r}: expected <field>=<value>")
+        name, _, raw = part.partition("=")
+        field = _FIELD_ALIASES.get(name.strip().lower())
+        if field is None:
+            raise ValueError(
+                f"unknown budget field {name.strip()!r}; expected one of "
+                f"{sorted(set(_FIELD_ALIASES))}")
+        raw = raw.strip()
+        try:
+            value: Union[int, float] = (float(raw) if field == "wall_s"
+                                        else int(raw))
+        except ValueError:
+            raise ValueError(
+                f"bad budget value {raw!r} for field {name.strip()!r}")
+        if field in fields:
+            raise ValueError(f"duplicate budget field {name.strip()!r}")
+        fields[field] = value
+    if not fields:
+        raise ValueError(f"empty budget spec {spec!r}")
+    return Budget(**fields)  # type: ignore[arg-type]
+
+
+def resolve_budget(config_value: Union[Budget, str, None] = None
+                   ) -> Optional[Budget]:
+    """Effective budget: explicit config wins, else ``REPRO_BUDGET``.
+
+    Accepts a ready-made :class:`Budget`, a spec string, or None (defer
+    to the environment).  ``""`` and ``"0"`` mean "no budget".
+    """
+    if isinstance(config_value, Budget):
+        return config_value
+    spec = config_value
+    if spec is None:
+        spec = os.environ.get(ENV_BUDGET, "")
+    spec = spec.strip()
+    if not spec or spec == "0":
+        return None
+    return parse_budget_spec(spec)

@@ -1,0 +1,159 @@
+"""Deterministic fault injection for resilience testing.
+
+A :class:`FaultPlan` maps *site* names to the occurrence indices at
+which they fire.  Sites are string labels baked into the code paths the
+resilience layer protects::
+
+    smt.timeout          Solver.check answers "unknown" (an injected
+                         solver timeout) instead of solving.
+    pool.worker_crash    The next task submitted to a parallel
+                         WorkerPool hard-exits its worker (os._exit).
+    pool.worker_hang     The next submitted task wedges its worker;
+                         the pool's per-task liveness timeout must
+                         rescue the run.
+    cache.corrupt_shard  QueryCache._load_disk corrupts the first
+                         on-disk cache file before reading it, forcing
+                         the quarantine path.
+
+Spec grammar (``REPRO_FAULTS`` / ``PinsConfig.faults``)::
+
+    site@N[,M...]   fire at the N-th (0-based) hit of the site, ...
+    site@*          fire at every hit
+    entries joined by ";", e.g. "smt.timeout@3;pool.worker_crash@0"
+
+Injection is deterministic: each site keeps a hit counter in the plan,
+so the same plan against the same run fires at exactly the same
+moments.  :func:`repro.pins.algorithm.run_pins` installs a *fresh* plan
+per run (counters reset), making chaos reproducible run-to-run.  Pool
+faults are decided in the parent process at submission time and worker
+processes uninstall any inherited plan, so fault decisions never depend
+on work distribution across forks.
+
+The hot-path hook is :func:`should_fail`, which follows the
+``repro.obs`` zero-overhead pattern: when no plan is installed it is a
+module-global load plus an ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Mapping, Optional, Union
+
+from .. import obs
+
+ENV_FAULTS = "REPRO_FAULTS"
+ALWAYS = "*"
+
+
+class FaultPlan:
+    """Per-site occurrence sets plus mutable hit counters."""
+
+    def __init__(self, sites: Mapping[str, Union[str, FrozenSet[int]]]):
+        self.sites: Dict[str, Union[str, FrozenSet[int]]] = dict(sites)
+        self.hits: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+
+    def hit(self, site: str) -> bool:
+        """Count one occurrence of ``site``; True when it should fail."""
+        spec = self.sites.get(site)
+        if spec is None:
+            return False
+        n = self.hits.get(site, 0)
+        self.hits[site] = n + 1
+        fire = spec == ALWAYS or n in spec
+        if fire:
+            self.fired[site] = self.fired.get(site, 0) + 1
+            obs.count(f"resil.fault.{site}")
+        return fire
+
+    def describe(self) -> str:
+        parts = []
+        for site in sorted(self.sites):
+            spec = self.sites[site]
+            occ = ALWAYS if spec == ALWAYS else ",".join(
+                str(i) for i in sorted(spec))
+            parts.append(f"{site}@{occ}")
+        return ";".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.describe()!r}, fired={self.fired})"
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse ``"site@N[,M...];site@*"`` into a :class:`FaultPlan`."""
+    sites: Dict[str, Union[str, FrozenSet[int]]] = {}
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "@" not in part:
+            raise ValueError(
+                f"bad fault entry {part!r}: expected <site>@<occurrences>")
+        site, _, occ = part.partition("@")
+        site, occ = site.strip(), occ.strip()
+        if not site or not occ:
+            raise ValueError(f"bad fault entry {part!r}")
+        if occ == ALWAYS:
+            sites[site] = ALWAYS
+            continue
+        try:
+            idxs = frozenset(int(x) for x in occ.split(","))
+        except ValueError:
+            raise ValueError(
+                f"bad occurrence list {occ!r} for site {site!r}")
+        if any(i < 0 for i in idxs):
+            raise ValueError(
+                f"negative occurrence in {occ!r} for site {site!r}")
+        prev = sites.get(site)
+        if prev == ALWAYS:
+            continue
+        sites[site] = (prev or frozenset()) | idxs
+    if not sites:
+        raise ValueError(f"empty fault spec {spec!r}")
+    return FaultPlan(sites)
+
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def should_fail(site: str) -> bool:
+    """The injection hook; a no-op ``is None`` test when no plan is set."""
+    plan = _PLAN
+    if plan is None:
+        return False
+    return plan.hit(site)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+def install_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` (None uninstalls); returns the previous plan."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    return previous
+
+
+def uninstall_plan() -> Optional[FaultPlan]:
+    return install_plan(None)
+
+
+def resolve_fault_plan(config_value: Union[FaultPlan, str, None] = None
+                       ) -> Optional[FaultPlan]:
+    """Effective plan: explicit config wins, else ``REPRO_FAULTS``.
+
+    ``""`` and ``"0"`` mean "no faults".  The returned plan is freshly
+    parsed (zeroed hit counters) unless a :class:`FaultPlan` instance
+    was passed directly.
+    """
+    if isinstance(config_value, FaultPlan):
+        return config_value
+    spec = config_value
+    if spec is None:
+        spec = os.environ.get(ENV_FAULTS, "")
+    spec = spec.strip()
+    if not spec or spec == "0":
+        return None
+    return parse_fault_spec(spec)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .. import obs
+from ..resil import BudgetExhausted
 
 
 class SatStats:
@@ -63,6 +64,11 @@ class SatSolver:
         self.var_decay = 0.95
         self.stats = SatStats()
         self._ok = True
+        self.budget = None
+        """Optional :class:`repro.resil.Budget`.  When set, every conflict
+        is charged as it is analyzed and :class:`BudgetExhausted`
+        propagates out of :meth:`solve` (with the trail cancelled, so the
+        solver stays reusable)."""
 
     # -- variable / clause management ---------------------------------------
 
@@ -276,13 +282,17 @@ class SatSolver:
         s = self.stats
         d0, p0 = s.decisions, s.propagations
         c0, r0 = s.conflicts, s.restarts
-        with obs.span("smt.sat.solve"):
-            result = self._solve(max_conflicts)
-        obs.count("smt.sat.solves")
-        obs.count("smt.sat.decisions", s.decisions - d0)
-        obs.count("smt.sat.propagations", s.propagations - p0)
-        obs.count("smt.sat.conflicts", s.conflicts - c0)
-        obs.count("smt.sat.restarts", s.restarts - r0)
+        try:
+            with obs.span("smt.sat.solve"):
+                result = self._solve(max_conflicts)
+        finally:
+            # Deltas are recorded even when a BudgetExhausted cancellation
+            # propagates — the work was done either way.
+            obs.count("smt.sat.solves")
+            obs.count("smt.sat.decisions", s.decisions - d0)
+            obs.count("smt.sat.propagations", s.propagations - p0)
+            obs.count("smt.sat.conflicts", s.conflicts - c0)
+            obs.count("smt.sat.restarts", s.restarts - r0)
         return result
 
     def _solve(self, max_conflicts: Optional[int] = None) -> Optional[bool]:
@@ -296,10 +306,19 @@ class SatSolver:
         total_conflicts = 0
         restart_num = 0
         while True:
-            budget = 64 * _luby(restart_num)
+            if self.budget is not None:
+                # Restart boundary: the trail is at the root level, so a
+                # wall-deadline raise here leaves the solver reusable.
+                self.budget.check()
+            restart_budget = 64 * _luby(restart_num)
             restart_num += 1
             self.stats.restarts += 1
-            result = self._search(budget, max_conflicts, total_conflicts)
+            try:
+                result = self._search(restart_budget, max_conflicts,
+                                      total_conflicts)
+            except BudgetExhausted:
+                self._cancel_until(0)
+                raise
             if result == "sat":
                 return True
             if result == "unsat":
@@ -312,7 +331,8 @@ class SatSolver:
                     return None
             self._cancel_until(0)
 
-    def _search(self, budget: int, max_conflicts: Optional[int], total: int):
+    def _search(self, restart_budget: int, max_conflicts: Optional[int],
+                total: int):
         conflicts_here = 0
         while True:
             conflict = self._propagate()
@@ -320,6 +340,8 @@ class SatSolver:
                 self.stats.conflicts += 1
                 conflicts_here += 1
                 total += 1
+                if self.budget is not None:
+                    self.budget.charge_sat_conflicts(1)
                 # The clause may be falsified entirely below the current
                 # decision level (possible with incrementally added
                 # clauses); analysis must run at the conflict's top level.
@@ -342,7 +364,7 @@ class SatSolver:
                 self.var_inc /= self.var_decay
                 if max_conflicts is not None and total >= max_conflicts:
                     return total
-                if conflicts_here >= budget:
+                if conflicts_here >= restart_budget:
                     return total
             else:
                 lit = self._decide()

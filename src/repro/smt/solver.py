@@ -27,6 +27,8 @@ import hashlib
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .. import obs
+from ..resil import BudgetExhausted
+from ..resil.faults import should_fail as _fault_should_fail
 from . import arrays as arrays_mod
 from . import lia as lia_mod
 from .cnf import CnfBuilder
@@ -214,7 +216,8 @@ class Solver:
                  max_theory_rounds: int = 400,
                  sat_conflict_budget: int = 200_000,
                  lia_branch_limit: int = 200,
-                 query_cache: Optional[object] = None):
+                 query_cache: Optional[object] = None,
+                 budget: Optional[object] = None):
         self.axioms = list(axioms)
         self.instantiation_rounds = instantiation_rounds
         self.max_theory_rounds = max_theory_rounds
@@ -223,6 +226,11 @@ class Solver:
         self.query_cache = query_cache
         """Optional :class:`repro.perf.cache.QueryCache`.  Duck-typed so
         the smt layer stays import-independent of ``repro.perf``."""
+        self.budget = budget
+        """Optional :class:`repro.resil.Budget`.  ``check()`` charges one
+        SMT query per cache miss, attaches the budget to the inner SAT
+        solver, and degrades to ``unknown`` (never an exception) once the
+        budget is exhausted."""
         self.unknown_reason = ""
         self.assertions: List[Term] = []
         self.stats = SolverStats()
@@ -288,9 +296,16 @@ class Solver:
     # -- main loop ----------------------------------------------------------------
 
     def check(self) -> str:
+        if _fault_should_fail("smt.timeout"):
+            # Injected solver timeout (repro.resil.faults): behave exactly
+            # as a real budget-exhausted query — unknown, never cached.
+            self.unknown_reason = "injected timeout (repro.resil.faults)"
+            obs.count("smt.queries")
+            obs.count("smt.queries.unknown")
+            return UNKNOWN
         cache = self.query_cache
         if cache is None and not obs.active():
-            return self._check()
+            return self._budgeted_check()
         if cache is not None or obs.tracing_enabled():
             # One fused, memoized traversal serves both the trace labels
             # and the cache key (the old code walked the query twice).
@@ -316,7 +331,7 @@ class Solver:
             obs.count("smt.cache.miss")
         lemmas0 = self.stats.lemmas
         with obs.span("smt.check"):
-            result = self._check()
+            result = self._budgeted_check()
         obs.count("smt.queries")
         obs.count(f"smt.queries.{result}")
         obs.count("smt.conflict_lemmas", self.stats.lemmas - lemmas0)
@@ -328,9 +343,33 @@ class Solver:
             obs.count("smt.cache.store")
         return result
 
+    def _budgeted_check(self) -> str:
+        """Charge the resil budget around :meth:`_check`.
+
+        Cache hits never reach this point (they cost no solving), so one
+        query is charged per actual solve; exhaustion — whether tripped by
+        the charge here or by per-conflict charging inside the SAT core —
+        degrades to ``unknown`` with the reason recorded, never raises.
+        """
+        budget = self.budget
+        if budget is None:
+            return self._check()
+        try:
+            budget.charge_smt_query()
+        except BudgetExhausted as exc:
+            self.unknown_reason = f"budget exhausted: {exc.reason}"
+            obs.count("resil.budget.refused_query")
+            return UNKNOWN
+        try:
+            return self._check()
+        except BudgetExhausted as exc:
+            self.unknown_reason = f"budget exhausted: {exc.reason}"
+            return UNKNOWN
+
     def _check(self) -> str:
         formulas = self._preprocess()
         sat = SatSolver()
+        sat.budget = self.budget
         builder = CnfBuilder(sat)
         for f in formulas:
             builder.assert_formula(f)

@@ -64,6 +64,13 @@ class ExecConfig:
     prefix and backtrack when a guard refines it to ⊥ — a semantic prune
     that fires before any SMT feasibility query.  ``None`` defers to the
     ``REPRO_ABSINT`` env var (which itself follows static pruning)."""
+    budget: Optional[object] = None
+    """Optional :class:`repro.resil.Budget`: each found path charges
+    ``symexec_paths``, the wall clock is re-checked every 128 backtracks,
+    and the feasibility oracle's solvers charge SMT queries.  Exhaustion
+    raises :class:`repro.resil.BudgetExhausted` out of
+    :meth:`SymbolicExecutor.find_path` (unlike the internal
+    ``max_backtracks`` cutoff, which merely returns None)."""
 
 
 class _Backtrack(Exception):
@@ -94,11 +101,13 @@ class FeasibilityOracle:
                  externs: ExternRegistry = EMPTY_REGISTRY,
                  axioms: Sequence[smt.Axiom] = (),
                  conflict_budget: int = 50_000,
-                 query_cache: Optional[object] = None):
+                 query_cache: Optional[object] = None,
+                 budget: Optional[object] = None):
         self.translator = Translator(sorts, externs)
         self.axioms = tuple(axioms)
         self.conflict_budget = conflict_budget
         self.query_cache = query_cache
+        self.budget = budget
         self._cache: Dict[Tuple[Pred, ...], Tuple[bool, Optional[Dict]]] = {}
         self.queries = 0
 
@@ -132,7 +141,8 @@ class FeasibilityOracle:
         obs.count("symexec.smt_query")
         solver = smt.Solver(axioms=self.axioms,
                             sat_conflict_budget=self.conflict_budget,
-                            query_cache=self.query_cache)
+                            query_cache=self.query_cache,
+                            budget=self.budget)
         status = smt.UNKNOWN
         try:
             with obs.span("symexec.feasibility"):
@@ -190,7 +200,8 @@ class SymbolicExecutor:
         self.oracle = oracle or FeasibilityOracle(
             program.decls, externs, axioms,
             conflict_budget=self.config.solver_conflict_budget,
-            query_cache=query_cache)
+            query_cache=query_cache,
+            budget=self.config.budget)
         self.seed_inputs = seed_inputs if seed_inputs is not None else []
         self.pool = None
         from ..analysis.absint import absint_enabled
@@ -472,6 +483,14 @@ class SymbolicExecutor:
             obs.count("symexec.avoid_hit")
             self._note_backtrack()
             return None
+        if self.config.budget is not None:
+            # Charged only for paths the search would *return* (avoid-set
+            # hits above keep searching): the budget's ``symexec_paths``
+            # dimension counts the same thing as PinsStats.paths_explored.
+            # Raises repro.resil.BudgetExhausted, which — unlike the
+            # internal _BudgetExhausted backtrack cutoff — propagates out
+            # of find_path to the PINS loop.
+            self.config.budget.charge_symexec_path()
         obs.count("symexec.path_found")
         obs.observe("symexec.path_len", len(items))
         return path
@@ -486,6 +505,8 @@ class SymbolicExecutor:
     def _note_backtrack(self) -> None:
         self.backtracks += 1
         obs.count("symexec.backtrack")
+        if self.config.budget is not None and self.backtracks % 128 == 0:
+            self.config.budget.check()  # wall-deadline during deep search
         if self.backtracks > self.config.max_backtracks:
             raise _BudgetExhausted()
 

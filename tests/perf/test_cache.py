@@ -217,15 +217,37 @@ def test_compact_merges_shards_atomically(tmp_path):
     assert fresh.lookup("k2", []) == (UNSAT, None)
 
 
-def test_malformed_disk_lines_are_skipped(tmp_path):
+def test_torn_final_line_is_tolerated(tmp_path):
+    # A writer that died mid-append leaves garbage only on the LAST
+    # line; everything before it is intact and stays usable.
+    path = str(tmp_path / "cache.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"key": "good", "status": "unsat"}\n')
+        fh.write('{"key": "bad-status", "status": "unknown"}\n')
+        fh.write("{torn-write")
+    cache = QueryCache(path)
+    assert cache.lookup("good", []) == (UNSAT, None)
+    assert cache.lookup("bad-status", []) is None  # unknown never served
+    assert cache.quarantined == 0
+    assert os.path.exists(path)
+
+
+def test_mid_file_garbage_quarantines_file(tmp_path):
+    # Garbage *followed by* more data cannot be a torn append — the
+    # whole file is renamed .bad and its entries recomputed on demand.
     path = str(tmp_path / "cache.jsonl")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write('{"key": "good", "status": "unsat"}\n')
         fh.write("{torn-write\n")
-        fh.write('{"key": "bad-status", "status": "unknown"}\n')
+        fh.write('{"key": "later", "status": "unsat"}\n')
     cache = QueryCache(path)
-    assert cache.lookup("good", []) == (UNSAT, None)
-    assert cache.lookup("bad-status", []) is None
+    assert cache.lookup("good", []) is None
+    assert cache.quarantined == 1
+    assert not os.path.exists(path)
+    assert os.path.exists(path + ".bad")
+    # The quarantined name is invisible to shard globbing and reloads.
+    cache.refresh()
+    assert cache.quarantined == 1
 
 
 # -- spec resolution ----------------------------------------------------------

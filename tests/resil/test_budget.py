@@ -1,0 +1,235 @@
+"""Budget propagation tests, layer by layer (repro.resil.budget).
+
+Each expensive layer charges a shared :class:`Budget` at a cheap
+boundary and degrades cooperatively on exhaustion: the SAT core raises
+(with its trail cancelled to root), the SMT solver answers ``unknown``,
+the symbolic executor raises out of ``find_path``, and the PINS loop
+converts all of it into a ``budget_exhausted`` result carrying the best
+solution set seen so far — never a traceback.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.resil import Budget, BudgetExhausted, parse_budget_spec, resolve_budget
+from repro.resil.budget import ENV_BUDGET
+from repro.smt import INT, SAT, UNKNOWN, Solver, mk_lt, mk_var
+from repro.smt.sat import SatSolver
+from repro.suite import get_benchmark
+
+
+def fingerprint(result):
+    solutions = tuple(sorted(s.describe() for s in result.solutions))
+    digest = hashlib.sha256("\n".join(solutions).encode()).hexdigest()
+    return (result.status, result.stats.iterations,
+            result.stats.paths_explored, len(result.solutions), digest)
+
+
+def run(name, *, budget=None, **overrides):
+    config = dict(m=10, max_iterations=25, seed=1)
+    if name == "runlength":
+        config = dict(m=6, max_iterations=6, seed=1)
+    config.update(overrides)
+    task = get_benchmark(name).task
+    return run_pins(task, PinsConfig(budget=budget, **config))
+
+
+# -- spec parsing and resolution ----------------------------------------------
+
+
+def test_parse_budget_spec_fields_and_aliases():
+    b = parse_budget_spec("wall=2.5;smt=500;sat=100000;paths=50")
+    assert (b.wall_s, b.smt_queries, b.sat_conflicts, b.symexec_paths) == \
+        (2.5, 500, 100000, 50)
+    b2 = parse_budget_spec("time=1; queries=2; conflicts=3; symexec_paths=4")
+    assert (b2.wall_s, b2.smt_queries, b2.sat_conflicts, b2.symexec_paths) == \
+        (1.0, 2, 3, 4)
+
+
+@pytest.mark.parametrize("bad", [
+    "", "wall", "wall=abc", "frobs=3", "smt=1;smt=2", "smt=-1", "paths=1.5",
+])
+def test_parse_budget_spec_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_budget_spec(bad)
+
+
+def test_resolve_budget_precedence(monkeypatch):
+    monkeypatch.delenv(ENV_BUDGET, raising=False)
+    assert resolve_budget(None) is None
+    assert resolve_budget("") is None
+    monkeypatch.setenv(ENV_BUDGET, "smt=7")
+    assert resolve_budget(None).smt_queries == 7
+    assert resolve_budget("smt=9").smt_queries == 9  # config wins
+    ready = Budget(smt_queries=3)
+    assert resolve_budget(ready) is ready
+    monkeypatch.setenv(ENV_BUDGET, "0")
+    assert resolve_budget(None) is None
+
+
+def test_budget_charges_and_poisons():
+    b = Budget(smt_queries=1).start()
+    b.charge_smt_query()  # 1 of 1: fine
+    with pytest.raises(BudgetExhausted) as exc:
+        b.charge_smt_query()
+    assert exc.value.reason == "smt_queries"
+    assert b.exhausted and b.reason == "smt_queries"
+    # Exhaustion poisons every later charge, whatever the dimension.
+    with pytest.raises(BudgetExhausted):
+        b.charge_symexec_path()
+    assert not b.ok()
+
+
+def test_wall_deadline_trips_check():
+    b = Budget(wall_s=0.0).start()
+    with pytest.raises(BudgetExhausted) as exc:
+        b.check()
+    assert exc.value.reason == "wall"
+
+
+# -- SAT core -----------------------------------------------------------------
+
+PHP_3_2 = [[1, 2], [3, 4], [5, 6],
+           [-1, -3], [-1, -5], [-3, -5],
+           [-2, -4], [-2, -6], [-4, -6]]  # pigeonhole: UNSAT, needs conflicts
+
+
+def test_sat_solver_raises_on_conflict_budget():
+    solver = SatSolver()
+    for clause in PHP_3_2:
+        assert solver.add_clause(clause)
+    solver.budget = Budget(sat_conflicts=0).start()
+    with pytest.raises(BudgetExhausted) as exc:
+        solver.solve()
+    assert exc.value.reason == "sat_conflicts"
+    # The raise cancelled the trail to root: detaching the budget, the
+    # same instance still answers correctly.
+    solver.budget = None
+    assert solver.solve() is False
+
+
+# -- SMT solver ---------------------------------------------------------------
+
+
+def test_solver_degrades_to_unknown_on_budget():
+    x, y = mk_var("x", INT), mk_var("y", INT)
+    budget = Budget(smt_queries=1).start()
+    first = Solver(budget=budget)
+    first.add(mk_lt(x, y))
+    assert first.check() == SAT  # query 1 of 1 is within budget
+    second = Solver(budget=budget)
+    second.add(mk_lt(x, y))
+    assert second.check() == UNKNOWN  # never an exception
+    assert "budget exhausted" in second.unknown_reason
+    assert budget.reason == "smt_queries"
+
+
+def test_sat_exhaustion_inside_solver_degrades_to_unknown():
+    # The per-conflict charge fires inside the CDCL core; Solver.check
+    # must still answer unknown, not leak BudgetExhausted.  The formula
+    # is a pigeonhole instance over integer equalities: its boolean
+    # skeleton is UNSAT but has no unit clauses, so CDCL must search
+    # (and conflict) rather than settle at the root by propagation.
+    from repro.smt import mk_and, mk_eq, mk_int, mk_not, mk_or
+
+    holes = [mk_var(f"h{p}", INT) for p in range(3)]
+    parts = [mk_or(mk_eq(h, mk_int(1)), mk_eq(h, mk_int(2))) for h in holes]
+    for i in range(3):
+        for j in range(i + 1, 3):
+            for slot in (1, 2):
+                parts.append(mk_not(mk_and(mk_eq(holes[i], mk_int(slot)),
+                                           mk_eq(holes[j], mk_int(slot)))))
+    unbudgeted = Solver()
+    unbudgeted.add(*parts)
+    assert unbudgeted.check() == "unsat"
+    budget = Budget(sat_conflicts=0).start()
+    s = Solver(budget=budget)
+    s.add(*parts)
+    assert s.check() == UNKNOWN
+    assert budget.reason in ("sat_conflicts", "wall")
+
+
+# -- symbolic executor --------------------------------------------------------
+
+
+def test_executor_charges_per_returned_path():
+    import random
+
+    from repro.lang.parser import parse_program
+    from repro.lang.transform import desugar_program
+    from repro.symexec.executor import ExecConfig, SymbolicExecutor
+
+    loopy = desugar_program(parse_program("""
+    program t [int n; int i] {
+      in(n);
+      i := 0;
+      while (i < n) {
+        i := i + 1;
+      }
+      out(i);
+    }
+    """))
+    budget = Budget(symexec_paths=1).start()
+    ex = SymbolicExecutor(loopy, config=ExecConfig(budget=budget))
+    rng = random.Random(0)
+    seen = set()
+    path = ex.find_path({}, {}, seen, rng)
+    assert path is not None  # path 1 of 1 is within budget
+    seen.add(path)
+    with pytest.raises(BudgetExhausted) as exc:
+        ex.find_path({}, {}, seen, rng)
+    assert exc.value.reason == "symexec_paths"
+
+
+# -- the full PINS loop -------------------------------------------------------
+
+
+def test_run_pins_exhaustion_returns_best_so_far_not_traceback():
+    # absint off forces real SMT traffic, so a zero-query budget trips
+    # early; whatever the loop had by then must come back as a result
+    # object with status budget_exhausted — never an exception.
+    result = run("runlength", budget=Budget(smt_queries=0), absint=False)
+    assert result.status == "budget_exhausted"
+    assert result.stats.budget_exhausted == "smt_queries"
+    assert result.metrics.counter("resil.budget_exhausted") >= 1
+    assert result.metrics.counter("resil.budget_exhausted.smt_queries") >= 1
+
+
+def test_run_pins_wall_deadline_zero():
+    result = run("runlength", budget=Budget(wall_s=0.0))
+    assert result.status == "budget_exhausted"
+    assert result.stats.budget_exhausted == "wall"
+    assert result.solutions == []
+
+
+def test_run_pins_path_budget_keeps_nonempty_best_so_far():
+    # Dynamic sizing: let the unbudgeted run tell us how many paths it
+    # needs, then grant one fewer.  The run is bit-identical up to the
+    # moment the last path is charged, so the best-so-far set is exactly
+    # the previous iteration's solve() result — non-empty by definition
+    # (an empty solve ends the loop as no_solution before any path).
+    free = run("runlength")
+    paths = free.stats.paths_explored
+    assert paths >= 1
+    capped = run("runlength", budget=Budget(symexec_paths=paths - 1))
+    assert capped.status == "budget_exhausted"
+    assert capped.stats.budget_exhausted == "symexec_paths"
+    assert capped.stats.paths_explored == paths - 1
+    assert len(capped.solutions) >= 1
+
+
+@pytest.mark.parametrize("name", ["sumi", "runlength"])
+def test_generous_budget_is_bit_identical_to_unbudgeted(name):
+    free = run(name)
+    roomy = run(name, budget=Budget(wall_s=3600.0, smt_queries=10**9,
+                                    sat_conflicts=10**9, symexec_paths=10**9))
+    assert fingerprint(roomy) == fingerprint(free)
+    assert roomy.stats.budget_exhausted == ""
+
+
+def test_budget_spec_accepted_via_config_string(monkeypatch):
+    monkeypatch.delenv(ENV_BUDGET, raising=False)
+    result = run("runlength", budget="wall=0")
+    assert result.status == "budget_exhausted"

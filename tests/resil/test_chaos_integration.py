@@ -1,0 +1,64 @@
+"""The ISSUE's acceptance regression: full PINS runs under chaos.
+
+A run with a crashed pool worker AND a corrupted cache shard must be
+bit-identical to a plain run — every degradation path (serial fallback,
+shard quarantine + recompute) is result-preserving by contract
+(DESIGN.md §10, §12).  This is the test CI leans on; keep it green.
+"""
+
+import glob
+import hashlib
+import os
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.resil.faults import uninstall_plan
+from repro.suite import get_benchmark
+
+CONFIGS = {
+    "sumi": dict(m=10, max_iterations=25, seed=1),
+    "runlength": dict(m=6, max_iterations=6, seed=1),
+}
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    uninstall_plan()
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_BUDGET", raising=False)
+    monkeypatch.delenv("REPRO_QUERY_CACHE", raising=False)
+    yield
+    uninstall_plan()
+
+
+def fingerprint(result):
+    solutions = tuple(sorted(s.describe() for s in result.solutions))
+    digest = hashlib.sha256("\n".join(solutions).encode()).hexdigest()
+    return (result.status, result.stats.iterations,
+            result.stats.paths_explored, len(result.solutions), digest)
+
+
+def run(name, **overrides):
+    config = dict(CONFIGS[name], absint=False)
+    config.update(overrides)
+    return run_pins(get_benchmark(name).task, PinsConfig(**config))
+
+
+@pytest.mark.parametrize("name", ["sumi", "runlength"])
+def test_chaos_run_is_bit_identical(name, tmp_path, monkeypatch):
+    plain = run(name)
+    cache_dir = str(tmp_path) + os.sep
+    primed = run(name, query_cache=cache_dir)  # populate the disk tier
+    assert fingerprint(primed) == fingerprint(plain)
+    assert glob.glob(os.path.join(str(tmp_path), "*.jsonl*"))
+
+    monkeypatch.setenv("REPRO_JOBS_FORCE", "1")
+    chaos = run(name, jobs=2, query_cache=cache_dir,
+                faults="pool.worker_crash@0;cache.corrupt_shard@0")
+    assert fingerprint(chaos) == fingerprint(plain)
+    assert chaos.metrics.counter("resil.fault.pool.worker_crash") == 1
+    assert chaos.metrics.counter("resil.fault.cache.corrupt_shard") == 1
+    assert chaos.metrics.counter("resil.pool.degraded") >= 1
+    assert chaos.metrics.counter("resil.cache.quarantined") >= 1
+    assert glob.glob(os.path.join(str(tmp_path), "*.bad"))

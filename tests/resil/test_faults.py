@@ -1,0 +1,243 @@
+"""Fault-injection tests (repro.resil.faults) and degradation cascades.
+
+Every fault here is *result-preserving* by design: a crashed or wedged
+pool worker degrades the batch to serial re-execution with an
+index-ordered merge, a corrupted cache shard is quarantined and its
+entries recomputed, and a candidate that keeps timing out is demoted
+rather than wedging solve().  The assertions therefore compare full run
+fingerprints against a fault-free baseline.
+"""
+
+import glob
+import hashlib
+import os
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.resil import faults
+from repro.resil.faults import (
+    ENV_FAULTS,
+    FaultPlan,
+    install_plan,
+    parse_fault_spec,
+    resolve_fault_plan,
+    should_fail,
+    uninstall_plan,
+)
+from repro.smt import INT, SAT, UNKNOWN, Solver, mk_lt, mk_var
+from repro.suite import get_benchmark
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with no fault plan installed."""
+    uninstall_plan()
+    yield
+    uninstall_plan()
+
+
+def fingerprint(result):
+    solutions = tuple(sorted(s.describe() for s in result.solutions))
+    digest = hashlib.sha256("\n".join(solutions).encode()).hexdigest()
+    return (result.status, result.stats.iterations,
+            result.stats.paths_explored, len(result.solutions), digest)
+
+
+def run(name, *, jobs=None, query_cache=None, force_fork=False,
+        monkeypatch=None, **overrides):
+    if force_fork:
+        monkeypatch.setenv("REPRO_JOBS_FORCE", "1")
+    elif monkeypatch is not None:
+        monkeypatch.delenv("REPRO_JOBS_FORCE", raising=False)
+    config = dict(m=10, max_iterations=25, seed=1)
+    if name == "runlength":
+        config = dict(m=6, max_iterations=6, seed=1)
+    config.update(overrides)
+    task = get_benchmark(name).task
+    return run_pins(task, PinsConfig(jobs=jobs, query_cache=query_cache,
+                                     **config))
+
+
+# -- plan parsing and hit counting --------------------------------------------
+
+
+def test_parse_fault_spec_and_hit_indices():
+    plan = parse_fault_spec("smt.timeout@1,3;pool.worker_crash@0;x@*")
+    install_plan(plan)
+    assert [should_fail("smt.timeout") for _ in range(5)] == \
+        [False, True, False, True, False]
+    assert [should_fail("pool.worker_crash") for _ in range(3)] == \
+        [True, False, False]
+    assert all(should_fail("x") for _ in range(4))
+    assert not should_fail("unknown.site")
+    assert plan.fired["smt.timeout"] == 2
+    assert plan.hits["smt.timeout"] == 5
+
+
+@pytest.mark.parametrize("bad", [
+    "", "smt.timeout", "@3", "smt.timeout@", "smt.timeout@x", "smt.timeout@-1",
+])
+def test_parse_fault_spec_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_fault_spec(bad)
+
+
+def test_should_fail_is_noop_without_plan():
+    assert faults.active_plan() is None
+    assert not should_fail("smt.timeout")
+
+
+def test_resolve_fault_plan_precedence(monkeypatch):
+    monkeypatch.delenv(ENV_FAULTS, raising=False)
+    assert resolve_fault_plan(None) is None
+    monkeypatch.setenv(ENV_FAULTS, "smt.timeout@0")
+    assert resolve_fault_plan(None).sites == {"smt.timeout": frozenset({0})}
+    ready = FaultPlan({"x": "*"})
+    assert resolve_fault_plan(ready) is ready
+    monkeypatch.setenv(ENV_FAULTS, "0")
+    assert resolve_fault_plan(None) is None
+
+
+# -- smt.timeout --------------------------------------------------------------
+
+
+def test_injected_smt_timeout_answers_unknown():
+    install_plan(parse_fault_spec("smt.timeout@0"))
+    x, y = mk_var("x", INT), mk_var("y", INT)
+    hit = Solver()
+    hit.add(mk_lt(x, y))
+    assert hit.check() == UNKNOWN
+    assert "injected timeout" in hit.unknown_reason
+    # Only occurrence 0 was planned; the next query solves normally.
+    miss = Solver()
+    miss.add(mk_lt(x, y))
+    assert miss.check() == SAT
+
+
+# -- pool degradation ---------------------------------------------------------
+
+
+def test_worker_crash_degrades_to_serial_bit_identically(monkeypatch):
+    serial = run("sumi", jobs=1, monkeypatch=monkeypatch)
+    crashed = run("sumi", jobs=2, force_fork=True, monkeypatch=monkeypatch,
+                  faults="pool.worker_crash@0")
+    assert fingerprint(crashed) == fingerprint(serial)
+    assert crashed.metrics.counter("resil.fault.pool.worker_crash") == 1
+    assert crashed.metrics.counter("resil.pool.degraded") >= 1
+    assert crashed.metrics.counter("resil.pool.worker_death") >= 1
+
+
+def test_worker_hang_is_rescued_by_task_timeout(monkeypatch):
+    # Regression for the pool liveness gap: before the per-task timeout,
+    # a wedged worker blocked map_ordered forever.  With the timeout the
+    # batch degrades to serial and the run completes bit-identically.
+    serial = run("sumi", jobs=1, monkeypatch=monkeypatch)
+    hung = run("sumi", jobs=2, force_fork=True, monkeypatch=monkeypatch,
+               faults="pool.worker_hang@0", pool_task_timeout=1.5)
+    assert fingerprint(hung) == fingerprint(serial)
+    assert hung.metrics.counter("resil.fault.pool.worker_hang") == 1
+    assert hung.metrics.counter("resil.pool.degraded") >= 1
+    assert hung.metrics.counter("resil.pool.task_timeout") >= 1
+
+
+def test_pool_timeout_env_resolution(monkeypatch):
+    from repro.perf.pool import ENV_POOL_TIMEOUT, resolve_task_timeout
+
+    monkeypatch.delenv(ENV_POOL_TIMEOUT, raising=False)
+    assert resolve_task_timeout(None) is None
+    assert resolve_task_timeout(2.5) == 2.5
+    assert resolve_task_timeout(0) is None  # zero disables
+    monkeypatch.setenv(ENV_POOL_TIMEOUT, "7")
+    assert resolve_task_timeout(None) == 7.0
+    assert resolve_task_timeout(1.0) == 1.0  # config wins
+    monkeypatch.setenv(ENV_POOL_TIMEOUT, "junk")
+    assert resolve_task_timeout(None) is None
+
+
+# -- cache quarantine ---------------------------------------------------------
+
+
+def test_corrupt_cache_shard_is_quarantined_and_recomputed(tmp_path,
+                                                           monkeypatch):
+    monkeypatch.delenv("REPRO_QUERY_CACHE", raising=False)
+    plain = run("runlength", monkeypatch=monkeypatch, absint=False)
+    cache_dir = str(tmp_path) + "/"
+    run("runlength", query_cache=cache_dir, absint=False)  # prime the disk tier
+    assert glob.glob(os.path.join(str(tmp_path), "*.jsonl*"))
+    poisoned = run("runlength", query_cache=cache_dir, absint=False,
+                   faults="cache.corrupt_shard@0")
+    assert fingerprint(poisoned) == fingerprint(plain)
+    assert poisoned.metrics.counter("resil.fault.cache.corrupt_shard") == 1
+    assert poisoned.metrics.counter("resil.cache.quarantined") >= 1
+    bad = glob.glob(os.path.join(str(tmp_path), "*.bad"))
+    assert bad, "quarantine should leave a .bad file for the operator"
+    # A later cached run must not trip over the quarantined file.
+    again = run("runlength", query_cache=cache_dir, absint=False)
+    assert fingerprint(again) == fingerprint(plain)
+
+
+# -- candidate demotion -------------------------------------------------------
+
+
+class AlwaysUnknownChecker:
+    """A checker whose SMT tier is permanently wedged (every check times
+    out).  Demotion must retire candidates instead of accepting them on
+    unknown-optimism forever."""
+
+    def __init__(self):
+        from repro.pins.checker import CheckOutcome, UNKNOWN
+
+        self._outcome = CheckOutcome(UNKNOWN)
+        self.calls = 0
+
+    def check(self, constraint, solution):
+        self.calls += 1
+        return self._outcome
+
+
+def _demotion_fixture():
+    from repro.lang import ast
+    from repro.lang.parser import parse_expr, parse_pred
+    from repro.pins.constraints import Constraint
+    from repro.pins.solve import SolveSession, SolveStats
+    from repro.pins.template import HoleSpace
+    from repro.symexec.paths import Def
+
+    space = HoleSpace(
+        expr_holes=(("e1", (parse_expr("0"), parse_expr("1"))),),
+        pred_holes=(("p1", (parse_pred("x < 1"), parse_pred("x > 1"))),),
+        max_pred_conj=2,
+    )
+    constraints = [
+        Constraint(kind="bounded", label=f"c{i}",
+                   items=(Def("t", 1, ast.Unknown("e1")),))
+        for i in range(4)
+    ]
+    return SolveSession(space), constraints, SolveStats()
+
+
+def test_repeated_unknowns_demote_candidate():
+    from repro.pins.solve import solve
+
+    session, constraints, stats = _demotion_fixture()
+    checker = AlwaysUnknownChecker()
+    sols = solve(session, constraints, checker, tests=[], m=4, stats=stats,
+                 eager_limit=0, demote_unknowns=3)
+    # Every candidate hits 3 unknowns and is demoted; none are accepted.
+    assert sols == []
+    assert stats.demoted == 8  # 2 e1 choices x 4 p1 subsets
+    # Cached unknowns mean only the first candidate per e1 value actually
+    # reaches the checker (3 calls each); re-proposals demote in pre-scan.
+    assert checker.calls == 6
+
+
+def test_demotion_disabled_preserves_unknown_optimism():
+    from repro.pins.solve import solve
+
+    session, constraints, stats = _demotion_fixture()
+    checker = AlwaysUnknownChecker()
+    sols = solve(session, constraints, checker, tests=[], m=4, stats=stats,
+                 eager_limit=0, demote_unknowns=None)
+    assert len(sols) == 4  # unknown never blocks a candidate (paper behaviour)
+    assert stats.demoted == 0

@@ -1,0 +1,130 @@
+"""Randomized differential tests over the Fig. 2 language layer.
+
+Seeded random hole-free programs (assignments, guarded conditionals, one
+bounded counting loop) are pushed through two independent differentials:
+
+* ``parse ∘ pretty`` must be the identity on program ASTs — the pretty
+  printer and the parser are inverse by construction, and this sweeps
+  the construct combinations no hand-written test enumerates;
+* the concrete interpreter vs. symbolic path replay: for every input,
+  exactly one enumerated symbolic path is feasible, and replaying it
+  (:func:`repro.concrete.interp.run_path`) must produce the same final
+  store as :class:`repro.concrete.interp.Interpreter`.
+
+Mirrors the random-CNF-vs-brute-force pattern from the SAT layer: plain
+``random.Random`` with fixed seeds, no hypothesis dependency, failures
+reproduce exactly.
+"""
+
+import random
+
+from repro.concrete.interp import Interpreter, run_path
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.transform import desugar_program
+from repro.symexec.executor import enumerate_paths
+
+VARS = ("a", "b", "x")
+COUNTER = "k"  # reserved for the loop; body statements never write it
+MAX_LOOP = 3
+
+
+def rand_expr(rng: random.Random, depth: int = 2) -> ast.Expr:
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        return ast.v(rng.choice(VARS))
+    if roll < 0.6:
+        return ast.n(rng.randint(-3, 3))
+    op = rng.choice((ast.ArithOp.ADD, ast.ArithOp.SUB, ast.ArithOp.MUL))
+    return ast.BinOp(op, rand_expr(rng, depth - 1), rand_expr(rng, depth - 1))
+
+
+def rand_pred(rng: random.Random) -> ast.Pred:
+    def cmp():
+        op = rng.choice((ast.CmpOp.LT, ast.CmpOp.LE, ast.CmpOp.EQ,
+                         ast.CmpOp.GT, ast.CmpOp.NE))
+        return ast.Cmp(op, rand_expr(rng, 1), rand_expr(rng, 1))
+
+    roll = rng.random()
+    if roll < 0.6:
+        return cmp()
+    if roll < 0.75:
+        return ast.Not(cmp())
+    if roll < 0.9:
+        return ast.And((cmp(), cmp()))
+    return ast.Or((cmp(), cmp()))
+
+
+def rand_stmt(rng: random.Random, branch_budget: int) -> ast.Stmt:
+    if branch_budget > 0 and rng.random() < 0.3:
+        return ast.GIf(rand_pred(rng),
+                       ast.seq(*(rand_stmt(rng, 0)
+                                 for _ in range(rng.randint(1, 2)))),
+                       ast.seq(*(rand_stmt(rng, 0)
+                                 for _ in range(rng.randint(1, 2)))))
+    return ast.assign(rng.choice(VARS), rand_expr(rng))
+
+
+def random_program(seed: int) -> ast.Program:
+    """A random hole-free program with at most one bounded loop."""
+    rng = random.Random(seed)
+    stmts = [rand_stmt(rng, branch_budget=1) for _ in range(rng.randint(1, 3))]
+    if rng.random() < 0.7:
+        body = [rand_stmt(rng, branch_budget=1)
+                for _ in range(rng.randint(1, 2))]
+        body.append(ast.assign(COUNTER,
+                               ast.BinOp(ast.ArithOp.SUB, ast.v(COUNTER),
+                                         ast.n(1))))
+        stmts.append(ast.assign(COUNTER, ast.n(rng.randint(0, MAX_LOOP))))
+        stmts.append(ast.GWhile(ast.Cmp(ast.CmpOp.GT, ast.v(COUNTER),
+                                        ast.n(0)),
+                                ast.seq(*body)))
+        stmts.append(rand_stmt(rng, branch_budget=0))
+    decls = {name: ast.Sort.INT for name in VARS + (COUNTER,)}
+    return ast.Program(f"rnd{seed}", decls, ast.seq(*stmts))
+
+
+def test_parse_pretty_round_trip():
+    for seed in range(60):
+        program = random_program(seed)
+        text = pretty_program(program)
+        assert parse_program(text) == program, (seed, text)
+
+
+def test_pretty_is_stable_under_round_trip():
+    # pretty ∘ parse ∘ pretty == pretty: the printed form is canonical.
+    for seed in range(20):
+        text = pretty_program(random_program(seed))
+        assert pretty_program(parse_program(text)) == text, seed
+
+
+def random_inputs(rng: random.Random):
+    return {name: rng.randint(-4, 4) for name in VARS + (COUNTER,)}
+
+
+def test_interpreter_vs_symbolic_path_replay():
+    for seed in range(40):
+        program = random_program(seed)
+        desugared = desugar_program(program)
+        initial_vmap = {name: 0 for name in program.decls}
+        paths = list(enumerate_paths(desugared.body, max_unroll=MAX_LOOP,
+                                     initial_vmap=initial_vmap))
+        assert paths, seed
+        rng = random.Random(10_000 + seed)
+        for _ in range(5):
+            inputs = random_inputs(rng)
+            expected = Interpreter().run(program, dict(inputs))
+            feasible = []
+            for path in paths:
+                env = run_path(path.items, inputs, program.decls)
+                if env is not None:
+                    feasible.append((path, env))
+            # The program is deterministic and loop-bounded, so exactly
+            # one symbolic path accepts each input.
+            assert len(feasible) == 1, (seed, inputs, len(feasible))
+            path, env = feasible[0]
+            for name in program.decls:
+                version = path.final_version(name)
+                assert env[f"{name}#{version}"] == expected[name], \
+                    (seed, inputs, name)

@@ -137,6 +137,10 @@ def main() -> int:
     ap.add_argument("--no-absint", action="store_true",
                     help="disable the abstract-interpretation layer "
                          "(screen + path pruning) for A/B runs")
+    ap.add_argument("--no-fwdbwd", action="store_true",
+                    help="disable the forward-backward unknowns analysis "
+                         "(static clause seeding + linear constraint "
+                         "screen) for A/B runs")
     ap.add_argument("--budget", default=None, metavar="SPEC",
                     help="resource budget, e.g. 'wall=30;smt=5000' "
                          "(see repro.resil.parse_budget_spec)")
@@ -152,6 +156,12 @@ def main() -> int:
                     help="label for this run in the bench JSON")
     ap.add_argument("--check-inverses-against", default=None, metavar="LABEL",
                     help="exit 1 unless inverse digests match LABEL's")
+    ap.add_argument("--check-queries-against", default=None, metavar="LABEL",
+                    help="exit 1 if a benchmark issues more SMT queries "
+                         "than LABEL's record (query-count regression gate)")
+    ap.add_argument("--queries-slack", type=float, default=0.0,
+                    help="fractional headroom for --check-queries-against "
+                         "(0.05 allows 5%% more queries than the record)")
     args = ap.parse_args()
 
     if args.bench_json and not args.bench_label:
@@ -168,6 +178,7 @@ def main() -> int:
                             seed=args.seed, jobs=args.jobs,
                             query_cache=args.query_cache,
                             absint=False if args.no_absint else None,
+                            fwdbwd=False if args.no_fwdbwd else None,
                             budget=args.budget, faults=args.faults)
         t0 = time.time()
         result = run_pins(task, config)
@@ -204,6 +215,28 @@ def main() -> int:
             else:
                 print(f"  inverses identical to "
                       f"'{args.check_inverses_against}'", flush=True)
+
+        if args.check_queries_against and bench_data is not None:
+            ref = (bench_data["labels"]
+                   .get(args.check_queries_against, {})
+                   .get("benchmarks", {}).get(name))
+            if ref is None or "smt_queries" not in ref:
+                print(f"  !! no '{args.check_queries_against}' query record "
+                      f"for {name}; cannot check query count", flush=True)
+                exit_code = 1
+            else:
+                limit = int(ref["smt_queries"] * (1.0 + args.queries_slack))
+                if record["smt_queries"] > limit:
+                    print(f"  !! SMT query regression vs "
+                          f"'{args.check_queries_against}': "
+                          f"{record['smt_queries']} > {limit} "
+                          f"(record {ref['smt_queries']}, "
+                          f"slack {args.queries_slack:.0%})", flush=True)
+                    exit_code = 1
+                else:
+                    print(f"  SMT queries within "
+                          f"'{args.check_queries_against}' budget "
+                          f"({record['smt_queries']} <= {limit})", flush=True)
 
         if not args.no_validate:
             spec = task.derived_spec(

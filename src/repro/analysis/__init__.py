@@ -11,7 +11,12 @@ Pipeline consumers on top of this package:
   state from :mod:`repro.analysis.absint` to skip statically infeasible
   paths without an SMT feasibility call;
 * the constraint checker screens (constraint, candidate) pairs through
-  abstract saturation before any full SMT check (DESIGN.md §11);
+  abstract saturation before any full SMT check (DESIGN.md §11), and
+  through the linear fold / Fourier–Motzkin engine
+  (:mod:`repro.analysis.linear`, DESIGN.md §13);
+* :func:`repro.analysis.fwdbwd.analyze_unknowns` statically refutes
+  hole candidates (and candidate pairs) before CDCL, seeding
+  ``pins.solve`` with unit clauses (DESIGN.md §13);
 * :mod:`repro.analysis.certify` proves the ``P ; P⁻¹`` identity over
   bounded input boxes, and ``validate.roundtrip`` rides it along as a
   pre-check;
@@ -19,7 +24,7 @@ Pipeline consumers on top of this package:
   :class:`~repro.analysis.diagnostics.Diagnostic` objects when a
   template provably cannot write an output the identity spec requires.
 
-``python -m repro.analysis`` (linting, ``certify``) and
+``python -m repro.analysis`` (linting, ``certify``, ``unknowns``) and
 ``scripts/lint_suite.py`` expose the tools on the command line.
 """
 
@@ -61,7 +66,19 @@ from .diagnostics import (
     worst_severity,
 )
 from .fold import Lin, const_expr, const_pred, lin_expr, lin_pred
-from .lint import check_writable_outputs, lint_program, lint_template
+from .fwdbwd import (
+    FeasibleSet,
+    FwdBwdReport,
+    PairRefutation,
+    Refutation,
+    analyze_unknowns,
+    fold_goal,
+    fwdbwd_enabled,
+    sample_state,
+)
+from .linear import Affine, LinearRefuter, affine_expr, affine_pred, linear_unsat
+from .lint import (check_writable_outputs, lint_program, lint_template,
+                   lint_unknowns)
 from .prune import (
     PruneReport,
     prune_hole_space,

@@ -12,6 +12,10 @@ Two modes:
   task's bounded value range and report per-variable PROVED/UNKNOWN.
   With ``--baseline FILE`` exits 1 if any recorded PROVED verdict
   regressed; ``--write-baseline FILE`` records the current verdicts.
+* ``python -m repro.analysis unknowns [names...]`` — run the
+  forward-backward unknowns analysis on suite templates and report each
+  hole's feasible candidate set plus any static unit/pair refutations.
+  Exit status 1 when a hole's candidate family is statically empty.
 """
 
 from __future__ import annotations
@@ -74,15 +78,72 @@ def certify_main(argv: List[str]) -> int:
     return status
 
 
+def unknowns_main(argv: List[str]) -> int:
+    from ..lang.transform import compose, desugar_program
+    from ..pins.algorithm import build_template
+    from ..suite import all_benchmarks, get_benchmark
+    from .fwdbwd import analyze_unknowns
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis unknowns",
+        description="Forward-backward unknowns analysis: per-hole feasible "
+                    "candidate sets and static refutations, before any "
+                    "SAT/SMT work.")
+    ap.add_argument("names", nargs="*",
+                    help="benchmark names (default: the whole suite)")
+    ap.add_argument("--max-rounds", type=int, default=4,
+                    help="forward/backward fixpoint iteration cap")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the reports as JSON on stdout")
+    args = ap.parse_args(argv)
+
+    names = args.names or sorted(all_benchmarks())
+    status = 0
+    blobs = []
+    for name in names:
+        task = get_benchmark(name).task
+        desugared = desugar_program(compose(task.program, task.inverse))
+        template = build_template(task)
+        spec = task.derived_spec(desugared.decls)
+        report = analyze_unknowns(task.program, task.inverse, template.space,
+                                  spec, desugared.decls,
+                                  max_rounds=args.max_rounds)
+        if args.json:
+            blobs.append({
+                "name": name,
+                "iterations": report.iterations,
+                "units_refuted": report.units_refuted,
+                "pairs_refuted": len(report.pairs),
+                "empty_holes": report.empty_holes(),
+                "feasible": {
+                    h: {"kind": fs.kind, "total": fs.total,
+                        "feasible": list(fs.feasible),
+                        "refuted": [str(r) for r in fs.refuted]}
+                    for h, fs in sorted(report.feasible.items())
+                },
+            })
+        else:
+            print(report.describe())
+        if report.empty_holes():
+            print(f"{name}: EMPTY candidate family for "
+                  f"{', '.join(report.empty_holes())}", file=sys.stderr)
+            status = 1
+    if args.json:
+        print(json.dumps(blobs, indent=2, sort_keys=True))
+    return status
+
+
 def main(argv: List[str] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "certify":
         return certify_main(argv[1:])
+    if argv and argv[0] == "unknowns":
+        return unknowns_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Lint PINS programs / the benchmark suite "
-                    "(or: certify ...).")
+                    "(or: certify ... / unknowns ...).")
     ap.add_argument("files", nargs="*",
                     help="program source files to lint")
     ap.add_argument("--suite", action="store_true",

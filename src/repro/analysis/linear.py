@@ -1,0 +1,622 @@
+"""Affine forms and linear refutation (bounded Fourier–Motzkin).
+
+The interval/congruence domains in :mod:`repro.analysis.absint` decide
+facts about one variable at a time, and the ``base + offset`` forms in
+:mod:`repro.analysis.fold` relate exactly two occurrences of the *same*
+variable.  Neither can see that ``m - mp - 1 < m - mp' - 1`` is a
+tautology when ``mp' = mp + 1`` — precisely the shape of the ranking
+deltas and invariant-preservation goals the termination constraints ask
+SMT about.  This module closes that gap with two cooperating pieces:
+
+* :class:`Affine` — multi-variable affine combinations
+  ``Σ cᵢ·xᵢ + k`` with integer coefficients.  :func:`affine_expr`
+  composes a path's SSA definitions into affine forms and
+  :func:`affine_pred` folds a goal three-valuedly: a comparison decides
+  whenever the *difference* of its sides has no variables left, which is
+  sound for every valuation of the bases.
+
+* :func:`linear_unsat` — refutation of a predicate conjunction by
+  bounded Fourier–Motzkin elimination.  Atoms are normalised to integer
+  inequalities ``Σ cᵢ·xᵢ + k ≤ 0`` (strict comparisons tighten by one —
+  over the integers ``a < b`` is ``a + 1 ≤ b``), disjunctions coming
+  from negated guards are expanded into a capped DNF, and each
+  alternative is eliminated variable by variable; deriving ``k ≤ 0``
+  with ``k > 0`` refutes the alternative.  Rational elimination with
+  gcd/floor tightening after each step is sound for integer refutation:
+  if no rational point survives, no integer point does.
+
+Everything here is *refutation-only*: dropping an atom we cannot
+translate (array selects, holes, non-linear terms) only weakens the
+fact set, so an UNSAT verdict on the weakened set still refutes the
+original.  The engine never claims satisfiability — callers get
+``True`` (“proved empty”) or ``False`` (“don't know”).
+
+Budget caps (`max_vars`, `max_ineqs`, DNF width) bound the worst case;
+exceeding any cap abandons the proof attempt, never soundness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..lang import ast
+from ..lang.ast import ArithOp, CmpOp, Expr, Pred
+
+# ---------------------------------------------------------------------------
+# Affine forms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``Σ coeff·var + const`` with integer coefficients.
+
+    ``terms`` is sorted by variable name and never carries zero
+    coefficients, so structural equality is semantic equality.
+    """
+
+    terms: Tuple[Tuple[str, int], ...]
+    const: int
+
+    @staticmethod
+    def of_const(value: int) -> "Affine":
+        return Affine((), value)
+
+    @staticmethod
+    def of_var(name: str) -> "Affine":
+        return Affine(((name, 1),), 0)
+
+    @staticmethod
+    def make(coeffs: Mapping[str, int], const: int) -> "Affine":
+        terms = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return Affine(terms, const)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def __add__(self, other: "Affine") -> "Affine":
+        coeffs = dict(self.terms)
+        for var, c in other.terms:
+            coeffs[var] = coeffs.get(var, 0) + c
+        return Affine.make(coeffs, self.const + other.const)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self + other.scale(-1)
+
+    def scale(self, k: int) -> "Affine":
+        if k == 0:
+            return Affine.of_const(0)
+        return Affine(tuple((v, c * k) for v, c in self.terms), self.const * k)
+
+    def exact_div(self, d: int) -> Optional["Affine"]:
+        """``self / d`` when exact for every valuation, else None.
+
+        If every coefficient and the constant are divisible by ``d``,
+        floor division distributes: ``(Σ cᵢxᵢ + k) // d = Σ (cᵢ/d)xᵢ +
+        k/d`` for all integer points, matching the interpreter's
+        floor-toward-negative-infinity semantics.
+        """
+        if d == 0:
+            return None
+        if all(c % d == 0 for _, c in self.terms) and self.const % d == 0:
+            return Affine(tuple((v, c // d) for v, c in self.terms),
+                          self.const // d)
+        return None
+
+    def __str__(self) -> str:
+        parts = [f"{c:+d}*{v}" for v, c in self.terms]
+        parts.append(f"{self.const:+d}")
+        return " ".join(parts)
+
+
+def affine_expr(expr: Expr, env: Mapping[str, Affine],
+                is_int: Optional[Callable[[str], bool]] = None
+                ) -> Optional[Affine]:
+    """Fold ``expr`` into an affine form, or None when it has a
+    non-linear, array, or hole subterm.  ``env`` maps variable names to
+    already-composed forms (SSA definitions); unmapped variables stay
+    symbolic.  ``is_int`` rejects variables of non-integer sort so array
+    or string handles are never conflated with arithmetic unknowns."""
+    if isinstance(expr, ast.IntLit):
+        return Affine.of_const(expr.value)
+    if isinstance(expr, ast.Var):
+        known = env.get(expr.name)
+        if known is not None:
+            return known
+        if is_int is not None and not is_int(expr.name):
+            return None
+        return Affine.of_var(expr.name)
+    if isinstance(expr, ast.BinOp):
+        left = affine_expr(expr.left, env, is_int)
+        right = affine_expr(expr.right, env, is_int)
+        if left is None or right is None:
+            return None
+        if expr.op is ArithOp.ADD:
+            return left + right
+        if expr.op is ArithOp.SUB:
+            return left - right
+        if expr.op is ArithOp.MUL:
+            if right.is_const:
+                return left.scale(right.const)
+            if left.is_const:
+                return right.scale(left.const)
+            return None
+        if expr.op is ArithOp.DIV:
+            if not right.is_const or right.const == 0:
+                return None
+            if left.is_const:
+                return Affine.of_const(left.const // right.const)
+            return left.exact_div(right.const)
+        if expr.op is ArithOp.MOD:
+            if not right.is_const or right.const == 0:
+                return None
+            if left.is_const:
+                return Affine.of_const(left.const % right.const)
+            if left.exact_div(right.const) is not None:
+                return Affine.of_const(0)
+            return None
+    return None
+
+
+def _cmp_const(op: CmpOp, delta: int) -> bool:
+    if op is CmpOp.EQ:
+        return delta == 0
+    if op is CmpOp.NE:
+        return delta != 0
+    if op is CmpOp.LT:
+        return delta < 0
+    if op is CmpOp.LE:
+        return delta <= 0
+    if op is CmpOp.GT:
+        return delta > 0
+    return delta >= 0
+
+
+def affine_cmp(op: CmpOp, left: Affine, right: Affine) -> Optional[bool]:
+    """Decide a comparison when the difference of its sides is constant
+    (true for *every* valuation of the remaining variables)."""
+    delta = left - right
+    if delta.is_const:
+        return _cmp_const(op, delta.const)
+    return None
+
+
+def affine_pred(pred: Pred, env: Mapping[str, Affine],
+                is_int: Optional[Callable[[str], bool]] = None
+                ) -> Optional[bool]:
+    """Three-valued truth of ``pred`` under the affine environment."""
+    if isinstance(pred, ast.BoolLit):
+        return pred.value
+    if isinstance(pred, ast.Not):
+        inner = affine_pred(pred.pred, env, is_int)
+        return None if inner is None else not inner
+    if isinstance(pred, ast.And):
+        saw_none = False
+        for part in pred.parts:
+            got = affine_pred(part, env, is_int)
+            if got is False:
+                return False
+            if got is None:
+                saw_none = True
+        return None if saw_none else True
+    if isinstance(pred, ast.Or):
+        saw_none = False
+        for part in pred.parts:
+            got = affine_pred(part, env, is_int)
+            if got is True:
+                return True
+            if got is None:
+                saw_none = True
+        return None if saw_none else False
+    if isinstance(pred, ast.Cmp):
+        left = affine_expr(pred.left, env, is_int)
+        right = affine_expr(pred.right, env, is_int)
+        if left is None or right is None:
+            return None
+        return affine_cmp(pred.op, left, right)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Integer inequalities and Fourier–Motzkin refutation
+# ---------------------------------------------------------------------------
+
+#: ``(coeffs, const)`` meaning ``Σ coeffs[v]·v + const ≤ 0``.
+Ineq = Tuple[Tuple[Tuple[str, int], ...], int]
+
+
+def _tighten(coeffs: Dict[str, int], const: int) -> Optional[Ineq]:
+    """Normalise ``Σ c·x + const ≤ 0``: drop zero coefficients, divide
+    by the gcd with floor-tightening of the constant.  Returns None for
+    a tautology (no variables, ``const ≤ 0``)."""
+    live = {v: c for v, c in coeffs.items() if c != 0}
+    if not live:
+        return ((), const) if const > 0 else None
+    g = 0
+    for c in live.values():
+        g = gcd(g, abs(c))
+    if g > 1:
+        # Σ c·x ≤ -const  ⟹  Σ (c/g)·x ≤ floor(-const / g)
+        bound = (-const) // g
+        live = {v: c // g for v, c in live.items()}
+        const = -bound
+    return (tuple(sorted(live.items())), const)
+
+
+def _ineqs_of_cmp(op: CmpOp, delta: Affine) -> Optional[List[Ineq]]:
+    """Conjunction of integer inequalities equivalent to ``delta op 0``.
+    ``NE`` is disjunctive and handled by the DNF layer, not here."""
+    coeffs = dict(delta.terms)
+    if op is CmpOp.LE:
+        forms = [(coeffs, delta.const)]
+    elif op is CmpOp.LT:
+        forms = [(coeffs, delta.const + 1)]
+    elif op is CmpOp.GE:
+        forms = [({v: -c for v, c in coeffs.items()}, -delta.const)]
+    elif op is CmpOp.GT:
+        forms = [({v: -c for v, c in coeffs.items()}, -delta.const + 1)]
+    elif op is CmpOp.EQ:
+        forms = [(dict(coeffs), delta.const),
+                 ({v: -c for v, c in coeffs.items()}, -delta.const)]
+    else:
+        return None
+    out: List[Ineq] = []
+    for cs, k in forms:
+        tight = _tighten(cs, k)
+        if tight is not None:
+            out.append(tight)
+    return out
+
+
+#: One DNF alternative: a conjunction of integer inequalities plus
+#: opaque boolean literals ``{atom: polarity}``.  Atoms the linear
+#: fragment cannot translate (array selects, holes, non-linear terms)
+#: are kept as literals keyed by structural equality rather than
+#: dropped: a path that asserts ``sel(A,i) = sel(A,i+1)`` at loop entry
+#: and its negation at exit is refuted propositionally even though the
+#: atom itself is outside the theory.  Treating an atom as a free
+#: boolean over-approximates its semantics, so refutation stays sound.
+_Alt = Tuple[List[Ineq], Dict[Pred, bool]]
+
+#: DNF: list of alternatives.  ``[]`` means “provably false”.
+_Dnf = List[_Alt]
+
+#: Absolute bound on cross-product work per merge step; beyond it the
+#: conjunct/fact is dropped unexamined.
+_HARD_CAP = 4096
+
+
+def _merge_alts(a: _Alt, b: _Alt) -> Optional[_Alt]:
+    """Conjoin two alternatives; None when their opaque literals clash
+    (the combined branch is propositionally false)."""
+    lits = dict(a[1])
+    for atom, pol in b[1].items():
+        if lits.setdefault(atom, pol) != pol:
+            return None
+    return (a[0] + b[0], lits)
+
+
+_NEGATED = {
+    CmpOp.EQ: CmpOp.NE, CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE, CmpOp.GE: CmpOp.LT,
+    CmpOp.GT: CmpOp.LE, CmpOp.LE: CmpOp.GT,
+}
+
+
+class LinearRefuter:
+    """Streaming refutation context over a path's ground predicates.
+
+    Feeds facts one at a time (in path order — the ground lists SSA
+    definitions before the guards that use them) and learns as it goes:
+
+    * integer definitions ``x#k = e`` become substitutions, so later
+      facts see ``x#k`` already composed into an affine form over the
+      free version-0 variables;
+    * array definitions ``B#k = upd(B#j, i, v)`` build update chains,
+      and a later ``sel`` walks the chain comparing indices through the
+      affine environment — read-over-write resolved purely statically
+      (``sel(upd(upd(N,0,r1),1,r3), 0) → r1`` when the indices fold);
+    * a ``sel`` that cannot be resolved becomes a canonical *term
+      variable*: structurally equal selects (after index
+      canonicalisation) share one variable, a sound weak-congruence
+      abstraction.
+
+    Refutation then runs DNF expansion with opaque-literal pruning and
+    Fourier–Motzkin on every surviving alternative.
+    """
+
+    def __init__(self, is_int: Optional[Callable[[str], bool]] = None,
+                 width: int = 24, max_vars: int = 32,
+                 max_ineqs: int = 192):
+        self.is_int = is_int
+        self.width = width
+        self.max_vars = max_vars
+        self.max_ineqs = max_ineqs
+        self.defs: Dict[str, Affine] = {}
+        self.arrays: Dict[str, Expr] = {}
+        self._terms: Dict[object, str] = {}
+
+    # -- term translation ---------------------------------------------------
+
+    def _term_var(self, key: object) -> Affine:
+        name = self._terms.get(key)
+        if name is None:
+            name = f"§t{len(self._terms)}"
+            self._terms[key] = name
+        return Affine.of_var(name)
+
+    def expr(self, e: Expr) -> Optional[Affine]:
+        """Affine form of ``e`` under the learned definitions, with
+        ``sel`` resolved through update chains where the indices decide
+        and abstracted to a shared term variable where they do not."""
+        if isinstance(e, ast.IntLit):
+            return Affine.of_const(e.value)
+        if isinstance(e, ast.Var):
+            known = self.defs.get(e.name)
+            if known is not None:
+                return known
+            if self.is_int is not None and not self.is_int(e.name):
+                return None
+            return Affine.of_var(e.name)
+        if isinstance(e, ast.BinOp):
+            left = self.expr(e.left)
+            right = self.expr(e.right)
+            if left is None or right is None:
+                return None
+            if e.op is ArithOp.ADD:
+                return left + right
+            if e.op is ArithOp.SUB:
+                return left - right
+            if e.op is ArithOp.MUL:
+                if right.is_const:
+                    return left.scale(right.const)
+                if left.is_const:
+                    return right.scale(left.const)
+                return None
+            if e.op is ArithOp.DIV:
+                if not right.is_const or right.const == 0:
+                    return None
+                if left.is_const:
+                    return Affine.of_const(left.const // right.const)
+                return left.exact_div(right.const)
+            if e.op is ArithOp.MOD:
+                if not right.is_const or right.const == 0:
+                    return None
+                if left.is_const:
+                    return Affine.of_const(left.const % right.const)
+                if left.exact_div(right.const) is not None:
+                    return Affine.of_const(0)
+                return None
+            return None
+        if isinstance(e, ast.Select):
+            return self._select(e.array, e.index)
+        return None
+
+    def _select(self, arr: Expr, idx: Expr) -> Optional[Affine]:
+        idx_a = self.expr(idx)
+        chain = arr
+        for _ in range(256):
+            if isinstance(chain, ast.Var):
+                resolved = self.arrays.get(chain.name)
+                if resolved is None:
+                    break
+                chain = resolved
+                continue
+            if isinstance(chain, ast.Update) and idx_a is not None:
+                written = self.expr(chain.index)
+                if written is None:
+                    break
+                delta = idx_a - written
+                if not delta.is_const:
+                    break  # cannot order the indices: stop resolving
+                if delta.const == 0:
+                    return self.expr(chain.value)
+                chain = chain.array
+                continue
+            break
+        if isinstance(chain, (ast.Var, ast.Update)):
+            idx_key: object = (idx_a.terms, idx_a.const) \
+                if idx_a is not None else idx
+            return self._term_var((chain, idx_key))
+        return None
+
+    # -- fact ingestion and DNF ---------------------------------------------
+
+    def learn(self, pred: Pred) -> Optional[_Dnf]:
+        """Absorb a fact.  Definitional equalities (SSA assignments of
+        integers or arrays) are recorded as substitutions and return
+        None — the equality is then implicit in every later translation.
+        Everything else returns its DNF."""
+        if (isinstance(pred, ast.Cmp) and pred.op is CmpOp.EQ
+                and isinstance(pred.left, ast.Var)):
+            name = pred.left.name
+            if isinstance(pred.right, (ast.Update, ast.Var)) \
+                    and self.is_int is not None and not self.is_int(name):
+                if name not in self.arrays:
+                    self.arrays[name] = pred.right
+                    return None
+            elif name not in self.defs and (self.is_int is None
+                                            or self.is_int(name)):
+                rhs = self.expr(pred.right)
+                if rhs is not None and all(v != name for v, _ in rhs.terms):
+                    self.defs[name] = rhs
+                    return None
+        return self.to_dnf(pred, False)
+
+    def to_dnf(self, pred: Pred, negate: bool) -> _Dnf:
+        """Capped disjunctive normal form of ``pred`` (or its negation)
+        under the learned definitions.
+
+        Conjunctions cross-multiply alternatives, pruning branches whose
+        opaque literals clash; past the width cap the offending conjunct
+        is dropped (weaker formula, refutation-sound).  A disjunction
+        that exceeds the cap collapses to one opaque literal for the
+        whole predicate.
+        """
+        if isinstance(pred, ast.BoolLit):
+            value = pred.value != negate
+            return [([], {})] if value else []
+        if isinstance(pred, ast.Not):
+            return self.to_dnf(pred.pred, not negate)
+        if isinstance(pred, (ast.And, ast.Or)):
+            conj = isinstance(pred, ast.And) != negate
+            parts = [self.to_dnf(p, negate) for p in pred.parts]
+            if conj:
+                alts: _Dnf = [([], {})]
+                for part in parts:
+                    if not part:
+                        return []  # one conjunct is constant-false
+                    if len(alts) * len(part) > _HARD_CAP:
+                        continue  # drop the conjunct instead of blowing up
+                    merged = [m for a in alts for b in part
+                              if (m := _merge_alts(a, b)) is not None]
+                    if not merged:
+                        return []  # every branch propositionally false
+                    if len(merged) > self.width:
+                        continue  # still too wide after pruning: drop it
+                    alts = merged
+                return alts
+            out: _Dnf = []
+            for part in parts:
+                out.extend(part)
+            if len(out) > self.width:
+                return self._opaque(pred, negate)
+            return out
+        if isinstance(pred, ast.Cmp):
+            left_a = self.expr(pred.left)
+            right_a = self.expr(pred.right)
+            if left_a is None or right_a is None:
+                return self._opaque(pred, negate)
+            op = _NEGATED[pred.op] if negate else pred.op
+            delta = left_a - right_a
+            if op is CmpOp.NE:
+                lt = _ineqs_of_cmp(CmpOp.LT, delta)
+                gt = _ineqs_of_cmp(CmpOp.GT, delta)
+                assert lt is not None and gt is not None
+                return [(branch, {}) for branch in (lt, gt)
+                        if not any(not i[0] and i[1] > 0 for i in branch)]
+            ineqs = _ineqs_of_cmp(op, delta)
+            assert ineqs is not None
+            if any(not i[0] and i[1] > 0 for i in ineqs):
+                return []  # constant contradiction
+            return [(ineqs, {})]
+        return self._opaque(pred, negate)
+
+    def _opaque(self, pred: Pred, negate: bool) -> _Dnf:
+        """A single opaque-literal alternative for an untranslatable
+        atom.  ``a ≠ b`` is canonicalised to ``¬(a = b)`` so both
+        phrasings of the same disequality share one literal key."""
+        pol = not negate
+        if isinstance(pred, ast.Cmp) and pred.op is CmpOp.NE:
+            pred = ast.Cmp(CmpOp.EQ, pred.left, pred.right)
+            pol = not pol
+        return [([], {pred: pol})]
+
+    def unsat(self, preds: Sequence[Pred]) -> bool:
+        """True when the conjunction of ``preds`` has no model, by DNF
+        expansion plus Fourier–Motzkin on every surviving alternative.
+        Facts whose expansion exceeds the width cap are dropped (sound
+        for refutation); ``False`` means the engine cannot tell."""
+        alts: List[_Alt] = [([], {})]
+        for pred in preds:
+            dnf = self.learn(pred)
+            if dnf is None:
+                continue  # definitional: absorbed into the environment
+            if not dnf:
+                return True  # the fact itself is a constant contradiction
+            if len(alts) * len(dnf) > _HARD_CAP:
+                continue  # expansion too wide — drop the fact instead
+            merged = [m for a in alts for b in dnf
+                      if (m := _merge_alts(a, b)) is not None]
+            if not merged:
+                return True  # every branch is propositionally false
+            if len(merged) > self.width:
+                continue  # still too wide after pruning: drop the fact
+            alts = merged
+        return all(fm_unsat(ineqs, self.max_vars, self.max_ineqs)
+                   for ineqs, _ in alts)
+
+
+def fm_unsat(ineqs: Sequence[Ineq], max_vars: int = 32,
+             max_ineqs: int = 192) -> bool:
+    """True when the conjunction of integer inequalities is
+    unsatisfiable, proven by Fourier–Motzkin elimination with gcd/floor
+    tightening after every combination step.  ``False`` means “no proof
+    within budget”, never “satisfiable”."""
+    work: List[Ineq] = []
+    for terms, const in ineqs:
+        if not terms:
+            if const > 0:
+                return True
+            continue
+        work.append((terms, const))
+    while work:
+        vars_here = {v for terms, _ in work for v, _ in terms}
+        if len(vars_here) > max_vars or len(work) > max_ineqs:
+            return False
+        # Drop inequalities mentioning a one-signed variable: they are
+        # satisfiable by pushing that variable to ±∞, so removing them
+        # only weakens the system (refutation stays sound).
+        signs: Dict[str, set] = {}
+        for terms, _ in work:
+            for v, c in terms:
+                signs.setdefault(v, set()).add(c > 0)
+        loose = {v for v, s in signs.items() if len(s) < 2}
+        if loose:
+            work = [iq for iq in work
+                    if not any(v in loose for v, _ in iq[0])]
+            continue
+        if not signs:
+            return False
+        # Eliminate the variable with the fewest pos×neg combinations.
+        def cost(v: str) -> int:
+            pos = sum(1 for terms, _ in work
+                      for w, c in terms if w == v and c > 0)
+            neg = sum(1 for terms, _ in work
+                      for w, c in terms if w == v and c < 0)
+            return pos * neg
+        target = min(signs, key=lambda v: (cost(v), v))
+        pos_set, neg_set, rest = [], [], []
+        for terms, const in work:
+            coeff = dict(terms).get(target, 0)
+            if coeff > 0:
+                pos_set.append((terms, const, coeff))
+            elif coeff < 0:
+                neg_set.append((terms, const, coeff))
+            else:
+                rest.append((terms, const))
+        if len(rest) + len(pos_set) * len(neg_set) > max_ineqs:
+            return False
+        for p_terms, p_const, p_c in pos_set:
+            for n_terms, n_const, n_c in neg_set:
+                scale = p_c * (-n_c) // gcd(p_c, -n_c)
+                pk, nk = scale // p_c, scale // (-n_c)
+                coeffs: Dict[str, int] = {}
+                for v, c in p_terms:
+                    coeffs[v] = coeffs.get(v, 0) + c * pk
+                for v, c in n_terms:
+                    coeffs[v] = coeffs.get(v, 0) + c * nk
+                coeffs.pop(target, None)
+                tight = _tighten(coeffs, p_const * pk + n_const * nk)
+                if tight is None:
+                    continue
+                if not tight[0]:
+                    if tight[1] > 0:
+                        return True
+                    continue
+                rest.append(tight)
+        work = rest
+    return False
+
+
+def linear_unsat(preds: Sequence[Pred],
+                 is_int: Optional[Callable[[str], bool]] = None,
+                 width: int = 24, max_vars: int = 32,
+                 max_ineqs: int = 192) -> bool:
+    """True when the conjunction of ``preds`` has no integer model —
+    a fresh :class:`LinearRefuter` fed the predicates in order.
+    ``False`` means the engine cannot tell, never “satisfiable”."""
+    return LinearRefuter(is_int, width, max_vars, max_ineqs).unsat(preds)

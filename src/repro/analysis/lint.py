@@ -20,6 +20,8 @@ code                  severity  meaning
 ``stuck-loop``        warning   a hole-free loop body never updates its guard
 ``nonterminating-loop``  warning  abstract interpretation proves a guard never
                                   becomes false: certain non-termination
+``empty-candidate-family``  warning  the forward-backward unknowns analysis
+                                     refutes every candidate of a hole
 ``duplicate-io``      warning   more than one ``in``/``out`` statement
 ``dead-store``        info      a single-target assignment whose value is never read
 ====================  ========  ===================================================
@@ -56,6 +58,7 @@ DECL_CONFLICT = "decl-conflict"
 STATIC_FALSE = "static-false"
 STUCK_LOOP = "stuck-loop"
 NONTERMINATING_LOOP = "nonterminating-loop"
+EMPTY_CANDIDATE_FAMILY = "empty-candidate-family"
 DUPLICATE_IO = "duplicate-io"
 DEAD_STORE = "dead-store"
 
@@ -124,6 +127,38 @@ def lint_template(program: Program, inverse: Program,
                          f"{other.name} in program '{program.name}'"),
                 line=0, program=inverse.name,
             ))
+    return diags
+
+
+def lint_unknowns(task) -> List[Diagnostic]:
+    """Flag template holes whose candidate family the forward-backward
+    unknowns analysis statically empties (``empty-candidate-family``).
+
+    ``solve()`` can never fill such a hole: every candidate is refuted
+    before CDCL runs, so synthesis is doomed to ``no_solution`` — almost
+    always a template or ``Phi_e``/``Phi_p`` authoring mistake.  Emitted
+    as a warning (a deliberately unsolvable task is conceivable), so it
+    fails runs only under ``--strict``.
+    """
+    from ..lang.transform import compose, desugar_program
+    from ..pins.algorithm import build_template
+    from .fwdbwd import analyze_unknowns
+
+    desugared = desugar_program(compose(task.program, task.inverse))
+    template = build_template(task)
+    spec = task.derived_spec(desugared.decls)
+    report = analyze_unknowns(task.program, task.inverse, template.space,
+                              spec, desugared.decls)
+    diags: List[Diagnostic] = []
+    for hole in report.empty_holes():
+        fs = report.feasible[hole]
+        sample = "; ".join(str(r) for r in fs.refuted[:2])
+        suffix = f" (e.g. {sample})" if sample else ""
+        diags.append(Diagnostic(
+            code=EMPTY_CANDIDATE_FAMILY, severity=WARNING,
+            message=(f"hole '{hole}' has no statically feasible candidate: "
+                     f"all {fs.total} refuted{suffix}"),
+            line=0, program=task.inverse.name))
     return diags
 
 

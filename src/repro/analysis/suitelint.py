@@ -6,7 +6,9 @@ CI workflow; it lints, for each suite benchmark:
 
 * the forward program (with its extern registry in scope),
 * the inverse template, in the context of the forward program,
-* the hand-written ground-truth inverse, in the same context.
+* the hand-written ground-truth inverse, in the same context,
+* the template's hole candidate families, through the forward-backward
+  unknowns analysis (``empty-candidate-family``).
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .diagnostics import Diagnostic, failing
-from .lint import lint_program, lint_template
+from .lint import lint_program, lint_template, lint_unknowns
 
 
 def lint_benchmark(bench) -> List[Diagnostic]:
@@ -26,6 +28,7 @@ def lint_benchmark(bench) -> List[Diagnostic]:
                                externs=task.externs))
     diags.extend(lint_template(task.program, bench.ground_truth,
                                externs=task.externs))
+    diags.extend(lint_unknowns(task))
     return diags
 
 

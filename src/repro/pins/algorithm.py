@@ -77,6 +77,15 @@ class PinsConfig:
     abstract path-infeasibility in pickOne.  ``None`` defers to the
     ``REPRO_ABSINT`` env var, which itself defaults to the static-pruning
     setting (so fully-unpruned baselines stay unpruned)."""
+    fwdbwd: Optional[bool] = None
+    """Use the forward-backward unknowns analysis: statically refute
+    hole candidates (and candidate pairs) as SAT unit clauses before
+    CDCL ever runs, screen constraint checks with the linear
+    fold / Fourier–Motzkin engine (HOLDS-only, so the synthesis
+    trajectory is bit-identical), and let pickOne consult the per-hole
+    feasible sets.  ``None`` defers to the ``REPRO_FWDBWD`` env var,
+    which itself follows the absint switch (so fully-unpruned baselines
+    stay unpruned)."""
     trace: Optional[str] = None
     """Write a JSONL observability trace of this run to the given path
     (appending).  ``None`` defers to the ``REPRO_TRACE`` env var; when
@@ -144,6 +153,9 @@ class PinsStats:
     symexec_absint_prunes: int = 0
     absint_screen_holds: int = 0
     absint_screen_refutes: int = 0
+    fwdbwd_screen_holds: int = 0
+    fwdbwd_units_refuted: int = 0
+    fwdbwd_pairs_refuted: int = 0
     checker_smt_checks: int = 0
     smt_cache_hits: int = 0
     smt_cache_misses: int = 0
@@ -179,6 +191,9 @@ STATS_COUNTER_MAP = (
     ("symexec_absint_prunes", "symexec.absint_prune"),
     ("absint_screen_holds", "solve.absint_hold"),
     ("absint_screen_refutes", "solve.absint_refute"),
+    ("fwdbwd_screen_holds", "solve.fwdbwd_hold"),
+    ("fwdbwd_units_refuted", "analysis.fwdbwd.units_refuted"),
+    ("fwdbwd_pairs_refuted", "analysis.fwdbwd.pairs_refuted"),
     ("candidates_demoted", "solve.demoted"),
 )
 """(PinsStats attribute, obs counter name) pairs that must agree at the
@@ -349,6 +364,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             conflict_budget=config.solver_conflict_budget,
             query_cache=query_cache,
             absint=absint_on,
+            fwdbwd=config.fwdbwd,
             budget=budget,
         )
         constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
@@ -357,6 +373,31 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
         solve_stats = SolveStats()
         if template.prune_report is not None:
             solve_stats.indicators_pruned = template.prune_report.indicators_removed
+
+        if checker.fwdbwd:
+            from ..analysis.fwdbwd import analyze_unknowns
+
+            with obs.span("analysis.fwdbwd"):
+                fb_report = analyze_unknowns(task.program, task.inverse,
+                                             template.space, spec,
+                                             desugared.decls)
+            template.fwdbwd_report = fb_report
+            checker.fwdbwd_report = fb_report
+            # Statically refuted candidates/pairs become unit/binary
+            # clauses the CDCL loop can never revisit.
+            enum = session.enumerator
+            units = fb_report.refuted_units()
+            pair_refs = fb_report.refuted_pairs()
+            for hole, idx in units:
+                session.persistent_clauses.append([-enum.var_of[(hole, idx)]])
+            for (hole_a, idx_a), (hole_b, idx_b) in pair_refs:
+                session.persistent_clauses.append(
+                    [-enum.var_of[(hole_a, idx_a)],
+                     -enum.var_of[(hole_b, idx_b)]])
+            obs.count("analysis.fwdbwd.units_refuted", len(units))
+            obs.count("analysis.fwdbwd.pairs_refuted", len(pair_refs))
+            stats.fwdbwd_units_refuted = len(units)
+            stats.fwdbwd_pairs_refuted = len(pair_refs)
 
         tests: List[Dict[str, Any]] = []
         seen = set()
@@ -513,6 +554,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
     stats.symexec_absint_prunes = executor.absint_prunes
     stats.absint_screen_holds = solve_stats.absint_holds
     stats.absint_screen_refutes = solve_stats.absint_refutes
+    stats.fwdbwd_screen_holds = solve_stats.fwdbwd_holds
     stats.checker_smt_checks = checker.stats.smt_checks
     stats.smt_cache_hits = metrics.counter("smt.cache.hit")
     stats.smt_cache_misses = metrics.counter("smt.cache.miss")

@@ -49,7 +49,7 @@ class CheckOutcome:
     counterexample: Optional[Dict[str, Any]] = None
     vacuous: bool = False
     via: str = "smt"
-    """Which tier decided the outcome: "smt" or "absint"."""
+    """Which tier decided the outcome: "smt", "absint", or "fwdbwd"."""
 
 
 @dataclass
@@ -62,6 +62,8 @@ class CheckerStats:
     absint_holds: int = 0
     absint_refutes: int = 0
     absint_infeasible: int = 0
+    fwdbwd_screens: int = 0
+    fwdbwd_holds: int = 0
 
 
 class ConstraintChecker:
@@ -76,8 +78,10 @@ class ConstraintChecker:
                  lia_branch_limit: int = 120,
                  query_cache: Optional[object] = None,
                  absint: Optional[bool] = None,
-                 budget: Optional[object] = None):
+                 budget: Optional[object] = None,
+                 fwdbwd: Optional[bool] = None):
         from ..analysis.absint import absint_enabled
+        from ..analysis.fwdbwd import fwdbwd_enabled
 
         self.sorts = dict(sorts)
         self.sorts.setdefault(SPEC_INDEX_VAR, Sort.INT)
@@ -92,6 +96,10 @@ class ConstraintChecker:
         """Optional :class:`repro.resil.Budget` handed to every solver
         this checker creates; exhausted queries answer ``unknown``."""
         self.absint = absint_enabled(absint)
+        self.fwdbwd = fwdbwd_enabled(fwdbwd, self.absint)
+        self.fwdbwd_report = None
+        """Optional :class:`repro.analysis.fwdbwd.FwdBwdReport` attached
+        by the PINS driver; consulted by pickOne's infeasibility score."""
         self.stats = CheckerStats()
         self._sat_cache: Dict[tuple, Tuple[str, Optional[smt.Model]]] = {}
 
@@ -152,6 +160,10 @@ class ConstraintChecker:
         ground = self._ground(constraint, solution)
         if self.absint:
             screened = self.absint_screen(constraint, solution, ground)
+            if screened is not None:
+                return screened
+        if self.fwdbwd:
+            screened = self.fwdbwd_screen(constraint, solution, ground)
             if screened is not None:
                 return screened
         if constraint.kind == "safepath":
@@ -271,6 +283,65 @@ class ConstraintChecker:
         if constraint.spec.check_env(env, constraint.final_vmap):
             return None  # spec satisfied on this sample
         return inputs
+
+    # -- linear screening (backward goal folding + Fourier–Motzkin) ------------
+
+    def _is_int_var(self, name: str) -> bool:
+        return self.sorts.get(name.rsplit("#", 1)[0]) is Sort.INT
+
+    def fwdbwd_screen(self, constraint: Constraint, solution: Solution,
+                      ground: Optional[List[Pred]] = None
+                      ) -> Optional[CheckOutcome]:
+        """Decide a (constraint, solution) pair by linear reasoning.
+
+        Two sound HOLDS-only deciders, or None for the full SMT check:
+
+        * *backward goal folding* — the path's SSA definitions compose
+          into affine forms and the negated goal folds to ``False`` for
+          every input (ranking deltas like ``rank^V - rank^0 = -1``);
+        * *linear refutation* — bounded Fourier–Motzkin over the ground
+          path condition (plus the negated goal, for termination and
+          invariant constraints) proves it has no model; for a safepath
+          constraint that is exactly the vacuous-HOLDS answer SMT would
+          give.
+
+        Only HOLDS is ever answered, never VIOLATED or UNKNOWN: a HOLDS
+        carries no counterexample and learns no clause, so screening here
+        is *trajectory-safe* — the synthesis run visits the same
+        candidates in the same order and stabilises on bit-identical
+        inverses with the screen on or off.  (A cheaper-than-SMT witness
+        refutation would change which counterexample generalises into
+        learned clauses and shift the whole trajectory.)  Proven-UNSAT
+        queries are primed into the SAT-result cache with exactly the
+        entry the solver would have stored, so later feasibility probes
+        on the same ground still hit.
+        """
+        from ..analysis.fwdbwd import fold_goal
+        from ..analysis.linear import linear_unsat
+        from ..lang.transform import substitute_pred
+
+        self.stats.fwdbwd_screens += 1
+        if ground is None:
+            ground = self._ground(constraint, solution)
+        if constraint.kind == "safepath":
+            if linear_unsat(ground, self._is_int_var):
+                self.stats.fwdbwd_holds += 1
+                self.prime(ground, (smt.UNSAT, None))
+                return CheckOutcome(HOLDS, vacuous=True, via="fwdbwd")
+            return None
+        if constraint.neg_goal is None:
+            return None
+        neg_goal = substitute_pred(constraint.neg_goal, solution.expr_map,
+                                   solution.pred_map)
+        if fold_goal(constraint.items, neg_goal, solution.expr_map) is False:
+            self.stats.fwdbwd_holds += 1
+            return CheckOutcome(HOLDS, via="fwdbwd")
+        query = list(ground) + [neg_goal]
+        if linear_unsat(query, self._is_int_var):
+            self.stats.fwdbwd_holds += 1
+            self.prime(query, (smt.UNSAT, None))
+            return CheckOutcome(HOLDS, via="fwdbwd")
+        return None
 
     def _check_safepath(self, constraint: Constraint, solution: Solution,
                         ground: List[Pred]) -> CheckOutcome:

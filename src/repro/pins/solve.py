@@ -58,6 +58,9 @@ class SolveStats:
     """Constraints proved to hold by the abstract screen (SMT skipped)."""
     absint_refutes: int = 0
     """Candidates refuted by an abstractly-sampled concrete witness."""
+    fwdbwd_holds: int = 0
+    """Constraints proved to hold by the linear fold/Fourier–Motzkin
+    screen (SMT skipped, trajectory unchanged)."""
     demoted: int = 0
     """Candidates demoted after repeated ``unknown`` SMT outcomes (the
     resilience cascade for a solver that keeps timing out on one
@@ -600,13 +603,19 @@ def _demote(stats: SolveStats, learn, enum: Enumerator, solution) -> None:
 
 
 def _note_absint(stats: SolveStats, outcome) -> None:
-    """Account an outcome decided by the checker's abstract screen.
+    """Account an outcome decided by a solver-free screen (the abstract
+    interpreter or the linear fold/Fourier–Motzkin engine).
 
     Counted here — in the parent's deterministic fold — rather than
     inside the checker, so parallel runs aggregate identically to serial
     ones (worker-side obs counters never reach the parent registry).
     """
-    if getattr(outcome, "via", "smt") != "absint":
+    via = getattr(outcome, "via", "smt")
+    if via == "fwdbwd":
+        stats.fwdbwd_holds += 1
+        obs.count("solve.fwdbwd_hold")
+        return
+    if via != "absint":
         return
     if outcome.status == VIOLATED:
         stats.absint_refutes += 1

@@ -243,3 +243,62 @@ def test_nonterminating_loop_lint_rule():
     assert any(d.code == NONTERMINATING_LOOP for d in diags)
     clean = lint_program(loop_to_ten())
     assert not any(d.code == NONTERMINATING_LOOP for d in clean)
+
+
+# -- refine_expr / refine_pred edge cases ------------------------------------
+
+
+def test_refine_expr_exact_division_on_multiplication():
+    from repro.analysis.absint import refine_expr
+
+    sorts = {"x": INT}
+    env = AbsEnv(sorts)
+    e = ast.mul(ast.Var("x"), ast.n(3))
+    # x * 3 = 6 pins x to 2.
+    refined = refine_expr(e, env, AbsVal.const(6))
+    assert refined is not None
+    assert refined.get("x").as_const() == 2
+    # x * 3 = 7 has no integer solution: ceil(7/3) > floor(7/3) -> bottom.
+    assert refine_expr(e, env, AbsVal.const(7)) is None
+
+
+def test_refine_expr_floor_division_backward_range():
+    from repro.analysis.absint import refine_expr
+    from repro.lang.ast import ArithOp, BinOp
+
+    sorts = {"x": INT}
+    env = AbsEnv(sorts)
+    e = BinOp(ArithOp.DIV, ast.Var("x"), ast.n(4))
+    refined = refine_expr(e, env, AbsVal.const(2))
+    assert refined is not None
+    x = refined.get("x").interval
+    assert (x.lo, x.hi) == (8, 11)  # exactly the preimage of // 4 at 2
+
+
+def test_refine_pred_congruence_under_negation():
+    from repro.analysis.absint import refine_pred
+    from repro.analysis.domains import Congruence, Interval
+
+    sorts = {"x": INT}
+    even = AbsVal.make(Interval.make(0, 20), Congruence.make(2, 0))
+    env = AbsEnv(sorts).set("x", even)
+    # not (x != 8): double negation lands on the equality path, and the
+    # congruence admits 8.
+    refined = refine_pred(ast.ne(ast.Var("x"), ast.n(8)), env, result=False)
+    assert refined is not None
+    assert refined.get("x").as_const() == 8
+    # not (x != 7): 7 is odd, the congruence refutes it outright.
+    assert refine_pred(ast.ne(ast.Var("x"), ast.n(7)), env,
+                       result=False) is None
+
+
+def test_refine_pred_meet_to_bottom_detects_contradiction():
+    from repro.analysis.absint import refine_pred
+
+    sorts = {"x": INT}
+    env = AbsEnv(sorts)
+    p = ast.conj([ast.ge(ast.Var("x"), ast.n(5)),
+                  ast.le(ast.Var("x"), ast.n(3))])
+    assert refine_pred(p, env) is None
+    # The same conjunction under negation is a satisfiable disjunction.
+    assert refine_pred(p, env, result=False) is not None

@@ -1,0 +1,224 @@
+"""Affine forms and the linear refutation engine (Fourier–Motzkin).
+
+The engine is refutation-only: every ``True`` from ``linear_unsat`` /
+``fm_unsat`` must be a genuine proof of emptiness, and anything the
+engine cannot see (non-linear terms, undecidable select indices) must
+come back ``False``, never a wrong refutation.  The cross-check tests
+mirror real ground shapes from the runlength/sumi screens.
+"""
+
+import pytest
+
+from repro.analysis.linear import (
+    Affine,
+    LinearRefuter,
+    affine_cmp,
+    affine_expr,
+    affine_pred,
+    fm_unsat,
+    linear_unsat,
+)
+from repro.lang import ast
+from repro.lang.ast import ArithOp, BinOp, CmpOp, Sort, Var
+
+INT = Sort.INT
+
+
+def div(a, b):
+    return BinOp(ArithOp.DIV, a, b)
+
+
+def mod(a, b):
+    return BinOp(ArithOp.MOD, a, b)
+
+
+# -- affine forms -------------------------------------------------------------
+
+
+def test_affine_arithmetic_cancels_terms():
+    x, y = Affine.of_var("x"), Affine.of_var("y")
+    s = x + y - x
+    assert s == y
+    assert (x - x).is_const and (x - x).const == 0
+    assert x.scale(3).terms == (("x", 3),)
+
+
+def test_affine_exact_div_requires_all_divisible():
+    a = Affine.make({"x": 4, "y": -6}, 8)
+    half = a.exact_div(2)
+    assert half == Affine.make({"x": 2, "y": -3}, 4)
+    assert a.exact_div(3) is None  # 4 % 3 != 0
+    assert a.exact_div(0) is None
+    # Negative constants follow floor semantics exactly.
+    b = Affine.make({"x": 2}, -4)
+    assert b.exact_div(2) == Affine.make({"x": 1}, -2)
+
+
+def test_affine_expr_folds_definitions():
+    env = {"i#1": Affine.make({"i#0": 1}, 1)}  # i#1 = i#0 + 1
+    got = affine_expr(ast.sub(Var("i#1"), Var("i#0")), env)
+    assert got == Affine.of_const(1)
+
+
+def test_affine_expr_rejects_nonlinear_and_non_int():
+    assert affine_expr(ast.mul(Var("x"), Var("y")), {}) is None
+    assert affine_expr(Var("A"), {}, is_int=lambda n: n != "A") is None
+    # Division folds only when exact for every valuation.
+    assert affine_expr(div(ast.mul(Var("x"), ast.n(4)), ast.n(2)), {}) \
+        == Affine.make({"x": 2}, 0)
+    assert affine_expr(div(Var("x"), ast.n(2)), {}) is None
+    # x*3 % 3 is 0 for every x; x % 2 is unknown.
+    assert affine_expr(mod(ast.mul(Var("x"), ast.n(3)), ast.n(3)), {}) \
+        == Affine.of_const(0)
+    assert affine_expr(mod(Var("x"), ast.n(2)), {}) is None
+
+
+def test_affine_cmp_decides_constant_difference_only():
+    x = Affine.of_var("x")
+    assert affine_cmp(CmpOp.LT, x, x + Affine.of_const(1)) is True
+    assert affine_cmp(CmpOp.GE, x, x + Affine.of_const(1)) is False
+    assert affine_cmp(CmpOp.LT, x, Affine.of_var("y")) is None
+
+
+def test_affine_pred_three_valued_connectives():
+    env = {}
+    tauto = ast.le(Var("x"), ast.add(Var("x"), ast.n(1)))
+    unknown = ast.le(Var("x"), Var("y"))
+    assert affine_pred(tauto, env) is True
+    assert affine_pred(ast.Not(tauto), env) is False
+    assert affine_pred(ast.conj([tauto, unknown]), env) is None
+    assert affine_pred(ast.conj([ast.Not(tauto), unknown]), env) is False
+    assert affine_pred(ast.Or((tauto, unknown)), env) is True
+
+
+# -- fm_unsat -----------------------------------------------------------------
+
+
+def test_fm_refutes_relational_cycle():
+    # x < y, y < z, z < x has no model.
+    ineqs = [((("x", 1), ("y", -1)), 1),
+             ((("y", 1), ("z", -1)), 1),
+             ((("x", -1), ("z", 1)), 1)]
+    assert fm_unsat(ineqs)
+
+
+def test_fm_open_system_is_not_refuted():
+    ineqs = [((("x", 1), ("y", -1)), 1)]  # x < y: satisfiable
+    assert not fm_unsat(ineqs)
+
+
+def test_integer_tightening_catches_rational_gaps():
+    # 2x >= 5 and 2x <= 5 has the rational point x=2.5 but no integer
+    # one; gcd/floor tightening at translation time turns it into
+    # x >= 3 and x <= 2, which Fourier-Motzkin then refutes.
+    preds = [ast.ge(ast.mul(ast.n(2), Var("x#0")), ast.n(5)),
+             ast.le(ast.mul(ast.n(2), Var("x#0")), ast.n(5))]
+    assert linear_unsat(preds)
+
+
+def test_fm_respects_budget_caps():
+    ineqs = [((("x", 1), ("y", -1)), 1),
+             ((("y", 1), ("x", -1)), 1)]
+    assert not fm_unsat(ineqs, max_ineqs=1)  # over budget: no proof
+
+
+# -- linear_unsat / LinearRefuter ---------------------------------------------
+
+
+def test_linear_unsat_relational_contradiction():
+    preds = [ast.lt(Var("mp#1"), Var("m#0")),
+             ast.ge(Var("mp#1"), Var("m#0"))]
+    assert linear_unsat(preds)
+
+
+def test_linear_unsat_through_ssa_definitions():
+    # mp#2 = mp#1 + 1 makes mp#2 <= mp#1 impossible.
+    preds = [ast.eq(Var("mp#2"), ast.add(Var("mp#1"), ast.n(1))),
+             ast.le(Var("mp#2"), Var("mp#1"))]
+    assert linear_unsat(preds)
+
+
+def test_linear_unsat_never_refutes_satisfiable_system():
+    preds = [ast.ge(Var("x#0"), ast.n(0)),
+             ast.le(Var("x#0"), ast.n(3))]
+    assert not linear_unsat(preds)
+
+
+def test_linear_unsat_self_referential_equality_is_not_a_definition():
+    # x = x + 1 must refute, not be absorbed as a definition.
+    preds = [ast.eq(Var("x#0"), ast.add(Var("x#0"), ast.n(1)))]
+    assert linear_unsat(preds)
+
+
+def test_opaque_literals_refute_propositionally():
+    # sel(A,i) = sel(B,j) both asserted and denied: the atoms are
+    # outside the linear fragment, but the clash is propositional.
+    atom = ast.eq(ast.sel(Var("A#0"), Var("i#0")),
+                  ast.sel(Var("B#0"), Var("j#0")))
+    is_int = lambda n: not n.startswith(("A", "B"))
+    assert linear_unsat([atom, ast.Not(atom)], is_int)
+    # NE is canonicalised onto the EQ literal.
+    ne = ast.ne(ast.sel(Var("A#0"), Var("i#0")),
+                ast.sel(Var("B#0"), Var("j#0")))
+    assert linear_unsat([atom, ne], is_int)
+    assert not linear_unsat([atom], is_int)
+
+
+def test_read_over_write_resolution():
+    # N#1 = upd(upd(N#0, 0, 7), 1, 9); reading index 0 must see 7.
+    is_int = lambda n: not n.startswith("N")
+    upd2 = ast.upd(ast.upd(Var("N#0"), ast.n(0), ast.n(7)),
+                   ast.n(1), ast.n(9))
+    preds = [ast.eq(Var("N#1"), upd2),
+             ast.eq(Var("r#0"), ast.sel(Var("N#1"), ast.n(0))),
+             ast.le(Var("r#0"), ast.n(0))]
+    assert linear_unsat(preds, is_int)
+    # Reading index 1 sees the outer write.
+    preds9 = [ast.eq(Var("N#1"), upd2),
+              ast.eq(Var("r#0"), ast.sel(Var("N#1"), ast.n(1))),
+              ast.ne(Var("r#0"), ast.n(9))]
+    assert linear_unsat(preds9, is_int)
+
+
+def test_select_congruence_via_term_variables():
+    # Two structurally equal irreducible selects share one term
+    # variable, so x = sel(A,i), y = sel(A,i), x < y is refutable.
+    is_int = lambda n: not n.startswith("A")
+    preds = [ast.eq(Var("x#0"), ast.sel(Var("A#0"), Var("i#0"))),
+             ast.eq(Var("y#0"), ast.sel(Var("A#0"), Var("i#0"))),
+             ast.lt(Var("x#0"), Var("y#0"))]
+    assert linear_unsat(preds, is_int)
+
+
+def test_undecidable_select_index_is_not_refuted():
+    # sel over an update at a symbolic index whose offset from the read
+    # index is unknown: the engine must abstain.
+    is_int = lambda n: not n.startswith("A")
+    preds = [ast.eq(Var("A#1"), ast.upd(Var("A#0"), Var("i#0"), ast.n(7))),
+             ast.eq(Var("x#0"), ast.sel(Var("A#1"), Var("j#0"))),
+             ast.ne(Var("x#0"), ast.n(7))]
+    assert not linear_unsat(preds, is_int)
+
+
+def test_refuter_guard_disjunction_prunes_branches():
+    # (x <= 0 or x >= 5) and 1 <= x <= 4 is empty; each DNF branch
+    # falls to Fourier-Motzkin separately.
+    preds = [ast.Or((ast.le(Var("x#0"), ast.n(0)),
+                     ast.ge(Var("x#0"), ast.n(5)))),
+             ast.ge(Var("x#0"), ast.n(1)),
+             ast.le(Var("x#0"), ast.n(4))]
+    assert linear_unsat(preds)
+    preds_open = preds[:-1]
+    assert not linear_unsat(preds_open)
+
+
+def test_refuter_width_cap_drops_facts_soundly():
+    # With width 1 the disjunction cannot expand; the remaining facts
+    # alone are satisfiable, so the answer must be False (not a crash,
+    # not a bogus refutation).
+    preds = [ast.Or((ast.le(Var("x#0"), ast.n(0)),
+                     ast.ge(Var("x#0"), ast.n(5)))),
+             ast.ge(Var("x#0"), ast.n(1)),
+             ast.le(Var("x#0"), ast.n(4))]
+    r = LinearRefuter(width=1)
+    assert r.unsat(preds) is False

@@ -194,3 +194,33 @@ def test_run_suite_lint_exit_code_and_report():
     assert code == 0
     assert any("sumi: ok" in line for line in lines)
     assert any(line.startswith("suite lint:") for line in lines)
+
+
+def test_empty_candidate_family_lint_on_synthetic_task():
+    from repro.analysis.lint import EMPTY_CANDIDATE_FAMILY, lint_unknowns
+    from repro.lang.parser import parse_expr, parse_program
+    from repro.pins.spec import InversionSpec
+    from repro.pins.task import SynthesisTask
+
+    prog = parse_program("""
+    program fwd [int n; int s] {
+      in(n); assume(n >= 0); assume(n <= 10);
+      s := n + 1; out(s);
+    }
+    """)
+    inv = parse_program("""
+    program fwd_inv [int s; int np] { np := [e1]; out(np); }
+    """)
+    task = SynthesisTask(
+        name="fwd", program=prog, inverse=inv,
+        phi_e=(parse_expr("0 - s"), parse_expr("0 - s - 1")),
+        phi_p=(), spec=InversionSpec(scalar_pairs=(("n", "np"),)))
+    diags = lint_unknowns(task)
+    assert [d.code for d in diags] == [EMPTY_CANDIDATE_FAMILY]
+    assert "e1" in diags[0].message and "all 2 refuted" in diags[0].message
+    # A feasible family produces no finding.
+    ok_task = SynthesisTask(
+        name="fwd", program=prog, inverse=inv,
+        phi_e=(parse_expr("s - 1"), parse_expr("0 - s")),
+        phi_p=(), spec=InversionSpec(scalar_pairs=(("n", "np"),)))
+    assert lint_unknowns(ok_task) == []

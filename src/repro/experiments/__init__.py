@@ -2,6 +2,7 @@
 
 from . import tables
 from .tables import (
+    BENCH_MATRIX_HEADERS,
     TABLE1_HEADERS,
     TABLE2_HEADERS,
     TABLE3_HEADERS,
@@ -9,7 +10,9 @@ from .tables import (
     TABLE5_HEADERS,
     ablation_path_explosion,
     ablation_pickone,
+    bench_matrix_rows,
     render,
+    render_bench_matrix,
     run_benchmark,
     table1,
     table2,

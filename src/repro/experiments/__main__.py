@@ -1,0 +1,73 @@
+"""``python -m repro.experiments`` — the experiments CLI.
+
+``table2`` renders the recorded Table-2-style matrix from a bench JSON
+(the output of ``scripts/run_bench.py --bench-json``)::
+
+    python -m repro.experiments table2
+    python -m repro.experiments table2 --bench-json BENCH_pins.json --label full-suite
+
+Pass ``--live`` to regenerate Table 2 by actually running the suite
+(the historical ``python -m repro.experiments.runner table2`` behavior);
+every other table name falls through to the runner unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import tables
+from .runner import main as runner_main
+
+DEFAULT_BENCH_JSON = "BENCH_pins.json"
+DEFAULT_LABEL = "full-suite"
+
+
+def _render_recorded(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments table2",
+        description="Render a recorded bench matrix (Table-2 style).")
+    ap.add_argument("--bench-json", default=DEFAULT_BENCH_JSON,
+                    help=f"bench JSON path (default: {DEFAULT_BENCH_JSON})")
+    ap.add_argument("--label", default=None,
+                    help=f"recorded label to render (default: "
+                         f"'{DEFAULT_LABEL}', else the sole label)")
+    args = ap.parse_args(argv)
+    try:
+        with open(args.bench_json, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.bench_json}: {exc}", file=sys.stderr)
+        return 1
+    labels = data.get("labels", {}) if isinstance(data, dict) else {}
+    label = args.label
+    if label is None:
+        if DEFAULT_LABEL in labels:
+            label = DEFAULT_LABEL
+        elif len(labels) == 1:
+            label = next(iter(labels))
+        else:
+            print(f"pass --label; recorded labels: "
+                  + ", ".join(sorted(labels)), file=sys.stderr)
+            return 1
+    try:
+        print(f"== Table 2 (recorded): label '{label}' from {args.bench_json} ==")
+        print(tables.render_bench_matrix(data, label))
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "table2" and "--live" not in argv:
+        return _render_recorded(argv[1:])
+    if "--live" in argv:
+        argv.remove("--live")
+    return runner_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

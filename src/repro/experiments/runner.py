@@ -15,7 +15,7 @@ import sys
 from . import tables
 
 FAST_NAMES = ["sumi", "vector_shift", "vector_scale", "vector_rotate",
-              "serialize", "permute_count"]
+              "vector_reverse", "delta_encode", "serialize", "permute_count"]
 
 
 def main(argv=None) -> int:

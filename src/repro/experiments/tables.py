@@ -116,6 +116,64 @@ def table2(names: Optional[Sequence[str]] = None,
 
 
 # ---------------------------------------------------------------------------
+# Table 2 from recorded bench JSON (scripts/run_bench.py output)
+# ---------------------------------------------------------------------------
+
+
+BENCH_MATRIX_HEADERS = ["benchmark", "status", "paths", "iters", "SMT q",
+                        "cache%", "wall s", "sols", "digest",
+                        "paper iters", "paper s"]
+
+
+def bench_matrix_rows(data: Dict[str, Any], label: str) -> List[List[Any]]:
+    """Table-2-style rows from a recorded ``BENCH_pins.json`` label.
+
+    Rows come out in registry order (recorded programs outside the
+    registry are appended alphabetically) with the paper's published
+    iteration/time figures alongside where the program has a row in
+    Table 2.
+    """
+    labels = data.get("labels", {})
+    if label not in labels:
+        raise KeyError(
+            f"label {label!r} not recorded; available labels: "
+            + ", ".join(sorted(labels)))
+    benchmarks = labels[label].get("benchmarks", {})
+    ordered = [n for n in BENCHMARK_MODULES if n in benchmarks]
+    ordered += sorted(set(benchmarks) - set(BENCHMARK_MODULES))
+    rows = []
+    for name in ordered:
+        rec = benchmarks[name]
+        try:
+            bench = get_benchmark(name)
+            in_paper = bench.in_paper
+            paper_iters = bench.paper.iterations
+            paper_time = f"{bench.paper.time_seconds:.2f}"
+        except KeyError:
+            in_paper = False
+            paper_iters = paper_time = ""
+        rows.append([
+            name,
+            rec.get("status", "?"),
+            rec.get("paths", ""),
+            rec.get("iterations", ""),
+            rec.get("smt_queries", ""),
+            f"{100 * rec.get('cache_hit_rate', 0.0):.0f}",
+            f"{rec.get('wall_time_s', 0.0):.2f}",
+            rec.get("solutions", ""),
+            str(rec.get("inverse_digest", ""))[:12],
+            paper_iters if in_paper else "-",
+            paper_time if in_paper else "-",
+        ])
+    return rows
+
+
+def render_bench_matrix(data: Dict[str, Any], label: str) -> str:
+    """Render one recorded label as an aligned Table-2-style matrix."""
+    return render(BENCH_MATRIX_HEADERS, bench_matrix_rows(data, label))
+
+
+# ---------------------------------------------------------------------------
 # Table 3 — validation
 # ---------------------------------------------------------------------------
 

@@ -245,6 +245,21 @@ class PinsResult:
     def inverse_programs(self) -> List[ast.Program]:
         return [self.template.instantiate(s) for s in self.solutions]
 
+    def inverse_digest(self) -> str:
+        """sha256 over the pretty-printed inverse programs (sorted).
+
+        Sorted so the digest identifies the *set* of synthesized
+        inverses; two runs agree iff they stabilized to identical
+        programs.  This is the digest the bench harness records and the
+        golden-baseline tests pin.
+        """
+        import hashlib
+
+        from ..lang.pretty import pretty_program
+
+        texts = sorted(pretty_program(p) for p in self.inverse_programs())
+        return hashlib.sha256("\n===\n".join(texts).encode()).hexdigest()
+
     @property
     def succeeded(self) -> bool:
         return bool(self.solutions)

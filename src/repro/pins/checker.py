@@ -50,6 +50,10 @@ class CheckOutcome:
     vacuous: bool = False
     via: str = "smt"
     """Which tier decided the outcome: "smt", "absint", or "fwdbwd"."""
+    spurious_cex: bool = False
+    """UNKNOWN downgraded from a VIOLATED whose counterexample the
+    candidate *passes* concretely (axiom-incomplete model).  Positive
+    replay evidence: solve() must not count it toward unknown-demotion."""
 
 
 @dataclass
@@ -64,6 +68,7 @@ class CheckerStats:
     absint_infeasible: int = 0
     fwdbwd_screens: int = 0
     fwdbwd_holds: int = 0
+    spurious_cex: int = 0
 
 
 class ConstraintChecker:
@@ -350,6 +355,7 @@ class ConstraintChecker:
         if status == smt.UNSAT:
             return CheckOutcome(HOLDS, vacuous=True)
         saw_unknown = status == smt.UNKNOWN
+        saw_spurious = False
         for disjunct in constraint.spec.negated_disjuncts(constraint.final_vmap):
             d_status, model = self._check_sat(ground + [disjunct], want_model=True)
             if d_status == smt.SAT:
@@ -361,10 +367,48 @@ class ConstraintChecker:
                     from ..concrete.testgen import env_inputs_from_model
 
                     counterexample = env_inputs_from_model(model)
+                if counterexample is not None and self._spurious_counterexample(
+                        constraint, solution, counterexample):
+                    # The model satisfies the query only because a needed
+                    # axiom instance was never generated (e.g. the
+                    # Pythagorean identity on a term shape outside the
+                    # instantiation rounds): under the *real* extern
+                    # semantics the same input follows the path and meets
+                    # the spec.  That is solver incompleteness, not a
+                    # refutation — fall through to the optimistic UNKNOWN.
+                    self.stats.spurious_cex += 1
+                    obs.count("checker.spurious_cex")
+                    saw_spurious = True
+                    continue
                 return CheckOutcome(VIOLATED, counterexample=counterexample)
             if d_status == smt.UNKNOWN:
                 saw_unknown = True
-        return CheckOutcome(UNKNOWN if saw_unknown else HOLDS)
+        if saw_unknown or saw_spurious:
+            return CheckOutcome(UNKNOWN, spurious_cex=saw_spurious
+                                and not saw_unknown)
+        return CheckOutcome(HOLDS)
+
+    def _spurious_counterexample(self, constraint: Constraint,
+                                 solution: Solution,
+                                 inputs: Mapping[str, Any]) -> bool:
+        """True when an SMT counterexample fails to refute concretely.
+
+        Replays the path on the model's inputs with the concrete extern
+        implementations.  Only a replay that follows the path *and*
+        satisfies the spec proves the model spurious; inputs that cannot
+        be replayed (abstract values) or diverge from the path keep the
+        VIOLATED verdict — the model may still witness a genuine bug the
+        partial input extraction just cannot reproduce.
+        """
+        assert constraint.spec is not None
+        try:
+            env = run_path(constraint.items, inputs, self.sorts, self.externs,
+                           solution.expr_map, solution.pred_map)
+        except InterpError:
+            return False
+        if env is None:
+            return False
+        return constraint.spec.check_env(env, constraint.final_vmap)
 
     def _check_goal(self, constraint: Constraint, solution: Solution,
                     ground: List[Pred]) -> CheckOutcome:

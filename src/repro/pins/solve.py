@@ -41,6 +41,12 @@ from .template import HoleSpace, Solution
 RANK_PREFIX = "rank!"
 INV_PREFIX = "inv!"
 
+# Cache sentinel for an UNKNOWN that came from a replay-passing
+# (spurious) counterexample: treated as UNKNOWN for optimism, but never
+# counted toward unknown-demotion — the concrete replay is evidence
+# *for* the candidate, not a solver stall.
+UNKNOWN_REPLAYED = "unknown-replay-pass"
+
 
 def is_auxiliary_hole(name: str) -> bool:
     """Ranking/invariant holes: part of the search, not of the program."""
@@ -521,7 +527,7 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
                 cache_key = (_restricted_key(solution, constraint.relevant),
                              constraint.label)
                 cached = session.check_cache.get(cache_key)
-                if cached in (HOLDS, UNKNOWN):
+                if cached in (HOLDS, UNKNOWN, UNKNOWN_REPLAYED):
                     if cached == UNKNOWN:
                         unknown_hits += 1
                     continue
@@ -565,6 +571,9 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
                     else:
                         learn(enum.exact_block(solution, set(constraint.relevant)))
                     break
+                if outcome.status == UNKNOWN and outcome.spurious_cex:
+                    session.check_cache[cache_key] = UNKNOWN_REPLAYED
+                    continue
                 session.check_cache[cache_key] = outcome.status
                 if outcome.status == UNKNOWN:
                     unknown_hits += 1

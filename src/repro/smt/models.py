@@ -22,6 +22,17 @@ from typing import Dict, List, Optional, Tuple
 from .terms import Op, Term, subterms
 
 
+def _stable_id(term: Term) -> int:
+    """History-independent surrogate class id for an unconstrained term.
+
+    ``term.id`` depends on what was hash-consed earlier in the process;
+    the structural ``skey`` does not.  Collisions with the query-local
+    dense class numbers (small positives) or app-table ids (small
+    negatives) are astronomically unlikely for a 64-bit digest prefix.
+    """
+    return int.from_bytes(term.skey[:8], "big")
+
+
 class ModelInconsistency(Exception):
     """Raised during model construction when assignments clash.
 
@@ -103,7 +114,7 @@ class Model:
             if key not in self.app_table:
                 self.app_table[key] = -(len(self.app_table) + 1)
             return self.app_table[key]
-        return self.class_values.setdefault(term, term.id)
+        return self.class_values.setdefault(term, _stable_id(term))
 
     def eval_atom(self, atom: Term) -> bool:
         if atom.op == Op.EQ:
@@ -157,7 +168,7 @@ def build_model(universe: List[Term], assigned: Dict[Term, int],
     # Class values for uninterpreted sorts.
     for term in universe:
         if not term.sort.is_int and not term.sort.is_array and not term.sort.is_bool:
-            model.class_values[term] = class_of.get(term, term.id)
+            model.class_values[term] = class_of.get(term) or _stable_id(term)
     # Array contents: seed from selects over base variables.
     writers: Dict[Tuple[Term, int], Term] = {}
     for term in universe:
@@ -167,7 +178,7 @@ def build_model(universe: List[Term], assigned: Dict[Term, int],
             if term.sort.is_int:
                 value = assigned_eval(term)
             else:
-                value = class_of.get(term, term.id)
+                value = class_of.get(term) or _stable_id(term)
             contents = model.arrays.setdefault(base, {})
             if idx_val in contents and contents[idx_val] != value:
                 raise ModelInconsistency(writers[(base, idx_val)], term)
@@ -181,7 +192,7 @@ def build_model(universe: List[Term], assigned: Dict[Term, int],
             value = (
                 model.int_values.get(term)
                 if term.sort.is_int
-                else class_of.get(term, term.id)
+                else (class_of.get(term) or _stable_id(term))
             )
             if value is None:
                 continue

@@ -373,12 +373,16 @@ class Solver:
         builder = CnfBuilder(sat)
         for f in formulas:
             builder.assert_formula(f)
-        # Trichotomy for integer equalities used negatively.
+        # Trichotomy for integer equalities used negatively.  Assert in
+        # structural order: iterating the raw set would follow Python's
+        # address-based object hashes, making clause order — and hence
+        # the SAT search and the returned model — depend on the
+        # process's allocation history.
         negative_eqs: Set[Term] = set()
         for f in formulas:
             self._negative_int_eq_atoms(f, True, negative_eqs)
         has_trichotomy: Set[Term] = set()
-        for atom in negative_eqs:
+        for atom in sorted(negative_eqs, key=lambda t: t.skey):
             builder.assert_formula(self._trichotomy(atom))
             has_trichotomy.add(atom)
 
@@ -527,12 +531,20 @@ class Solver:
                     universe.append(t)
         assigned: Dict[Term, int] = {}
         class_of: Dict[Term, int] = {}
+        # Class values must be *query-local* dense numbers, not raw
+        # representative term ids: cons ids depend on process history, and
+        # these values leak into counterexample inputs (and hence the
+        # whole synthesis trajectory) through build_model.
+        dense: Dict[int, int] = {}
         assert lia_model is not None
         for t in universe:
-            if t.id in closure.parent:
-                class_of[t] = closure.find(t.id)
+            raw = closure.find(t.id) if t.id in closure.parent else None
+            if raw is not None:
+                if raw not in dense:
+                    dense[raw] = len(dense) + 1
+                class_of[t] = dense[raw]
             if t.sort.is_int and t.op in (Op.VAR, Op.APP, Op.SELECT, Op.MUL, Op.DIV, Op.MOD):
-                rep = class_of.get(t, t.id)
+                rep = raw if raw is not None else t.id
                 if rep in rep_var:
                     assigned[t] = lia_model[rep_var[rep]]
                 else:

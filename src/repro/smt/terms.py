@@ -15,10 +15,18 @@ The solver works over a small many-sorted first-order language:
 
 Terms are hash-consed: structural equality is pointer equality, and every
 term carries a unique ``id`` so union-find structures can be array-backed.
+``id`` values depend on cons *history* (what was built earlier in the
+process), so anything that must be reproducible across processes — in
+particular the orientation of commutative operands in ``mk_add`` /
+``mk_mul`` / ``mk_eq`` — orders by ``skey``, a structural digest computed
+once at construction.  Without this, running benchmark A before benchmark
+B changes B's term structure (and hence its synthesis trajectory and
+inverse digest) relative to running B alone.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
@@ -129,7 +137,8 @@ class Op:
 class Term:
     """An immutable, hash-consed term."""
 
-    __slots__ = ("id", "op", "args", "payload", "sort", "__weakref__")
+    __slots__ = ("id", "op", "args", "payload", "sort", "skey", "shash",
+                 "__weakref__")
 
     _ids = itertools.count()
     _table: Dict[tuple, "Term"] = {}
@@ -145,6 +154,14 @@ class Term:
         term.args = args
         term.payload = payload
         term.sort = sort
+        h = hashlib.blake2b(digest_size=16)
+        h.update(op.encode())
+        h.update(repr(payload).encode())
+        h.update(repr(sort).encode())
+        for a in args:
+            h.update(a.skey)
+        term.skey = h.digest()
+        term.shash = int.from_bytes(term.skey[:8], "big")
         cls._table[key] = term
         return term
 
@@ -158,7 +175,14 @@ class Term:
         # raw ``id`` values differ between processes.
         return (Term, (self.op, self.args, self.payload, self.sort))
 
-    # Hash-consing makes default identity hash/eq correct and fast.
+    # Hash-consing makes default identity *equality* correct and fast,
+    # but the default identity hash is an address: any iterated
+    # Set[Term]/Dict[Term, _] would then order by allocation history,
+    # leaking nondeterminism into clause and lemma order.  A structural
+    # hash keeps membership semantics (eq is still identity) while
+    # making container iteration layout-independent.
+    def __hash__(self) -> int:
+        return self.shash
 
     @property
     def is_atom(self) -> bool:
@@ -245,7 +269,7 @@ def mk_add(*parts: Term) -> Term:
         out.append(mk_int(const))
     if len(out) == 1:
         return out[0]
-    out.sort(key=lambda t: t.id)
+    out.sort(key=lambda t: t.skey)
     return Term(Op.ADD, tuple(out), None, INT)
 
 
@@ -273,7 +297,7 @@ def mk_mul(a: Term, b: Term) -> Term:
         return mk_mul_const(a.payload, b)
     if b.op == Op.INT_CONST:
         return mk_mul_const(b.payload, a)
-    x, y = (a, b) if a.id <= b.id else (b, a)
+    x, y = (a, b) if a.skey <= b.skey else (b, a)
     return Term(Op.MUL, (x, y), None, INT)
 
 
@@ -311,7 +335,7 @@ def mk_eq(a: Term, b: Term) -> Term:
         return TRUE
     if a.op == Op.INT_CONST and b.op == Op.INT_CONST:
         return TRUE if a.payload == b.payload else FALSE
-    x, y = (a, b) if a.id <= b.id else (b, a)
+    x, y = (a, b) if a.skey <= b.skey else (b, a)
     return Term(Op.EQ, (x, y), None, BOOL)
 
 

@@ -1,7 +1,11 @@
-"""The 14-benchmark suite from the paper's evaluation (Section 4).
+"""The benchmark suite: the paper's 14 evaluation programs plus two
+extension benchmarks (16 total).
 
-``all_benchmarks()`` returns the registry in the paper's Table 1 order.
-Each module exposes ``benchmark() -> Benchmark``.
+``BENCHMARK_MODULES`` lists every registered program in the paper's
+Table 1 order (extensions last); ``PAPER_BENCHMARKS`` is the subset with
+published Table 1-3 rows.  ``all_benchmarks()`` returns the registry in
+that deterministic order.  Each module exposes ``benchmark() ->
+Benchmark``.
 """
 
 from __future__ import annotations
@@ -10,8 +14,9 @@ from importlib import import_module
 from typing import Dict, List
 
 from .base import Benchmark, PaperNumbers
+from .profiles import BENCH_SETS, BenchProfile, bench_profile, bench_set
 
-BENCHMARK_MODULES: List[str] = [
+PAPER_BENCHMARKS: List[str] = [
     "inplace_rl",
     "runlength",
     "lz77",
@@ -28,11 +33,26 @@ BENCHMARK_MODULES: List[str] = [
     "lu_decomp",
 ]
 
+EXTENSION_BENCHMARKS: List[str] = [
+    "delta_encode",
+    "vector_reverse",
+]
+
+BENCHMARK_MODULES: List[str] = PAPER_BENCHMARKS + EXTENSION_BENCHMARKS
+
 _cache: Dict[str, Benchmark] = {}
 
 
 def get_benchmark(name: str) -> Benchmark:
-    """Load one benchmark by module name."""
+    """Load one benchmark by module name.
+
+    Raises ``KeyError`` with the full list of registered names when the
+    name is unknown, so CLI typos fail with something actionable.
+    """
+    if name not in BENCHMARK_MODULES:
+        raise KeyError(
+            f"unknown benchmark {name!r}; registered benchmarks are: "
+            + ", ".join(BENCHMARK_MODULES))
     if name not in _cache:
         module = import_module(f".{name}", __package__)
         _cache[name] = module.benchmark()
@@ -40,9 +60,11 @@ def get_benchmark(name: str) -> Benchmark:
 
 
 def all_benchmarks() -> Dict[str, Benchmark]:
-    """All suite benchmarks, in Table 1 order."""
+    """All suite benchmarks, in registry (Table 1) order."""
     return {name: get_benchmark(name) for name in BENCHMARK_MODULES}
 
 
-__all__ = ["Benchmark", "PaperNumbers", "BENCHMARK_MODULES",
-           "get_benchmark", "all_benchmarks"]
+__all__ = ["Benchmark", "PaperNumbers", "BenchProfile",
+           "BENCHMARK_MODULES", "PAPER_BENCHMARKS", "EXTENSION_BENCHMARKS",
+           "BENCH_SETS", "get_benchmark", "all_benchmarks",
+           "bench_profile", "bench_set"]

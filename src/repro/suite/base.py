@@ -1,4 +1,5 @@
-"""Benchmark bundles for the 14-program suite (Tables 1-3).
+"""Benchmark bundles for the 16-program suite (the paper's 14, Tables
+1-3, plus two registered extensions marked ``in_paper=False``).
 
 Each benchmark carries:
 
@@ -53,6 +54,9 @@ class Benchmark:
     ground_truth: Program
     paper: PaperNumbers = field(default_factory=PaperNumbers)
     uses_axioms: bool = False
+    in_paper: bool = True
+    """False for extension benchmarks added beyond the paper's Table 1;
+    their :attr:`paper` numbers are all-zero placeholders."""
     notes: str = ""
 
     @property

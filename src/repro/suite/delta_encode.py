@@ -1,0 +1,103 @@
+"""Benchmark: delta encoding — store successive differences.
+
+Extension benchmark (not in the paper's Table 1): the forward program
+replaces each element by its difference with the predecessor; the
+inverse is the prefix-sum decoder.  The interesting synthesis wrinkle is
+the running accumulator: the decoder must re-accumulate *its own*
+output, not the encoder's state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program delta_encode [array A; int n; array D; int i; int prev] {
+  in(A, n);
+  assume(n >= 0);
+  i, prev := 0, 0;
+  while (i < n) {
+    D := upd(D, i, sel(A, i) - prev);
+    prev := sel(A, i);
+    i := i + 1;
+  }
+  out(D, n);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program delta_encode_inv [array D; int n; array Ap; int ip; int acc] {
+  ip, acc := [e1], [e2];
+  while ([p1]) {
+    acc := [e3];
+    Ap := [e4];
+    ip := [e5];
+  }
+  out(Ap, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program delta_encode_inv [array D; int n; array Ap; int ip; int acc] {
+  ip, acc := 0, 0;
+  while (ip < n) {
+    acc := acc + sel(D, ip);
+    Ap := upd(Ap, ip, acc);
+    ip := ip + 1;
+  }
+  out(Ap, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "ip + 1", "ip - 1",
+    "acc + sel(D, ip)", "acc - sel(D, ip)",
+    "upd(Ap, ip, acc)", "upd(Ap, ip, sel(D, ip))",
+    "upd(Ap, ip, acc + sel(D, ip))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ip < n", "ip > n", "0 < ip",
+])
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 4)
+    return {"A": [rng.randint(-4, 4) for _ in range(n)], "n": n}
+
+
+INITIAL_INPUTS = tuple(
+    {"A": list(a), "n": len(a)}
+    for a in ([], [3], [1, 1], [2, 5, 5], [4, 1, 7, 7])
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="delta_encode",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        max_pred_conj=2,
+        max_unroll=4,
+        bmc_unroll=8,
+        bmc_array_size=3,
+        bmc_value_range=(0, 3),
+    )
+    return Benchmark(
+        name="delta_encode",
+        group="compressor",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        in_paper=False,
+        paper=PaperNumbers(),
+        notes="Extension benchmark: prefix-sum decoder over an accumulator.",
+    )

@@ -1,0 +1,99 @@
+"""Benchmark: vector reverse — mirror an array about its midpoint.
+
+Extension benchmark (not in the paper's Table 1): reversal is an
+involution, so the synthesized inverse must rediscover the same
+mirrored-index read (``sel(R, n - 1 - ip)``) rather than a shifted or
+direct copy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..lang.parser import parse_expr, parse_pred, parse_program
+from ..pins.task import SynthesisTask
+from .base import Benchmark, PaperNumbers
+
+PROGRAM = parse_program("""
+program vector_reverse [array A; int n; array R; int i] {
+  in(A, n);
+  assume(n >= 0);
+  i := 0;
+  while (i < n) {
+    R := upd(R, i, sel(A, n - 1 - i));
+    i := i + 1;
+  }
+  out(R, n);
+}
+""")
+
+INVERSE_TEMPLATE = parse_program("""
+program vector_reverse_inv [array R; int n; array Ap; int ip] {
+  ip := [e1];
+  while ([p1]) {
+    Ap := [e2];
+    ip := [e3];
+  }
+  out(Ap, ip);
+}
+""")
+
+GROUND_TRUTH = parse_program("""
+program vector_reverse_inv [array R; int n; array Ap; int ip] {
+  ip := 0;
+  while (ip < n) {
+    Ap := upd(Ap, ip, sel(R, n - 1 - ip));
+    ip := ip + 1;
+  }
+  out(Ap, ip);
+}
+""")
+
+PHI_E = tuple(parse_expr(text) for text in [
+    "0", "1", "ip + 1", "ip - 1",
+    "upd(Ap, ip, sel(R, n - 1 - ip))",
+    "upd(Ap, ip, sel(R, ip))",
+    "upd(Ap, ip, sel(R, n - ip))",
+])
+
+PHI_P = tuple(parse_pred(text) for text in [
+    "ip < n", "ip > n", "0 < ip",
+])
+
+
+def input_gen(rng: random.Random) -> Dict[str, Any]:
+    n = rng.randint(0, 4)
+    return {"A": [rng.randint(-3, 3) for _ in range(n)], "n": n}
+
+
+INITIAL_INPUTS = tuple(
+    {"A": list(a), "n": len(a)}
+    for a in ([], [5], [1, 2], [3, 1, 4], [2, 7, 1, 8])
+)
+
+
+def benchmark() -> Benchmark:
+    task = SynthesisTask(
+        name="vector_reverse",
+        program=PROGRAM,
+        inverse=INVERSE_TEMPLATE,
+        phi_e=PHI_E,
+        phi_p=PHI_P,
+        input_gen=input_gen,
+        initial_inputs=INITIAL_INPUTS,
+        max_pred_conj=2,
+        max_unroll=4,
+        bmc_unroll=8,
+        bmc_array_size=3,
+        bmc_value_range=(0, 2),
+    )
+    return Benchmark(
+        name="vector_reverse",
+        group="arithmetic",
+        task=task,
+        ground_truth=GROUND_TRUTH,
+        in_paper=False,
+        paper=PaperNumbers(),
+        notes="Extension benchmark: reversal is an involution.",
+    )

@@ -1,0 +1,86 @@
+"""Golden per-program inverse-digest baselines.
+
+``golden_digests.json`` pins, for every program that stabilizes
+deterministically at the pinned config, the sha256 digest of the sorted
+pretty-printed inverse set (:meth:`PinsResult.inverse_digest`).  The
+pinned config uses *count* budgets only (no wall clock), so the cut
+point — and therefore the digest — is machine-independent.
+
+Slow-tier entries (``"slow": true``) are skip-marked by default; enable
+them with ``--golden-slow``.  After an intentional synthesis change,
+re-record the whole file with::
+
+    PYTHONPATH=src python -m pytest tests/baselines/test_golden_digests.py \
+        --regen-golden -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.suite import BENCHMARK_MODULES, get_benchmark
+
+GOLDEN_PATH = Path(__file__).with_name("golden_digests.json")
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+DETERMINISTIC_STATUSES = {
+    "stabilized", "no_solution", "paths_exhausted", "max_iterations",
+    "budget_exhausted",
+}
+
+
+def golden_config() -> PinsConfig:
+    cfg = GOLDEN["config"]
+    assert "wall" not in (cfg["budget"] or ""), \
+        "golden config must not use a wall budget (machine-dependent)"
+    return PinsConfig(m=cfg["m"], max_iterations=cfg["iters"],
+                      seed=cfg["seed"], budget=cfg["budget"])
+
+
+def run_golden(name: str):
+    result = run_pins(get_benchmark(name).task, golden_config())
+    return result.status, result.inverse_digest()
+
+
+@pytest.fixture(scope="module")
+def regen_sink(request):
+    """Collects regenerated entries and rewrites the JSON at teardown."""
+    sink = {}
+    yield sink
+    if request.config.getoption("--regen-golden") and sink:
+        data = {"config": GOLDEN["config"], "digests": sink}
+        GOLDEN_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+
+def test_golden_covers_only_registered_programs():
+    assert set(GOLDEN["digests"]) <= set(BENCHMARK_MODULES)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["digests"]))
+def test_golden_inverse_digest(name, request, regen_sink):
+    entry = GOLDEN["digests"][name]
+    regen = request.config.getoption("--regen-golden")
+    if (entry.get("slow") and not regen
+            and not request.config.getoption("--golden-slow")):
+        pytest.skip("slow golden tier; enable with --golden-slow")
+    status, digest = run_golden(name)
+    assert status in DETERMINISTIC_STATUSES
+    if regen:
+        record = {"status": status, "digest": digest}
+        if entry.get("slow"):
+            record["slow"] = True
+        regen_sink[name] = record
+        return
+    assert status == entry["status"], (
+        f"{name}: status {status!r} != golden {entry['status']!r} "
+        f"(regen with --regen-golden if intentional)")
+    assert digest == entry["digest"], (
+        f"{name}: inverse digest drifted from golden baseline "
+        f"({digest[:12]} vs {entry['digest'][:12]}); regen with "
+        f"--regen-golden if intentional)")

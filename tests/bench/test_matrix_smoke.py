@@ -1,0 +1,47 @@
+"""Full-suite synthesis smoke: every registered program, tightly budgeted.
+
+The Table-2 scale-out contract: under a tight :class:`repro.resil.Budget`
+every one of the 16 registered programs must come back with a clean
+terminal status — ``run_pins`` never lets an exception escape, and the
+result object is always well-formed (digest computable, stats coherent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.suite import BENCHMARK_MODULES, bench_profile, get_benchmark
+
+TERMINAL_STATUSES = {
+    "stabilized", "no_solution", "paths_exhausted", "max_iterations",
+    "budget_exhausted",
+}
+
+SMOKE_BUDGET = "smt=60;paths=6;wall=10"
+
+
+@pytest.mark.parametrize("name", BENCHMARK_MODULES)
+def test_program_reaches_terminal_status_under_tight_budget(name):
+    bench = get_benchmark(name)
+    config = PinsConfig(m=3, max_iterations=3, seed=1, budget=SMOKE_BUDGET)
+    result = run_pins(bench.task, config)
+    assert result.status in TERMINAL_STATUSES, (
+        f"{name}: unexpected status {result.status!r}")
+    # The result must be renderable into a bench record: digest over the
+    # (possibly empty) solution set, non-negative counters.
+    digest = result.inverse_digest()
+    assert len(digest) == 64
+    assert result.stats.iterations >= 0
+    assert result.stats.paths_explored >= 0
+    assert len(result.inverse_programs()) == len(result.solutions)
+    if result.status == "budget_exhausted":
+        assert result.stats.budget_exhausted
+
+
+def test_every_program_has_a_bench_profile_budget():
+    """The bench harness relies on profiles to keep slow programs
+    terminating; every registered program must carry one."""
+    for name in BENCHMARK_MODULES:
+        profile = bench_profile(name)
+        assert profile.budget is not None, name

@@ -26,6 +26,15 @@ def pytest_addoption(parser):
         "--no-absint", action="store_true", default=False,
         help="disable the repro.analysis abstract-interpretation layer "
              "(sets REPRO_ABSINT=0 for the whole run)")
+    parser.addoption(
+        "--golden-slow", action="store_true", default=False,
+        help="also run the slow-tier golden inverse-digest baselines "
+             "(tests/baselines/golden_digests.json entries marked slow)")
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="re-record tests/baselines/golden_digests.json from the "
+             "current code instead of asserting against it (implies "
+             "--golden-slow)")
 
 
 def pytest_configure(config):

@@ -1,0 +1,80 @@
+"""Process-history independence of term construction and synthesis.
+
+Terms are hash-consed with a process-global id counter, so anything
+ordered by ``Term.id`` depends on what was built earlier in the process.
+The commutative constructors (``mk_add``/``mk_mul``/``mk_eq``) and EUF
+model class values therefore order/number by structural keys instead —
+otherwise running benchmark A before benchmark B changes B's inverse
+digest relative to running B alone (the bug that made golden digests and
+the cross-label bench matrix gates unusable).  ``Term.__hash__`` is
+likewise structural (not the address-based default), so iterated term
+sets — e.g. the solver's trichotomy pass — cannot order by allocation
+history.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.smt.terms import INT, mk_add, mk_eq, mk_mul, mk_var
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_commutative_orientation_is_structural():
+    # Construction order must not influence operand order: build the
+    # operands fresh in both orders and the composed terms must agree.
+    a, b = mk_var("hist_a", INT), mk_var("hist_b", INT)
+    assert mk_eq(a, b) is mk_eq(b, a)
+    assert mk_mul(a, b) is mk_mul(b, a)
+    assert mk_add(a, b) is mk_add(b, a)
+    # The orientation follows the structural key, not the cons id.
+    composed = mk_add(a, b)
+    assert list(composed.args) == sorted(composed.args, key=lambda t: t.skey)
+
+
+def test_skey_is_deterministic_across_processes():
+    prog = ("from repro.smt.terms import INT, mk_add, mk_var;"
+            "t = mk_add(mk_var('x', INT), mk_var('y', INT));"
+            "print(t.skey.hex(), hash(t))")
+    outs = {
+        subprocess.run([sys.executable, "-c", prog], check=True,
+                       capture_output=True, text=True,
+                       env={"PYTHONPATH": SRC, "PYTHONHASHSEED": str(seed)},
+                       ).stdout.strip()
+        for seed in (0, 1)
+    }
+    assert len(outs) == 1
+
+
+def test_term_hash_is_structural_not_address():
+    # A Set[Term] iterated anywhere in the solver must not order by
+    # allocation addresses (the default object hash): that made clause
+    # order — and whole synthesis trajectories — flip with the process's
+    # allocation history (e.g. merely enabling REPRO_TRACE changed
+    # pkt_wrapper's stabilized inverse).
+    t = mk_add(mk_var("hash_a", INT), mk_var("hash_b", INT))
+    # hash() folds the returned int through the int hash (mod 2**61 - 1).
+    assert hash(t) == hash(int.from_bytes(t.skey[:8], "big"))
+    assert hash(t) != object.__hash__(t)
+
+
+def test_inverse_digest_independent_of_prior_runs():
+    """Same task + config => same digest, with or without a prefix run."""
+    prog = """
+from repro.pins import PinsConfig, run_pins
+from repro.suite import get_benchmark
+cfg = PinsConfig(m=3, max_iterations=4, seed=1, budget="smt=60")
+import sys
+for name in sys.argv[1:]:
+    run_pins(get_benchmark(name).task, cfg)
+r = run_pins(get_benchmark("sumi").task, cfg)
+print(r.status, r.inverse_digest())
+"""
+    def run(*prefix):
+        out = subprocess.run(
+            [sys.executable, "-c", prog, *prefix], check=True,
+            capture_output=True, text=True, env={"PYTHONPATH": SRC})
+        return out.stdout.strip()
+
+    assert run() == run("delta_encode")

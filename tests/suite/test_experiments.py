@@ -1,8 +1,13 @@
 """Experiment-driver tests (table rendering and row generation)."""
 
+import pytest
+
 from repro.experiments.tables import (
+    BENCH_MATRIX_HEADERS,
     TABLE1_HEADERS,
+    bench_matrix_rows,
     render,
+    render_bench_matrix,
     table1,
     table1_row,
 )
@@ -35,3 +40,67 @@ def test_mined_sizes_in_paper_band():
     for row in table1():
         mined = row[3]
         assert 3 <= mined <= 60, row[0]
+
+
+# -- recorded bench-matrix rendering (python -m repro.experiments table2) ----
+
+
+def _record(status="stabilized", queries=93, digest="e087b5ac" * 8):
+    return {"status": status, "paths": 7, "iterations": 8,
+            "smt_queries": queries, "cache_hit_rate": 0.5,
+            "wall_time_s": 1.2345, "solutions": 2, "inverse_digest": digest}
+
+
+def _data(names):
+    return {"labels": {"full-suite": {
+        "benchmarks": {name: _record() for name in names}}}}
+
+
+def test_bench_matrix_rows_registry_order_and_shape():
+    data = _data(["vector_shift", "sumi", "zz_unregistered"])
+    rows = bench_matrix_rows(data, "full-suite")
+    # registry order first, unknown names appended
+    assert [r[0] for r in rows] == ["sumi", "vector_shift", "zz_unregistered"]
+    for row in rows:
+        assert len(row) == len(BENCH_MATRIX_HEADERS)
+    sumi_row = rows[0]
+    assert sumi_row[1] == "stabilized"
+    assert sumi_row[8] == ("e087b5ac" * 8)[:12]
+    # sumi has a published Table-2 row; the unregistered name does not
+    assert sumi_row[9] == get_benchmark("sumi").paper.iterations
+    assert rows[2][9] == "-"
+
+
+def test_bench_matrix_extension_benchmarks_have_no_paper_column():
+    rows = bench_matrix_rows(_data(["delta_encode"]), "full-suite")
+    assert rows[0][9] == "-" and rows[0][10] == "-"
+
+
+def test_bench_matrix_unknown_label_lists_recorded_ones():
+    with pytest.raises(KeyError) as exc:
+        bench_matrix_rows(_data(["sumi"]), "nope")
+    assert "full-suite" in str(exc.value)
+
+
+def test_render_bench_matrix_is_aligned_text():
+    text = render_bench_matrix(_data(["sumi", "runlength"]), "full-suite")
+    lines = text.splitlines()
+    assert lines[0].split()[0] == "benchmark"
+    assert len(lines) == 4  # header, rule, two rows
+
+
+def test_experiments_main_renders_recorded_matrix(tmp_path, capsys):
+    import json
+
+    from repro.experiments.__main__ import main as experiments_main
+
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(_data(["sumi", "delta_encode"])))
+    assert experiments_main(["table2", "--bench-json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sumi" in out and "delta_encode" in out and "benchmark" in out
+
+    assert experiments_main(["table2", "--bench-json", str(path),
+                             "--label", "nope"]) == 1
+    assert experiments_main(["table2", "--bench-json",
+                             str(tmp_path / "missing.json")]) == 1

@@ -3,21 +3,72 @@
 import pytest
 
 from repro.lang import ast
-from repro.suite import BENCHMARK_MODULES, all_benchmarks, get_benchmark
+from repro.suite import (
+    BENCH_SETS,
+    BENCHMARK_MODULES,
+    EXTENSION_BENCHMARKS,
+    PAPER_BENCHMARKS,
+    all_benchmarks,
+    bench_profile,
+    bench_set,
+    get_benchmark,
+)
 from repro.validate.roundtrip import random_pool, validate_inverse
 
 
-def test_registry_has_fourteen_benchmarks():
-    assert len(BENCHMARK_MODULES) == 14
+def test_registry_has_sixteen_benchmarks():
+    assert len(PAPER_BENCHMARKS) == 14  # the paper's Table 1
+    assert len(BENCHMARK_MODULES) == 16  # + two extension benchmarks
+    assert BENCHMARK_MODULES == PAPER_BENCHMARKS + EXTENSION_BENCHMARKS
     benchmarks = all_benchmarks()
     assert set(benchmarks) == set(BENCHMARK_MODULES)
+
+
+def test_get_benchmark_typo_lists_registry():
+    with pytest.raises(KeyError) as exc:
+        get_benchmark("sumj")
+    message = str(exc.value)
+    assert "sumj" in message
+    for name in BENCHMARK_MODULES:
+        assert name in message
 
 
 def test_groups_match_paper():
     groups = {b.group for b in all_benchmarks().values()}
     assert groups == {"compressor", "encoder", "arithmetic"}
-    compressors = [n for n, b in all_benchmarks().items() if b.group == "compressor"]
+    compressors = [n for n, b in all_benchmarks().items()
+                   if b.group == "compressor" and b.in_paper]
     assert set(compressors) == {"inplace_rl", "runlength", "lz77", "lzw"}
+
+
+def test_extension_benchmarks_marked():
+    for name in EXTENSION_BENCHMARKS:
+        assert not get_benchmark(name).in_paper
+    for name in PAPER_BENCHMARKS:
+        assert get_benchmark(name).in_paper
+
+
+def test_bench_sets_partition_registry():
+    fast, slow = bench_set("fast"), bench_set("slow")
+    assert set(fast) | set(slow) == set(BENCHMARK_MODULES)
+    assert not set(fast) & set(slow)
+    assert bench_set("all") == list(BENCHMARK_MODULES)
+    # registry order is preserved within each set
+    assert fast == [n for n in BENCHMARK_MODULES if n in set(fast)]
+    with pytest.raises(KeyError):
+        bench_set("medium")
+    assert set(BENCH_SETS) == {"fast", "slow", "all"}
+
+
+def test_every_benchmark_has_a_profile():
+    from repro.suite.profiles import PROFILES
+
+    assert set(PROFILES) == set(BENCHMARK_MODULES)
+    for name in BENCHMARK_MODULES:
+        profile = bench_profile(name)
+        assert profile.set in ("fast", "slow")
+        assert profile.budget, f"{name}: bench runs must be budgeted"
+        assert profile.queries_slack >= 0.0
 
 
 @pytest.mark.parametrize("name", BENCHMARK_MODULES)
@@ -84,5 +135,7 @@ def test_inputs_are_generatable(name):
 
 def test_paper_numbers_recorded():
     for name, bench in all_benchmarks().items():
+        if not bench.in_paper:
+            continue  # extension benchmarks have no published row
         assert bench.paper.loc > 0, name
         assert bench.paper.iterations > 0, name

@@ -155,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--jobs", type=int, default=None,
                     help="worker processes for parallel probe fan-out")
+    ap.add_argument("--workers", choices=("persistent", "fork", "serial"),
+                    default=None,
+                    help="worker strategy for --jobs > 1: 'persistent' "
+                         "forks one warm fleet per run, 'fork' (default) "
+                         "forks per iteration, 'serial' disables the pool")
+    ap.add_argument("--no-incremental", action="store_true",
+                    help="disable assumption-based incremental SMT "
+                         "contexts (restores one-shot solving) for A/B "
+                         "runs")
     ap.add_argument("--query-cache", default=None,
                     help="SMT query-cache spec: 'mem', a file, or a dir/")
     ap.add_argument("--no-validate", action="store_true",
@@ -197,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fractional headroom for --check-queries-against "
                          "(0.05 allows 5%% more queries than the record); "
                          "per-program profile slack is added on top")
+    ap.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                    help="exit 1 unless this label's total-wall speedup vs "
+                         "the recorded serial-baseline label is > X "
+                         "(perf-regression gate; requires --bench-json)")
     return ap
 
 
@@ -245,9 +258,11 @@ def main() -> int:
             budget = profile.budget
         config = PinsConfig(m=args.m, max_iterations=args.iters,
                             seed=args.seed, jobs=args.jobs,
+                            workers=args.workers,
                             query_cache=args.query_cache,
                             absint=False if args.no_absint else None,
                             fwdbwd=False if args.no_fwdbwd else None,
+                            incremental=False if args.no_incremental else None,
                             budget=budget, faults=args.faults)
         t0 = time.time()
         result = run_pins(task, config)
@@ -337,7 +352,8 @@ def main() -> int:
         # (per-benchmark --m/--iters) accumulate one record set.
         entry = bench_data["labels"].setdefault(
             args.bench_label,
-            {"jobs": args.jobs, "query_cache": args.query_cache,
+            {"jobs": args.jobs, "workers": args.workers,
+             "query_cache": args.query_cache,
              "seed": args.seed, "benchmarks": {}})
         entry["benchmarks"].update(records)
         baseline = bench_data["labels"].get(BASELINE_LABEL)
@@ -361,6 +377,25 @@ def main() -> int:
         save_bench_json(args.bench_json, bench_data)
         print(f"bench record '{args.bench_label}' written to "
               f"{args.bench_json}", flush=True)
+
+    if args.min_speedup is not None:
+        speedup = None
+        if bench_data is not None:
+            speedup = (bench_data["labels"]
+                       .get(args.bench_label, {})
+                       .get("speedup_vs_serial_baseline"))
+        if speedup is None:
+            print(f"!! --min-speedup {args.min_speedup} given but no "
+                  f"speedup vs {BASELINE_LABEL} was computed "
+                  f"(need --bench-json and a recorded baseline)", flush=True)
+            exit_code = 1
+        elif speedup <= args.min_speedup:
+            print(f"!! speedup regression: {speedup}x vs {BASELINE_LABEL} "
+                  f"is not above the {args.min_speedup}x floor", flush=True)
+            exit_code = 1
+        else:
+            print(f"speedup {speedup}x clears the "
+                  f"{args.min_speedup}x floor", flush=True)
 
     return exit_code
 

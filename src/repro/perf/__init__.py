@@ -23,17 +23,22 @@ from .cache import (
 from .pool import (
     ENV_JOBS,
     ENV_POOL_TIMEOUT,
+    ENV_WORKERS,
     PerfContext,
+    PersistentWorkerPool,
     WorkerPool,
     resolve_jobs,
     resolve_task_timeout,
+    resolve_workers,
 )
 
 __all__ = [
     "ENV_JOBS",
     "ENV_POOL_TIMEOUT",
     "ENV_QUERY_CACHE",
+    "ENV_WORKERS",
     "PerfContext",
+    "PersistentWorkerPool",
     "QueryCache",
     "WorkerPool",
     "extract_witness",
@@ -42,4 +47,5 @@ __all__ = [
     "resolve_cache_spec",
     "resolve_jobs",
     "resolve_task_timeout",
+    "resolve_workers",
 ]

@@ -229,30 +229,56 @@ class QueryCache:
 
     # -- lookup / store -----------------------------------------------------
 
-    def lookup(self, key: str, formulas: Sequence[Term]
+    def lookup(self, key: str, formulas: Sequence[Term],
+               need_model: bool = True
                ) -> Optional[Tuple[str, Optional[Model]]]:
-        """The cached ``(status, model)`` for ``key``, or None on miss."""
+        """The cached ``(status, model)`` for ``key``, or None on miss.
+
+        ``need_model=False`` (status-only probes routed through warm
+        incremental contexts) skips the sat-model re-verification: the
+        key is a full structural sha1, the same guarantee ``unsat`` hits
+        already rely on, and the model itself is never served unverified
+        — the hit is ``(sat, None)``.  A status-only memory entry
+        ``(sat, None)`` looked up with ``need_model=True`` is served
+        as-is *after* the disk tier gets a chance to supply a witness;
+        the solver upgrades it with an uncharged one-shot solve.
+        """
+        status_only: Optional[Tuple[str, Optional[Model]]] = None
         entry = self._mem.get(key)
         if entry is not None:
             status, model = entry
-            if status == UNSAT or (model is not None and self._verifies(
-                    model, formulas)):
+            if status == UNSAT:
                 self.hits += 1
                 return (status, model)
-            # Failed re-verification: a collision or an unreplayable
-            # model.  Drop the entry so we stop paying the check.
-            del self._mem[key]
+            if not need_model:
+                self.hits += 1
+                return (SAT, None)
+            if model is not None:
+                if self._verifies(model, formulas):
+                    self.hits += 1
+                    return (status, model)
+                # Failed re-verification: a collision or an unreplayable
+                # model.  Drop the entry so we stop paying the check.
+                del self._mem[key]
+            else:
+                status_only = (SAT, None)
         disk_entry = self._disk.get(key)
         if disk_entry is not None:
             if disk_entry["status"] == UNSAT:
                 self.hits += 1
                 self._remember(key, UNSAT, None)
                 return (UNSAT, None)
+            if not need_model:
+                self.hits += 1
+                return (SAT, None)
             model = rebuild_model(disk_entry.get("witness"), formulas)
             if model is not None and self._verifies(model, formulas):
                 self.hits += 1
                 self._remember(key, SAT, model)
                 return (SAT, model)
+        if status_only is not None:
+            self.hits += 1
+            return status_only
         self.misses += 1
         return None
 

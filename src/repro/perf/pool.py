@@ -33,8 +33,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_mod
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..resil import faults
@@ -48,9 +49,24 @@ ENV_POOL_TIMEOUT = "REPRO_POOL_TIMEOUT"
 worker wedged and degrades the batch to serial re-execution.  Unset (the
 default): wait forever, matching plain ``multiprocessing`` behaviour."""
 
+ENV_WORKERS = "REPRO_WORKERS"
+"""Worker strategy: ``persistent`` (one long-lived fleet per run, warm
+solver state), ``fork`` (a fresh pool per PINS iteration), or ``serial``.
+``PinsConfig.workers`` wins over the env var; the default is ``fork``
+whenever ``jobs > 1`` so existing configurations keep their behaviour."""
+
+ENV_WARMUP_TIMEOUT = "REPRO_POOL_WARMUP_TIMEOUT"
+"""Seconds the parent waits for a persistent worker's ready handshake
+before declaring it wedged and degrading the whole run to serial."""
+
 _POLL_S = 0.2
 """How often the parent wakes while waiting on a worker result to check
 for dead workers and the per-task timeout."""
+
+_WARMUP_TIMEOUT_S = 30.0
+"""Default persistent-worker warm-up handshake deadline.  Unlike the
+per-task timeout this is never ``None``: a worker that wedges before its
+first heartbeat would otherwise stall ``run_pins`` forever."""
 
 
 def resolve_task_timeout(config_value: Optional[float]) -> Optional[float]:
@@ -133,9 +149,11 @@ def _run_task(task: Tuple) -> object:
         # pickOne's infeasible(S) probe; the model is dropped from the
         # reply (the score only needs the status) to keep replies small.
         _, idx, solution = task
-        ground = substitute_items(_CTX.explored[idx].items,
+        path = _CTX.explored[idx]
+        ground = substitute_items(path.items,
                                   solution.expr_map, solution.pred_map)
-        status, _model = _CTX.checker._check_sat(ground, want_model=False)
+        status, _model = _CTX.checker._check_sat(ground, want_model=False,
+                                                 inc_src=path)
         return (status, None)
     if kind == "avoid_feasible":
         _, idx, expr_map, pred_map = task
@@ -158,6 +176,33 @@ def resolve_jobs(config_jobs: Optional[int]) -> int:
         except ValueError:
             pass
     return 1
+
+
+def resolve_workers(config_workers: Optional[str]) -> str:
+    """Effective worker strategy: config wins, then ``REPRO_WORKERS``,
+    then ``"fork"`` (the historical per-iteration pool)."""
+    val = config_workers
+    if val is None:
+        val = os.environ.get(ENV_WORKERS, "").strip().lower() or None
+    if val in ("persistent", "fork", "serial"):
+        return val
+    return "fork"
+
+
+def resolve_warmup_timeout(config_value: Optional[float]) -> float:
+    """Warm-up handshake deadline: config, then env, then the default.
+    Never ``None`` — see :data:`_WARMUP_TIMEOUT_S`."""
+    if config_value is not None and float(config_value) > 0:
+        return float(config_value)
+    env = os.environ.get(ENV_WARMUP_TIMEOUT, "").strip()
+    if env:
+        try:
+            val = float(env)
+            if val > 0:
+                return val
+        except ValueError:
+            pass
+    return _WARMUP_TIMEOUT_S
 
 
 class WorkerPool:
@@ -298,6 +343,254 @@ class WorkerPool:
             self._pool = None
 
     def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _persistent_worker_main(ctx: PerfContext, task_q, result_q,
+                            worker_id: int) -> None:
+    """Long-lived worker loop: warm up, then drain tasks until ``stop``.
+
+    The first queue message is the parent's warm-up directive — normally
+    ``("warmup",)``, or a fault-injected ``resil.*`` task standing in for
+    a worker that wedges or dies before its first heartbeat.  Only after
+    processing it does the worker send ``("ready", ...)``; the parent's
+    handshake deadline therefore covers injected warm-up faults too.
+    """
+    _init_worker(ctx)
+    first = task_q.get()
+    if first[0] == "resil.crash":
+        os._exit(13)
+    if first[0] == "resil.hang":
+        time.sleep(3600)
+    result_q.put(("ready", worker_id, None))
+    while True:
+        msg = task_q.get()
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "sync":
+            # Snapshot deltas: extend, never replace — tasks reference
+            # entries by index into the fork-time prefix plus deltas.
+            _, dc, de = msg
+            assert _CTX is not None
+            _CTX.constraints = _CTX.constraints + dc
+            _CTX.explored = _CTX.explored + de
+            continue
+        _, seq, task = msg
+        try:
+            result = _run_task(task)
+        except BaseException as exc:
+            result_q.put(("error", seq, repr(exc)))
+            continue
+        result_q.put(("result", seq, result))
+
+
+class PersistentWorkerPool:
+    """A warm worker fleet forked once per run (``workers=persistent``).
+
+    The per-iteration :class:`WorkerPool` pays a full fork (and first-
+    query solver cold start) every PINS iteration, and each fork discards
+    whatever the previous fleet learned.  This pool forks its workers
+    once; each holds the interned term graph, its checker's warm
+    incremental SMT contexts, and the query cache's memory tier across
+    the whole run, so later iterations start hot.  Parent-side list
+    growth is shipped as pickled deltas through :meth:`sync` (terms
+    re-enter the worker's hash-cons table on unpickle, preserving
+    identity semantics).
+
+    The determinism contract is unchanged (DESIGN.md §10): tasks are
+    dealt round-robin — a pure function of submission index — results
+    are reassembled and folded in submission order, and every probe is a
+    pure function of (task, context), so a persistent run is
+    bit-identical to a fork or serial one.
+
+    Resilience mirrors :class:`WorkerPool` and adds a warm-up handshake:
+    every worker must answer ``ready`` within ``warmup_timeout`` seconds
+    of being forked (a worker wedged in warm-up — e.g. the
+    ``pool.worker_hang`` fault at hit 0 — would otherwise stall
+    ``run_pins`` with no task in flight to time out).  Any warm-up or
+    batch failure tears the whole fleet down and the run continues
+    serially; there is no mid-run refork, keeping the degradation
+    cascade one-way and the trajectory deterministic.
+    """
+
+    def __init__(self, jobs: int, ctx: PerfContext,
+                 task_timeout: Optional[float] = None,
+                 warmup_timeout: Optional[float] = None):
+        self.jobs = max(1, jobs)
+        self.ctx = ctx
+        self.task_timeout = resolve_task_timeout(task_timeout)
+        self.warmup_timeout = resolve_warmup_timeout(warmup_timeout)
+        self._procs: Optional[List] = None
+        self._task_qs: List = []
+        self._result_q = None
+        self._shipped = (len(ctx.constraints), len(ctx.explored))
+        effective = self.jobs
+        if os.environ.get(ENV_JOBS_FORCE, "").strip() not in ("1", "true"):
+            effective = min(effective, os.cpu_count() or 1)
+        if effective <= 1:
+            return
+        try:
+            mp = multiprocessing.get_context("fork")
+        except ValueError:
+            return
+        self._result_q = mp.Queue()
+        procs = []
+        for wid in range(effective):
+            tq = mp.Queue()
+            p = mp.Process(target=_persistent_worker_main,
+                           args=(ctx, tq, self._result_q, wid), daemon=True)
+            p.start()
+            warmup: Tuple = ("warmup",)
+            if faults.should_fail("pool.worker_crash"):
+                warmup = ("resil.crash",)
+            elif faults.should_fail("pool.worker_hang"):
+                warmup = ("resil.hang",)
+            tq.put(warmup)
+            self._task_qs.append(tq)
+            procs.append(p)
+        self._procs = procs
+        if not self._await_warmup():
+            obs.count("resil.pool.degraded")
+            obs.count("resil.pool.warmup_failed")
+            self._teardown()
+
+    def _await_warmup(self) -> bool:
+        """Collect every worker's ready heartbeat within the deadline."""
+        assert self._procs is not None
+        ready: set = set()
+        deadline = time.monotonic() + self.warmup_timeout
+        while len(ready) < len(self._procs):
+            try:
+                kind, wid, _ = self._result_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                if any(p.exitcode is not None for p in self._procs):
+                    return False
+                if time.monotonic() >= deadline:
+                    return False
+                continue
+            if kind == "ready":
+                ready.add(wid)
+                obs.count("perf.pool.worker_warm_start")
+        return True
+
+    @property
+    def parallel(self) -> bool:
+        return self._procs is not None
+
+    def sync(self, constraints: Sequence, explored: Sequence) -> None:
+        """Ship list growth since the last sync to every worker.
+
+        Must be called between batches (the queues are idle then, so the
+        FIFO guarantees every worker applies the delta before any task
+        that references it).  Also refreshes the parent-side snapshots
+        used by the serial fallback.
+        """
+        self.ctx.constraints = tuple(constraints)
+        self.ctx.explored = tuple(explored)
+        if self._procs is None:
+            return
+        nc, ne = self._shipped
+        dc = tuple(constraints[nc:])
+        de = tuple(explored[ne:])
+        if dc or de:
+            for tq in self._task_qs:
+                tq.put(("sync", dc, de))
+        self._shipped = (len(constraints), len(explored))
+
+    def map_ordered(self, tasks: Sequence[Tuple]) -> List[object]:
+        """Run ``tasks`` on the fleet; results in submission order.
+
+        Same degradation semantics as :meth:`WorkerPool.map_ordered`,
+        except a degraded fleet stays down for the rest of the run.
+        """
+        if self._procs is None:
+            global _CTX
+            _CTX = self.ctx
+            return [_run_task(t) for t in tasks]
+        obs.count("perf.pool.tasks", len(tasks))
+        run_tasks = list(tasks)
+        if faults.active_plan() is not None:
+            run_tasks = [self._fault_task(t) for t in run_tasks]
+        for i, t in enumerate(run_tasks):
+            self._task_qs[i % len(self._task_qs)].put(("task", i, t))
+        results: List[object] = []
+        buffered: Dict[int, object] = {}
+        try:
+            for i in range(len(run_tasks)):
+                results.append(self._next_result(i, buffered))
+        except _PoolDegraded as exc:
+            obs.count("resil.pool.degraded")
+            obs.count(f"resil.pool.{exc.reason}")
+            return self._serial_fallback(tasks, results)
+        return results
+
+    def _fault_task(self, task: Tuple) -> Tuple:
+        if faults.should_fail("pool.worker_crash"):
+            return ("resil.crash",)
+        if faults.should_fail("pool.worker_hang"):
+            return ("resil.hang",)
+        return task
+
+    def _next_result(self, seq: int, buffered: Dict[int, object]) -> object:
+        """The result for submission index ``seq``, buffering later ones."""
+        waited = 0.0
+        while True:
+            if seq in buffered:
+                return buffered.pop(seq)
+            try:
+                kind, rseq, payload = self._result_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                waited += _POLL_S
+                assert self._procs is not None
+                if any(p.exitcode is not None for p in self._procs):
+                    raise _PoolDegraded("worker_death")
+                if (self.task_timeout is not None
+                        and waited >= self.task_timeout):
+                    raise _PoolDegraded("task_timeout")
+                continue
+            if kind == "error":
+                raise _PoolDegraded("task_error")
+            buffered[rseq] = payload
+
+    def _serial_fallback(self, tasks: Sequence[Tuple],
+                         results: List[object]) -> List[object]:
+        """Finish a degraded batch in the parent; the fleet stays down.
+
+        Only the contiguous in-order prefix is kept — buffered
+        out-of-order results are discarded so the merged list is exactly
+        what a serial run would produce from ``tasks``.
+        """
+        self._teardown()
+        global _CTX
+        _CTX = self.ctx
+        return list(results) + [_run_task(t) for t in tasks[len(results):]]
+
+    def _teardown(self) -> None:
+        if self._procs is None:
+            return
+        for p in self._procs:
+            if p.exitcode is None:
+                p.terminate()
+        for p in self._procs:
+            p.join(timeout=5)
+        self._procs = None
+        self._task_qs = []
+
+    def close(self) -> None:
+        if self._procs is None:
+            return
+        for tq in self._task_qs:
+            tq.put(("stop",))
+        deadline = time.monotonic() + 2.0
+        for p in self._procs:
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._teardown()
+
+    def __enter__(self) -> "PersistentWorkerPool":
         return self
 
     def __exit__(self, *exc) -> None:

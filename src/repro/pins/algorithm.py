@@ -97,6 +97,25 @@ class PinsConfig:
     ``REPRO_JOBS`` env var; 1 (the default) runs fully serial.  Parallel
     runs are bit-identical to serial ones — results are folded in
     submission order (DESIGN.md §10)."""
+    workers: Optional[str] = None
+    """Worker strategy when ``jobs > 1``: ``"persistent"`` forks one
+    long-lived fleet per run (workers keep their interned term graph,
+    warm incremental SMT contexts, and query-cache memory tier across
+    iterations), ``"fork"`` forks a fresh pool per iteration (the
+    historical behaviour), ``"serial"`` disables the pool regardless of
+    ``jobs``.  ``None`` defers to the ``REPRO_WORKERS`` env var
+    (default: ``"fork"``).  All strategies produce bit-identical
+    results; only wall time differs."""
+    incremental: Optional[bool] = None
+    """Use assumption-based incremental SMT contexts: the checker keeps
+    a warm solver per query family (shared hole-free base) and answers
+    each candidate query by asserting only the delta under a fresh
+    assumption literal, retaining learned clauses and theory lemmas
+    across queries.  Status-only: any query needing a model still runs
+    the one-shot path, so counterexamples — and hence the synthesis
+    trajectory and inverse digests — are bit-identical with the feature
+    on or off.  ``None`` defers to the ``REPRO_INCREMENTAL`` env var
+    (default: enabled)."""
     query_cache: Optional[str] = None
     """SMT query-result cache spec: ``"mem"`` for the in-memory tier
     only, a file/directory path to add the on-disk JSONL tier for
@@ -351,7 +370,8 @@ def run_pins(task: SynthesisTask, config: Optional[PinsConfig] = None) -> PinsRe
 
 def _run_pins(task: SynthesisTask, config: PinsConfig,
               metrics: obs.Metrics) -> PinsResult:
-    from ..perf import PerfContext, WorkerPool, query_cache_for, resolve_jobs
+    from ..perf import (PerfContext, PersistentWorkerPool, WorkerPool,
+                        query_cache_for, resolve_jobs, resolve_workers)
 
     rng = random.Random(config.seed)
     started = time.perf_counter()
@@ -381,6 +401,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             absint=absint_on,
             fwdbwd=config.fwdbwd,
             budget=budget,
+            incremental=config.incremental,
         )
         constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
         session = SolveSession(template.space, prune_report=template.prune_report)
@@ -453,13 +474,32 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
     solutions: List[Solution] = []
     best_solutions: List[Solution] = []
     jobs = resolve_jobs(config.jobs)
-    pool: Optional[WorkerPool] = None
+    workers = resolve_workers(config.workers)
+    if workers == "serial":
+        jobs = 1
+    pool = None
+    persistent: Optional[PersistentWorkerPool] = None
+    if workers == "persistent" and jobs > 1:
+        # One warm fleet for the whole run: forked here (inheriting the
+        # caches built during setup), fed snapshot deltas via sync()
+        # before each iteration's batches.  If warm-up degrades the
+        # fleet, the run stays serial — no mid-run refork.
+        persistent = PersistentWorkerPool(jobs, PerfContext(
+            checker=checker, oracle=executor.oracle,
+            constraints=constraints, explored=explored),
+            task_timeout=config.pool_task_timeout)
 
     try:
         for _ in range(config.max_iterations):
             if budget is not None:
                 budget.check()  # wall deadline; handled as best-so-far below
-            if jobs > 1:
+            if persistent is not None:
+                if query_cache is not None:
+                    query_cache.refresh()
+                persistent.sync(constraints, explored)
+                pool = persistent if persistent.parallel else None
+                executor.attach_pool(pool)
+            elif jobs > 1:
                 # A fresh pool per iteration: workers inherit the current
                 # constraints/explored lists and every cache the parent
                 # has accumulated (checker sat cache, oracle cache, query
@@ -530,7 +570,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
                 constraints.append(safepath(path, spec, label=f"path{len(explored)}"))
                 constraints.extend(init_constraints(path, desugared.body,
                                                     label_prefix=f"path{len(explored)}"))
-            if pool is not None:
+            if pool is not None and pool is not persistent:
                 pool.close()
                 pool = None
                 executor.attach_pool(None)
@@ -541,8 +581,10 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
         status = BUDGET_EXHAUSTED
         solutions = list(best_solutions)
     finally:
-        if pool is not None:
+        if pool is not None and pool is not persistent:
             pool.close()
+        if persistent is not None:
+            persistent.close()
         if query_cache is not None:
             query_cache.close()
 

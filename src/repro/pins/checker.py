@@ -84,9 +84,11 @@ class ConstraintChecker:
                  query_cache: Optional[object] = None,
                  absint: Optional[bool] = None,
                  budget: Optional[object] = None,
-                 fwdbwd: Optional[bool] = None):
+                 fwdbwd: Optional[bool] = None,
+                 incremental: Optional[bool] = None):
         from ..analysis.absint import absint_enabled
         from ..analysis.fwdbwd import fwdbwd_enabled
+        from ..smt.incremental import ContextPool, incremental_enabled
 
         self.sorts = dict(sorts)
         self.sorts.setdefault(SPEC_INDEX_VAR, Sort.INT)
@@ -102,6 +104,11 @@ class ConstraintChecker:
         this checker creates; exhausted queries answer ``unknown``."""
         self.absint = absint_enabled(absint)
         self.fwdbwd = fwdbwd_enabled(fwdbwd, self.absint)
+        self.incremental = incremental_enabled(incremental)
+        self._inc_pool = ContextPool() if self.incremental else None
+        self._inc_bases: Dict[int, Tuple[object, Tuple]] = {}
+        """``id(constraint_or_path) -> (pinned source, base terms)``.  The
+        source object is pinned so its id can never be recycled."""
         self.fwdbwd_report = None
         """Optional :class:`repro.analysis.fwdbwd.FwdBwdReport` attached
         by the PINS driver; consulted by pickOne's infeasibility score."""
@@ -110,7 +117,8 @@ class ConstraintChecker:
 
     # -- SMT plumbing -------------------------------------------------------
 
-    def _check_sat(self, preds: Sequence[Pred], want_model: bool
+    def _check_sat(self, preds: Sequence[Pred], want_model: bool,
+                   inc_src: Optional[object] = None
                    ) -> Tuple[str, Optional[smt.Model]]:
         key = tuple(preds)
         cached = self._sat_cache.get(key)
@@ -125,21 +133,62 @@ class ConstraintChecker:
                             lia_branch_limit=self.lia_branch_limit,
                             query_cache=self.query_cache,
                             budget=self.budget)
+        incremental = False
+        if self._inc_pool is not None and inc_src is not None:
+            base = self._inc_base_terms(inc_src)
+            if base:
+                solver.attach_incremental(self._inc_pool, base)
+            incremental = True
         try:
             for pred in preds:
                 solver.add(translator.pred(pred))
-            status = solver.check()
+            # With incremental contexts off, call check() exactly as the
+            # historical code did; status-only answers exist only behind
+            # the REPRO_INCREMENTAL gate.
+            status = (solver.check(want_model=want_model) if incremental
+                      else solver.check())
         except TranslationError:
             raise
         except Exception:
             status = smt.UNKNOWN
-        model = solver.model() if status == smt.SAT else None
+        model = solver.model_if_available() if status == smt.SAT else None
         self.stats.smt_time += time.perf_counter() - start
         self.stats.sat_clauses_peak = max(self.stats.sat_clauses_peak,
                                           solver.stats.sat_clauses)
         result = (status, model)
         self._sat_cache[key] = result
         return result
+
+    def _inc_base_terms(self, src: object) -> Tuple:
+        """SMT terms of ``src.items``'s hole-free conjuncts (memoized).
+
+        These conjuncts are identical across every candidate solution
+        checked against ``src`` (substitution only rewrites hole items),
+        and terms are hash-consed, so the tuple keys a warm incremental
+        context shared by the whole query family.
+        """
+        entry = self._inc_bases.get(id(src))
+        if entry is not None and entry[0] is src:
+            return entry[1]
+        from ..lang.ast import expr_unknowns
+        from ..symexec.paths import Def, Guard
+
+        def has_holes(item: object) -> bool:
+            target = item.expr if isinstance(item, Def) else item.pred
+            return bool(expr_unknowns(target))
+
+        terms: Tuple = ()
+        try:
+            fixed = [it for it in src.items
+                     if isinstance(it, (Def, Guard)) and not has_holes(it)]
+            if fixed:
+                ground = substitute_items(fixed, {}, {})
+                translator = Translator(self.sorts, self.externs)
+                terms = tuple(translator.pred(p) for p in ground)
+        except Exception:
+            terms = ()
+        self._inc_bases[id(src)] = (src, terms)
+        return terms
 
     def has_cached(self, preds: Sequence[Pred]) -> bool:
         """True when ``_check_sat`` on these preds would be a cache hit."""
@@ -351,13 +400,16 @@ class ConstraintChecker:
     def _check_safepath(self, constraint: Constraint, solution: Solution,
                         ground: List[Pred]) -> CheckOutcome:
         assert constraint.spec is not None
-        status, _ = self._check_sat(ground, want_model=False)
+        status, _ = self._check_sat(ground, want_model=False,
+                                    inc_src=constraint)
         if status == smt.UNSAT:
             return CheckOutcome(HOLDS, vacuous=True)
         saw_unknown = status == smt.UNKNOWN
         saw_spurious = False
         for disjunct in constraint.spec.negated_disjuncts(constraint.final_vmap):
-            d_status, model = self._check_sat(ground + [disjunct], want_model=True)
+            d_status, model = self._check_sat(ground + [disjunct],
+                                              want_model=True,
+                                              inc_src=constraint)
             if d_status == smt.SAT:
                 counterexample = None
                 if model is not None:
@@ -418,7 +470,8 @@ class ConstraintChecker:
 
         neg_goal = substitute_pred(constraint.neg_goal, solution.expr_map,
                                    solution.pred_map)
-        status, model = self._check_sat(ground + [neg_goal], want_model=True)
+        status, model = self._check_sat(ground + [neg_goal], want_model=True,
+                                        inc_src=constraint)
         if status == smt.SAT:
             env = env_inputs_from_model(model) if model is not None else None
             return CheckOutcome(VIOLATED, counterexample=env)
@@ -455,14 +508,14 @@ class ConstraintChecker:
                 self.stats.absint_infeasible += 1
                 obs.count("checker.absint_infeasible")
                 return True
-        status, _ = self._check_sat(ground, want_model=False)
+        status, _ = self._check_sat(ground, want_model=False, inc_src=path)
         return status == smt.UNSAT
 
     def concrete_input_for_path(self, path: Path, solution: Solution
                                 ) -> Optional[Dict[str, Any]]:
         """A concrete input driving execution down ``path`` (Section 2.5)."""
         ground = substitute_items(path.items, solution.expr_map, solution.pred_map)
-        status, model = self._check_sat(ground, want_model=True)
+        status, model = self._check_sat(ground, want_model=True, inc_src=path)
         if status != smt.SAT or model is None or not self.input_vars:
             return None
         return input_from_model(model, self.input_vars, self.length_hints)

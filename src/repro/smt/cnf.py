@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .sat import SatSolver
 from .terms import FALSE, Op, TRUE, Term
@@ -63,22 +63,34 @@ class CnfBuilder:
         self._cache[term.id] = lit
         return lit
 
-    def assert_formula(self, term: Term) -> None:
-        """Assert a formula at the top level."""
+    def assert_formula(self, term: Term, guard: Optional[int] = None) -> None:
+        """Assert a formula at the top level.
+
+        With ``guard`` (a SAT literal, typically the negation of an
+        assumption variable), every *top-level* clause additionally
+        contains the guard — the formula is asserted conditionally and
+        becomes inert once the guard literal is satisfied.  Tseitin
+        definition clauses for subformulas stay unguarded: they only
+        define fresh variables (an equivalence), so they are globally
+        consistent and safely shared across scopes.
+        """
         if term is TRUE:
             return
         if term.op == Op.AND:
             for part in term.args:
-                self.assert_formula(part)
+                self.assert_formula(part, guard)
             return
         if term.op == Op.OR:
             # Top-level disjunctions become a single clause directly.
             lits: List[int] = []
             for part in term.args:
                 lits.append(self.literal_for(part))
+            if guard is not None:
+                lits.append(guard)
             self.sat.add_clause(lits)
             return
-        self.sat.add_clause([self.literal_for(term)])
+        lit = self.literal_for(term)
+        self.sat.add_clause([lit] if guard is None else [lit, guard])
 
     def asserted_atoms(self, model: Dict[int, bool]):
         """Theory literals implied by a boolean model: (atom, polarity)."""

@@ -23,10 +23,27 @@ _CONGRUENT_OPS = (Op.SELECT, Op.STORE, Op.APP, Op.MUL, Op.DIV, Op.MOD)
 
 
 class EufConflict(Exception):
-    """Raised when the asserted literals are EUF-inconsistent."""
+    """Raised when the asserted literals are EUF-inconsistent.
 
-    def __init__(self, reason: str):
+    ``conflict`` (when available) identifies the inconsistency so a
+    caller can build a *minimal* valid conflict clause via
+    :meth:`CongruenceClosure.explain` instead of the coarse
+    negate-everything clause:
+
+    * ``("diseq", a_id, b_id, reason)`` — terms ``a``/``b`` were merged
+      while asserted disequal; ``reason`` is the opaque object passed to
+      :meth:`CongruenceClosure.assert_diseq` (``None`` for legacy
+      callers).  The proof forest connects ``a`` and ``b``.
+    * ``("consts", x_id, y_id, why)`` — merging ``x = y`` (for ``why``
+      as in the proof forest: ``("eq", reason)`` or ``("cong",)``)
+      would unite classes whose representatives are distinct integer
+      constants.  The union was *not* performed: ``x``/``y`` are each
+      still connected to their own class representative.
+    """
+
+    def __init__(self, reason: str, conflict: Optional[tuple] = None):
         super().__init__(reason)
+        self.conflict = conflict
 
 
 class CongruenceClosure:
@@ -41,7 +58,15 @@ class CongruenceClosure:
         self.uses: Dict[int, List[Term]] = {}
         # Signature table: (op, payload, arg reprs) -> term
         self.sigs: Dict[tuple, Term] = {}
-        self.diseqs: List[Tuple[int, int]] = []
+        self.diseqs: List[Tuple[int, int, object]] = []
+        # Proof forest (Nieuwenhuis/Oliveras): one edge per union, labelled
+        # with why the two terms were merged — either an asserted equality
+        # (the caller's reason object, typically the equality atom) or a
+        # congruence step whose argument equalities are explained
+        # recursively.  :meth:`explain` walks it so the LIA side can learn
+        # conflict clauses citing exactly the equalities it relied on.
+        self.proof_parent: Dict[int, int] = {}
+        self.proof_reason: Dict[int, tuple] = {}
 
     # -- union-find -----------------------------------------------------------
 
@@ -61,7 +86,7 @@ class CongruenceClosure:
             sig = self._signature(term)
             existing = self.sigs.get(sig)
             if existing is not None and self.find(existing.id) != self.find(term.id):
-                self._do_merge(existing.id, term.id)
+                self._do_merge(existing.id, term.id, ("cong",))
             else:
                 self.sigs[sig] = term
 
@@ -78,26 +103,32 @@ class CongruenceClosure:
 
     # -- assertions --------------------------------------------------------------
 
-    def merge(self, a: Term, b: Term) -> None:
-        """Assert ``a = b``; raises :class:`EufConflict` on inconsistency."""
+    def merge(self, a: Term, b: Term, reason: object = None) -> None:
+        """Assert ``a = b``; raises :class:`EufConflict` on inconsistency.
+
+        ``reason`` is an opaque caller object (typically the equality
+        atom) recorded in the proof forest; :meth:`explain` returns the
+        set of such reasons supporting a derived equality.
+        """
         self.add(a)
         self.add(b)
-        self._do_merge(a.id, b.id)
+        self._do_merge(a.id, b.id, ("eq", reason))
         self._check_diseqs()
 
-    def assert_diseq(self, a: Term, b: Term) -> None:
-        """Assert ``a != b``."""
+    def assert_diseq(self, a: Term, b: Term, reason: object = None) -> None:
+        """Assert ``a != b``; ``reason`` is recorded for conflict cores."""
         self.add(a)
         self.add(b)
         ra, rb = self.find(a.id), self.find(b.id)
         if ra == rb:
-            raise EufConflict(f"disequality violated: {a!r} != {b!r}")
-        self.diseqs.append((a.id, b.id))
+            raise EufConflict(f"disequality violated: {a!r} != {b!r}",
+                              conflict=("diseq", a.id, b.id, reason))
+        self.diseqs.append((a.id, b.id, reason))
 
-    def _do_merge(self, aid: int, bid: int) -> None:
-        pending: List[Tuple[int, int]] = [(aid, bid)]
+    def _do_merge(self, aid: int, bid: int, reason: tuple) -> None:
+        pending: List[Tuple[int, int, tuple]] = [(aid, bid, reason)]
         while pending:
-            x, y = pending.pop()
+            x, y, why = pending.pop()
             rx, ry = self.find(x), self.find(y)
             if rx == ry:
                 continue
@@ -106,28 +137,52 @@ class CongruenceClosure:
                 rx, ry = ry, rx
             tx, ty = self.terms[rx], self.terms[ry]
             if tx.op == Op.INT_CONST and ty.op == Op.INT_CONST and tx.payload != ty.payload:
-                raise EufConflict(f"distinct constants merged: {tx.payload} = {ty.payload}")
+                raise EufConflict(
+                    f"distinct constants merged: {tx.payload} = {ty.payload}",
+                    conflict=("consts", x, y, why))
             # Prefer a constant as class representative for model building.
             if ty.op == Op.INT_CONST and tx.op != Op.INT_CONST:
                 rx, ry = ry, rx
             self.parent[ry] = rx
             self.members[rx].extend(self.members[ry])
+            self._proof_link(x, y, why)
             # Recompute signatures of applications using the merged class.
             moved_uses = self.uses.pop(ry, [])
             for app in moved_uses:
                 sig = self._signature(app)
                 existing = self.sigs.get(sig)
                 if existing is not None and self.find(existing.id) != self.find(app.id):
-                    pending.append((existing.id, app.id))
+                    pending.append((existing.id, app.id, ("cong",)))
                 else:
                     self.sigs[sig] = app
             self.uses.setdefault(rx, []).extend(moved_uses)
 
+    def _proof_link(self, x: int, y: int, reason: tuple) -> None:
+        """Record the union of ``x``/``y`` in the proof forest.
+
+        ``x`` becomes the root of its proof tree (path reversal keeps the
+        forest shallow enough for our sizes) and points at ``y``.
+        """
+        path: List[Tuple[int, int, tuple]] = []
+        cur = x
+        while cur in self.proof_parent:
+            path.append((cur, self.proof_parent[cur], self.proof_reason[cur]))
+            cur = self.proof_parent[cur]
+        for a, _b, _r in path:
+            del self.proof_parent[a]
+            del self.proof_reason[a]
+        for a, b, r in path:
+            self.proof_parent[b] = a
+            self.proof_reason[b] = r
+        self.proof_parent[x] = y
+        self.proof_reason[x] = reason
+
     def _check_diseqs(self) -> None:
-        for a, b in self.diseqs:
+        for a, b, reason in self.diseqs:
             if self.find(a) == self.find(b):
                 raise EufConflict(
-                    f"disequality violated: {self.terms[a]!r} != {self.terms[b]!r}"
+                    f"disequality violated: {self.terms[a]!r} != {self.terms[b]!r}",
+                    conflict=("diseq", a, b, reason),
                 )
 
     # -- queries ---------------------------------------------------------------
@@ -154,6 +209,62 @@ class CongruenceClosure:
             ints = [t for t in members if t.sort.is_int]
             for i in range(1, len(ints)):
                 yield ints[0], ints[i]
+
+    def explain(self, pairs: Iterable[Tuple[Term, Term]]) -> List[object]:
+        """The asserted-equality reasons supporting the given equal pairs.
+
+        Each pair must be currently equal in the closure.  The result is
+        the list of ``reason`` objects (as passed to :meth:`merge`) whose
+        equalities, together with congruence, entail every pair — the
+        premise set for a *valid* lemma about a derived equality.
+        Congruence steps are expanded recursively into the argument
+        equalities that triggered them.
+        """
+        out: List[object] = []
+        emitted: Set[int] = set()
+        seen: Set[Tuple[int, int]] = set()
+        work: List[Tuple[Term, Term]] = list(pairs)
+        while work:
+            a, b = work.pop()
+            if a is b:
+                continue
+            key = (a.id, b.id) if a.id <= b.id else (b.id, a.id)
+            if key in seen:
+                continue
+            seen.add(key)
+            for node, parent, reason in self._proof_path(a.id, b.id):
+                if reason[0] == "eq":
+                    if reason[1] is not None and id(reason[1]) not in emitted:
+                        emitted.add(id(reason[1]))
+                        out.append(reason[1])
+                else:  # congruence: explain the argument equalities
+                    u, v = self.terms[node], self.terms[parent]
+                    for ua, va in zip(u.args, v.args):
+                        work.append((ua, va))
+        return out
+
+    def _proof_path(self, aid: int, bid: int):
+        """Edges (node, parent, reason) on the proof-forest path a..b."""
+        if aid == bid:
+            return []
+        up_a: List[Tuple[int, int, tuple]] = []
+        index_a: Dict[int, int] = {aid: 0}
+        cur = aid
+        while cur in self.proof_parent:
+            nxt = self.proof_parent[cur]
+            up_a.append((cur, nxt, self.proof_reason[cur]))
+            cur = nxt
+            index_a[cur] = len(up_a)
+        up_b: List[Tuple[int, int, tuple]] = []
+        cur = bid
+        while cur not in index_a:
+            if cur not in self.proof_parent:
+                raise EufConflict(
+                    f"explain() on terms not known equal: {aid} / {bid}")
+            nxt = self.proof_parent[cur]
+            up_b.append((cur, nxt, self.proof_reason[cur]))
+            cur = nxt
+        return up_a[:index_a[cur]] + up_b
 
     def constant_of(self, t: Term) -> Optional[int]:
         """The integer constant this term is known equal to, if any."""

@@ -1,0 +1,465 @@
+"""Assumption-based incremental SMT contexts (warm solving for PINS).
+
+The PINS loop issues thousands of near-identical queries per program:
+every candidate check over one constraint shares the constraint's
+hole-free conjuncts and differs only in the substituted hole items (plus
+a goal disjunct).  A one-shot :class:`~repro.smt.solver.Solver` rebuilds
+CNF and theory state from scratch for each; an
+:class:`IncrementalContext` builds the shared *base* once and answers
+each query by asserting only the *delta* under a fresh assumption
+literal, MiniSat-style:
+
+* base formulas (preprocessed: array inlining, read-over-write lemmas,
+  base-level axiom instances, div/mod linearization, trichotomy) are
+  asserted **unguarded** — they hold in every query of the family;
+* delta formulas are asserted with every top-level clause guarded by
+  ``-a`` for a fresh SAT variable ``a``; solving under ``assumptions=(a,)``
+  activates them, and retiring the scope is one permanent unit ``[-a]``;
+* learned clauses are retained automatically: a clause derived from a
+  guarded clause contains ``-a`` (the assumption is a decision, so it can
+  never be resolved away) and is inert once the scope dies, while clauses
+  derived from base/lemma clauses are globally valid;
+* theory lemmas discovered during any query (EUF congruence instances,
+  LIA conflict clauses, trichotomy, read-over-write, div/mod) are
+  **theory-valid** — tautologies of the combined theory, independent of
+  which query produced them — so they are asserted unguarded and retained
+  forever (re-asserted in structural-``skey`` order after a rebuild, so
+  context state never depends on dict iteration order).
+
+Soundness of an answer (with V = the retained valid lemmas):
+
+* ``unsat`` under assumption ``a``: base ∧ V ∧ delta is unsat, and V is
+  valid, so base ∧ delta is unsat — exactly the fresh answer.
+* ``sat``: the boolean model satisfies every base, lemma, and active
+  delta clause, and the *live* theory literals (atoms of base, lemmas,
+  and the current scope — retired-scope atoms are excluded, their values
+  are unconstrained junk) were verified theory-consistent by concrete
+  model evaluation, witnessing a model of base ∧ delta.
+
+Answers are **status-only**: when the caller needs a model (counterexample
+inputs feed the synthesis trajectory, so models must be bit-identical to
+a fresh solve), the solver falls through to the legacy one-shot path and
+the warm context only short-circuits ``unsat``.  Axiom *instances*
+triggered by the delta are scoped, not retained: instantiation is
+deliberately incomplete, and a fresh solver's model may violate an
+instance another query generated — retaining instances would let the
+warm context answer ``unsat`` where a fresh solve finds a (spurious but
+trajectory-relevant) model.  Base-level instances are shared by every
+query in the family and stay permanent.
+
+A context that cannot answer (array-inlining incompatibility, theory
+round limit, SAT conflict budget, an internal error) returns ``None``
+and the caller runs the legacy path — warm solving is a pure
+optimization layer; every answer it does give matches the fresh
+status, and ``REPRO_INCREMENTAL=0`` removes the layer entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import obs
+from ..resil import BudgetExhausted
+from . import arrays as arrays_mod
+from .cnf import CnfBuilder
+from .quant import instantiate
+from .sat import SatSolver
+from .solver import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Solver,
+    SolverStats,
+    axioms_digest,
+    theory_check_literals,
+)
+from .terms import FALSE, Op, TRUE, Term
+
+ENV_INCREMENTAL = "REPRO_INCREMENTAL"
+"""Set to ``0`` to disable incremental contexts (restores the one-shot
+solver path exactly); default is enabled."""
+
+REBUILD_AFTER = 128
+"""Retired scopes before a context rebuilds its SAT state from the base
+plus retained lemmas.  Dead guarded clauses and learned clauses over
+retired assumption variables accumulate and tax propagation; a periodic
+rebuild keeps the clause database proportional to what is still live."""
+
+MODEL_RERUN_BACKOFF = 8
+"""Consecutive model-discarded warm answers before a context stops
+attempting model-wanting queries.  A warm ``sat`` where the caller wants
+a model is discarded (the one-shot path recomputes it bit-identically),
+so on a family whose queries keep coming back ``sat`` — counterexample
+searches against wrong candidates, the common case on SAT-heavy
+programs — every warm attempt is pure overhead.  After this many
+discards in a row the context answers only status-only probes; any
+warm answer that actually lands (``unsat``, or ``sat`` with no model
+wanted) resets the streak.  Skipping an attempt never changes an
+answer: the discarded warm result would have fallen through to the
+same one-shot solve."""
+
+
+def incremental_enabled(config: Optional[bool] = None) -> bool:
+    """Effective incremental flag: explicit config wins, then env."""
+    if config is not None:
+        return bool(config)
+    env = os.environ.get(ENV_INCREMENTAL, "").strip().lower()
+    return env not in ("0", "false", "off", "no")
+
+
+class IncrementalContext:
+    """Warm solver state for one query family (shared base, per-query delta)."""
+
+    def __init__(self, base: Sequence[Term], axioms: Sequence = (),
+                 instantiation_rounds: int = 2,
+                 max_theory_rounds: int = 400,
+                 sat_conflict_budget: int = 200_000,
+                 lia_branch_limit: int = 200):
+        self.base = tuple(base)
+        self.axioms = list(axioms)
+        self.instantiation_rounds = instantiation_rounds
+        self.max_theory_rounds = max_theory_rounds
+        self.sat_conflict_budget = sat_conflict_budget
+        self.lia_branch_limit = lia_branch_limit
+        self.stats = SolverStats()
+        self.dead = False
+        self._model_reruns = 0
+        self._retained: List[Term] = []
+        self._retained_ids: Set[int] = set()
+        self._has_trichotomy: Set[Term] = set()
+        self._retired_scopes = 0
+        self._base_ids = frozenset(t.id for t in self.base)
+        try:
+            self._base_inlined = arrays_mod.inline_array_definitions(self.base)
+            self._build()
+        except Exception:
+            self.dead = True
+
+    # -- construction / rebuild ---------------------------------------------
+
+    def _build(self) -> None:
+        obs.count("smt.inc.context_build")
+        self.sat = SatSolver()
+        self.builder = CnfBuilder(self.sat)
+        self._asserted: Set[int] = set()
+        self._perm_vars: Set[int] = set()
+        self._scope_vars: Set[int] = set()
+        self._seen_vars: Set[int] = set()
+        # formula id -> SAT vars of its atoms, valid for this build only
+        # (a rebuild renumbers variables).
+        self._atom_vars_memo: Dict[int, frozenset] = {}
+        # Mirror Solver._preprocess over the base alone.
+        formulas = list(self._base_inlined)
+        formulas += arrays_mod.read_over_write_lemmas(self._base_inlined)
+        if self.axioms:
+            formulas += instantiate(self.axioms, formulas,
+                                    rounds=self.instantiation_rounds)
+            formulas += arrays_mod.read_over_write_lemmas(formulas)
+        formulas += Solver._divmod_lemmas(formulas)
+        for f in formulas:
+            self._assert_permanent(f)
+        negative_eqs: Set[Term] = set()
+        for f in formulas:
+            Solver._negative_int_eq_atoms(f, True, negative_eqs)
+        for atom in sorted(negative_eqs, key=lambda t: t.skey):
+            if atom not in self._has_trichotomy:
+                self._assert_permanent(Solver._trichotomy(atom))
+                self._has_trichotomy.add(atom)
+        # Valid lemmas carried over from before the rebuild, re-asserted
+        # in structural order so the rebuilt clause database is a pure
+        # function of (base, retained set), not of discovery history.
+        for lemma in sorted(self._retained, key=lambda t: t.skey):
+            self._assert_permanent(lemma)
+        self._absorb_atom_vars(self._perm_vars)
+
+    def _assert_permanent(self, f: Term) -> bool:
+        if f.id in self._asserted:
+            return False
+        self._asserted.add(f.id)
+        self.builder.assert_formula(f)
+        return True
+
+    def _note_retained(self, f: Term) -> None:
+        if f.id not in self._retained_ids:
+            self._retained_ids.add(f.id)
+            self._retained.append(f)
+            obs.count("smt.inc.lemmas_retained")
+
+    def _on_lemma(self, lemma: Term) -> None:
+        """Callback from the shared theory loop: a valid lemma was just
+        asserted through the builder (unguarded, hence permanent)."""
+        self._asserted.add(lemma.id)
+        self._note_retained(lemma)
+
+    def _absorb_atom_vars(self, into: Set[int]) -> None:
+        """Classify atom variables registered since the last absorb."""
+        for var in self.builder.var_atom:
+            if var not in self._seen_vars:
+                self._seen_vars.add(var)
+                into.add(var)
+
+    # -- per-query solving ----------------------------------------------------
+
+    def check_delta(self, assertions: Sequence[Term],
+                    budget: Optional[object] = None) -> Optional[str]:
+        """Status of ``/\\ assertions`` (which must include the base).
+
+        Returns ``"sat"``/``"unsat"``, or None when the context cannot
+        answer and the caller must run a fresh solve.  Never returns
+        ``"unknown"`` — an inconclusive warm attempt is a fallback, so
+        the fresh path gets its full budget to decide.
+        """
+        if self.dead:
+            return None
+        try:
+            return self._check_delta(assertions, budget)
+        except BudgetExhausted:
+            raise
+        except Exception:
+            # A warm-path failure must never change an answer the legacy
+            # path would produce; retire this context and fall back.
+            self.dead = True
+            obs.count("smt.inc.error")
+            return None
+
+    def _check_delta(self, assertions: Sequence[Term],
+                     budget: Optional[object]) -> Optional[str]:
+        if not self.sat._ok:
+            # The permanent set (base ∧ valid lemmas) is unsat, so the
+            # base itself is: every query extending it is unsat.
+            obs.count("smt.inc.warm_hit")
+            return UNSAT
+        present = {t.id for t in assertions}
+        if not self._base_ids <= present:
+            return None  # not actually a superset of the base
+        delta = [t for t in assertions if t.id not in self._base_ids]
+        if self._retired_scopes >= REBUILD_AFTER:
+            obs.count("smt.inc.rebuild")
+            self._retired_scopes = 0
+            self._build()
+
+        # Mirror Solver._preprocess over base + delta.  Inlining scans
+        # *all* assertions for SSA array definitions, so a delta that
+        # (re)defines an array the base mentions would change how the
+        # base itself inlines — detectable because terms are hash-consed:
+        # compatible inlining reproduces the identical base objects.
+        full = list(self.base) + delta
+        inlined = arrays_mod.inline_array_definitions(full)
+        nb = len(self.base)
+        for mine, theirs in zip(self._base_inlined, inlined[:nb]):
+            if mine is not theirs:
+                obs.count("smt.inc.incompatible")
+                return None
+        rows = arrays_mod.read_over_write_lemmas(inlined)
+        scoped: List[Term] = list(inlined[nb:])
+        valid: List[Term] = list(rows)
+        formulas = inlined + rows
+        if self.axioms:
+            instances = instantiate(self.axioms, formulas,
+                                    rounds=self.instantiation_rounds)
+            # Delta-triggered instances are scoped (see module docstring):
+            # retaining them could make the warm context *stronger* than a
+            # fresh solve, whose models may violate never-generated
+            # instances.  Instances already permanent (from the base) are
+            # asserted; re-scoping them would be redundant.
+            scoped += [f for f in instances if f.id not in self._asserted]
+            formulas = formulas + instances
+            extra_rows = arrays_mod.read_over_write_lemmas(formulas)
+            valid += extra_rows
+            formulas = formulas + extra_rows
+        valid += Solver._divmod_lemmas(formulas)
+        negative_eqs: Set[Term] = set()
+        for f in formulas:
+            Solver._negative_int_eq_atoms(f, True, negative_eqs)
+        for atom in sorted(negative_eqs, key=lambda t: t.skey):
+            if atom not in self._has_trichotomy:
+                valid.append(Solver._trichotomy(atom))
+                self._has_trichotomy.add(atom)
+
+        # Permanent valid lemmas, asserted in structural-skey order.
+        fresh: List[Term] = []
+        seen_new: Set[int] = set()
+        for f in valid:
+            if f.id not in self._asserted and f.id not in seen_new:
+                seen_new.add(f.id)
+                fresh.append(f)
+        for f in sorted(fresh, key=lambda t: t.skey):
+            self._assert_permanent(f)
+            self._note_retained(f)
+        self._absorb_atom_vars(self._perm_vars)
+
+        # Open the scope: guard every delta clause on a fresh assumption.
+        assumption = self.sat.new_var()
+        obs.count("smt.inc.scope_push")
+        self._scope_vars = set()
+        for f in scoped:
+            self.builder.assert_formula(f, guard=-assumption)
+        self._absorb_atom_vars(self._scope_vars)
+        # Registration order is not enough: an atom first registered by a
+        # *retired* scope reappearing in this delta is already "seen", yet
+        # this scope's clauses constrain it — it must be live or the
+        # theory check would bless a model with a junk value for it
+        # (spurious SAT).  Collect the scope's atoms syntactically.
+        for f in scoped:
+            self._scope_vars |= self._atom_vars_of(f)
+
+        self.sat.budget = budget
+        status: Optional[str] = None
+        try:
+            for _ in range(self.max_theory_rounds):
+                self.stats.theory_rounds += 1
+                sat_result = self.sat.solve(
+                    max_conflicts=self.sat_conflict_budget,
+                    assumptions=(assumption,))
+                if sat_result is False:
+                    status = UNSAT
+                    break
+                if sat_result is None:
+                    break  # conflict budget: let the fresh path decide
+                bool_model = self.sat.model()
+                literals = self._live_literals(bool_model)
+                outcome, _model, _reason = theory_check_literals(
+                    literals, self.builder, self.sat, self._has_trichotomy,
+                    self.lia_branch_limit, self.stats,
+                    on_lemma=self._on_lemma, retain_valid=True)
+                self._absorb_atom_vars(self._perm_vars)
+                if outcome == SAT:
+                    status = SAT
+                    break
+                if outcome == UNKNOWN:
+                    break
+        finally:
+            self.sat.budget = None
+            self._retire(assumption)
+        if status in (SAT, UNSAT):
+            obs.count("smt.inc.warm_hit")
+            return status
+        obs.count("smt.inc.fallback_fresh")
+        return None
+
+    def _atom_vars_of(self, f: Term) -> frozenset:
+        """SAT variables of every atom occurring in formula ``f``.
+
+        Mirrors :class:`CnfBuilder`'s traversal: AND/OR/NOT are boolean
+        structure, everything else is an atom.  Memoized per build —
+        deltas repeat heavily across the query family.
+        """
+        cached = self._atom_vars_memo.get(f.id)
+        if cached is not None:
+            return cached
+        vars_: Set[int] = set()
+        stack = [f]
+        visited: Set[int] = set()
+        while stack:
+            t = stack.pop()
+            if t.id in visited or t is TRUE or t is FALSE:
+                continue
+            visited.add(t.id)
+            if t.op in (Op.NOT, Op.AND, Op.OR):
+                stack.extend(t.args)
+            else:
+                var = self.builder.atom_var.get(t)
+                if var is not None:
+                    vars_.add(var)
+        result = frozenset(vars_)
+        self._atom_vars_memo[f.id] = result
+        return result
+
+    def _live_literals(self, model: Dict[int, bool]
+                       ) -> List[Tuple[Term, bool]]:
+        """Theory literals of the current query: base + lemma + scope atoms.
+
+        Atoms registered by *retired* scopes still receive SAT values,
+        but their clauses are disabled and the values are arbitrary —
+        feeding them to the theory checker would reject models over
+        junk.  Excluding them is sound: valid lemmas hold in every
+        theory model, and the literals passed here cover every clause of
+        base ∧ delta ∧ lemmas.
+        """
+        out: List[Tuple[Term, bool]] = []
+        for atom, var in self.builder.atom_var.items():
+            if atom is TRUE:
+                continue
+            val = model.get(var)
+            if val is None:
+                continue
+            if var in self._perm_vars or var in self._scope_vars:
+                out.append((atom, val))
+        return out
+
+    def _retire(self, assumption: int) -> None:
+        obs.count("smt.inc.scope_pop")
+        self.sat.add_clause([-assumption])
+        self._scope_vars = set()
+        self._retired_scopes += 1
+
+
+class ContextPool:
+    """An LRU pool of :class:`IncrementalContext`, keyed by query family.
+
+    The key is the tuple of base term ids (terms are hash-consed and
+    immortal, so ids are stable and unambiguous for the process) plus
+    the solver parameters that shape the clause set.  One checker owns
+    one pool; forked workers inherit warm contexts copy-on-write.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._contexts: "OrderedDict[tuple, IncrementalContext]" = OrderedDict()
+
+    def context_for(self, base: Sequence[Term], axioms: Sequence,
+                    instantiation_rounds: int, max_theory_rounds: int,
+                    sat_conflict_budget: int,
+                    lia_branch_limit: int) -> IncrementalContext:
+        key = (tuple(t.id for t in base), axioms_digest(axioms),
+               instantiation_rounds, sat_conflict_budget, lia_branch_limit)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = IncrementalContext(
+                base, axioms,
+                instantiation_rounds=instantiation_rounds,
+                max_theory_rounds=max_theory_rounds,
+                sat_conflict_budget=sat_conflict_budget,
+                lia_branch_limit=lia_branch_limit)
+            self._contexts[key] = ctx
+            while len(self._contexts) > self.capacity:
+                self._contexts.popitem(last=False)
+        else:
+            self._contexts.move_to_end(key)
+        return ctx
+
+    def try_status(self, solver: Solver, base: Sequence[Term],
+                   want_model: bool) -> Optional[str]:
+        """Answer ``solver``'s query warm, or None for the legacy path.
+
+        Only ``unsat`` (needs no model) and model-free ``sat`` are final;
+        a ``sat`` that needs a model falls through so the one-shot solver
+        produces the bit-identical model a fresh run would.  Families
+        whose warm answers keep getting discarded that way stop being
+        attempted for model-wanting queries (MODEL_RERUN_BACKOFF).
+        """
+        if not base:
+            return None
+        ctx = self.context_for(base, solver.axioms,
+                               solver.instantiation_rounds,
+                               solver.max_theory_rounds,
+                               solver.sat_conflict_budget,
+                               solver.lia_branch_limit)
+        if ctx.dead:
+            return None
+        if want_model and ctx._model_reruns >= MODEL_RERUN_BACKOFF:
+            obs.count("smt.inc.backoff_skip")
+            return None
+        status = ctx.check_delta(solver.assertions, budget=solver.budget)
+        if status == UNSAT:
+            ctx._model_reruns = 0
+            return UNSAT
+        if status == SAT:
+            if not want_model:
+                ctx._model_reruns = 0
+                return SAT
+            ctx._model_reruns += 1
+            obs.count("smt.inc.model_rerun")
+        return None

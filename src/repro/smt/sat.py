@@ -13,7 +13,7 @@ and a literal is ``+v`` or ``-v``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..resil import BudgetExhausted
@@ -64,6 +64,7 @@ class SatSolver:
         self.var_decay = 0.95
         self.stats = SatStats()
         self._ok = True
+        self._assumptions: Tuple[int, ...] = ()
         self.budget = None
         """Optional :class:`repro.resil.Budget`.  When set, every conflict
         is charged as it is analyzed and :class:`BudgetExhausted`
@@ -271,20 +272,30 @@ class SatSolver:
 
     # -- main solve loop -----------------------------------------------------------
 
-    def solve(self, max_conflicts: Optional[int] = None) -> Optional[bool]:
-        """Solve the current formula.
+    def solve(self, max_conflicts: Optional[int] = None,
+              assumptions: Sequence[int] = ()) -> Optional[bool]:
+        """Solve the current formula, optionally under assumptions.
 
         Returns True (SAT), False (UNSAT), or None if ``max_conflicts`` was
         exhausted.  On SAT the model is readable via :meth:`model`.
+
+        ``assumptions`` are literals enqueued as the first decisions
+        (MiniSat-style): a False answer under assumptions means the
+        formula has no model *extending them* — the clause database stays
+        intact and the solver reusable (``_ok`` is only cleared on a
+        root-level conflict, which means the formula itself is UNSAT).
+        Incremental callers (:mod:`repro.smt.incremental`) use this to
+        activate per-query scopes guarded by assumption literals while
+        retaining every learned clause across queries.
         """
         if not obs.active():
-            return self._solve(max_conflicts)
+            return self._solve(max_conflicts, assumptions)
         s = self.stats
         d0, p0 = s.decisions, s.propagations
         c0, r0 = s.conflicts, s.restarts
         try:
             with obs.span("smt.sat.solve"):
-                result = self._solve(max_conflicts)
+                result = self._solve(max_conflicts, assumptions)
         finally:
             # Deltas are recorded even when a BudgetExhausted cancellation
             # propagates — the work was done either way.
@@ -295,9 +306,13 @@ class SatSolver:
             obs.count("smt.sat.restarts", s.restarts - r0)
         return result
 
-    def _solve(self, max_conflicts: Optional[int] = None) -> Optional[bool]:
+    def _solve(self, max_conflicts: Optional[int] = None,
+               assumptions: Sequence[int] = ()) -> Optional[bool]:
         if not self._ok:
             return False
+        self._assumptions = tuple(assumptions)
+        for lit in self._assumptions:
+            self._ensure_var(abs(lit))
         self._qhead = 0
         self._cancel_until(0)
         if self._propagate() is not None:
@@ -323,6 +338,11 @@ class SatSolver:
                 return True
             if result == "unsat":
                 self._ok = False
+                return False
+            if result == "unsat-assumptions":
+                # Conflicting only with the assumptions: the clause set
+                # itself stays consistent, so keep the solver usable.
+                self._cancel_until(0)
                 return False
             if isinstance(result, int):
                 total_conflicts = result
@@ -367,10 +387,22 @@ class SatSolver:
                 if conflicts_here >= restart_budget:
                     return total
             else:
-                lit = self._decide()
+                lit = 0
+                # Assumptions are replayed as the first decisions after
+                # every restart/backjump; one falsified by propagation
+                # means no model extends them.
+                for a in self._assumptions:
+                    val = self.value(a)
+                    if val == -1:
+                        return "unsat-assumptions"
+                    if val == 0:
+                        lit = a
+                        break
                 if lit == 0:
-                    return "sat"
-                self.stats.decisions += 1
+                    lit = self._decide()
+                    if lit == 0:
+                        return "sat"
+                    self.stats.decisions += 1
                 self.trail_lim.append(len(self.trail))
                 self._enqueue(lit, None)
 

@@ -81,8 +81,8 @@ PROFILES: Dict[str, BenchProfile] = {
         set="fast", budget="smt=1500;wall=300"),
     "permute_count": BenchProfile(  # query budget fires, ~13 s
         set="slow", budget="smt=300;paths=8;wall=600", queries_slack=0.10),
-    "lu_decomp": BenchProfile(  # query budget fires, ~1 s
-        set="fast", budget="smt=300;paths=8;wall=300", queries_slack=0.10),
+    "lu_decomp": BenchProfile(  # paths exhaust at 468 q / 5 paths, ~8 s
+        set="fast", budget="smt=1000;paths=12;wall=300"),
 }
 
 BENCH_SETS = ("fast", "slow", "all")

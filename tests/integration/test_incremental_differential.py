@@ -1,0 +1,157 @@
+"""Differential tests for incremental SMT contexts (warm vs. fresh).
+
+Two layers of defense for the determinism contract:
+
+* **end-to-end** — a PINS run with ``REPRO_INCREMENTAL`` on must produce
+  bit-identical inverses (and trajectory statistics) to one with it off;
+* **query-stream replay** — the exact query stream a real run issues is
+  recorded and replayed through one warm :class:`IncrementalContext` per
+  query family *and* a cold :class:`Solver` per query, asserting the
+  verdicts agree wherever both decide, and that every fresh ``sat``
+  model concretely evaluates the full assertion set to true.
+
+The replay is the sharp edge: warm contexts accumulate retained lemmas,
+learned clauses, and interned state query over query, so a single unsound
+retention shows up as a warm/fresh verdict split on some later query even
+when early queries agree.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.pins.checker import ConstraintChecker
+from repro.smt.incremental import IncrementalContext
+from repro.smt.models import eval_formula
+from repro.smt.solver import SAT, UNKNOWN, UNSAT, Solver
+from repro.suite import get_benchmark
+
+CASES = {
+    "sumi": dict(m=10, max_iterations=25, seed=1),
+    "runlength": dict(m=6, max_iterations=6, seed=1),
+}
+
+REPLAY_CAP = 150
+"""Queries replayed per recorded stream: enough to cross many scope
+pushes/retirements per family while keeping the test's runtime bounded."""
+
+
+def fingerprint(result):
+    solutions = tuple(sorted(s.describe() for s in result.solutions))
+    digest = hashlib.sha256("\n".join(solutions).encode()).hexdigest()
+    return (result.status, result.stats.iterations,
+            result.stats.paths_explored, len(result.solutions), digest)
+
+
+def run(name, incremental, monkeypatch):
+    monkeypatch.delenv("REPRO_INCREMENTAL", raising=False)
+    task = get_benchmark(name).task
+    return run_pins(task, PinsConfig(incremental=incremental, **CASES[name]))
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_incremental_matches_oneshot(name, monkeypatch):
+    on = run(name, True, monkeypatch)
+    off = run(name, False, monkeypatch)
+    assert fingerprint(on) == fingerprint(off)
+    assert on.stats.checker_smt_checks == off.stats.checker_smt_checks
+
+
+def record_stream(name, monkeypatch):
+    """Run ``name`` with contexts off, recording every checker query."""
+    records = []
+    orig = ConstraintChecker._check_sat
+
+    def spy(self, preds, want_model=True, inc_src=None):
+        records.append((self, tuple(preds), inc_src))
+        return orig(self, preds, want_model=want_model, inc_src=inc_src)
+
+    monkeypatch.setattr(ConstraintChecker, "_check_sat", spy)
+    try:
+        result = run(name, False, monkeypatch)
+    finally:
+        monkeypatch.setattr(ConstraintChecker, "_check_sat", orig)
+    assert result.solutions, f"{name} run produced no solutions to record"
+    return records
+
+
+def _eval_is_exact(formula):
+    """Whether concrete evaluation decides ``formula`` exactly.
+
+    Solver models are only concretely *total* on pure linear arithmetic:
+    array equalities are decided up to the observed ``select`` set (no
+    extensionality — see EXPERIMENTS.md known deviations), and a select
+    or application valued through its EUF class may be absent from the
+    LIA assignment, so reconstruction defaults it to 0.  Model-eval
+    assertions are restricted to formulas built purely from arithmetic
+    over variables and constants, where ``eval_formula`` and the solver
+    agree by construction.
+    """
+    from repro.smt.terms import Op
+
+    opaque = (Op.SELECT, Op.STORE, Op.APP, Op.MUL, Op.DIV, Op.MOD)
+    stack = [formula]
+    while stack:
+        t = stack.pop()
+        if t.op in opaque or t.sort.is_array:
+            return False
+        stack.extend(t.args)
+    return True
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_replayed_stream_verdicts_agree(name, monkeypatch):
+    from repro.symexec.translate import Translator
+
+    records = record_stream(name, monkeypatch)
+    assert records, "no queries recorded"
+    contexts = {}
+    compared = 0
+    warm_answers = 0
+    for checker, preds, inc_src in records:
+        if compared >= REPLAY_CAP:
+            break
+        if inc_src is None:
+            continue
+        base = checker._inc_base_terms(inc_src)
+        if not base:
+            continue
+        translator = Translator(checker.sorts, checker.externs)
+        try:
+            assertions = [translator.pred(p) for p in preds]
+        except Exception:
+            continue
+        if not {t.id for t in base} <= {t.id for t in assertions}:
+            continue
+        probe = Solver(axioms=checker.axioms,
+                       sat_conflict_budget=checker.conflict_budget,
+                       lia_branch_limit=checker.lia_branch_limit)
+        key = tuple(t.id for t in base)
+        ctx = contexts.get(key)
+        if ctx is None:
+            ctx = IncrementalContext(
+                base, checker.axioms,
+                instantiation_rounds=probe.instantiation_rounds,
+                max_theory_rounds=probe.max_theory_rounds,
+                sat_conflict_budget=probe.sat_conflict_budget,
+                lia_branch_limit=probe.lia_branch_limit)
+            contexts[key] = ctx
+        warm = ctx.check_delta(assertions)
+        for f in assertions:
+            probe.add(f)
+        fresh = probe.check()
+        if fresh == SAT:
+            model = probe.model_if_available()
+            assert model is not None
+            exact = [f for f in assertions if _eval_is_exact(f)]
+            assert all(eval_formula(model, f) for f in exact), \
+                "fresh model fails concrete evaluation"
+        if warm is not None and fresh != UNKNOWN:
+            assert warm == fresh, \
+                f"warm={warm} fresh={fresh} on query {compared} of {name}"
+            warm_answers += 1
+        compared += 1
+    assert compared >= 30, f"only {compared} comparable queries in {name}"
+    assert warm_answers >= 10, \
+        f"warm context answered only {warm_answers} queries in {name}"

@@ -97,3 +97,78 @@ def test_unknown_task_kind_raises():
     pool_mod._CTX = PerfContext()
     with pytest.raises(ValueError):
         _run_task(("no-such-kind",))
+
+
+# -- persistent fleet ---------------------------------------------------------
+
+
+def test_resolve_workers_precedence(monkeypatch):
+    from repro.perf.pool import ENV_WORKERS, resolve_workers
+
+    monkeypatch.delenv(ENV_WORKERS, raising=False)
+    assert resolve_workers(None) == "fork"
+    assert resolve_workers("persistent") == "persistent"
+    assert resolve_workers("junk") == "fork"
+    monkeypatch.setenv(ENV_WORKERS, "persistent")
+    assert resolve_workers(None) == "persistent"
+    assert resolve_workers("serial") == "serial"  # config wins over env
+
+
+def test_persistent_serial_when_one_job(monkeypatch):
+    from repro.perf import PersistentWorkerPool
+
+    monkeypatch.delenv(ENV_JOBS_FORCE, raising=False)
+    pool = PersistentWorkerPool(1, PerfContext())
+    assert not pool.parallel
+    pool.close()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+def test_persistent_fleet_matches_serial_across_syncs(monkeypatch):
+    """Warm workers fed snapshot deltas via sync() must fold to exactly
+    the serial results, batch after batch."""
+    from repro.lang.transform import compose, desugar_program
+    from repro.perf import PersistentWorkerPool
+    from repro.pins.algorithm import build_template
+    from repro.pins.solve import SolveSession, SolveStats, solve
+    from repro.pins.termination import terminate
+    from repro.suite.sumi import benchmark as sumi_benchmark
+
+    task = sumi_benchmark().task
+    desugared = desugar_program(compose(task.program, task.inverse))
+    checker = ConstraintChecker(desugared.decls)
+    constraints = list(terminate(desugared.body, desugared.decls))
+    template = build_template(task)
+    session = SolveSession(template.space)
+    solutions = solve(session, constraints, checker,
+                      [{"n": k} for k in range(4)], m=2, stats=SolveStats())
+    assert len(constraints) >= 2 and solutions
+
+    # Batch 1 sees a one-constraint snapshot; batch 2 arrives after a
+    # sync() shipping the rest — mimicking list growth across PINS
+    # iterations.
+    first = constraints[:1]
+    batch1 = [("constraint", 0, sol) for sol in solutions]
+    batch2 = [("constraint", i, sol)
+              for sol in solutions for i in range(len(constraints))]
+
+    serial_checker = ConstraintChecker(desugared.decls)
+    ctx_serial = PerfContext(checker=serial_checker, constraints=first)
+    import repro.perf.pool as pool_mod
+    pool_mod._CTX = ctx_serial
+    expect1 = [pool_mod._run_task(t) for t in batch1]
+    ctx_serial.constraints = tuple(constraints)
+    expect2 = [pool_mod._run_task(t) for t in batch2]
+
+    monkeypatch.setenv(ENV_JOBS_FORCE, "1")
+    fleet = PersistentWorkerPool(2, PerfContext(checker=checker,
+                                                constraints=first))
+    assert fleet.parallel
+    try:
+        got1 = fleet.map_ordered(batch1)
+        fleet.sync(constraints, ())
+        got2 = fleet.map_ordered(batch2)
+    finally:
+        fleet.close()
+    assert got1 == expect1
+    assert got2 == expect2

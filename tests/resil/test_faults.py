@@ -241,3 +241,45 @@ def test_demotion_disabled_preserves_unknown_optimism():
                  eager_limit=0, demote_unknowns=None)
     assert len(sols) == 4  # unknown never blocks a candidate (paper behaviour)
     assert stats.demoted == 0
+
+
+# -- persistent fleet degradation ---------------------------------------------
+
+
+def test_persistent_warmup_hang_degrades_not_stalls(monkeypatch):
+    # Liveness gap closed by the warm-up handshake: a persistent worker
+    # wedged by pool.worker_hang at hit 0 faults *before* any task is in
+    # flight, so the per-task timeout can never fire.  The handshake
+    # deadline must trip instead, degrade the whole fleet, and let the
+    # run finish serially and bit-identically.
+    monkeypatch.setenv("REPRO_POOL_WARMUP_TIMEOUT", "1.5")
+    serial = run("sumi", jobs=1, monkeypatch=monkeypatch)
+    hung = run("sumi", jobs=2, force_fork=True, monkeypatch=monkeypatch,
+               workers="persistent", faults="pool.worker_hang@0")
+    assert fingerprint(hung) == fingerprint(serial)
+    assert hung.metrics.counter("resil.fault.pool.worker_hang") == 1
+    assert hung.metrics.counter("resil.pool.degraded") >= 1
+    assert hung.metrics.counter("resil.pool.warmup_failed") >= 1
+
+
+def test_persistent_warmup_crash_degrades(monkeypatch):
+    monkeypatch.setenv("REPRO_POOL_WARMUP_TIMEOUT", "10")
+    serial = run("sumi", jobs=1, monkeypatch=monkeypatch)
+    crashed = run("sumi", jobs=2, force_fork=True, monkeypatch=monkeypatch,
+                  workers="persistent", faults="pool.worker_crash@0")
+    assert fingerprint(crashed) == fingerprint(serial)
+    assert crashed.metrics.counter("resil.fault.pool.worker_crash") == 1
+    assert crashed.metrics.counter("resil.pool.warmup_failed") >= 1
+
+
+def test_persistent_task_crash_degrades_mid_run(monkeypatch):
+    # Hits 0/1 are consumed by the two workers' warm-up checks; hit 2 is
+    # the first task-level injection, so the fleet survives warm-up and
+    # dies mid-batch — exercising worker-death detection and the
+    # serial-prefix merge.
+    serial = run("sumi", jobs=1, monkeypatch=monkeypatch)
+    crashed = run("sumi", jobs=2, force_fork=True, monkeypatch=monkeypatch,
+                  workers="persistent", faults="pool.worker_crash@2")
+    assert fingerprint(crashed) == fingerprint(serial)
+    assert crashed.metrics.counter("resil.pool.worker_death") >= 1
+    assert crashed.metrics.counter("resil.pool.degraded") >= 1

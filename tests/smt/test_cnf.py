@@ -55,3 +55,55 @@ def test_asserted_atoms_excludes_true_marker():
     sat.solve()
     names = [atom for atom, _pol in builder.asserted_atoms(sat.model())]
     assert T.TRUE not in names
+
+
+# -- guarded assertion (incremental scopes) -----------------------------------
+
+
+def test_guard_makes_assertion_conditional():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    a, b = atoms()
+    guard_var = sat.new_var()
+    builder.assert_formula(T.mk_and(a, T.mk_not(b)), guard=-guard_var)
+    # Active scope: both conjuncts forced.
+    assert sat.solve(assumptions=(guard_var,))
+    model = dict(builder.asserted_atoms(sat.model()))
+    assert model[a] is True and model[b] is False
+    # Inert scope: the opposite assignment is allowed.
+    lb = builder.atom_literal(b)
+    sat.add_clause([-guard_var])
+    sat.add_clause([lb])
+    assert sat.solve()
+    assert sat.model()[lb] is True
+
+
+def test_guard_applies_to_every_top_level_clause():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    a, b = atoms()
+    guard_var = sat.new_var()
+    # AND distributes the guard; OR appends it to the single clause.
+    builder.assert_formula(T.mk_and(a, b), guard=-guard_var)
+    builder.assert_formula(T.mk_or(a, b), guard=-guard_var)
+    la, lb2 = builder.atom_literal(a), builder.atom_literal(b)
+    sat.add_clause([-guard_var])
+    sat.add_clause([-la])
+    sat.add_clause([-lb2])
+    # With the scope retired nothing above constrains a/b.
+    assert sat.solve()
+
+
+def test_tseitin_definitions_stay_unguarded():
+    sat = SatSolver()
+    builder = CnfBuilder(sat)
+    a, b = atoms()
+    guard_var = sat.new_var()
+    disj = T.mk_or(a, b)
+    builder.assert_formula(disj, guard=-guard_var)
+    # Reusing the subformula in an unguarded assertion must still work:
+    # its Tseitin definition is shared and globally consistent.
+    builder.assert_formula(T.mk_not(T.mk_and(a, b)))
+    assert sat.solve(assumptions=(guard_var,))
+    model = dict(builder.asserted_atoms(sat.model()))
+    assert (model[a] or model[b]) and not (model[a] and model[b])

@@ -91,3 +91,95 @@ def test_select_store_are_congruent_ops():
     cc.add(sj)
     cc.merge(i, j)
     assert cc.are_equal(si, sj)
+
+
+# -- proof forest / explain ---------------------------------------------------
+
+
+def test_explain_direct_merge():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    eq = T.mk_eq(x, y)
+    cc.merge(x, y, reason=eq)
+    assert cc.explain([(x, y)]) == [eq]
+
+
+def test_explain_transitive_chain():
+    cc = CongruenceClosure()
+    x, y, z, w = (T.mk_var(n, T.INT) for n in "xyzw")
+    e1, e2, e3 = T.mk_eq(x, y), T.mk_eq(y, z), T.mk_eq(z, w)
+    cc.merge(x, y, reason=e1)
+    cc.merge(y, z, reason=e2)
+    cc.merge(z, w, reason=e3)
+    # x = w needs all three links; x = y needs only the first.
+    assert set(map(id, cc.explain([(x, w)]))) == {id(e1), id(e2), id(e3)}
+    assert cc.explain([(x, y)]) == [e1]
+
+
+def test_explain_is_minimal_across_branches():
+    cc = CongruenceClosure()
+    a, b, c, d = (T.mk_var(n, T.INT) for n in "abcd")
+    eab, ecd = T.mk_eq(a, b), T.mk_eq(c, d)
+    cc.merge(a, b, reason=eab)
+    cc.merge(c, d, reason=ecd)
+    ebc = T.mk_eq(b, c)
+    cc.merge(b, c, reason=ebc)
+    # a = b predates (and is independent of) the c/d component.
+    assert cc.explain([(a, b)]) == [eab]
+    got = set(map(id, cc.explain([(a, d)])))
+    assert got == {id(eab), id(ebc), id(ecd)}
+
+
+def test_explain_expands_congruence_steps():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    fx, fy = f(x), f(y)
+    cc.add(fx)
+    cc.add(fy)
+    exy = T.mk_eq(x, y)
+    cc.merge(x, y, reason=exy)
+    # f(x) = f(y) is a congruence consequence of x = y: the explanation
+    # must surface the *asserted* equality behind the congruence edge.
+    assert cc.explain([(fx, fy)]) == [exy]
+
+
+def test_explain_nested_congruence():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("x", T.INT), T.mk_var("y", T.INT)
+    ffx, ffy = f(f(x)), f(f(y))
+    cc.add(ffx)
+    cc.add(ffy)
+    exy = T.mk_eq(x, y)
+    cc.merge(x, y, reason=exy)
+    assert cc.explain([(ffx, ffy)]) == [exy]
+
+
+def test_explain_survives_path_reversal():
+    # Merging long chains exercises _proof_link's path reversal: every
+    # asserted reason must survive re-orientation of proof-tree edges.
+    cc = CongruenceClosure()
+    vs = [T.mk_var(f"v{i}", T.INT) for i in range(8)]
+    reasons = []
+    # Two independent chains, then a cross merge.
+    for i in range(3):
+        e = T.mk_eq(vs[i], vs[i + 1])
+        reasons.append(e)
+        cc.merge(vs[i], vs[i + 1], reason=e)
+    for i in range(4, 7):
+        e = T.mk_eq(vs[i], vs[i + 1])
+        reasons.append(e)
+        cc.merge(vs[i], vs[i + 1], reason=e)
+    cross = T.mk_eq(vs[0], vs[7])
+    reasons.append(cross)
+    cc.merge(vs[0], vs[7], reason=cross)
+    got = set(map(id, cc.explain([(vs[3], vs[4])])))
+    assert got == set(map(id, reasons))
+
+
+def test_explain_unrelated_terms_raises():
+    cc = CongruenceClosure()
+    x, y = T.mk_var("px", T.INT), T.mk_var("py", T.INT)
+    cc.add(x)
+    cc.add(y)
+    with pytest.raises(EufConflict):
+        cc.explain([(x, y)])

@@ -1,0 +1,162 @@
+"""Incremental-context tests: warm answers must match fresh solves.
+
+The contexts in :mod:`repro.smt.incremental` answer base+delta queries
+from warm SAT/theory state.  Every test here pins a piece of the
+soundness argument: scope isolation, lemma retention, the live-literal
+set, and agreement with a cold :class:`~repro.smt.solver.Solver` on the
+same assertions.
+"""
+
+from repro.smt import terms as T
+from repro.smt.incremental import ContextPool, IncrementalContext
+from repro.smt.solver import SAT, UNSAT, Solver
+
+X = T.mk_var("x", T.INT)
+Y = T.mk_var("y", T.INT)
+Z = T.mk_var("z", T.INT)
+
+
+def eq(a, b):
+    return T.mk_eq(a, b)
+
+
+def fresh_status(assertions):
+    s = Solver()
+    for f in assertions:
+        s.add(f)
+    return s.check()
+
+
+def test_delta_sat_and_unsat():
+    base = (eq(X, T.mk_int(3)), T.mk_le(Y, T.mk_int(10)))
+    ctx = IncrementalContext(base)
+    sat_q = list(base) + [eq(Y, T.mk_int(7))]
+    unsat_q = list(base) + [eq(X, T.mk_int(5))]
+    assert ctx.check_delta(sat_q) == SAT == fresh_status(sat_q)
+    assert ctx.check_delta(unsat_q) == UNSAT == fresh_status(unsat_q)
+
+
+def test_scopes_do_not_leak():
+    base = (T.mk_le(T.mk_int(0), X),)
+    ctx = IncrementalContext(base)
+    assert ctx.check_delta(list(base) + [eq(X, T.mk_int(1))]) == SAT
+    # The retired scope's x=1 must not constrain this query.
+    assert ctx.check_delta(list(base) + [eq(X, T.mk_int(2))]) == SAT
+    assert ctx.check_delta(
+        list(base) + [eq(X, T.mk_int(1)), eq(X, T.mk_int(2))]) == UNSAT
+
+
+def test_repeated_delta_atom_stays_live():
+    # Regression: an atom first registered by a retired scope must be
+    # re-classified live when a later delta reuses it.  With the
+    # registration-order bookkeeping this answered SAT (the atom's junk
+    # value never reached the theory check) where a fresh solve says
+    # UNSAT.
+    base = (eq(X, T.mk_int(3)),)
+    ctx = IncrementalContext(base)
+    bad = list(base) + [eq(X, T.mk_int(5))]
+    assert ctx.check_delta(bad) == UNSAT
+    assert ctx.check_delta(bad) == UNSAT  # same delta, second scope
+    good = list(base) + [eq(Y, T.mk_int(5))]
+    assert ctx.check_delta(good) == SAT
+    assert ctx.check_delta(bad) == UNSAT  # and again after a SAT scope
+
+
+def test_non_superset_query_falls_back():
+    base = (eq(X, T.mk_int(3)),)
+    ctx = IncrementalContext(base)
+    assert ctx.check_delta([eq(Y, T.mk_int(1))]) is None
+
+
+def test_many_scopes_with_rebuild():
+    # Push enough scopes to cross REBUILD_AFTER and verify answers stay
+    # correct through the rebuild.
+    import repro.smt.incremental as inc_mod
+
+    base = (T.mk_le(T.mk_int(0), X),)
+    ctx = IncrementalContext(base)
+    old = inc_mod.REBUILD_AFTER
+    inc_mod.REBUILD_AFTER = 10
+    try:
+        for i in range(25):
+            q = list(base) + [eq(X, T.mk_int(i))]
+            assert ctx.check_delta(q) == SAT
+            bad = list(base) + [eq(X, T.mk_int(i)), eq(X, T.mk_int(i + 1))]
+            assert ctx.check_delta(bad) == UNSAT
+    finally:
+        inc_mod.REBUILD_AFTER = old
+
+
+def test_agreement_with_fresh_solver_on_mixed_family():
+    sel = T.mk_select(T.mk_var("A", T.ARR), X)
+    base = (T.mk_le(T.mk_int(0), X), eq(sel, Y))
+    ctx = IncrementalContext(base)
+    deltas = [
+        [eq(Y, T.mk_int(4))],
+        [eq(Y, T.mk_int(4)), T.mk_le(Y, T.mk_int(3))],
+        [T.mk_le(T.mk_add(X, Y), T.mk_int(9))],
+        [eq(sel, T.mk_int(2)), eq(Y, T.mk_int(2))],
+        [eq(sel, T.mk_int(2)), eq(Y, T.mk_int(3))],
+    ]
+    for delta in deltas:
+        q = list(base) + delta
+        warm = ctx.check_delta(q)
+        if warm is not None:
+            assert warm == fresh_status(q), delta
+
+
+def test_pool_reuses_context_and_gates_models():
+    pool = ContextPool(capacity=4)
+    base = (eq(X, T.mk_int(3)),)
+
+    def mk_solver(extra):
+        s = Solver()
+        for f in base:
+            s.add(f)
+        s.add(extra)
+        return s
+
+    unsat_solver = mk_solver(eq(X, T.mk_int(5)))
+    assert pool.try_status(unsat_solver, base, want_model=True) == UNSAT
+    sat_solver = mk_solver(eq(Y, T.mk_int(5)))
+    # SAT with a model wanted must fall through to the one-shot path.
+    assert pool.try_status(sat_solver, base, want_model=True) is None
+    sat_solver2 = mk_solver(eq(Y, T.mk_int(6)))
+    assert pool.try_status(sat_solver2, base, want_model=False) == SAT
+    key_count = len(pool._contexts)
+    assert key_count == 1  # one family, one warm context
+
+
+def test_model_rerun_backoff_skips_sat_heavy_family():
+    # A family whose warm answers are all discarded model-wanting SATs
+    # must stop being attempted after MODEL_RERUN_BACKOFF discards —
+    # and a landed answer must reset the streak.
+    from repro.smt.incremental import MODEL_RERUN_BACKOFF
+
+    pool = ContextPool(capacity=4)
+    base = (T.mk_le(T.mk_int(0), X),)
+
+    def mk_solver(extra):
+        s = Solver()
+        for f in base:
+            s.add(f)
+        s.add(extra)
+        return s
+
+    for i in range(MODEL_RERUN_BACKOFF):
+        s = mk_solver(eq(Y, T.mk_int(i)))
+        assert pool.try_status(s, base, want_model=True) is None
+    ctx = next(iter(pool._contexts.values()))
+    assert ctx._model_reruns == MODEL_RERUN_BACKOFF
+    scopes_before = ctx._retired_scopes
+    # Backed off: no new scope is even pushed for a model-wanting query.
+    s = mk_solver(eq(Y, T.mk_int(99)))
+    assert pool.try_status(s, base, want_model=True) is None
+    assert ctx._retired_scopes == scopes_before
+    # Status-only probes still run warm, and a landed answer resets.
+    s = mk_solver(eq(Y, T.mk_int(100)))
+    assert pool.try_status(s, base, want_model=False) == SAT
+    assert ctx._model_reruns == 0
+    s = mk_solver(eq(Y, T.mk_int(101)))
+    assert pool.try_status(s, base, want_model=True) is None
+    assert ctx._model_reruns == 1

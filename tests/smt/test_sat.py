@@ -132,3 +132,75 @@ def test_fuzz_incremental_equals_oneshot(data):
     for c in clauses[half:]:
         s.add_clause(c)
     assert (s.solve() is True) == brute_force(clauses, n)
+
+
+# -- assumption-based solving (incremental contexts) --------------------------
+
+
+def test_assumptions_basic():
+    s = SatSolver()
+    a = s.new_var()
+    x = s.new_var()
+    s.add_clause([-a, x])  # a -> x
+    assert s.solve(assumptions=(a,)) is True
+    assert s.model()[x] is True
+    # Same DB, opposite assumption: x unconstrained.
+    assert s.solve(assumptions=(-a,)) is True
+
+
+def test_unsat_under_assumptions_keeps_solver_reusable():
+    s = SatSolver()
+    a = s.new_var()
+    x = s.new_var()
+    s.add_clause([-a, x])
+    s.add_clause([-a, -x])  # a -> (x and not x)
+    assert s.solve(assumptions=(a,)) is False
+    # The contradiction lives behind `a`: the solver must stay usable
+    # and the unguarded DB satisfiable.
+    assert s._ok
+    assert s.solve(assumptions=(-a,)) is True
+    assert s.solve() is True
+
+
+def test_scope_retirement_via_unit():
+    s = SatSolver()
+    a1, x = s.new_var(), s.new_var()
+    s.add_clause([-a1, x])
+    assert s.solve(assumptions=(a1,)) is True
+    # Retire the scope: its clauses become inert, later solves are free
+    # to falsify x.
+    s.add_clause([-a1])
+    a2 = s.new_var()
+    s.add_clause([-a2, -x])
+    assert s.solve(assumptions=(a2,)) is True
+    assert s.model()[x] is False
+
+
+def test_learned_clauses_persist_across_assumption_solves():
+    # Conflicts under one assumption must not poison later solves: run
+    # a pigeonhole-style unsat scope, then solve a satisfiable scope.
+    s = SatSolver()
+    a = s.new_var()
+    p = [s.new_var() for _ in range(6)]
+    # 3 pigeons, 2 holes, all guarded on `a`.
+    for i in range(3):
+        s.add_clause([-a, p[2 * i], p[2 * i + 1]])
+    for hole in range(2):
+        for i in range(3):
+            for j in range(i + 1, 3):
+                s.add_clause([-a, -p[2 * i + hole], -p[2 * j + hole]])
+    assert s.solve(assumptions=(a,)) is False
+    assert s._ok
+    b = s.new_var()
+    s.add_clause([-b, p[0]])
+    assert s.solve(assumptions=(b,)) is True
+    assert s.model()[p[0]] is True
+
+
+def test_conflicting_assumptions():
+    s = SatSolver()
+    x = s.new_var()
+    s.add_clause([x])
+    assert s.solve(assumptions=(-x,)) is False
+    assert s._ok
+    assert s.solve() is True

@@ -48,7 +48,8 @@ import time
 
 from repro.pins import PinsConfig, run_pins
 from repro.resil import Budget
-from repro.suite import BENCH_SETS, BENCHMARK_MODULES, bench_profile, bench_set, get_benchmark
+from repro.suite import (BENCH_SETS, BENCHMARK_MODULES, bench_profile,
+                         bench_set, get_benchmark, resolved_budget)
 from repro.validate import random_pool, validate_inverse
 
 BASELINE_LABEL = "serial-baseline"
@@ -82,6 +83,15 @@ def bench_record(result, elapsed: float, budget=None) -> dict:
         record["budget"] = budget
     if stats.budget_exhausted:
         record["budget_exhausted"] = stats.budget_exhausted
+    # Counterexample-replay health (the lzw axiom-incompleteness story):
+    # recorded only when nonzero so untouched programs keep their exact
+    # historical record shape.
+    replay_failed = result.metrics.counter("analysis.regions.replay_failed")
+    downgraded = result.metrics.counter("analysis.regions.downgraded")
+    if replay_failed:
+        record["cex_replay_failed"] = replay_failed
+    if downgraded:
+        record["cex_replay_downgraded"] = downgraded
     return record
 
 
@@ -175,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable the forward-backward unknowns analysis "
                          "(static clause seeding + linear constraint "
                          "screen) for A/B runs")
+    ap.add_argument("--no-regions", action="store_true",
+                    help="disable the array-region / loop-bound analysis "
+                         "(guided axiom instantiation, replay-failure "
+                         "downgrades, inferred path budgets) for A/B runs")
     ap.add_argument("--budget", default=None, metavar="SPEC",
                     help="resource budget, e.g. 'wall=30;smt=5000' "
                          "(see repro.resil.parse_budget_spec); overrides "
@@ -255,7 +269,9 @@ def main() -> int:
         if budget is None and os.environ.get("REPRO_BUDGET"):
             budget = os.environ["REPRO_BUDGET"]
         if budget is None and not args.no_program_budgets:
-            budget = profile.budget
+            # Profile budget plus the inferred never-firing paths=
+            # ceiling (hand paths= values win; see suite.resolved_budget).
+            budget = resolved_budget(name, regions=not args.no_regions)
         config = PinsConfig(m=args.m, max_iterations=args.iters,
                             seed=args.seed, jobs=args.jobs,
                             workers=args.workers,
@@ -263,6 +279,7 @@ def main() -> int:
                             absint=False if args.no_absint else None,
                             fwdbwd=False if args.no_fwdbwd else None,
                             incremental=False if args.no_incremental else None,
+                            regions=False if args.no_regions else None,
                             budget=budget, faults=args.faults)
         t0 = time.time()
         result = run_pins(task, config)

@@ -16,6 +16,11 @@ Two modes:
   forward-backward unknowns analysis on suite templates and report each
   hole's feasible candidate set plus any static unit/pair refutations.
   Exit status 1 when a hole's candidate family is statically empty.
+* ``python -m repro.analysis regions [names...]`` — run the array-region
+  and loop-bound analysis on suite tasks and report per-loop ranking
+  bounds, per-array index footprints, axiom-derived cell value ranges,
+  the syntactic path count, and hand-vs-inferred path budgets.  Exit
+  status 1 when any ``stale-profile-budget`` lint fires.
 """
 
 from __future__ import annotations
@@ -133,6 +138,48 @@ def unknowns_main(argv: List[str]) -> int:
     return status
 
 
+def regions_main(argv: List[str]) -> int:
+    from ..suite import all_benchmarks, bench_profile, get_benchmark
+    from .regions import analyze_task, inferred_path_budget, lint_profile_budget
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis regions",
+        description="Array-region and loop-bound analysis: per-loop "
+                    "ranking bounds, per-array index footprints, value "
+                    "ranges, syntactic path counts, and the "
+                    "hand-vs-inferred path-budget lint.")
+    ap.add_argument("names", nargs="*",
+                    help="benchmark names (default: the whole suite)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the reports as JSON on stdout")
+    args = ap.parse_args(argv)
+
+    names = args.names or sorted(all_benchmarks())
+    status = 0
+    blobs = []
+    for name in names:
+        task = get_benchmark(name).task
+        report = analyze_task(task, name=name)
+        profile = bench_profile(name)
+        diags = lint_profile_budget(name, profile.budget)
+        if args.json:
+            blob = report.to_json()
+            blob["profile_budget"] = profile.budget
+            blob["inferred_paths"] = inferred_path_budget(name)
+            blob["lint"] = [str(d) for d in diags]
+            blobs.append(blob)
+        else:
+            print(report.describe())
+            if profile.budget:
+                print(f"  profile budget: {profile.budget}")
+        for d in diags:
+            print(f"{name}: {d}", file=sys.stderr)
+            status = 1
+    if args.json:
+        print(json.dumps(blobs, indent=2, sort_keys=True))
+    return status
+
+
 def main(argv: List[str] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -140,10 +187,12 @@ def main(argv: List[str] = None) -> int:
         return certify_main(argv[1:])
     if argv and argv[0] == "unknowns":
         return unknowns_main(argv[1:])
+    if argv and argv[0] == "regions":
+        return regions_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Lint PINS programs / the benchmark suite "
-                    "(or: certify ... / unknowns ...).")
+                    "(or: certify ... / unknowns ... / regions ...).")
     ap.add_argument("files", nargs="*",
                     help="program source files to lint")
     ap.add_argument("--suite", action="store_true",

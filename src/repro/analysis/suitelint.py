@@ -8,7 +8,9 @@ CI workflow; it lints, for each suite benchmark:
 * the inverse template, in the context of the forward program,
 * the hand-written ground-truth inverse, in the same context,
 * the template's hole candidate families, through the forward-backward
-  unknowns analysis (``empty-candidate-family``).
+  unknowns analysis (``empty-candidate-family``),
+* the bench profile's ``paths=`` budget, against the region analysis'
+  inferred syntactic path ceiling (``stale-profile-budget``).
 """
 
 from __future__ import annotations
@@ -17,10 +19,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .diagnostics import Diagnostic, failing
 from .lint import lint_program, lint_template, lint_unknowns
+from .regions import lint_profile_budget
 
 
 def lint_benchmark(bench) -> List[Diagnostic]:
     """All diagnostics for one :class:`repro.suite.base.Benchmark`."""
+    from ..suite import bench_profile
+
     task = bench.task
     diags: List[Diagnostic] = []
     diags.extend(lint_program(task.program, externs=task.externs))
@@ -29,6 +34,7 @@ def lint_benchmark(bench) -> List[Diagnostic]:
     diags.extend(lint_template(task.program, bench.ground_truth,
                                externs=task.externs))
     diags.extend(lint_unknowns(task))
+    diags.extend(lint_profile_budget(bench.name, bench_profile(bench.name).budget))
     return diags
 
 

@@ -86,6 +86,15 @@ class PinsConfig:
     feasible sets.  ``None`` defers to the ``REPRO_FWDBWD`` env var,
     which itself follows the absint switch (so fully-unpruned baselines
     stay unpruned)."""
+    regions: Optional[bool] = None
+    """Use the array-region / loop-bound analysis: guided axiom
+    instantiation over finite index regions, downgrading of VIOLATED
+    answers whose counterexample cannot be replayed concretely
+    (axiom-incomplete extern models), region-derived default cells for
+    abstract witnesses, and out-of-region candidate refutation seeded as
+    SAT unit clauses.  ``None`` defers to the ``REPRO_REGIONS`` env var,
+    which itself follows the fwdbwd switch (so fully-unpruned baselines
+    stay unpruned)."""
     trace: Optional[str] = None
     """Write a JSONL observability trace of this run to the given path
     (appending).  ``None`` defers to the ``REPRO_TRACE`` env var; when
@@ -175,6 +184,8 @@ class PinsStats:
     fwdbwd_screen_holds: int = 0
     fwdbwd_units_refuted: int = 0
     fwdbwd_pairs_refuted: int = 0
+    regions_units_refuted: int = 0
+    regions_loops_bounded: int = 0
     checker_smt_checks: int = 0
     smt_cache_hits: int = 0
     smt_cache_misses: int = 0
@@ -213,6 +224,8 @@ STATS_COUNTER_MAP = (
     ("fwdbwd_screen_holds", "solve.fwdbwd_hold"),
     ("fwdbwd_units_refuted", "analysis.fwdbwd.units_refuted"),
     ("fwdbwd_pairs_refuted", "analysis.fwdbwd.pairs_refuted"),
+    ("regions_units_refuted", "analysis.regions.units_refuted"),
+    ("regions_loops_bounded", "analysis.regions.loops_bounded"),
     ("candidates_demoted", "solve.demoted"),
 )
 """(PinsStats attribute, obs counter name) pairs that must agree at the
@@ -402,6 +415,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             fwdbwd=config.fwdbwd,
             budget=budget,
             incremental=config.incremental,
+            regions=config.regions,
         )
         constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
         session = SolveSession(template.space, prune_report=template.prune_report)
@@ -434,6 +448,31 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             obs.count("analysis.fwdbwd.pairs_refuted", len(pair_refs))
             stats.fwdbwd_units_refuted = len(units)
             stats.fwdbwd_pairs_refuted = len(pair_refs)
+
+        if checker.regions:
+            from ..analysis.regions import analyze_task, refute_out_of_region
+
+            with obs.span("analysis.regions"):
+                region_report = analyze_task(task)
+            checker.attach_region_report(region_report)
+            # Candidates whose constant select index provably exits every
+            # allocated region become unit blocking clauses, exactly like
+            # the fwdbwd refutations above.
+            enum = session.enumerator
+            region_units = refute_out_of_region(template.space, region_report)
+            for hole, idx in region_units:
+                session.persistent_clauses.append([-enum.var_of[(hole, idx)]])
+            obs.count("analysis.regions.units_refuted", len(region_units))
+            obs.count("analysis.regions.loops_bounded",
+                      region_report.bounded_loops())
+            stats.regions_units_refuted = len(region_units)
+            stats.regions_loops_bounded = region_report.bounded_loops()
+            # Arm the acceptance-time concrete round-trip refuter for
+            # candidates that ride on replay-failure downgrades (only
+            # reachable when a downgrade actually happened, so the
+            # trajectory elsewhere is untouched).
+            checker.attach_roundtrip(task.program, template, spec,
+                                     task.precondition)
 
         tests: List[Dict[str, Any]] = []
         seen = set()

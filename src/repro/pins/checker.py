@@ -42,6 +42,10 @@ HOLDS = "holds"
 VIOLATED = "violated"
 UNKNOWN = "unknown"
 
+REPLAY_CONFIRMED = "confirmed"
+REPLAY_SPURIOUS = "spurious"
+REPLAY_FAILED = "failed"
+
 
 @dataclass
 class CheckOutcome:
@@ -54,6 +58,13 @@ class CheckOutcome:
     """UNKNOWN downgraded from a VIOLATED whose counterexample the
     candidate *passes* concretely (axiom-incomplete model).  Positive
     replay evidence: solve() must not count it toward unknown-demotion."""
+    downgraded: bool = False
+    """UNKNOWN downgraded from a VIOLATED whose counterexample failed
+    replay outright (extern model tables diverge from the concrete
+    semantics).  Neither positive nor negative evidence about the
+    candidate: solve() exempts it from unknown-demotion but routes the
+    candidate through the concrete round-trip refuter before accepting
+    it (:meth:`ConstraintChecker.concrete_roundtrip`)."""
 
 
 @dataclass
@@ -69,6 +80,19 @@ class CheckerStats:
     fwdbwd_screens: int = 0
     fwdbwd_holds: int = 0
     spurious_cex: int = 0
+    replay_failed: int = 0
+    """VIOLATED answers returned with a counterexample that could not be
+    replayed concretely (the model may be axiom-incomplete).  With the
+    region analysis on this must stay 0: unreplayable extern-bearing
+    counterexamples are downgraded instead of returned."""
+    replay_downgraded: int = 0
+    """VIOLATED answers downgraded to UNKNOWN because their model's
+    extern function tables diverge from the concrete semantics (replay
+    fails) — solver incompleteness, not a refutation."""
+    roundtrip_refuted: int = 0
+    """Candidates refuted by the whole-program concrete round trip at
+    acceptance time (a downgrade-riding candidate failed ``P ; P⁻¹``
+    on a real test input)."""
 
 
 class ConstraintChecker:
@@ -85,9 +109,11 @@ class ConstraintChecker:
                  absint: Optional[bool] = None,
                  budget: Optional[object] = None,
                  fwdbwd: Optional[bool] = None,
-                 incremental: Optional[bool] = None):
+                 incremental: Optional[bool] = None,
+                 regions: Optional[bool] = None):
         from ..analysis.absint import absint_enabled
         from ..analysis.fwdbwd import fwdbwd_enabled
+        from ..analysis.regions import regions_enabled
         from ..smt.incremental import ContextPool, incremental_enabled
 
         self.sorts = dict(sorts)
@@ -112,8 +138,69 @@ class ConstraintChecker:
         self.fwdbwd_report = None
         """Optional :class:`repro.analysis.fwdbwd.FwdBwdReport` attached
         by the PINS driver; consulted by pickOne's infeasibility score."""
+        self.regions = regions_enabled(regions, self.fwdbwd)
+        self.region_report = None
+        """Optional :class:`repro.analysis.regions.RegionReport` attached
+        by the PINS driver via :meth:`attach_region_report`."""
+        self.guided_indices: Dict[str, Tuple[int, ...]] = {}
+        """Finite reachable index sets per array (from the region
+        report); handed to every solver for guided axiom instantiation.
+        Empty whenever regions are off or every region is symbolic."""
         self.stats = CheckerStats()
         self._sat_cache: Dict[tuple, Tuple[str, Optional[smt.Model]]] = {}
+
+        self._roundtrip: Optional[Tuple] = None
+
+    def attach_region_report(self, report: object) -> None:
+        """Attach a region report and derive the guided index sets."""
+        self.region_report = report
+        self.guided_indices = dict(report.guided_indices())
+
+    def attach_roundtrip(self, program, template, spec,
+                         precondition=None) -> None:
+        """Arm the acceptance-time concrete round-trip refuter."""
+        self._roundtrip = (program, template, spec, precondition)
+
+    def concrete_roundtrip(self, solution: Solution,
+                           tests: Sequence[Mapping[str, Any]]
+                           ) -> Optional[Dict[str, Any]]:
+        """First test input on which the candidate fails ``P ; P⁻¹``.
+
+        Whole-program concrete execution with the *real* extern
+        semantics — the path-based screen is vacuous on inputs that miss
+        the explored paths, so a candidate riding on replay-downgrades
+        (see :class:`CheckOutcome`) gets this path-independent check
+        before acceptance.  A spec violation or an interpreter error on
+        a precondition-satisfying input definitively refutes the
+        candidate; inputs rejected by ``P``'s own assumes owe nothing.
+        Returns the refuting input, or None when every test passes (or
+        no refuter is armed).
+        """
+        if self._roundtrip is None:
+            return None
+        from ..concrete.interp import AssumeFailed, OutOfFuel
+        from ..validate.roundtrip import round_trip_once
+
+        program, template, spec, precondition = self._roundtrip
+        try:
+            inverse = template.instantiate(solution)
+        except ValueError:
+            return None
+        for inputs in tests:
+            if precondition is not None and not precondition(dict(inputs)):
+                continue
+            try:
+                ok = round_trip_once(program, inverse, spec, inputs,
+                                     self.externs)
+            except AssumeFailed:
+                continue
+            except (OutOfFuel, InterpError):
+                ok = False
+            if not ok:
+                self.stats.roundtrip_refuted += 1
+                obs.count("analysis.regions.roundtrip_refuted")
+                return dict(inputs)
+        return None
 
     # -- SMT plumbing -------------------------------------------------------
 
@@ -128,15 +215,20 @@ class ConstraintChecker:
         self.stats.smt_checks += 1
         start = time.perf_counter()
         translator = Translator(self.sorts, self.externs)
+        guided = self.guided_indices if self.regions else None
         solver = smt.Solver(axioms=self.axioms,
                             sat_conflict_budget=self.conflict_budget,
                             lia_branch_limit=self.lia_branch_limit,
                             query_cache=self.query_cache,
-                            budget=self.budget)
+                            budget=self.budget,
+                            guided_indices=guided or None)
         incremental = False
         if self._inc_pool is not None and inc_src is not None:
             base = self._inc_base_terms(inc_src)
-            if base:
+            if base and not guided:
+                # Warm incremental contexts were built without the guided
+                # instances; routing a guided query through one could
+                # answer from a weaker formula set.
                 solver.attach_incremental(self._inc_pool, base)
             incremental = True
         try:
@@ -284,6 +376,12 @@ class ConstraintChecker:
                                         via="absint")
         return None
 
+    def _default_cell(self, array: str) -> int:
+        """Default cell value for completing an array witness."""
+        if self.region_report is not None:
+            return self.region_report.default_cell(array)
+        return 0
+
     def _abstract_witness(self, constraint: Constraint, solution: Solution,
                           denv) -> Optional[Dict[str, Any]]:
         """Try to turn a refined abstract state into a concrete refutation.
@@ -300,11 +398,14 @@ class ConstraintChecker:
             if name == SPEC_INDEX_VAR:
                 continue
             if sort is not Sort.INT:
-                # Non-relational domains say nothing about array contents;
-                # an all-zeros array keeps the witness a *complete* input
-                # (preconditions and test replay expect every variable),
-                # matching what the replay below reads anyway.
-                inputs[name] = ConcreteArray(default=0)
+                # Non-relational domains say nothing about array contents,
+                # but the witness must be a *complete* input (preconditions
+                # and test replay expect every variable).  The region
+                # analysis picks the default cell: the low end of the
+                # array's axiom-derived value range, so the completion
+                # satisfies range preconditions instead of assuming zero
+                # is always in range.
+                inputs[name] = ConcreteArray(default=self._default_cell(name))
                 continue
             val = denv.get(f"{name}#0")
             pick = val.as_const()
@@ -406,6 +507,7 @@ class ConstraintChecker:
             return CheckOutcome(HOLDS, vacuous=True)
         saw_unknown = status == smt.UNKNOWN
         saw_spurious = False
+        saw_downgraded = False
         for disjunct in constraint.spec.negated_disjuncts(constraint.final_vmap):
             d_status, model = self._check_sat(ground + [disjunct],
                                               want_model=True,
@@ -419,8 +521,10 @@ class ConstraintChecker:
                     from ..concrete.testgen import env_inputs_from_model
 
                     counterexample = env_inputs_from_model(model)
-                if counterexample is not None and self._spurious_counterexample(
-                        constraint, solution, counterexample):
+                replay = (self._replay_counterexample(constraint, solution,
+                                                      counterexample)
+                          if counterexample is not None else REPLAY_CONFIRMED)
+                if replay == REPLAY_SPURIOUS:
                     # The model satisfies the query only because a needed
                     # axiom instance was never generated (e.g. the
                     # Pythagorean identity on a term shape outside the
@@ -432,35 +536,71 @@ class ConstraintChecker:
                     obs.count("checker.spurious_cex")
                     saw_spurious = True
                     continue
+                if replay == REPLAY_FAILED:
+                    if self.regions and self._has_extern_app(ground):
+                        # The model's uninterpreted extern tables diverge
+                        # from the concrete semantics badly enough that
+                        # the witness does not even follow its own path.
+                        # Nothing about the candidate has been refuted;
+                        # keeping the VIOLATED would block it on garbage
+                        # and poison the test pool (this is exactly how
+                        # lzw used to end in no_solution).
+                        self.stats.replay_downgraded += 1
+                        obs.count("analysis.regions.downgraded")
+                        saw_downgraded = True
+                        continue
+                    # Regions off (or no externs to blame): historical
+                    # behaviour — the model may still witness a genuine
+                    # bug the partial input extraction cannot reproduce.
+                    self.stats.replay_failed += 1
+                    obs.count("analysis.regions.replay_failed")
                 return CheckOutcome(VIOLATED, counterexample=counterexample)
             if d_status == smt.UNKNOWN:
                 saw_unknown = True
-        if saw_unknown or saw_spurious:
+        if saw_unknown or saw_spurious or saw_downgraded:
             return CheckOutcome(UNKNOWN, spurious_cex=saw_spurious
-                                and not saw_unknown)
+                                and not saw_unknown and not saw_downgraded,
+                                downgraded=saw_downgraded)
         return CheckOutcome(HOLDS)
 
-    def _spurious_counterexample(self, constraint: Constraint,
-                                 solution: Solution,
-                                 inputs: Mapping[str, Any]) -> bool:
-        """True when an SMT counterexample fails to refute concretely.
+    def _has_extern_app(self, preds: Sequence[Pred]) -> bool:
+        """True when any pred applies a registered extern function."""
+        names = set(self.externs.names())
+        if not names:
+            return False
+        for pred in preds:
+            for sub in ast.walk_exprs(pred):
+                if isinstance(sub, ast.FunApp) and sub.name in names:
+                    return True
+        return False
+
+    def _replay_counterexample(self, constraint: Constraint,
+                               solution: Solution,
+                               inputs: Mapping[str, Any]) -> str:
+        """Classify an SMT counterexample by concrete replay.
 
         Replays the path on the model's inputs with the concrete extern
-        implementations.  Only a replay that follows the path *and*
-        satisfies the spec proves the model spurious; inputs that cannot
-        be replayed (abstract values) or diverge from the path keep the
-        VIOLATED verdict — the model may still witness a genuine bug the
-        partial input extraction just cannot reproduce.
+        implementations:
+
+        * :data:`REPLAY_SPURIOUS` — the input follows the path *and*
+          satisfies the spec: the model is provably axiom-incomplete;
+        * :data:`REPLAY_FAILED` — the input cannot be replayed
+          (abstract values) or diverges from the path: the model's
+          function tables disagree with the concrete semantics;
+        * :data:`REPLAY_CONFIRMED` — the replay reproduces the spec
+          violation: a genuine counterexample.
         """
         assert constraint.spec is not None
         try:
             env = run_path(constraint.items, inputs, self.sorts, self.externs,
                            solution.expr_map, solution.pred_map)
         except InterpError:
-            return False
+            return REPLAY_FAILED
         if env is None:
-            return False
-        return constraint.spec.check_env(env, constraint.final_vmap)
+            return REPLAY_FAILED
+        if constraint.spec.check_env(env, constraint.final_vmap):
+            return REPLAY_SPURIOUS
+        return REPLAY_CONFIRMED
 
     def _check_goal(self, constraint: Constraint, solution: Solution,
                     ground: List[Pred]) -> CheckOutcome:

@@ -47,6 +47,13 @@ INV_PREFIX = "inv!"
 # *for* the candidate, not a solver stall.
 UNKNOWN_REPLAYED = "unknown-replay-pass"
 
+# Cache sentinel for an UNKNOWN downgraded from a VIOLATED whose
+# counterexample failed concrete replay (extern model-table garbage):
+# exempt from unknown-demotion like UNKNOWN_REPLAYED — but it is *no*
+# evidence for the candidate either, so acceptance routes the candidate
+# through the whole-program concrete round-trip refuter first.
+UNKNOWN_DOWNGRADED = "unknown-replay-fail"
+
 
 def is_auxiliary_hole(name: str) -> bool:
     """Ranking/invariant holes: part of the search, not of the program."""
@@ -72,6 +79,9 @@ class SolveStats:
     resilience cascade for a solver that keeps timing out on one
     candidate: block it non-persistently instead of accepting it on
     optimism or aborting the solve)."""
+    roundtrip_refuted: int = 0
+    """Downgrade-riding candidates refuted at acceptance by the
+    whole-program concrete round trip (real extern semantics)."""
     sat_time: float = 0.0
     screen_time: float = 0.0
     check_time: float = 0.0
@@ -344,6 +354,14 @@ class SolveSession:
     prune_report: Optional[Any] = None
     """The :class:`repro.analysis.prune.PruneReport` describing how the
     space was shrunk before encoding (None when pruning was disabled)."""
+    replay_downgraded: bool = False
+    """True once any check this run downgraded a VIOLATED on replay
+    failure.  From that point the SMT layer is known unreliable on this
+    task's externs, so *every* later acceptance (not just candidates
+    with their own downgrade) must pass the concrete round-trip refuter
+    — optimism-riding candidates are otherwise indistinguishable from
+    real solutions.  Extern-clean programs never set this, keeping
+    their trajectories byte-identical."""
 
     def __post_init__(self) -> None:
         self.enumerator = Enumerator(self.space)
@@ -520,6 +538,7 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         with obs.span("solve.check") as check_span:
             failed = False
             unknown_hits = 0
+            saw_downgraded = False
             pending: List[Tuple[int, Constraint, Tuple[tuple, str]]] = []
             for cidx, constraint in enumerate(constraints):
                 if constraint.label in session.eager_done:
@@ -527,9 +546,12 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
                 cache_key = (_restricted_key(solution, constraint.relevant),
                              constraint.label)
                 cached = session.check_cache.get(cache_key)
-                if cached in (HOLDS, UNKNOWN, UNKNOWN_REPLAYED):
+                if cached in (HOLDS, UNKNOWN, UNKNOWN_REPLAYED,
+                              UNKNOWN_DOWNGRADED):
                     if cached == UNKNOWN:
                         unknown_hits += 1
+                    if cached == UNKNOWN_DOWNGRADED:
+                        saw_downgraded = True
                     continue
                 pending.append((cidx, constraint, cache_key))
             if demote_unknowns is not None and unknown_hits >= demote_unknowns:
@@ -574,6 +596,15 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
                 if outcome.status == UNKNOWN and outcome.spurious_cex:
                     session.check_cache[cache_key] = UNKNOWN_REPLAYED
                     continue
+                if outcome.status == UNKNOWN and outcome.downgraded:
+                    # Replay-failure downgrade: no evidence either way.
+                    # Exempt from demotion (a solver artifact, not a
+                    # stall) but remember it — acceptance must pass the
+                    # concrete round-trip refuter below.
+                    session.check_cache[cache_key] = UNKNOWN_DOWNGRADED
+                    saw_downgraded = True
+                    session.replay_downgraded = True
+                    continue
                 session.check_cache[cache_key] = outcome.status
                 if outcome.status == UNKNOWN:
                     unknown_hits += 1
@@ -585,6 +616,21 @@ def solve(session: SolveSession, constraints: Sequence[Constraint],
         stats.check_time += check_span.duration
         if failed:
             continue
+
+        if saw_downgraded or session.replay_downgraded:
+            # Either this candidate rode a downgrade, or some earlier
+            # check this run did — meaning the SMT layer's extern models
+            # are unreliable here and the path-based screen is vacuous
+            # on inputs that miss the explored paths.  Run the whole
+            # program concretely before accepting.  A refuting input
+            # blocks the exact assignment permanently — it is real
+            # evidence under the real semantics.
+            refuting = checker.concrete_roundtrip(solution, tests)
+            if refuting is not None:
+                stats.roundtrip_refuted += 1
+                obs.count("solve.blocked_roundtrip")
+                learn(enum.exact_block(solution))
+                continue
 
         # -- accepted -------------------------------------------------------
         program_key = _program_key(solution)

@@ -14,7 +14,8 @@ from importlib import import_module
 from typing import Dict, List
 
 from .base import Benchmark, PaperNumbers
-from .profiles import BENCH_SETS, BenchProfile, bench_profile, bench_set
+from .profiles import (BENCH_SETS, BenchProfile, bench_profile,
+                       bench_set, resolved_budget)
 
 PAPER_BENCHMARKS: List[str] = [
     "inplace_rl",
@@ -67,4 +68,4 @@ def all_benchmarks() -> Dict[str, Benchmark]:
 __all__ = ["Benchmark", "PaperNumbers", "BenchProfile",
            "BENCHMARK_MODULES", "PAPER_BENCHMARKS", "EXTENSION_BENCHMARKS",
            "BENCH_SETS", "get_benchmark", "all_benchmarks",
-           "bench_profile", "bench_set"]
+           "bench_profile", "bench_set", "resolved_budget"]

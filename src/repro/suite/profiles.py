@@ -55,8 +55,9 @@ PROFILES: Dict[str, BenchProfile] = {
         set="fast", budget="smt=1500;wall=300"),
     "lz77": BenchProfile(  # stabilizes at 614 q, ~120 s
         set="slow", budget="smt=1500;wall=900"),
-    "lzw": BenchProfile(  # query budget fires, ~45 s
-        set="slow", budget="smt=800;wall=600", queries_slack=0.10),
+    "lzw": BenchProfile(  # stabilizes at 1215 q, ~25 min (replay
+        # downgrades + round-trip refuter; budget is a backstop only)
+        set="slow", budget="smt=8000;wall=2400", queries_slack=0.10),
     "delta_encode": BenchProfile(  # stabilizes at ~120 q, ~2 s
         set="fast", budget="smt=1500;wall=300"),
     # encoders
@@ -91,6 +92,34 @@ BENCH_SETS = ("fast", "slow", "all")
 def bench_profile(name: str) -> BenchProfile:
     """Profile for one registered program (default profile if unlisted)."""
     return PROFILES.get(name, BenchProfile())
+
+
+def resolved_budget(name: str, regions: bool = True) -> Optional[str]:
+    """The profile budget with an inferred ``paths=`` safety net.
+
+    When the region analysis is on and the hand profile has no path
+    budget, the statically inferred syntactic path ceiling (see
+    :func:`repro.analysis.regions.inferred_path_budget`) is appended as
+    ``paths=<ceiling>``.  The executor returns each syntactic path at
+    most once per run, so a budget at exactly the ceiling can never
+    fire — appending it cannot change any trajectory or digest; it only
+    turns a hypothetical runaway enumeration into a clean
+    ``budget_exhausted``.  Hand-tuned ``paths=`` values always win (and
+    are linted against the ceiling by suitelint's
+    ``stale-profile-budget`` rule).  Ceilings above
+    :data:`repro.analysis.regions.PATH_COUNT_CAP` are left off — a
+    six-digit never-firing limit is noise.
+    """
+    profile = bench_profile(name)
+    spec = profile.budget
+    if not regions or spec is None or "paths" in spec:
+        return spec
+    from ..analysis.regions import PATH_COUNT_CAP, inferred_path_budget
+
+    ceiling = inferred_path_budget(name)
+    if ceiling is None or ceiling > PATH_COUNT_CAP:
+        return spec
+    return f"{spec};paths={ceiling}"
 
 
 def bench_set(which: str) -> List[str]:

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Load-test the synthesis service and record BENCH_serve.json.
+
+Starts a real :class:`repro.serve.ServeApp` (in-thread, forked worker
+fleet, shared cache store), submits ``--jobs`` concurrent jobs cycling
+over ``--programs``, and records service-level performance::
+
+    python scripts/run_serve_bench.py --jobs 8 --workers 2 \\
+        --bench-json BENCH_serve.json --bench-label serve-ci
+
+Per label the record carries throughput (jobs/s over the busy window)
+and the client-visible latency distribution (p50/p95/p99, from the
+server's own submit/finish timestamps so client polling cadence does
+not pollute the numbers), plus fleet/queue counters and per-program
+digests.
+
+The run **fails** (exit 1) unless every job finishes ``done`` AND every
+program's served inverse digest is bit-identical to a one-shot
+``run_pins`` reference computed in-process — the load test doubles as
+the service's determinism gate under concurrency.
+
+The JSON is written atomically (tmp + ``os.replace``), merging into any
+existing labels, mirroring ``run_bench.py``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+def reference_digests(programs, config):
+    """One-shot run_pins digests, the determinism yardstick."""
+    from repro.pins import PinsConfig, run_pins
+    from repro.suite import get_benchmark, resolved_budget
+
+    refs = {}
+    for name in programs:
+        cfg = dict(config, budget=resolved_budget(name))
+        result = run_pins(get_benchmark(name).task, PinsConfig(**cfg))
+        refs[name] = {"status": result.status,
+                      "inverse_digest": result.inverse_digest()}
+    return refs
+
+
+def save_bench_json(path, label, record):
+    data = {"labels": {}}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            pass
+    data.setdefault("labels", {})[label] = record
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Load-test repro.serve and record BENCH_serve.json.")
+    ap.add_argument("--jobs", type=int, default=8,
+                    help="concurrent jobs to submit (default 8)")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="serve worker processes (default 2)")
+    ap.add_argument("--programs", default="sumi,vector_shift,vector_scale",
+                    help="comma-separated suite programs to cycle over")
+    ap.add_argument("--m", type=int, default=10)
+    ap.add_argument("--iters", type=int, default=30)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--cache-dir", default=None,
+                    help="shared store directory (default: a temp dir)")
+    ap.add_argument("--bench-json", default=None, metavar="PATH",
+                    help="record results into this JSON file")
+    ap.add_argument("--bench-label", default="serve", metavar="LABEL")
+    ap.add_argument("--timeout", type=float, default=600.0,
+                    help="per-job completion deadline (seconds)")
+    args = ap.parse_args(argv)
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.serve import ServeConfig, ServerThread
+
+    programs = [p.strip() for p in args.programs.split(",") if p.strip()]
+    if not programs:
+        ap.error("--programs must name at least one suite program")
+    job_config = {"m": args.m, "max_iterations": args.iters,
+                  "seed": args.seed}
+
+    print(f"computing one-shot references for {', '.join(programs)} ...")
+    refs = reference_digests(programs, job_config)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        cache_dir = args.cache_dir or os.path.join(tmpdir, "store")
+        os.makedirs(cache_dir, exist_ok=True)
+        serve_config = ServeConfig(workers=args.workers, cache_dir=cache_dir)
+        t_start = time.time()
+        with ServerThread(serve_config) as client:
+            submitted = []
+            for i in range(args.jobs):
+                name = programs[i % len(programs)]
+                job = client.submit(name, config=job_config)
+                submitted.append((job["id"], name))
+            print(f"submitted {len(submitted)} jobs "
+                  f"across {args.workers} workers")
+
+            finals = {}
+            for job_id, _name in submitted:
+                finals[job_id] = client.wait_for(job_id,
+                                                 timeout=args.timeout)
+            stats = client.stats()
+        wall_s = time.time() - t_start
+
+    failures = []
+    latencies = []
+    first_submit = None
+    last_finish = None
+    per_program = {}
+    for job_id, name in submitted:
+        final = finals[job_id]
+        if final["state"] != "done":
+            failures.append(f"{job_id} ({name}): state={final['state']} "
+                            f"error={final.get('error')}")
+            continue
+        latencies.append(final["latency_s"])
+        sub, fin = final["submitted_at"], final["finished_at"]
+        first_submit = sub if first_submit is None else min(first_submit, sub)
+        last_finish = fin if last_finish is None else max(last_finish, fin)
+        record = final["result"]
+        slot = per_program.setdefault(
+            name, {"jobs": 0, "status": record["status"],
+                   "inverse_digest": record["inverse_digest"]})
+        slot["jobs"] += 1
+        if record["inverse_digest"] != refs[name]["inverse_digest"]:
+            failures.append(
+                f"{job_id} ({name}): served digest "
+                f"{record['inverse_digest'][:12]} != one-shot "
+                f"{refs[name]['inverse_digest'][:12]}")
+        if slot["inverse_digest"] != record["inverse_digest"]:
+            failures.append(f"{name}: digests differ across served jobs")
+
+    latencies.sort()
+    busy = ((last_finish - first_submit)
+            if latencies and last_finish > first_submit else wall_s)
+    bench = {
+        "jobs": args.jobs,
+        "workers": args.workers,
+        "programs": per_program,
+        "config": job_config,
+        "wall_s": round(wall_s, 3),
+        "throughput_jobs_per_s": round(len(latencies) / busy, 3) if busy else 0.0,
+        "latency_s": {
+            "p50": round(percentile(latencies, 0.50), 4),
+            "p95": round(percentile(latencies, 0.95), 4),
+            "p99": round(percentile(latencies, 0.99), 4),
+            "max": round(latencies[-1], 4) if latencies else 0.0,
+            "mean": round(sum(latencies) / len(latencies), 4) if latencies else 0.0,
+        },
+        "queue": {k: stats[k] for k in ("completed", "requeues",
+                                        "compactions")},
+        "fleet": stats["fleet"],
+        "digest_parity": not failures,
+    }
+
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    if args.bench_json:
+        save_bench_json(args.bench_json, args.bench_label, bench)
+        print(f"recorded label {args.bench_label!r} in {args.bench_json}")
+
+    if failures:
+        print("FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(latencies)}/{args.jobs} jobs done, "
+          f"{bench['throughput_jobs_per_s']} jobs/s, "
+          f"p95 {bench['latency_s']['p95']}s, digests bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ then inspect with ``python -m repro.obs report trace.jsonl``.
 """
 
 from .core import (
+    CallbackRecorder,
     ENV_TRACE,
     JsonlRecorder,
     KIND_COUNTER,
@@ -51,6 +52,7 @@ from .report import (
 )
 
 __all__ = [
+    "CallbackRecorder",
     "ENV_TRACE", "JsonlRecorder", "KIND_COUNTER", "KIND_HIST", "KIND_MARK",
     "KIND_SPAN", "Metrics", "NULL_RECORDER", "Recorder", "SPAN_SEP", "Span",
     "active", "count", "current_metrics", "current_span", "mark", "observe",

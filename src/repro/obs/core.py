@@ -106,6 +106,63 @@ class JsonlRecorder(Recorder):
         self._fh = None
 
 
+class CallbackRecorder(Recorder):
+    """Streams filtered events to a callback — the live-progress feed
+    behind ``repro.serve``'s job event stream.
+
+    Unlike :class:`JsonlRecorder` this recorder has no file: each
+    matching event is handed to ``callback`` as a plain dict
+    ``{ts, span, kind, name, value}`` (``ts`` relative to recorder
+    creation, like the JSONL trace).  ``kinds``/``prefixes`` filter at
+    the source so a hot loop emitting thousands of counter events does
+    not flood a cross-process queue; the default keeps only ``pins.*``
+    spans — the iteration-level heartbeat of a synthesis run.  ``limit``
+    caps total forwarded events (a runaway job cannot grow a job record
+    without bound); the cap is recorded by a final synthetic
+    ``{kind: "mark", name: "obs.events_truncated"}`` event.
+
+    A callback that raises disables further forwarding instead of
+    poisoning the instrumented run: observability must never take the
+    synthesizer down.
+    """
+
+    enabled = True
+
+    def __init__(self, callback, kinds=(KIND_SPAN,), prefixes=("pins.",),
+                 limit: Optional[int] = 1000):
+        self.callback = callback
+        self.kinds = tuple(kinds)
+        self.prefixes = tuple(prefixes)
+        self.limit = limit
+        self.forwarded = 0
+        self.dropped = 0
+        self._t0 = time.perf_counter()
+        self._broken = False
+
+    def emit(self, ts: float, span: str, kind: str, name: str, value: Any) -> None:
+        if self._broken or kind not in self.kinds \
+                or not name.startswith(self.prefixes):
+            return
+        if self.limit is not None and self.forwarded >= self.limit:
+            if self.dropped == 0:
+                self._send({"ts": round(ts - self._t0, 6), "span": span,
+                            "kind": KIND_MARK, "name": "obs.events_truncated",
+                            "value": self.limit})
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self._send({"ts": round(ts - self._t0, 6), "span": span,
+                    "kind": kind, "name": name,
+                    "value": round(value, 6) if isinstance(value, float)
+                    else value})
+
+    def _send(self, event: Dict[str, Any]) -> None:
+        try:
+            self.callback(event)
+        except Exception:
+            self._broken = True
+
+
 class Metrics:
     """In-memory totals for one run: timers, counters, histograms.
 

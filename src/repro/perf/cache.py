@@ -479,14 +479,23 @@ def resolve_cache_spec(config_value: Optional[str]) -> Optional[str]:
     return spec
 
 
-def query_cache_for(config_value: Optional[str],
+def query_cache_for(config_value,
                     slug: str = "default") -> Optional[QueryCache]:
     """Build the run's :class:`QueryCache` from config/env, or None.
 
     ``"mem"``/``"1"`` selects the memory-only tier; a directory spec
     (trailing separator or an existing directory) shards the disk tier
     per task slug; anything else is used as the file path directly.
+
+    A ready-made :class:`QueryCache` instance passes straight through —
+    this is how a long-lived host (a ``repro.serve`` worker) keeps one
+    warm cache object, memory tier and all, across many ``run_pins``
+    calls.  The run still calls ``close()`` on it in its cleanup path;
+    that only drops the shard file handle, which ``_append`` lazily
+    reopens, so a shared instance survives any number of runs.
     """
+    if isinstance(config_value, QueryCache):
+        return config_value
     spec = resolve_cache_spec(config_value)
     if spec is None:
         return None

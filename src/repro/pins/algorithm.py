@@ -156,6 +156,13 @@ class PinsConfig:
     UNKNOWN constraint checks, so repeated SMT timeouts on a single
     candidate cannot wedge ``solve()`` forever.  ``None`` disables
     demotion."""
+    inc_context_pool: Optional[object] = None
+    """An externally-owned :class:`repro.smt.incremental.ContextPool`
+    for the run's checker to draw warm incremental contexts from.  A
+    long-lived host (a ``repro.serve`` worker) passes the same pool to
+    every run so contexts — and the lemmas they retain — survive across
+    jobs; ``None`` (the default) gives each run a fresh pool.  Ignored
+    when ``incremental`` resolves to off."""
 
 
 @dataclass
@@ -416,6 +423,7 @@ def _run_pins(task: SynthesisTask, config: PinsConfig,
             budget=budget,
             incremental=config.incremental,
             regions=config.regions,
+            inc_pool=config.inc_context_pool,
         )
         constraints: List[Constraint] = terminate(desugared.body, desugared.decls)
         session = SolveSession(template.space, prune_report=template.prune_report)

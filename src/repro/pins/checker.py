@@ -110,7 +110,8 @@ class ConstraintChecker:
                  budget: Optional[object] = None,
                  fwdbwd: Optional[bool] = None,
                  incremental: Optional[bool] = None,
-                 regions: Optional[bool] = None):
+                 regions: Optional[bool] = None,
+                 inc_pool: Optional[object] = None):
         from ..analysis.absint import absint_enabled
         from ..analysis.fwdbwd import fwdbwd_enabled
         from ..analysis.regions import regions_enabled
@@ -131,7 +132,16 @@ class ConstraintChecker:
         self.absint = absint_enabled(absint)
         self.fwdbwd = fwdbwd_enabled(fwdbwd, self.absint)
         self.incremental = incremental_enabled(incremental)
-        self._inc_pool = ContextPool() if self.incremental else None
+        # An externally-owned ContextPool (a repro.serve worker sharing
+        # warm contexts across jobs) wins over a fresh per-run pool; the
+        # incremental switch still gates it so --no-incremental runs
+        # stay one-shot even under a warm host.
+        if not self.incremental:
+            self._inc_pool = None
+        elif inc_pool is not None:
+            self._inc_pool = inc_pool
+        else:
+            self._inc_pool = ContextPool()
         self._inc_bases: Dict[int, Tuple[object, Tuple]] = {}
         """``id(constraint_or_path) -> (pinned source, base terms)``.  The
         source object is pinned so its id can never be recycled."""

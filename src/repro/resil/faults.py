@@ -14,6 +14,12 @@ resilience layer protects::
     cache.corrupt_shard  QueryCache._load_disk corrupts the first
                          on-disk cache file before reading it, forcing
                          the quarantine path.
+    serve.worker_crash   The next job dispatched by the repro.serve
+                         fleet hard-exits its worker; the dispatcher
+                         must respawn the worker and requeue the job.
+    serve.worker_hang    The next dispatched serve job wedges its
+                         worker; the service's job timeout must reap
+                         and requeue it.
 
 Spec grammar (``REPRO_FAULTS`` / ``PinsConfig.faults``)::
 

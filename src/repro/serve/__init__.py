@@ -1,0 +1,31 @@
+"""Synthesis-as-a-service: an async job API over warm PINS workers.
+
+``python -m repro.serve`` starts a stdlib-only asyncio HTTP service
+that accepts synthesis jobs (suite program + config), dispatches them
+onto a fleet of persistent forked workers (warm incremental SMT
+contexts, interned term graph, and a fleet-shared on-disk query cache
+survive across jobs), streams live ``repro.obs`` progress events, and
+enforces per-tenant budget admission control.
+
+Determinism contract: a job run through the service produces inverse
+digests bit-identical to the same program run one-shot via
+:func:`repro.pins.run_pins` — enforced end to end by the differential
+tests in ``tests/serve`` and the load benchmark
+(``scripts/run_serve_bench.py``).
+
+See DESIGN.md §16 for the architecture.
+"""
+
+from .app import ServeApp, ServeConfig
+from .client import ServeClient, ServeError, ServerThread
+from .jobs import (BadRequest, DONE, FAILED, Job, JobRequest, JobStore,
+                   QUEUED, RUNNING, job_record)
+from .queue import JobQueue, ServeFleet, compact_store
+from .tenants import AdmissionError, TenantLedger, TenantQuota
+
+__all__ = [
+    "AdmissionError", "BadRequest", "DONE", "FAILED", "Job", "JobQueue",
+    "JobRequest", "JobStore", "QUEUED", "RUNNING", "ServeApp", "ServeClient",
+    "ServeConfig", "ServeError", "ServeFleet", "ServerThread",
+    "TenantLedger", "TenantQuota", "compact_store", "job_record",
+]

@@ -1,0 +1,87 @@
+"""CLI entry point: ``python -m repro.serve``.
+
+Runs the synthesis service in the foreground until interrupted::
+
+    python -m repro.serve --port 8000 --workers 4 \\
+        --cache-dir .pins-cache \\
+        --tenant alice=smt=5000;wall=600 --tenant bob=smt=500
+
+Then, from anywhere with the repo on PYTHONPATH::
+
+    python - <<'EOF'
+    from repro.serve import ServeClient
+    client = ServeClient("127.0.0.1", 8000)
+    job = client.submit("sumi", config={"m": 10, "seed": 1})
+    print(client.wait_for(job["id"])["result"]["inverses"][0])
+    EOF
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Dict
+
+from .app import ServeApp, ServeConfig
+
+
+def _parse_tenant(spec: str) -> tuple:
+    name, sep, quota = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"bad tenant spec {spec!r}: expected <name>=<budget-spec>")
+    return name, quota
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run the PINS synthesis service.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="0 picks a free port (printed on startup)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="persistent warm worker processes")
+    parser.add_argument("--cache-dir", default=None,
+                        help="fleet-shared on-disk query-cache store")
+    parser.add_argument("--tenant", action="append", default=[],
+                        type=_parse_tenant, metavar="NAME=SPEC",
+                        help="per-tenant quota, e.g. alice=smt=5000;wall=600 "
+                             "(repeatable)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="seconds before a wedged worker is respawned")
+    parser.add_argument("--compact-every", type=int, default=8,
+                        help="idle-time cache compaction cadence (jobs)")
+    parser.add_argument("--faults", default=None,
+                        help="serve-level fault spec (chaos drills)")
+    args = parser.parse_args(argv)
+
+    tenants: Dict[str, str] = dict(args.tenant)
+    config = ServeConfig(host=args.host, port=args.port,
+                         workers=args.workers, cache_dir=args.cache_dir,
+                         tenants=tenants, job_timeout=args.job_timeout,
+                         compact_every=args.compact_every,
+                         faults=args.faults)
+
+    async def _serve() -> None:
+        app = ServeApp(config)
+        await app.start()
+        print(f"repro.serve listening on http://{config.host}:{app.port} "
+              f"({config.workers} workers"
+              + (f", cache at {config.cache_dir}" if config.cache_dir else "")
+              + ")", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

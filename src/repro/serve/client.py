@@ -1,0 +1,178 @@
+"""Blocking client for the synthesis service, plus an in-thread server.
+
+:class:`ServeClient` wraps the HTTP API with plain ``http.client``
+calls (stdlib only, one connection per request — the server speaks
+``Connection: close``).  Anything the server refuses surfaces as a
+:class:`ServeError` carrying the HTTP status and the decoded error
+payload, so tests can assert on ``exc.status`` / ``exc.payload``.
+
+:class:`ServerThread` runs a full :class:`ServeApp` on a private asyncio
+event loop in a daemon thread — the harness the tests, the load
+benchmark, and interactive experiments all share::
+
+    with ServerThread(ServeConfig(workers=2)) as client:
+        job = client.submit("sumi", config={"m": 10, "seed": 1})
+        record = client.wait_for(job["id"])["result"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .app import ServeApp, ServeConfig
+
+
+class ServeError(Exception):
+    """An HTTP error response (status >= 400) from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        detail = payload.get("detail") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {detail or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Thin blocking wrapper over the service's JSON-over-HTTP API."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            data = None
+            headers = {}
+            if body is not None:
+                data = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+            if response.status >= 400:
+                raise ServeError(response.status, payload)
+            return payload
+        finally:
+            conn.close()
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def tenants(self) -> Dict[str, Any]:
+        return self._request("GET", "/tenants")
+
+    def submit(self, program: str, *, tenant: Optional[str] = None,
+               config: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"program": program}
+        if tenant is not None:
+            body["tenant"] = tenant
+        if config is not None:
+            body["config"] = config
+        return self._request("POST", "/jobs", body)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/jobs")
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def events(self, job_id: str, since: int = 0,
+               wait: float = 0.0) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}&wait={wait:g}")
+
+    def compact(self) -> Dict[str, Any]:
+        return self._request("POST", "/admin/compact")
+
+    def wait_for(self, job_id: str, timeout: float = 300.0,
+                 poll_s: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the full result
+        payload (``GET /jobs/<id>/result``).  Raises ``TimeoutError``
+        if the job is still running at the deadline."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']!r} "
+                    f"after {timeout:g}s")
+            time.sleep(poll_s)
+
+
+class ServerThread:
+    """A :class:`ServeApp` running on its own event loop in a thread.
+
+    ``__enter__`` blocks until the server socket is bound and returns a
+    ready :class:`ServeClient`; ``__exit__`` stops the app (fleet
+    included) and joins the thread.  Startup failures propagate to the
+    entering thread instead of leaving a half-started service behind.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.app = ServeApp(config)
+        self._loop: Optional[Any] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        import asyncio
+
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.app.start())
+        except BaseException as exc:  # noqa: BLE001 - report to entering thread
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.app.stop())
+            loop.close()
+
+    def start(self) -> ServeClient:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        self._started.wait(timeout=60.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.app.port is not None, "server failed to bind"
+        return ServeClient(self.app.config.host, self.app.port)
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    def __enter__(self) -> ServeClient:
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -1,0 +1,556 @@
+"""The serve fleet and dispatcher: warm workers + fair job queue.
+
+Three layers, mirroring ``repro.perf.pool``'s parent/worker split but
+lifted from "one batch of probes" to "a stream of whole synthesis jobs":
+
+* :func:`_serve_worker_main` — a long-lived forked worker.  Each worker
+  keeps, across jobs: one :class:`repro.smt.incremental.ContextPool`
+  (warm incremental SMT contexts; base term ids are stable per process
+  thanks to hash-consing, so contexts built for job N hit for job N+k of
+  the same program), a per-program-slug :class:`QueryCache` handle into
+  the fleet-shared on-disk store, and the interned term graph itself.
+  Progress flows back live: an :class:`repro.obs.CallbackRecorder`
+  forwards ``pins.*`` span events through the result queue as the run
+  executes.
+
+* :class:`ServeFleet` — parent-side process management.  Workers are
+  forked with private task queues and one shared result queue; jobs are
+  dispatched to idle ready workers; :meth:`ServeFleet.reap` detects
+  dead workers (exitcode) and — when a job timeout is configured —
+  wedged ones, terminates and respawns them, and reports the lost jobs
+  for requeue.  The ``serve.worker_crash`` / ``serve.worker_hang``
+  fault sites are decided parent-side at dispatch time, exactly like
+  the pool's fault sites.
+
+* :class:`JobQueue` — the asyncio dispatcher.  Per-tenant FIFO queues
+  drained round-robin (a tenant flooding the queue cannot starve
+  another), lost-job requeue with an attempt cap, post-completion
+  budget settlement against the :class:`TenantLedger`, and idle-time
+  single-writer compaction of the shared cache store.
+
+Determinism: a worker runs ``run_pins`` with exactly the config a
+one-shot CLI run would use — the shared cache only ever changes wall
+time (the ``jobs2-warm`` digest gate in CI pins that), warm incremental
+contexts are status-only (UNSAT/known-SAT short-circuits; every
+model-carrying query still runs the one-shot path), and a re-dispatched
+job re-runs the same deterministic computation.  So the service's
+inverse digests are bit-identical to ``run_pins`` one-shot, which the
+differential tests enforce end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..resil import faults
+from .jobs import (DONE, FAILED, QUEUED, RUNNING, Job, JobStore, job_record)
+from .tenants import TenantLedger
+
+_JOIN_S = 5.0
+"""Seconds to wait for a terminated worker process to be reaped."""
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _execute_job(payload: Dict[str, Any], caches: Dict[str, Any],
+                 context_pool: Any, cache_dir: Optional[str],
+                 emit: Callable[[Dict[str, Any]], None]) -> Dict[str, Any]:
+    """Run one synthesis job in this worker; returns the job record.
+
+    ``caches`` and ``context_pool`` are the worker's cross-job warm
+    state.  The cache handle is refreshed before each run so entries
+    appended by sibling workers (or merged by the server's compactor)
+    since the last job are visible.
+    """
+    from ..perf.cache import query_cache_for
+    from ..pins import PinsConfig, run_pins
+    from ..suite import get_benchmark
+
+    config = dict(payload.get("config") or {})
+    config.pop("budget", None)  # superseded by the admission-clamped spec
+    warm_contexts = bool(config.pop("warm_contexts", True))
+    budget = payload.get("budget")
+
+    bench = get_benchmark(payload["program"])
+    kwargs: Dict[str, Any] = dict(config)
+    if budget is not None:
+        kwargs["budget"] = budget
+
+    cache = None
+    if cache_dir:
+        slug = bench.task.cache_slug()
+        cache = caches.get(slug)
+        if cache is None:
+            cache = query_cache_for(cache_dir + os.sep, slug)
+            caches[slug] = cache
+        else:
+            cache.refresh()
+        kwargs["query_cache"] = cache
+    if warm_contexts:
+        kwargs["inc_context_pool"] = context_pool
+
+    recorder = obs.CallbackRecorder(emit)
+    previous = obs.set_recorder(recorder)
+    t0 = time.time()
+    try:
+        result = run_pins(bench.task, PinsConfig(**kwargs))
+    finally:
+        obs.set_recorder(previous)
+    record = job_record(result, time.time() - t0, budget)
+    if cache is not None:
+        record["cache"] = cache.stats()
+    return record
+
+
+def _serve_worker_main(worker_id: int, task_q, result_q,
+                       cache_dir: Optional[str]) -> None:
+    """Long-lived serve worker: ready handshake, then jobs until stop.
+
+    Messages in: ``("job", job_id, payload)``, ``("stop",)``, and the
+    fault stand-ins ``("resil.crash",)`` / ``("resil.hang",)`` (injected
+    parent-side by the ``serve.worker_*`` sites — the worker dies or
+    wedges exactly the way a real crash or stuck solver would).
+
+    Messages out: ``("ready", wid, None)``, then per job ``("started",
+    job_id, {"worker": wid})``, zero or more ``("event", job_id, ev)``,
+    and finally ``("done", job_id, record)`` or ``("failed", job_id,
+    {"error": ...})`` — a job never takes the worker down with a
+    traceback.
+    """
+    from ..smt.incremental import ContextPool
+
+    # The fork copied the parent's recorder and any installed fault
+    # plan; both belong to the parent (fault decisions are made at
+    # dispatch time, parent-side).
+    obs.reset_for_subprocess()
+    faults.uninstall_plan()
+
+    caches: Dict[str, Any] = {}
+    context_pool = ContextPool()
+    result_q.put(("ready", worker_id, None))
+    while True:
+        msg = task_q.get()
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "resil.crash":
+            os._exit(13)
+        if kind == "resil.hang":
+            time.sleep(3600)
+        _, job_id, payload = msg
+        result_q.put(("started", job_id, {"worker": worker_id}))
+
+        def emit(event: Dict[str, Any], _job_id: str = job_id) -> None:
+            result_q.put(("event", _job_id, event))
+
+        try:
+            record = _execute_job(payload, caches, context_pool,
+                                  cache_dir, emit)
+        except BaseException as exc:  # noqa: BLE001 - never crash the worker
+            result_q.put(("failed", job_id,
+                          {"error": f"{type(exc).__name__}: {exc}"}))
+        else:
+            result_q.put(("done", job_id, record))
+
+
+# -- parent side: the fleet -------------------------------------------------
+
+
+class _Worker:
+    """Parent-side record of one fleet process."""
+
+    __slots__ = ("wid", "proc", "task_q", "ready", "job_id", "dispatched_at")
+
+    def __init__(self, wid: int, proc, task_q):
+        self.wid = wid
+        self.proc = proc
+        self.task_q = task_q
+        self.ready = False
+        self.job_id: Optional[str] = None
+        self.dispatched_at: Optional[float] = None
+
+
+class ServeFleet:
+    """Forked serve workers plus dispatch/reap/respawn bookkeeping.
+
+    Requires the ``fork`` start method (like the perf pools); the serve
+    test battery skips on platforms without it.
+    """
+
+    def __init__(self, workers: int, cache_dir: Optional[str] = None,
+                 fault_plan: Optional[faults.FaultPlan] = None,
+                 job_timeout: Optional[float] = None):
+        self.cache_dir = cache_dir
+        self.fault_plan = fault_plan
+        self.job_timeout = job_timeout
+        self.deaths = 0
+        self.hangs = 0
+        self.respawns = 0
+        self._next_wid = 0
+        self._mp = multiprocessing.get_context("fork")
+        self._result_q = self._mp.Queue()
+        self.workers: Dict[int, _Worker] = {}
+        for _ in range(max(1, workers)):
+            self._spawn()
+
+    def _spawn(self) -> int:
+        wid = self._next_wid
+        self._next_wid += 1
+        task_q = self._mp.Queue()
+        # daemon=False: a job config may itself use the perf worker
+        # pools (jobs>1), and daemonic processes cannot fork children.
+        # close()/reap() own the lifecycle instead.
+        proc = self._mp.Process(
+            target=_serve_worker_main,
+            args=(wid, task_q, self._result_q, self.cache_dir),
+            daemon=False)
+        proc.start()
+        self.workers[wid] = _Worker(wid, proc, task_q)
+        return wid
+
+    # -- dispatch -----------------------------------------------------------
+
+    def idle_workers(self) -> List[int]:
+        """Ready workers with no job, in wid order (deterministic)."""
+        return sorted(w.wid for w in self.workers.values()
+                      if w.ready and w.job_id is None)
+
+    def dispatch(self, wid: int, job_id: str,
+                 payload: Dict[str, Any]) -> str:
+        """Send one job to worker ``wid``; returns what was actually sent.
+
+        The ``serve.worker_crash`` / ``serve.worker_hang`` fault sites
+        are consulted here, parent-side, so injection is deterministic
+        in dispatch order regardless of worker scheduling.  A faulted
+        dispatch swallows the job (the worker dies or wedges before
+        reading it); :meth:`reap` recovers it.
+        """
+        worker = self.workers[wid]
+        worker.job_id = job_id
+        worker.dispatched_at = time.monotonic()
+        plan = self.fault_plan
+        if plan is not None and plan.hit("serve.worker_crash"):
+            worker.task_q.put(("resil.crash",))
+            return "crash"
+        if plan is not None and plan.hit("serve.worker_hang"):
+            worker.task_q.put(("resil.hang",))
+            return "hang"
+        worker.task_q.put(("job", job_id, payload))
+        return "job"
+
+    def release(self, job_id: str) -> None:
+        """Mark whichever worker held ``job_id`` as idle again."""
+        for worker in self.workers.values():
+            if worker.job_id == job_id:
+                worker.job_id = None
+                worker.dispatched_at = None
+                return
+
+    # -- results and liveness ----------------------------------------------
+
+    def drain(self) -> List[Tuple[str, Any, Any]]:
+        """All worker messages currently queued, without blocking."""
+        events: List[Tuple[str, Any, Any]] = []
+        while True:
+            try:
+                events.append(self._result_q.get_nowait())
+            except queue_mod.Empty:
+                return events
+
+    def mark_ready(self, wid: int) -> None:
+        worker = self.workers.get(wid)
+        if worker is not None:
+            worker.ready = True
+
+    def reap(self) -> List[str]:
+        """Detect dead/wedged workers; respawn; return lost job ids.
+
+        A worker is *dead* when its process has an exit code, and
+        *wedged* when a job timeout is configured and its current job
+        has been running past it.  Either way the worker is replaced by
+        a fresh fork (cold caches, warm again after its first job) and
+        the in-flight job — if any — is reported for requeue.
+        """
+        lost: List[str] = []
+        now = time.monotonic()
+        for wid in sorted(self.workers):
+            worker = self.workers[wid]
+            dead = worker.proc.exitcode is not None
+            wedged = (not dead and self.job_timeout is not None
+                      and worker.job_id is not None
+                      and worker.dispatched_at is not None
+                      and now - worker.dispatched_at > self.job_timeout)
+            if not dead and not wedged:
+                continue
+            if dead:
+                self.deaths += 1
+                obs.count("resil.serve.worker_death")
+            else:
+                self.hangs += 1
+                obs.count("resil.serve.worker_hang")
+                worker.proc.terminate()
+            if worker.job_id is not None:
+                lost.append(worker.job_id)
+            worker.proc.join(timeout=_JOIN_S)
+            del self.workers[wid]
+            self._spawn()
+            self.respawns += 1
+            obs.count("resil.serve.worker_respawn")
+        return lost
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "workers": len(self.workers),
+            "ready": sum(1 for w in self.workers.values() if w.ready),
+            "busy": sum(1 for w in self.workers.values()
+                        if w.job_id is not None),
+            "deaths": self.deaths,
+            "hangs": self.hangs,
+            "respawns": self.respawns,
+        }
+
+    def close(self) -> None:
+        for worker in self.workers.values():
+            try:
+                worker.task_q.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self.workers.values():
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in self.workers.values():
+            if worker.proc.exitcode is None:
+                worker.proc.terminate()
+                worker.proc.join(timeout=_JOIN_S)
+        self.workers = {}
+
+
+def compact_store(cache_dir: str) -> int:
+    """Single-writer compaction of every slug file in the shared store.
+
+    Merges each ``<slug>.jsonl``'s per-pid worker shards into its base
+    file with an atomic rename (see :meth:`QueryCache.compact`).  Safe
+    to run while workers are *idle*: ``run_pins`` closes its cache
+    handle at the end of every job, so idle workers hold no open shard
+    handles and their next job re-reads the compacted base.  Returns the
+    number of slug files compacted.
+    """
+    from ..perf.cache import QueryCache
+
+    # A slug whose base file was never written still has to be found:
+    # freshly-forked workers append straight to per-pid shards, so the
+    # first compaction of a new store sees only <slug>.jsonl.shard-<pid>.
+    slugs = set(glob.glob(os.path.join(cache_dir, "*.jsonl")))
+    for shard in glob.glob(os.path.join(cache_dir, "*.jsonl.shard-*")):
+        slugs.add(shard.rsplit(".shard-", 1)[0])
+    compacted = 0
+    for path in sorted(slugs):
+        QueryCache(path).compact()
+        compacted += 1
+    return compacted
+
+
+# -- the dispatcher ---------------------------------------------------------
+
+
+class JobQueue:
+    """Fair asyncio dispatcher from tenant queues onto the fleet.
+
+    Single-writer over the :class:`JobStore`: every mutation happens in
+    :meth:`tick`, which the :meth:`run` pump calls on the service event
+    loop.  HTTP handlers only read job state (and enqueue submissions
+    via :meth:`submit`, also on the loop).
+    """
+
+    def __init__(self, store: JobStore, fleet: ServeFleet,
+                 ledger: TenantLedger, *, max_attempts: int = 3,
+                 compact_every: int = 8, poll_s: float = 0.02):
+        self.store = store
+        self.fleet = fleet
+        self.ledger = ledger
+        self.max_attempts = max_attempts
+        self.compact_every = compact_every
+        self.poll_s = poll_s
+        self.completed = 0
+        self.requeues = 0
+        self.compactions = 0
+        self._since_compact = 0
+        self._queues: Dict[str, Deque[str]] = {}
+        self._tenant_order: Deque[str] = deque()
+        self._stopped = False
+        self.changed: asyncio.Condition = asyncio.Condition()
+
+    # -- intake -------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        tenant = job.request.tenant
+        q = self._queues.get(tenant)
+        if q is None:
+            q = self._queues[tenant] = deque()
+        if tenant not in self._tenant_order:
+            self._tenant_order.append(tenant)
+        q.append(job.id)
+        job.mark("serve.queued")
+
+    def _requeue_front(self, job: Job) -> None:
+        tenant = job.request.tenant
+        q = self._queues.get(tenant)
+        if q is None:
+            q = self._queues[tenant] = deque()
+        if tenant not in self._tenant_order:
+            self._tenant_order.appendleft(tenant)
+        q.appendleft(job.id)
+
+    def _next_job(self) -> Optional[Job]:
+        """Round-robin across tenants: pop from the first non-empty
+        tenant queue, rotating so each dequeue moves to the next tenant."""
+        for _ in range(len(self._tenant_order)):
+            tenant = self._tenant_order[0]
+            self._tenant_order.rotate(-1)
+            q = self._queues.get(tenant)
+            while q:
+                job = self.store.get(q.popleft())
+                if job is not None and job.state == QUEUED:
+                    return job
+        return None
+
+    def queued_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # -- the pump -----------------------------------------------------------
+
+    async def run(self) -> None:
+        """Poll-drive the fleet until :meth:`stop`; notify watchers on
+        every change so long-poll event streams wake immediately."""
+        while not self._stopped:
+            if self.tick():
+                async with self.changed:
+                    self.changed.notify_all()
+            await asyncio.sleep(self.poll_s)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def tick(self) -> bool:
+        """One dispatcher step; returns True when any job changed."""
+        dirty = self._apply_events(self.fleet.drain())
+        dirty = self._recover(self.fleet.reap()) or dirty
+        dirty = self._dispatch_idle() or dirty
+        self._maybe_compact()
+        return dirty
+
+    def _apply_events(self, events: List[Tuple[str, Any, Any]]) -> bool:
+        dirty = False
+        for kind, ident, payload in events:
+            if kind == "ready":
+                self.fleet.mark_ready(ident)
+                continue
+            job = self.store.get(ident)
+            if job is None or job.terminal:
+                # A terminal job can still receive stragglers from a
+                # worker that was reaped after its result was recovered
+                # elsewhere; drop them.
+                continue
+            if kind == "started":
+                job.state = RUNNING
+                job.started_at = time.time()
+                job.worker = payload.get("worker")
+                dirty = True
+            elif kind == "event":
+                job.add_event(payload)
+                dirty = True
+            elif kind == "done":
+                job.result = payload
+                job.state = DONE
+                job.finished_at = time.time()
+                self.fleet.release(job.id)
+                self.ledger.settle(job.request.tenant, payload)
+                self.completed += 1
+                self._since_compact += 1
+                dirty = True
+            elif kind == "failed":
+                job.error = payload.get("error", "job failed")
+                job.state = FAILED
+                job.finished_at = time.time()
+                self.fleet.release(job.id)
+                self.ledger.settle(job.request.tenant, None)
+                self.completed += 1
+                dirty = True
+        return dirty
+
+    def _recover(self, lost: List[str]) -> bool:
+        """Requeue jobs whose worker died or wedged (bounded retries)."""
+        dirty = False
+        for job_id in lost:
+            job = self.store.get(job_id)
+            if job is None or job.terminal:
+                continue
+            dirty = True
+            if job.attempts < self.max_attempts:
+                job.state = QUEUED
+                job.started_at = None
+                job.worker = None
+                job.mark("serve.requeued", value=job.attempts)
+                self._requeue_front(job)
+                self.requeues += 1
+            else:
+                job.error = (f"worker lost {job.attempts} times "
+                             f"(max_attempts={self.max_attempts})")
+                job.state = FAILED
+                job.finished_at = time.time()
+                self.ledger.settle(job.request.tenant, None)
+        return dirty
+
+    def _dispatch_idle(self) -> bool:
+        dirty = False
+        for wid in self.fleet.idle_workers():
+            job = self._next_job()
+            if job is None:
+                break
+            job.attempts += 1
+            sent = self.fleet.dispatch(
+                wid, job.id, job.request.to_wire(job.budget))
+            job.mark("serve.dispatched", value={"worker": wid, "sent": sent})
+            dirty = True
+        return dirty
+
+    def _maybe_compact(self) -> None:
+        """Idle-time compaction: only when the whole fleet is quiet, so
+        no worker holds an open shard handle (see :func:`compact_store`)."""
+        if (self.fleet.cache_dir is None
+                or self._since_compact < self.compact_every):
+            return
+        if any(w.job_id is not None for w in self.fleet.workers.values()):
+            return
+        if self.queued_count():
+            return
+        compact_store(self.fleet.cache_dir)
+        self.compactions += 1
+        self._since_compact = 0
+
+    def force_compact(self) -> int:
+        """Operator-requested compaction (``POST /admin/compact``)."""
+        if self.fleet.cache_dir is None:
+            return 0
+        n = compact_store(self.fleet.cache_dir)
+        self.compactions += 1
+        self._since_compact = 0
+        return n
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "queued": self.queued_count(),
+            "completed": self.completed,
+            "requeues": self.requeues,
+            "compactions": self.compactions,
+            "fleet": self.fleet.stats(),
+        }

@@ -1,0 +1,184 @@
+"""Per-tenant admission control for the synthesis service.
+
+Each tenant gets a :class:`TenantQuota` — an aggregate SMT-query and
+wall-clock allowance plus a concurrent-job cap — and the
+:class:`TenantLedger` enforces it at admission time:
+
+* a submission whose tenant has active + queued jobs at ``max_active``
+  is rejected (HTTP 429, ``queue_full``);
+* a submission whose tenant has no remaining allowance at all is
+  rejected (HTTP 429, ``budget_exhausted``);
+* otherwise the job's budget is the *clamp* of the requested (or
+  profile-default) budget against the tenant's remaining allowance, so
+  a run can never burn more than the tenant has left.  When the clamp
+  bites, the run ends with the normal ``repro.resil`` anytime behavior:
+  status ``budget_exhausted`` carrying the best-so-far solution set.
+
+Settlement is post-hoc and exact: when a job finishes, its record's
+``smt_queries`` and ``wall_time_s`` are charged against the tenant.
+The clamp means a tenant can overshoot its aggregate by at most the
+in-flight jobs' clamped budgets — bounded, cooperative overcommit,
+matching the budget layer's own "approximate at process boundaries"
+stance.  Crucially, tenants are isolated: one tenant exhausting its
+quota changes nothing for any other tenant's admissions or budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..resil import Budget, resolve_budget
+
+
+class AdmissionError(Exception):
+    """A submission the ledger refuses (HTTP 429).
+
+    ``reason`` is machine-readable: ``"budget_exhausted"`` or
+    ``"queue_full"``.
+    """
+
+    def __init__(self, reason: str, detail: str):
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Aggregate allowances for one tenant; ``None`` means unbounded."""
+
+    smt_queries: Optional[int] = None
+    wall_s: Optional[float] = None
+    max_active: int = 16
+
+    @classmethod
+    def from_spec(cls, spec: "TenantQuota | str | None") -> "TenantQuota":
+        """Accept a quota, a budget-style spec string, or None.
+
+        Spec strings reuse the ``repro.resil`` budget grammar
+        (``"smt=500;wall=60"``); only the smt/wall dimensions are
+        meaningful for tenancy.
+        """
+        if spec is None:
+            return cls()
+        if isinstance(spec, TenantQuota):
+            return spec
+        budget = resolve_budget(spec)
+        if budget is None:
+            return cls()
+        return cls(smt_queries=budget.smt_queries, wall_s=budget.wall_s)
+
+
+class TenantState:
+    """Mutable per-tenant usage: charges to date plus in-flight count."""
+
+    def __init__(self, quota: TenantQuota):
+        self.quota = quota
+        self.used_smt_queries = 0
+        self.used_wall_s = 0.0
+        self.active = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.finished = 0
+
+    def remaining_smt(self) -> Optional[int]:
+        if self.quota.smt_queries is None:
+            return None
+        return max(0, self.quota.smt_queries - self.used_smt_queries)
+
+    def remaining_wall(self) -> Optional[float]:
+        if self.quota.wall_s is None:
+            return None
+        return max(0.0, self.quota.wall_s - self.used_wall_s)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "quota": {"smt_queries": self.quota.smt_queries,
+                      "wall_s": self.quota.wall_s,
+                      "max_active": self.quota.max_active},
+            "used_smt_queries": self.used_smt_queries,
+            "used_wall_s": round(self.used_wall_s, 4),
+            "remaining_smt_queries": self.remaining_smt(),
+            "remaining_wall_s": (None if self.remaining_wall() is None
+                                 else round(self.remaining_wall(), 4)),
+            "active": self.active,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "finished": self.finished,
+        }
+
+
+class TenantLedger:
+    """Admission + settlement across all tenants (event-loop owned)."""
+
+    def __init__(self, quotas: Optional[Dict[str, TenantQuota]] = None,
+                 default_quota: Optional[TenantQuota] = None):
+        self.default_quota = default_quota or TenantQuota()
+        self._states: Dict[str, TenantState] = {}
+        for name, quota in (quotas or {}).items():
+            self._states[name] = TenantState(TenantQuota.from_spec(quota))
+
+    def state(self, tenant: str) -> TenantState:
+        st = self._states.get(tenant)
+        if st is None:
+            st = self._states[tenant] = TenantState(self.default_quota)
+        return st
+
+    def admit(self, tenant: str,
+              requested: Optional[Budget]) -> Optional[str]:
+        """Admit one job; returns the effective (clamped) budget spec.
+
+        Raises :class:`AdmissionError` when the tenant is at its
+        concurrency cap or fully out of allowance.  A ``None`` return
+        means "unbounded" (no requested budget, unbounded quota).
+        """
+        st = self.state(tenant)
+        if st.active >= st.quota.max_active:
+            st.rejected += 1
+            raise AdmissionError(
+                "queue_full",
+                f"tenant {tenant!r} has {st.active} jobs in flight "
+                f"(max_active={st.quota.max_active})")
+        rem_smt = st.remaining_smt()
+        rem_wall = st.remaining_wall()
+        if rem_smt == 0 or rem_wall == 0.0:
+            st.rejected += 1
+            dim = "smt" if rem_smt == 0 else "wall"
+            raise AdmissionError(
+                "budget_exhausted",
+                f"tenant {tenant!r} has no remaining {dim} allowance")
+        smt = requested.smt_queries if requested is not None else None
+        wall = requested.wall_s if requested is not None else None
+        if rem_smt is not None:
+            smt = rem_smt if smt is None else min(smt, rem_smt)
+        if rem_wall is not None:
+            wall = rem_wall if wall is None else min(wall, rem_wall)
+        clamped = Budget(
+            wall_s=wall, smt_queries=smt,
+            sat_conflicts=requested.sat_conflicts if requested else None,
+            symexec_paths=requested.symexec_paths if requested else None)
+        st.active += 1
+        st.admitted += 1
+        spec = clamped.describe()
+        return None if spec == "unbounded" else spec
+
+    def release(self, tenant: str) -> None:
+        """Undo an admission's in-flight slot without charging usage
+        (submission failed after admit, e.g. an invalid program)."""
+        st = self.state(tenant)
+        st.active = max(0, st.active - 1)
+        st.admitted = max(0, st.admitted - 1)
+
+    def settle(self, tenant: str, record: Optional[Dict[str, Any]]) -> None:
+        """Charge a finished job's actual usage and free its slot."""
+        st = self.state(tenant)
+        st.active = max(0, st.active - 1)
+        st.finished += 1
+        if record:
+            st.used_smt_queries += int(record.get("smt_queries") or 0)
+            st.used_wall_s += float(record.get("wall_time_s") or 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {name: st.snapshot()
+                for name, st in sorted(self._states.items())}

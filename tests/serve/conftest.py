@@ -1,0 +1,37 @@
+"""Shared fixtures for the service test battery.
+
+Every test here spins up a real :class:`ServeApp` (HTTP server, asyncio
+dispatcher, forked worker fleet) via :class:`ServerThread`, so the
+battery exercises the same code paths as ``python -m repro.serve``.
+The whole directory is skipped on platforms without the ``fork`` start
+method — the fleet, like the perf pools, requires it.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.resil.faults import uninstall_plan
+
+try:
+    multiprocessing.get_context("fork")
+    HAS_FORK = True
+except ValueError:  # pragma: no cover - non-fork platforms
+    HAS_FORK = False
+
+requires_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="repro.serve fleet requires the fork start method")
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Serve tests control budgets/faults/caches explicitly; ambient
+    REPRO_* state (e.g. from a traced or chaos-lite CI job) must not
+    leak into the forked workers."""
+    uninstall_plan()
+    for var in ("REPRO_FAULTS", "REPRO_BUDGET", "REPRO_QUERY_CACHE",
+                "REPRO_JOBS", "REPRO_WORKERS", "REPRO_TRACE",
+                "REPRO_POOL_TIMEOUT"):
+        monkeypatch.delenv(var, raising=False)
+    yield
+    uninstall_plan()

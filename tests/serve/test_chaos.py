@@ -1,0 +1,121 @@
+"""Chaos against the service itself: dead workers, corrupt shared cache.
+
+Satellite of the resilience story (DESIGN.md §12) lifted to the serving
+layer: a worker killed mid-job is respawned and the job requeued and
+re-run to the *same* answer; a corrupted shard in the fleet-shared
+cache store is quarantined and recomputed; a wedged worker is reaped by
+the job timeout.  In every case the client sees a finished job with the
+correct digest — never a traceback, never a wedged queue.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.serve import ServeConfig, ServerThread
+from repro.suite import get_benchmark, resolved_budget
+
+from .conftest import requires_fork
+
+pytestmark = requires_fork
+
+NAME = "sumi"
+CONFIG = dict(m=10, max_iterations=25, seed=1)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    config = dict(CONFIG, budget=resolved_budget(NAME))
+    return run_pins(get_benchmark(NAME).task, PinsConfig(**config))
+
+
+def _corrupt_store(cache_dir: str) -> str:
+    """Vandalize one shared-store file the way an interrupted writer or
+    bad disk would: garbage bytes followed by more data, so the damage
+    is not a torn final line and must go through the quarantine path
+    (mirrors ``QueryCache._inject_corruption``)."""
+    files = sorted(glob.glob(os.path.join(cache_dir, "*.jsonl"))
+                   + glob.glob(os.path.join(cache_dir, "*.jsonl.shard-*")))
+    assert files, "expected the first job to have populated the store"
+    victim = files[0]
+    with open(victim, "r+", encoding="utf-8") as fh:
+        body = fh.read()
+        fh.seek(0)
+        fh.write("\x00garbage{not json\n" + body + "{}\n")
+    return victim
+
+
+def test_worker_crash_and_corrupt_shard_degrade_correctly(tmp_path,
+                                                          reference):
+    """Kill the first dispatched worker AND corrupt the shared store:
+    both jobs still finish with the one-shot digest, and the resilience
+    machinery visibly fired (respawn, requeue, quarantine)."""
+    config = ServeConfig(workers=2, cache_dir=str(tmp_path),
+                         faults="serve.worker_crash@0")
+    with ServerThread(config) as client:
+        # Job 1: its dispatch is eaten by serve.worker_crash@0 — the
+        # worker hard-exits, the dispatcher respawns it and requeues.
+        job1 = client.submit(NAME, config=CONFIG)
+        final1 = client.wait_for(job1["id"], timeout=300)
+        assert final1["state"] == "done"
+        assert final1["attempts"] == 2, "job should have been requeued once"
+        record1 = final1["result"]
+        assert record1["inverse_digest"] == reference.inverse_digest()
+        names = [e["name"] for e in client.events(job1["id"])["events"]]
+        assert "serve.requeued" in names
+
+        stats = client.stats()
+        assert stats["fleet"]["deaths"] >= 1
+        assert stats["fleet"]["respawns"] >= 1
+        assert stats["requeues"] >= 1
+        # The fleet healed to full strength.
+        assert stats["fleet"]["workers"] == 2
+
+        # Now corrupt the shared store on disk and run job 2: the bad
+        # file is quarantined (renamed *.bad), its entries recomputed,
+        # and the digest is still bit-identical.
+        _corrupt_store(str(tmp_path))
+        job2 = client.submit(NAME, config=CONFIG)
+        final2 = client.wait_for(job2["id"], timeout=300)
+        assert final2["state"] == "done"
+        record2 = final2["result"]
+        assert record2["inverse_digest"] == reference.inverse_digest()
+        assert record2["cache"]["quarantined"] >= 1
+        assert glob.glob(os.path.join(str(tmp_path), "*.bad"))
+
+        # The queue never wedged: nothing left queued or running.
+        stats = client.stats()
+        assert stats["queued"] == 0
+        assert stats["jobs"] == {"done": 2}
+
+
+def test_wedged_worker_is_reaped_and_job_requeued(tmp_path, reference):
+    """serve.worker_hang@0 wedges the only worker; the job timeout must
+    reap it, respawn, requeue, and still deliver the correct answer."""
+    config = ServeConfig(workers=1, cache_dir=str(tmp_path),
+                         faults="serve.worker_hang@0", job_timeout=1.5)
+    with ServerThread(config) as client:
+        job = client.submit(NAME, config=CONFIG)
+        final = client.wait_for(job["id"], timeout=300)
+        assert final["state"] == "done"
+        assert final["attempts"] == 2
+        assert final["result"]["inverse_digest"] == reference.inverse_digest()
+        stats = client.stats()
+        assert stats["fleet"]["hangs"] >= 1
+        assert stats["fleet"]["respawns"] >= 1
+
+
+def test_repeated_worker_loss_fails_job_cleanly(reference):
+    """A job whose worker dies on every dispatch exhausts max_attempts
+    and fails with a diagnostic — it must not requeue forever."""
+    config = ServeConfig(workers=1, faults="serve.worker_crash@*",
+                         max_attempts=2)
+    with ServerThread(config) as client:
+        job = client.submit(NAME, config=CONFIG)
+        final = client.wait_for(job["id"], timeout=120)
+        assert final["state"] == "failed"
+        assert "worker lost" in final["error"]
+        # The service survives: the fleet healed and accepts new work.
+        assert client.health()["ok"] is True

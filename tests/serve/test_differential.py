@@ -1,0 +1,100 @@
+"""The service's determinism contract, enforced end to end.
+
+A job submitted over the HTTP API must produce inverse digests
+**bit-identical** to the same program run one-shot via ``run_pins`` —
+through the serial backend, through the persistent in-run worker fleet,
+and on a warm repeat where the serve worker reuses its incremental SMT
+contexts and the fleet-shared disk cache from the previous job.  This
+is the test the serving layer leans on; keep it green.
+"""
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.serve import ServeConfig, ServerThread
+from repro.suite import get_benchmark, resolved_budget
+
+from .conftest import requires_fork
+
+pytestmark = requires_fork
+
+CONFIGS = {
+    "sumi": dict(m=10, max_iterations=25, seed=1),
+    "runlength": dict(m=6, max_iterations=6, seed=1, absint=False),
+}
+
+BACKENDS = {
+    "serial": dict(workers="serial"),
+    "persistent": dict(jobs=2, workers="persistent"),
+}
+
+
+def one_shot(name, config):
+    result = run_pins(get_benchmark(name).task, PinsConfig(**config))
+    return result
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_served_digest_matches_one_shot(name, backend, tmp_path,
+                                        monkeypatch):
+    if backend == "persistent":
+        # Exercise real forked inner pools even on single-core runners.
+        monkeypatch.setenv("REPRO_JOBS_FORCE", "1")
+    config = dict(CONFIGS[name], **BACKENDS[backend])
+    # Pin the budget explicitly on both sides so the service's profile
+    # defaulting cannot diverge from the reference run.
+    config["budget"] = resolved_budget(name)
+    reference = one_shot(name, config)
+
+    with ServerThread(ServeConfig(workers=1,
+                                  cache_dir=str(tmp_path))) as client:
+        job = client.submit(name, config=config)
+        record = client.wait_for(job["id"], timeout=300)["result"]
+
+    assert record["status"] == reference.status
+    assert record["solutions"] == len(reference.solutions)
+    assert record["inverse_digest"] == reference.inverse_digest(), (
+        f"{name}/{backend}: served inverse digest differs from one-shot "
+        f"run_pins — the service broke the determinism contract")
+
+
+def test_warm_repeat_is_bit_identical(tmp_path):
+    """Jobs 2..N on a warm worker (hot ContextPool, populated shared
+    cache) must reproduce job 1's digest exactly — warm state is a
+    wall-time optimization, never a trajectory change."""
+    name = "sumi"
+    config = dict(CONFIGS[name], budget=resolved_budget(name))
+    reference = one_shot(name, config)
+
+    with ServerThread(ServeConfig(workers=1,
+                                  cache_dir=str(tmp_path))) as client:
+        digests = []
+        cache_hits = []
+        for _ in range(3):
+            job = client.submit(name, config=config)
+            record = client.wait_for(job["id"], timeout=300)["result"]
+            digests.append(record["inverse_digest"])
+            cache_hits.append(record["cache"]["hits"])
+
+    assert digests == [reference.inverse_digest()] * 3
+    # The shared cache did actually warm up across jobs (the memo is
+    # doing the wall-time work, while the digests above prove it is
+    # invisible to the synthesis trajectory).
+    assert cache_hits[-1] > cache_hits[0]
+
+
+def test_cold_contexts_flag_preserves_digest(tmp_path):
+    """``warm_contexts: false`` (fresh incremental contexts per job) is
+    the determinism fallback knob; it must agree with the warm path."""
+    name = "sumi"
+    config = dict(CONFIGS[name], budget=resolved_budget(name))
+    reference = one_shot(name, config)
+
+    with ServerThread(ServeConfig(workers=1,
+                                  cache_dir=str(tmp_path))) as client:
+        for warm in (True, False):
+            job = client.submit(
+                name, config=dict(config, warm_contexts=warm))
+            record = client.wait_for(job["id"], timeout=300)["result"]
+            assert record["inverse_digest"] == reference.inverse_digest()

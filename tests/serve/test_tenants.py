@@ -1,0 +1,97 @@
+"""Multi-tenant admission control: clamping, isolation, rejection.
+
+The satellite scenario from the ISSUE: two tenants run concurrently;
+the one with an exhausting ``smt=`` quota gets ``budget_exhausted``
+with the anytime best-so-far solution set, while the other tenant's job
+is completely unaffected — no starvation, no shared-state bleed.
+"""
+
+import pytest
+
+from repro.pins import PinsConfig, run_pins
+from repro.serve import ServeConfig, ServeError, ServerThread, TenantQuota
+from repro.suite import get_benchmark, resolved_budget
+
+from .conftest import requires_fork
+
+pytestmark = requires_fork
+
+NAME = "sumi"
+CONFIG = dict(m=10, max_iterations=25, seed=1)
+
+
+def test_quota_clamp_and_tenant_isolation(tmp_path):
+    reference = run_pins(
+        get_benchmark(NAME).task,
+        PinsConfig(**dict(CONFIG, budget=resolved_budget(NAME))))
+    assert reference.status == "stabilized"
+
+    # sumi stabilizes at ~76 SMT queries; smt=40 forces the anytime
+    # path with at least one best-so-far solution already found.
+    config = ServeConfig(workers=2, cache_dir=str(tmp_path),
+                         tenants={"small": "smt=40"})
+    with ServerThread(config) as client:
+        # Both tenants submit at once; two workers run them concurrently.
+        small = client.submit(NAME, tenant="small", config=CONFIG)
+        big = client.submit(NAME, tenant="big", config=CONFIG)
+
+        # The small tenant's budget was clamped at admission time.
+        assert "smt=40" in small["budget"]
+        assert "smt=1500" in big["budget"]  # profile default, unclamped
+
+        small_rec = client.wait_for(small["id"], timeout=300)["result"]
+        big_rec = client.wait_for(big["id"], timeout=300)["result"]
+
+    # Small tenant: cooperative exhaustion with best-so-far, no error.
+    assert small_rec["status"] == "budget_exhausted"
+    assert small_rec["budget_exhausted"] == "smt_queries"
+    assert small_rec["solutions"] >= 1
+    assert small_rec["inverses"], "anytime result must carry the inverses"
+
+    # Big tenant: byte-for-byte what a one-shot run produces — the
+    # neighbor's exhaustion never bled into this run.
+    assert big_rec["status"] == "stabilized"
+    assert big_rec["inverse_digest"] == reference.inverse_digest()
+
+
+def test_exhausted_tenant_is_rejected_while_others_admitted():
+    config = ServeConfig(workers=1, tenants={"small": "smt=40"})
+    with ServerThread(config) as client:
+        job = client.submit(NAME, tenant="small", config=CONFIG)
+        client.wait_for(job["id"], timeout=300)
+
+        # Settlement charged the ~41 queries actually used: the tenant
+        # is out of allowance and now rejected at admission.
+        with pytest.raises(ServeError) as exc:
+            client.submit(NAME, tenant="small", config=CONFIG)
+        assert exc.value.status == 429
+        assert exc.value.payload["error"] == "budget_exhausted"
+
+        # A different tenant is admitted as if nothing happened.
+        other = client.submit(NAME, tenant="other", config=CONFIG)
+        record = client.wait_for(other["id"], timeout=300)["result"]
+        assert record["status"] == "stabilized"
+
+        snapshot = client.tenants()
+        assert snapshot["small"]["remaining_smt_queries"] == 0
+        assert snapshot["small"]["rejected"] == 1
+        assert snapshot["other"]["rejected"] == 0
+
+
+def test_concurrency_cap_rejects_queue_full():
+    config = ServeConfig(workers=1,
+                         tenants={"cap": TenantQuota(max_active=1)})
+    with ServerThread(config) as client:
+        first = client.submit(NAME, tenant="cap", config=CONFIG)
+        # Second submission while the first is still in flight: 429.
+        with pytest.raises(ServeError) as exc:
+            client.submit(NAME, tenant="cap", config=CONFIG)
+        assert exc.value.status == 429
+        assert exc.value.payload["error"] == "queue_full"
+        # Uncapped tenants are untouched by the neighbor's cap.
+        other = client.submit(NAME, tenant="roomy", config=CONFIG)
+        client.wait_for(first["id"], timeout=300)
+        client.wait_for(other["id"], timeout=300)
+        # Once the first job settled, the capped tenant is admitted again.
+        retry = client.submit(NAME, tenant="cap", config=CONFIG)
+        assert client.wait_for(retry["id"], timeout=300)["state"] == "done"
